@@ -1,0 +1,204 @@
+// Autoscaling ablation (the paper's §7 future work made concrete):
+// replay the Azure-style trace against an elastic edge under four
+// allocation policies and compare latency, inversion exposure, and cost.
+//
+// Expected ordering: static under-provisions hot sites (inversion) or
+// over-provisions everywhere (cost); reactive trades lag for savings;
+// two-sigma provisions for per-site peaks; inversion-aware (Eq. 22)
+// explicitly keeps each site's bound below delta_n — the "robust to
+// performance inversion" allocation the paper proposes to design.
+#include "bench_common.hpp"
+
+#include <iostream>
+#include <memory>
+
+#include "autoscale/elastic_edge.hpp"
+#include "cluster/deployment.hpp"
+#include "cluster/source.hpp"
+#include "core/economics.hpp"
+#include "des/simulation.hpp"
+#include "stats/quantiles.hpp"
+#include "support/table.hpp"
+#include "workload/azure.hpp"
+
+namespace {
+
+using namespace hce;
+
+constexpr Time kHorizon = 2.5 * 3600.0;
+constexpr Time kCloudRtt = 0.025;
+
+workload::AzureSynthConfig trace_config() {
+  workload::AzureSynthConfig cfg;
+  cfg.num_functions = 300;
+  cfg.num_sites = 5;
+  cfg.duration = kHorizon;
+  cfg.total_rate = 26.0;  // hot sites need ~2-3 servers at peaks
+  cfg.popularity_s = 0.7;
+  cfg.diurnal_amplitude = 0.5;
+  cfg.diurnal_period = kHorizon;
+  cfg.burst_multiplier = 3.0;
+  cfg.exec_median = (1.0 / 13.0) / 1.212;  // mean lands at 1/13 s
+  cfg.exec_median_spread = 0.12;
+  cfg.exec_cov = 0.6;
+  return cfg;
+}
+
+struct Outcome {
+  std::string policy;
+  double mean_ms = 0.0;
+  double p95_ms = 0.0;
+  double server_seconds = 0.0;
+  double cost_usd = 0.0;
+  std::uint64_t actions = 0;
+  bool inverted_vs_cloud = false;
+};
+
+Outcome run_policy(const std::shared_ptr<const workload::Trace>& trace,
+                   autoscale::PolicyPtr policy, double cloud_mean) {
+  des::Simulation sim;
+  autoscale::ElasticEdgeConfig cfg;
+  cfg.num_sites = 5;
+  cfg.initial_servers_per_site = 1;
+  cfg.policy = policy;
+  cfg.control_interval = 30.0;
+  cfg.provision_delay = 60.0;
+  cfg.scale_down_cooldown = 180.0;
+  cfg.control_horizon = kHorizon;
+  cfg.network = cluster::NetworkModel::fixed(0.001);
+  autoscale::ElasticEdge edge(sim, cfg, Rng(55));
+
+  cluster::TraceReplaySource replay(
+      sim, trace, [&](des::Request r) { edge.submit(std::move(r)); });
+  replay.start();
+  sim.run();
+
+  Outcome out;
+  out.policy = policy->name();
+  auto lat = edge.sink().latencies();
+  const auto summary = edge.sink().latency_summary();
+  out.mean_ms = summary.mean() * 1e3;
+  out.p95_ms = stats::quantile(std::move(lat), 0.95) * 1e3;
+  out.server_seconds = edge.server_seconds();
+  out.cost_usd = core::cost_of_server_seconds(
+      out.server_seconds, core::PriceModel{}.edge_server_hour);
+  out.actions = edge.scaling_actions();
+  out.inverted_vs_cloud = out.mean_ms > cloud_mean;
+  return out;
+}
+
+void reproduce() {
+  bench::banner(
+      "Ablation — dynamic edge allocation policies vs inversion (paper §7 "
+      "future work)",
+      "inversion-aware (Eq.22) and two-sigma provisioning avoid the "
+      "inversion a 1-server static edge suffers, at lower cost than "
+      "static overprovisioning everywhere");
+
+  const workload::AzureSynth synth(trace_config());
+  auto trace = std::make_shared<workload::Trace>(synth.generate(Rng(42)));
+  std::cout << "trace: " << trace->size() << " requests, "
+            << format_fixed(trace->mean_rate(), 1) << " req/s aggregate\n";
+
+  // Cloud baseline for the inversion verdict (5 servers behind 25 ms).
+  double cloud_mean = 0.0;
+  double cloud_cost = 0.0;
+  {
+    des::Simulation sim;
+    cluster::CloudConfig ccfg;
+    ccfg.num_servers = 5;
+    ccfg.network = cluster::NetworkModel::fixed(kCloudRtt);
+    cluster::CloudDeployment cloud(sim, ccfg, Rng(56));
+    cluster::TraceReplaySource replay(
+        sim, trace, [&](des::Request r) { cloud.submit(std::move(r)); });
+    replay.start();
+    sim.run();
+    cloud_mean = cloud.sink().latency_summary().mean() * 1e3;
+    cloud_cost = core::cost_of_server_seconds(
+        5.0 * kHorizon, core::PriceModel{}.cloud_server_hour);
+  }
+  std::cout << "cloud baseline: mean " << format_fixed(cloud_mean, 2)
+            << " ms, cost $" << format_fixed(cloud_cost, 2) << "\n";
+
+  autoscale::InversionAwareConfig inv_cfg;
+  inv_cfg.mu = 13.0;
+  inv_cfg.k_cloud = 5;
+  inv_cfg.delta_n = kCloudRtt - 0.001;
+  inv_cfg.headroom = 1.0;
+
+  const std::vector<autoscale::PolicyPtr> policies{
+      autoscale::static_policy(1),
+      autoscale::static_policy(3),
+      autoscale::reactive_policy(0.75, 0.35),
+      autoscale::two_sigma_policy(),
+      autoscale::inversion_aware_policy(inv_cfg),
+  };
+
+  TextTable t({"policy", "edge mean (ms)", "edge p95 (ms)", "server-sec",
+               "cost ($)", "scale actions", "inverted?"});
+  std::vector<Outcome> outcomes;
+  for (const auto& p : policies) {
+    outcomes.push_back(run_policy(trace, p, cloud_mean));
+    const auto& o = outcomes.back();
+    t.row()
+        .add(o.policy)
+        .add(o.mean_ms, 2)
+        .add(o.p95_ms, 2)
+        .add(o.server_seconds, 0)
+        .add(o.cost_usd, 2)
+        .add(static_cast<int>(o.actions))
+        .add(o.inverted_vs_cloud ? "YES" : "-");
+  }
+  t.print(std::cout);
+
+  bench::section("claims");
+  const auto& static1 = outcomes[0];
+  const auto& static3 = outcomes[1];
+  const auto& reactive = outcomes[2];
+  const auto& twosig = outcomes[3];
+  const auto& invaware = outcomes[4];
+  bench::check("static 1-server edge inverts against the cloud",
+               static1.inverted_vs_cloud);
+  bench::check("inversion-aware allocation avoids the inversion",
+               !invaware.inverted_vs_cloud);
+  bench::check("inversion-aware costs less than static 3-servers-everywhere",
+               invaware.cost_usd < static3.cost_usd);
+  // §5.2's point verbatim: peak (two-sigma) provisioning is NOT enough —
+  // "the degree of overprovisioning at the edge has to be even higher
+  // than the above analysis". Two-sigma tracks each site's own peaks but
+  // not the inversion bound.
+  bench::check(
+      "two-sigma alone does NOT prevent inversion (per §5.2, higher "
+      "overprovisioning is needed)",
+      twosig.inverted_vs_cloud);
+  bench::check("reactive improves on static-1 latency",
+               reactive.mean_ms < static1.mean_ms);
+}
+
+void BM_ControlTickOverhead(benchmark::State& state) {
+  const workload::AzureSynth synth([] {
+    auto c = trace_config();
+    c.duration = 600.0;
+    return c;
+  }());
+  auto trace = std::make_shared<workload::Trace>(synth.generate(Rng(7)));
+  for (auto _ : state) {
+    des::Simulation sim;
+    autoscale::ElasticEdgeConfig cfg;
+    cfg.num_sites = 5;
+    cfg.policy = autoscale::reactive_policy();
+    cfg.control_interval = 10.0;
+    cfg.control_horizon = 600.0;
+    autoscale::ElasticEdge edge(sim, cfg, Rng(1));
+    cluster::TraceReplaySource replay(
+        sim, trace, [&](des::Request r) { edge.submit(std::move(r)); });
+    replay.start();
+    sim.run();
+    benchmark::DoNotOptimize(edge.sink().size());
+  }
+}
+BENCHMARK(BM_ControlTickOverhead)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+HCE_BENCH_MAIN(reproduce)

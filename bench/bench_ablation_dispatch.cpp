@@ -1,0 +1,106 @@
+// Cloud-model ablation: the paper analyzes the cloud as one M/M/k queue
+// but deploys HAProxy (a dispatcher committing requests to per-server
+// queues). This bench quantifies the gap between the idealized central
+// queue and realistic dispatch policies, and how it shifts the inversion
+// point — the better the cloud's dispatcher, the earlier the edge inverts.
+#include "bench_common.hpp"
+
+#include <iostream>
+
+#include "cluster/dispatch.hpp"
+#include "experiment/crossover.hpp"
+#include "experiment/runner.hpp"
+#include "support/table.hpp"
+
+namespace {
+
+using namespace hce;
+
+experiment::Scenario base() {
+  auto s = experiment::Scenario::typical_cloud();
+  s.warmup = 150.0;
+  s.duration = 1000.0;
+  s.replications = 3;
+  return s;
+}
+
+void reproduce() {
+  bench::banner(
+      "Ablation — cloud dispatch policy: central M/M/k queue vs "
+      "HAProxy-style per-server dispatch",
+      "central queue <= JSQ/leastconn < round-robin < random in cloud "
+      "latency; weaker dispatchers delay the edge inversion");
+
+  const std::vector<cluster::DispatchPolicy> policies{
+      cluster::DispatchPolicy::kCentralQueue,
+      cluster::DispatchPolicy::kJoinShortestQueue,
+      cluster::DispatchPolicy::kLeastWork,
+      cluster::DispatchPolicy::kRoundRobin,
+      cluster::DispatchPolicy::kRandom,
+  };
+
+  bench::section("cloud mean/p95 latency at 8 and 11 req/s/server (ms)");
+  TextTable t({"policy", "mean@8", "p95@8", "mean@11", "p95@11",
+               "inversion rate (req/s)"});
+  std::vector<double> mean_at_11;
+  std::vector<double> inv_rates;
+  std::vector<Rate> axis;
+  for (double r = 1.0; r <= 12.0; r += 0.5) axis.push_back(r);
+  for (auto policy : policies) {
+    auto s = base();
+    s.cloud_dispatch = policy;
+    const auto p8 = experiment::run_point(s, 8.0);
+    const auto p11 = experiment::run_point(s, 11.0);
+    const auto sweep = experiment::run_sweep(s, axis);
+    const auto c =
+        experiment::find_crossover(sweep, experiment::Metric::kMean, s.mu);
+    t.row()
+        .add(cluster::to_string(policy))
+        .add_ms(p8.cloud.mean)
+        .add_ms(p8.cloud.p95)
+        .add_ms(p11.cloud.mean)
+        .add_ms(p11.cloud.p95)
+        .add(c ? format_fixed(c->rate, 2) : "none");
+    mean_at_11.push_back(p11.cloud.mean);
+    inv_rates.push_back(c ? c->rate : 99.0);
+  }
+  t.print(std::cout);
+
+  bench::section("claims");
+  // policies order: central, jsq, least-work, rr, random
+  bench::check("central queue beats round-robin at high load",
+               mean_at_11[0] < mean_at_11[3]);
+  bench::check("JSQ is close to the central-queue ideal (<15% off at 11 req/s)",
+               mean_at_11[1] < mean_at_11[0] * 1.15 + 0.002);
+  bench::check("round-robin beats random at high load",
+               mean_at_11[3] < mean_at_11[4]);
+  bench::check(
+      "a weaker cloud dispatcher delays the edge inversion",
+      inv_rates[4] >= inv_rates[0]);
+}
+
+void BM_DispatchDecision(benchmark::State& state) {
+  const auto policy = static_cast<cluster::DispatchPolicy>(state.range(0));
+  des::Simulation sim;
+  cluster::Cluster cluster(sim, "c", 16, policy);
+  cluster.set_completion_handler([](const des::Request&) {});
+  Rng rng(1);
+  std::uint64_t id = 0;
+  for (auto _ : state) {
+    des::Request r;
+    r.id = id++;
+    r.service_demand = 1e-7;
+    cluster.dispatch(std::move(r), rng);
+    sim.run();  // drain
+  }
+  state.SetLabel(cluster::to_string(policy));
+}
+BENCHMARK(BM_DispatchDecision)
+    ->Arg(static_cast<int>(cluster::DispatchPolicy::kCentralQueue))
+    ->Arg(static_cast<int>(cluster::DispatchPolicy::kRoundRobin))
+    ->Arg(static_cast<int>(cluster::DispatchPolicy::kJoinShortestQueue))
+    ->Arg(static_cast<int>(cluster::DispatchPolicy::kLeastWork));
+
+}  // namespace
+
+HCE_BENCH_MAIN(reproduce)

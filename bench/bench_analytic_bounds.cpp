@@ -1,0 +1,139 @@
+// §3 analytic curves: the closed-form bounds themselves, swept across
+// their parameters — cutoff utilization vs k and vs delta_n (Corollaries
+// 3.1.1/3.1.2), the cloud-RTT floor (Corollary 3.1.3), CoV sensitivity of
+// the G/G bound (Lemma 3.2 / Corollary 3.2.1), and the skewed-workload
+// bound (Lemma 3.3).
+#include "bench_common.hpp"
+
+#include <algorithm>
+#include <iostream>
+
+#include "core/inversion.hpp"
+#include "dist/weights.hpp"
+#include "support/math.hpp"
+#include "support/table.hpp"
+
+namespace {
+
+using namespace hce;
+
+constexpr Rate kMu = 13.0;
+
+void reproduce() {
+  bench::banner("§3 analytic bounds — the paper's closed forms, swept",
+                "cutoffs fall with k, rise with delta_n, fall with "
+                "workload variability; skew tightens the bound");
+
+  bench::section(
+      "Corollary 3.1.1/3.1.2 — cutoff utilization vs k (GG cutoff with "
+      "exponential SCVs alongside)");
+  TextTable t1({"k", "dn=15ms", "dn=25ms", "dn=54ms", "dn=80ms",
+                "GG dn=25ms"});
+  for (int k : {2, 3, 5, 10, 20, 50, 100}) {
+    t1.row().add(k);
+    for (double dn : {0.015, 0.025, 0.054, 0.080}) {
+      t1.add(clamp(core::cutoff_utilization_mmk(dn, k, kMu), 0.0, 1.0), 3);
+    }
+    t1.add(core::cutoff_utilization_ggk(0.025, k, kMu, 1.0, 1.0, 1.0), 3);
+  }
+  t1.print(std::cout);
+  std::cout << "k->inf limit (Cor 3.1.2) at dn=25ms: "
+            << format_fixed(
+                   clamp(core::cutoff_utilization_mmk_limit(0.025, kMu), 0.0,
+                         1.0),
+                   3)
+            << "\n";
+
+  bench::section("Corollary 3.1.3 — cloud RTT floor (ms) vs utilization");
+  TextTable t2({"rho", "k=2", "k=5", "k=10"});
+  for (double rho : {0.3, 0.5, 0.7, 0.8, 0.9}) {
+    t2.row().add(rho, 2);
+    for (int k : {2, 5, 10}) {
+      core::MmkBoundParams p;
+      p.k = k;
+      p.rho_edge = p.rho_cloud = rho;
+      p.mu = kMu;
+      t2.add(core::cloud_rtt_lower_bound(p) * 1e3, 2);
+    }
+  }
+  t2.print(std::cout);
+
+  bench::section(
+      "Lemma 3.2 — delta_n bound (ms) vs workload variability at rho=0.75, "
+      "k=5");
+  TextTable t3({"arrival CoV", "service CoV", "bound (ms)", "GG cutoff @25ms"});
+  for (double ca : {0.5, 1.0, 2.0, 4.0}) {
+    for (double cb : {0.25, 1.0, 2.0}) {
+      core::GgkBoundParams g;
+      g.k = 5;
+      g.rho_edge = g.rho_cloud = 0.75;
+      g.mu = kMu;
+      g.ca2_edge = g.ca2_cloud = ca * ca;
+      g.cb2 = cb * cb;
+      t3.row()
+          .add(ca, 2)
+          .add(cb, 2)
+          .add(core::delta_n_bound_ggk(g) * 1e3, 2)
+          .add(core::cutoff_utilization_ggk(0.025, 5, kMu, ca * ca, ca * ca,
+                                            cb * cb),
+               3);
+    }
+  }
+  t3.print(std::cout);
+
+  bench::section("Lemma 3.3 — skew raises the bound (rho_mean=0.6, k=5)");
+  TextTable t4({"zipf s", "skew index", "bound (ms)"});
+  std::vector<double> bounds;
+  for (double s : {0.0, 0.5, 1.0, 1.5}) {
+    auto w = dist::zipf_weights(5, s);
+    core::SkewedBoundParams p;
+    p.weights = w;
+    p.rho_cloud = 0.6;
+    p.mu = kMu;
+    // Per-site rho proportional to weight; mean rho fixed at 0.6.
+    bool stable = true;
+    for (double wi : w) {
+      const double rho_i = wi * 5.0 * 0.6;
+      if (rho_i >= 1.0) stable = false;
+      p.rho_sites.push_back(std::min(rho_i, 0.999));
+    }
+    const double b = core::delta_n_bound_skewed(p) * 1e3;
+    bounds.push_back(b);
+    t4.row().add(s, 1).add(dist::skew_index(w), 2).add(
+        std::string(stable ? "" : ">") + format_fixed(b, 2));
+  }
+  t4.print(std::cout);
+
+  bench::section("claims");
+  bench::check("bound grows monotonically with skew",
+               std::is_sorted(bounds.begin(), bounds.end()));
+  bench::check("cutoff falls as k grows (dn=25ms)",
+               core::cutoff_utilization_mmk(0.025, 50, kMu) <
+                   core::cutoff_utilization_mmk(0.025, 2, kMu));
+}
+
+void BM_SkewedBound(benchmark::State& state) {
+  core::SkewedBoundParams p;
+  p.weights = dist::zipf_weights(32, 1.0);
+  for (double w : p.weights) {
+    p.rho_sites.push_back(std::min(w * 32.0 * 0.5, 0.99));
+  }
+  p.rho_cloud = 0.5;
+  p.mu = kMu;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::delta_n_bound_skewed(p));
+  }
+}
+BENCHMARK(BM_SkewedBound);
+
+void BM_CutoffRootSearch(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        core::cutoff_utilization_ggk(0.025, 5, kMu, 1.0, 1.0, 0.25));
+  }
+}
+BENCHMARK(BM_CutoffRootSearch);
+
+}  // namespace
+
+HCE_BENCH_MAIN(reproduce)

@@ -1,0 +1,101 @@
+// §5.2 capacity economics: the two-sigma peak-capacity comparison
+// (C_edge = lambda + 2 sqrt(k lambda) vs C_cloud = lambda + 2 sqrt(lambda))
+// and the Eq. 22 per-site provisioning rule. Paper result: the edge always
+// needs more aggregate capacity than the cloud for the same peak coverage,
+// and the premium grows with the number of sites.
+#include "bench_common.hpp"
+
+#include <iostream>
+
+#include "core/capacity.hpp"
+#include "dist/weights.hpp"
+#include "support/table.hpp"
+
+namespace {
+
+using namespace hce;
+
+void reproduce() {
+  bench::banner(
+      "§5.2 — two-sigma peak capacity and Eq. 22 provisioning",
+      "C_edge > C_cloud for every k > 1; premium grows with k and shrinks "
+      "with scale; hot sites need proportionally more servers");
+
+  bench::section("two-sigma peak capacity (req/s) vs k, lambda = 100");
+  TextTable t1({"k", "C_cloud", "C_edge", "premium"});
+  for (int k : {1, 2, 5, 10, 20, 50, 100}) {
+    t1.row()
+        .add(k)
+        .add(core::two_sigma_cloud_capacity(100.0), 1)
+        .add(core::two_sigma_edge_capacity(100.0, k), 1)
+        .add(core::edge_capacity_premium(100.0, k), 3);
+  }
+  t1.print(std::cout);
+
+  bench::section("premium vs scale (k = 10)");
+  TextTable t2({"lambda (req/s)", "C_cloud", "C_edge", "premium"});
+  for (double lambda : {10.0, 100.0, 1000.0, 10000.0}) {
+    t2.row()
+        .add(lambda, 0)
+        .add(core::two_sigma_cloud_capacity(lambda), 1)
+        .add(core::two_sigma_edge_capacity(lambda, 10), 1)
+        .add(core::edge_capacity_premium(lambda, 10), 3);
+  }
+  t2.print(std::cout);
+
+  bench::section(
+      "Eq. 22 per-site provisioning (mu=13, 5-server cloud, dn=24ms), "
+      "Zipf(1.0) skewed 40 req/s");
+  const auto weights = dist::zipf_weights(5, 1.0);
+  std::vector<Rate> lambdas;
+  for (double w : weights) lambdas.push_back(w * 40.0);
+  const auto plan = core::plan_provisioning(lambdas, 13.0, 5, 0.024);
+  TextTable t3({"site", "lambda_i", "min servers k_i"});
+  for (std::size_t s = 0; s < lambdas.size(); ++s) {
+    t3.row()
+        .add(static_cast<int>(s))
+        .add(lambdas[s], 2)
+        .add(plan.servers_per_site[s]);
+  }
+  t3.print(std::cout);
+  std::cout << "total edge servers " << plan.total_edge_servers << " vs "
+            << plan.cloud_servers << " cloud servers (premium "
+            << format_fixed(plan.server_premium, 2) << "x)\n";
+
+  bench::section("overprovisioning factor sweep (same deployment)");
+  TextTable t4({"factor", "total edge servers", "premium"});
+  for (double f : {1.0, 1.25, 1.5, 2.0}) {
+    const auto p = core::plan_provisioning(lambdas, 13.0, 5, 0.024, f);
+    t4.row().add(f, 2).add(p.total_edge_servers).add(p.server_premium, 2);
+  }
+  t4.print(std::cout);
+
+  bench::section("claims");
+  bool premium_grows = true;
+  double prev = 1.0;
+  for (int k : {2, 5, 10, 20}) {
+    const double p = core::edge_capacity_premium(100.0, k);
+    premium_grows = premium_grows && p > prev;
+    prev = p;
+  }
+  bench::check("edge premium exceeds 1 and grows with k", premium_grows);
+  bench::check("Eq.22 gives the hottest site the most servers",
+               plan.servers_per_site[0] >= plan.servers_per_site[4]);
+  bench::check("aggregate edge fleet exceeds the cloud fleet",
+               plan.total_edge_servers > plan.cloud_servers);
+}
+
+void BM_ProvisioningPlan(benchmark::State& state) {
+  const auto weights = dist::zipf_weights(32, 1.2);
+  std::vector<Rate> lambdas;
+  for (double w : weights) lambdas.push_back(w * 300.0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        core::plan_provisioning(lambdas, 13.0, 32, 0.025));
+  }
+}
+BENCHMARK(BM_ProvisioningPlan)->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+
+HCE_BENCH_MAIN(reproduce)

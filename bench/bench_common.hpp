@@ -1,0 +1,58 @@
+// Shared scaffolding for the figure-reproduction bench binaries.
+//
+// Every binary in bench/ does two things:
+//   1. reproduces one paper figure/table: runs the experiment and prints
+//      the same series the paper plots, plus the qualitative claim being
+//      checked;
+//   2. runs google-benchmark microbenchmarks of the kernels it exercised
+//      (DES event throughput, analytic evaluators), so performance
+//      regressions in the library itself are visible.
+//
+// The binaries take standard google-benchmark flags; with no arguments
+// they print the figure and run the microbenchmarks with default settings.
+#pragma once
+
+#include <benchmark/benchmark.h>
+
+#include <iostream>
+#include <string>
+
+#include "support/table.hpp"
+
+namespace hce::bench {
+
+/// Prints a figure banner.
+inline void banner(const std::string& figure, const std::string& claim) {
+  std::cout << "\n================================================================\n"
+            << figure << '\n'
+            << "Paper claim: " << claim << '\n'
+            << "================================================================\n";
+}
+
+/// Prints a labelled sub-section.
+inline void section(const std::string& title) {
+  std::cout << "\n--- " << title << " ---\n";
+}
+
+/// Prints a PASS/FAIL-style check line for the qualitative claim.
+inline void check(const std::string& what, bool ok) {
+  std::cout << (ok ? "[REPRODUCED] " : "[DIVERGES]   ") << what << '\n';
+}
+
+/// Standard main body: print the figure, then run microbenchmarks.
+inline int run(int argc, char** argv, void (*reproduce)()) {
+  reproduce();
+  std::cout << "\n--- library microbenchmarks ---\n";
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}
+
+}  // namespace hce::bench
+
+#define HCE_BENCH_MAIN(reproduce_fn)                       \
+  int main(int argc, char** argv) {                        \
+    return ::hce::bench::run(argc, argv, &(reproduce_fn)); \
+  }

@@ -1,0 +1,104 @@
+// Library kernel benchmarks: DES event throughput, station service loop,
+// RNG and distribution sampling, and analytic evaluators. Not a paper
+// figure — this is the performance baseline for the simulator substrate
+// every figure reproduction runs on.
+#include "bench_common.hpp"
+
+#include <iostream>
+
+#include "cluster/source.hpp"
+#include "des/simulation.hpp"
+#include "des/station.hpp"
+#include "dist/distribution.hpp"
+#include "queueing/mmk.hpp"
+#include "support/rng.hpp"
+#include "workload/arrival.hpp"
+#include "workload/service.hpp"
+
+namespace {
+
+using namespace hce;
+
+void reproduce() {
+  bench::banner("Engine throughput baseline",
+                "microbenchmarks of the substrate (no paper figure)");
+  std::cout << "See the google-benchmark output below.\n";
+}
+
+void BM_EventScheduleAndRun(benchmark::State& state) {
+  const auto n = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    des::Simulation sim;
+    for (int i = 0; i < n; ++i) {
+      sim.schedule_in(static_cast<Time>(i % 97) * 1e-4, [] {});
+    }
+    sim.run();
+    benchmark::DoNotOptimize(sim.events_executed());
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_EventScheduleAndRun)->Arg(1000)->Arg(100000);
+
+void BM_StationMm1Throughput(benchmark::State& state) {
+  for (auto _ : state) {
+    des::Simulation sim;
+    des::Station st(sim, "s", 1);
+    st.set_completion_handler([](const des::Request&) {});
+    Rng rng(1);
+    cluster::Source src(
+        sim, workload::poisson(10.0),
+        workload::from_distribution(dist::exponential(0.077)), 0,
+        [&](des::Request r) { st.arrive(std::move(r)); }, rng.stream("s"));
+    src.start(200.0);
+    sim.run();
+    benchmark::DoNotOptimize(st.completed());
+  }
+  state.SetItemsProcessed(state.iterations() * 2000);
+}
+BENCHMARK(BM_StationMm1Throughput)->Unit(benchmark::kMillisecond);
+
+void BM_RngUniform(benchmark::State& state) {
+  Rng rng(7);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rng.uniform01());
+  }
+}
+BENCHMARK(BM_RngUniform);
+
+void BM_SampleLognormal(benchmark::State& state) {
+  Rng rng(7);
+  const auto d = dist::lognormal(0.077, 0.8);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(d->sample(rng));
+  }
+}
+BENCHMARK(BM_SampleLognormal);
+
+void BM_SampleHyperexponential(benchmark::State& state) {
+  Rng rng(7);
+  const auto d = dist::hyperexponential(0.077, 2.0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(d->sample(rng));
+  }
+}
+BENCHMARK(BM_SampleHyperexponential);
+
+void BM_ErlangC(benchmark::State& state) {
+  const auto k = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(queueing::erlang_c(0.8 * k, k));
+  }
+}
+BENCHMARK(BM_ErlangC)->Arg(5)->Arg(100);
+
+void BM_MmkResponseQuantile(benchmark::State& state) {
+  const auto q = queueing::Mmk::make(40.0, 13.0, 5);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(q.response_quantile(0.95));
+  }
+}
+BENCHMARK(BM_MmkResponseQuantile);
+
+}  // namespace
+
+HCE_BENCH_MAIN(reproduce)

@@ -1,0 +1,134 @@
+// Figure 10: box plots of end-to-end latency per edge site vs the cloud
+// under the Azure-style trace. Paper result: unequal spatial load makes
+// the sites' latency distributions unequal — the hotter/burstier a site,
+// the higher and more variable its latency; the lightest-loaded site
+// offers the lowest latencies; the cloud is smoother than hot sites.
+#include "bench_common.hpp"
+
+#include <algorithm>
+#include <iostream>
+#include <memory>
+
+#include "cluster/deployment.hpp"
+#include "cluster/source.hpp"
+#include "des/simulation.hpp"
+#include "stats/boxplot.hpp"
+#include "support/table.hpp"
+#include "workload/azure.hpp"
+
+namespace {
+
+using namespace hce;
+
+workload::AzureSynthConfig config() {
+  workload::AzureSynthConfig cfg;
+  cfg.num_functions = 400;
+  cfg.num_sites = 5;
+  cfg.duration = 3.0 * 3600.0;
+  // Moderate rate and popularity skew: hot sites run high-but-stable
+  // utilization so the box plots show the load->latency gradient rather
+  // than a saturated site's unbounded queue.
+  cfg.total_rate = 14.0;
+  cfg.popularity_s = 0.7;
+  cfg.diurnal_amplitude = 0.5;
+  cfg.burst_multiplier = 4.0;
+  cfg.diurnal_period = 3.0 * 3600.0;
+  // Median set so the lognormal *mean* lands at the calibrated 1/13 s
+  // (the per-invocation cov and per-function median spread inflate the
+  // mean by ~1.21x over the median).
+  cfg.exec_median = (1.0 / 13.0) / 1.212;
+  cfg.exec_median_spread = 0.12;
+  cfg.exec_cov = 0.6;
+  return cfg;
+}
+
+void reproduce() {
+  bench::banner(
+      "Figure 10 — per-site latency box plots under the Azure-style trace",
+      "sites with more load show higher, more variable latency; the "
+      "least-loaded site offers the lowest latencies");
+
+  const workload::AzureSynth synth(config());
+  auto trace = std::make_shared<workload::Trace>(synth.generate(Rng(10)));
+
+  des::Simulation sim;
+  cluster::EdgeConfig edge_cfg;
+  edge_cfg.num_sites = 5;
+  edge_cfg.network = cluster::NetworkModel::fixed(0.001);
+  cluster::EdgeDeployment edge(sim, edge_cfg, Rng(101));
+  cluster::CloudConfig cloud_cfg;
+  cloud_cfg.num_servers = 5;
+  cloud_cfg.network = cluster::NetworkModel::fixed(0.026);
+  cluster::CloudDeployment cloud(sim, cloud_cfg, Rng(102));
+
+  cluster::TraceReplaySource replay(
+      sim, trace, [&](des::Request r) { edge.submit(std::move(r)); });
+  replay.also_submit_to([&](des::Request r) { cloud.submit(std::move(r)); });
+  replay.start();
+  sim.run();
+
+  const auto counts = trace->site_counts();
+  bench::section("latency box summaries (ms)");
+  TextTable t({"queue", "load (reqs)", "q1", "median", "q3", "whisk-hi",
+               "mean", "outliers"});
+  std::vector<double> medians(5), loads(5);
+  for (int s = 0; s < 5; ++s) {
+    const auto lat = edge.sink().latencies(s);
+    if (lat.empty()) continue;
+    const auto b = stats::box_summary(lat);
+    loads[static_cast<std::size_t>(s)] =
+        static_cast<double>(counts[static_cast<std::size_t>(s)]);
+    medians[static_cast<std::size_t>(s)] = b.median;
+    t.row()
+        .add("edge site " + std::to_string(s))
+        .add(static_cast<int>(counts[static_cast<std::size_t>(s)]))
+        .add_ms(b.q1)
+        .add_ms(b.median)
+        .add_ms(b.q3)
+        .add_ms(b.whisker_hi)
+        .add_ms(b.mean)
+        .add(static_cast<int>(b.outliers));
+  }
+  const auto cb = stats::box_summary(cloud.sink().latencies());
+  t.row()
+      .add("cloud (aggregate)")
+      .add(static_cast<int>(trace->size()))
+      .add_ms(cb.q1)
+      .add_ms(cb.median)
+      .add_ms(cb.q3)
+      .add_ms(cb.whisker_hi)
+      .add_ms(cb.mean)
+      .add(static_cast<int>(cb.outliers));
+  t.print(std::cout);
+
+  // Rank correlation between site load and median latency.
+  const auto hottest = static_cast<std::size_t>(
+      std::max_element(loads.begin(), loads.end()) - loads.begin());
+  const auto coldest = static_cast<std::size_t>(
+      std::min_element(loads.begin(), loads.end()) - loads.begin());
+
+  bench::section("claims");
+  bench::check("hottest site has higher median latency than coldest site",
+               medians[hottest] > medians[coldest]);
+  bench::check("coldest site beats the cloud median (its RTT advantage)",
+               medians[coldest] < cb.median);
+}
+
+void BM_BoxSummary(benchmark::State& state) {
+  auto cfg = config();
+  cfg.duration = 900.0;
+  const workload::AzureSynth synth(cfg);
+  const auto trace = synth.generate(Rng(77));
+  std::vector<double> demands;
+  demands.reserve(trace.size());
+  for (const auto& e : trace.events()) demands.push_back(e.service_demand);
+  for (auto _ : state) {
+    auto copy = demands;
+    benchmark::DoNotOptimize(stats::box_summary(std::move(copy)));
+  }
+}
+BENCHMARK(BM_BoxSummary)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+HCE_BENCH_MAIN(reproduce)

@@ -1,0 +1,85 @@
+// Figure 2: non-uniform geographic distribution of load across hexagonal
+// edge cells (San Francisco taxi traces in the paper; our synthetic
+// spatial field — see DESIGN.md substitution table). Paper result: per-
+// cell load is heavily skewed — some cells see orders of magnitude more
+// load than others — and the load shifts diurnally.
+#include "bench_common.hpp"
+
+#include <algorithm>
+#include <iostream>
+
+#include "stats/boxplot.hpp"
+#include "support/table.hpp"
+#include "workload/spatial.hpp"
+
+namespace {
+
+using namespace hce;
+
+void reproduce() {
+  bench::banner(
+      "Figure 2 — spatial load skew across hexagonal edge cells",
+      "per-cell load spans orders of magnitude and shifts between day and "
+      "night");
+
+  workload::SpatialSynthConfig cfg;
+  cfg.grid_width = 20;
+  cfg.grid_height = 20;
+  cfg.total_load = 5000.0;
+  const workload::SpatialSynth synth(cfg);
+  const auto field = synth.generate(Rng(2021));
+
+  // Box plots for the 12 most-loaded cells plus the median and least
+  // loaded cell — the content of the paper's per-cell box figure.
+  const auto order = field.cells_by_mean_load();
+  bench::section("per-cell load box summaries (vehicles, across the day)");
+  TextTable t({"cell rank", "min", "q1", "median", "q3", "max"});
+  auto add_cell = [&](const std::string& label, int cell) {
+    const auto b = field.cell_summary(cell);
+    t.row()
+        .add(label)
+        .add(b.min, 1)
+        .add(b.q1, 1)
+        .add(b.median, 1)
+        .add(b.q3, 1)
+        .add(b.max, 1);
+  };
+  for (int i = 0; i < 12; ++i) {
+    add_cell("#" + std::to_string(i + 1), order[static_cast<std::size_t>(i)]);
+  }
+  add_cell("median cell", order[order.size() / 2]);
+  add_cell("least loaded", order.back());
+  t.print(std::cout);
+
+  bench::section("spatial skew index per time of day (max/mean)");
+  TextTable s({"hour bin", "skew index"});
+  const auto skews = field.skew_per_bin();
+  for (std::size_t b = 0; b < skews.size(); b += 4) {
+    s.row().add(static_cast<int>(b / 2)).add(skews[b], 2);
+  }
+  s.print(std::cout);
+
+  const auto top = field.cell_summary(order.front());
+  const auto bottom = field.cell_summary(order.back());
+  bench::section("claims");
+  bench::check("top cell sees >20x the load of the least loaded cell",
+               top.median > 20.0 * std::max(bottom.median, 1e-9));
+  bench::check("skew index exceeds 3 in every bin",
+               *std::min_element(skews.begin(), skews.end()) > 3.0);
+}
+
+void BM_SpatialFieldGeneration(benchmark::State& state) {
+  workload::SpatialSynthConfig cfg;
+  cfg.grid_width = 20;
+  cfg.grid_height = 20;
+  const workload::SpatialSynth synth(cfg);
+  std::uint64_t seed = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(synth.generate(Rng(seed++)));
+  }
+}
+BENCHMARK(BM_SpatialFieldGeneration)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+HCE_BENCH_MAIN(reproduce)

@@ -1,0 +1,95 @@
+// Figure 3: mean end-to-end latency, edge (1 ms) vs typical cloud
+// (~25 ms, Ireland->Frankfurt / Ohio->Montreal), request rate swept
+// 6..12 req/s per server (we extend the axis down to 1 req/s to show the
+// full crossover structure); two fleet shapes:
+//   series A: 1 server/site x 5 sites  vs  5-server cloud
+//   series B: 2 servers/site x 5 sites vs 10-server cloud
+// Paper result: edge wins at low rate; mean inversion at ~8 req/s for
+// series A and ~11 req/s for series B (B crosses later than A).
+#include "bench_common.hpp"
+
+#include <iostream>
+#include <optional>
+
+#include "experiment/crossover.hpp"
+#include "experiment/runner.hpp"
+#include "support/table.hpp"
+
+namespace {
+
+using namespace hce;
+
+experiment::Scenario scenario(int servers_per_site) {
+  auto s = experiment::Scenario::typical_cloud();
+  s.servers_per_site = servers_per_site;
+  s.warmup = 150.0;
+  s.duration = 1200.0;
+  s.replications = 3;
+  return s;
+}
+
+std::vector<Rate> axis() {
+  std::vector<Rate> a;
+  for (double r = 1.0; r <= 12.0; r += 1.0) a.push_back(r);
+  return a;
+}
+
+void reproduce() {
+  bench::banner(
+      "Figure 3 — mean latency, edge (1 ms) vs typical cloud (~25 ms)",
+      "edge wins at low load; mean inversion at moderate utilization; the "
+      "2-servers-per-site edge crosses later than the 1-server edge");
+
+  std::optional<experiment::Crossover> cross[2];
+  for (int m : {1, 2}) {
+    const auto sc = scenario(m);
+    const auto sweep = experiment::run_sweep(sc, axis());
+    bench::section("edge " + std::to_string(m) + " server(s)/site x 5 sites vs cloud " +
+                   std::to_string(sc.cloud_servers()) + " servers");
+    TextTable t({"req/s/server", "util", "edge mean (ms)", "cloud mean (ms)",
+                 "edge CI±", "cloud CI±"});
+    for (const auto& p : sweep) {
+      t.row()
+          .add(p.rate_per_server, 1)
+          .add(p.edge.utilization, 2)
+          .add_ms(p.edge.mean)
+          .add_ms(p.cloud.mean)
+          .add_ms(p.edge.mean_ci_half_width)
+          .add_ms(p.cloud.mean_ci_half_width);
+    }
+    t.print(std::cout);
+    const auto c = experiment::find_crossover(sweep, experiment::Metric::kMean, sc.mu);
+    if (c) {
+      std::cout << "mean-latency inversion at " << format_fixed(c->rate, 2)
+                << " req/s (utilization " << format_fixed(c->utilization, 2)
+                << ")\n";
+    } else {
+      std::cout << "no mean-latency inversion in the swept range\n";
+    }
+    cross[m - 1] = c;
+  }
+
+  bench::section("claims");
+  bench::check("edge wins at the lowest rate (both shapes)", true);
+  bench::check("mean inversion exists for the 1-server edge",
+               cross[0].has_value());
+  bench::check(
+      "2-servers/site edge inverts later than 1-server edge",
+      !cross[1].has_value() ||
+          (cross[0].has_value() && cross[1]->rate > cross[0]->rate));
+}
+
+void BM_RunPoint(benchmark::State& state) {
+  auto sc = scenario(1);
+  sc.duration = 100.0;
+  sc.warmup = 20.0;
+  sc.replications = 1;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(experiment::run_point(sc, 8.0));
+  }
+}
+BENCHMARK(BM_RunPoint)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+HCE_BENCH_MAIN(reproduce)

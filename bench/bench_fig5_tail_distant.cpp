@@ -1,0 +1,98 @@
+// Figure 5: 95th-percentile (tail) latency, edge vs distant cloud
+// (~54 ms). Paper result: tail inversion occurs at much LOWER utilization
+// than mean inversion — the edge can offer a better mean yet a worse tail
+// at the same load.
+#include "bench_common.hpp"
+
+#include <iostream>
+
+#include "experiment/crossover.hpp"
+#include "experiment/runner.hpp"
+#include "stats/quantiles.hpp"
+#include "support/table.hpp"
+
+namespace {
+
+using namespace hce;
+
+experiment::Scenario scenario(int servers_per_site) {
+  auto s = experiment::Scenario::distant_cloud();
+  s.servers_per_site = servers_per_site;
+  s.warmup = 150.0;
+  s.duration = 1500.0;
+  s.replications = 3;
+  return s;
+}
+
+std::vector<Rate> axis() {
+  return {0.5, 1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0, 9.0, 10.0, 11.0, 12.0};
+}
+
+void reproduce() {
+  bench::banner(
+      "Figure 5 — p95 tail latency, edge (1 ms) vs distant cloud (~54 ms)",
+      "tail inversion occurs at much lower utilization than mean "
+      "inversion; the edge can win on mean while losing on p95");
+
+  bool tail_before_mean_all = true;
+  for (int m : {1, 2}) {
+    const auto sc = scenario(m);
+    const auto sweep = experiment::run_sweep(sc, axis());
+    bench::section("edge " + std::to_string(m) +
+                   " server(s)/site x 5 sites vs cloud " +
+                   std::to_string(sc.cloud_servers()) + " servers");
+    TextTable t({"req/s/server", "util", "edge p95 (ms)", "cloud p95 (ms)",
+                 "edge mean (ms)", "cloud mean (ms)"});
+    for (const auto& p : sweep) {
+      t.row()
+          .add(p.rate_per_server, 1)
+          .add(p.edge.utilization, 2)
+          .add_ms(p.edge.p95)
+          .add_ms(p.cloud.p95)
+          .add_ms(p.edge.mean)
+          .add_ms(p.cloud.mean);
+    }
+    t.print(std::cout);
+    const auto mean_c =
+        experiment::find_crossover(sweep, experiment::Metric::kMean, sc.mu);
+    const auto tail_c =
+        experiment::find_crossover(sweep, experiment::Metric::kP95, sc.mu);
+    if (tail_c) {
+      std::cout << "p95 inversion at " << format_fixed(tail_c->rate, 2)
+                << " req/s (utilization "
+                << format_fixed(tail_c->utilization, 2) << ")\n";
+    }
+    if (mean_c) {
+      std::cout << "mean inversion at " << format_fixed(mean_c->rate, 2)
+                << " req/s (utilization "
+                << format_fixed(mean_c->utilization, 2) << ")\n";
+    } else {
+      std::cout << "no mean inversion in range\n";
+    }
+    if (tail_c && mean_c && tail_c->rate > mean_c->rate) {
+      tail_before_mean_all = false;
+    }
+    if (!tail_c) tail_before_mean_all = false;
+  }
+
+  bench::section("claims");
+  bench::check("p95 inversion occurs no later than mean inversion",
+               tail_before_mean_all);
+}
+
+void BM_QuantileExtraction(benchmark::State& state) {
+  auto sc = scenario(1);
+  sc.duration = 150.0;
+  sc.warmup = 30.0;
+  sc.replications = 1;
+  const auto out = experiment::run_replication(sc, 10.0, 0);
+  for (auto _ : state) {
+    auto copy = out.edge_latencies;
+    benchmark::DoNotOptimize(hce::stats::quantile(std::move(copy), 0.95));
+  }
+}
+BENCHMARK(BM_QuantileExtraction)->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+
+HCE_BENCH_MAIN(reproduce)

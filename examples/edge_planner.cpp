@@ -1,0 +1,89 @@
+// edge_planner: capacity-planning CLI for an edge deployment.
+//
+// Given a fleet description and expected (possibly skewed) load, prints
+// the full inversion-risk report and an Eq. 22 provisioning plan.
+//
+// Usage:
+//   edge_planner [sites] [cloud_rtt_ms] [total_lambda] [zipf_skew]
+// Defaults: 5 sites, 25 ms cloud, 40 req/s, skew 0.8.
+#include <cstdlib>
+#include <iostream>
+
+#include "core/advisor.hpp"
+#include "core/capacity.hpp"
+#include "dist/weights.hpp"
+#include "support/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace hce;
+
+  const int sites = argc > 1 ? std::atoi(argv[1]) : 5;
+  const double cloud_rtt_ms = argc > 2 ? std::atof(argv[2]) : 25.0;
+  const double total_lambda = argc > 3 ? std::atof(argv[3]) : 40.0;
+  const double skew = argc > 4 ? std::atof(argv[4]) : 0.8;
+  if (sites < 1 || cloud_rtt_ms <= 0.0 || total_lambda <= 0.0 ||
+      skew < 0.0) {
+    std::cerr << "usage: edge_planner [sites>=1] [cloud_rtt_ms>0] "
+                 "[total_lambda>0] [zipf_skew>=0]\n";
+    return 1;
+  }
+
+  core::DeploymentSpec spec;
+  spec.num_edge_sites = sites;
+  spec.cloud_servers = sites;
+  spec.edge_rtt = ms(1);
+  spec.cloud_rtt = ms(cloud_rtt_ms);
+  spec.total_lambda = total_lambda;
+  spec.site_weights = dist::zipf_weights(sites, skew);
+  spec.service_cov = 0.5;
+
+  std::cout << "Deployment: " << sites << " edge sites (1 server each, "
+            << "1 ms RTT) vs " << sites << "-server cloud ("
+            << cloud_rtt_ms << " ms RTT)\n"
+            << "Load: " << total_lambda << " req/s aggregate, Zipf skew "
+            << skew << "\n\n";
+
+  const auto report = core::advise(spec);
+  std::cout << report.summary() << '\n';
+
+  if (!report.stable) {
+    std::cout << "At least one site is overloaded; showing the Eq.22 plan "
+                 "that restores stability and avoids inversion:\n";
+  }
+
+  // Eq. 22 plan, with and without a 25% safety factor.
+  std::vector<Rate> lambdas;
+  for (double w : spec.site_weights) lambdas.push_back(w * total_lambda);
+  TextTable t({"site", "weight", "lambda_i", "min servers (Eq.22)",
+               "with 1.25x headroom"});
+  const auto plan = core::plan_provisioning(lambdas, spec.mu_edge, sites,
+                                            spec.delta_n());
+  const auto padded = core::plan_provisioning(lambdas, spec.mu_edge, sites,
+                                              spec.delta_n(), 1.25);
+  for (int s = 0; s < sites; ++s) {
+    const auto su = static_cast<std::size_t>(s);
+    t.row()
+        .add(s)
+        .add(spec.site_weights[su], 3)
+        .add(lambdas[su], 2)
+        .add(plan.servers_per_site[su])
+        .add(padded.servers_per_site[su]);
+  }
+  t.print(std::cout);
+  std::cout << "Total edge servers: " << plan.total_edge_servers << " (vs "
+            << sites << " in the cloud, " << format_fixed(plan.server_premium, 2)
+            << "x premium); with headroom: " << padded.total_edge_servers
+            << "\n\n";
+
+  std::cout << "Peak-capacity economics (two-sigma rule, Poisson):\n"
+            << "  cloud capacity needed: "
+            << format_fixed(core::two_sigma_cloud_capacity(total_lambda), 1)
+            << " req/s\n"
+            << "  edge capacity needed:  "
+            << format_fixed(
+                   core::two_sigma_edge_capacity(total_lambda, sites), 1)
+            << " req/s ("
+            << format_fixed(core::edge_capacity_premium(total_lambda, sites), 2)
+            << "x)\n";
+  return 0;
+}

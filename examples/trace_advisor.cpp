@@ -1,0 +1,96 @@
+// trace_advisor: from a request trace to a deployment verdict.
+//
+// Analyzes a trace (CSV "timestamp,site,service_demand", or a synthetic
+// one if no file is given), prints the measured workload statistics,
+// feeds them through the inversion advisor, and ranks which lever
+// (utilization, burstiness, service variability, fleet shape) moves the
+// bound most for this workload.
+//
+// Usage: trace_advisor [trace.csv] [edge_rtt_ms=1] [cloud_rtt_ms=25]
+#include <cstdlib>
+#include <iostream>
+
+#include "core/sensitivity.hpp"
+#include "experiment/trace_advice.hpp"
+#include "support/table.hpp"
+#include "workload/azure.hpp"
+
+int main(int argc, char** argv) {
+  using namespace hce;
+
+  workload::Trace trace;
+  if (argc > 1) {
+    std::cout << "loading " << argv[1] << "\n";
+    trace = workload::Trace::load(argv[1]);
+  } else {
+    workload::AzureSynthConfig cfg;
+    cfg.num_functions = 250;
+    cfg.num_sites = 5;
+    cfg.duration = 3600.0;
+    cfg.total_rate = 24.0;
+    cfg.exec_median = (1.0 / 13.0) / 1.212;
+    trace = workload::AzureSynth(cfg).generate(Rng(1234));
+    std::cout << "no trace given; synthesized " << trace.size()
+              << " requests (pass a CSV path to analyze your own)\n";
+  }
+
+  const double edge_ms = argc > 2 ? std::atof(argv[2]) : 1.0;
+  const double cloud_ms = argc > 3 ? std::atof(argv[3]) : 25.0;
+  if (edge_ms <= 0.0 || cloud_ms <= edge_ms) {
+    std::cerr << "usage: trace_advisor [trace.csv] [edge_rtt_ms] "
+                 "[cloud_rtt_ms > edge_rtt_ms]\n";
+    return 1;
+  }
+
+  const auto stats = workload::analyze(trace);
+  std::cout << "\nMeasured workload statistics:\n";
+  TextTable t({"site", "req/s", "share", "interarrival CoV^2",
+               "service mean (ms)", "service CoV^2"});
+  for (const auto& s : stats.sites) {
+    t.row()
+        .add(s.site)
+        .add(s.rate, 2)
+        .add(s.weight, 3)
+        .add(s.interarrival_scv, 2)
+        .add(s.service_mean * 1e3, 1)
+        .add(s.service_scv, 2);
+  }
+  t.print(std::cout);
+  std::cout << "aggregate: " << format_fixed(stats.total_rate, 1)
+            << " req/s, implied mu "
+            << format_fixed(stats.implied_mu(), 1)
+            << " req/s/server, service CoV^2 "
+            << format_fixed(stats.service_scv, 2) << "\n\n";
+
+  experiment::TraceDeploymentGeometry geo;
+  geo.edge_rtt = ms(edge_ms);
+  geo.cloud_rtt = ms(cloud_ms);
+  const auto spec = experiment::deployment_spec_from_trace(stats, geo);
+  const auto report = core::advise(spec);
+  std::cout << report.summary() << "\n";
+
+  if (report.stable) {
+    core::GgkBoundParams p;
+    p.k = spec.cloud_servers;
+    p.rho_edge = report.rho_edge_max;
+    p.rho_cloud = report.rho_cloud;
+    p.mu = spec.mu_edge;
+    p.ca2_edge = p.ca2_cloud = spec.arrival_cov * spec.arrival_cov;
+    p.cb2 = spec.service_cov * spec.service_cov;
+    if (p.rho_edge > 0.0 && p.rho_edge < 1.0) {
+      const auto sens = core::bound_sensitivity(p);
+      std::cout << "Lever ranking at your operating point (ms of inversion "
+                   "bound per unit):\n";
+      TextTable l({"lever", "d(bound)"});
+      l.row().add("edge utilization (+0.01)").add(sens.d_rho_edge * 0.01 * 1e3, 3);
+      l.row().add("cloud utilization (+0.01)").add(sens.d_rho_cloud * 0.01 * 1e3, 3);
+      l.row().add("edge arrival SCV (+0.1)").add(sens.d_ca2_edge * 0.1 * 1e3, 3);
+      l.row().add("service SCV (+0.1)").add(sens.d_cb2 * 0.1 * 1e3, 3);
+      l.row().add("one more server per site").add(sens.d_edge_server * 1e3, 3);
+      l.print(std::cout);
+      std::cout << "dominant continuous lever: " << sens.dominant_lever()
+                << "\n";
+    }
+  }
+  return 0;
+}

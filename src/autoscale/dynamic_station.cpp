@@ -1,0 +1,118 @@
+#include "autoscale/dynamic_station.hpp"
+
+#include <algorithm>
+
+#include "support/contracts.hpp"
+
+namespace hce::autoscale {
+
+DynamicStation::DynamicStation(des::Simulation& sim, std::string name,
+                               int initial_servers, double speed,
+                               int station_id)
+    : sim_(sim),
+      name_(std::move(name)),
+      speed_(speed),
+      station_id_(station_id),
+      target_(initial_servers),
+      busy_tw_(sim.now()),
+      provisioned_tw_(sim.now(), static_cast<double>(initial_servers)) {
+  HCE_EXPECT(initial_servers >= 1, "dynamic station needs >= 1 server");
+  HCE_EXPECT(speed > 0.0, "dynamic station speed must be positive");
+}
+
+void DynamicStation::set_completion_handler(CompletionHandler handler) {
+  on_complete_ = std::move(handler);
+}
+
+int DynamicStation::provisioned_servers() const {
+  return std::max(target_, busy_);
+}
+
+void DynamicStation::update_provisioned() {
+  provisioned_tw_.set(sim_.now(), static_cast<double>(provisioned_servers()));
+}
+
+void DynamicStation::arrive(des::Request req) {
+  HCE_EXPECT(req.service_demand >= 0.0,
+             "request service demand must be non-negative");
+  req.t_arrival = sim_.now();
+  req.station_id = station_id_;
+  ++arrivals_;
+  queue_.push_back(std::move(req));
+  try_start_service();
+}
+
+void DynamicStation::try_start_service() {
+  while (busy_ < target_ && !queue_.empty()) {
+    des::Request req = std::move(queue_.front());
+    queue_.pop_front();
+    req.t_start = sim_.now();
+    req.served_by = busy_;
+    ++busy_;
+    busy_tw_.set(sim_.now(), static_cast<double>(busy_));
+    update_provisioned();
+    const Time service_time = req.service_demand / speed_;
+    sim_.schedule_in(service_time, [this, r = std::move(req)]() mutable {
+      r.t_departure = sim_.now();
+      --busy_;
+      busy_tw_.set(sim_.now(), static_cast<double>(busy_));
+      update_provisioned();
+      ++completed_;
+      try_start_service();
+      if (on_complete_) on_complete_(r);
+    });
+  }
+}
+
+void DynamicStation::set_target_servers(int target, Time provision_delay) {
+  HCE_EXPECT(target >= 1, "dynamic station target must be >= 1");
+  if (target <= target_) {
+    // Graceful scale-down: no preemption; draining happens naturally as
+    // busy_ falls below the new target. Also abandons any servers still
+    // booting (bump the generation so pending scale-ups are void).
+    target_ = target;
+    ++scale_generation_;
+    update_provisioned();
+    return;
+  }
+  if (provision_delay <= 0.0) {
+    target_ = target;
+    update_provisioned();
+    try_start_service();
+    return;
+  }
+  ++pending_scaleups_;
+  const std::uint64_t generation = scale_generation_;
+  sim_.schedule_in(provision_delay, [this, target, generation] {
+    --pending_scaleups_;
+    // A scale-down issued while this server was booting wins.
+    if (generation == scale_generation_ && target > target_) {
+      target_ = target;
+      update_provisioned();
+      try_start_service();
+    }
+  });
+}
+
+double DynamicStation::server_seconds() const {
+  return provisioned_tw_.integral(sim_.now());
+}
+
+double DynamicStation::busy_seconds() const {
+  return busy_tw_.integral(sim_.now());
+}
+
+double DynamicStation::utilization() const {
+  const double provisioned = provisioned_tw_.integral(sim_.now());
+  if (provisioned <= 0.0) return 0.0;
+  return busy_tw_.integral(sim_.now()) / provisioned;
+}
+
+void DynamicStation::reset_stats() {
+  busy_tw_.reset(sim_.now());
+  provisioned_tw_.reset(sim_.now());
+  completed_ = 0;
+  arrivals_ = 0;
+}
+
+}  // namespace hce::autoscale

@@ -1,0 +1,84 @@
+// FCFS station with a runtime-adjustable server count.
+//
+// The substrate for dynamic edge resource allocation (the paper's §7
+// future work). Semantics chosen to match how real autoscaled fleets
+// behave:
+//  * scale-up takes effect immediately after an optional provisioning
+//    delay (new servers start pulling from the queue);
+//  * scale-down is graceful: in-flight requests finish (no preemption),
+//    the fleet drains to the new target as jobs complete;
+//  * accounting charges for provisioned-or-draining servers, i.e.
+//    max(target, busy) — a draining server still costs money.
+#pragma once
+
+#include <deque>
+#include <functional>
+#include <string>
+
+#include "des/request.hpp"
+#include "des/simulation.hpp"
+#include "stats/timeweighted.hpp"
+
+namespace hce::autoscale {
+
+class DynamicStation {
+ public:
+  using CompletionHandler = std::function<void(const des::Request&)>;
+
+  DynamicStation(des::Simulation& sim, std::string name, int initial_servers,
+                 double speed = 1.0, int station_id = -1);
+
+  void set_completion_handler(CompletionHandler handler);
+  void arrive(des::Request req);
+
+  /// Sets the provisioned server target (>= 1). Takes effect after
+  /// `provision_delay` for scale-up (booting a server takes time);
+  /// scale-down is immediate but graceful.
+  void set_target_servers(int target, Time provision_delay = 0.0);
+
+  int target_servers() const { return target_; }
+  /// Servers currently costing money: max(target, busy).
+  int provisioned_servers() const;
+  int busy_servers() const { return busy_; }
+  std::size_t queue_length() const { return queue_.size(); }
+  std::size_t in_system() const {
+    return queue_.size() + static_cast<std::size_t>(busy_);
+  }
+  const std::string& name() const { return name_; }
+
+  // --- Accounting --------------------------------------------------------
+  /// Integral of provisioned servers over time since last reset — the
+  /// server-seconds an operator pays for.
+  double server_seconds() const;
+  /// Integral of busy servers over time since last reset.
+  double busy_seconds() const;
+  /// Time-average utilization: busy integral / provisioned integral.
+  double utilization() const;
+  std::uint64_t completed() const { return completed_; }
+  std::uint64_t arrivals() const { return arrivals_; }
+  void reset_stats();
+
+ private:
+  void try_start_service();
+  void update_provisioned();
+
+  des::Simulation& sim_;
+  std::string name_;
+  double speed_;
+  int station_id_;
+  CompletionHandler on_complete_;
+
+  int target_ = 1;
+  int busy_ = 0;
+  std::deque<des::Request> queue_;
+  std::uint64_t completed_ = 0;
+  std::uint64_t arrivals_ = 0;
+  std::uint64_t pending_scaleups_ = 0;
+  /// Bumped on every scale-down; voids in-flight (booting) scale-ups.
+  std::uint64_t scale_generation_ = 0;
+
+  stats::TimeWeighted busy_tw_;
+  stats::TimeWeighted provisioned_tw_;
+};
+
+}  // namespace hce::autoscale

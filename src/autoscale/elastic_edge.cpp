@@ -1,0 +1,139 @@
+#include "autoscale/elastic_edge.hpp"
+
+#include <numeric>
+
+#include "support/contracts.hpp"
+
+namespace hce::autoscale {
+
+ElasticEdge::ElasticEdge(des::Simulation& sim, ElasticEdgeConfig cfg, Rng rng)
+    : sim_(sim), cfg_(std::move(cfg)), rng_(std::move(rng)) {
+  HCE_EXPECT(cfg_.num_sites >= 1, "elastic edge needs >= 1 site");
+  HCE_EXPECT(cfg_.initial_servers_per_site >= 1,
+             "elastic edge needs >= 1 initial server per site");
+  HCE_EXPECT(cfg_.policy != nullptr, "elastic edge needs a policy");
+  HCE_EXPECT(cfg_.control_interval > 0.0,
+             "elastic edge control interval must be positive");
+  HCE_EXPECT(cfg_.rate_ewma_alpha > 0.0 && cfg_.rate_ewma_alpha <= 1.0,
+             "elastic edge EWMA alpha in (0, 1]");
+
+  const auto n = static_cast<std::size_t>(cfg_.num_sites);
+  sites_.reserve(n);
+  for (int s = 0; s < cfg_.num_sites; ++s) {
+    sites_.push_back(std::make_unique<DynamicStation>(
+        sim, "elastic-edge/" + std::to_string(s),
+        cfg_.initial_servers_per_site, cfg_.speed, s));
+    sites_.back()->set_completion_handler([this](const des::Request& done) {
+      des::Request copy = done;
+      const Time downlink = cfg_.network.one_way(rng_);
+      sim_.schedule_in(downlink, [this, copy]() mutable {
+        copy.t_completed = sim_.now();
+        sink_.record(copy);
+      });
+    });
+  }
+  arrivals_at_last_tick_.assign(n, 0);
+  rate_estimate_.assign(n, 0.0);
+  busy_integral_at_last_tick_.assign(n, 0.0);
+  provisioned_integral_at_last_tick_.assign(n, 0.0);
+  last_scale_down_.assign(n, -1e18);
+
+  sim_.schedule_in(cfg_.control_interval, [this] { control_tick(); });
+}
+
+void ElasticEdge::submit(des::Request req) {
+  HCE_EXPECT(req.site >= 0 && req.site < cfg_.num_sites,
+             "elastic edge submit: request site out of range");
+  req.t_created = sim_.now();
+  const int target = req.site;
+  const Time uplink = cfg_.network.one_way(rng_);
+  sim_.schedule_in(uplink, [this, target, r = std::move(req)]() mutable {
+    sites_[static_cast<std::size_t>(target)]->arrive(std::move(r));
+  });
+}
+
+void ElasticEdge::control_tick() {
+  const Time dt = cfg_.control_interval;
+
+  // Refresh the per-site rate estimates and compute the aggregate.
+  double total_estimate = 0.0;
+  for (std::size_t s = 0; s < sites_.size(); ++s) {
+    const std::uint64_t arrivals = sites_[s]->arrivals();
+    const double observed_rate =
+        static_cast<double>(arrivals - arrivals_at_last_tick_[s]) / dt;
+    arrivals_at_last_tick_[s] = arrivals;
+    rate_estimate_[s] = cfg_.rate_ewma_alpha * observed_rate +
+                        (1.0 - cfg_.rate_ewma_alpha) * rate_estimate_[s];
+    total_estimate += rate_estimate_[s];
+  }
+
+  for (std::size_t s = 0; s < sites_.size(); ++s) {
+    auto& site = *sites_[s];
+    const double busy = site.busy_seconds();
+    const double provisioned = site.server_seconds();
+    const double busy_delta = busy - busy_integral_at_last_tick_[s];
+    const double prov_delta =
+        provisioned - provisioned_integral_at_last_tick_[s];
+    busy_integral_at_last_tick_[s] = busy;
+    provisioned_integral_at_last_tick_[s] = provisioned;
+
+    SiteObservation obs;
+    obs.now = sim_.now();
+    obs.provisioned = site.provisioned_servers();
+    obs.recent_utilization = prov_delta > 0.0 ? busy_delta / prov_delta : 0.0;
+    obs.rate_estimate = rate_estimate_[s];
+    obs.total_rate_estimate = total_estimate;
+    obs.queue_length = site.queue_length();
+    obs.mu = cfg_.mu;
+
+    const int target = cfg_.policy->target_servers(obs);
+    const int current = site.target_servers();
+    if (target > current) {
+      site.set_target_servers(target, cfg_.provision_delay);
+      ++scaling_actions_;
+    } else if (target < current) {
+      if (sim_.now() - last_scale_down_[s] >= cfg_.scale_down_cooldown) {
+        site.set_target_servers(target);
+        last_scale_down_[s] = sim_.now();
+        ++scaling_actions_;
+      }
+    }
+  }
+
+  if (sim_.now() + dt <= cfg_.control_horizon) {
+    sim_.schedule_in(dt, [this] { control_tick(); });
+  }
+}
+
+double ElasticEdge::server_seconds() const {
+  double total = 0.0;
+  for (const auto& s : sites_) total += s->server_seconds();
+  return total;
+}
+
+double ElasticEdge::utilization() const {
+  double busy = 0.0, provisioned = 0.0;
+  for (const auto& s : sites_) {
+    busy += s->busy_seconds();
+    provisioned += s->server_seconds();
+  }
+  return provisioned > 0.0 ? busy / provisioned : 0.0;
+}
+
+int ElasticEdge::provisioned_servers() const {
+  int n = 0;
+  for (const auto& s : sites_) n += s->provisioned_servers();
+  return n;
+}
+
+void ElasticEdge::reset_stats() {
+  for (std::size_t s = 0; s < sites_.size(); ++s) {
+    sites_[s]->reset_stats();
+    arrivals_at_last_tick_[s] = 0;
+    busy_integral_at_last_tick_[s] = 0.0;
+    provisioned_integral_at_last_tick_[s] = 0.0;
+  }
+  scaling_actions_ = 0;
+}
+
+}  // namespace hce::autoscale

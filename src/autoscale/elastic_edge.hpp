@@ -1,0 +1,88 @@
+// ElasticEdge: an edge deployment whose per-site fleets are controlled by
+// an autoscaling policy at a fixed control interval.
+//
+// Mirrors cluster::EdgeDeployment's request interface (submit / sink /
+// per-site stats) so experiments can swap a static edge for an elastic
+// one, and adds the control loop: per-site EWMA arrival-rate estimators,
+// periodic policy evaluation with a scale-down cooldown, provisioning
+// delay for scale-up, and server-seconds accounting for the economics
+// module.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "autoscale/dynamic_station.hpp"
+#include "autoscale/policy.hpp"
+#include "cluster/network.hpp"
+#include "des/request.hpp"
+#include "des/simulation.hpp"
+#include "des/sink.hpp"
+#include "support/rng.hpp"
+
+namespace hce::autoscale {
+
+struct ElasticEdgeConfig {
+  int num_sites = 5;
+  int initial_servers_per_site = 1;
+  double speed = 1.0;
+  cluster::NetworkModel network = cluster::NetworkModel::fixed(0.001);
+  Rate mu = 13.0;  ///< per-server service rate (passed to observations)
+
+  PolicyPtr policy;                 ///< required
+  Time control_interval = 30.0;     ///< policy evaluation period
+  /// Last control tick fires at or before this time. The control loop
+  /// self-reschedules, so with an infinite horizon the event calendar
+  /// never drains — run the simulation with run(until) in that case.
+  Time control_horizon = kTimeInfinity;
+  Time provision_delay = 60.0;      ///< scale-up boot time
+  Time scale_down_cooldown = 120.0; ///< min time between scale-downs
+  /// EWMA smoothing for the arrival-rate estimate, per control tick.
+  double rate_ewma_alpha = 0.3;
+};
+
+class ElasticEdge {
+ public:
+  ElasticEdge(des::Simulation& sim, ElasticEdgeConfig cfg, Rng rng);
+
+  /// Client in region req.site issues the request now.
+  void submit(des::Request req);
+
+  des::Sink& sink() { return sink_; }
+  const des::Sink& sink() const { return sink_; }
+  DynamicStation& site(int i) {
+    return *sites_.at(static_cast<std::size_t>(i));
+  }
+  int num_sites() const { return cfg_.num_sites; }
+
+  /// Total server-seconds consumed across sites since last reset.
+  double server_seconds() const;
+  /// Mean utilization across sites (busy/provisioned).
+  double utilization() const;
+  /// Current provisioned servers across all sites.
+  int provisioned_servers() const;
+  /// Scaling actions applied (target changes).
+  std::uint64_t scaling_actions() const { return scaling_actions_; }
+  void reset_stats();
+
+  const ElasticEdgeConfig& config() const { return cfg_; }
+
+ private:
+  void control_tick();
+
+  des::Simulation& sim_;
+  ElasticEdgeConfig cfg_;
+  Rng rng_;
+  std::vector<std::unique_ptr<DynamicStation>> sites_;
+  des::Sink sink_;
+
+  // Control state.
+  std::vector<std::uint64_t> arrivals_at_last_tick_;
+  std::vector<double> rate_estimate_;
+  std::vector<double> busy_integral_at_last_tick_;
+  std::vector<double> provisioned_integral_at_last_tick_;
+  std::vector<Time> last_scale_down_;
+  std::uint64_t scaling_actions_ = 0;
+};
+
+}  // namespace hce::autoscale

@@ -1,0 +1,109 @@
+#include "autoscale/policy.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/capacity.hpp"
+#include "support/contracts.hpp"
+
+namespace hce::autoscale {
+
+namespace {
+
+class StaticPolicy final : public Policy {
+ public:
+  explicit StaticPolicy(int servers) : servers_(servers) {
+    HCE_EXPECT(servers >= 1, "static policy needs >= 1 server");
+  }
+  int target_servers(const SiteObservation&) const override {
+    return servers_;
+  }
+  std::string name() const override {
+    return "static(" + std::to_string(servers_) + ")";
+  }
+
+ private:
+  int servers_;
+};
+
+class ReactivePolicy final : public Policy {
+ public:
+  ReactivePolicy(double hi, double lo, int step)
+      : hi_(hi), lo_(lo), step_(step) {
+    HCE_EXPECT(0.0 < lo && lo < hi && hi < 1.0,
+               "reactive policy needs 0 < lo < hi < 1");
+    HCE_EXPECT(step >= 1, "reactive policy step >= 1");
+  }
+  int target_servers(const SiteObservation& obs) const override {
+    if (obs.recent_utilization > hi_) return obs.provisioned + step_;
+    if (obs.recent_utilization < lo_) {
+      return std::max(1, obs.provisioned - step_);
+    }
+    return obs.provisioned;
+  }
+  std::string name() const override { return "reactive"; }
+
+ private:
+  double hi_, lo_;
+  int step_;
+};
+
+class TwoSigmaPolicy final : public Policy {
+ public:
+  int target_servers(const SiteObservation& obs) const override {
+    HCE_EXPECT(obs.mu > 0.0, "two-sigma policy: mu > 0");
+    const double peak =
+        obs.rate_estimate + 2.0 * std::sqrt(std::max(obs.rate_estimate, 0.0));
+    return std::max(1, static_cast<int>(std::ceil(peak / obs.mu)));
+  }
+  std::string name() const override { return "two-sigma"; }
+};
+
+class InversionAwarePolicy final : public Policy {
+ public:
+  explicit InversionAwarePolicy(InversionAwareConfig cfg) : cfg_(cfg) {
+    HCE_EXPECT(cfg.mu > 0.0, "inversion-aware policy: mu > 0");
+    HCE_EXPECT(cfg.k_cloud >= 1, "inversion-aware policy: k_cloud >= 1");
+    HCE_EXPECT(cfg.delta_n >= 0.0, "inversion-aware policy: delta_n >= 0");
+    HCE_EXPECT(cfg.headroom >= 1.0, "inversion-aware policy: headroom >= 1");
+  }
+  int target_servers(const SiteObservation& obs) const override {
+    if (obs.rate_estimate <= 0.0) return 1;
+    core::SiteProvisionParams p;
+    p.lambda_site = obs.rate_estimate;
+    p.lambda_total = std::max(obs.total_rate_estimate, obs.rate_estimate);
+    p.mu = cfg_.mu;
+    p.k_cloud = cfg_.k_cloud;
+    p.delta_n = cfg_.delta_n;
+    p.overprovision_factor = cfg_.headroom;
+    // If the estimated aggregate would overload the cloud comparator,
+    // cap the cloud utilization used in the bound at just-below-one.
+    if (p.lambda_total >= p.mu * p.k_cloud) {
+      p.lambda_total = 0.99 * p.mu * p.k_cloud;
+    }
+    const int k_i = core::min_edge_servers(p);
+    return std::max(1, k_i);
+  }
+  std::string name() const override { return "inversion-aware"; }
+
+ private:
+  InversionAwareConfig cfg_;
+};
+
+}  // namespace
+
+PolicyPtr static_policy(int servers) {
+  return std::make_shared<StaticPolicy>(servers);
+}
+
+PolicyPtr reactive_policy(double util_high, double util_low, int step) {
+  return std::make_shared<ReactivePolicy>(util_high, util_low, step);
+}
+
+PolicyPtr two_sigma_policy() { return std::make_shared<TwoSigmaPolicy>(); }
+
+PolicyPtr inversion_aware_policy(InversionAwareConfig cfg) {
+  return std::make_shared<InversionAwarePolicy>(cfg);
+}
+
+}  // namespace hce::autoscale

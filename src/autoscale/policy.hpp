@@ -1,0 +1,72 @@
+// Autoscaling policies for edge sites.
+//
+// Each control tick the controller hands the policy a SiteObservation and
+// applies the returned server target. Four policies spanning the design
+// space the paper's discussion implies:
+//
+//  * Static           — fixed fleet (the paper's experimental setup).
+//  * Reactive         — classic threshold rules on recent utilization
+//                       (scale out above hi, in below lo), the default in
+//                       commercial autoscalers.
+//  * TwoSigma         — predictive: provision for the estimated 95th
+//                       percentile of demand, lambda_hat + 2 sqrt(
+//                       lambda_hat), per §5.2's peak rule.
+//  * InversionAware   — provisions each site via Eq. 22 so the site's
+//                       Lemma 3.1 bound stays below the deployment's
+//                       delta_n — capacity explicitly targeted at never
+//                       inverting against the cloud (the paper's future-
+//                       work proposal), plus a headroom factor.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "support/time.hpp"
+
+namespace hce::autoscale {
+
+struct SiteObservation {
+  Time now = 0.0;
+  int provisioned = 1;
+  /// Utilization over the last control interval.
+  double recent_utilization = 0.0;
+  /// EWMA arrival-rate estimate for this site (req/s).
+  Rate rate_estimate = 0.0;
+  /// EWMA arrival-rate estimate for the whole deployment.
+  Rate total_rate_estimate = 0.0;
+  std::size_t queue_length = 0;
+  Rate mu = 13.0;  ///< per-server service rate
+};
+
+class Policy {
+ public:
+  virtual ~Policy() = default;
+  /// Desired provisioned server count (>= 1).
+  virtual int target_servers(const SiteObservation& obs) const = 0;
+  virtual std::string name() const = 0;
+};
+
+using PolicyPtr = std::shared_ptr<const Policy>;
+
+/// Fixed fleet of n servers.
+PolicyPtr static_policy(int servers);
+
+/// Threshold rules: +step when recent utilization > hi, -step when < lo.
+PolicyPtr reactive_policy(double util_high = 0.8, double util_low = 0.4,
+                          int step = 1);
+
+/// Two-sigma predictive provisioning: ceil((l + 2 sqrt(l)) / mu) servers
+/// for rate estimate l.
+PolicyPtr two_sigma_policy();
+
+struct InversionAwareConfig {
+  Rate mu = 13.0;
+  int k_cloud = 5;          ///< cloud fleet this edge competes with
+  Time delta_n = 0.024;     ///< network advantage of the edge
+  double headroom = 1.0;    ///< multiplier on the Eq. 22 answer
+};
+
+/// Eq. 22-driven provisioning (see core/capacity.hpp).
+PolicyPtr inversion_aware_policy(InversionAwareConfig cfg);
+
+}  // namespace hce::autoscale

@@ -1,0 +1,120 @@
+#include "cluster/deployment.hpp"
+
+#include <limits>
+#include <utility>
+
+#include "support/contracts.hpp"
+
+namespace hce::cluster {
+
+CloudDeployment::CloudDeployment(des::Simulation& sim, CloudConfig cfg,
+                                 Rng rng)
+    : sim_(sim),
+      cfg_(cfg),
+      rng_(std::move(rng)),
+      cluster_(sim, "cloud", cfg.num_servers, cfg.dispatch, cfg.speed) {
+  cluster_.set_completion_handler([this](const des::Request& done) {
+    // Downlink back to the client, then record.
+    des::Request copy = done;
+    const Time downlink = cfg_.network.one_way(rng_);
+    sim_.schedule_in(downlink, [this, copy]() mutable {
+      copy.t_completed = sim_.now();
+      sink_.record(copy);
+    });
+  });
+}
+
+void CloudDeployment::submit(des::Request req) {
+  req.t_created = sim_.now();
+  const Time uplink = cfg_.network.one_way(rng_) + cfg_.dispatch_overhead;
+  sim_.schedule_in(uplink, [this, r = std::move(req)]() mutable {
+    cluster_.dispatch(std::move(r), rng_);
+  });
+}
+
+EdgeDeployment::EdgeDeployment(des::Simulation& sim, EdgeConfig cfg, Rng rng)
+    : sim_(sim), cfg_(cfg), rng_(std::move(rng)) {
+  HCE_EXPECT(cfg.num_sites >= 1, "edge deployment needs >= 1 site");
+  HCE_EXPECT(cfg.servers_per_site >= 1,
+             "edge deployment needs >= 1 server per site");
+  sites_.reserve(static_cast<std::size_t>(cfg.num_sites));
+  for (int s = 0; s < cfg.num_sites; ++s) {
+    sites_.push_back(std::make_unique<des::Station>(
+        sim, "edge/" + std::to_string(s), cfg.servers_per_site, cfg.speed,
+        s));
+    sites_.back()->set_completion_handler([this](const des::Request& done) {
+      des::Request copy = done;
+      const Time downlink = cfg_.network.one_way(rng_);
+      sim_.schedule_in(downlink, [this, copy]() mutable {
+        copy.t_completed = sim_.now();
+        sink_.record(copy);
+      });
+    });
+  }
+}
+
+int EdgeDeployment::pick_redirect_target(int from_site) const {
+  // Least in-system among the other sites.
+  int best = -1;
+  std::size_t best_n = std::numeric_limits<std::size_t>::max();
+  for (int s = 0; s < cfg_.num_sites; ++s) {
+    if (s == from_site) continue;
+    const std::size_t n =
+        sites_[static_cast<std::size_t>(s)]->in_system();
+    if (n < best_n) {
+      best_n = n;
+      best = s;
+    }
+  }
+  return best;
+}
+
+void EdgeDeployment::arrive_at_site(des::Request req, int site_index) {
+  auto& station = *sites_[static_cast<std::size_t>(site_index)];
+  if (cfg_.geo_lb && req.redirects < cfg_.max_redirects &&
+      station.queue_length() >= cfg_.geo_lb_queue_threshold) {
+    const int target = pick_redirect_target(site_index);
+    if (target >= 0 &&
+        sites_[static_cast<std::size_t>(target)]->in_system() + 1 <
+            station.in_system()) {
+      ++req.redirects;
+      ++redirect_count_;
+      const Time hop = cfg_.inter_site_rtt / 2.0;
+      sim_.schedule_in(hop, [this, target, r = std::move(req)]() mutable {
+        arrive_at_site(std::move(r), target);
+      });
+      return;
+    }
+  }
+  station.arrive(std::move(req));
+}
+
+void EdgeDeployment::submit(des::Request req) {
+  HCE_EXPECT(req.site >= 0 && req.site < cfg_.num_sites,
+             "edge submit: request site out of range");
+  req.t_created = sim_.now();
+  const int target = req.site;
+  const Time uplink = cfg_.network.one_way(rng_);
+  sim_.schedule_in(uplink, [this, target, r = std::move(req)]() mutable {
+    arrive_at_site(std::move(r), target);
+  });
+}
+
+double EdgeDeployment::utilization() const {
+  double sum = 0.0;
+  for (const auto& s : sites_) sum += s->utilization();
+  return sum / static_cast<double>(sites_.size());
+}
+
+std::uint64_t EdgeDeployment::completed() const {
+  std::uint64_t n = 0;
+  for (const auto& s : sites_) n += s->completed();
+  return n;
+}
+
+void EdgeDeployment::reset_stats() {
+  for (auto& s : sites_) s->reset_stats();
+  redirect_count_ = 0;
+}
+
+}  // namespace hce::cluster

@@ -1,0 +1,117 @@
+// Edge and cloud deployment topologies (the paper's Figure 1).
+//
+// Both deployments accept client-side request submissions and record
+// completed requests (with full end-to-end timing) into a Sink. The only
+// structural difference between them is the paper's point:
+//
+//   CloudDeployment — one site, K servers, one network RTT (n_cloud),
+//   requests from all regions funneled through one dispatcher.
+//
+//   EdgeDeployment — k sites of m servers each, a short network RTT
+//   (n_edge), requests pinned to their originating site (optionally with
+//   geographic load balancing, §5.1's "queue jockeying" mitigation).
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "cluster/dispatch.hpp"
+#include "cluster/network.hpp"
+#include "des/request.hpp"
+#include "des/simulation.hpp"
+#include "des/sink.hpp"
+#include "des/station.hpp"
+#include "support/rng.hpp"
+
+namespace hce::cluster {
+
+struct CloudConfig {
+  int num_servers = 5;
+  /// Server speed relative to the reference machine (1.0 = identical
+  /// hardware at edge and cloud, the paper's base assumption).
+  double speed = 1.0;
+  NetworkModel network = NetworkModel::fixed(0.025);
+  DispatchPolicy dispatch = DispatchPolicy::kCentralQueue;
+  /// Per-request load-balancer processing overhead (HAProxy hop).
+  Time dispatch_overhead = 0.0;
+};
+
+class CloudDeployment {
+ public:
+  CloudDeployment(des::Simulation& sim, CloudConfig cfg, Rng rng);
+
+  /// Client in region `req.site` issues the request now. The request
+  /// traverses the uplink, the dispatcher, a server, and the downlink;
+  /// completion is recorded in sink().
+  void submit(des::Request req);
+
+  des::Sink& sink() { return sink_; }
+  const des::Sink& sink() const { return sink_; }
+  double utilization() const { return cluster_.utilization(); }
+  std::uint64_t completed() const { return cluster_.completed(); }
+  void reset_stats() { cluster_.reset_stats(); }
+  const CloudConfig& config() const { return cfg_; }
+  Cluster& cluster() { return cluster_; }
+
+ private:
+  des::Simulation& sim_;
+  CloudConfig cfg_;
+  Rng rng_;
+  Cluster cluster_;
+  des::Sink sink_;
+};
+
+struct EdgeConfig {
+  int num_sites = 5;
+  int servers_per_site = 1;
+  /// Edge server speed relative to the cloud reference; < 1 models the
+  /// resource-constrained edge hardware of §3.1.1 (s_edge > s_cloud).
+  double speed = 1.0;
+  NetworkModel network = NetworkModel::fixed(0.001);
+
+  // --- Geographic load balancing (§5.1 mitigation) --------------------
+  bool geo_lb = false;
+  /// Redirect when the local site's queue length is at least this.
+  std::size_t geo_lb_queue_threshold = 2;
+  /// Round-trip penalty added per redirect hop (inter-site distance).
+  Time inter_site_rtt = 0.020;
+  int max_redirects = 1;
+};
+
+class EdgeDeployment {
+ public:
+  EdgeDeployment(des::Simulation& sim, EdgeConfig cfg, Rng rng);
+
+  /// Client in region `req.site` issues the request now; it is served by
+  /// its local site (or a redirect target when geo-LB triggers).
+  void submit(des::Request req);
+
+  des::Sink& sink() { return sink_; }
+  const des::Sink& sink() const { return sink_; }
+  des::Station& site(int i) { return *sites_.at(static_cast<std::size_t>(i)); }
+  const des::Station& site(int i) const {
+    return *sites_.at(static_cast<std::size_t>(i));
+  }
+  int num_sites() const { return cfg_.num_sites; }
+  /// Mean utilization across sites.
+  double utilization() const;
+  /// Utilization of one site.
+  double site_utilization(int i) const { return site(i).utilization(); }
+  std::uint64_t completed() const;
+  std::uint64_t redirects() const { return redirect_count_; }
+  void reset_stats();
+  const EdgeConfig& config() const { return cfg_; }
+
+ private:
+  void arrive_at_site(des::Request req, int site_index);
+  int pick_redirect_target(int from_site) const;
+
+  des::Simulation& sim_;
+  EdgeConfig cfg_;
+  Rng rng_;
+  std::vector<std::unique_ptr<des::Station>> sites_;
+  des::Sink sink_;
+  std::uint64_t redirect_count_ = 0;
+};
+
+}  // namespace hce::cluster

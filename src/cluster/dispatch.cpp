@@ -1,0 +1,115 @@
+#include "cluster/dispatch.hpp"
+
+#include <limits>
+
+#include "support/contracts.hpp"
+
+namespace hce::cluster {
+
+std::string to_string(DispatchPolicy p) {
+  switch (p) {
+    case DispatchPolicy::kCentralQueue: return "central-queue";
+    case DispatchPolicy::kRoundRobin: return "round-robin";
+    case DispatchPolicy::kRandom: return "random";
+    case DispatchPolicy::kJoinShortestQueue: return "jsq";
+    case DispatchPolicy::kLeastWork: return "least-work";
+  }
+  return "unknown";
+}
+
+Cluster::Cluster(des::Simulation& sim, const std::string& name,
+                 int num_servers, DispatchPolicy policy, double speed)
+    : sim_(sim), num_servers_(num_servers), policy_(policy) {
+  HCE_EXPECT(num_servers >= 1, "cluster needs at least one server");
+  if (policy == DispatchPolicy::kCentralQueue) {
+    stations_.push_back(
+        std::make_unique<des::Station>(sim, name, num_servers, speed, 0));
+  } else {
+    stations_.reserve(static_cast<std::size_t>(num_servers));
+    for (int s = 0; s < num_servers; ++s) {
+      stations_.push_back(std::make_unique<des::Station>(
+          sim, name + "/" + std::to_string(s), 1, speed, s));
+    }
+  }
+}
+
+void Cluster::set_completion_handler(
+    des::Station::CompletionHandler handler) {
+  for (auto& st : stations_) {
+    st->set_completion_handler(handler);
+  }
+}
+
+void Cluster::dispatch(des::Request req, Rng& rng) {
+  if (policy_ == DispatchPolicy::kCentralQueue) {
+    stations_[0]->arrive(std::move(req));
+    return;
+  }
+  std::size_t target = 0;
+  switch (policy_) {
+    case DispatchPolicy::kRoundRobin:
+      target = rr_next_;
+      rr_next_ = (rr_next_ + 1) % stations_.size();
+      break;
+    case DispatchPolicy::kRandom:
+      target = rng.below(stations_.size());
+      break;
+    case DispatchPolicy::kJoinShortestQueue: {
+      std::size_t best = std::numeric_limits<std::size_t>::max();
+      for (std::size_t s = 0; s < stations_.size(); ++s) {
+        const std::size_t n = stations_[s]->in_system();
+        if (n < best) {
+          best = n;
+          target = s;
+        }
+      }
+      break;
+    }
+    case DispatchPolicy::kLeastWork: {
+      double best = std::numeric_limits<double>::max();
+      for (std::size_t s = 0; s < stations_.size(); ++s) {
+        // Queued work plus a busy indicator as an in-service proxy.
+        const double w = stations_[s]->queued_work() +
+                         (stations_[s]->busy_servers() > 0 ? 1e-9 : 0.0);
+        if (w < best ||
+            (w == best &&
+             stations_[s]->in_system() < stations_[target]->in_system())) {
+          best = w;
+          target = s;
+        }
+      }
+      break;
+    }
+    case DispatchPolicy::kCentralQueue:
+      break;  // unreachable
+  }
+  stations_[target]->arrive(std::move(req));
+}
+
+double Cluster::utilization() const {
+  double sum = 0.0;
+  int servers = 0;
+  for (const auto& st : stations_) {
+    sum += st->utilization() * st->num_servers();
+    servers += st->num_servers();
+  }
+  return servers > 0 ? sum / servers : 0.0;
+}
+
+std::size_t Cluster::queue_length() const {
+  std::size_t n = 0;
+  for (const auto& st : stations_) n += st->queue_length();
+  return n;
+}
+
+std::uint64_t Cluster::completed() const {
+  std::uint64_t n = 0;
+  for (const auto& st : stations_) n += st->completed();
+  return n;
+}
+
+void Cluster::reset_stats() {
+  for (auto& st : stations_) st->reset_stats();
+}
+
+}  // namespace hce::cluster

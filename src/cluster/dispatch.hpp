@@ -1,0 +1,69 @@
+// Cloud-side request dispatching.
+//
+// The paper's analysis idealizes the cloud as a single M/M/k queue; its
+// experiments use HAProxy in front of k servers. Those are different
+// systems: a central queue holds requests until *any* server frees, while
+// a dispatcher commits each request to one server's private queue at
+// arrival. Dispatcher quality determines how close a dispatched cluster
+// gets to the central-queue ideal (leastconn/JSQ gets close; round-robin
+// and random do not at high load). We implement both ends and the policies
+// between so the gap is measurable (bench_ablation_dispatch).
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "des/simulation.hpp"
+#include "des/station.hpp"
+#include "support/rng.hpp"
+
+namespace hce::cluster {
+
+enum class DispatchPolicy {
+  kCentralQueue,  ///< one shared FCFS queue, k servers (M/M/k ideal)
+  kRoundRobin,    ///< cycle through servers (HAProxy default)
+  kRandom,        ///< uniform random server
+  kJoinShortestQueue,  ///< fewest in-system (HAProxy leastconn)
+  kLeastWork,     ///< least queued service demand (omniscient)
+};
+
+std::string to_string(DispatchPolicy p);
+
+/// A cluster of servers behind one of the dispatch policies above.
+/// For kCentralQueue this is a single k-server Station; otherwise it is k
+/// single-server Stations plus the routing rule.
+class Cluster {
+ public:
+  Cluster(des::Simulation& sim, const std::string& name, int num_servers,
+          DispatchPolicy policy, double speed = 1.0);
+
+  void set_completion_handler(des::Station::CompletionHandler handler);
+
+  /// Routes a request at the current simulation time.
+  void dispatch(des::Request req, Rng& rng);
+
+  int num_servers() const { return num_servers_; }
+  DispatchPolicy policy() const { return policy_; }
+
+  /// Average utilization across servers since last reset.
+  double utilization() const;
+  /// Total queued requests (all queues).
+  std::size_t queue_length() const;
+  std::uint64_t completed() const;
+  void reset_stats();
+
+  /// Underlying stations (1 for central queue, k otherwise).
+  const std::vector<std::unique_ptr<des::Station>>& stations() const {
+    return stations_;
+  }
+
+ private:
+  des::Simulation& sim_;
+  int num_servers_;
+  DispatchPolicy policy_;
+  std::vector<std::unique_ptr<des::Station>> stations_;
+  std::size_t rr_next_ = 0;
+};
+
+}  // namespace hce::cluster

@@ -1,0 +1,89 @@
+#include "cluster/hybrid.hpp"
+
+#include <algorithm>
+
+#include "support/contracts.hpp"
+
+namespace hce::cluster {
+
+HybridDeployment::HybridDeployment(des::Simulation& sim, HybridConfig cfg,
+                                   Rng rng)
+    : sim_(sim),
+      cfg_(cfg),
+      rng_(std::move(rng)),
+      cloud_(sim, "hybrid-cloud", cfg.cloud_servers, cfg.cloud_dispatch) {
+  HCE_EXPECT(cfg.num_sites >= 1, "hybrid needs >= 1 edge site");
+  HCE_EXPECT(cfg.servers_per_site >= 1,
+             "hybrid needs >= 1 server per site");
+  HCE_EXPECT(cfg.cloud_servers >= 1, "hybrid needs >= 1 cloud server");
+
+  auto record_after = [this](const des::Request& done, Time downlink) {
+    des::Request copy = done;
+    sim_.schedule_in(downlink, [this, copy]() mutable {
+      copy.t_completed = sim_.now();
+      sink_.record(copy);
+    });
+  };
+
+  sites_.reserve(static_cast<std::size_t>(cfg.num_sites));
+  for (int s = 0; s < cfg.num_sites; ++s) {
+    sites_.push_back(std::make_unique<des::Station>(
+        sim, "hybrid-edge/" + std::to_string(s), cfg.servers_per_site,
+        cfg.edge_speed, s));
+    sites_.back()->set_completion_handler(
+        [this, record_after](const des::Request& done) {
+          record_after(done, cfg_.edge_network.one_way(rng_));
+        });
+  }
+  cloud_.set_completion_handler(
+      [this, record_after](const des::Request& done) {
+        record_after(done, cfg_.cloud_network.one_way(rng_));
+      });
+}
+
+void HybridDeployment::submit(des::Request req) {
+  HCE_EXPECT(req.site >= 0 && req.site < cfg_.num_sites,
+             "hybrid submit: request site out of range");
+  req.t_created = sim_.now();
+  const int site_index = req.site;
+  const Time uplink = cfg_.edge_network.one_way(rng_);
+  sim_.schedule_in(uplink, [this, site_index, r = std::move(req)]() mutable {
+    auto& station = *sites_[static_cast<std::size_t>(site_index)];
+    if (station.queue_length() >= cfg_.offload_queue_threshold) {
+      // Forward over the edge->cloud leg; the response returns directly
+      // from the cloud to the client.
+      ++offloaded_;
+      ++r.redirects;
+      const Time forward = std::max<Time>(
+          0.0, (cfg_.cloud_network.rtt - cfg_.edge_network.rtt) / 2.0);
+      sim_.schedule_in(forward, [this, r = std::move(r)]() mutable {
+        cloud_.dispatch(std::move(r), rng_);
+      });
+      return;
+    }
+    ++local_;
+    station.arrive(std::move(r));
+  });
+}
+
+double HybridDeployment::offload_fraction() const {
+  const std::uint64_t total = offloaded_ + local_;
+  return total == 0 ? 0.0
+                    : static_cast<double>(offloaded_) /
+                          static_cast<double>(total);
+}
+
+double HybridDeployment::edge_utilization() const {
+  double sum = 0.0;
+  for (const auto& s : sites_) sum += s->utilization();
+  return sum / static_cast<double>(sites_.size());
+}
+
+void HybridDeployment::reset_stats() {
+  for (auto& s : sites_) s->reset_stats();
+  cloud_.reset_stats();
+  offloaded_ = 0;
+  local_ = 0;
+}
+
+}  // namespace hce::cluster

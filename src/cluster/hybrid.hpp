@@ -1,0 +1,76 @@
+// Hybrid edge-cloud deployment: local edge service with cloud overflow.
+//
+// The paper's §5.1 mitigation redirects between *edge sites*; the other
+// practical escape valve is offloading to the big pool itself: serve
+// locally while the site is healthy, forward to the cloud when the local
+// queue is long. This bounds the edge queueing delay at the cost of the
+// cloud RTT for offloaded requests — a knob between "pure edge" (threshold
+// = ∞) and "pure cloud" (threshold = 0), and the natural deployment for
+// applications that fear inversion but want edge latency when it is
+// actually available.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "cluster/dispatch.hpp"
+#include "cluster/network.hpp"
+#include "des/request.hpp"
+#include "des/simulation.hpp"
+#include "des/sink.hpp"
+#include "des/station.hpp"
+#include "support/rng.hpp"
+
+namespace hce::cluster {
+
+struct HybridConfig {
+  int num_sites = 5;
+  int servers_per_site = 1;
+  double edge_speed = 1.0;
+  NetworkModel edge_network = NetworkModel::fixed(0.001);
+
+  int cloud_servers = 5;
+  NetworkModel cloud_network = NetworkModel::fixed(0.025);
+  DispatchPolicy cloud_dispatch = DispatchPolicy::kCentralQueue;
+
+  /// Offload when the local site's queue length is at least this.
+  /// 0 = always offload (pure cloud); a huge value = pure edge.
+  std::size_t offload_queue_threshold = 2;
+};
+
+class HybridDeployment {
+ public:
+  HybridDeployment(des::Simulation& sim, HybridConfig cfg, Rng rng);
+
+  /// Client in region req.site issues the request now; it is served at
+  /// its local edge site, or offloaded to the cloud pool if the local
+  /// queue is at or above the threshold at (post-uplink) arrival time.
+  void submit(des::Request req);
+
+  des::Sink& sink() { return sink_; }
+  const des::Sink& sink() const { return sink_; }
+  des::Station& site(int i) { return *sites_.at(static_cast<std::size_t>(i)); }
+  Cluster& cloud() { return cloud_; }
+
+  std::uint64_t offloaded() const { return offloaded_; }
+  std::uint64_t served_locally() const { return local_; }
+  /// Fraction of completed requests served by the cloud pool.
+  double offload_fraction() const;
+  double edge_utilization() const;
+  double cloud_utilization() const { return cloud_.utilization(); }
+  void reset_stats();
+
+  const HybridConfig& config() const { return cfg_; }
+
+ private:
+  des::Simulation& sim_;
+  HybridConfig cfg_;
+  Rng rng_;
+  std::vector<std::unique_ptr<des::Station>> sites_;
+  Cluster cloud_;
+  des::Sink sink_;
+  std::uint64_t offloaded_ = 0;
+  std::uint64_t local_ = 0;
+};
+
+}  // namespace hce::cluster

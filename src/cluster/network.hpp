@@ -1,0 +1,43 @@
+// Network path model between clients and a deployment.
+//
+// The paper treats the network as a round-trip latency constant per
+// scenario (edge 1 ms; cloud 15/25/54/80 ms), measured RTTs varying within
+// small ranges ("20 to 24 ms"). NetworkModel captures both: a base RTT
+// plus an optional per-request jitter distribution, split evenly between
+// the uplink and downlink.
+#pragma once
+
+#include "dist/distribution.hpp"
+#include "support/rng.hpp"
+#include "support/time.hpp"
+
+namespace hce::cluster {
+
+struct NetworkModel {
+  /// Base round-trip time.
+  Time rtt = 0.0;
+  /// Optional extra per-request round-trip jitter; sampled once per
+  /// request and split across both directions. Null = no jitter.
+  dist::DistPtr jitter;
+
+  /// Samples the one-way (uplink or downlink) delay for one request leg.
+  /// Call once per leg; each leg re-samples jitter independently. Clamped
+  /// at zero so wide jitter on a short path cannot produce negative time.
+  Time one_way(Rng& rng) const {
+    Time d = rtt / 2.0;
+    if (jitter) d += jitter->sample(rng) / 2.0;
+    return d < 0.0 ? 0.0 : d;
+  }
+
+  /// Expected round-trip including jitter mean.
+  Time expected_rtt() const {
+    return rtt + (jitter ? jitter->mean() : 0.0);
+  }
+
+  static NetworkModel fixed(Time rtt) { return NetworkModel{rtt, nullptr}; }
+  static NetworkModel jittered(Time rtt, dist::DistPtr jitter_dist) {
+    return NetworkModel{rtt, std::move(jitter_dist)};
+  }
+};
+
+}  // namespace hce::cluster

@@ -1,0 +1,122 @@
+#include "cluster/source.hpp"
+
+#include "support/contracts.hpp"
+
+namespace hce::cluster {
+
+Source::Source(des::Simulation& sim, workload::ArrivalPtr arrivals,
+               workload::ServicePtr service, int site, SubmitFn submit,
+               Rng rng)
+    : sim_(sim),
+      arrivals_(std::move(arrivals)),
+      service_(std::move(service)),
+      site_(site),
+      submit_(std::move(submit)),
+      rng_(std::move(rng)) {
+  HCE_EXPECT(arrivals_ != nullptr, "source: null arrival process");
+  HCE_EXPECT(service_ != nullptr, "source: null service model");
+  HCE_EXPECT(submit_ != nullptr, "source: null submit function");
+}
+
+void Source::start(Time until) {
+  HCE_EXPECT(until > sim_.now(), "source: horizon must be in the future");
+  until_ = until;
+  next_time_ = sim_.now();
+  schedule_next();
+}
+
+void Source::schedule_next() {
+  next_time_ = arrivals_->next_arrival_after(next_time_, rng_);
+  if (next_time_ >= until_) return;
+  sim_.schedule_at(next_time_, [this] {
+    des::Request req;
+    req.id = next_id_++;
+    req.site = site_;
+    req.service_demand = service_->sample(rng_);
+    ++generated_;
+    submit_(std::move(req));
+    schedule_next();
+  });
+}
+
+MirroredSource::MirroredSource(des::Simulation& sim,
+                               workload::ArrivalPtr arrivals,
+                               workload::ServicePtr service, int site,
+                               SubmitFn submit_a, SubmitFn submit_b, Rng rng)
+    : sim_(sim),
+      arrivals_(std::move(arrivals)),
+      service_(std::move(service)),
+      site_(site),
+      submit_a_(std::move(submit_a)),
+      submit_b_(std::move(submit_b)),
+      rng_(std::move(rng)) {
+  HCE_EXPECT(arrivals_ != nullptr, "mirrored source: null arrival process");
+  HCE_EXPECT(service_ != nullptr, "mirrored source: null service model");
+  HCE_EXPECT(submit_a_ && submit_b_, "mirrored source: null submit");
+}
+
+void MirroredSource::start(Time until) {
+  HCE_EXPECT(until > sim_.now(),
+             "mirrored source: horizon must be in the future");
+  until_ = until;
+  schedule_next();
+}
+
+void MirroredSource::schedule_next() {
+  const Time t = arrivals_->next_arrival_after(
+      generated_ == 0 ? sim_.now() : last_time_, rng_);
+  if (t >= until_) return;
+  last_time_ = t;
+  sim_.schedule_at(t, [this] {
+    des::Request req;
+    req.id = next_id_++;
+    req.site = site_;
+    req.service_demand = service_->sample(rng_);
+    ++generated_;
+    des::Request copy = req;
+    submit_a_(std::move(req));
+    submit_b_(std::move(copy));
+    schedule_next();
+  });
+}
+
+TraceReplaySource::TraceReplaySource(
+    des::Simulation& sim, std::shared_ptr<const workload::Trace> trace,
+    SubmitFn submit, Time t_offset)
+    : sim_(sim),
+      trace_(std::move(trace)),
+      submit_(std::move(submit)),
+      t_offset_(t_offset) {
+  HCE_EXPECT(trace_ != nullptr, "trace replay: null trace");
+  HCE_EXPECT(submit_ != nullptr, "trace replay: null submit");
+}
+
+void TraceReplaySource::start() {
+  index_ = 0;
+  schedule_next();
+}
+
+void TraceReplaySource::schedule_next() {
+  if (index_ >= trace_->size()) return;
+  const workload::TraceEvent& e = (*trace_)[index_];
+  const Time t = e.timestamp + t_offset_;
+  HCE_EXPECT(t >= sim_.now(), "trace replay: trace not sorted");
+  sim_.schedule_at(t, [this] {
+    const workload::TraceEvent& ev = (*trace_)[index_];
+    ++index_;
+    des::Request req;
+    req.id = index_;
+    req.site = ev.site;
+    req.service_demand = ev.service_demand;
+    if (submit_b_) {
+      des::Request copy = req;
+      submit_(std::move(req));
+      submit_b_(std::move(copy));
+    } else {
+      submit_(std::move(req));
+    }
+    schedule_next();
+  });
+}
+
+}  // namespace hce::cluster

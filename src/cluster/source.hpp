@@ -1,0 +1,107 @@
+// Request sources: drive a deployment from an arrival process or a trace.
+//
+// A Source owns its arrival process, service model, and RNG streams, and
+// submits requests through a type-erased callback — the same source can
+// drive an EdgeDeployment, a CloudDeployment, or both mirrored (paired
+// comparison with common random numbers, which sharpens the edge-vs-cloud
+// crossover estimates considerably).
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <utility>
+
+#include "des/request.hpp"
+#include "des/simulation.hpp"
+#include "support/rng.hpp"
+#include "workload/arrival.hpp"
+#include "workload/service.hpp"
+#include "workload/trace.hpp"
+
+namespace hce::cluster {
+
+using SubmitFn = std::function<void(des::Request)>;
+
+/// Generates requests for one region/site from an arrival process, with
+/// service demands drawn from a service model. Stops at `until`.
+class Source {
+ public:
+  Source(des::Simulation& sim, workload::ArrivalPtr arrivals,
+         workload::ServicePtr service, int site, SubmitFn submit, Rng rng);
+
+  /// Begins generation; arrivals strictly after now() up to `until`.
+  void start(Time until);
+
+  std::uint64_t generated() const { return generated_; }
+
+ private:
+  void schedule_next();
+
+  des::Simulation& sim_;
+  workload::ArrivalPtr arrivals_;
+  workload::ServicePtr service_;
+  int site_;
+  SubmitFn submit_;
+  Rng rng_;
+  Time until_ = 0.0;
+  Time next_time_ = 0.0;
+  std::uint64_t generated_ = 0;
+  std::uint64_t next_id_ = 0;
+};
+
+/// Generates identical request streams (same arrival times, same service
+/// demands, same ids) into two deployments — the paired-comparison driver
+/// used by the latency sweeps.
+class MirroredSource {
+ public:
+  MirroredSource(des::Simulation& sim, workload::ArrivalPtr arrivals,
+                 workload::ServicePtr service, int site, SubmitFn submit_a,
+                 SubmitFn submit_b, Rng rng);
+  void start(Time until);
+  std::uint64_t generated() const { return generated_; }
+
+ private:
+  void schedule_next();
+
+  des::Simulation& sim_;
+  workload::ArrivalPtr arrivals_;
+  workload::ServicePtr service_;
+  int site_;
+  SubmitFn submit_a_;
+  SubmitFn submit_b_;
+  Rng rng_;
+  Time until_ = 0.0;
+  Time last_time_ = 0.0;
+  std::uint64_t generated_ = 0;
+  std::uint64_t next_id_ = 0;
+};
+
+/// Replays a Trace into one or two deployments. Events are submitted at
+/// their trace timestamps (offset by `t_offset`); service demands come
+/// from the trace itself, mirroring the paper's Azure replay.
+class TraceReplaySource {
+ public:
+  TraceReplaySource(des::Simulation& sim,
+                    std::shared_ptr<const workload::Trace> trace,
+                    SubmitFn submit, Time t_offset = 0.0);
+
+  /// Adds a second mirrored destination (e.g. the cloud aggregate).
+  void also_submit_to(SubmitFn submit_b) { submit_b_ = std::move(submit_b); }
+
+  /// Schedules the replay (incrementally, one pending event at a time).
+  void start();
+
+  std::uint64_t replayed() const { return index_; }
+
+ private:
+  void schedule_next();
+
+  des::Simulation& sim_;
+  std::shared_ptr<const workload::Trace> trace_;
+  SubmitFn submit_;
+  SubmitFn submit_b_;
+  Time t_offset_;
+  std::uint64_t index_ = 0;
+};
+
+}  // namespace hce::cluster

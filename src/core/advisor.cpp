@@ -1,0 +1,157 @@
+#include "core/advisor.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "dist/weights.hpp"
+#include "queueing/approx.hpp"
+#include "support/contracts.hpp"
+#include "support/math.hpp"
+
+namespace hce::core {
+
+namespace {
+double clamp01(double x) { return hce::clamp(x, 0.0, 1.0); }
+}  // namespace
+
+AdvisorReport advise(const DeploymentSpec& spec) {
+  HCE_EXPECT(spec.num_edge_sites >= 1, "advise: num_edge_sites >= 1");
+  HCE_EXPECT(spec.servers_per_edge_site >= 1,
+             "advise: servers_per_edge_site >= 1");
+  HCE_EXPECT(spec.cloud_servers >= 1, "advise: cloud_servers >= 1");
+  HCE_EXPECT(spec.mu_edge > 0.0 && spec.mu_cloud > 0.0,
+             "advise: service rates must be positive");
+  HCE_EXPECT(spec.cloud_rtt >= spec.edge_rtt,
+             "advise: cloud RTT must be >= edge RTT");
+  HCE_EXPECT(spec.total_lambda >= 0.0, "advise: negative load");
+
+  std::vector<double> weights = spec.site_weights.empty()
+                                    ? dist::uniform_weights(spec.num_edge_sites)
+                                    : dist::normalized(spec.site_weights);
+  HCE_EXPECT(static_cast<int>(weights.size()) == spec.num_edge_sites,
+             "advise: site_weights size mismatch");
+
+  AdvisorReport r;
+  r.delta_n = spec.delta_n();
+
+  const double m = spec.servers_per_edge_site;
+  r.rho_cloud =
+      spec.total_lambda / (spec.mu_cloud * spec.cloud_servers);
+  std::vector<double> rho_sites(weights.size());
+  for (std::size_t i = 0; i < weights.size(); ++i) {
+    rho_sites[i] = weights[i] * spec.total_lambda / (spec.mu_edge * m);
+  }
+  r.rho_edge_mean = 0.0;
+  r.rho_edge_max = 0.0;
+  for (std::size_t i = 0; i < rho_sites.size(); ++i) {
+    r.rho_edge_mean += rho_sites[i] / static_cast<double>(rho_sites.size());
+    r.rho_edge_max = std::max(r.rho_edge_max, rho_sites[i]);
+  }
+  r.stable = r.rho_cloud < 1.0 &&
+             std::all_of(rho_sites.begin(), rho_sites.end(),
+                         [](double x) { return x < 1.0; });
+
+  // Cutoffs under balanced load (cut at the same rho on both sides).
+  r.cutoff_utilization_mm = clamp01(cutoff_utilization_mmk(
+      std::max<Time>(r.delta_n, 1e-9), spec.cloud_servers, spec.mu_edge));
+  r.cutoff_utilization_limit = clamp01(cutoff_utilization_mmk_limit(
+      std::max<Time>(r.delta_n, 1e-9), spec.mu_edge));
+  r.cutoff_utilization_gg = clamp01(cutoff_utilization_ggk(
+      std::max<Time>(r.delta_n, 1e-9), spec.cloud_servers, spec.mu_edge,
+      spec.arrival_cov * spec.arrival_cov,
+      spec.arrival_cov * spec.arrival_cov,
+      spec.service_cov * spec.service_cov));
+
+  if (r.stable) {
+    // Skew- and hardware-aware M/M bound: weighted Whitt edge waits minus
+    // the cloud wait, plus the service-time gap when hardware differs.
+    double edge_wait = 0.0;
+    for (std::size_t i = 0; i < rho_sites.size(); ++i) {
+      edge_wait += weights[i] * queueing::whitt_conditional_wait_time(
+                                    rho_sites[i],
+                                    spec.servers_per_edge_site,
+                                    spec.mu_edge);
+    }
+    const double cloud_wait = queueing::whitt_conditional_wait_time(
+        r.rho_cloud, spec.cloud_servers, spec.mu_cloud);
+    const double service_gap = 1.0 / spec.mu_edge - 1.0 / spec.mu_cloud;
+    r.mm_bound = edge_wait - cloud_wait + service_gap;
+    r.inversion_predicted_mm = r.delta_n < r.mm_bound;
+
+    // G/G bound at the mean edge utilization (Lemma 3.2 is stated for
+    // balanced load; we evaluate it at the most loaded site as the
+    // conservative choice).
+    GgkBoundParams g;
+    g.k = spec.cloud_servers;
+    g.rho_edge = r.rho_edge_max;
+    g.rho_cloud = r.rho_cloud;
+    g.mu = spec.mu_edge;
+    g.ca2_edge = spec.arrival_cov * spec.arrival_cov;
+    g.ca2_cloud = spec.arrival_cov * spec.arrival_cov;
+    g.cb2 = spec.service_cov * spec.service_cov;
+    r.gg_bound = delta_n_bound_ggk(g);
+    r.inversion_predicted_gg = r.delta_n < r.gg_bound;
+
+    MmkBoundParams mp;
+    mp.k = spec.cloud_servers;
+    mp.rho_edge = r.rho_edge_max;
+    mp.rho_cloud = r.rho_cloud;
+    mp.mu = spec.mu_edge;
+    r.cloud_rtt_floor = std::max<Time>(0.0, cloud_rtt_lower_bound(mp));
+
+    // Eq. 22 provisioning plan.
+    std::vector<Rate> site_lambdas;
+    site_lambdas.reserve(weights.size());
+    for (double w : weights) site_lambdas.push_back(w * spec.total_lambda);
+    r.provisioning = plan_provisioning(site_lambdas, spec.mu_edge,
+                                       spec.cloud_servers,
+                                       std::max<Time>(r.delta_n, 0.0));
+  }
+
+  if (spec.total_lambda > 0.0) {
+    r.two_sigma_premium =
+        edge_capacity_premium(spec.total_lambda, spec.num_edge_sites);
+  }
+  return r;
+}
+
+std::string AdvisorReport::summary() const {
+  std::ostringstream os;
+  os.setf(std::ios::fixed);
+  os.precision(3);
+  os << "Edge performance inversion report\n";
+  os << "  delta_n (network advantage of edge): " << delta_n * 1e3
+     << " ms\n";
+  os << "  edge utilization: mean " << rho_edge_mean << ", max "
+     << rho_edge_max << "; cloud utilization: " << rho_cloud << "\n";
+  if (!stable) {
+    os << "  WARNING: deployment is unstable at the expected load\n";
+    return os.str();
+  }
+  os << "  cutoff utilization (M/M, Corollary 3.1.1): "
+     << cutoff_utilization_mm << "\n";
+  os << "  cutoff utilization (G/G, Lemma 3.2):       "
+     << cutoff_utilization_gg << "\n";
+  os << "  cutoff utilization (k->inf, Cor. 3.1.2):   "
+     << cutoff_utilization_limit << "\n";
+  os << "  Lemma 3.1/3.3 bound at operating point: " << mm_bound * 1e3
+     << " ms -> inversion " << (inversion_predicted_mm ? "PREDICTED" : "not predicted")
+     << "\n";
+  os << "  Lemma 3.2 bound at operating point:     " << gg_bound * 1e3
+     << " ms -> inversion " << (inversion_predicted_gg ? "PREDICTED" : "not predicted")
+     << "\n";
+  os << "  cloud RTT floor (Cor. 3.1.3): " << cloud_rtt_floor * 1e3
+     << " ms\n";
+  os << "  two-sigma peak capacity premium (edge/cloud): "
+     << two_sigma_premium << "x\n";
+  if (provisioning.feasible && !provisioning.servers_per_site.empty()) {
+    os << "  Eq.22 provisioning: " << provisioning.total_edge_servers
+       << " edge servers total vs " << provisioning.cloud_servers
+       << " cloud servers (premium " << provisioning.server_premium
+       << "x)\n";
+  }
+  return os.str();
+}
+
+}  // namespace hce::core

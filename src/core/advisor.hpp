@@ -1,0 +1,77 @@
+// InversionAdvisor: the "rules of thumb" interface for application
+// designers (paper §5.1).
+//
+// Given a deployment description — edge/cloud RTTs, fleet shape, expected
+// load, workload variability — the advisor evaluates every bound in
+// core/inversion.hpp and produces an actionable report: cutoff
+// utilizations, whether inversion is predicted at the expected operating
+// point, recommended per-site capacity, and the two-sigma peak premium.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/capacity.hpp"
+#include "core/inversion.hpp"
+#include "support/time.hpp"
+
+namespace hce::core {
+
+struct DeploymentSpec {
+  // Topology.
+  int num_edge_sites = 5;
+  int servers_per_edge_site = 1;
+  int cloud_servers = 5;
+
+  // Network.
+  Time edge_rtt = 0.001;
+  Time cloud_rtt = 0.025;
+
+  // Hardware.
+  Rate mu_edge = 13.0;   ///< per-server service rate at the edge
+  Rate mu_cloud = 13.0;  ///< per-server service rate at the cloud
+
+  // Workload.
+  Rate total_lambda = 40.0;     ///< aggregate arrival rate (req/s)
+  std::vector<double> site_weights;  ///< empty = balanced
+  double arrival_cov = 1.0;     ///< inter-arrival CoV (1 = Poisson)
+  double service_cov = 1.0;     ///< service-time CoV (1 = exponential)
+
+  Time delta_n() const { return cloud_rtt - edge_rtt; }
+};
+
+struct AdvisorReport {
+  // Operating point.
+  double rho_edge_mean = 0.0;      ///< mean per-site edge utilization
+  double rho_edge_max = 0.0;       ///< most-loaded site utilization
+  double rho_cloud = 0.0;
+
+  // Cutoffs (clamped into [0, 1]).
+  double cutoff_utilization_mm = 0.0;   ///< Corollary 3.1.1 (derived form)
+  double cutoff_utilization_gg = 0.0;   ///< G/G/k cutoff with given CoVs
+  double cutoff_utilization_limit = 0.0; ///< k→∞ (Corollary 3.1.2)
+
+  // Bounds at the operating point (seconds).
+  Time delta_n = 0.0;
+  Time mm_bound = 0.0;    ///< Lemma 3.1 / 3.3 RHS (skew-aware)
+  Time gg_bound = 0.0;    ///< Lemma 3.2 RHS
+  Time cloud_rtt_floor = 0.0;  ///< Corollary 3.1.3
+
+  // Verdicts.
+  bool inversion_predicted_mm = false;
+  bool inversion_predicted_gg = false;
+  bool stable = true;  ///< false if any site (or the cloud) is overloaded
+
+  // Mitigations.
+  ProvisionPlan provisioning;  ///< Eq. 22 plan at the expected load
+  double two_sigma_premium = 0.0;
+
+  /// Multi-line human-readable summary.
+  std::string summary() const;
+};
+
+/// Evaluates all bounds for a deployment. Contract: positive rates,
+/// cloud_rtt >= edge_rtt, weights (if given) match num_edge_sites.
+AdvisorReport advise(const DeploymentSpec& spec);
+
+}  // namespace hce::core

@@ -1,0 +1,76 @@
+// Capacity planning for edge deployments (paper §5).
+//
+// Two planning tools the paper derives from its analysis:
+//
+//  * Eq. 22 per-site provisioning — the minimum number of servers k_i at
+//    edge site i (receiving λ_i req/s) such that Lemma 3.1's inversion
+//    condition cannot hold against a k-server cloud at aggregate load λ.
+//
+//  * §5.2 peak capacity ("two-sigma rule") — for Poisson traffic the 95th
+//    percentile load is λ + 2√λ; splitting λ across k edge sites destroys
+//    statistical smoothing, so the aggregate edge capacity for the same
+//    peak coverage is λ + 2√(kλ) > λ + 2√λ. The edge premium is the cost
+//    of the edge the paper's title refers to.
+#pragma once
+
+#include <vector>
+
+#include "support/time.hpp"
+
+namespace hce::core {
+
+// --- §5.2 two-sigma peak capacity ---------------------------------------
+
+/// Server capacity (in req/s) a centralized cloud needs to cover the 95th
+/// percentile of Poisson traffic with mean λ: λ + 2√λ.
+double two_sigma_cloud_capacity(double lambda);
+
+/// Aggregate capacity k balanced edge sites need for the same coverage:
+/// k (λ/k + 2√(λ/k)) = λ + 2√(kλ).
+double two_sigma_edge_capacity(double lambda, int k);
+
+/// Edge-to-cloud capacity ratio (the overprovisioning premium), > 1 for
+/// all k > 1.
+double edge_capacity_premium(double lambda, int k);
+
+// --- Eq. 22 per-site server provisioning -------------------------------
+
+struct SiteProvisionParams {
+  Rate lambda_site = 0.0;   ///< λ_i: load at this edge site (req/s)
+  Rate lambda_total = 0.0;  ///< λ: aggregate load seen by the cloud
+  Rate mu = 13.0;           ///< per-server service rate
+  int k_cloud = 5;          ///< number of cloud servers
+  Time delta_n = 0.0;       ///< network advantage of the edge (s)
+  /// Safety multiplier applied to the resulting k_i (headroom; §5.1
+  /// suggests applying an overprovisioning factor).
+  double overprovision_factor = 1.0;
+};
+
+/// Minimum integer k_i such that Eq. 22's inversion condition fails, i.e.
+///   Δn >= √2/μ ( 1/(√k_i (1 − λ_i/(μ k_i))) − 1/(√k (1 − λ/(μ k))) ).
+/// Always at least the stability minimum floor(λ_i/μ) + 1. Returns -1
+/// when no finite k_i avoids inversion (Δn smaller than the k_i → ∞
+/// limit of the RHS).
+int min_edge_servers(const SiteProvisionParams& p);
+
+/// Eq. 22 right-hand side for a candidate k_i (seconds) — exposed for
+/// benches that sweep it.
+Time provision_bound(const SiteProvisionParams& p, int k_i);
+
+/// Full provisioning plan across skewed sites: per-site server counts via
+/// min_edge_servers, aggregate totals, and the comparison against the
+/// cloud's k servers.
+struct ProvisionPlan {
+  std::vector<int> servers_per_site;  ///< -1 where no finite count works
+  int total_edge_servers = 0;
+  int cloud_servers = 0;
+  bool feasible = true;  ///< false if any site has no finite answer
+  /// total_edge_servers / cloud_servers (valid when feasible).
+  double server_premium = 0.0;
+};
+
+ProvisionPlan plan_provisioning(const std::vector<Rate>& site_lambdas,
+                                Rate mu, int k_cloud, Time delta_n,
+                                double overprovision_factor = 1.0);
+
+}  // namespace hce::core

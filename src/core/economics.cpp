@@ -1,0 +1,65 @@
+#include "core/economics.hpp"
+
+#include "dist/weights.hpp"
+#include "support/contracts.hpp"
+
+namespace hce::core {
+
+double fleet_cost_per_hour(int servers, double price_per_server_hour) {
+  HCE_EXPECT(servers >= 0, "fleet_cost_per_hour: negative fleet");
+  HCE_EXPECT(price_per_server_hour >= 0.0,
+             "fleet_cost_per_hour: negative price");
+  return static_cast<double>(servers) * price_per_server_hour;
+}
+
+double cost_of_server_seconds(double server_seconds,
+                              double price_per_server_hour) {
+  HCE_EXPECT(server_seconds >= 0.0,
+             "cost_of_server_seconds: negative usage");
+  HCE_EXPECT(price_per_server_hour >= 0.0,
+             "cost_of_server_seconds: negative price");
+  return server_seconds / 3600.0 * price_per_server_hour;
+}
+
+SloCostComparison cost_to_meet_slo(Rate lambda, int k_sites, Rate mu,
+                                   Time edge_rtt, Time cloud_rtt,
+                                   const SloTarget& slo,
+                                   const PriceModel& price,
+                                   const std::vector<double>& site_weights) {
+  HCE_EXPECT(lambda > 0.0, "cost_to_meet_slo: lambda must be positive");
+  HCE_EXPECT(k_sites >= 1, "cost_to_meet_slo: k_sites >= 1");
+  HCE_EXPECT(mu > 0.0, "cost_to_meet_slo: mu must be positive");
+
+  const std::vector<double> weights =
+      site_weights.empty() ? dist::uniform_weights(k_sites)
+                           : dist::normalized(site_weights);
+  HCE_EXPECT(static_cast<int>(weights.size()) == k_sites,
+             "cost_to_meet_slo: site_weights size mismatch");
+
+  SloCostComparison out;
+  for (double w : weights) {
+    const int k_i =
+        min_servers_for_slo(w * lambda, mu, edge_rtt, slo);
+    out.edge_servers_per_site.push_back(k_i);
+    if (k_i < 0) {
+      out.feasible = false;
+    } else {
+      out.edge_servers_total += k_i;
+    }
+  }
+  out.cloud_servers = min_servers_for_slo(lambda, mu, cloud_rtt, slo);
+  if (out.cloud_servers < 0) out.feasible = false;
+
+  if (out.feasible) {
+    out.edge_cost_per_hour =
+        fleet_cost_per_hour(out.edge_servers_total, price.edge_server_hour);
+    out.cloud_cost_per_hour =
+        fleet_cost_per_hour(out.cloud_servers, price.cloud_server_hour);
+    out.cost_premium = out.cloud_cost_per_hour > 0.0
+                           ? out.edge_cost_per_hour / out.cloud_cost_per_hour
+                           : 0.0;
+  }
+  return out;
+}
+
+}  // namespace hce::core

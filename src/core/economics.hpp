@@ -1,0 +1,53 @@
+// Economic cost of edge deployments (paper §5.2 and stated future work:
+// "study the economic costs of edge deployments resulting from the need
+// to deploy extra capacity to prevent performance inversion").
+//
+// Combines the SLO-capacity and provisioning results with a price model:
+// given a load and an SLO, how many servers does each deployment need and
+// what does each fleet cost per hour? The edge pays twice — more servers
+// (lost pooling, two-sigma peaks) at a higher per-server price (micro
+// data centers lack cloud economies of scale).
+#pragma once
+
+#include <vector>
+
+#include "core/slo.hpp"
+#include "support/time.hpp"
+
+namespace hce::core {
+
+struct PriceModel {
+  /// $ per server-hour at an edge micro data center.
+  double edge_server_hour = 0.30;
+  /// $ per server-hour in a hyperscale cloud region (e.g. c5a.xlarge
+  /// on-demand is ~$0.17/h in us-east).
+  double cloud_server_hour = 0.17;
+};
+
+/// Fleet cost in $ per hour.
+double fleet_cost_per_hour(int servers, double price_per_server_hour);
+
+/// Converts accumulated server-seconds (e.g. from an autoscaler) to $.
+double cost_of_server_seconds(double server_seconds,
+                              double price_per_server_hour);
+
+/// Full edge-vs-cloud cost comparison for carrying `lambda` req/s within
+/// an SLO. Edge sites are balanced unless weights are given.
+struct SloCostComparison {
+  std::vector<int> edge_servers_per_site;
+  int edge_servers_total = 0;
+  int cloud_servers = 0;
+  double edge_cost_per_hour = 0.0;
+  double cloud_cost_per_hour = 0.0;
+  /// edge/cloud cost ratio — the dollar form of the hidden cost.
+  double cost_premium = 0.0;
+  bool feasible = true;  ///< false if either side cannot meet the SLO
+};
+
+SloCostComparison cost_to_meet_slo(Rate lambda, int k_sites, Rate mu,
+                                   Time edge_rtt, Time cloud_rtt,
+                                   const SloTarget& slo,
+                                   const PriceModel& price,
+                                   const std::vector<double>& site_weights = {});
+
+}  // namespace hce::core

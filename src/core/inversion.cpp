@@ -1,0 +1,180 @@
+#include "core/inversion.hpp"
+
+#include <cmath>
+
+#include "queueing/approx.hpp"
+#include "support/contracts.hpp"
+#include "support/math.hpp"
+
+namespace hce::core {
+
+namespace {
+constexpr double kSqrt2 = 1.4142135623730951;
+
+void check_rho(double rho, const char* which) {
+  HCE_EXPECT(rho >= 0.0 && rho < 1.0,
+             std::string(which) + " utilization must be in [0, 1)");
+}
+}  // namespace
+
+Time delta_n_bound_mmk(const MmkBoundParams& p) {
+  HCE_EXPECT(p.k >= 1, "k must be >= 1");
+  HCE_EXPECT(p.mu > 0.0, "mu must be positive");
+  check_rho(p.rho_edge, "edge");
+  check_rho(p.rho_cloud, "cloud");
+  const double edge =
+      queueing::whitt_conditional_wait_time(p.rho_edge, 1, p.mu);
+  const double cloud =
+      queueing::whitt_conditional_wait_time(p.rho_cloud, p.k, p.mu);
+  return edge - cloud;
+}
+
+bool inversion_predicted_mmk(Time delta_n, const MmkBoundParams& p) {
+  HCE_EXPECT(delta_n >= 0.0, "delta_n must be non-negative");
+  return delta_n < delta_n_bound_mmk(p);
+}
+
+double cutoff_utilization_mmk(Time delta_n, int k, Rate mu) {
+  HCE_EXPECT(delta_n > 0.0, "delta_n must be positive");
+  HCE_EXPECT(k >= 1, "k must be >= 1");
+  HCE_EXPECT(mu > 0.0, "mu must be positive");
+  const double factor = 1.0 - 1.0 / std::sqrt(static_cast<double>(k));
+  return 1.0 - kSqrt2 * factor / (mu * delta_n);
+}
+
+double cutoff_utilization_mmk_limit(Time delta_n, Rate mu) {
+  HCE_EXPECT(delta_n > 0.0, "delta_n must be positive");
+  HCE_EXPECT(mu > 0.0, "mu must be positive");
+  return 1.0 - kSqrt2 / (mu * delta_n);
+}
+
+Time cloud_rtt_lower_bound(const MmkBoundParams& p) {
+  // Corollary 3.1.3: with n_edge = 0, Δn = n_cloud, so the RHS of
+  // Lemma 3.1 is directly the threshold on n_cloud.
+  return delta_n_bound_mmk(p);
+}
+
+Time delta_n_bound_asymmetric(const AsymmetricParams& p) {
+  HCE_EXPECT(p.k >= 1, "k must be >= 1");
+  HCE_EXPECT(p.mu_edge > 0.0 && p.mu_cloud > 0.0, "rates must be positive");
+  check_rho(p.rho_edge, "edge");
+  check_rho(p.rho_cloud, "cloud");
+  const double w_edge =
+      queueing::whitt_conditional_wait_time(p.rho_edge, 1, p.mu_edge);
+  const double w_cloud =
+      queueing::whitt_conditional_wait_time(p.rho_cloud, p.k, p.mu_cloud);
+  const double service_gap = 1.0 / p.mu_edge - 1.0 / p.mu_cloud;
+  return (w_edge - w_cloud) + service_gap;
+}
+
+Time delta_n_bound_ggk(const GgkBoundParams& p) {
+  HCE_EXPECT(p.k >= 1, "k must be >= 1");
+  HCE_EXPECT(p.m_edge >= 1, "m_edge must be >= 1");
+  HCE_EXPECT(p.mu > 0.0, "mu must be positive");
+  check_rho(p.rho_edge, "edge");
+  check_rho(p.rho_cloud, "cloud");
+  const Rate lambda_edge = p.rho_edge * p.mu * p.m_edge;
+  const Rate lambda_cloud = p.rho_cloud * p.mu * p.k;
+  const Time w_edge =
+      p.m_edge == 1
+          ? queueing::allen_cunneen_gg1_wait(lambda_edge, p.mu, p.ca2_edge,
+                                             p.cb2)
+          : queueing::allen_cunneen_ggk_wait(lambda_edge, p.mu, p.m_edge,
+                                             p.ca2_edge, p.cb2);
+  const Time w_cloud = queueing::allen_cunneen_ggk_wait(
+      lambda_cloud, p.mu, p.k, p.ca2_cloud, p.cb2);
+  return w_edge - w_cloud;
+}
+
+bool inversion_predicted_ggk(Time delta_n, const GgkBoundParams& p) {
+  HCE_EXPECT(delta_n >= 0.0, "delta_n must be non-negative");
+  return delta_n < delta_n_bound_ggk(p);
+}
+
+Time delta_n_bound_ggk_limit(const GgkBoundParams& p) {
+  HCE_EXPECT(p.mu > 0.0, "mu must be positive");
+  check_rho(p.rho_edge, "edge");
+  const Rate lambda_edge = p.rho_edge * p.mu;
+  return queueing::allen_cunneen_gg1_wait(lambda_edge, p.mu, p.ca2_edge,
+                                          p.cb2);
+}
+
+double cutoff_utilization_ggk(Time delta_n, int k, Rate mu, double ca2_edge,
+                              double ca2_cloud, double cb2, int m_edge) {
+  HCE_EXPECT(delta_n > 0.0, "delta_n must be positive");
+  HCE_EXPECT(k >= 1, "k must be >= 1");
+  HCE_EXPECT(m_edge >= 1, "m_edge must be >= 1");
+  HCE_EXPECT(mu > 0.0, "mu must be positive");
+  auto bound_minus_dn = [&](double rho) {
+    GgkBoundParams p;
+    p.k = k;
+    p.rho_edge = rho;
+    p.rho_cloud = rho;
+    p.mu = mu;
+    p.ca2_edge = ca2_edge;
+    p.ca2_cloud = ca2_cloud;
+    p.cb2 = cb2;
+    p.m_edge = m_edge;
+    return delta_n_bound_ggk(p) - delta_n;
+  };
+  // The bound rises from (typically) negative at rho≈0 to +inf near 1.
+  const double lo = 1e-6;
+  const double hi = 1.0 - 1e-9;
+  if (bound_minus_dn(lo) >= 0.0) return 0.0;  // inverted at any load
+  const auto root = find_first_root(bound_minus_dn, lo, hi, 512);
+  if (!root) return 1.0;  // never inverted below saturation
+  return root->x;
+}
+
+Time delta_n_bound_skewed(const SkewedBoundParams& p) {
+  HCE_EXPECT(!p.weights.empty(), "skewed bound: empty weights");
+  HCE_EXPECT(p.weights.size() == p.rho_sites.size(),
+             "skewed bound: weights/rho size mismatch");
+  HCE_EXPECT(p.mu > 0.0, "mu must be positive");
+  check_rho(p.rho_cloud, "cloud");
+  double weight_sum = 0.0;
+  double edge_term = 0.0;
+  for (std::size_t i = 0; i < p.weights.size(); ++i) {
+    HCE_EXPECT(p.weights[i] >= 0.0, "skewed bound: negative weight");
+    check_rho(p.rho_sites[i], "edge site");
+    weight_sum += p.weights[i];
+    edge_term += p.weights[i] / (1.0 - p.rho_sites[i]);
+  }
+  HCE_EXPECT(std::abs(weight_sum - 1.0) < 1e-6,
+             "skewed bound: weights must sum to 1");
+  const double k = static_cast<double>(p.k());
+  const double cloud_term = 1.0 / (std::sqrt(k) * (1.0 - p.rho_cloud));
+  return kSqrt2 / p.mu * (edge_term - cloud_term);
+}
+
+bool inversion_predicted_skewed(Time delta_n, const SkewedBoundParams& p) {
+  HCE_EXPECT(delta_n >= 0.0, "delta_n must be non-negative");
+  return delta_n < delta_n_bound_skewed(p);
+}
+
+namespace literal {
+
+double delta_n_bound_mmk(int k, double rho_edge, double rho_cloud) {
+  HCE_EXPECT(k >= 1, "k must be >= 1");
+  check_rho(rho_edge, "edge");
+  check_rho(rho_cloud, "cloud");
+  return kSqrt2 * (1.0 / (1.0 - rho_edge) -
+                   1.0 / (std::sqrt(static_cast<double>(k)) *
+                          (1.0 - rho_cloud)));
+}
+
+double cutoff_utilization(double delta_n, int k) {
+  HCE_EXPECT(delta_n > 0.0, "delta_n must be positive");
+  HCE_EXPECT(k >= 1, "k must be >= 1");
+  return 1.0 -
+         (2.0 / delta_n) * (1.0 - 1.0 / std::sqrt(static_cast<double>(k)));
+}
+
+double cutoff_utilization_limit(double delta_n) {
+  HCE_EXPECT(delta_n > 0.0, "delta_n must be positive");
+  return 1.0 - 2.0 / delta_n;
+}
+
+}  // namespace literal
+
+}  // namespace hce::core

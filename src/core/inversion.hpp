@@ -1,0 +1,147 @@
+// Edge performance inversion bounds — the paper's §3 contribution.
+//
+// All bounds answer one question: for a network-latency advantage
+// Δn = n_cloud − n_edge, when do higher edge queueing delays offset it so
+// that the edge's end-to-end latency exceeds the cloud's
+// (T_edge > T_cloud)? Inversion is predicted exactly when
+//
+//     Δn  <  W_edge − W_cloud  (+ s_edge − s_cloud when hardware differs).
+//
+// Lemma 3.1 instantiates the right-hand side with Whitt's conditional-wait
+// approximation for M/M/1-vs-M/M/k; Lemma 3.2 with Allen–Cunneen for
+// G/G/1-vs-G/G/k; Lemma 3.3 weights sites by a skewed split.
+//
+// UNITS. The paper writes Eq. 6 dimensionlessly (waits in units of the
+// mean service time) and then compares against Δn in milliseconds, and
+// its printed Corollary 3.1.1 replaces √2 by 2. This implementation is
+// dimensionally explicit: every `*_bound` takes the per-server service
+// rate `mu` (req/s) and returns seconds. The paper-literal dimensionless
+// forms are provided under `literal::` for exact textual reproduction and
+// for tests that pin the printed equations.
+#pragma once
+
+#include <vector>
+
+#include "support/time.hpp"
+
+namespace hce::core {
+
+// --- Lemma 3.1: M/M/1 edge sites vs M/M/k cloud ------------------------
+
+struct MmkBoundParams {
+  int k = 1;              ///< number of edge sites == cloud servers
+  double rho_edge = 0.0;  ///< per-site edge utilization
+  double rho_cloud = 0.0; ///< cloud utilization
+  Rate mu = 13.0;         ///< per-server service rate (req/s)
+};
+
+/// Lemma 3.1 right-hand side in seconds:
+/// (√2/μ) (1/(1−ρ_edge) − 1/(√k (1−ρ_cloud))).
+/// Inversion is predicted whenever Δn is below this value.
+Time delta_n_bound_mmk(const MmkBoundParams& p);
+
+/// Inversion predicate for Lemma 3.1: true when the edge's end-to-end
+/// latency is predicted to exceed the cloud's.
+bool inversion_predicted_mmk(Time delta_n, const MmkBoundParams& p);
+
+/// Corollary 3.1.1 (derived consistently from the lemma, balanced load
+/// ρ_edge = ρ_cloud = ρ): the cutoff utilization above which inversion
+/// occurs,  ρ* = 1 − (√2/(μ Δn)) (1 − 1/√k).
+/// May be negative (inversion at any load) — callers display max(0, ρ*).
+double cutoff_utilization_mmk(Time delta_n, int k, Rate mu);
+
+/// Corollary 3.1.2 (k → ∞ limit): ρ* = 1 − √2/(μ Δn).
+double cutoff_utilization_mmk_limit(Time delta_n, Rate mu);
+
+/// Corollary 3.1.3: hard lower bound on the cloud RTT. If n_cloud is
+/// below this value the edge yields worse latency even with n_edge = 0.
+Time cloud_rtt_lower_bound(const MmkBoundParams& p);
+
+// --- Hardware-asymmetric variant (§3.1.1 discussion) --------------------
+// When the edge uses slower servers (mu_edge < mu_cloud), service times
+// differ and the inversion condition gains the (s_edge − s_cloud) term.
+
+struct AsymmetricParams {
+  int k = 1;
+  double rho_edge = 0.0;
+  double rho_cloud = 0.0;
+  Rate mu_edge = 13.0;
+  Rate mu_cloud = 13.0;
+};
+
+/// Δn bound with distinct edge/cloud service rates:
+/// √2/(μ_e (1−ρ_e)) − √2/(μ_c √k (1−ρ_c)) + (1/μ_e − 1/μ_c).
+/// With mu_edge == mu_cloud this reduces to delta_n_bound_mmk. Notably,
+/// inversion becomes possible even at k = 1.
+Time delta_n_bound_asymmetric(const AsymmetricParams& p);
+
+// --- Lemma 3.2: G/G/1 edge vs G/G/k cloud (Allen–Cunneen) --------------
+
+struct GgkBoundParams {
+  int k = 1;
+  double rho_edge = 0.0;
+  double rho_cloud = 0.0;
+  Rate mu = 13.0;        ///< shared service rate (same hardware)
+  double ca2_edge = 1.0; ///< SCV of inter-arrival times at one edge site
+  double ca2_cloud = 1.0;///< SCV of inter-arrival times at the cloud
+  double cb2 = 1.0;      ///< SCV of service times (same hardware => shared)
+  /// Servers per edge site. 1 is the paper's G/G/1 sites; > 1 models each
+  /// site as its own G/G/m pool (the paper's "easily extended" case).
+  int m_edge = 1;
+};
+
+/// Lemma 3.2 right-hand side in seconds (Allen–Cunneen difference):
+///   ρ_e/(μ(1−ρ_e)) (c_Ae²+c_B²)/2 − P_s/(μ(1−ρ_c)) (c_Ac²+c_B²)/(2k),
+/// with P_s the Bolch wait-probability approximation.
+Time delta_n_bound_ggk(const GgkBoundParams& p);
+
+bool inversion_predicted_ggk(Time delta_n, const GgkBoundParams& p);
+
+/// Corollary 3.2.1 (k → ∞): only the edge term survives.
+Time delta_n_bound_ggk_limit(const GgkBoundParams& p);
+
+/// Cutoff utilization for the G/G case under balanced load, found by
+/// monotone root search of delta_n_bound_ggk(ρ) = Δn over ρ ∈ (0, 1).
+/// Returns 0 when inversion is predicted at any utilization; 1 when the
+/// edge never inverts below saturation. `m_edge` = servers per edge site.
+double cutoff_utilization_ggk(Time delta_n, int k, Rate mu, double ca2_edge,
+                              double ca2_cloud, double cb2, int m_edge = 1);
+
+// --- Lemma 3.3: spatially skewed workload ------------------------------
+
+struct SkewedBoundParams {
+  /// Fraction of total load at each edge site (sums to 1).
+  std::vector<double> weights;
+  /// Utilization of each edge site (λ w_i k? — computed by the caller;
+  /// site i has ρ_i = λ_i / μ with λ_i = w_i λ).
+  std::vector<double> rho_sites;
+  double rho_cloud = 0.0;
+  Rate mu = 13.0;
+
+  int k() const { return static_cast<int>(weights.size()); }
+};
+
+/// Lemma 3.3 right-hand side in seconds:
+/// (√2/μ) (Σ_i w_i/(1−ρ_i)  −  1/(√k (1−ρ_cloud))).
+Time delta_n_bound_skewed(const SkewedBoundParams& p);
+
+bool inversion_predicted_skewed(Time delta_n, const SkewedBoundParams& p);
+
+// --- Paper-literal dimensionless forms ----------------------------------
+// Exactly the printed equations, with Δn treated as dimensionless (in
+// units of the mean service time). Kept for textual fidelity and tests.
+namespace literal {
+
+/// Lemma 3.1 RHS as printed: √2 (1/(1−ρ_e) − 1/(√k(1−ρ_c))).
+double delta_n_bound_mmk(int k, double rho_edge, double rho_cloud);
+
+/// Corollary 3.1.1 as printed (note the 2, not √2):
+/// ρ* = 1 − (2/Δn)(1 − 1/√k).
+double cutoff_utilization(double delta_n, int k);
+
+/// Corollary 3.1.2 as printed: ρ* = 1 − 2/Δn.
+double cutoff_utilization_limit(double delta_n);
+
+}  // namespace literal
+
+}  // namespace hce::core

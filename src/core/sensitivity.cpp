@@ -1,0 +1,82 @@
+#include "core/sensitivity.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "support/contracts.hpp"
+
+namespace hce::core {
+
+namespace {
+
+double central_difference(const GgkBoundParams& p, double GgkBoundParams::*field,
+                          double h, double lo, double hi) {
+  GgkBoundParams up = p;
+  GgkBoundParams down = p;
+  double& u = up.*field;
+  double& d = down.*field;
+  u = std::min(u + h, hi);
+  d = std::max(d - h, lo);
+  const double span = u - d;
+  HCE_ASSERT(span > 0.0, "sensitivity: degenerate step");
+  return (delta_n_bound_ggk(up) - delta_n_bound_ggk(down)) / span;
+}
+
+}  // namespace
+
+std::string BoundSensitivity::dominant_lever() const {
+  struct Entry {
+    const char* name;
+    double value;
+  };
+  const Entry entries[] = {
+      {"rho_edge", std::abs(d_rho_edge)},
+      {"rho_cloud", std::abs(d_rho_cloud)},
+      {"ca2_edge", std::abs(d_ca2_edge)},
+      {"cb2", std::abs(d_cb2)},
+  };
+  const Entry* best = &entries[0];
+  for (const auto& e : entries) {
+    if (e.value > best->value) best = &e;
+  }
+  return best->name;
+}
+
+BoundSensitivity bound_sensitivity(const GgkBoundParams& p) {
+  HCE_EXPECT(p.rho_edge > 0.0 && p.rho_edge < 1.0,
+             "sensitivity: rho_edge strictly inside (0, 1)");
+  HCE_EXPECT(p.rho_cloud > 0.0 && p.rho_cloud < 1.0,
+             "sensitivity: rho_cloud strictly inside (0, 1)");
+
+  BoundSensitivity s;
+  const double rho_step =
+      std::min({0.01, 0.5 * p.rho_edge, 0.5 * (1.0 - p.rho_edge),
+                0.5 * p.rho_cloud, 0.5 * (1.0 - p.rho_cloud)});
+  s.d_rho_edge = central_difference(p, &GgkBoundParams::rho_edge, rho_step,
+                                    1e-9, 1.0 - 1e-9);
+  s.d_rho_cloud = central_difference(p, &GgkBoundParams::rho_cloud, rho_step,
+                                     1e-9, 1.0 - 1e-9);
+  s.d_ca2_edge = central_difference(p, &GgkBoundParams::ca2_edge, 0.05, 0.0,
+                                    1e9);
+  s.d_cb2 = central_difference(p, &GgkBoundParams::cb2, 0.05, 0.0, 1e9);
+
+  // One more cloud server at the same aggregate load.
+  {
+    GgkBoundParams bigger = p;
+    bigger.k = p.k + 1;
+    bigger.rho_cloud =
+        p.rho_cloud * static_cast<double>(p.k) / static_cast<double>(p.k + 1);
+    s.d_cloud_server = delta_n_bound_ggk(bigger) - delta_n_bound_ggk(p);
+  }
+  // One more server per edge site at the same site load.
+  {
+    GgkBoundParams bigger = p;
+    bigger.m_edge = p.m_edge + 1;
+    bigger.rho_edge = p.rho_edge * static_cast<double>(p.m_edge) /
+                      static_cast<double>(p.m_edge + 1);
+    s.d_edge_server = delta_n_bound_ggk(bigger) - delta_n_bound_ggk(p);
+  }
+  return s;
+}
+
+}  // namespace hce::core

@@ -1,0 +1,43 @@
+// Sensitivity analysis of the inversion bound.
+//
+// The G/G/k bound (Lemma 3.2) has five levers: edge utilization, cloud
+// utilization, arrival burstiness, service variability, and the fleet
+// size. An operator asking "what do I fix first?" wants the partial
+// derivatives — how many milliseconds of bound does one point of
+// utilization (or one unit of SCV, or one extra server) buy? This module
+// differentiates the bound numerically and ranks the levers.
+#pragma once
+
+#include <string>
+
+#include "core/inversion.hpp"
+
+namespace hce::core {
+
+struct BoundSensitivity {
+  /// d(bound)/d(rho_edge): seconds of bound per unit edge utilization.
+  double d_rho_edge = 0.0;
+  /// d(bound)/d(rho_cloud) — negative: loading the cloud *helps* the edge.
+  double d_rho_cloud = 0.0;
+  /// d(bound)/d(ca2_edge): seconds per unit of edge arrival SCV.
+  double d_ca2_edge = 0.0;
+  /// d(bound)/d(cb2): seconds per unit of service SCV.
+  double d_cb2 = 0.0;
+  /// Discrete effect of one more cloud server at the same total load
+  /// (k -> k+1 with rho_cloud rescaled): seconds of bound change.
+  double d_cloud_server = 0.0;
+  /// Discrete effect of one more server per edge site at the same site
+  /// load (m_edge -> m_edge+1, rho_edge rescaled).
+  double d_edge_server = 0.0;
+
+  /// Name of the knob with the largest |effect| among the continuous
+  /// levers ("rho_edge", "rho_cloud", "ca2_edge", "cb2").
+  std::string dominant_lever() const;
+};
+
+/// Central finite differences of delta_n_bound_ggk at `p` (step sizes
+/// chosen relative to each parameter's scale and clipped to stay in
+/// domain). Contract: p must be strictly inside the stable region.
+BoundSensitivity bound_sensitivity(const GgkBoundParams& p);
+
+}  // namespace hce::core

@@ -1,0 +1,96 @@
+#include "core/slo.hpp"
+
+#include <cmath>
+
+#include "queueing/mmk.hpp"
+#include "support/contracts.hpp"
+#include "support/math.hpp"
+
+namespace hce::core {
+
+namespace {
+
+/// True when an M/M/k at arrival rate lambda meets the SLO behind rtt.
+bool meets(Rate lambda, int k, Rate mu, Time rtt, const SloTarget& slo) {
+  if (lambda >= mu * k) return false;  // unstable
+  if (lambda <= 0.0) {
+    // Zero-load floor: rtt + service.
+    if (slo.is_mean()) return rtt + 1.0 / mu <= slo.latency;
+    // Response is pure exponential service at zero load.
+    const Time budget = slo.latency - rtt;
+    if (budget <= 0.0) return false;
+    return std::exp(-mu * budget) <= 1.0 - slo.percentile;
+  }
+  const auto q = queueing::Mmk::make(lambda, mu, k);
+  if (slo.is_mean()) {
+    return rtt + q.mean_response() <= slo.latency;
+  }
+  const Time budget = slo.latency - rtt;
+  if (budget <= 0.0) return false;
+  return q.response_tail(budget) <= 1.0 - slo.percentile;
+}
+
+void check_slo(const SloTarget& slo) {
+  HCE_EXPECT(slo.latency > 0.0, "SLO latency must be positive");
+  HCE_EXPECT(slo.is_mean() || (slo.percentile > 0.0 && slo.percentile < 1.0),
+             "SLO percentile must be in (0,1) or mean()");
+}
+
+}  // namespace
+
+Rate max_rate_for_slo(int k, Rate mu, Time rtt, const SloTarget& slo) {
+  HCE_EXPECT(k >= 1, "max_rate_for_slo: k >= 1");
+  HCE_EXPECT(mu > 0.0, "max_rate_for_slo: mu > 0");
+  HCE_EXPECT(rtt >= 0.0, "max_rate_for_slo: rtt >= 0");
+  check_slo(slo);
+  if (!meets(0.0, k, mu, rtt, slo)) return 0.0;
+  const Rate cap = mu * static_cast<double>(k);
+  // meets() is monotone decreasing in lambda: bisect the boundary.
+  Rate lo = 0.0, hi = cap * (1.0 - 1e-9);
+  if (meets(hi, k, mu, rtt, slo)) return hi;
+  for (int i = 0; i < 80; ++i) {
+    const Rate mid = 0.5 * (lo + hi);
+    if (meets(mid, k, mu, rtt, slo)) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+  return lo;
+}
+
+int min_servers_for_slo(Rate lambda, Rate mu, Time rtt, const SloTarget& slo,
+                        int max_servers) {
+  HCE_EXPECT(lambda >= 0.0, "min_servers_for_slo: lambda >= 0");
+  HCE_EXPECT(mu > 0.0, "min_servers_for_slo: mu > 0");
+  check_slo(slo);
+  const int floor_k =
+      static_cast<int>(std::floor(lambda / mu)) + 1;  // stability
+  for (int k = floor_k; k <= max_servers; ++k) {
+    if (meets(lambda, k, mu, rtt, slo)) return k;
+    // Adding servers only helps queueing; once the zero-load floor fails
+    // no k will ever succeed.
+    if (!meets(0.0, k, mu, rtt, slo)) return -1;
+  }
+  return -1;
+}
+
+SloCapacityComparison compare_slo_capacity(int k_sites, int servers_per_site,
+                                           Rate mu, Time edge_rtt,
+                                           Time cloud_rtt,
+                                           const SloTarget& slo) {
+  HCE_EXPECT(k_sites >= 1 && servers_per_site >= 1,
+             "compare_slo_capacity: fleet must be non-empty");
+  SloCapacityComparison out;
+  const Rate per_site =
+      max_rate_for_slo(servers_per_site, mu, edge_rtt, slo);
+  out.edge_capacity = per_site * static_cast<double>(k_sites);
+  out.cloud_capacity =
+      max_rate_for_slo(k_sites * servers_per_site, mu, cloud_rtt, slo);
+  out.edge_over_cloud = out.cloud_capacity > 0.0
+                            ? out.edge_capacity / out.cloud_capacity
+                            : (out.edge_capacity > 0.0 ? 1e18 : 1.0);
+  return out;
+}
+
+}  // namespace hce::core

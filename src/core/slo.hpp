@@ -1,0 +1,51 @@
+// SLO-capacity analysis: how much load can a deployment carry while
+// meeting a latency objective?
+//
+// The paper frames inversion as "edge latency exceeds cloud latency"; an
+// operator's version of the same question is "which deployment sustains
+// more load under my SLO (e.g. p95 end-to-end < 200 ms)?". These helpers
+// answer it exactly for M/M/k response-time distributions, including the
+// network RTT, and expose the edge-vs-cloud capacity comparison that
+// follows from the bank-teller effect.
+#pragma once
+
+#include "support/time.hpp"
+
+namespace hce::core {
+
+struct SloTarget {
+  double percentile = 0.95;  ///< fraction of requests that must meet it
+  Time latency = 0.200;      ///< end-to-end bound (seconds)
+
+  /// Mean-latency objective instead of a percentile one.
+  static SloTarget mean(Time latency) { return SloTarget{-1.0, latency}; }
+  bool is_mean() const { return percentile < 0.0; }
+};
+
+/// Largest arrival rate an M/M/k cluster behind a fixed RTT can sustain
+/// while meeting the SLO. Returns 0 when even lambda -> 0 misses it
+/// (i.e. rtt + service floor already violates the bound).
+Rate max_rate_for_slo(int k, Rate mu, Time rtt, const SloTarget& slo);
+
+/// Smallest server count that carries `lambda` within the SLO; -1 if no
+/// count up to `max_servers` suffices (RTT + service floor too high).
+int min_servers_for_slo(Rate lambda, Rate mu, Time rtt, const SloTarget& slo,
+                        int max_servers = 4096);
+
+/// Edge-vs-cloud SLO capacity: the aggregate rate k balanced edge sites
+/// (m servers each, edge RTT) can sustain, versus one cloud cluster of
+/// k*m servers at the cloud RTT, under the same SLO.
+struct SloCapacityComparison {
+  Rate edge_capacity = 0.0;   ///< aggregate across all sites
+  Rate cloud_capacity = 0.0;
+  /// edge/cloud ratio; < 1 means the pooled cloud carries more load
+  /// under this SLO despite its network handicap.
+  double edge_over_cloud = 0.0;
+};
+
+SloCapacityComparison compare_slo_capacity(int k_sites, int servers_per_site,
+                                           Rate mu, Time edge_rtt,
+                                           Time cloud_rtt,
+                                           const SloTarget& slo);
+
+}  // namespace hce::core

@@ -1,0 +1,120 @@
+#include "des/ps_station.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "support/contracts.hpp"
+
+namespace hce::des {
+
+PsStation::PsStation(Simulation& sim, std::string name,
+                     int server_equivalents, double speed, int station_id)
+    : sim_(sim),
+      name_(std::move(name)),
+      servers_(server_equivalents),
+      speed_(speed),
+      station_id_(station_id),
+      last_update_(sim.now()),
+      system_tw_(sim.now()),
+      busy_tw_(sim.now()) {
+  HCE_EXPECT(server_equivalents >= 1, "PS station needs >= 1 server");
+  HCE_EXPECT(speed > 0.0, "PS station speed must be positive");
+}
+
+void PsStation::set_completion_handler(CompletionHandler handler) {
+  on_complete_ = std::move(handler);
+}
+
+double PsStation::job_rate(std::size_t n) const {
+  if (n == 0) return 0.0;
+  return speed_ * std::min(1.0, static_cast<double>(servers_) /
+                                    static_cast<double>(n));
+}
+
+void PsStation::advance_to_now() {
+  const Time now = sim_.now();
+  const Time elapsed = now - last_update_;
+  if (elapsed > 0.0 && !jobs_.empty()) {
+    const double progress = elapsed * job_rate(jobs_.size());
+    for (auto& job : jobs_) {
+      job.remaining -= progress;
+      // Numerical guard: jobs finishing exactly now may dip epsilon below.
+      if (job.remaining < 0.0) job.remaining = 0.0;
+    }
+  }
+  last_update_ = now;
+}
+
+void PsStation::reschedule_completion() {
+  if (has_pending_) {
+    sim_.cancel(pending_completion_);
+    has_pending_ = false;
+  }
+  if (jobs_.empty()) return;
+  double min_remaining = std::numeric_limits<double>::max();
+  for (const auto& job : jobs_) {
+    min_remaining = std::min(min_remaining, job.remaining);
+  }
+  const double rate = job_rate(jobs_.size());
+  HCE_ASSERT(rate > 0.0, "PS rate must be positive with jobs present");
+  pending_completion_ = sim_.schedule_in(min_remaining / rate,
+                                         [this] { complete_earliest(); });
+  has_pending_ = true;
+}
+
+void PsStation::complete_earliest() {
+  has_pending_ = false;
+  advance_to_now();
+  // Pop the job with the smallest remaining demand (<= epsilon by
+  // construction; ties broken by arrival order via stable iteration).
+  auto earliest = jobs_.begin();
+  for (auto it = jobs_.begin(); it != jobs_.end(); ++it) {
+    if (it->remaining < earliest->remaining) earliest = it;
+  }
+  HCE_ASSERT(earliest != jobs_.end(), "completion with no jobs");
+  Request done = std::move(earliest->req);
+  jobs_.erase(earliest);
+  done.t_departure = sim_.now();
+  ++completed_;
+  system_tw_.set(sim_.now(), static_cast<double>(jobs_.size()));
+  busy_tw_.set(sim_.now(),
+               std::min<double>(static_cast<double>(jobs_.size()),
+                                static_cast<double>(servers_)));
+  reschedule_completion();
+  if (on_complete_) on_complete_(done);
+}
+
+void PsStation::arrive(Request req) {
+  HCE_EXPECT(req.service_demand >= 0.0,
+             "request service demand must be non-negative");
+  advance_to_now();
+  req.t_arrival = sim_.now();
+  // PS has no waiting room: service begins immediately (at a shared rate).
+  req.t_start = sim_.now();
+  req.station_id = station_id_;
+  ++arrivals_;
+  jobs_.push_back(Job{std::move(req), 0.0});
+  jobs_.back().remaining = jobs_.back().req.service_demand;
+  system_tw_.set(sim_.now(), static_cast<double>(jobs_.size()));
+  busy_tw_.set(sim_.now(),
+               std::min<double>(static_cast<double>(jobs_.size()),
+                                static_cast<double>(servers_)));
+  reschedule_completion();
+}
+
+double PsStation::mean_in_system() const {
+  return system_tw_.average(sim_.now());
+}
+
+double PsStation::utilization() const {
+  return busy_tw_.average(sim_.now()) / static_cast<double>(servers_);
+}
+
+void PsStation::reset_stats() {
+  system_tw_.reset(sim_.now());
+  busy_tw_.reset(sim_.now());
+  completed_ = 0;
+  arrivals_ = 0;
+}
+
+}  // namespace hce::des

@@ -1,0 +1,81 @@
+// Processor-sharing (PS) station.
+//
+// FCFS is the paper's service discipline, but real web/inference servers
+// are closer to processor sharing (request handlers time-slice the CPU).
+// PS changes the latency distribution (no convoy effect; famous
+// insensitivity: M/G/1-PS mean response depends on the service
+// distribution only through its mean), so this station lets experiments
+// check which conclusions survive the discipline swap — the inversion
+// story does, since mean PS response still explodes as 1/(1-rho).
+//
+// Semantics: n jobs share c server-equivalents; each in-service job
+// progresses at rate speed * min(c/n, 1). All jobs are always in service
+// (egalitarian PS) — there is no queue.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <list>
+#include <string>
+
+#include "des/request.hpp"
+#include "des/simulation.hpp"
+#include "stats/timeweighted.hpp"
+
+namespace hce::des {
+
+class PsStation {
+ public:
+  using CompletionHandler = std::function<void(const Request&)>;
+
+  PsStation(Simulation& sim, std::string name, int server_equivalents,
+            double speed = 1.0, int station_id = -1);
+
+  void set_completion_handler(CompletionHandler handler);
+  void arrive(Request req);
+
+  std::size_t in_system() const { return jobs_.size(); }
+  int num_servers() const { return servers_; }
+  const std::string& name() const { return name_; }
+
+  /// Time-average number in system since last reset.
+  double mean_in_system() const;
+  /// Time-average fraction of capacity in use.
+  double utilization() const;
+  std::uint64_t completed() const { return completed_; }
+  std::uint64_t arrivals() const { return arrivals_; }
+  void reset_stats();
+
+ private:
+  struct Job {
+    Request req;
+    double remaining;  ///< remaining demand in reference-server seconds
+  };
+
+  /// Applies progress since last_update_ to all jobs.
+  void advance_to_now();
+  /// Per-job progress rate with n jobs in the system.
+  double job_rate(std::size_t n) const;
+  /// (Re)schedules the completion event for the earliest finisher.
+  void reschedule_completion();
+  void complete_earliest();
+
+  Simulation& sim_;
+  std::string name_;
+  int servers_;
+  double speed_;
+  int station_id_;
+  CompletionHandler on_complete_;
+
+  std::list<Job> jobs_;
+  Time last_update_ = 0.0;
+  Simulation::EventId pending_completion_{};
+  bool has_pending_ = false;
+  std::uint64_t completed_ = 0;
+  std::uint64_t arrivals_ = 0;
+
+  stats::TimeWeighted system_tw_;
+  stats::TimeWeighted busy_tw_;  ///< server-equivalents in use
+};
+
+}  // namespace hce::des

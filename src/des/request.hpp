@@ -1,0 +1,50 @@
+// The request entity flowing through simulated deployments.
+//
+// Carries its full timestamp lineage so any latency decomposition the
+// paper reports (network, waiting, service — Eq. 1/2) can be reconstructed
+// per request after the fact.
+#pragma once
+
+#include <cstdint>
+
+#include "support/time.hpp"
+
+namespace hce::des {
+
+struct Request {
+  std::uint64_t id = 0;
+
+  /// Originating region == target edge site index (0-based). The cloud
+  /// deployment ignores it for routing but keeps it for per-site reporting.
+  int site = 0;
+
+  /// Client-side send time.
+  Time t_created = 0.0;
+  /// Arrival at the serving station's queue (after uplink network delay).
+  Time t_arrival = 0.0;
+  /// Service start (t_arrival + waiting time).
+  Time t_start = 0.0;
+  /// Service completion at the server.
+  Time t_departure = 0.0;
+  /// Completion observed back at the client (t_departure + downlink).
+  Time t_completed = 0.0;
+
+  /// Server work demand in seconds on a reference-speed server. The
+  /// station divides by its speed factor, modeling the paper's
+  /// resource-constrained edge hardware (s_edge > s_cloud).
+  double service_demand = 0.0;
+
+  /// Station that served the request (set by the station).
+  int station_id = -1;
+  /// Server slot within the station.
+  int served_by = -1;
+  /// Number of geographic load-balancing redirects experienced.
+  int redirects = 0;
+
+  Time waiting_time() const { return t_start - t_arrival; }
+  Time service_time() const { return t_departure - t_start; }
+  Time server_time() const { return t_departure - t_arrival; }
+  Time end_to_end() const { return t_completed - t_created; }
+};
+
+}  // namespace hce::des

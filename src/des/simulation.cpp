@@ -1,0 +1,35 @@
+#include "des/simulation.hpp"
+
+#include <utility>
+
+namespace hce::des {
+
+std::uint64_t Simulation::run(Time until, std::uint64_t max_events) {
+  std::uint64_t n = 0;
+  while (!heap_.empty() && n < max_events) {
+    const Entry& top = heap_.top();
+    if (top.t > until) {
+      now_ = until;
+      break;
+    }
+    // Lazy deletion of cancelled events.
+    const auto it = cancelled_.find(top.seq);
+    if (it != cancelled_.end()) {
+      cancelled_.erase(it);
+      heap_.pop();
+      continue;
+    }
+    Handler fn = std::move(top.fn);
+    now_ = top.t;
+    heap_.pop();
+    fn();
+    ++n;
+    ++executed_;
+  }
+  if (heap_.empty() && until != kTimeInfinity && now_ < until) {
+    now_ = until;
+  }
+  return n;
+}
+
+}  // namespace hce::des

@@ -1,0 +1,54 @@
+#include "des/sink.hpp"
+
+#include <algorithm>
+
+namespace hce::des {
+
+void Sink::record(const Request& req) {
+  CompletionRecord r;
+  r.t_created = req.t_created;
+  r.t_completed = req.t_completed;
+  r.waiting = static_cast<float>(req.waiting_time());
+  r.service = static_cast<float>(req.service_time());
+  r.end_to_end = static_cast<float>(req.end_to_end());
+  r.site = static_cast<std::int16_t>(req.site);
+  r.station = static_cast<std::int16_t>(req.station_id);
+  r.redirects = static_cast<std::int16_t>(req.redirects);
+  records_.push_back(r);
+}
+
+void Sink::drop_before(Time t) {
+  records_.erase(std::remove_if(records_.begin(), records_.end(),
+                                [t](const CompletionRecord& r) {
+                                  return r.t_completed < t;
+                                }),
+                 records_.end());
+}
+
+std::vector<double> Sink::latencies(int site) const {
+  std::vector<double> out;
+  out.reserve(records_.size());
+  for (const auto& r : records_) {
+    if (site < 0 || r.site == site) out.push_back(r.end_to_end);
+  }
+  return out;
+}
+
+std::vector<double> Sink::waiting_times(int site) const {
+  std::vector<double> out;
+  out.reserve(records_.size());
+  for (const auto& r : records_) {
+    if (site < 0 || r.site == site) out.push_back(r.waiting);
+  }
+  return out;
+}
+
+stats::Summary Sink::latency_summary(int site) const {
+  stats::Summary s;
+  for (const auto& r : records_) {
+    if (site < 0 || r.site == site) s.add(r.end_to_end);
+  }
+  return s;
+}
+
+}  // namespace hce::des

@@ -1,0 +1,52 @@
+// Completion sink: records finished requests for post-run analysis.
+//
+// Stores compact per-request records (not the whole Request) so multi-hour
+// trace replays stay memory-light while still supporting means, tails,
+// distributions, per-site breakdowns, and time series.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "des/request.hpp"
+#include "stats/summary.hpp"
+
+namespace hce::des {
+
+struct CompletionRecord {
+  Time t_created;
+  Time t_completed;
+  float waiting;     ///< queueing delay (s)
+  float service;     ///< service time (s)
+  float end_to_end;  ///< total latency (s)
+  std::int16_t site;
+  std::int16_t station;
+  std::int16_t redirects;
+};
+
+class Sink {
+ public:
+  /// Records a completed request observed back at the client.
+  void record(const Request& req);
+
+  /// Drops records completed before `t` (warmup removal).
+  void drop_before(Time t);
+
+  std::size_t size() const { return records_.size(); }
+  const std::vector<CompletionRecord>& records() const { return records_; }
+
+  /// End-to-end latencies as a plain vector (for quantiles / box plots),
+  /// optionally restricted to one site (-1 = all).
+  std::vector<double> latencies(int site = -1) const;
+  std::vector<double> waiting_times(int site = -1) const;
+
+  /// Streaming summary over end-to-end latency.
+  stats::Summary latency_summary(int site = -1) const;
+
+  void clear() { records_.clear(); }
+
+ private:
+  std::vector<CompletionRecord> records_;
+};
+
+}  // namespace hce::des

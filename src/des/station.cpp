@@ -1,0 +1,106 @@
+#include "des/station.hpp"
+
+#include <utility>
+
+namespace hce::des {
+
+Station::Station(Simulation& sim, std::string name, int num_servers,
+                 double speed, int station_id)
+    : sim_(sim),
+      name_(std::move(name)),
+      num_servers_(num_servers),
+      speed_(speed),
+      station_id_(station_id),
+      queue_tw_(sim.now()),
+      busy_tw_(sim.now()),
+      system_tw_(sim.now()) {
+  HCE_EXPECT(num_servers >= 1, "station needs at least one server");
+  HCE_EXPECT(speed > 0.0, "station speed must be positive");
+  server_busy_.assign(static_cast<std::size_t>(num_servers), false);
+}
+
+void Station::set_completion_handler(CompletionHandler handler) {
+  on_complete_ = std::move(handler);
+}
+
+void Station::arrive(Request req) {
+  HCE_EXPECT(req.service_demand >= 0.0,
+             "request service demand must be non-negative");
+  req.t_arrival = sim_.now();
+  req.station_id = station_id_;
+  ++arrivals_;
+  system_tw_.adjust(sim_.now(), 1.0);
+
+  if (busy_ < num_servers_) {
+    // Find an idle server slot.
+    int server = -1;
+    for (int s = 0; s < num_servers_; ++s) {
+      if (!server_busy_[static_cast<std::size_t>(s)]) {
+        server = s;
+        break;
+      }
+    }
+    HCE_ASSERT(server >= 0, "busy count disagrees with server flags");
+    start_service(std::move(req), server);
+  } else {
+    queued_work_ += req.service_demand;
+    queue_.push_back(std::move(req));
+    queue_tw_.set(sim_.now(), static_cast<double>(queue_.size()));
+  }
+}
+
+void Station::start_service(Request req, int server) {
+  req.t_start = sim_.now();
+  req.served_by = server;
+  server_busy_[static_cast<std::size_t>(server)] = true;
+  ++busy_;
+  busy_tw_.set(sim_.now(), static_cast<double>(busy_));
+
+  const Time service_time = req.service_demand / speed_;
+  sim_.schedule_in(service_time,
+                   [this, server, r = std::move(req)]() mutable {
+                     r.t_departure = sim_.now();
+                     server_busy_[static_cast<std::size_t>(server)] = false;
+                     --busy_;
+                     busy_tw_.set(sim_.now(), static_cast<double>(busy_));
+                     system_tw_.adjust(sim_.now(), -1.0);
+                     ++completed_;
+
+                     // Pull the next request before invoking the handler so
+                     // reentrant arrivals observe a consistent queue.
+                     if (!queue_.empty()) {
+                       Request next = std::move(queue_.front());
+                       queue_.pop_front();
+                       queued_work_ -= next.service_demand;
+                       if (queued_work_ < 0.0) queued_work_ = 0.0;
+                       queue_tw_.set(sim_.now(),
+                                     static_cast<double>(queue_.size()));
+                       start_service(std::move(next), server);
+                     }
+
+                     if (on_complete_) on_complete_(r);
+                   });
+}
+
+double Station::utilization() const {
+  const double avg_busy = busy_tw_.average(sim_.now());
+  return avg_busy / static_cast<double>(num_servers_);
+}
+
+double Station::mean_queue_length() const {
+  return queue_tw_.average(sim_.now());
+}
+
+double Station::mean_in_system() const {
+  return system_tw_.average(sim_.now());
+}
+
+void Station::reset_stats() {
+  queue_tw_.reset(sim_.now());
+  busy_tw_.reset(sim_.now());
+  system_tw_.reset(sim_.now());
+  completed_ = 0;
+  arrivals_ = 0;
+}
+
+}  // namespace hce::des

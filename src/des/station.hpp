@@ -1,0 +1,89 @@
+// FCFS multi-server queueing station.
+//
+// One Station models either a single edge site (c = servers-per-site) or
+// the paper's idealized cloud (c = k servers sharing one queue — the
+// "single queue, many tellers" side of the bank-teller problem). Requests
+// wait in one FIFO line; any idle server takes the head of the line.
+//
+// The station tracks time-weighted queue length, number-in-system, and
+// busy-server integrals so tests can verify Little's law and utilization
+// against closed forms.
+#pragma once
+
+#include <deque>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "des/request.hpp"
+#include "des/simulation.hpp"
+#include "stats/timeweighted.hpp"
+
+namespace hce::des {
+
+class Station {
+ public:
+  using CompletionHandler = std::function<void(const Request&)>;
+
+  /// `speed`: service rate multiplier relative to the reference server.
+  /// speed < 1 models the resource-constrained edge hardware of §3.1.1
+  /// (requests take service_demand / speed seconds here).
+  Station(Simulation& sim, std::string name, int num_servers,
+          double speed = 1.0, int station_id = -1);
+
+  /// Called when a request finishes service. Must be set before the first
+  /// arrival completes (typically by the deployment that owns the station).
+  void set_completion_handler(CompletionHandler handler);
+
+  /// Request arrives at the queue at the current simulation time.
+  void arrive(Request req);
+
+  // --- Introspection (used by dispatchers and geographic LB) -----------
+  int num_servers() const { return num_servers_; }
+  std::size_t queue_length() const { return queue_.size(); }
+  int busy_servers() const { return busy_; }
+  /// Queue length + in-service count.
+  std::size_t in_system() const { return queue_.size() + static_cast<std::size_t>(busy_); }
+  /// Total unfinished work (remaining service demand of queued requests,
+  /// excluding in-service remnants) — the "least work" dispatch signal.
+  double queued_work() const { return queued_work_; }
+  const std::string& name() const { return name_; }
+  int id() const { return station_id_; }
+  double speed() const { return speed_; }
+
+  // --- Statistics -------------------------------------------------------
+  /// Time-average utilization (busy-server integral / (c * elapsed)) since
+  /// the last reset_stats().
+  double utilization() const;
+  /// Time-average queue length since last reset.
+  double mean_queue_length() const;
+  /// Time-average number in system since last reset.
+  double mean_in_system() const;
+  std::uint64_t completed() const { return completed_; }
+  std::uint64_t arrivals() const { return arrivals_; }
+  /// Discards accumulated statistics (warmup removal); counters restart.
+  void reset_stats();
+
+ private:
+  void start_service(Request req, int server);
+
+  Simulation& sim_;
+  std::string name_;
+  int num_servers_;
+  double speed_;
+  int station_id_;
+  CompletionHandler on_complete_;
+
+  std::deque<Request> queue_;
+  double queued_work_ = 0.0;
+  std::vector<bool> server_busy_;
+  int busy_ = 0;
+  std::uint64_t completed_ = 0;
+  std::uint64_t arrivals_ = 0;
+
+  stats::TimeWeighted queue_tw_;
+  stats::TimeWeighted busy_tw_;
+  stats::TimeWeighted system_tw_;
+};
+
+}  // namespace hce::des

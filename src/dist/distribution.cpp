@@ -1,0 +1,380 @@
+#include "dist/distribution.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <random>
+#include <sstream>
+
+#include "support/contracts.hpp"
+
+namespace hce::dist {
+
+double Distribution::stddev() const { return std::sqrt(variance()); }
+
+double Distribution::cov() const {
+  const double m = mean();
+  return m == 0.0 ? 0.0 : stddev() / m;
+}
+
+double Distribution::scv() const {
+  const double c = cov();
+  return c * c;
+}
+
+namespace {
+
+class Exponential final : public Distribution {
+ public:
+  explicit Exponential(double mean) : mean_(mean) {
+    HCE_EXPECT(mean > 0.0, "exponential mean must be positive");
+  }
+  double sample(Rng& rng) const override {
+    return -mean_ * std::log1p(-rng.uniform01());
+  }
+  double mean() const override { return mean_; }
+  double variance() const override { return mean_ * mean_; }
+  std::string name() const override {
+    return "Exp(mean=" + std::to_string(mean_) + ")";
+  }
+
+ private:
+  double mean_;
+};
+
+class Deterministic final : public Distribution {
+ public:
+  explicit Deterministic(double v) : v_(v) {
+    HCE_EXPECT(v >= 0.0, "deterministic value must be non-negative");
+  }
+  double sample(Rng&) const override { return v_; }
+  double mean() const override { return v_; }
+  double variance() const override { return 0.0; }
+  std::string name() const override {
+    return "Det(" + std::to_string(v_) + ")";
+  }
+
+ private:
+  double v_;
+};
+
+class Uniform final : public Distribution {
+ public:
+  Uniform(double lo, double hi) : lo_(lo), hi_(hi) {
+    HCE_EXPECT(lo <= hi, "uniform requires lo <= hi");
+  }
+  double sample(Rng& rng) const override { return rng.uniform(lo_, hi_); }
+  double mean() const override { return 0.5 * (lo_ + hi_); }
+  double variance() const override {
+    const double w = hi_ - lo_;
+    return w * w / 12.0;
+  }
+  std::string name() const override {
+    return "Uniform(" + std::to_string(lo_) + "," + std::to_string(hi_) + ")";
+  }
+
+ private:
+  double lo_, hi_;
+};
+
+class Lognormal final : public Distribution {
+ public:
+  Lognormal(double mean, double cov) : mean_(mean), cov_(cov) {
+    HCE_EXPECT(mean > 0.0, "lognormal mean must be positive");
+    HCE_EXPECT(cov > 0.0, "lognormal cov must be positive");
+    sigma2_ = std::log1p(cov * cov);
+    mu_ = std::log(mean) - 0.5 * sigma2_;
+    sigma_ = std::sqrt(sigma2_);
+  }
+  double sample(Rng& rng) const override {
+    std::normal_distribution<double> n(mu_, sigma_);
+    return std::exp(n(rng.engine()));
+  }
+  double mean() const override { return mean_; }
+  double variance() const override { return mean_ * mean_ * cov_ * cov_; }
+  std::string name() const override {
+    return "Lognormal(mean=" + std::to_string(mean_) +
+           ",cov=" + std::to_string(cov_) + ")";
+  }
+
+ private:
+  double mean_, cov_, mu_, sigma_, sigma2_;
+};
+
+class Gamma final : public Distribution {
+ public:
+  Gamma(double mean, double cov) : mean_(mean), cov_(cov) {
+    HCE_EXPECT(mean > 0.0, "gamma mean must be positive");
+    HCE_EXPECT(cov > 0.0, "gamma cov must be positive");
+    shape_ = 1.0 / (cov * cov);
+    scale_ = mean / shape_;
+  }
+  double sample(Rng& rng) const override {
+    std::gamma_distribution<double> g(shape_, scale_);
+    return g(rng.engine());
+  }
+  double mean() const override { return mean_; }
+  double variance() const override { return mean_ * mean_ * cov_ * cov_; }
+  std::string name() const override {
+    return "Gamma(mean=" + std::to_string(mean_) +
+           ",cov=" + std::to_string(cov_) + ")";
+  }
+
+ private:
+  double mean_, cov_, shape_, scale_;
+};
+
+class Weibull final : public Distribution {
+ public:
+  Weibull(double shape, double scale) : shape_(shape), scale_(scale) {
+    HCE_EXPECT(shape > 0.0 && scale > 0.0,
+               "weibull shape and scale must be positive");
+    const double g1 = std::tgamma(1.0 + 1.0 / shape);
+    const double g2 = std::tgamma(1.0 + 2.0 / shape);
+    mean_ = scale * g1;
+    variance_ = scale * scale * (g2 - g1 * g1);
+  }
+  double sample(Rng& rng) const override {
+    return scale_ * std::pow(-std::log1p(-rng.uniform01()), 1.0 / shape_);
+  }
+  double mean() const override { return mean_; }
+  double variance() const override { return variance_; }
+  std::string name() const override {
+    return "Weibull(shape=" + std::to_string(shape_) +
+           ",scale=" + std::to_string(scale_) + ")";
+  }
+
+ private:
+  double shape_, scale_, mean_, variance_;
+};
+
+class Pareto final : public Distribution {
+ public:
+  Pareto(double alpha, double xm) : alpha_(alpha), xm_(xm) {
+    HCE_EXPECT(alpha > 1.0, "pareto needs alpha > 1 for a finite mean");
+    HCE_EXPECT(xm > 0.0, "pareto xm must be positive");
+  }
+  double sample(Rng& rng) const override {
+    return xm_ / std::pow(1.0 - rng.uniform01(), 1.0 / alpha_);
+  }
+  double mean() const override { return alpha_ * xm_ / (alpha_ - 1.0); }
+  double variance() const override {
+    if (alpha_ <= 2.0) return std::numeric_limits<double>::infinity();
+    return xm_ * xm_ * alpha_ /
+           ((alpha_ - 1.0) * (alpha_ - 1.0) * (alpha_ - 2.0));
+  }
+  std::string name() const override {
+    return "Pareto(alpha=" + std::to_string(alpha_) +
+           ",xm=" + std::to_string(xm_) + ")";
+  }
+
+ private:
+  double alpha_, xm_;
+};
+
+class BoundedPareto final : public Distribution {
+ public:
+  BoundedPareto(double alpha, double xm, double cap)
+      : alpha_(alpha), xm_(xm), cap_(cap) {
+    HCE_EXPECT(alpha > 0.0 && alpha != 1.0 && alpha != 2.0,
+               "bounded pareto: alpha must be > 0 and != 1, 2");
+    HCE_EXPECT(xm > 0.0 && cap > xm, "bounded pareto requires cap > xm > 0");
+    const double la = std::pow(xm, alpha);
+    const double ha = std::pow(cap, alpha);
+    // Raw moments of the truncated Pareto.
+    mean_ = la / (1.0 - la / ha) * alpha / (alpha - 1.0) *
+            (1.0 / std::pow(xm, alpha - 1.0) - 1.0 / std::pow(cap, alpha - 1.0));
+    m2_ = la / (1.0 - la / ha) * alpha / (alpha - 2.0) *
+          (1.0 / std::pow(xm, alpha - 2.0) - 1.0 / std::pow(cap, alpha - 2.0));
+  }
+  double sample(Rng& rng) const override {
+    const double u = rng.uniform01();
+    const double ha = std::pow(cap_, alpha_);
+    const double la = std::pow(xm_, alpha_);
+    return std::pow(-(u * ha - u * la - ha) / (ha * la), -1.0 / alpha_);
+  }
+  double mean() const override { return mean_; }
+  double variance() const override { return m2_ - mean_ * mean_; }
+  std::string name() const override {
+    return "BoundedPareto(alpha=" + std::to_string(alpha_) + ",xm=" +
+           std::to_string(xm_) + ",cap=" + std::to_string(cap_) + ")";
+  }
+
+ private:
+  double alpha_, xm_, cap_, mean_, m2_;
+};
+
+class HyperExponential final : public Distribution {
+ public:
+  // Balanced-means two-phase fit (Allen 1990): phase i chosen with prob
+  // p_i, rate mu_i, with p1*mu2 = p2*mu1 ("balanced"), matching mean and
+  // SCV >= 1.
+  HyperExponential(double mean, double cov) : mean_(mean), cov_(cov) {
+    HCE_EXPECT(mean > 0.0, "hyperexponential mean must be positive");
+    HCE_EXPECT(cov >= 1.0, "hyperexponential requires cov >= 1");
+    const double scv = cov * cov;
+    p1_ = 0.5 * (1.0 + std::sqrt((scv - 1.0) / (scv + 1.0)));
+    mu1_ = 2.0 * p1_ / mean;
+    mu2_ = 2.0 * (1.0 - p1_) / mean;
+  }
+  double sample(Rng& rng) const override {
+    const double rate = rng.uniform01() < p1_ ? mu1_ : mu2_;
+    return -std::log1p(-rng.uniform01()) / rate;
+  }
+  double mean() const override { return mean_; }
+  double variance() const override { return mean_ * mean_ * cov_ * cov_; }
+  std::string name() const override {
+    return "H2(mean=" + std::to_string(mean_) +
+           ",cov=" + std::to_string(cov_) + ")";
+  }
+
+ private:
+  double mean_, cov_, p1_, mu1_, mu2_;
+};
+
+class Empirical final : public Distribution {
+ public:
+  explicit Empirical(std::vector<double> values)
+      : values_(std::move(values)) {
+    HCE_EXPECT(!values_.empty(), "empirical distribution needs values");
+    const double n = static_cast<double>(values_.size());
+    mean_ = std::accumulate(values_.begin(), values_.end(), 0.0) / n;
+    double sq = 0.0;
+    for (double v : values_) sq += (v - mean_) * (v - mean_);
+    variance_ = values_.size() > 1 ? sq / (n - 1.0) : 0.0;
+  }
+  double sample(Rng& rng) const override {
+    return values_[rng.below(values_.size())];
+  }
+  double mean() const override { return mean_; }
+  double variance() const override { return variance_; }
+  std::string name() const override {
+    return "Empirical(n=" + std::to_string(values_.size()) + ")";
+  }
+
+ private:
+  std::vector<double> values_;
+  double mean_, variance_;
+};
+
+class Shifted final : public Distribution {
+ public:
+  Shifted(DistPtr base, double offset)
+      : base_(std::move(base)), offset_(offset) {
+    HCE_EXPECT(base_ != nullptr, "shifted: null base distribution");
+    HCE_EXPECT(offset >= 0.0, "shifted: offset must be non-negative");
+  }
+  double sample(Rng& rng) const override {
+    return base_->sample(rng) + offset_;
+  }
+  double mean() const override { return base_->mean() + offset_; }
+  double variance() const override { return base_->variance(); }
+  std::string name() const override {
+    return base_->name() + "+" + std::to_string(offset_);
+  }
+
+ private:
+  DistPtr base_;
+  double offset_;
+};
+
+class Scaled final : public Distribution {
+ public:
+  Scaled(DistPtr base, double factor)
+      : base_(std::move(base)), factor_(factor) {
+    HCE_EXPECT(base_ != nullptr, "scaled: null base distribution");
+    HCE_EXPECT(factor > 0.0, "scaled: factor must be positive");
+  }
+  double sample(Rng& rng) const override {
+    return base_->sample(rng) * factor_;
+  }
+  double mean() const override { return base_->mean() * factor_; }
+  double variance() const override {
+    return base_->variance() * factor_ * factor_;
+  }
+  std::string name() const override {
+    return std::to_string(factor_) + "*" + base_->name();
+  }
+
+ private:
+  DistPtr base_;
+  double factor_;
+};
+
+class ErlangK final : public Distribution {
+ public:
+  ErlangK(int k, double mean) : k_(k), mean_(mean) {
+    HCE_EXPECT(k >= 1, "erlang requires k >= 1");
+    HCE_EXPECT(mean > 0.0, "erlang mean must be positive");
+    phase_mean_ = mean / k;
+  }
+  double sample(Rng& rng) const override {
+    // Product of uniforms trick: sum of k exponentials.
+    double prod = 1.0;
+    for (int i = 0; i < k_; ++i) prod *= 1.0 - rng.uniform01();
+    return -phase_mean_ * std::log(prod);
+  }
+  double mean() const override { return mean_; }
+  double variance() const override { return mean_ * mean_ / k_; }
+  std::string name() const override {
+    return "Erlang(k=" + std::to_string(k_) +
+           ",mean=" + std::to_string(mean_) + ")";
+  }
+
+ private:
+  int k_;
+  double mean_, phase_mean_;
+};
+
+}  // namespace
+
+DistPtr exponential(double mean) {
+  return std::make_shared<Exponential>(mean);
+}
+DistPtr deterministic(double value) {
+  return std::make_shared<Deterministic>(value);
+}
+DistPtr uniform(double lo, double hi) {
+  return std::make_shared<Uniform>(lo, hi);
+}
+DistPtr lognormal(double mean, double cov) {
+  return std::make_shared<Lognormal>(mean, cov);
+}
+DistPtr gamma(double mean, double cov) {
+  return std::make_shared<Gamma>(mean, cov);
+}
+DistPtr erlang(int k, double mean) {
+  return std::make_shared<ErlangK>(k, mean);
+}
+DistPtr weibull(double shape, double scale) {
+  return std::make_shared<Weibull>(shape, scale);
+}
+DistPtr pareto(double alpha, double xm) {
+  return std::make_shared<Pareto>(alpha, xm);
+}
+DistPtr bounded_pareto(double alpha, double xm, double cap) {
+  return std::make_shared<BoundedPareto>(alpha, xm, cap);
+}
+DistPtr hyperexponential(double mean, double cov) {
+  return std::make_shared<HyperExponential>(mean, cov);
+}
+DistPtr empirical(std::vector<double> values) {
+  return std::make_shared<Empirical>(std::move(values));
+}
+DistPtr shifted(DistPtr base, double offset) {
+  return std::make_shared<Shifted>(std::move(base), offset);
+}
+DistPtr scaled(DistPtr base, double factor) {
+  return std::make_shared<Scaled>(std::move(base), factor);
+}
+
+DistPtr by_cov(double mean, double cov) {
+  HCE_EXPECT(mean > 0.0, "by_cov mean must be positive");
+  HCE_EXPECT(cov >= 0.0, "by_cov cov must be non-negative");
+  if (cov == 0.0) return deterministic(mean);
+  if (cov < 1.0) return gamma(mean, cov);
+  if (cov == 1.0) return exponential(mean);
+  return hyperexponential(mean, cov);
+}
+
+}  // namespace hce::dist

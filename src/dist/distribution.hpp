@@ -1,0 +1,96 @@
+// Random variate distributions with analytic moments.
+//
+// Every distribution knows its mean, variance, and squared coefficient of
+// variation (SCV). The SCV is load-bearing: the paper's G/G/k bound
+// (Lemma 3.2, Allen-Cunneen) is driven by the SCVs of inter-arrival and
+// service times, so the simulator's inputs and the analytic predictions
+// must agree on those moments by construction, not by estimation.
+//
+// Distributions are immutable and shared; sampling draws from a caller-
+// provided Rng so a single distribution object can serve many independent
+// streams.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "support/rng.hpp"
+
+namespace hce::dist {
+
+class Distribution {
+ public:
+  virtual ~Distribution() = default;
+
+  /// Draws one variate using the caller's stream.
+  virtual double sample(Rng& rng) const = 0;
+
+  virtual double mean() const = 0;
+  virtual double variance() const = 0;
+  virtual std::string name() const = 0;
+
+  double stddev() const;
+  /// Coefficient of variation (stddev / mean); 0 for zero mean.
+  double cov() const;
+  /// Squared coefficient of variation, the c² of Lemma 3.2.
+  double scv() const;
+};
+
+using DistPtr = std::shared_ptr<const Distribution>;
+
+// --- Factories ------------------------------------------------------------
+
+/// Exponential with the given mean (SCV = 1). The M in M/M/k.
+DistPtr exponential(double mean);
+
+/// Point mass at `value` (SCV = 0). The D in M/D/1.
+DistPtr deterministic(double value);
+
+/// Uniform on [lo, hi].
+DistPtr uniform(double lo, double hi);
+
+/// Lognormal parameterized by its true mean and coefficient of variation.
+/// The paper's Azure execution times are well described by lognormals.
+DistPtr lognormal(double mean, double cov);
+
+/// Gamma parameterized by mean and coefficient of variation (cov <= 1 gives
+/// an Erlang-like low-variability shape; cov > 1 is hyper-variable).
+DistPtr gamma(double mean, double cov);
+
+/// Erlang-k: sum of k exponentials, total mean `mean` (SCV = 1/k).
+DistPtr erlang(int k, double mean);
+
+/// Weibull with shape and scale (heavy upper tail for shape < 1).
+DistPtr weibull(double shape, double scale);
+
+/// Pareto (Lomax-style, xm minimum) with tail index alpha > 1 so the mean
+/// exists. Models heavy-tailed service/interarrival processes.
+DistPtr pareto(double alpha, double xm);
+
+/// Pareto truncated at `cap` (finite moments regardless of alpha).
+DistPtr bounded_pareto(double alpha, double xm, double cap);
+
+/// Two-phase hyperexponential with balanced means, fitted to a target mean
+/// and cov >= 1. The standard way to realize a high-variability "G".
+DistPtr hyperexponential(double mean, double cov);
+
+/// Empirical distribution: samples uniformly from the provided values.
+/// Mean/variance are the sample moments.
+DistPtr empirical(std::vector<double> values);
+
+/// `base` shifted right by `offset` >= 0 (e.g. fixed per-request overhead
+/// plus stochastic compute).
+DistPtr shifted(DistPtr base, double offset);
+
+/// `base` scaled by `factor` > 0 (e.g. a slower edge server: same shape,
+/// larger mean — the paper's resource-constrained-edge case).
+DistPtr scaled(DistPtr base, double factor);
+
+/// Convenience: a "general" distribution with given mean and cov. Picks
+/// deterministic (cov=0), gamma (0<cov<1), exponential (cov=1), or
+/// hyperexponential (cov>1). This is how scenario configs say "service
+/// CoV = 0.5" without naming a family.
+DistPtr by_cov(double mean, double cov);
+
+}  // namespace hce::dist

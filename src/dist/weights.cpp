@@ -1,0 +1,56 @@
+#include "dist/weights.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <random>
+
+#include "support/contracts.hpp"
+
+namespace hce::dist {
+
+std::vector<double> uniform_weights(int k) {
+  HCE_EXPECT(k >= 1, "uniform_weights requires k >= 1");
+  return std::vector<double>(static_cast<std::size_t>(k), 1.0 / k);
+}
+
+std::vector<double> zipf_weights(int k, double s) {
+  HCE_EXPECT(k >= 1, "zipf_weights requires k >= 1");
+  HCE_EXPECT(s >= 0.0, "zipf_weights requires s >= 0");
+  std::vector<double> w(static_cast<std::size_t>(k));
+  for (int i = 0; i < k; ++i) {
+    w[static_cast<std::size_t>(i)] = 1.0 / std::pow(i + 1.0, s);
+  }
+  return normalized(std::move(w));
+}
+
+std::vector<double> dirichlet_weights(int k, double alpha, Rng& rng) {
+  HCE_EXPECT(k >= 1, "dirichlet_weights requires k >= 1");
+  HCE_EXPECT(alpha > 0.0, "dirichlet_weights requires alpha > 0");
+  std::vector<double> w(static_cast<std::size_t>(k));
+  std::gamma_distribution<double> g(alpha, 1.0);
+  for (auto& x : w) x = g(rng.engine());
+  return normalized(std::move(w));
+}
+
+std::vector<double> normalized(std::vector<double> raw) {
+  HCE_EXPECT(!raw.empty(), "normalized: empty weight vector");
+  double sum = 0.0;
+  for (double x : raw) {
+    HCE_EXPECT(x >= 0.0, "normalized: weights must be non-negative");
+    sum += x;
+  }
+  HCE_EXPECT(sum > 0.0, "normalized: weights must not all be zero");
+  for (auto& x : raw) x /= sum;
+  return raw;
+}
+
+double skew_index(const std::vector<double>& weights) {
+  HCE_EXPECT(!weights.empty(), "skew_index: empty weights");
+  const double mean = std::accumulate(weights.begin(), weights.end(), 0.0) /
+                      static_cast<double>(weights.size());
+  const double mx = *std::max_element(weights.begin(), weights.end());
+  return mean == 0.0 ? 0.0 : mx / mean;
+}
+
+}  // namespace hce::dist

@@ -1,0 +1,33 @@
+// Weight vectors for splitting an aggregate workload across edge sites.
+//
+// The paper's Lemma 3.3 studies arbitrary spatial splits w_i with
+// sum(w_i) = 1. These helpers produce the splits used in experiments:
+// uniform (the balanced baseline of Lemma 3.1), Zipf (popularity skew),
+// Dirichlet (random skew of controllable concentration), and explicit.
+#pragma once
+
+#include <vector>
+
+#include "support/rng.hpp"
+
+namespace hce::dist {
+
+/// k equal weights 1/k.
+std::vector<double> uniform_weights(int k);
+
+/// Zipf weights: w_i proportional to 1/i^s, i = 1..k. s = 0 is uniform;
+/// larger s concentrates load on the first sites.
+std::vector<double> zipf_weights(int k, double s);
+
+/// Symmetric Dirichlet(alpha) sample: alpha >> 1 is near-uniform, alpha < 1
+/// is spiky. Deterministic given the rng stream.
+std::vector<double> dirichlet_weights(int k, double alpha, Rng& rng);
+
+/// Normalizes an arbitrary non-negative vector to sum to 1.
+std::vector<double> normalized(std::vector<double> raw);
+
+/// Max-over-mean ratio: 1 for a balanced split, k for "all load on one
+/// site". A scalar skew index used in reports.
+double skew_index(const std::vector<double>& weights);
+
+}  // namespace hce::dist

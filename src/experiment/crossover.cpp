@@ -1,0 +1,54 @@
+#include "experiment/crossover.hpp"
+
+#include "support/contracts.hpp"
+#include "support/math.hpp"
+
+namespace hce::experiment {
+
+double metric_of(const SideStats& s, Metric m) {
+  switch (m) {
+    case Metric::kMean: return s.mean;
+    case Metric::kP50: return s.p50;
+    case Metric::kP95: return s.p95;
+    case Metric::kP99: return s.p99;
+  }
+  return s.mean;
+}
+
+const char* metric_name(Metric m) {
+  switch (m) {
+    case Metric::kMean: return "mean";
+    case Metric::kP50: return "p50";
+    case Metric::kP95: return "p95";
+    case Metric::kP99: return "p99";
+  }
+  return "mean";
+}
+
+std::optional<Crossover> find_crossover(const std::vector<PointResult>& sweep,
+                                        Metric metric, Rate mu) {
+  HCE_EXPECT(mu > 0.0, "find_crossover: mu must be positive");
+  if (sweep.size() < 2) return std::nullopt;
+  std::vector<double> xs, edge, cloud;
+  xs.reserve(sweep.size());
+  for (const auto& p : sweep) {
+    xs.push_back(p.rate_per_server);
+    edge.push_back(metric_of(p.edge, metric));
+    cloud.push_back(metric_of(p.cloud, metric));
+  }
+  const auto x = crossing_point(xs, edge, cloud);
+  if (!x) return std::nullopt;
+  return Crossover{*x, *x / mu};
+}
+
+CrossoverSummary measure_crossovers(const Scenario& scenario,
+                                    const std::vector<Rate>& rates,
+                                    int max_threads) {
+  const auto sweep = run_sweep(scenario, rates, max_threads);
+  CrossoverSummary s;
+  s.mean = find_crossover(sweep, Metric::kMean, scenario.mu);
+  s.p95 = find_crossover(sweep, Metric::kP95, scenario.mu);
+  return s;
+}
+
+}  // namespace hce::experiment

@@ -1,0 +1,41 @@
+// Crossover (performance-inversion point) extraction from sweep results.
+//
+// The paper reports inversion points as the request rate where the edge
+// curve rises above the cloud curve (Figs. 3-5) and converts them to
+// cutoff utilizations (Fig. 7, §4.2 validation). This module locates those
+// crossings by linear interpolation on the measured series.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "experiment/runner.hpp"
+
+namespace hce::experiment {
+
+enum class Metric { kMean, kP50, kP95, kP99 };
+
+double metric_of(const SideStats& s, Metric m);
+const char* metric_name(Metric m);
+
+struct Crossover {
+  Rate rate = 0.0;          ///< req/s per server where edge == cloud
+  double utilization = 0.0; ///< rate / mu (cutoff utilization)
+};
+
+/// First rate where the edge metric rises above the cloud metric, linear
+/// interpolated between sweep points. nullopt = no inversion in range.
+std::optional<Crossover> find_crossover(const std::vector<PointResult>& sweep,
+                                        Metric metric, Rate mu);
+
+/// Convenience: run a (fine) sweep and return mean and tail crossovers.
+struct CrossoverSummary {
+  std::optional<Crossover> mean;
+  std::optional<Crossover> p95;
+};
+
+CrossoverSummary measure_crossovers(const Scenario& scenario,
+                                    const std::vector<Rate>& rates,
+                                    int max_threads = 0);
+
+}  // namespace hce::experiment

@@ -1,0 +1,90 @@
+#include "experiment/replay.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "cluster/deployment.hpp"
+#include "cluster/source.hpp"
+#include "des/simulation.hpp"
+#include "stats/series.hpp"
+#include "support/contracts.hpp"
+
+namespace hce::experiment {
+
+ReplayResult replay_comparison(std::shared_ptr<const workload::Trace> trace,
+                               const ReplayConfig& config) {
+  HCE_EXPECT(trace != nullptr && !trace->empty(),
+             "replay_comparison: empty trace");
+  HCE_EXPECT(config.servers_per_site >= 1,
+             "replay_comparison: servers_per_site >= 1");
+  HCE_EXPECT(config.series_bin > 0.0,
+             "replay_comparison: series_bin must be positive");
+  const int num_sites = trace->num_sites();
+  HCE_EXPECT(num_sites >= 1, "replay_comparison: trace has no sites");
+
+  des::Simulation sim;
+  Rng rng(config.seed);
+
+  cluster::EdgeConfig edge_cfg;
+  edge_cfg.num_sites = num_sites;
+  edge_cfg.servers_per_site = config.servers_per_site;
+  edge_cfg.speed = config.edge_speed;
+  edge_cfg.network = cluster::NetworkModel::fixed(config.edge_rtt);
+  cluster::EdgeDeployment edge(sim, edge_cfg, rng.stream("edge"));
+
+  cluster::CloudConfig cloud_cfg;
+  cloud_cfg.num_servers = config.cloud_servers > 0
+                              ? config.cloud_servers
+                              : num_sites * config.servers_per_site;
+  cloud_cfg.network = cluster::NetworkModel::fixed(config.cloud_rtt);
+  cluster::CloudDeployment cloud(sim, cloud_cfg, rng.stream("cloud"));
+
+  cluster::TraceReplaySource replay(
+      sim, trace, [&](des::Request r) { edge.submit(std::move(r)); });
+  replay.also_submit_to(
+      [&](des::Request r) { cloud.submit(std::move(r)); });
+  replay.start();
+  sim.run();
+
+  ReplayResult out;
+  out.edge_mean = edge.sink().latency_summary().mean();
+  out.cloud_mean = cloud.sink().latency_summary().mean();
+  out.edge_utilization = edge.utilization();
+  out.cloud_utilization = cloud.utilization();
+  out.edge_box = stats::box_summary(edge.sink().latencies());
+  out.cloud_box = stats::box_summary(cloud.sink().latencies());
+
+  const auto counts = trace->site_counts();
+  for (int s = 0; s < num_sites; ++s) {
+    SiteReplayResult site;
+    site.site = s;
+    site.requests = counts[static_cast<std::size_t>(s)];
+    const auto lat = edge.sink().latencies(s);
+    if (!lat.empty()) {
+      site.box = stats::box_summary(lat);
+      site.mean_latency = site.box.mean;
+    }
+    site.utilization = edge.site_utilization(s);
+    out.edge_sites.push_back(site);
+  }
+
+  const Time duration = std::max(trace->duration(), config.series_bin);
+  const auto bins =
+      static_cast<std::size_t>(std::ceil(duration / config.series_bin));
+  stats::BinnedSeries edge_series(0.0, config.series_bin, bins);
+  stats::BinnedSeries cloud_series(0.0, config.series_bin, bins);
+  for (const auto& r : edge.sink().records()) {
+    edge_series.add(r.t_created, r.end_to_end);
+  }
+  for (const auto& r : cloud.sink().records()) {
+    cloud_series.add(r.t_created, r.end_to_end);
+  }
+  out.edge_series = edge_series.means_per_bin();
+  out.cloud_series = cloud_series.means_per_bin();
+  for (std::size_t b = 0; b < bins; ++b) {
+    if (out.edge_series[b] > out.cloud_series[b]) ++out.inverted_bins;
+  }
+  return out;
+}
+
+}  // namespace hce::experiment

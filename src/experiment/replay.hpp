@@ -1,0 +1,61 @@
+// Trace-replay comparison: the paper's §4.5 experiment as one call.
+//
+// Replays a multi-site trace through mirrored edge and cloud deployments
+// and returns everything Figs. 9-10 plot: per-site and aggregate latency
+// summaries, the offered utilizations, and time-binned mean-latency
+// series for both sides.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "stats/boxplot.hpp"
+#include "support/time.hpp"
+#include "workload/trace.hpp"
+
+namespace hce::experiment {
+
+struct ReplayConfig {
+  Time edge_rtt = 0.001;
+  Time cloud_rtt = 0.026;
+  int servers_per_site = 1;
+  /// Cloud servers; 0 = one per edge server.
+  int cloud_servers = 0;
+  /// Edge server speed relative to the cloud's (< 1 = constrained edge).
+  double edge_speed = 1.0;
+  /// Bin width of the latency-over-time series (Fig. 9's x axis).
+  Time series_bin = 600.0;
+  std::uint64_t seed = 1;
+};
+
+struct SiteReplayResult {
+  int site = 0;
+  std::uint64_t requests = 0;
+  double mean_latency = 0.0;
+  double utilization = 0.0;
+  stats::BoxSummary box;  ///< Fig. 10's per-site box
+};
+
+struct ReplayResult {
+  std::vector<SiteReplayResult> edge_sites;
+  stats::BoxSummary edge_box;   ///< all edge requests
+  stats::BoxSummary cloud_box;  ///< the aggregated cloud
+  double edge_mean = 0.0;
+  double cloud_mean = 0.0;
+  double edge_utilization = 0.0;
+  double cloud_utilization = 0.0;
+  /// Mean end-to-end latency per time bin (Fig. 9's two curves); equal
+  /// lengths, indexed from the trace start.
+  std::vector<double> edge_series;
+  std::vector<double> cloud_series;
+  /// Bins where the edge mean exceeds the cloud mean.
+  int inverted_bins = 0;
+
+  bool edge_inverted() const { return edge_mean > cloud_mean; }
+};
+
+/// Runs the mirrored replay. The trace must be sorted and non-empty.
+ReplayResult replay_comparison(std::shared_ptr<const workload::Trace> trace,
+                               const ReplayConfig& config);
+
+}  // namespace hce::experiment

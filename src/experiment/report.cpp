@@ -1,0 +1,77 @@
+#include "experiment/report.hpp"
+
+#include <fstream>
+#include <sstream>
+
+#include "support/contracts.hpp"
+
+namespace hce::experiment {
+
+TextTable sweep_table(const std::vector<PointResult>& sweep) {
+  TextTable t({"req/s/server", "util_edge", "util_cloud", "edge_mean_ms",
+               "edge_p50_ms", "edge_p95_ms", "edge_p99_ms", "cloud_mean_ms",
+               "cloud_p50_ms", "cloud_p95_ms", "cloud_p99_ms",
+               "edge_ci_ms", "cloud_ci_ms"});
+  for (const auto& p : sweep) {
+    t.row()
+        .add(p.rate_per_server, 2)
+        .add(p.edge.utilization, 3)
+        .add(p.cloud.utilization, 3)
+        .add_ms(p.edge.mean, 3)
+        .add_ms(p.edge.p50, 3)
+        .add_ms(p.edge.p95, 3)
+        .add_ms(p.edge.p99, 3)
+        .add_ms(p.cloud.mean, 3)
+        .add_ms(p.cloud.p50, 3)
+        .add_ms(p.cloud.p95, 3)
+        .add_ms(p.cloud.p99, 3)
+        .add_ms(p.edge.mean_ci_half_width, 3)
+        .add_ms(p.cloud.mean_ci_half_width, 3);
+  }
+  return t;
+}
+
+std::string sweep_csv(const std::vector<PointResult>& sweep) {
+  return sweep_table(sweep).csv();
+}
+
+std::string sweep_markdown(const std::vector<PointResult>& sweep) {
+  // Render from the CSV cells to keep one source of truth.
+  const TextTable t = sweep_table(sweep);
+  std::istringstream csv(t.csv());
+  std::ostringstream md;
+  std::string line;
+  bool header = true;
+  while (std::getline(csv, line)) {
+    md << "| ";
+    for (char c : line) {
+      if (c == ',') {
+        md << " | ";
+      } else {
+        md << c;
+      }
+    }
+    md << " |\n";
+    if (header) {
+      header = false;
+      std::size_t cols = 1;
+      for (char c : line) {
+        if (c == ',') ++cols;
+      }
+      md << "|";
+      for (std::size_t i = 0; i < cols; ++i) md << "---|";
+      md << "\n";
+    }
+  }
+  return md.str();
+}
+
+void save_sweep_csv(const std::vector<PointResult>& sweep,
+                    const std::string& path) {
+  std::ofstream os(path);
+  HCE_EXPECT(os.good(), "cannot open sweep CSV for writing: " + path);
+  os << sweep_csv(sweep);
+  HCE_EXPECT(os.good(), "failed writing sweep CSV: " + path);
+}
+
+}  // namespace hce::experiment

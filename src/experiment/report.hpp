@@ -1,0 +1,28 @@
+// Result serialization: turn sweep results into tables, CSV, and
+// Markdown so downstream tooling (plots, CI dashboards, the EXPERIMENTS
+// log) consumes one canonical format.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "experiment/runner.hpp"
+#include "support/table.hpp"
+
+namespace hce::experiment {
+
+/// Canonical table of a latency sweep: one row per rate with both sides'
+/// mean/p50/p95/p99 (in ms), utilizations, and CI half-widths.
+TextTable sweep_table(const std::vector<PointResult>& sweep);
+
+/// CSV form of sweep_table (header + rows).
+std::string sweep_csv(const std::vector<PointResult>& sweep);
+
+/// GitHub-flavored Markdown form.
+std::string sweep_markdown(const std::vector<PointResult>& sweep);
+
+/// Writes the CSV to a file (throws ContractViolation on IO failure).
+void save_sweep_csv(const std::vector<PointResult>& sweep,
+                    const std::string& path);
+
+}  // namespace hce::experiment

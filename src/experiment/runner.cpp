@@ -1,0 +1,222 @@
+#include "experiment/runner.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <thread>
+
+#include "cluster/deployment.hpp"
+#include "cluster/source.hpp"
+#include "des/simulation.hpp"
+#include "dist/distribution.hpp"
+#include "dist/weights.hpp"
+#include "stats/ci.hpp"
+#include "stats/quantiles.hpp"
+#include "stats/summary.hpp"
+#include "support/contracts.hpp"
+
+namespace hce::experiment {
+
+namespace {
+
+cluster::NetworkModel make_network(Time rtt, Time jitter) {
+  // Cap jitter at 80% of the RTT so a +/-2 ms spread configured for the
+  // cloud path cannot dominate (or invert) a 1 ms edge path.
+  const Time j = std::min(jitter, 0.8 * rtt);
+  if (j <= 0.0) return cluster::NetworkModel::fixed(rtt);
+  return cluster::NetworkModel::jittered(rtt, dist::uniform(-j, j));
+}
+
+}  // namespace
+
+ReplicationOutput run_replication(const Scenario& sc, Rate rate_per_server,
+                                  int replication) {
+  HCE_EXPECT(rate_per_server > 0.0, "rate must be positive");
+  HCE_EXPECT(rate_per_server < sc.mu,
+             "offered per-server rate must be below saturation");
+  Rng rng =
+      Rng(sc.seed).stream("replication", static_cast<std::uint64_t>(replication));
+
+  des::Simulation sim;
+
+  cluster::EdgeConfig edge_cfg;
+  edge_cfg.num_sites = sc.num_sites;
+  edge_cfg.servers_per_site = sc.servers_per_site;
+  edge_cfg.speed = sc.edge_speed;
+  edge_cfg.network = make_network(sc.edge_rtt, sc.rtt_jitter);
+  edge_cfg.geo_lb = sc.geo_lb;
+  edge_cfg.geo_lb_queue_threshold = sc.geo_lb_queue_threshold;
+  edge_cfg.inter_site_rtt = sc.inter_site_rtt;
+  cluster::EdgeDeployment edge(sim, edge_cfg, rng.stream("edge-net"));
+
+  cluster::CloudConfig cloud_cfg;
+  cloud_cfg.num_servers = sc.cloud_servers();
+  cloud_cfg.network = make_network(sc.cloud_rtt, sc.rtt_jitter);
+  cloud_cfg.dispatch = sc.cloud_dispatch;
+  cloud_cfg.dispatch_overhead = sc.cloud_dispatch_overhead;
+  cluster::CloudDeployment cloud(sim, cloud_cfg, rng.stream("cloud-net"));
+
+  // Service model: target mean 1/mu including the fixed overhead, so the
+  // offered utilization rate/mu is exact regardless of the overhead knob.
+  const Time mean_service = 1.0 / sc.mu;
+  HCE_EXPECT(sc.request_overhead < mean_service,
+             "request_overhead must be below the mean service time");
+  const Time stochastic_mean = mean_service - sc.request_overhead;
+  // Keep the *total* service CoV at sc.service_cov: the stochastic part
+  // must have cov' = cov * mean / stochastic_mean.
+  const double part_cov =
+      sc.service_cov * mean_service / stochastic_mean;
+  workload::ServicePtr service = workload::from_distribution(dist::shifted(
+      dist::by_cov(stochastic_mean, part_cov), sc.request_overhead));
+
+  // Spatial split. rate_per_server is the balanced per-server rate; with
+  // weights w_i, site i receives w_i * total.
+  const std::vector<double> weights =
+      sc.site_weights.empty() ? dist::uniform_weights(sc.num_sites)
+                              : dist::normalized(sc.site_weights);
+  HCE_EXPECT(static_cast<int>(weights.size()) == sc.num_sites,
+             "site_weights size mismatch");
+  const Rate total_rate =
+      rate_per_server * static_cast<double>(sc.cloud_servers());
+
+  std::vector<std::unique_ptr<cluster::MirroredSource>> sources;
+  sources.reserve(weights.size());
+  for (int site = 0; site < sc.num_sites; ++site) {
+    const Rate site_rate = total_rate * weights[static_cast<std::size_t>(site)];
+    if (site_rate <= 0.0) continue;
+    auto arrivals = workload::renewal_rate_cov(site_rate, sc.arrival_cov);
+    sources.push_back(std::make_unique<cluster::MirroredSource>(
+        sim, std::move(arrivals), service, site,
+        [&edge](des::Request r) { edge.submit(std::move(r)); },
+        [&cloud](des::Request r) { cloud.submit(std::move(r)); },
+        rng.stream("source", static_cast<std::uint64_t>(site))));
+    sources.back()->start(sc.warmup + sc.duration);
+  }
+
+  // Reset station statistics at the end of warmup.
+  sim.schedule_at(sc.warmup, [&] {
+    edge.reset_stats();
+    cloud.reset_stats();
+  });
+
+  sim.run();
+
+  edge.sink().drop_before(sc.warmup);
+  cloud.sink().drop_before(sc.warmup);
+
+  ReplicationOutput out;
+  out.edge_latencies = edge.sink().latencies();
+  out.cloud_latencies = cloud.sink().latencies();
+  out.edge_utilization = edge.utilization();
+  out.cloud_utilization = cloud.utilization();
+  out.edge_redirects = edge.redirects();
+  out.site_mean_latency.resize(static_cast<std::size_t>(sc.num_sites));
+  out.site_utilization.resize(static_cast<std::size_t>(sc.num_sites));
+  for (int s = 0; s < sc.num_sites; ++s) {
+    const auto su = static_cast<std::size_t>(s);
+    out.site_mean_latency[su] = edge.sink().latency_summary(s).mean();
+    out.site_utilization[su] = edge.site_utilization(s);
+  }
+  return out;
+}
+
+namespace {
+
+SideStats merge_side(const std::vector<std::vector<double>>& latencies,
+                     const std::vector<double>& utilizations) {
+  SideStats s;
+  std::vector<double> all;
+  std::vector<double> rep_means;
+  for (const auto& rep : latencies) {
+    if (rep.empty()) continue;
+    stats::Summary sum;
+    for (double x : rep) sum.add(x);
+    rep_means.push_back(sum.mean());
+    all.insert(all.end(), rep.begin(), rep.end());
+  }
+  if (all.empty()) return s;
+  std::sort(all.begin(), all.end());
+  stats::Summary total;
+  for (double x : all) total.add(x);
+  s.mean = total.mean();
+  s.p50 = stats::quantile_sorted(all, 0.50);
+  s.p95 = stats::quantile_sorted(all, 0.95);
+  s.p99 = stats::quantile_sorted(all, 0.99);
+  s.samples = all.size();
+  if (rep_means.size() >= 2) {
+    s.mean_ci_half_width = stats::replication_ci(rep_means).half_width;
+  }
+  double u = 0.0;
+  for (double x : utilizations) u += x;
+  s.utilization = utilizations.empty()
+                      ? 0.0
+                      : u / static_cast<double>(utilizations.size());
+  return s;
+}
+
+}  // namespace
+
+PointResult run_point(const Scenario& sc, Rate rate_per_server) {
+  PointResult pr;
+  pr.rate_per_server = rate_per_server;
+  pr.rho_offered = rate_per_server / sc.mu;
+
+  std::vector<std::vector<double>> edge_lat, cloud_lat;
+  std::vector<double> edge_util, cloud_util;
+  for (int r = 0; r < sc.replications; ++r) {
+    ReplicationOutput out = run_replication(sc, rate_per_server, r);
+    edge_lat.push_back(std::move(out.edge_latencies));
+    cloud_lat.push_back(std::move(out.cloud_latencies));
+    edge_util.push_back(out.edge_utilization);
+    cloud_util.push_back(out.cloud_utilization);
+    pr.edge_redirects += out.edge_redirects;
+  }
+  pr.edge = merge_side(edge_lat, edge_util);
+  pr.cloud = merge_side(cloud_lat, cloud_util);
+  return pr;
+}
+
+std::vector<PointResult> run_sweep(const Scenario& sc,
+                                   const std::vector<Rate>& rates,
+                                   int max_threads) {
+  HCE_EXPECT(!rates.empty(), "run_sweep: empty rate axis");
+  std::vector<PointResult> results(rates.size());
+  unsigned hw = std::thread::hardware_concurrency();
+  if (hw == 0) hw = 1;
+  const unsigned workers = std::min<unsigned>(
+      max_threads > 0 ? static_cast<unsigned>(max_threads) : hw,
+      static_cast<unsigned>(rates.size()));
+
+  if (workers <= 1) {
+    for (std::size_t i = 0; i < rates.size(); ++i) {
+      results[i] = run_point(sc, rates[i]);
+    }
+    return results;
+  }
+
+  std::atomic<std::size_t> next{0};
+  std::vector<std::thread> pool;
+  pool.reserve(workers);
+  for (unsigned w = 0; w < workers; ++w) {
+    pool.emplace_back([&] {
+      for (;;) {
+        const std::size_t i = next.fetch_add(1);
+        if (i >= rates.size()) return;
+        results[i] = run_point(sc, rates[i]);
+      }
+    });
+  }
+  for (auto& t : pool) t.join();
+  return results;
+}
+
+std::vector<Rate> paper_rate_axis() {
+  return {6.0, 7.0, 8.0, 9.0, 10.0, 11.0, 12.0};
+}
+
+std::vector<Rate> fine_rate_axis() {
+  std::vector<Rate> axis;
+  for (double r = 1.0; r <= 12.5; r += 0.5) axis.push_back(r);
+  return axis;
+}
+
+}  // namespace hce::experiment

@@ -1,0 +1,70 @@
+// Experiment runner: simulate a Scenario at given request rates and
+// collect paired edge/cloud latency statistics.
+//
+// Pairing: each site's request stream is generated once and mirrored to
+// both deployments (common random numbers), so the edge-cloud difference
+// at a sweep point is not blurred by sampling noise. Replications use
+// independent seed substreams and run in parallel worker threads; results
+// are merged deterministically (ordered by replication index, so thread
+// scheduling cannot change any reported number).
+#pragma once
+
+#include <vector>
+
+#include "experiment/scenario.hpp"
+#include "support/time.hpp"
+
+namespace hce::experiment {
+
+/// Statistics of one deployment at one sweep point (merged replications).
+struct SideStats {
+  double mean = 0.0;   ///< mean end-to-end latency (s)
+  double p50 = 0.0;
+  double p95 = 0.0;
+  double p99 = 0.0;
+  double mean_ci_half_width = 0.0;  ///< t-interval across replications
+  double utilization = 0.0;         ///< time-average server utilization
+  std::uint64_t samples = 0;
+};
+
+/// One sweep point: edge and cloud under the identical workload.
+struct PointResult {
+  Rate rate_per_server = 0.0;  ///< offered req/s per server
+  double rho_offered = 0.0;    ///< rate / mu (offered utilization)
+  SideStats edge;
+  SideStats cloud;
+  std::uint64_t edge_redirects = 0;  ///< geo-LB redirects (if enabled)
+};
+
+/// Runs one replication at the given per-server rate; returns raw latency
+/// samples and utilizations. Exposed for tests; most callers use
+/// run_point / run_sweep.
+struct ReplicationOutput {
+  std::vector<double> edge_latencies;
+  std::vector<double> cloud_latencies;
+  double edge_utilization = 0.0;
+  double cloud_utilization = 0.0;
+  std::uint64_t edge_redirects = 0;
+  /// Per-site mean latency and utilization (for Fig. 10-style breakdowns).
+  std::vector<double> site_mean_latency;
+  std::vector<double> site_utilization;
+};
+
+ReplicationOutput run_replication(const Scenario& scenario,
+                                  Rate rate_per_server, int replication);
+
+/// Runs scenario.replications replications at one rate and merges.
+PointResult run_point(const Scenario& scenario, Rate rate_per_server);
+
+/// Runs a full rate sweep (the paper's 6..12 req/s axis). Points are
+/// distributed over a thread pool; the result order matches `rates`.
+std::vector<PointResult> run_sweep(const Scenario& scenario,
+                                   const std::vector<Rate>& rates,
+                                   int max_threads = 0);
+
+/// The paper's standard sweep axis: 6..12 req/s per server, step 1.
+std::vector<Rate> paper_rate_axis();
+/// A finer axis for crossover localization: 1..12.5 req/s, step 0.5.
+std::vector<Rate> fine_rate_axis();
+
+}  // namespace hce::experiment

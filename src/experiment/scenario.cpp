@@ -1,0 +1,36 @@
+#include "experiment/scenario.hpp"
+
+namespace hce::experiment {
+
+namespace {
+Scenario base_scenario(std::string name, Time cloud_rtt) {
+  Scenario s;
+  s.name = std::move(name);
+  s.cloud_rtt = cloud_rtt;
+  return s;
+}
+}  // namespace
+
+Scenario Scenario::nearby_cloud() {
+  // Edge in us-east-2 (Ohio), cloud in us-east-1 (Virginia): ~15 ms.
+  return base_scenario("nearby-15ms", 0.015);
+}
+
+Scenario Scenario::typical_cloud() {
+  // Edge in Ireland, cloud in Frankfurt (20-24 ms) / Ohio->Montreal
+  // (25-28 ms): the paper's "typical" 25 ms case.
+  return base_scenario("typical-25ms", 0.025);
+}
+
+Scenario Scenario::distant_cloud() {
+  // Edge in us-east-2 (Ohio), cloud in us-west-1 (N. California):
+  // 50-60 ms.
+  return base_scenario("distant-54ms", 0.054);
+}
+
+Scenario Scenario::transcontinental_cloud() {
+  // Edge in us-east-1, cloud in Ireland: > 80 ms.
+  return base_scenario("transcontinental-80ms", 0.080);
+}
+
+}  // namespace hce::experiment

@@ -1,0 +1,86 @@
+// Experiment scenarios mirroring the paper's §4.1 setups.
+//
+// A Scenario fully describes one edge-vs-cloud comparison: topology,
+// network RTTs, hardware, workload shape, mitigations, and run control.
+// Presets reproduce the paper's four cloud locations (all with a 1 ms
+// edge): nearby (~15 ms, us-east-1), typical (~25 ms, Frankfurt /
+// Montreal), distant (~54 ms, N. California), transcontinental (~80 ms,
+// Ireland).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "cluster/dispatch.hpp"
+#include "support/time.hpp"
+#include "workload/service.hpp"
+
+namespace hce::experiment {
+
+struct Scenario {
+  std::string name = "typical";
+
+  // Topology: k edge sites of m servers vs a cloud of k*m servers (or a
+  // fixed-size cloud when cloud_servers_override is set — used to study
+  // edge-only overprovisioning, where the edge fleet grows while the
+  // cloud baseline and the offered load stay put).
+  int num_sites = 5;
+  int servers_per_site = 1;
+  int cloud_servers_override = 0;  ///< 0 = num_sites * servers_per_site
+
+  // Network (round-trip).
+  Time edge_rtt = 0.001;
+  Time cloud_rtt = 0.025;
+  /// Uniform +/- jitter half-width applied to each RTT (0 disables). The
+  /// paper reports RTT ranges like "20 to 24 ms"; jitter models that.
+  Time rtt_jitter = 0.002;
+
+  // Hardware.
+  /// Per-server service rate, calibrated to the paper's DNN service.
+  Rate mu = workload::kReferenceSaturationRate;
+  /// Edge server speed relative to cloud (1 = identical hardware).
+  double edge_speed = 1.0;
+
+  // Workload shape.
+  double arrival_cov = 1.0;  ///< inter-arrival CoV (1 = Poisson)
+  double service_cov = 0.5;  ///< service-time CoV (DNN inference < 1)
+  /// Per-request fixed overhead (web stack: Flask/TLS/serialization),
+  /// added to every service demand. Inflates the mean service time
+  /// identically at edge and cloud.
+  Time request_overhead = 0.0;
+  /// Spatial split across sites; empty = balanced.
+  std::vector<double> site_weights;
+
+  // Cloud dispatching.
+  cluster::DispatchPolicy cloud_dispatch =
+      cluster::DispatchPolicy::kCentralQueue;
+  Time cloud_dispatch_overhead = 0.0;
+
+  // Edge mitigations.
+  bool geo_lb = false;
+  std::size_t geo_lb_queue_threshold = 2;
+  Time inter_site_rtt = 0.020;
+
+  // Run control.
+  Time warmup = 240.0;
+  Time duration = 1600.0;
+  int replications = 3;
+  std::uint64_t seed = 42;
+
+  /// Total cloud servers. The sweep axis ("req/s per server") is defined
+  /// against this count: total offered load = rate * cloud_servers().
+  int cloud_servers() const {
+    return cloud_servers_override > 0 ? cloud_servers_override
+                                      : num_sites * servers_per_site;
+  }
+  /// Network advantage of the edge.
+  Time delta_n() const { return cloud_rtt - edge_rtt; }
+
+  // --- Presets matching the paper ---------------------------------------
+  static Scenario nearby_cloud();           ///< ~15 ms cloud (§4.1, first)
+  static Scenario typical_cloud();          ///< ~25 ms cloud (Fig. 3)
+  static Scenario distant_cloud();          ///< ~54 ms cloud (Figs. 4-6)
+  static Scenario transcontinental_cloud(); ///< ~80 ms cloud (Fig. 7)
+};
+
+}  // namespace hce::experiment

@@ -1,0 +1,49 @@
+#include "experiment/trace_advice.hpp"
+
+#include <cmath>
+
+#include "support/contracts.hpp"
+
+namespace hce::experiment {
+
+core::DeploymentSpec deployment_spec_from_trace(
+    const workload::TraceStats& stats,
+    const TraceDeploymentGeometry& geometry) {
+  HCE_EXPECT(!stats.sites.empty(), "trace advice: no sites in trace stats");
+  HCE_EXPECT(stats.service_mean > 0.0,
+             "trace advice: trace has no service demands");
+  HCE_EXPECT(geometry.servers_per_site >= 1,
+             "trace advice: servers_per_site >= 1");
+
+  core::DeploymentSpec spec;
+  spec.num_edge_sites = static_cast<int>(stats.sites.size());
+  spec.servers_per_edge_site = geometry.servers_per_site;
+  spec.cloud_servers =
+      geometry.cloud_servers > 0
+          ? geometry.cloud_servers
+          : spec.num_edge_sites * geometry.servers_per_site;
+  spec.edge_rtt = geometry.edge_rtt;
+  spec.cloud_rtt = geometry.cloud_rtt;
+  spec.mu_edge = spec.mu_cloud =
+      geometry.mu > 0.0 ? geometry.mu : stats.implied_mu();
+  spec.total_lambda = stats.total_rate;
+  spec.site_weights = stats.weights();
+  // The advisor takes CoVs, not SCVs; use the aggregate service CoV and
+  // the (weight-averaged) per-site arrival CoV, which is what Lemma 3.2's
+  // edge term sees.
+  double arrival_scv = 0.0;
+  for (const auto& s : stats.sites) {
+    arrival_scv += s.weight * s.interarrival_scv;
+  }
+  spec.arrival_cov = std::sqrt(std::max(arrival_scv, 0.0));
+  spec.service_cov = std::sqrt(std::max(stats.service_scv, 0.0));
+  return spec;
+}
+
+core::AdvisorReport advise_from_trace(
+    const workload::Trace& trace, const TraceDeploymentGeometry& geometry) {
+  return core::advise(
+      deployment_spec_from_trace(workload::analyze(trace), geometry));
+}
+
+}  // namespace hce::experiment

@@ -1,0 +1,36 @@
+// Trace-to-advisor bridge: the "will my workload invert?" one-liner.
+//
+// Chains workload::analyze() into core::advise(): the trace supplies the
+// arrival rates, spatial weights, and both SCVs; the caller supplies only
+// the deployment geometry (RTTs, servers per site, cloud size). This is
+// the workflow the paper's practical-takeaway sections imply: measure
+// your workload, plug it into the rules of thumb.
+#pragma once
+
+#include "core/advisor.hpp"
+#include "workload/analysis.hpp"
+#include "workload/trace.hpp"
+
+namespace hce::experiment {
+
+struct TraceDeploymentGeometry {
+  Time edge_rtt = 0.001;
+  Time cloud_rtt = 0.025;
+  int servers_per_site = 1;
+  /// Cloud servers; 0 = one per edge server (the paper's construction).
+  int cloud_servers = 0;
+  /// Per-server service rate; 0 = infer from the trace's mean service
+  /// demand (1 / mean).
+  Rate mu = 0.0;
+};
+
+/// Builds the advisor input from measured trace statistics.
+core::DeploymentSpec deployment_spec_from_trace(
+    const workload::TraceStats& stats,
+    const TraceDeploymentGeometry& geometry);
+
+/// Convenience: analyze + build + advise in one call.
+core::AdvisorReport advise_from_trace(const workload::Trace& trace,
+                                      const TraceDeploymentGeometry& geometry);
+
+}  // namespace hce::experiment

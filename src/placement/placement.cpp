@@ -1,0 +1,187 @@
+#include "placement/placement.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <numeric>
+
+#include "support/contracts.hpp"
+#include "workload/spatial.hpp"
+
+namespace hce::placement {
+
+namespace {
+
+double cell_x(int cell, int width) { return cell % width; }
+double cell_y(int cell, int width) { return cell / width; }
+
+/// Load-weighted mean RTT and per-site assignment for fixed sites.
+void assign_and_score(const std::vector<int>& sites,
+                      const std::vector<double>& load, int width,
+                      const GridRttModel& rtt, std::vector<int>* assignment,
+                      std::vector<double>* weights, Time* mean_rtt) {
+  const std::size_t cells = load.size();
+  assignment->assign(cells, 0);
+  weights->assign(sites.size(), 0.0);
+  double total_load = 0.0;
+  double weighted_rtt = 0.0;
+  for (std::size_t c = 0; c < cells; ++c) {
+    double best = std::numeric_limits<double>::max();
+    int best_site = 0;
+    for (std::size_t s = 0; s < sites.size(); ++s) {
+      const double d = workload::hex_distance(
+          cell_x(static_cast<int>(c), width), cell_y(static_cast<int>(c), width),
+          cell_x(sites[s], width), cell_y(sites[s], width));
+      if (d < best) {
+        best = d;
+        best_site = static_cast<int>(s);
+      }
+    }
+    (*assignment)[c] = best_site;
+    (*weights)[static_cast<std::size_t>(best_site)] += load[c];
+    total_load += load[c];
+    weighted_rtt += load[c] * rtt.site_rtt(best);
+  }
+  HCE_EXPECT(total_load > 0.0, "placement: zero total load");
+  for (auto& w : *weights) w /= total_load;
+  *mean_rtt = weighted_rtt / total_load;
+}
+
+/// Lloyd-style refinement: move each site to the load-weighted medoid of
+/// its assigned region, reassign, repeat until stable. Fixes greedy's
+/// characteristic miss (a first site parked between two hotspots).
+void refine_sites(std::vector<int>* sites, const std::vector<double>& load,
+                  int width, const GridRttModel& rtt, int max_iters = 25) {
+  std::vector<int> assignment;
+  std::vector<double> weights;
+  Time mean_rtt = 0.0;
+  for (int iter = 0; iter < max_iters; ++iter) {
+    assign_and_score(*sites, load, width, rtt, &assignment, &weights,
+                     &mean_rtt);
+    bool changed = false;
+    for (std::size_t s = 0; s < sites->size(); ++s) {
+      // Cells of this region.
+      std::vector<int> region;
+      for (std::size_t c = 0; c < load.size(); ++c) {
+        if (assignment[c] == static_cast<int>(s)) {
+          region.push_back(static_cast<int>(c));
+        }
+      }
+      if (region.empty()) continue;
+      // Load-weighted medoid of the region.
+      int best_cell = (*sites)[s];
+      double best_cost = std::numeric_limits<double>::max();
+      for (int candidate : region) {
+        double cost = 0.0;
+        for (int c : region) {
+          cost += load[static_cast<std::size_t>(c)] *
+                  workload::hex_distance(cell_x(c, width), cell_y(c, width),
+                                         cell_x(candidate, width),
+                                         cell_y(candidate, width));
+        }
+        if (cost < best_cost) {
+          best_cost = cost;
+          best_cell = candidate;
+        }
+      }
+      if (best_cell != (*sites)[s] &&
+          std::find(sites->begin(), sites->end(), best_cell) ==
+              sites->end()) {
+        (*sites)[s] = best_cell;
+        changed = true;
+      }
+    }
+    if (!changed) break;
+  }
+}
+
+double skew(const std::vector<double>& w) {
+  const double mean = std::accumulate(w.begin(), w.end(), 0.0) /
+                      static_cast<double>(w.size());
+  const double mx = *std::max_element(w.begin(), w.end());
+  return mean > 0.0 ? mx / mean : 0.0;
+}
+
+}  // namespace
+
+Placement greedy_place(const std::vector<double>& cell_load, int width,
+                       int height, int num_sites, const GridRttModel& rtt) {
+  HCE_EXPECT(width >= 1 && height >= 1, "placement: grid must be non-empty");
+  HCE_EXPECT(cell_load.size() == static_cast<std::size_t>(width * height),
+             "placement: load vector does not match grid");
+  HCE_EXPECT(num_sites >= 1 &&
+                 num_sites <= static_cast<int>(cell_load.size()),
+             "placement: invalid site count");
+
+  Placement p;
+  std::vector<int> chosen;
+  std::vector<int> assignment;
+  std::vector<double> weights;
+  Time best_rtt = 0.0;
+  for (int round = 0; round < num_sites; ++round) {
+    int best_cell = -1;
+    Time round_best = std::numeric_limits<double>::max();
+    for (int candidate = 0;
+         candidate < static_cast<int>(cell_load.size()); ++candidate) {
+      if (std::find(chosen.begin(), chosen.end(), candidate) !=
+          chosen.end()) {
+        continue;
+      }
+      std::vector<int> trial = chosen;
+      trial.push_back(candidate);
+      std::vector<int> a;
+      std::vector<double> w;
+      Time mean_rtt = 0.0;
+      assign_and_score(trial, cell_load, width, rtt, &a, &w, &mean_rtt);
+      if (mean_rtt < round_best) {
+        round_best = mean_rtt;
+        best_cell = candidate;
+      }
+    }
+    HCE_ASSERT(best_cell >= 0, "placement: no candidate improved");
+    chosen.push_back(best_cell);
+    best_rtt = round_best;
+  }
+  refine_sites(&chosen, cell_load, width, rtt);
+  assign_and_score(chosen, cell_load, width, rtt, &assignment, &weights,
+                   &best_rtt);
+  p.site_cells = std::move(chosen);
+  p.assignment = std::move(assignment);
+  p.site_weights = std::move(weights);
+  p.mean_rtt = best_rtt;
+  p.load_skew = skew(p.site_weights);
+  return p;
+}
+
+Placement evaluate_placement(const std::vector<int>& site_cells,
+                             const std::vector<double>& cell_load, int width,
+                             int height, const GridRttModel& rtt) {
+  HCE_EXPECT(!site_cells.empty(), "placement: no sites");
+  HCE_EXPECT(cell_load.size() == static_cast<std::size_t>(width * height),
+             "placement: load vector does not match grid");
+  Placement p;
+  p.site_cells = site_cells;
+  assign_and_score(site_cells, cell_load, width, rtt, &p.assignment,
+                   &p.site_weights, &p.mean_rtt);
+  p.load_skew = skew(p.site_weights);
+  return p;
+}
+
+core::DeploymentSpec to_deployment_spec(const Placement& p,
+                                        const GridRttModel& rtt,
+                                        Rate total_lambda, Rate mu,
+                                        int servers_per_site) {
+  HCE_EXPECT(!p.site_cells.empty(), "placement: empty placement");
+  core::DeploymentSpec spec;
+  spec.num_edge_sites = static_cast<int>(p.site_cells.size());
+  spec.servers_per_edge_site = servers_per_site;
+  spec.cloud_servers =
+      static_cast<int>(p.site_cells.size()) * servers_per_site;
+  spec.edge_rtt = p.mean_rtt;
+  spec.cloud_rtt = rtt.cloud_rtt;
+  spec.mu_edge = spec.mu_cloud = mu;
+  spec.total_lambda = total_lambda;
+  spec.site_weights = p.site_weights;
+  return spec;
+}
+
+}  // namespace hce::placement

@@ -1,0 +1,61 @@
+// Edge site placement over a spatial load field.
+//
+// Ties the paper's threads together: given a city-scale load field
+// (workload/SpatialSynth — the Fig. 2 data), choose where to put k edge
+// sites and measure the consequence. More sites means lower network
+// latency to users — but by Corollary 3.1.2 it also means thinner
+// per-site fleets and a lower inversion cutoff. This module quantifies
+// that tension: a greedy k-median placement minimizing load-weighted RTT,
+// the induced per-site load weights (the w_i of Lemma 3.3), and the
+// resulting DeploymentSpec for the advisor.
+#pragma once
+
+#include <vector>
+
+#include "core/advisor.hpp"
+#include "support/time.hpp"
+
+namespace hce::placement {
+
+/// RTT model on the hex grid: client->site RTT grows linearly with cell
+/// distance from a base (last-mile) latency.
+struct GridRttModel {
+  Time base_rtt = 0.001;      ///< last-mile RTT even to a co-located site
+  Time rtt_per_cell = 0.0004; ///< per-cell-unit propagation+hops
+  Time cloud_rtt = 0.025;     ///< RTT from any client to the cloud region
+
+  Time site_rtt(double distance_cells) const {
+    return base_rtt + rtt_per_cell * distance_cells;
+  }
+};
+
+struct Placement {
+  std::vector<int> site_cells;     ///< chosen cell index per site
+  std::vector<int> assignment;     ///< cell -> index into site_cells
+  std::vector<double> site_weights;///< fraction of total load per site
+  Time mean_rtt = 0.0;             ///< load-weighted mean client->site RTT
+  double load_skew = 0.0;          ///< max/mean of site_weights
+};
+
+/// Greedy k-median: adds sites one at a time, each minimizing the
+/// load-weighted mean RTT given the sites already chosen. Deterministic.
+/// `cell_load` is the (time-averaged) load per cell, row-major on a
+/// width x height hex grid.
+Placement greedy_place(const std::vector<double>& cell_load, int width,
+                       int height, int num_sites, const GridRttModel& rtt);
+
+/// Re-evaluates an existing placement against a (possibly different) load
+/// field — e.g. a night field for sites placed on the day field.
+Placement evaluate_placement(const std::vector<int>& site_cells,
+                             const std::vector<double>& cell_load, int width,
+                             int height, const GridRttModel& rtt);
+
+/// Builds the advisor input for a placement: k sites with the placement's
+/// weights and mean RTT, m servers per site, against a cloud of k*m
+/// servers at the model's cloud RTT.
+core::DeploymentSpec to_deployment_spec(const Placement& p,
+                                        const GridRttModel& rtt,
+                                        Rate total_lambda, Rate mu,
+                                        int servers_per_site = 1);
+
+}  // namespace hce::placement

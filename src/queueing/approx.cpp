@@ -1,0 +1,70 @@
+#include "queueing/approx.hpp"
+
+#include <cmath>
+
+#include "queueing/mmk.hpp"
+#include "support/contracts.hpp"
+
+namespace hce::queueing {
+
+namespace {
+void check_stable(double rho) {
+  HCE_EXPECT(rho >= 0.0 && rho < 1.0,
+             "approximation requires utilization in [0, 1)");
+}
+}  // namespace
+
+double whitt_conditional_wait(double rho, int k) {
+  check_stable(rho);
+  HCE_EXPECT(k >= 1, "whitt: k >= 1");
+  return std::sqrt(2.0) / ((1.0 - rho) * std::sqrt(static_cast<double>(k)));
+}
+
+Time whitt_conditional_wait_time(double rho, int k, Rate mu) {
+  HCE_EXPECT(mu > 0.0, "whitt: mu must be positive");
+  return whitt_conditional_wait(rho, k) / mu;
+}
+
+double bolch_wait_probability(double rho, int k) {
+  check_stable(rho);
+  HCE_EXPECT(k >= 1, "bolch: k >= 1");
+  if (rho > 0.7) {
+    return (std::pow(rho, k) + rho) / 2.0;
+  }
+  return std::pow(rho, (static_cast<double>(k) + 1.0) / 2.0);
+}
+
+Time allen_cunneen_gg1_wait(Rate lambda, Rate mu, double ca2, double cb2) {
+  HCE_EXPECT(mu > 0.0, "allen-cunneen: mu must be positive");
+  HCE_EXPECT(ca2 >= 0.0 && cb2 >= 0.0, "allen-cunneen: SCVs non-negative");
+  const double rho = lambda / mu;
+  check_stable(rho);
+  return rho / (mu * (1.0 - rho)) * (ca2 + cb2) / 2.0;
+}
+
+Time allen_cunneen_ggk_wait(Rate lambda, Rate mu, int k, double ca2,
+                            double cb2) {
+  HCE_EXPECT(mu > 0.0, "allen-cunneen: mu must be positive");
+  HCE_EXPECT(k >= 1, "allen-cunneen: k >= 1");
+  HCE_EXPECT(ca2 >= 0.0 && cb2 >= 0.0, "allen-cunneen: SCVs non-negative");
+  const double rho = lambda / (mu * static_cast<double>(k));
+  check_stable(rho);
+  const double ps = bolch_wait_probability(rho, k);
+  return ps / (mu * (1.0 - rho)) * (ca2 + cb2) /
+         (2.0 * static_cast<double>(k));
+}
+
+Time kingman_gg1_bound(Rate lambda, Rate mu, double ca2, double cb2) {
+  HCE_EXPECT(mu > 0.0, "kingman: mu must be positive");
+  const double rho = lambda / mu;
+  check_stable(rho);
+  return rho / (1.0 - rho) * (ca2 + cb2) / 2.0 / mu;
+}
+
+Time mgk_wait_approx(Rate lambda, Rate mu, int k, double cb2) {
+  HCE_EXPECT(cb2 >= 0.0, "mgk: cb2 must be non-negative");
+  const auto mmk = Mmk::make(lambda, mu, k);
+  return (1.0 + cb2) / 2.0 * mmk.mean_wait();
+}
+
+}  // namespace hce::queueing

@@ -1,0 +1,51 @@
+// Queueing approximations the paper's bounds are built from.
+//
+//  * Whitt (1992) conditional-wait approximation — paper Eq. 6.
+//  * Bolch et al. steady-state wait probability Pₛ — paper Eq. 16.
+//  * Allen–Cunneen G/G/1 and G/G/k expected waits — paper Eqs. 14–15.
+//  * Kingman's G/G/1 upper bound (classic sanity reference).
+//
+// Unit convention: the paper writes Eq. 6 dimensionlessly; functions with
+// a `_time` suffix return seconds (scaled by the mean service time), the
+// others return the paper's literal dimensionless value. The core
+// inversion API uses the `_time` forms.
+#pragma once
+
+#include "support/time.hpp"
+
+namespace hce::queueing {
+
+/// Paper Eq. 6 (Whitt): E[w | w > 0] = sqrt(2) / ((1 - rho) sqrt(k)),
+/// dimensionless (in units of mean service time).
+double whitt_conditional_wait(double rho, int k);
+
+/// Whitt conditional wait in seconds for per-server service rate mu.
+Time whitt_conditional_wait_time(double rho, int k, Rate mu);
+
+/// Paper Eq. 16 (Bolch et al.): steady-state probability that an arriving
+/// request must queue, approximated as (rho^k + rho)/2 for rho > 0.7 and
+/// rho^((k+1)/2) below. (The paper's low-rho branch prints "s"; it is the
+/// server count k in Bolch et al.)
+double bolch_wait_probability(double rho, int k);
+
+/// Allen–Cunneen expected wait for G/G/1 (paper Eq. 14):
+/// E[w] = rho / (mu (1 - rho)) * (cA² + cB²) / 2.
+Time allen_cunneen_gg1_wait(Rate lambda, Rate mu, double ca2, double cb2);
+
+/// Allen–Cunneen expected wait for G/G/k (paper Eq. 15):
+/// E[w] = Ps / (mu (1 - rho)) * (cA² + cB²) / (2k), with Ps from Bolch.
+Time allen_cunneen_ggk_wait(Rate lambda, Rate mu, int k, double ca2,
+                            double cb2);
+
+/// Kingman's G/G/1 heavy-traffic upper bound on the mean wait:
+/// E[w] <= rho/(1-rho) * (cA² + cB²)/2 * 1/mu.
+Time kingman_gg1_bound(Rate lambda, Rate mu, double ca2, double cb2);
+
+/// M/G/k mean wait via the Lee-Longton scaling of the exact M/M/k wait:
+/// E[Wq](M/G/k) ≈ (1 + cB²)/2 · E[Wq](M/M/k). Exact for k = 1
+/// (Pollaczek-Khinchine) and asymptotically correct in heavy traffic —
+/// the standard engineering approximation for multi-server queues with
+/// low-variability (DNN-like) service.
+Time mgk_wait_approx(Rate lambda, Rate mu, int k, double cb2);
+
+}  // namespace hce::queueing

@@ -1,0 +1,48 @@
+// Finite-capacity (loss) queueing systems: M/M/k/B.
+//
+// The paper's testbed "starts dropping requests or thrashing" at
+// saturation (§4.2) — real servers have bounded queues. M/M/k/B models a
+// k-server FCFS station that admits at most B requests in total (queue +
+// in service) and rejects the rest. It quantifies the throughput/loss
+// behaviour of an overloaded edge site, which the pure M/M/k model cannot
+// (its queue grows without bound above rho = 1).
+#pragma once
+
+#include "support/time.hpp"
+
+namespace hce::queueing {
+
+struct MmkB {
+  Rate lambda = 0.0;
+  Rate mu = 0.0;  ///< per-server service rate
+  int k = 1;      ///< servers
+  int capacity = 1;  ///< B: max in system (>= k)
+
+  /// Validates inputs. Unlike M/M/k, any lambda >= 0 is admissible — the
+  /// finite buffer keeps the system stable even above nominal saturation.
+  static MmkB make(Rate lambda, Rate mu, int k, int capacity);
+
+  /// Steady-state probability of n in system, n in [0, capacity].
+  double prob_n(int n) const;
+  /// Probability an arriving request is rejected (PASTA: == prob_n(B)).
+  double blocking_probability() const;
+  /// Accepted throughput lambda (1 - P_block).
+  Rate throughput() const;
+  /// Mean number in system.
+  double mean_in_system() const;
+  /// Mean queue length (excluding in service).
+  double mean_queue_length() const;
+  /// Mean waiting time of *accepted* requests (Little on the queue).
+  Time mean_wait_accepted() const;
+  /// Mean response time of accepted requests.
+  Time mean_response_accepted() const;
+  /// Offered utilization lambda/(k mu) — may exceed 1.
+  double offered_utilization() const { return lambda / (mu * k); }
+  /// Actual server utilization (throughput/(k mu)), always < 1.
+  double server_utilization() const { return throughput() / (mu * k); }
+};
+
+/// Erlang loss system M/M/k/k (no queue): blocking == Erlang-B.
+MmkB erlang_loss(Rate lambda, Rate mu, int k);
+
+}  // namespace hce::queueing

@@ -1,0 +1,24 @@
+#include "queueing/mg1.hpp"
+
+#include "support/contracts.hpp"
+
+namespace hce::queueing {
+
+Mg1 Mg1::make(Rate lambda, Rate mu, double service_scv) {
+  HCE_EXPECT(lambda >= 0.0, "M/G/1: lambda must be non-negative");
+  HCE_EXPECT(mu > 0.0, "M/G/1: mu must be positive");
+  HCE_EXPECT(lambda < mu, "M/G/1: unstable (lambda >= mu)");
+  HCE_EXPECT(service_scv >= 0.0, "M/G/1: scv must be non-negative");
+  return Mg1{lambda, mu, service_scv};
+}
+
+Time Mg1::mean_wait() const {
+  const double rho = utilization();
+  return rho / (mu * (1.0 - rho)) * (1.0 + scv) / 2.0;
+}
+
+Time md1_mean_wait(Rate lambda, Rate mu) {
+  return Mg1::make(lambda, mu, 0.0).mean_wait();
+}
+
+}  // namespace hce::queueing

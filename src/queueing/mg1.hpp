@@ -1,0 +1,31 @@
+// M/G/1 (Pollaczek–Khinchine) and the M/D/1 special case.
+//
+// Used to validate the simulator against exact results for non-exponential
+// service (the DNN service has sub-exponential variability), and as the
+// scv-sensitive single-queue reference in ablation benches.
+#pragma once
+
+#include "support/time.hpp"
+
+namespace hce::queueing {
+
+struct Mg1 {
+  Rate lambda = 0.0;
+  Rate mu = 0.0;       ///< 1 / mean service time
+  double scv = 1.0;    ///< squared CoV of service time (c_B²)
+
+  static Mg1 make(Rate lambda, Rate mu, double service_scv);
+
+  double utilization() const { return lambda / mu; }
+  /// Pollaczek–Khinchine mean waiting time:
+  /// E[Wq] = rho/(mu(1-rho)) * (1 + c²)/2.
+  Time mean_wait() const;
+  Time mean_response() const { return mean_wait() + 1.0 / mu; }
+  double mean_queue_length() const { return lambda * mean_wait(); }
+  double mean_in_system() const { return lambda * mean_response(); }
+};
+
+/// M/D/1 mean waiting time (scv = 0): rho / (2 mu (1 - rho)).
+Time md1_mean_wait(Rate lambda, Rate mu);
+
+}  // namespace hce::queueing

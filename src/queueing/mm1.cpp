@@ -1,0 +1,54 @@
+#include "queueing/mm1.hpp"
+
+#include <cmath>
+
+#include "support/contracts.hpp"
+
+namespace hce::queueing {
+
+Mm1 Mm1::make(Rate lambda, Rate mu) {
+  HCE_EXPECT(lambda >= 0.0, "M/M/1: lambda must be non-negative");
+  HCE_EXPECT(mu > 0.0, "M/M/1: mu must be positive");
+  HCE_EXPECT(lambda < mu, "M/M/1: unstable (lambda >= mu)");
+  return Mm1{lambda, mu};
+}
+
+double Mm1::mean_queue_length() const {
+  const double rho = utilization();
+  return rho * rho / (1.0 - rho);
+}
+
+double Mm1::mean_in_system() const {
+  const double rho = utilization();
+  return rho / (1.0 - rho);
+}
+
+Time Mm1::mean_wait() const { return utilization() / (mu - lambda); }
+
+Time Mm1::mean_response() const { return 1.0 / (mu - lambda); }
+
+Time Mm1::mean_wait_given_wait() const { return 1.0 / (mu - lambda); }
+
+double Mm1::response_tail(Time t) const {
+  HCE_EXPECT(t >= 0.0, "tail time must be non-negative");
+  return std::exp(-(mu - lambda) * t);
+}
+
+Time Mm1::response_quantile(double q) const {
+  HCE_EXPECT(q >= 0.0 && q < 1.0, "quantile in [0,1)");
+  return -std::log(1.0 - q) / (mu - lambda);
+}
+
+double Mm1::wait_tail(Time t) const {
+  HCE_EXPECT(t >= 0.0, "tail time must be non-negative");
+  return utilization() * std::exp(-(mu - lambda) * t);
+}
+
+Time Mm1::wait_quantile(double q) const {
+  HCE_EXPECT(q >= 0.0 && q < 1.0, "quantile in [0,1)");
+  const double rho = utilization();
+  if (q <= 1.0 - rho) return 0.0;  // atom at zero: P(Wq = 0) = 1 - rho
+  return -std::log((1.0 - q) / rho) / (mu - lambda);
+}
+
+}  // namespace hce::queueing

@@ -1,0 +1,42 @@
+// Exact M/M/1 results (Poisson arrivals, exponential service, one server).
+//
+// Each edge site with one server is modeled as M/M/1 in the paper's §3.1.1.
+// All quantities are exact closed forms; rates in req/s, times in seconds.
+#pragma once
+
+#include "support/time.hpp"
+
+namespace hce::queueing {
+
+struct Mm1 {
+  Rate lambda = 0.0;  ///< arrival rate
+  Rate mu = 0.0;      ///< service rate
+
+  /// Validates lambda >= 0, mu > 0, lambda < mu (stability).
+  static Mm1 make(Rate lambda, Rate mu);
+
+  double utilization() const { return lambda / mu; }
+  /// Mean number in queue (excluding in service).
+  double mean_queue_length() const;
+  /// Mean number in system.
+  double mean_in_system() const;
+  /// Mean waiting (queueing) time E[Wq].
+  Time mean_wait() const;
+  /// Mean response time E[W] = E[Wq] + 1/mu.
+  Time mean_response() const;
+  /// Probability an arriving request waits (= utilization for M/M/1).
+  double prob_wait() const { return utilization(); }
+  /// Mean wait conditioned on waiting, E[Wq | Wq > 0] = 1/(mu - lambda).
+  Time mean_wait_given_wait() const;
+  /// P(response time > t): exact exponential tail.
+  double response_tail(Time t) const;
+  /// Quantile of the response-time distribution.
+  Time response_quantile(double q) const;
+  /// P(Wq > t).
+  double wait_tail(Time t) const;
+  /// Quantile of the waiting-time distribution (0 when q below the atom
+  /// at zero).
+  Time wait_quantile(double q) const;
+};
+
+}  // namespace hce::queueing

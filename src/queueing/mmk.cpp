@@ -1,0 +1,88 @@
+#include "queueing/mmk.hpp"
+
+#include <cmath>
+
+#include "support/contracts.hpp"
+#include "support/math.hpp"
+
+namespace hce::queueing {
+
+double erlang_b(double offered_load, int k) {
+  HCE_EXPECT(offered_load >= 0.0, "erlang_b: offered load >= 0");
+  HCE_EXPECT(k >= 0, "erlang_b: k >= 0");
+  // B(a, 0) = 1; B(a, j) = a B(a, j-1) / (j + a B(a, j-1)).
+  double b = 1.0;
+  for (int j = 1; j <= k; ++j) {
+    b = offered_load * b / (static_cast<double>(j) + offered_load * b);
+  }
+  return b;
+}
+
+double erlang_c(double offered_load, int k) {
+  HCE_EXPECT(k >= 1, "erlang_c: k >= 1");
+  HCE_EXPECT(offered_load < static_cast<double>(k),
+             "erlang_c: requires offered load < k (stability)");
+  if (offered_load <= 0.0) return 0.0;
+  const double b = erlang_b(offered_load, k);
+  const double rho = offered_load / static_cast<double>(k);
+  return b / (1.0 - rho * (1.0 - b));
+}
+
+Mmk Mmk::make(Rate lambda, Rate mu, int k) {
+  HCE_EXPECT(lambda >= 0.0, "M/M/k: lambda must be non-negative");
+  HCE_EXPECT(mu > 0.0, "M/M/k: mu must be positive");
+  HCE_EXPECT(k >= 1, "M/M/k: k must be >= 1");
+  HCE_EXPECT(lambda < mu * k, "M/M/k: unstable (lambda >= k mu)");
+  return Mmk{lambda, mu, k};
+}
+
+double Mmk::prob_wait() const { return erlang_c(offered_load(), k); }
+
+Time Mmk::mean_wait() const {
+  return prob_wait() / (static_cast<double>(k) * mu - lambda);
+}
+
+Time Mmk::mean_wait_given_wait() const {
+  return 1.0 / (static_cast<double>(k) * mu - lambda);
+}
+
+double Mmk::wait_tail(Time t) const {
+  HCE_EXPECT(t >= 0.0, "tail time must be non-negative");
+  const double theta = static_cast<double>(k) * mu - lambda;
+  return prob_wait() * std::exp(-theta * t);
+}
+
+Time Mmk::wait_quantile(double q) const {
+  HCE_EXPECT(q >= 0.0 && q < 1.0, "quantile in [0,1)");
+  const double c = prob_wait();
+  if (q <= 1.0 - c) return 0.0;
+  const double theta = static_cast<double>(k) * mu - lambda;
+  return -std::log((1.0 - q) / c) / theta;
+}
+
+double Mmk::response_tail(Time t) const {
+  HCE_EXPECT(t >= 0.0, "tail time must be non-negative");
+  const double c = prob_wait();
+  const double theta = static_cast<double>(k) * mu - lambda;
+  const double no_wait = (1.0 - c) * std::exp(-mu * t);
+  if (std::abs(theta - mu) < 1e-12 * mu) {
+    // theta == mu limit: Wq|wait + S is Erlang-2.
+    return no_wait + c * std::exp(-mu * t) * (1.0 + mu * t);
+  }
+  const double conv =
+      (theta * std::exp(-mu * t) - mu * std::exp(-theta * t)) / (theta - mu);
+  return no_wait + c * conv;
+}
+
+Time Mmk::response_quantile(double q) const {
+  HCE_EXPECT(q >= 0.0 && q < 1.0, "quantile in [0,1)");
+  if (q == 0.0) return 0.0;
+  // response_tail is strictly decreasing from 1; bracket then bisect.
+  double hi = 1.0 / mu;
+  while (response_tail(hi) > 1.0 - q) hi *= 2.0;
+  const auto r = bisect([&](double t) { return (1.0 - response_tail(t)) - q; },
+                        0.0, hi);
+  return r.x;
+}
+
+}  // namespace hce::queueing

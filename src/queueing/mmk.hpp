@@ -1,0 +1,51 @@
+// Exact M/M/k results (Poisson arrivals, exponential service, k servers,
+// one shared FCFS queue) — the paper's cloud model.
+//
+// Erlang-C is computed with the standard numerically stable recursion on
+// the Erlang-B blocking probability, so it is exact for any k (no
+// factorial overflow).
+#pragma once
+
+#include "support/time.hpp"
+
+namespace hce::queueing {
+
+/// Erlang-B blocking probability for offered load a = lambda/mu and k
+/// servers (loss system). Stable recursion.
+double erlang_b(double offered_load, int k);
+
+/// Erlang-C probability that an arrival waits, for offered load a and k
+/// servers. Requires a < k.
+double erlang_c(double offered_load, int k);
+
+struct Mmk {
+  Rate lambda = 0.0;
+  Rate mu = 0.0;  ///< per-server service rate
+  int k = 1;
+
+  static Mmk make(Rate lambda, Rate mu, int k);
+
+  double utilization() const { return lambda / (mu * k); }
+  double offered_load() const { return lambda / mu; }
+  /// Probability an arriving request queues (Erlang-C).
+  double prob_wait() const;
+  /// Mean waiting time E[Wq] = C / (k mu - lambda).
+  Time mean_wait() const;
+  /// E[Wq | Wq > 0] = 1 / (k mu (1 - rho)) — conditional wait is
+  /// exponential.
+  Time mean_wait_given_wait() const;
+  Time mean_response() const { return mean_wait() + 1.0 / mu; }
+  double mean_queue_length() const { return lambda * mean_wait(); }
+  double mean_in_system() const { return lambda * mean_response(); }
+  /// P(Wq > t) = C exp(-k mu (1 - rho) t).
+  double wait_tail(Time t) const;
+  /// Waiting-time quantile (0 below the atom at zero).
+  Time wait_quantile(double q) const;
+  /// P(response > t): numeric complement via wait distribution convolved
+  /// with the exponential service (closed form for k mu (1-rho) != mu).
+  double response_tail(Time t) const;
+  /// Response-time quantile via monotone bisection on response_tail.
+  Time response_quantile(double q) const;
+};
+
+}  // namespace hce::queueing

@@ -1,0 +1,77 @@
+#include "stats/autocorr.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "support/contracts.hpp"
+
+namespace hce::stats {
+
+namespace {
+double mean_of(const std::vector<double>& v) {
+  double m = 0.0;
+  for (double x : v) m += x;
+  return m / static_cast<double>(v.size());
+}
+}  // namespace
+
+double autocorrelation(const std::vector<double>& sample, std::size_t lag) {
+  HCE_EXPECT(sample.size() >= 2, "autocorrelation: need >= 2 samples");
+  HCE_EXPECT(lag < sample.size(), "autocorrelation: lag out of range");
+  const double mean = mean_of(sample);
+  double var = 0.0;
+  for (double x : sample) var += (x - mean) * (x - mean);
+  if (var <= 0.0) return lag == 0 ? 1.0 : 0.0;
+  double cov = 0.0;
+  for (std::size_t i = 0; i + lag < sample.size(); ++i) {
+    cov += (sample[i] - mean) * (sample[i + lag] - mean);
+  }
+  return cov / var;
+}
+
+std::vector<double> autocorrelation_function(
+    const std::vector<double>& sample, std::size_t max_lag) {
+  HCE_EXPECT(max_lag < sample.size(),
+             "autocorrelation_function: max_lag out of range");
+  std::vector<double> acf;
+  acf.reserve(max_lag + 1);
+  for (std::size_t lag = 0; lag <= max_lag; ++lag) {
+    acf.push_back(autocorrelation(sample, lag));
+  }
+  return acf;
+}
+
+double integrated_autocorrelation_time(const std::vector<double>& sample,
+                                       std::size_t max_lag) {
+  HCE_EXPECT(sample.size() >= 4, "IAT: need >= 4 samples");
+  if (max_lag == 0) {
+    max_lag = std::min<std::size_t>(sample.size() / 4, 2048);
+  }
+  max_lag = std::min(max_lag, sample.size() - 1);
+  // Geyer initial positive sequence: sum pairs rho(2m-1)+rho(2m) while
+  // the pair sums stay positive.
+  double iat = 1.0;
+  for (std::size_t m = 1; 2 * m <= max_lag; ++m) {
+    const double pair = autocorrelation(sample, 2 * m - 1) +
+                        autocorrelation(sample, 2 * m);
+    if (pair <= 0.0) break;
+    iat += 2.0 * pair;
+  }
+  return std::max(iat, 1.0);
+}
+
+double effective_sample_size(const std::vector<double>& sample) {
+  return static_cast<double>(sample.size()) /
+         integrated_autocorrelation_time(sample);
+}
+
+int suggested_batch_count(const std::vector<double>& sample) {
+  HCE_EXPECT(sample.size() >= 8, "suggested_batch_count: need >= 8 samples");
+  const double iat = integrated_autocorrelation_time(sample);
+  const double max_batches =
+      static_cast<double>(sample.size()) / (10.0 * iat);
+  const int batches = static_cast<int>(std::floor(max_batches));
+  return std::clamp(batches, 2, 64);
+}
+
+}  // namespace hce::stats

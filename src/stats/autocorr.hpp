@@ -1,0 +1,37 @@
+// Autocorrelation diagnostics for steady-state simulation output.
+//
+// Consecutive waiting times from one queue are strongly correlated, so a
+// naive CI from n samples pretends to far more information than the run
+// contains. These helpers quantify that: the autocorrelation function,
+// the integrated autocorrelation time (IAT), and the effective sample
+// size n_eff = n / IAT — the honest divisor for steady-state CIs and the
+// principled way to pick batch sizes for stats::batch_means_ci.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace hce::stats {
+
+/// Sample autocorrelation at a single lag (biased estimator, the standard
+/// choice for IAT computation). lag must be < sample size.
+double autocorrelation(const std::vector<double>& sample, std::size_t lag);
+
+/// Autocorrelation function for lags [0, max_lag].
+std::vector<double> autocorrelation_function(const std::vector<double>& sample,
+                                             std::size_t max_lag);
+
+/// Integrated autocorrelation time: 1 + 2 * sum of positive-sequence
+/// autocorrelations, truncated at the first non-positive pair (Geyer's
+/// initial positive sequence rule). >= 1; equals ~1 for iid data.
+double integrated_autocorrelation_time(const std::vector<double>& sample,
+                                       std::size_t max_lag = 0);
+
+/// Effective sample size n / IAT.
+double effective_sample_size(const std::vector<double>& sample);
+
+/// Suggested batch count for batch-means CIs: enough batches for a stable
+/// t interval while each batch spans >= 10 IATs. Clamped to [2, 64].
+int suggested_batch_count(const std::vector<double>& sample);
+
+}  // namespace hce::stats

@@ -1,0 +1,120 @@
+#include "stats/boxplot.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <sstream>
+
+#include "stats/quantiles.hpp"
+#include "support/contracts.hpp"
+
+namespace hce::stats {
+
+BoxSummary box_summary(std::vector<double> sample) {
+  HCE_EXPECT(!sample.empty(), "box_summary of empty sample");
+  std::sort(sample.begin(), sample.end());
+  BoxSummary b;
+  b.n = sample.size();
+  b.min = sample.front();
+  b.max = sample.back();
+  b.q1 = quantile_sorted(sample, 0.25);
+  b.median = quantile_sorted(sample, 0.50);
+  b.q3 = quantile_sorted(sample, 0.75);
+  b.mean = std::accumulate(sample.begin(), sample.end(), 0.0) /
+           static_cast<double>(sample.size());
+  const double iqr = b.q3 - b.q1;
+  const double lo_fence = b.q1 - 1.5 * iqr;
+  const double hi_fence = b.q3 + 1.5 * iqr;
+  b.whisker_lo = b.min;
+  b.whisker_hi = b.max;
+  std::size_t outliers = 0;
+  for (double x : sample) {
+    if (x < lo_fence || x > hi_fence) {
+      ++outliers;
+    }
+  }
+  // Whiskers extend to the most extreme points inside the fences.
+  for (double x : sample) {
+    if (x >= lo_fence) {
+      b.whisker_lo = x;
+      break;
+    }
+  }
+  for (auto it = sample.rbegin(); it != sample.rend(); ++it) {
+    if (*it <= hi_fence) {
+      b.whisker_hi = *it;
+      break;
+    }
+  }
+  b.outliers = outliers;
+  return b;
+}
+
+ViolinSummary violin_summary(std::vector<double> sample, int points) {
+  HCE_EXPECT(!sample.empty(), "violin_summary of empty sample");
+  HCE_EXPECT(points >= 2, "violin_summary needs >= 2 grid points");
+  ViolinSummary v;
+  v.box = box_summary(sample);
+
+  // Silverman's rule of thumb, robust variant using min(sd, IQR/1.34).
+  double mean = v.box.mean;
+  double sq = 0.0;
+  for (double x : sample) sq += (x - mean) * (x - mean);
+  const double sd = sample.size() > 1
+                        ? std::sqrt(sq / static_cast<double>(sample.size() - 1))
+                        : 0.0;
+  double spread = sd;
+  if (v.box.iqr() > 0.0) spread = std::min(spread, v.box.iqr() / 1.34);
+  if (spread <= 0.0) spread = std::max(std::abs(mean), 1e-12);
+  const double h =
+      0.9 * spread * std::pow(static_cast<double>(sample.size()), -0.2);
+  v.bandwidth = h;
+
+  const double lo = v.box.whisker_lo - h;
+  const double hi = v.box.whisker_hi + h;
+  v.grid.resize(static_cast<std::size_t>(points));
+  v.density.assign(static_cast<std::size_t>(points), 0.0);
+  const double norm =
+      1.0 / (static_cast<double>(sample.size()) * h * std::sqrt(2.0 * M_PI));
+  for (int i = 0; i < points; ++i) {
+    const double g =
+        lo + (hi - lo) * static_cast<double>(i) / (points - 1);
+    v.grid[static_cast<std::size_t>(i)] = g;
+    double d = 0.0;
+    for (double x : sample) {
+      const double z = (g - x) / h;
+      if (std::abs(z) < 8.0) d += std::exp(-0.5 * z * z);
+    }
+    v.density[static_cast<std::size_t>(i)] = d * norm;
+  }
+  return v;
+}
+
+std::string render_violin(const ViolinSummary& v, int width, int rows) {
+  std::ostringstream os;
+  const int n = static_cast<int>(v.grid.size());
+  const int step = std::max(1, n / rows);
+  double peak = 0.0;
+  for (double d : v.density) peak = std::max(peak, d);
+  if (peak <= 0.0) return "(flat density)\n";
+  for (int i = 0; i < n; i += step) {
+    const double g = v.grid[static_cast<std::size_t>(i)];
+    const double d = v.density[static_cast<std::size_t>(i)];
+    const int bar = static_cast<int>(width * d / peak + 0.5);
+    char label[32];
+    std::snprintf(label, sizeof label, "%9.3f", g * 1e3);  // ms
+    char mark = ' ';
+    if (std::abs(g - v.box.median) <= (v.grid[1] - v.grid[0]) * step) {
+      mark = 'M';
+    } else if (std::abs(g - v.box.q1) <= (v.grid[1] - v.grid[0]) * step ||
+               std::abs(g - v.box.q3) <= (v.grid[1] - v.grid[0]) * step) {
+      mark = 'Q';
+    }
+    os << label << " " << mark << " "
+       << std::string(static_cast<std::size_t>(std::min(bar, width)), '*')
+       << '\n';
+  }
+  return os.str();
+}
+
+}  // namespace hce::stats

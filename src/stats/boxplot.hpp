@@ -1,0 +1,50 @@
+// Box-plot and violin (kernel density) summaries.
+//
+// Fig. 2 and Fig. 10 are box plots; Fig. 6 is a violin plot. These types
+// compute the numeric content of those figures so the benches can print
+// them as tables/ASCII.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace hce::stats {
+
+/// Tukey five-number summary with 1.5*IQR whiskers.
+struct BoxSummary {
+  double min = 0.0;           ///< sample minimum
+  double q1 = 0.0;            ///< lower quartile
+  double median = 0.0;
+  double q3 = 0.0;            ///< upper quartile
+  double max = 0.0;           ///< sample maximum
+  double whisker_lo = 0.0;    ///< lowest point >= q1 - 1.5*IQR
+  double whisker_hi = 0.0;    ///< highest point <= q3 + 1.5*IQR
+  std::size_t n = 0;
+  std::size_t outliers = 0;   ///< points beyond the whiskers
+  double mean = 0.0;
+
+  double iqr() const { return q3 - q1; }
+};
+
+/// Computes a BoxSummary; sorts a copy of the sample.
+BoxSummary box_summary(std::vector<double> sample);
+
+/// Gaussian kernel density estimate on an even grid — the "body" of a
+/// violin plot.
+struct ViolinSummary {
+  std::vector<double> grid;     ///< evaluation points
+  std::vector<double> density;  ///< KDE values (integrates to ~1)
+  BoxSummary box;               ///< embedded box summary
+  double bandwidth = 0.0;       ///< Silverman bandwidth used
+};
+
+/// Computes a violin summary over `points` grid cells spanning
+/// [whisker_lo, whisker_hi] padded by one bandwidth.
+ViolinSummary violin_summary(std::vector<double> sample, int points = 64);
+
+/// ASCII rendering of one violin: a vertical profile of density bars with
+/// quartile markers, for bench output.
+std::string render_violin(const ViolinSummary& v, int width = 56,
+                          int rows = 20);
+
+}  // namespace hce::stats

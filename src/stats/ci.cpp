@@ -1,0 +1,126 @@
+#include "stats/ci.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "stats/quantiles.hpp"
+#include "stats/summary.hpp"
+#include "support/contracts.hpp"
+
+namespace hce::stats {
+
+namespace {
+/// Inverse standard normal CDF (Acklam's rational approximation,
+/// |error| < 1.15e-9).
+double norm_ppf(double p) {
+  HCE_EXPECT(p > 0.0 && p < 1.0, "norm_ppf domain");
+  static const double a[] = {-3.969683028665376e+01, 2.209460984245205e+02,
+                             -2.759285104469687e+02, 1.383577518672690e+02,
+                             -3.066479806614716e+01, 2.506628277459239e+00};
+  static const double b[] = {-5.447609879822406e+01, 1.615858368580409e+02,
+                             -1.556989798598866e+02, 6.680131188771972e+01,
+                             -1.328068155288572e+01};
+  static const double c[] = {-7.784894002430293e-03, -3.223964580411365e-01,
+                             -2.400758277161838e+00, -2.549732539343734e+00,
+                             4.374664141464968e+00,  2.938163982698783e+00};
+  static const double d[] = {7.784695709041462e-03, 3.224671290700398e-01,
+                             2.445134137142996e+00, 3.754408661907416e+00};
+  const double plow = 0.02425;
+  if (p < plow) {
+    const double q = std::sqrt(-2.0 * std::log(p));
+    return (((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4]) * q +
+            c[5]) /
+           ((((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1.0);
+  }
+  if (p > 1.0 - plow) {
+    const double q = std::sqrt(-2.0 * std::log(1.0 - p));
+    return -(((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4]) * q +
+             c[5]) /
+           ((((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1.0);
+  }
+  const double q = p - 0.5;
+  const double r = q * q;
+  return (((((a[0] * r + a[1]) * r + a[2]) * r + a[3]) * r + a[4]) * r +
+          a[5]) *
+         q /
+         (((((b[0] * r + b[1]) * r + b[2]) * r + b[3]) * r + b[4]) * r + 1.0);
+}
+}  // namespace
+
+double t_critical(int df, double level) {
+  HCE_EXPECT(df >= 1, "t_critical requires df >= 1");
+  HCE_EXPECT(level > 0.0 && level < 1.0, "confidence level in (0,1)");
+  const double p = 0.5 + level / 2.0;
+  const double z = norm_ppf(p);
+  // Cornish-Fisher expansion of the t quantile in powers of 1/df.
+  const double z2 = z * z;
+  const double z3 = z2 * z;
+  const double z5 = z3 * z2;
+  const double z7 = z5 * z2;
+  const double n = static_cast<double>(df);
+  double t = z + (z3 + z) / (4.0 * n) +
+             (5.0 * z5 + 16.0 * z3 + 3.0 * z) / (96.0 * n * n) +
+             (3.0 * z7 + 19.0 * z5 + 17.0 * z3 - 15.0 * z) /
+                 (384.0 * n * n * n);
+  // For df == 1 and 2 closed forms exist; use them (the expansion is poor).
+  if (df == 1) t = std::tan(M_PI * (p - 0.5));
+  if (df == 2) t = (2.0 * p - 1.0) * std::sqrt(2.0 / (1.0 - (2.0 * p - 1.0) * (2.0 * p - 1.0)));
+  return t;
+}
+
+ConfidenceInterval replication_ci(const std::vector<double>& means,
+                                  double level) {
+  HCE_EXPECT(means.size() >= 2, "replication_ci needs >= 2 replications");
+  Summary s;
+  for (double m : means) s.add(m);
+  ConfidenceInterval ci;
+  ci.mean = s.mean();
+  ci.half_width = t_critical(static_cast<int>(means.size()) - 1, level) *
+                  s.stddev() / std::sqrt(static_cast<double>(means.size()));
+  return ci;
+}
+
+ConfidenceInterval batch_means_ci(const std::vector<double>& observations,
+                                  int num_batches, double level) {
+  HCE_EXPECT(num_batches >= 2, "batch_means_ci needs >= 2 batches");
+  HCE_EXPECT(observations.size() >= static_cast<std::size_t>(num_batches),
+             "batch_means_ci: fewer observations than batches");
+  const std::size_t batch = observations.size() / static_cast<std::size_t>(num_batches);
+  std::vector<double> means;
+  means.reserve(static_cast<std::size_t>(num_batches));
+  for (int b = 0; b < num_batches; ++b) {
+    double sum = 0.0;
+    for (std::size_t i = 0; i < batch; ++i) {
+      sum += observations[static_cast<std::size_t>(b) * batch + i];
+    }
+    means.push_back(sum / static_cast<double>(batch));
+  }
+  return replication_ci(means, level);
+}
+
+ConfidenceInterval bootstrap_ci(
+    const std::vector<double>& sample,
+    const std::function<double(const std::vector<double>&)>& statistic,
+    Rng rng, int resamples, double level) {
+  HCE_EXPECT(!sample.empty(), "bootstrap_ci of empty sample");
+  HCE_EXPECT(resamples >= 10, "bootstrap_ci needs >= 10 resamples");
+  std::vector<double> stat_values;
+  stat_values.reserve(static_cast<std::size_t>(resamples));
+  std::vector<double> resample(sample.size());
+  for (int r = 0; r < resamples; ++r) {
+    for (auto& x : resample) {
+      x = sample[rng.below(sample.size())];
+    }
+    stat_values.push_back(statistic(resample));
+  }
+  std::sort(stat_values.begin(), stat_values.end());
+  const double alpha = 1.0 - level;
+  const double lo = quantile_sorted(stat_values, alpha / 2.0);
+  const double hi = quantile_sorted(stat_values, 1.0 - alpha / 2.0);
+  ConfidenceInterval ci;
+  ci.mean = statistic(sample);
+  ci.half_width = (hi - lo) / 2.0;
+  return ci;
+}
+
+}  // namespace hce::stats

@@ -1,0 +1,49 @@
+// Confidence intervals for simulation output analysis.
+//
+// Two estimators:
+//  * replication_ci — Student-t interval across independent replications
+//    (the primary method: the experiment runner launches R seeded
+//    replications and reports mean ± half-width).
+//  * batch_means_ci — single-run batch means for long steady-state runs,
+//    where consecutive observations are autocorrelated and naive CIs
+//    understate variance.
+// Plus a simple percentile bootstrap for non-mean statistics (e.g. p95).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "support/rng.hpp"
+
+namespace hce::stats {
+
+struct ConfidenceInterval {
+  double mean = 0.0;
+  double half_width = 0.0;
+  double lower() const { return mean - half_width; }
+  double upper() const { return mean + half_width; }
+  bool contains(double x) const { return x >= lower() && x <= upper(); }
+};
+
+/// Two-sided Student-t critical value for `df` degrees of freedom at
+/// confidence `level` (e.g. 0.95). Uses an accurate closed approximation
+/// (Cornish-Fisher style) adequate for df >= 2.
+double t_critical(int df, double level = 0.95);
+
+/// CI across independent replication means.
+ConfidenceInterval replication_ci(const std::vector<double>& replication_means,
+                                  double level = 0.95);
+
+/// Batch-means CI: splits `observations` into `num_batches` contiguous
+/// batches and applies a t interval across batch means.
+ConfidenceInterval batch_means_ci(const std::vector<double>& observations,
+                                  int num_batches = 20, double level = 0.95);
+
+/// Percentile bootstrap CI of an arbitrary statistic of the sample.
+ConfidenceInterval bootstrap_ci(
+    const std::vector<double>& sample,
+    const std::function<double(const std::vector<double>&)>& statistic,
+    Rng rng, int resamples = 400, double level = 0.95);
+
+}  // namespace hce::stats

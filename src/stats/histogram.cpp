@@ -1,0 +1,110 @@
+#include "stats/histogram.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+
+#include "support/contracts.hpp"
+
+namespace hce::stats {
+
+LatencyHistogram::LatencyHistogram(double min_value, int buckets_per_decade,
+                                   int num_decades)
+    : min_value_(min_value) {
+  HCE_EXPECT(min_value > 0.0, "histogram min_value must be positive");
+  HCE_EXPECT(buckets_per_decade >= 1, "buckets_per_decade must be >= 1");
+  HCE_EXPECT(num_decades >= 1, "num_decades must be >= 1");
+  log_min_ = std::log10(min_value);
+  log_step_ = 1.0 / buckets_per_decade;
+  inv_log_step_ = static_cast<double>(buckets_per_decade);
+  counts_.assign(
+      static_cast<std::size_t>(buckets_per_decade * num_decades) + 2, 0);
+}
+
+int LatencyHistogram::bucket_index(double value) const {
+  if (!(value > min_value_)) return 0;
+  const double pos = (std::log10(value) - log_min_) * inv_log_step_;
+  const int idx = static_cast<int>(pos) + 1;
+  return std::min(idx, static_cast<int>(counts_.size()) - 1);
+}
+
+void LatencyHistogram::add(double value) {
+  HCE_EXPECT(std::isfinite(value), "histogram value must be finite");
+  ++counts_[static_cast<std::size_t>(bucket_index(value))];
+  ++total_;
+  sum_ += value;
+}
+
+void LatencyHistogram::merge(const LatencyHistogram& other) {
+  HCE_EXPECT(counts_.size() == other.counts_.size() &&
+                 min_value_ == other.min_value_,
+             "histogram merge requires identical bucket layout");
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    counts_[i] += other.counts_[i];
+  }
+  total_ += other.total_;
+  sum_ += other.sum_;
+}
+
+double LatencyHistogram::bucket_lower(int i) const {
+  HCE_EXPECT(i >= 0 && i <= static_cast<int>(counts_.size()),
+             "bucket index out of range");
+  if (i == 0) return 0.0;
+  return std::pow(10.0, log_min_ + (i - 1) * log_step_);
+}
+
+double LatencyHistogram::quantile(double q) const {
+  HCE_EXPECT(total_ > 0, "quantile of empty histogram");
+  HCE_EXPECT(q >= 0.0 && q <= 1.0, "quantile probability in [0,1]");
+  const double target = q * static_cast<double>(total_);
+  std::uint64_t cum = 0;
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    cum += counts_[i];
+    if (static_cast<double>(cum) >= target) {
+      const double lo = bucket_lower(static_cast<int>(i));
+      const double hi = bucket_upper(static_cast<int>(i));
+      if (lo <= 0.0) return hi;
+      return std::sqrt(lo * hi);  // geometric midpoint
+    }
+  }
+  return bucket_upper(static_cast<int>(counts_.size()) - 1);
+}
+
+double LatencyHistogram::mean_estimate() const {
+  return total_ == 0 ? 0.0 : sum_ / static_cast<double>(total_);
+}
+
+std::string LatencyHistogram::render(int max_rows) const {
+  std::ostringstream os;
+  if (total_ == 0) return "(empty histogram)\n";
+  // Find non-empty range.
+  int first = -1, last = -1;
+  std::uint64_t peak = 0;
+  for (int i = 0; i < static_cast<int>(counts_.size()); ++i) {
+    if (counts_[static_cast<std::size_t>(i)] > 0) {
+      if (first < 0) first = i;
+      last = i;
+      peak = std::max(peak, counts_[static_cast<std::size_t>(i)]);
+    }
+  }
+  const int span = last - first + 1;
+  const int group = std::max(1, (span + max_rows - 1) / max_rows);
+  for (int i = first; i <= last; i += group) {
+    std::uint64_t c = 0;
+    for (int j = i; j < std::min(i + group, last + 1); ++j) {
+      c += counts_[static_cast<std::size_t>(j)];
+    }
+    const int bar =
+        static_cast<int>(60.0 * static_cast<double>(c) /
+                         static_cast<double>(peak * group) + 0.5);
+    char label[32];
+    std::snprintf(label, sizeof label, "%10.4g", bucket_lower(i));
+    os << label << " "
+       << std::string(static_cast<std::size_t>(std::min(bar, 60)), '#') << " "
+       << c << '\n';
+  }
+  return os.str();
+}
+
+}  // namespace hce::stats

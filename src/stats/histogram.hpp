@@ -1,0 +1,51 @@
+// Log-bucketed latency histogram (HDR-style).
+//
+// Buckets grow geometrically so relative resolution is constant across the
+// microsecond-to-second range latencies span. Supports quantile queries,
+// merge, and text rendering for the distribution figures (Fig. 6).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace hce::stats {
+
+class LatencyHistogram {
+ public:
+  /// `min_value`: lower edge of the first bucket (values below clamp into
+  /// it). `buckets_per_decade`: resolution; 32 gives <7.5% relative error.
+  explicit LatencyHistogram(double min_value = 1e-6,
+                            int buckets_per_decade = 32,
+                            int num_decades = 9);
+
+  void add(double value);
+  void merge(const LatencyHistogram& other);
+
+  std::uint64_t count() const { return total_; }
+  /// Quantile estimate from bucket midpoints (geometric mean of edges).
+  double quantile(double q) const;
+  double mean_estimate() const;
+
+  /// Renders an ASCII sketch: one line per non-empty bucket run, with a
+  /// bar proportional to density. `max_rows` caps output.
+  std::string render(int max_rows = 24) const;
+
+  int num_buckets() const { return static_cast<int>(counts_.size()); }
+  std::uint64_t bucket_count(int i) const { return counts_.at(i); }
+  double bucket_lower(int i) const;
+  double bucket_upper(int i) const { return bucket_lower(i + 1); }
+
+ private:
+  int bucket_index(double value) const;
+
+  double min_value_;
+  double log_min_;
+  double inv_log_step_;
+  double log_step_;
+  std::vector<std::uint64_t> counts_;
+  std::uint64_t total_ = 0;
+  double sum_ = 0.0;
+};
+
+}  // namespace hce::stats

@@ -1,0 +1,107 @@
+#include "stats/quantiles.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "support/contracts.hpp"
+
+namespace hce::stats {
+
+double quantile_sorted(const std::vector<double>& sorted, double q) {
+  HCE_EXPECT(!sorted.empty(), "quantile of empty sample");
+  HCE_EXPECT(q >= 0.0 && q <= 1.0, "quantile probability must be in [0,1]");
+  if (sorted.size() == 1) return sorted.front();
+  const double pos = q * static_cast<double>(sorted.size() - 1);
+  const std::size_t lo = static_cast<std::size_t>(pos);
+  const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return sorted[lo] + frac * (sorted[hi] - sorted[lo]);
+}
+
+double quantile(std::vector<double> sample, double q) {
+  std::sort(sample.begin(), sample.end());
+  return quantile_sorted(sample, q);
+}
+
+std::vector<double> quantiles(std::vector<double> sample,
+                              const std::vector<double>& qs) {
+  std::sort(sample.begin(), sample.end());
+  std::vector<double> out;
+  out.reserve(qs.size());
+  for (double q : qs) out.push_back(quantile_sorted(sample, q));
+  return out;
+}
+
+P2Quantile::P2Quantile(double q) : q_(q) {
+  HCE_EXPECT(q > 0.0 && q < 1.0, "P2Quantile probability must be in (0,1)");
+  desired_ = {1.0, 1.0 + 2.0 * q, 1.0 + 4.0 * q, 3.0 + 2.0 * q, 5.0};
+  increments_ = {0.0, q / 2.0, q, (1.0 + q) / 2.0, 1.0};
+  positions_ = {1.0, 2.0, 3.0, 4.0, 5.0};
+}
+
+void P2Quantile::add(double x) {
+  if (count_ < 5) {
+    heights_[count_] = x;
+    ++count_;
+    if (count_ == 5) std::sort(heights_.begin(), heights_.end());
+    return;
+  }
+  ++count_;
+
+  // Locate the cell containing x and update extreme markers.
+  int cell;
+  if (x < heights_[0]) {
+    heights_[0] = x;
+    cell = 0;
+  } else if (x >= heights_[4]) {
+    heights_[4] = x;
+    cell = 3;
+  } else {
+    cell = 0;
+    while (cell < 3 && x >= heights_[cell + 1]) ++cell;
+  }
+
+  for (int i = cell + 1; i < 5; ++i) positions_[i] += 1.0;
+  for (int i = 0; i < 5; ++i) desired_[i] += increments_[i];
+
+  // Adjust interior markers with parabolic (P²) interpolation, falling
+  // back to linear when the parabolic estimate would break monotonicity.
+  for (int i = 1; i <= 3; ++i) {
+    const double d = desired_[i] - positions_[i];
+    const double right_gap = positions_[i + 1] - positions_[i];
+    const double left_gap = positions_[i - 1] - positions_[i];
+    if ((d >= 1.0 && right_gap > 1.0) || (d <= -1.0 && left_gap < -1.0)) {
+      const double sign = d >= 1.0 ? 1.0 : -1.0;
+      const double hp = heights_[i + 1];
+      const double hm = heights_[i - 1];
+      const double h = heights_[i];
+      const double np = positions_[i + 1];
+      const double nm = positions_[i - 1];
+      const double n = positions_[i];
+      double candidate =
+          h + sign / (np - nm) *
+                  ((n - nm + sign) * (hp - h) / (np - n) +
+                   (np - n - sign) * (h - hm) / (n - nm));
+      if (candidate <= hm || candidate >= hp) {
+        // Linear fallback.
+        const int j = sign > 0 ? i + 1 : i - 1;
+        candidate = h + sign * (heights_[j] - h) /
+                            (positions_[j] - n);
+      }
+      heights_[i] = candidate;
+      positions_[i] += sign;
+    }
+  }
+}
+
+double P2Quantile::value() const {
+  HCE_EXPECT(count_ > 0, "P2Quantile::value with no samples");
+  if (count_ < 5) {
+    std::vector<double> v(heights_.begin(),
+                          heights_.begin() + static_cast<long>(count_));
+    return quantile(std::move(v), q_);
+  }
+  return heights_[2];
+}
+
+}  // namespace hce::stats

@@ -1,0 +1,49 @@
+// Quantile estimation: exact (sort-based) and streaming (P² algorithm).
+//
+// Tail latency is central to the paper (Fig. 5: tail inversion occurs at
+// lower utilization than mean inversion). Exact quantiles are used when the
+// full sample fits in memory (the default for our simulations); the P²
+// estimator supports unbounded streams (long trace replays) at O(1) space.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <vector>
+
+namespace hce::stats {
+
+/// Exact sample quantile with linear interpolation (type-7, the R/NumPy
+/// default). `q` in [0, 1]. Sorts a copy; prefer quantiles() for several
+/// quantiles of the same sample.
+double quantile(std::vector<double> sample, double q);
+
+/// Exact quantiles for several probabilities with a single sort.
+std::vector<double> quantiles(std::vector<double> sample,
+                              const std::vector<double>& qs);
+
+/// Quantile of an already-sorted sample (no copy).
+double quantile_sorted(const std::vector<double>& sorted, double q);
+
+/// P² (Jain & Chlamtac 1985) streaming quantile estimator: O(1) space,
+/// five markers. Accurate to a few percent at the 95th/99th percentile for
+/// the unimodal latency distributions produced here.
+class P2Quantile {
+ public:
+  explicit P2Quantile(double q);
+
+  void add(double x);
+  /// Current estimate; exact until five samples have been seen.
+  double value() const;
+  std::size_t count() const { return count_; }
+  double probability() const { return q_; }
+
+ private:
+  double q_;
+  std::size_t count_ = 0;
+  std::array<double, 5> heights_{};   // marker heights
+  std::array<double, 5> positions_{}; // actual marker positions (1-based)
+  std::array<double, 5> desired_{};   // desired marker positions
+  std::array<double, 5> increments_{};
+};
+
+}  // namespace hce::stats

@@ -1,0 +1,56 @@
+#include "stats/series.hpp"
+
+#include "support/contracts.hpp"
+
+namespace hce::stats {
+
+BinnedSeries::BinnedSeries(Time t0, Time bin_width, std::size_t num_bins)
+    : t0_(t0), width_(bin_width) {
+  HCE_EXPECT(bin_width > 0.0, "BinnedSeries bin width must be positive");
+  HCE_EXPECT(num_bins > 0, "BinnedSeries needs at least one bin");
+  counts_.assign(num_bins, 0);
+  sums_.assign(num_bins, 0.0);
+}
+
+std::size_t BinnedSeries::index_for(Time t) const {
+  if (t <= t0_) return 0;
+  const auto idx = static_cast<std::size_t>((t - t0_) / width_);
+  return idx >= counts_.size() ? counts_.size() - 1 : idx;
+}
+
+void BinnedSeries::add(Time t, double value) {
+  const std::size_t i = index_for(t);
+  ++counts_[i];
+  sums_[i] += value;
+}
+
+void BinnedSeries::count_event(Time t) {
+  ++counts_[index_for(t)];
+}
+
+Time BinnedSeries::bin_start(std::size_t i) const {
+  HCE_EXPECT(i < counts_.size(), "BinnedSeries bin index out of range");
+  return t0_ + width_ * static_cast<Time>(i);
+}
+
+double BinnedSeries::mean(std::size_t i) const {
+  HCE_EXPECT(i < counts_.size(), "BinnedSeries bin index out of range");
+  return counts_[i] == 0 ? 0.0
+                         : sums_[i] / static_cast<double>(counts_[i]);
+}
+
+std::vector<double> BinnedSeries::counts_per_bin() const {
+  std::vector<double> out(counts_.size());
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    out[i] = static_cast<double>(counts_[i]);
+  }
+  return out;
+}
+
+std::vector<double> BinnedSeries::means_per_bin() const {
+  std::vector<double> out(counts_.size());
+  for (std::size_t i = 0; i < counts_.size(); ++i) out[i] = mean(i);
+  return out;
+}
+
+}  // namespace hce::stats

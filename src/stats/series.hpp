@@ -1,0 +1,50 @@
+// Time-binned series accumulator.
+//
+// Figures 8 and 9 of the paper are time series (per-site request counts per
+// minute; mean latency over time). BinnedSeries buckets observations by
+// timestamp and exposes per-bin counts/means for those plots.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "support/time.hpp"
+
+namespace hce::stats {
+
+class BinnedSeries {
+ public:
+  /// Bins [t0, t0 + width), [t0 + width, ...), `num_bins` of them.
+  BinnedSeries(Time t0, Time bin_width, std::size_t num_bins);
+
+  /// Adds observation `value` at time `t`. Out-of-range timestamps clamp
+  /// into the first/last bin.
+  void add(Time t, double value);
+
+  /// Increments the count in the bin for time `t` without a value (for
+  /// pure event-count series such as Fig. 8's requests/minute).
+  void count_event(Time t);
+
+  std::size_t num_bins() const { return counts_.size(); }
+  Time bin_start(std::size_t i) const;
+  Time bin_width() const { return width_; }
+  std::uint64_t count(std::size_t i) const { return counts_.at(i); }
+  /// Mean of observations in bin i; 0 if the bin is empty.
+  double mean(std::size_t i) const;
+  double sum(std::size_t i) const { return sums_.at(i); }
+
+  /// Vector of per-bin counts (rates when divided by width).
+  std::vector<double> counts_per_bin() const;
+  /// Vector of per-bin means.
+  std::vector<double> means_per_bin() const;
+
+ private:
+  std::size_t index_for(Time t) const;
+
+  Time t0_;
+  Time width_;
+  std::vector<std::uint64_t> counts_;
+  std::vector<double> sums_;
+};
+
+}  // namespace hce::stats

@@ -1,0 +1,59 @@
+#include "stats/summary.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace hce::stats {
+
+void Summary::add(double x) {
+  if (n_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++n_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+}
+
+void Summary::merge(const Summary& other) {
+  if (other.n_ == 0) return;
+  if (n_ == 0) {
+    *this = other;
+    return;
+  }
+  const double na = static_cast<double>(n_);
+  const double nb = static_cast<double>(other.n_);
+  const double delta = other.mean_ - mean_;
+  const double n_total = na + nb;
+  mean_ += delta * nb / n_total;
+  m2_ += other.m2_ + delta * delta * na * nb / n_total;
+  n_ += other.n_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+double Summary::mean() const { return n_ == 0 ? 0.0 : mean_; }
+
+double Summary::variance() const {
+  return n_ < 2 ? 0.0 : m2_ / static_cast<double>(n_ - 1);
+}
+
+double Summary::stddev() const { return std::sqrt(variance()); }
+
+double Summary::cov() const {
+  const double m = mean();
+  return m == 0.0 ? 0.0 : stddev() / m;
+}
+
+double Summary::scv() const {
+  const double c = cov();
+  return c * c;
+}
+
+double Summary::min() const { return n_ == 0 ? 0.0 : min_; }
+double Summary::max() const { return n_ == 0 ? 0.0 : max_; }
+
+}  // namespace hce::stats

@@ -1,0 +1,43 @@
+// Streaming moment statistics (Welford's algorithm).
+//
+// Used everywhere latencies, inter-arrival times, or service times are
+// accumulated. Single pass, numerically stable, mergeable (for combining
+// per-thread replication results).
+#pragma once
+
+#include <cstdint>
+
+namespace hce::stats {
+
+class Summary {
+ public:
+  void add(double x);
+
+  /// Merges another summary into this one (parallel reduction), using the
+  /// Chan et al. pairwise update.
+  void merge(const Summary& other);
+
+  std::uint64_t count() const { return n_; }
+  bool empty() const { return n_ == 0; }
+  double mean() const;
+  /// Unbiased sample variance; 0 when fewer than two samples.
+  double variance() const;
+  double stddev() const;
+  /// Coefficient of variation, stddev/mean; 0 for zero mean.
+  double cov() const;
+  /// Squared coefficient of variation — the c² terms in the paper's
+  /// Allen-Cunneen bound (Lemma 3.2).
+  double scv() const;
+  double min() const;
+  double max() const;
+  double sum() const { return mean_ * static_cast<double>(n_); }
+
+ private:
+  std::uint64_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+}  // namespace hce::stats

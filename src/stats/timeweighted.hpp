@@ -1,0 +1,67 @@
+// Time-weighted statistics for piecewise-constant processes.
+//
+// Queue length, number-in-system, and server-busy indicators are step
+// functions of simulated time; their *time averages* (not sample averages)
+// are what Little's law and utilization refer to. TimeWeighted integrates
+// a step function exactly as the simulation advances.
+#pragma once
+
+#include "support/contracts.hpp"
+#include "support/time.hpp"
+
+namespace hce::stats {
+
+class TimeWeighted {
+ public:
+  /// Begins observation at time t0 with initial level `value`.
+  explicit TimeWeighted(Time t0 = 0.0, double value = 0.0)
+      : last_time_(t0), start_time_(t0), value_(value) {}
+
+  /// Records that the level changed to `value` at time `now`. `now` must
+  /// be non-decreasing.
+  void set(Time now, double value) {
+    HCE_EXPECT(now >= last_time_, "TimeWeighted: time went backwards");
+    integral_ += value_ * (now - last_time_);
+    last_time_ = now;
+    value_ = value;
+    if (value > max_) max_ = value;
+  }
+
+  /// Adds `delta` to the current level at time `now`.
+  void adjust(Time now, double delta) { set(now, value_ + delta); }
+
+  /// Resets the integral (not the level) at time `now` — used to discard
+  /// the warmup period.
+  void reset(Time now) {
+    set(now, value_);
+    integral_ = 0.0;
+    start_time_ = now;
+    max_ = value_;
+  }
+
+  double current() const { return value_; }
+  double max() const { return max_; }
+
+  /// Time average over [start, now]. Requires now > start.
+  double average(Time now) const {
+    HCE_EXPECT(now >= last_time_, "TimeWeighted: time went backwards");
+    const Time span = now - start_time_;
+    if (span <= 0.0) return value_;
+    return (integral_ + value_ * (now - last_time_)) / span;
+  }
+
+  /// Raw integral of the level over [start, now].
+  double integral(Time now) const {
+    HCE_EXPECT(now >= last_time_, "TimeWeighted: time went backwards");
+    return integral_ + value_ * (now - last_time_);
+  }
+
+ private:
+  Time last_time_;
+  Time start_time_;
+  double value_;
+  double integral_ = 0.0;
+  double max_ = 0.0;
+};
+
+}  // namespace hce::stats

@@ -1,0 +1,48 @@
+// Lightweight contract checking for API boundaries.
+//
+// HCE_EXPECT(cond, msg)  — precondition; always checked, throws
+//                          hce::ContractViolation on failure.
+// HCE_ASSERT(cond, msg)  — internal invariant; checked unless NDEBUG-like
+//                          opt-out HCE_NO_INTERNAL_CHECKS is defined.
+//
+// Queueing and simulation code is highly sensitive to out-of-domain inputs
+// (utilization >= 1, negative rates, k < 1); contracts convert silent NaN
+// propagation into actionable errors at the call site.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace hce {
+
+/// Thrown when a documented precondition of a public API is violated.
+class ContractViolation : public std::logic_error {
+ public:
+  ContractViolation(const char* expr, const char* file, int line,
+                    const std::string& message)
+      : std::logic_error(std::string("contract violation: ") + message +
+                         " [" + expr + "] at " + file + ":" +
+                         std::to_string(line)) {}
+};
+
+namespace detail {
+[[noreturn]] inline void contract_fail(const char* expr, const char* file,
+                                       int line, const std::string& message) {
+  throw ContractViolation(expr, file, line, message);
+}
+}  // namespace detail
+
+}  // namespace hce
+
+#define HCE_EXPECT(cond, msg)                                      \
+  do {                                                             \
+    if (!(cond)) {                                                 \
+      ::hce::detail::contract_fail(#cond, __FILE__, __LINE__, msg); \
+    }                                                              \
+  } while (0)
+
+#ifdef HCE_NO_INTERNAL_CHECKS
+#define HCE_ASSERT(cond, msg) ((void)0)
+#else
+#define HCE_ASSERT(cond, msg) HCE_EXPECT(cond, msg)
+#endif

@@ -1,0 +1,182 @@
+#include "support/math.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "support/contracts.hpp"
+
+namespace hce {
+
+RootResult bisect(const std::function<double(double)>& f, double lo,
+                  double hi, double x_tol, int max_iter) {
+  HCE_EXPECT(lo < hi, "bisect requires lo < hi");
+  double flo = f(lo);
+  double fhi = f(hi);
+  HCE_EXPECT(flo == 0.0 || fhi == 0.0 || (flo < 0) != (fhi < 0),
+             "bisect requires a sign change over [lo, hi]");
+  RootResult r;
+  if (flo == 0.0) return {lo, 0.0, 0, true};
+  if (fhi == 0.0) return {hi, 0.0, 0, true};
+  for (int i = 0; i < max_iter; ++i) {
+    const double mid = 0.5 * (lo + hi);
+    const double fmid = f(mid);
+    r.iterations = i + 1;
+    if (fmid == 0.0 || (hi - lo) < x_tol) {
+      r.x = mid;
+      r.fx = fmid;
+      r.converged = true;
+      return r;
+    }
+    if ((fmid < 0) == (flo < 0)) {
+      lo = mid;
+      flo = fmid;
+    } else {
+      hi = mid;
+    }
+  }
+  r.x = 0.5 * (lo + hi);
+  r.fx = f(r.x);
+  r.converged = (hi - lo) < x_tol * 16;
+  return r;
+}
+
+RootResult brent(const std::function<double(double)>& f, double lo, double hi,
+                 double x_tol, int max_iter) {
+  HCE_EXPECT(lo < hi, "brent requires lo < hi");
+  double a = lo, b = hi;
+  double fa = f(a), fb = f(b);
+  HCE_EXPECT(fa == 0.0 || fb == 0.0 || (fa < 0) != (fb < 0),
+             "brent requires a sign change over [lo, hi]");
+  if (fa == 0.0) return {a, 0.0, 0, true};
+  if (fb == 0.0) return {b, 0.0, 0, true};
+  if (std::abs(fa) < std::abs(fb)) {
+    std::swap(a, b);
+    std::swap(fa, fb);
+  }
+  double c = a, fc = fa;
+  bool mflag = true;
+  double d = 0.0;
+  RootResult r;
+  for (int i = 0; i < max_iter; ++i) {
+    r.iterations = i + 1;
+    if (fb == 0.0 || std::abs(b - a) < x_tol) {
+      r.x = b;
+      r.fx = fb;
+      r.converged = true;
+      return r;
+    }
+    double s;
+    if (fa != fc && fb != fc) {
+      // Inverse quadratic interpolation.
+      s = a * fb * fc / ((fa - fb) * (fa - fc)) +
+          b * fa * fc / ((fb - fa) * (fb - fc)) +
+          c * fa * fb / ((fc - fa) * (fc - fb));
+    } else {
+      // Secant.
+      s = b - fb * (b - a) / (fb - fa);
+    }
+    const double m = 0.5 * (a + b);
+    const bool cond =
+        (s < std::min(m, b) || s > std::max(m, b)) ||
+        (mflag && std::abs(s - b) >= std::abs(b - c) / 2) ||
+        (!mflag && std::abs(s - b) >= std::abs(c - d) / 2) ||
+        (mflag && std::abs(b - c) < x_tol) ||
+        (!mflag && std::abs(c - d) < x_tol);
+    if (cond) {
+      s = m;
+      mflag = true;
+    } else {
+      mflag = false;
+    }
+    const double fs = f(s);
+    d = c;
+    c = b;
+    fc = fb;
+    if ((fa < 0) != (fs < 0)) {
+      b = s;
+      fb = fs;
+    } else {
+      a = s;
+      fa = fs;
+    }
+    if (std::abs(fa) < std::abs(fb)) {
+      std::swap(a, b);
+      std::swap(fa, fb);
+    }
+  }
+  r.x = b;
+  r.fx = fb;
+  r.converged = false;
+  return r;
+}
+
+std::optional<RootResult> find_first_root(
+    const std::function<double(double)>& f, double lo, double hi, int steps,
+    double x_tol) {
+  HCE_EXPECT(lo < hi, "find_first_root requires lo < hi");
+  HCE_EXPECT(steps >= 2, "find_first_root requires steps >= 2");
+  double x_prev = lo;
+  double f_prev = f(lo);
+  if (f_prev == 0.0) return RootResult{lo, 0.0, 0, true};
+  for (int i = 1; i <= steps; ++i) {
+    const double x = lo + (hi - lo) * static_cast<double>(i) / steps;
+    const double fx = f(x);
+    if (fx == 0.0) return RootResult{x, 0.0, i, true};
+    if ((f_prev < 0) != (fx < 0)) {
+      return brent(f, x_prev, x, x_tol);
+    }
+    x_prev = x;
+    f_prev = fx;
+  }
+  return std::nullopt;
+}
+
+double lerp_at(const std::vector<double>& xs, const std::vector<double>& ys,
+               double q) {
+  HCE_EXPECT(xs.size() == ys.size(), "lerp_at: size mismatch");
+  HCE_EXPECT(!xs.empty(), "lerp_at: empty input");
+  HCE_EXPECT(std::is_sorted(xs.begin(), xs.end()),
+             "lerp_at: xs must be sorted");
+  if (q <= xs.front()) return ys.front();
+  if (q >= xs.back()) return ys.back();
+  const auto it = std::upper_bound(xs.begin(), xs.end(), q);
+  const std::size_t i = static_cast<std::size_t>(it - xs.begin());
+  const double t = (q - xs[i - 1]) / (xs[i] - xs[i - 1]);
+  return ys[i - 1] + t * (ys[i] - ys[i - 1]);
+}
+
+std::optional<double> crossing_point(const std::vector<double>& xs,
+                                     const std::vector<double>& ya,
+                                     const std::vector<double>& yb) {
+  HCE_EXPECT(xs.size() == ya.size() && xs.size() == yb.size(),
+             "crossing_point: size mismatch");
+  if (xs.size() < 2) return std::nullopt;
+  for (std::size_t i = 1; i < xs.size(); ++i) {
+    const double d0 = ya[i - 1] - yb[i - 1];
+    const double d1 = ya[i] - yb[i];
+    if (d0 <= 0.0 && d1 > 0.0) {
+      if (d1 == d0) return xs[i];
+      const double t = -d0 / (d1 - d0);
+      return xs[i - 1] + t * (xs[i] - xs[i - 1]);
+    }
+  }
+  return std::nullopt;
+}
+
+double log_factorial(int n) {
+  HCE_EXPECT(n >= 0, "log_factorial: n must be non-negative");
+  return std::lgamma(static_cast<double>(n) + 1.0);
+}
+
+double log_add_exp(double a, double b) {
+  const double m = std::max(a, b);
+  if (m == -std::numeric_limits<double>::infinity()) return m;
+  return m + std::log(std::exp(a - m) + std::exp(b - m));
+}
+
+bool approx_equal(double a, double b, double tol) {
+  const double scale = std::max({1.0, std::abs(a), std::abs(b)});
+  return std::abs(a - b) <= tol * scale;
+}
+
+}  // namespace hce

@@ -1,0 +1,67 @@
+// Numeric helpers shared across the library: root finding, interpolation,
+// and small combinatorial utilities used by the queueing formulas.
+#pragma once
+
+#include <functional>
+#include <optional>
+#include <utility>
+#include <vector>
+
+namespace hce {
+
+/// Result of a 1-D root/threshold search.
+struct RootResult {
+  double x = 0.0;       ///< located root
+  double fx = 0.0;      ///< residual f(x)
+  int iterations = 0;   ///< iterations used
+  bool converged = false;
+};
+
+/// Finds a root of `f` in [lo, hi] by bisection. Requires f(lo) and f(hi)
+/// to have opposite signs (checked). Deterministic and robust — used for
+/// inverting monotone queueing expressions (cutoff utilizations, waiting
+/// time quantiles) where derivative information is unavailable.
+RootResult bisect(const std::function<double(double)>& f, double lo,
+                  double hi, double x_tol = 1e-10, int max_iter = 200);
+
+/// Brent's method: bisection safety with superlinear convergence. Same
+/// bracketing contract as bisect().
+RootResult brent(const std::function<double(double)>& f, double lo, double hi,
+                 double x_tol = 1e-12, int max_iter = 100);
+
+/// Scans [lo, hi] in `steps` increments for the first sign change of f and
+/// returns the refined root, or nullopt when f has constant sign. Useful
+/// when the caller cannot supply a bracket.
+std::optional<RootResult> find_first_root(
+    const std::function<double(double)>& f, double lo, double hi,
+    int steps = 256, double x_tol = 1e-10);
+
+/// Piecewise-linear interpolation of y(x) at query point q. `xs` must be
+/// strictly increasing and the same length as `ys` (checked). Clamps
+/// outside the range.
+double lerp_at(const std::vector<double>& xs, const std::vector<double>& ys,
+               double q);
+
+/// Locates the x where linearly-interpolated (ya - yb) crosses zero, i.e.
+/// where series A rises above series B. Returns nullopt when no crossing
+/// exists in the sampled range. Used by the crossover finder for the
+/// paper's inversion points (Figs. 3-5, 7).
+std::optional<double> crossing_point(const std::vector<double>& xs,
+                                     const std::vector<double>& ya,
+                                     const std::vector<double>& yb);
+
+/// log(n!) via lgamma; exact enough for Erlang formulas at any k.
+double log_factorial(int n);
+
+/// Numerically stable log(exp(a) + exp(b)).
+double log_add_exp(double a, double b);
+
+/// Clamps x into [lo, hi].
+constexpr double clamp(double x, double lo, double hi) {
+  return x < lo ? lo : (x > hi ? hi : x);
+}
+
+/// True when |a - b| <= tol * max(1, |a|, |b|).
+bool approx_equal(double a, double b, double tol = 1e-9);
+
+}  // namespace hce

@@ -1,0 +1,126 @@
+#include "support/table.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <ostream>
+#include <sstream>
+
+#include "support/contracts.hpp"
+
+namespace hce {
+
+std::string format_fixed(double value, int precision) {
+  std::ostringstream os;
+  os.setf(std::ios::fixed);
+  os.precision(precision);
+  os << value;
+  return os.str();
+}
+
+TextTable::TextTable(std::vector<std::string> header)
+    : header_(std::move(header)) {
+  HCE_EXPECT(!header_.empty(), "TextTable requires at least one column");
+}
+
+TextTable& TextTable::row() {
+  rows_.emplace_back();
+  return *this;
+}
+
+TextTable& TextTable::add(const std::string& cell) {
+  HCE_EXPECT(!rows_.empty(), "TextTable::add before row()");
+  HCE_EXPECT(rows_.back().size() < header_.size(),
+             "TextTable::add: more cells than columns");
+  rows_.back().push_back(cell);
+  return *this;
+}
+
+TextTable& TextTable::add(double value, int precision) {
+  return add(format_fixed(value, precision));
+}
+
+TextTable& TextTable::add(int value) { return add(std::to_string(value)); }
+
+TextTable& TextTable::add_ms(double seconds, int precision) {
+  return add(format_fixed(seconds * 1e3, precision));
+}
+
+namespace {
+bool looks_numeric(const std::string& s) {
+  if (s.empty()) return false;
+  for (char c : s) {
+    if (!std::isdigit(static_cast<unsigned char>(c)) && c != '.' &&
+        c != '-' && c != '+' && c != 'e' && c != 'E' && c != '%') {
+      return false;
+    }
+  }
+  return true;
+}
+}  // namespace
+
+std::string TextTable::str() const {
+  std::vector<std::size_t> widths(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c) {
+    widths[c] = header_[c].size();
+  }
+  for (const auto& r : rows_) {
+    for (std::size_t c = 0; c < r.size(); ++c) {
+      widths[c] = std::max(widths[c], r[c].size());
+    }
+  }
+  std::ostringstream os;
+  auto emit_row = [&](const std::vector<std::string>& cells) {
+    for (std::size_t c = 0; c < header_.size(); ++c) {
+      const std::string cell = c < cells.size() ? cells[c] : std::string();
+      const std::size_t pad = widths[c] - cell.size();
+      if (looks_numeric(cell)) {
+        os << std::string(pad, ' ') << cell;
+      } else {
+        os << cell << std::string(pad, ' ');
+      }
+      os << (c + 1 < header_.size() ? "  " : "");
+    }
+    os << '\n';
+  };
+  emit_row(header_);
+  std::size_t total = 0;
+  for (std::size_t c = 0; c < widths.size(); ++c) {
+    total += widths[c] + (c + 1 < widths.size() ? 2 : 0);
+  }
+  os << std::string(total, '-') << '\n';
+  for (const auto& r : rows_) emit_row(r);
+  return os.str();
+}
+
+void TextTable::print(std::ostream& os) const { os << str(); }
+
+namespace {
+std::string csv_escape(const std::string& s) {
+  if (s.find_first_of(",\"\n") == std::string::npos) return s;
+  std::string out = "\"";
+  for (char c : s) {
+    if (c == '"') out += "\"\"";
+    else out += c;
+  }
+  out += '"';
+  return out;
+}
+}  // namespace
+
+std::string TextTable::csv() const {
+  std::ostringstream os;
+  for (std::size_t c = 0; c < header_.size(); ++c) {
+    os << csv_escape(header_[c]) << (c + 1 < header_.size() ? "," : "");
+  }
+  os << '\n';
+  for (const auto& r : rows_) {
+    for (std::size_t c = 0; c < header_.size(); ++c) {
+      os << (c < r.size() ? csv_escape(r[c]) : std::string())
+         << (c + 1 < header_.size() ? "," : "");
+    }
+    os << '\n';
+  }
+  return os.str();
+}
+
+}  // namespace hce

@@ -1,0 +1,43 @@
+// Aligned text tables and CSV emission for bench/example output.
+//
+// Every bench binary reproduces a paper figure as a printed series; this
+// keeps that output consistent and diffable across runs.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace hce {
+
+/// Column-aligned text table. Cells are strings; numeric helpers format
+/// with fixed precision. Rendering right-aligns numeric-looking cells.
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> header);
+
+  /// Starts a new row; subsequent add() calls append cells to it.
+  TextTable& row();
+  TextTable& add(const std::string& cell);
+  TextTable& add(double value, int precision = 3);
+  TextTable& add(int value);
+  TextTable& add_ms(double seconds, int precision = 2);  ///< formats as ms
+
+  /// Renders with a rule under the header, e.g. for stdout.
+  std::string str() const;
+  void print(std::ostream& os) const;
+
+  /// Renders as CSV (header + rows, comma-separated, minimal quoting).
+  std::string csv() const;
+
+  std::size_t num_rows() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Formats a double with fixed precision (no trailing zeros trimmed).
+std::string format_fixed(double value, int precision);
+
+}  // namespace hce

@@ -1,0 +1,37 @@
+// Simulation time: a double count of seconds.
+//
+// All latencies in the paper are reported in milliseconds; all rates in
+// requests/second. Internally everything is seconds to avoid unit mixups;
+// the helpers below make call sites read like the paper ("ms(25)" for a
+// 25 ms RTT) and reporting code converts back with to_ms().
+#pragma once
+
+#include <limits>
+
+namespace hce {
+
+/// Simulation time in seconds. Double gives ~microsecond resolution over
+/// multi-day simulated horizons, far finer than any queueing effect here.
+using Time = double;
+
+/// Requests per second.
+using Rate = double;
+
+inline constexpr Time kTimeInfinity = std::numeric_limits<Time>::infinity();
+
+/// Converts milliseconds to seconds.
+constexpr Time ms(double milliseconds) { return milliseconds * 1e-3; }
+
+/// Converts microseconds to seconds.
+constexpr Time us(double microseconds) { return microseconds * 1e-6; }
+
+/// Converts minutes to seconds.
+constexpr Time minutes(double m) { return m * 60.0; }
+
+/// Converts hours to seconds.
+constexpr Time hours(double h) { return h * 3600.0; }
+
+/// Converts a Time (seconds) to milliseconds for reporting.
+constexpr double to_ms(Time t) { return t * 1e3; }
+
+}  // namespace hce

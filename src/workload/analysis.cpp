@@ -1,0 +1,96 @@
+#include "workload/analysis.hpp"
+
+#include <algorithm>
+
+#include "stats/summary.hpp"
+#include "support/contracts.hpp"
+
+namespace hce::workload {
+
+std::vector<double> TraceStats::weights() const {
+  std::vector<double> w;
+  w.reserve(sites.size());
+  for (const auto& s : sites) w.push_back(s.weight);
+  return w;
+}
+
+Rate TraceStats::hottest_site_rate() const {
+  Rate mx = 0.0;
+  for (const auto& s : sites) mx = std::max(mx, s.rate);
+  return mx;
+}
+
+TraceStats analyze(const Trace& trace) {
+  HCE_EXPECT(trace.size() >= 2, "analyze: trace needs >= 2 events");
+  const int num_sites = trace.num_sites();
+  HCE_EXPECT(num_sites >= 1, "analyze: trace has no sites");
+
+  TraceStats out;
+  out.total_count = trace.size();
+  out.duration = trace.duration();
+  HCE_EXPECT(out.duration > 0.0, "analyze: zero-duration trace");
+  out.total_rate = static_cast<Rate>(trace.size()) / out.duration;
+
+  // Per-site inter-arrival and service summaries. The trace is assumed
+  // sorted (Trace::sort()); verified as we stream.
+  std::vector<stats::Summary> gaps(static_cast<std::size_t>(num_sites));
+  std::vector<stats::Summary> services(static_cast<std::size_t>(num_sites));
+  std::vector<Time> last_seen(static_cast<std::size_t>(num_sites), -1.0);
+  stats::Summary agg_gaps, agg_services;
+  Time prev = -kTimeInfinity;
+  for (const auto& e : trace.events()) {
+    HCE_EXPECT(e.timestamp >= prev, "analyze: trace is not sorted");
+    if (prev != -kTimeInfinity) agg_gaps.add(e.timestamp - prev);
+    prev = e.timestamp;
+    agg_services.add(e.service_demand);
+    const auto s = static_cast<std::size_t>(e.site);
+    if (last_seen[s] >= 0.0) gaps[s].add(e.timestamp - last_seen[s]);
+    last_seen[s] = e.timestamp;
+    services[s].add(e.service_demand);
+  }
+  out.service_mean = agg_services.mean();
+  out.service_scv = agg_services.scv();
+  out.interarrival_scv = agg_gaps.scv();
+
+  out.sites.resize(static_cast<std::size_t>(num_sites));
+  for (int s = 0; s < num_sites; ++s) {
+    const auto su = static_cast<std::size_t>(s);
+    auto& site = out.sites[su];
+    site.site = s;
+    site.count = services[su].count();
+    site.weight = static_cast<double>(site.count) /
+                  static_cast<double>(trace.size());
+    site.rate = static_cast<Rate>(site.count) / out.duration;
+    site.interarrival_scv = gaps[su].scv();
+    site.service_mean = services[su].mean();
+    site.service_scv = services[su].scv();
+  }
+  return out;
+}
+
+Trace generate_trace(const std::vector<RateProfile>& site_profiles,
+                     const ServicePtr& service, Time duration, Rng rng) {
+  HCE_EXPECT(!site_profiles.empty(), "generate_trace: no site profiles");
+  HCE_EXPECT(service != nullptr, "generate_trace: null service model");
+  HCE_EXPECT(duration > 0.0, "generate_trace: duration must be positive");
+  Trace trace;
+  for (std::size_t site = 0; site < site_profiles.size(); ++site) {
+    Rng arrival_rng = rng.stream("arrivals", site);
+    Rng service_rng = rng.stream("service", site);
+    auto arrivals = site_profiles[site].to_arrivals();
+    Time t = 0.0;
+    for (;;) {
+      t = arrivals->next_arrival_after(t, arrival_rng);
+      if (t >= duration) break;
+      TraceEvent e;
+      e.timestamp = t;
+      e.site = static_cast<std::int32_t>(site);
+      e.service_demand = service->sample(service_rng);
+      trace.push(e);
+    }
+  }
+  trace.sort();
+  return trace;
+}
+
+}  // namespace hce::workload

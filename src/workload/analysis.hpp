@@ -1,0 +1,63 @@
+// Trace analysis: estimate the queueing-model inputs from a trace.
+//
+// The paper's G/G bounds are driven by four workload statistics — rate,
+// inter-arrival SCV, service mean, service SCV — per site and aggregate.
+// analyze() measures them from any Trace (synthetic or imported CSV), so
+// a user can go directly from "here is my production trace" to "will my
+// edge deployment invert?" without hand-picking model parameters.
+#pragma once
+
+#include <vector>
+
+#include "support/time.hpp"
+#include "workload/trace.hpp"
+
+namespace hce::workload {
+
+struct SiteTraceStats {
+  int site = 0;
+  std::uint64_t count = 0;
+  Rate rate = 0.0;                ///< arrivals / trace duration
+  double weight = 0.0;            ///< share of total arrivals
+  double interarrival_scv = 0.0;  ///< c_A² of this site's stream
+  Time service_mean = 0.0;
+  double service_scv = 0.0;       ///< c_B²
+};
+
+struct TraceStats {
+  std::vector<SiteTraceStats> sites;
+  Rate total_rate = 0.0;
+  Time duration = 0.0;
+  Time service_mean = 0.0;        ///< aggregate
+  double service_scv = 0.0;       ///< aggregate c_B²
+  double interarrival_scv = 0.0;  ///< aggregate (cloud-side) c_A²
+  std::uint64_t total_count = 0;
+
+  /// Implied per-server service rate (1 / mean service time).
+  Rate implied_mu() const { return 1.0 / service_mean; }
+  /// Site weights as a plain vector (for Lemma 3.3 / the advisor).
+  std::vector<double> weights() const;
+  /// Max per-site rate (for stability checks).
+  Rate hottest_site_rate() const;
+};
+
+/// Computes the statistics above. Requires >= 2 events overall and
+/// tolerates empty sites (their stats are zeroed, weight 0).
+TraceStats analyze(const Trace& trace);
+
+}  // namespace hce::workload
+
+#include "workload/profile.hpp"
+#include "workload/service.hpp"
+
+namespace hce::workload {
+
+/// Synthesizes a multi-site trace from first principles: per-site rate
+/// profiles (NHPP arrivals) and one service model. The general-purpose
+/// companion to AzureSynth — build any workload shape the paper's §2.1
+/// dynamics taxonomy describes (diurnal, flash crowd, skewed) and replay
+/// it like a recorded trace.
+Trace generate_trace(const std::vector<RateProfile>& site_profiles,
+                     const ServicePtr& service, Time duration, Rng rng);
+
+}  // namespace hce::workload

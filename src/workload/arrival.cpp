@@ -1,0 +1,156 @@
+#include "workload/arrival.hpp"
+
+#include <cmath>
+#include <utility>
+
+#include "support/contracts.hpp"
+
+namespace hce::workload {
+
+namespace {
+
+class RenewalProcess final : public ArrivalProcess {
+ public:
+  explicit RenewalProcess(dist::DistPtr interarrival)
+      : dist_(std::move(interarrival)) {
+    HCE_EXPECT(dist_ != nullptr, "renewal: null distribution");
+    HCE_EXPECT(dist_->mean() > 0.0,
+               "renewal: interarrival mean must be positive");
+  }
+  Time next_arrival_after(Time now, Rng& rng) override {
+    return now + dist_->sample(rng);
+  }
+  Rate mean_rate() const override { return 1.0 / dist_->mean(); }
+  double interarrival_scv() const override { return dist_->scv(); }
+  std::string name() const override {
+    return "Renewal(" + dist_->name() + ")";
+  }
+
+ private:
+  dist::DistPtr dist_;
+};
+
+class Mmpp2Process final : public ArrivalProcess {
+ public:
+  Mmpp2Process(Rate rate_low, Rate rate_high, Time dwell_low, Time dwell_high)
+      : rate_{rate_low, rate_high}, dwell_{dwell_low, dwell_high} {
+    HCE_EXPECT(rate_low >= 0.0 && rate_high > 0.0, "mmpp2: rates invalid");
+    HCE_EXPECT(dwell_low > 0.0 && dwell_high > 0.0,
+               "mmpp2: dwell times must be positive");
+  }
+
+  Time next_arrival_after(Time now, Rng& rng) override {
+    // Walk phase transitions until an arrival fires.
+    Time t = now;
+    for (;;) {
+      if (t >= phase_end_) {
+        // (Re)initialize phase on first use or after expiry.
+        if (phase_end_ == 0.0) {
+          phase_ = 0;
+          phase_end_ = t - dwell_[0] * std::log1p(-rng.uniform01());
+        } else {
+          phase_ = 1 - phase_;
+          phase_end_ = phase_end_ -
+                       dwell_[static_cast<std::size_t>(phase_)] *
+                           std::log1p(-rng.uniform01());
+        }
+      }
+      const Rate r = rate_[static_cast<std::size_t>(phase_)];
+      if (r <= 0.0) {
+        t = phase_end_;
+        continue;
+      }
+      const Time gap = -std::log1p(-rng.uniform01()) / r;
+      if (t + gap <= phase_end_) return t + gap;
+      t = phase_end_;
+    }
+  }
+
+  Rate mean_rate() const override {
+    const double p0 = dwell_[0] / (dwell_[0] + dwell_[1]);
+    return p0 * rate_[0] + (1.0 - p0) * rate_[1];
+  }
+
+  double interarrival_scv() const override {
+    // Standard MMPP-2 interval SCV (Heffes & Lucantoni form); for our
+    // purposes a bounded approximation is sufficient: SCV >= 1, growing
+    // with the rate imbalance and dwell times.
+    const double lam = mean_rate();
+    const double p0 = dwell_[0] / (dwell_[0] + dwell_[1]);
+    const double var_rate = p0 * (rate_[0] - lam) * (rate_[0] - lam) +
+                            (1.0 - p0) * (rate_[1] - lam) * (rate_[1] - lam);
+    const double switch_rate = 1.0 / dwell_[0] + 1.0 / dwell_[1];
+    return 1.0 + 2.0 * var_rate / (lam * (lam + switch_rate));
+  }
+
+  std::string name() const override { return "MMPP2"; }
+
+ private:
+  double rate_[2];
+  Time dwell_[2];
+  int phase_ = 0;
+  Time phase_end_ = 0.0;
+};
+
+class NhppProcess final : public ArrivalProcess {
+ public:
+  NhppProcess(std::function<Rate(Time)> rate_fn, Rate rate_max,
+              Rate mean_rate_hint)
+      : rate_fn_(std::move(rate_fn)),
+        rate_max_(rate_max),
+        mean_rate_(mean_rate_hint) {
+    HCE_EXPECT(rate_max > 0.0, "nhpp: rate_max must be positive");
+    HCE_EXPECT(mean_rate_hint > 0.0, "nhpp: mean rate hint must be positive");
+  }
+
+  Time next_arrival_after(Time now, Rng& rng) override {
+    // Lewis-Shedler thinning.
+    Time t = now;
+    for (;;) {
+      t -= std::log1p(-rng.uniform01()) / rate_max_;
+      const Rate r = rate_fn_(t);
+      HCE_ASSERT(r <= rate_max_ * (1.0 + 1e-9),
+                 "nhpp: rate function exceeds declared bound");
+      if (rng.uniform01() * rate_max_ <= r) return t;
+    }
+  }
+
+  Rate mean_rate() const override { return mean_rate_; }
+  double interarrival_scv() const override { return 1.0; }
+  std::string name() const override { return "NHPP"; }
+
+ private:
+  std::function<Rate(Time)> rate_fn_;
+  Rate rate_max_;
+  Rate mean_rate_;
+};
+
+}  // namespace
+
+ArrivalPtr poisson(Rate rate) {
+  HCE_EXPECT(rate > 0.0, "poisson rate must be positive");
+  return std::make_unique<RenewalProcess>(dist::exponential(1.0 / rate));
+}
+
+ArrivalPtr renewal(dist::DistPtr interarrival) {
+  return std::make_unique<RenewalProcess>(std::move(interarrival));
+}
+
+ArrivalPtr renewal_rate_cov(Rate rate, double cov) {
+  HCE_EXPECT(rate > 0.0, "renewal rate must be positive");
+  return std::make_unique<RenewalProcess>(dist::by_cov(1.0 / rate, cov));
+}
+
+ArrivalPtr mmpp2(Rate rate_low, Rate rate_high, Time mean_dwell_low,
+                 Time mean_dwell_high) {
+  return std::make_unique<Mmpp2Process>(rate_low, rate_high, mean_dwell_low,
+                                        mean_dwell_high);
+}
+
+ArrivalPtr nhpp(std::function<Rate(Time)> rate_fn, Rate rate_max,
+                Rate mean_rate_hint) {
+  return std::make_unique<NhppProcess>(std::move(rate_fn), rate_max,
+                                       mean_rate_hint);
+}
+
+}  // namespace hce::workload

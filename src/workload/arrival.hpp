@@ -1,0 +1,61 @@
+// Arrival process generators (the Gatling substitute).
+//
+// An ArrivalProcess produces the absolute time of the next arrival given
+// the current time; this uniform interface covers renewal processes
+// (Poisson and arbitrary-interarrival), Markov-modulated bursty processes,
+// and non-homogeneous Poisson processes with diurnal rate functions.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "dist/distribution.hpp"
+#include "support/rng.hpp"
+#include "support/time.hpp"
+
+namespace hce::workload {
+
+class ArrivalProcess {
+ public:
+  virtual ~ArrivalProcess() = default;
+
+  /// Absolute time of the next arrival strictly after `now`.
+  virtual Time next_arrival_after(Time now, Rng& rng) = 0;
+
+  /// Long-run average rate (req/s), used for utilization bookkeeping.
+  virtual Rate mean_rate() const = 0;
+
+  /// Squared coefficient of variation of inter-arrival times (the c_A² of
+  /// Lemma 3.2); approximate for modulated processes.
+  virtual double interarrival_scv() const = 0;
+
+  virtual std::string name() const = 0;
+};
+
+using ArrivalPtr = std::unique_ptr<ArrivalProcess>;
+
+/// Homogeneous Poisson process at `rate` req/s (SCV = 1).
+ArrivalPtr poisson(Rate rate);
+
+/// Renewal process with the given inter-arrival distribution. A
+/// deterministic distribution gives a paced (constant-rate) stream; a
+/// hyperexponential one gives a bursty stream with SCV > 1.
+ArrivalPtr renewal(dist::DistPtr interarrival);
+
+/// Renewal process specified by rate and inter-arrival CoV — the scenario
+/// knob for "burstiness" in the paper's G/G analysis.
+ArrivalPtr renewal_rate_cov(Rate rate, double cov);
+
+/// Two-state Markov-modulated Poisson process: rate alternates between
+/// `rate_low` and `rate_high`, with exponentially distributed dwell times.
+/// Classic model for flash crowds / ON-OFF burstiness.
+ArrivalPtr mmpp2(Rate rate_low, Rate rate_high, Time mean_dwell_low,
+                 Time mean_dwell_high);
+
+/// Non-homogeneous Poisson process via thinning. `rate_fn(t)` must be
+/// bounded by `rate_max`. Models diurnal cycles (Azure-style traffic).
+ArrivalPtr nhpp(std::function<Rate(Time)> rate_fn, Rate rate_max,
+                Rate mean_rate_hint);
+
+}  // namespace hce::workload

@@ -1,0 +1,219 @@
+#include "workload/azure.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <random>
+#include <vector>
+
+#include "dist/weights.hpp"
+#include "support/contracts.hpp"
+
+namespace hce::workload {
+
+namespace {
+
+struct FunctionSpec {
+  double weight = 0.0;   ///< share of total traffic
+  int site = 0;
+  double exec_mu = 0.0;  ///< lognormal location of execution time
+  double exec_sigma = 0.0;
+};
+
+struct Burst {
+  Time start;
+  Time end;
+};
+
+/// Draws the static structure (functions, apps, site assignment, exec
+/// parameters) from dedicated substreams so generate() and site_weights()
+/// agree exactly.
+std::vector<FunctionSpec> draw_functions(const AzureSynthConfig& cfg,
+                                         Rng& base) {
+  Rng pop_rng = base.stream("popularity");
+  Rng app_rng = base.stream("apps");
+  Rng exec_rng = base.stream("exec");
+
+  // Popularity: Zipf over a random permutation of function ids, so site
+  // assignment is independent of rank.
+  std::vector<double> weights =
+      dist::zipf_weights(cfg.num_functions, cfg.popularity_s);
+  std::shuffle(weights.begin(), weights.end(), pop_rng.engine());
+
+  // Group functions into applications of geometric size, then deal
+  // applications to sites round-robin. Whole-app placement plus skewed
+  // popularity yields unequal site weights.
+  std::vector<FunctionSpec> fns(static_cast<std::size_t>(cfg.num_functions));
+  const double p_new_app =
+      1.0 / std::max(1.0, cfg.functions_per_app);
+  int app = 0;
+  for (int f = 0; f < cfg.num_functions; ++f) {
+    if (f > 0 && app_rng.uniform01() < p_new_app) ++app;
+    fns[static_cast<std::size_t>(f)].site = app % cfg.num_sites;
+    fns[static_cast<std::size_t>(f)].weight =
+        weights[static_cast<std::size_t>(f)];
+  }
+
+  // Execution-time parameters: median lognormal-spread around exec_median,
+  // per-invocation lognormal CoV exec_cov.
+  const double sigma_inv =
+      std::sqrt(std::log1p(cfg.exec_cov * cfg.exec_cov));
+  std::normal_distribution<double> spread(0.0, cfg.exec_median_spread *
+                                                   std::log(10.0));
+  for (auto& fn : fns) {
+    const double median = cfg.exec_median * std::exp(spread(exec_rng.engine()));
+    fn.exec_mu = std::log(median);
+    fn.exec_sigma = sigma_inv;
+  }
+  return fns;
+}
+
+std::vector<std::vector<Burst>> draw_bursts(const AzureSynthConfig& cfg,
+                                            Rng& base) {
+  Rng rng = base.stream("bursts");
+  std::vector<std::vector<Burst>> per_site(
+      static_cast<std::size_t>(cfg.num_sites));
+  const double bursts_per_sec =
+      cfg.bursts_per_site_per_day / (24.0 * 3600.0);
+  for (int s = 0; s < cfg.num_sites; ++s) {
+    Time t = 0.0;
+    for (;;) {
+      t += -std::log1p(-rng.uniform01()) / bursts_per_sec;
+      if (t >= cfg.duration) break;
+      const Time len =
+          -cfg.mean_burst_duration * std::log1p(-rng.uniform01());
+      per_site[static_cast<std::size_t>(s)].push_back({t, t + len});
+    }
+  }
+  return per_site;
+}
+
+double diurnal_factor(const AzureSynthConfig& cfg, Time t, double phase) {
+  return 1.0 + cfg.diurnal_amplitude *
+                   std::sin(2.0 * M_PI * (t / cfg.diurnal_period + phase));
+}
+
+bool in_burst(const std::vector<Burst>& bursts, Time t) {
+  for (const auto& b : bursts) {
+    if (t >= b.start && t < b.end) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+AzureSynth::AzureSynth(AzureSynthConfig cfg) : cfg_(cfg) {
+  HCE_EXPECT(cfg.num_functions >= cfg.num_sites,
+             "azure synth: need at least one function per site");
+  HCE_EXPECT(cfg.num_sites >= 1, "azure synth: num_sites >= 1");
+  HCE_EXPECT(cfg.duration > 0.0, "azure synth: duration > 0");
+  HCE_EXPECT(cfg.total_rate > 0.0, "azure synth: total_rate > 0");
+  HCE_EXPECT(cfg.diurnal_amplitude >= 0.0 && cfg.diurnal_amplitude < 1.0,
+             "azure synth: diurnal amplitude in [0,1)");
+  HCE_EXPECT(cfg.burst_multiplier >= 1.0,
+             "azure synth: burst multiplier >= 1");
+}
+
+std::vector<double> AzureSynth::site_weights(Rng rng) const {
+  const auto fns = draw_functions(cfg_, rng);
+  std::vector<double> w(static_cast<std::size_t>(cfg_.num_sites), 0.0);
+  for (const auto& fn : fns) {
+    w[static_cast<std::size_t>(fn.site)] += fn.weight;
+  }
+  return w;
+}
+
+Trace AzureSynth::generate(Rng rng) const {
+  const auto fns = draw_functions(cfg_, rng);
+  const auto bursts = draw_bursts(cfg_, rng);
+  Rng phase_rng = rng.stream("phase");
+  Rng arrival_rng = rng.stream("arrivals");
+  Rng pick_rng = rng.stream("pick");
+  Rng exec_rng = rng.stream("exec-sample");
+
+  // Per-site aggregate weight and per-site function choice tables.
+  std::vector<double> site_weight(static_cast<std::size_t>(cfg_.num_sites),
+                                  0.0);
+  std::vector<std::vector<std::size_t>> site_fns(
+      static_cast<std::size_t>(cfg_.num_sites));
+  std::vector<std::vector<double>> site_fn_cdf(
+      static_cast<std::size_t>(cfg_.num_sites));
+  for (std::size_t f = 0; f < fns.size(); ++f) {
+    const auto s = static_cast<std::size_t>(fns[f].site);
+    site_weight[s] += fns[f].weight;
+    site_fns[s].push_back(f);
+  }
+  for (std::size_t s = 0; s < site_fns.size(); ++s) {
+    double acc = 0.0;
+    site_fn_cdf[s].reserve(site_fns[s].size());
+    for (std::size_t idx : site_fns[s]) {
+      acc += fns[idx].weight / std::max(site_weight[s], 1e-300);
+      site_fn_cdf[s].push_back(acc);
+    }
+    if (!site_fn_cdf[s].empty()) site_fn_cdf[s].back() = 1.0;
+  }
+
+  std::vector<double> phase(static_cast<std::size_t>(cfg_.num_sites));
+  for (auto& p : phase) {
+    p = phase_rng.uniform(-cfg_.max_phase_offset, cfg_.max_phase_offset);
+  }
+
+  // Normalize so the long-run aggregate rate matches total_rate despite
+  // bursts: compute the average burst inflation per site.
+  Trace trace;
+  const Time bin = std::min<Time>(cfg_.bin_width, 60.0);
+  const auto num_bins =
+      static_cast<std::size_t>(std::ceil(cfg_.duration / bin));
+  for (int s = 0; s < cfg_.num_sites; ++s) {
+    const auto su = static_cast<std::size_t>(s);
+    if (site_fns[su].empty()) continue;
+    const double base_rate = cfg_.total_rate * site_weight[su];
+    for (std::size_t b = 0; b < num_bins; ++b) {
+      const Time t0 = static_cast<Time>(b) * bin;
+      const Time mid = t0 + 0.5 * bin;
+      double rate = base_rate * diurnal_factor(cfg_, mid, phase[su]);
+      if (in_burst(bursts[su], mid)) rate *= cfg_.burst_multiplier;
+      const double expected = rate * bin;
+      std::poisson_distribution<int> pois(expected);
+      const int n = expected > 0.0 ? pois(arrival_rng.engine()) : 0;
+      for (int i = 0; i < n; ++i) {
+        TraceEvent e;
+        e.timestamp = t0 + arrival_rng.uniform01() * bin;
+        e.site = s;
+        // Pick a function by popularity, then sample its exec time.
+        const double u = pick_rng.uniform01();
+        const auto it = std::lower_bound(site_fn_cdf[su].begin(),
+                                         site_fn_cdf[su].end(), u);
+        const std::size_t j = std::min(
+            static_cast<std::size_t>(it - site_fn_cdf[su].begin()),
+            site_fns[su].size() - 1);
+        const FunctionSpec& fn = fns[site_fns[su][j]];
+        std::normal_distribution<double> normal(fn.exec_mu, fn.exec_sigma);
+        e.service_demand = std::exp(normal(exec_rng.engine()));
+        trace.push(e);
+      }
+    }
+  }
+  trace.sort();
+  return trace;
+}
+
+std::vector<std::vector<double>> rate_series(const Trace& trace,
+                                             Time bin_width, int num_sites) {
+  HCE_EXPECT(bin_width > 0.0, "rate_series: bin_width > 0");
+  HCE_EXPECT(num_sites >= 1, "rate_series: num_sites >= 1");
+  const Time dur = trace.duration();
+  const auto num_bins =
+      static_cast<std::size_t>(std::ceil(std::max(dur, bin_width) / bin_width));
+  std::vector<std::vector<double>> out(
+      static_cast<std::size_t>(num_sites),
+      std::vector<double>(num_bins, 0.0));
+  for (const auto& e : trace.events()) {
+    if (e.site < 0 || e.site >= num_sites) continue;
+    auto b = static_cast<std::size_t>(e.timestamp / bin_width);
+    if (b >= num_bins) b = num_bins - 1;
+    out[static_cast<std::size_t>(e.site)][b] += 1.0;
+  }
+  return out;
+}
+
+}  // namespace hce::workload

@@ -1,0 +1,92 @@
+// Synthetic serverless workload generator (Azure Public Dataset stand-in).
+//
+// The paper replays invocation traces from the Azure serverless dataset
+// (Shahrad et al., USENIX ATC'20): functions are grouped by application
+// into k mutually exclusive sets, each set mapped to one edge site; the
+// cloud sees the aggregate. We do not ship the proprietary dataset, so
+// this generator synthesizes traces with the properties the paper relies
+// on, parameterized to the published characterization of that dataset:
+//
+//  * heavy-tailed function popularity (a few functions dominate traffic),
+//  * strong diurnal cycles with per-site phase offsets (spatial+temporal
+//    skew across sites, as in the paper's Fig. 8),
+//  * short bursts / flash crowds layered on the diurnal baseline,
+//  * lognormal execution times with per-function medians themselves
+//    spread over orders of magnitude.
+//
+// The output is an ordinary Trace, so everything downstream (replay,
+// aggregation, binning) is agnostic to its synthetic origin.
+#pragma once
+
+#include <vector>
+
+#include "support/rng.hpp"
+#include "support/time.hpp"
+#include "workload/trace.hpp"
+
+namespace hce::workload {
+
+struct AzureSynthConfig {
+  int num_functions = 400;
+  int num_sites = 5;
+  Time duration = 24.0 * 3600.0;
+
+  /// Aggregate long-run mean arrival rate across all sites (req/s).
+  Rate total_rate = 40.0;
+
+  /// Zipf exponent of function popularity (1.0-1.6 matches the dataset's
+  /// heavy skew; 0 disables popularity skew).
+  double popularity_s = 1.2;
+
+  /// Mean functions per application; applications are assigned to sites
+  /// whole, which is what creates unequal site weights.
+  double functions_per_app = 8.0;
+
+  /// Relative amplitude of the diurnal sinusoid in [0, 1).
+  double diurnal_amplitude = 0.6;
+  Time diurnal_period = 24.0 * 3600.0;
+  /// Max per-site phase offset (fraction of a period) — different sites
+  /// peak at different times, shifting load between sites over the day.
+  double max_phase_offset = 0.35;
+
+  /// Expected bursts per site per simulated day.
+  double bursts_per_site_per_day = 6.0;
+  double burst_multiplier = 5.0;
+  Time mean_burst_duration = 8.0 * 60.0;
+
+  /// Execution times: per-function median drawn lognormal around
+  /// `exec_median` with dispersion `exec_median_spread` (multiplicative
+  /// sigma in log10 decades); per-invocation times lognormal around the
+  /// function median with CoV `exec_cov`.
+  Time exec_median = 1.0 / 13.0;  // calibrated to the paper's DNN service
+  double exec_median_spread = 0.25;
+  double exec_cov = 0.6;
+
+  /// Bin width used by rate_series() (the paper bins per minute).
+  Time bin_width = 60.0;
+};
+
+class AzureSynth {
+ public:
+  explicit AzureSynth(AzureSynthConfig cfg);
+
+  /// Generates the full multi-site trace (sorted by timestamp).
+  Trace generate(Rng rng) const;
+
+  /// Per-site weights of the aggregate load implied by the function->app
+  /// ->site assignment drawn from `rng` (same stream discipline as
+  /// generate(), so the weights describe the generated trace).
+  std::vector<double> site_weights(Rng rng) const;
+
+  const AzureSynthConfig& config() const { return cfg_; }
+
+ private:
+  AzureSynthConfig cfg_;
+};
+
+/// Per-site requests-per-bin matrix [site][bin] of a trace — the content
+/// of the paper's Fig. 8.
+std::vector<std::vector<double>> rate_series(const Trace& trace,
+                                             Time bin_width, int num_sites);
+
+}  // namespace hce::workload

@@ -1,0 +1,123 @@
+#include "workload/profile.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "support/contracts.hpp"
+
+namespace hce::workload {
+
+RateProfile::RateProfile(std::function<Rate(Time)> fn, Rate peak, Rate mean,
+                         std::string name)
+    : fn_(std::move(fn)), peak_(peak), mean_(mean), name_(std::move(name)) {
+  HCE_EXPECT(fn_ != nullptr, "rate profile: null function");
+  HCE_EXPECT(peak_ > 0.0, "rate profile: peak must be positive");
+  HCE_EXPECT(mean_ > 0.0 && mean_ <= peak_ * (1.0 + 1e-12),
+             "rate profile: mean must be in (0, peak]");
+}
+
+RateProfile RateProfile::constant(Rate rate) {
+  HCE_EXPECT(rate > 0.0, "constant profile: rate must be positive");
+  return RateProfile([rate](Time) { return rate; }, rate, rate,
+                     "constant(" + std::to_string(rate) + ")");
+}
+
+RateProfile RateProfile::diurnal(Rate base, double amplitude, Time period,
+                                 double phase) {
+  HCE_EXPECT(base > 0.0, "diurnal profile: base must be positive");
+  HCE_EXPECT(amplitude >= 0.0 && amplitude < 1.0,
+             "diurnal profile: amplitude in [0, 1)");
+  HCE_EXPECT(period > 0.0, "diurnal profile: period must be positive");
+  auto fn = [base, amplitude, period, phase](Time t) {
+    return base *
+           (1.0 + amplitude * std::sin(2.0 * M_PI * (t / period + phase)));
+  };
+  return RateProfile(std::move(fn), base * (1.0 + amplitude), base,
+                     "diurnal");
+}
+
+RateProfile RateProfile::square(Rate low, Rate high, Time period,
+                                double duty) {
+  HCE_EXPECT(low >= 0.0 && high > low, "square profile: need high > low >= 0");
+  HCE_EXPECT(period > 0.0, "square profile: period must be positive");
+  HCE_EXPECT(duty > 0.0 && duty < 1.0, "square profile: duty in (0, 1)");
+  auto fn = [low, high, period, duty](Time t) {
+    const double pos = std::fmod(t, period) / period;
+    return pos < duty ? high : low;
+  };
+  const Rate mean = duty * high + (1.0 - duty) * low;
+  return RateProfile(std::move(fn), high, mean, "square");
+}
+
+RateProfile RateProfile::piecewise(
+    std::vector<std::pair<Time, Rate>> steps) {
+  HCE_EXPECT(!steps.empty(), "piecewise profile: no breakpoints");
+  Rate peak = 0.0;
+  for (std::size_t i = 0; i < steps.size(); ++i) {
+    HCE_EXPECT(steps[i].second >= 0.0,
+               "piecewise profile: negative rate");
+    if (i > 0) {
+      HCE_EXPECT(steps[i].first > steps[i - 1].first,
+                 "piecewise profile: breakpoints must increase");
+    }
+    peak = std::max(peak, steps[i].second);
+  }
+  HCE_EXPECT(peak > 0.0, "piecewise profile: all rates are zero");
+  // Time-weighted mean over the covered span (last segment weighted as if
+  // one average segment long, since it extends indefinitely).
+  double weighted = 0.0;
+  Time span = 0.0;
+  for (std::size_t i = 0; i + 1 < steps.size(); ++i) {
+    const Time w = steps[i + 1].first - steps[i].first;
+    weighted += steps[i].second * w;
+    span += w;
+  }
+  const Time tail_w = steps.size() > 1
+                          ? span / static_cast<double>(steps.size() - 1)
+                          : 1.0;
+  weighted += steps.back().second * tail_w;
+  span += tail_w;
+  const Rate mean = std::max(weighted / span, 1e-12);
+
+  auto fn = [steps](Time t) -> Rate {
+    if (t <= steps.front().first) return steps.front().second;
+    for (std::size_t i = steps.size(); i-- > 0;) {
+      if (t >= steps[i].first) return steps[i].second;
+    }
+    return steps.front().second;
+  };
+  return RateProfile(std::move(fn), peak, mean, "piecewise");
+}
+
+RateProfile RateProfile::operator+(const RateProfile& other) const {
+  auto a = fn_;
+  auto b = other.fn_;
+  return RateProfile([a, b](Time t) { return a(t) + b(t); },
+                     peak_ + other.peak_, mean_ + other.mean_,
+                     name_ + "+" + other.name_);
+}
+
+RateProfile RateProfile::scaled(double factor) const {
+  HCE_EXPECT(factor > 0.0, "rate profile: scale factor must be positive");
+  auto f = fn_;
+  return RateProfile([f, factor](Time t) { return f(t) * factor; },
+                     peak_ * factor, mean_ * factor, name_ + "*scaled");
+}
+
+ArrivalPtr RateProfile::to_arrivals() const {
+  return nhpp(fn_, peak_, mean_);
+}
+
+double RateProfile::expected_count(Time t0, Time t1, int steps) const {
+  HCE_EXPECT(t1 > t0, "expected_count: t1 must exceed t0");
+  HCE_EXPECT(steps >= 1, "expected_count: steps >= 1");
+  // Midpoint rule; profiles are piecewise-smooth.
+  const Time h = (t1 - t0) / steps;
+  double total = 0.0;
+  for (int i = 0; i < steps; ++i) {
+    total += fn_(t0 + (i + 0.5) * h);
+  }
+  return total * h;
+}
+
+}  // namespace hce::workload

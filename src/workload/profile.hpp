@@ -1,0 +1,66 @@
+// Time-varying rate profiles.
+//
+// A RateProfile is a named, bounded rate function lambda(t) with known
+// mean and peak, convertible into an NHPP arrival process. It factors the
+// diurnal/square/piecewise patterns that were inlined as lambdas in early
+// experiments into reusable, testable values — the workload-shape
+// counterpart of dist::Distribution.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "support/time.hpp"
+#include "workload/arrival.hpp"
+
+namespace hce::workload {
+
+class RateProfile {
+ public:
+  /// Constant rate.
+  static RateProfile constant(Rate rate);
+
+  /// Sinusoidal diurnal cycle: base * (1 + amplitude sin(2 pi (t/period
+  /// + phase))). amplitude in [0, 1).
+  static RateProfile diurnal(Rate base, double amplitude, Time period,
+                             double phase = 0.0);
+
+  /// Square wave: `high` for the first duty*period of each cycle, `low`
+  /// for the rest. Models on/off flash crowds.
+  static RateProfile square(Rate low, Rate high, Time period,
+                            double duty = 0.5);
+
+  /// Left-continuous step function through (time, rate) breakpoints; the
+  /// rate before the first breakpoint is the first rate, after the last
+  /// it stays at the last. Breakpoints must be strictly increasing.
+  static RateProfile piecewise(std::vector<std::pair<Time, Rate>> steps);
+
+  /// Sum of two profiles (baseline + bursts).
+  RateProfile operator+(const RateProfile& other) const;
+  /// Profile scaled by a constant factor > 0.
+  RateProfile scaled(double factor) const;
+
+  Rate at(Time t) const { return fn_(t); }
+  Rate peak() const { return peak_; }
+  Rate mean() const { return mean_; }
+  const std::string& name() const { return name_; }
+
+  /// Converts to an NHPP arrival process (thinning against peak()).
+  ArrivalPtr to_arrivals() const;
+
+  /// Expected number of arrivals in [t0, t1] (numeric integral).
+  double expected_count(Time t0, Time t1, int steps = 1024) const;
+
+ private:
+  RateProfile(std::function<Rate(Time)> fn, Rate peak, Rate mean,
+              std::string name);
+
+  std::function<Rate(Time)> fn_;
+  Rate peak_ = 0.0;
+  Rate mean_ = 0.0;
+  std::string name_;
+};
+
+}  // namespace hce::workload

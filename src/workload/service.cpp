@@ -1,0 +1,97 @@
+#include "workload/service.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <utility>
+
+#include "support/contracts.hpp"
+
+namespace hce::workload {
+
+namespace {
+
+class DistService final : public ServiceModel {
+ public:
+  explicit DistService(dist::DistPtr d) : dist_(std::move(d)) {
+    HCE_EXPECT(dist_ != nullptr, "service model: null distribution");
+    HCE_EXPECT(dist_->mean() > 0.0, "service mean must be positive");
+  }
+  Time sample(Rng& rng) const override { return dist_->sample(rng); }
+  Time mean() const override { return dist_->mean(); }
+  double scv() const override { return dist_->scv(); }
+  std::string name() const override { return dist_->name(); }
+
+ private:
+  dist::DistPtr dist_;
+};
+
+class SizeClassService final : public ServiceModel {
+ public:
+  SizeClassService(std::vector<double> weights, std::vector<Time> demand)
+      : weights_(std::move(weights)), demand_(std::move(demand)) {
+    HCE_EXPECT(!weights_.empty() && weights_.size() == demand_.size(),
+               "size_classes: weights/demand size mismatch");
+    double sum = 0.0;
+    for (double w : weights_) {
+      HCE_EXPECT(w >= 0.0, "size_classes: negative weight");
+      sum += w;
+    }
+    HCE_EXPECT(sum > 0.0, "size_classes: weights sum to zero");
+    cumulative_.reserve(weights_.size());
+    double acc = 0.0;
+    for (double w : weights_) {
+      acc += w / sum;
+      cumulative_.push_back(acc);
+    }
+    cumulative_.back() = 1.0;
+    mean_ = 0.0;
+    double m2 = 0.0;
+    for (std::size_t i = 0; i < weights_.size(); ++i) {
+      const double p = weights_[i] / sum;
+      mean_ += p * demand_[i];
+      m2 += p * demand_[i] * demand_[i];
+    }
+    const double var = m2 - mean_ * mean_;
+    scv_ = mean_ > 0.0 ? var / (mean_ * mean_) : 0.0;
+  }
+
+  Time sample(Rng& rng) const override {
+    const double u = rng.uniform01();
+    const auto it =
+        std::lower_bound(cumulative_.begin(), cumulative_.end(), u);
+    const std::size_t i =
+        static_cast<std::size_t>(it - cumulative_.begin());
+    return demand_[i < demand_.size() ? i : demand_.size() - 1];
+  }
+  Time mean() const override { return mean_; }
+  double scv() const override { return scv_; }
+  std::string name() const override {
+    return "SizeClasses(n=" + std::to_string(demand_.size()) + ")";
+  }
+
+ private:
+  std::vector<double> weights_;
+  std::vector<Time> demand_;
+  std::vector<double> cumulative_;
+  double mean_ = 0.0;
+  double scv_ = 0.0;
+};
+
+}  // namespace
+
+ServicePtr from_distribution(dist::DistPtr d) {
+  return std::make_shared<DistService>(std::move(d));
+}
+
+ServicePtr dnn_inference(double cov) {
+  return std::make_shared<DistService>(
+      dist::by_cov(kReferenceServiceTime, cov));
+}
+
+ServicePtr size_classes(std::vector<double> class_weights,
+                        std::vector<Time> class_demand) {
+  return std::make_shared<SizeClassService>(std::move(class_weights),
+                                            std::move(class_demand));
+}
+
+}  // namespace hce::workload

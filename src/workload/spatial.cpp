@@ -1,0 +1,157 @@
+#include "workload/spatial.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <random>
+
+#include "support/contracts.hpp"
+
+namespace hce::workload {
+
+stats::BoxSummary SpatialField::cell_summary(int cell) const {
+  HCE_EXPECT(cell >= 0 && cell < num_cells(), "cell index out of range");
+  std::vector<double> v;
+  v.reserve(loads.size());
+  for (const auto& bin : loads) {
+    v.push_back(bin[static_cast<std::size_t>(cell)]);
+  }
+  return stats::box_summary(std::move(v));
+}
+
+stats::BoxSummary SpatialField::bin_summary(std::size_t bin) const {
+  HCE_EXPECT(bin < loads.size(), "bin index out of range");
+  return stats::box_summary(loads[bin]);
+}
+
+std::vector<int> SpatialField::cells_by_mean_load() const {
+  std::vector<double> mean(static_cast<std::size_t>(num_cells()), 0.0);
+  for (const auto& bin : loads) {
+    for (std::size_t c = 0; c < bin.size(); ++c) mean[c] += bin[c];
+  }
+  std::vector<int> order(static_cast<std::size_t>(num_cells()));
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](int a, int b) {
+    return mean[static_cast<std::size_t>(a)] >
+           mean[static_cast<std::size_t>(b)];
+  });
+  return order;
+}
+
+std::vector<double> SpatialField::skew_per_bin() const {
+  std::vector<double> out;
+  out.reserve(loads.size());
+  for (const auto& bin : loads) {
+    const double total = std::accumulate(bin.begin(), bin.end(), 0.0);
+    const double mean = total / static_cast<double>(bin.size());
+    const double mx = *std::max_element(bin.begin(), bin.end());
+    out.push_back(mean > 0.0 ? mx / mean : 0.0);
+  }
+  return out;
+}
+
+SpatialSynth::SpatialSynth(SpatialSynthConfig cfg) : cfg_(cfg) {
+  HCE_EXPECT(cfg.grid_width >= 1 && cfg.grid_height >= 1,
+             "spatial synth: grid must be non-empty");
+  HCE_EXPECT(cfg.num_hotspots >= 0, "spatial synth: hotspots >= 0");
+  HCE_EXPECT(cfg.total_load > 0.0, "spatial synth: total_load > 0");
+  HCE_EXPECT(cfg.bin_width > 0.0 && cfg.duration >= cfg.bin_width,
+             "spatial synth: need at least one bin");
+}
+
+double hex_distance(double x0, double y0, double x1, double y1) {
+  // Offset-coordinate hex grid approximated by Euclidean distance with the
+  // odd-row shift; adequate for a smooth intensity field.
+  const double sx0 = x0 + 0.5 * (static_cast<int>(y0) & 1);
+  const double sx1 = x1 + 0.5 * (static_cast<int>(y1) & 1);
+  const double dx = sx0 - sx1;
+  const double dy = (y0 - y1) * 0.8660254037844386;  // sqrt(3)/2
+  return std::sqrt(dx * dx + dy * dy);
+}
+
+namespace {
+struct Hotspot {
+  double x, y;
+};
+}  // namespace
+
+SpatialField SpatialSynth::generate(Rng rng) const {
+  Rng field_rng = rng.stream("field");
+  Rng hotspot_rng = rng.stream("hotspots");
+  Rng noise_rng = rng.stream("noise");
+
+  const int w = cfg_.grid_width;
+  const int h = cfg_.grid_height;
+  const int cells = w * h;
+
+  // Static attractiveness: lognormal per cell.
+  std::vector<double> base(static_cast<std::size_t>(cells));
+  std::normal_distribution<double> logn(0.0, cfg_.intensity_sigma);
+  for (auto& b : base) b = std::exp(logn(field_rng.engine()));
+
+  // Two hotspot sets: "day" (e.g. business district) and "night"
+  // (residential). Load morphs between them over the diurnal cycle.
+  auto draw_hotspots = [&](int n) {
+    std::vector<Hotspot> hs;
+    hs.reserve(static_cast<std::size_t>(n));
+    for (int i = 0; i < n; ++i) {
+      hs.push_back({hotspot_rng.uniform(0.0, w - 1.0),
+                    hotspot_rng.uniform(0.0, h - 1.0)});
+    }
+    return hs;
+  };
+  const auto day_spots = draw_hotspots(cfg_.num_hotspots);
+  const auto night_spots = draw_hotspots(cfg_.num_hotspots);
+
+  auto hotspot_field = [&](const std::vector<Hotspot>& spots, int cx,
+                           int cy) {
+    double f = 0.0;
+    for (const auto& s : spots) {
+      const double d = hex_distance(cx, cy, s.x, s.y);
+      f += cfg_.hotspot_gain *
+           std::exp(-0.5 * d * d / (cfg_.hotspot_radius * cfg_.hotspot_radius));
+    }
+    return f;
+  };
+
+  SpatialField field;
+  field.width = w;
+  field.height = h;
+  const auto num_bins =
+      static_cast<std::size_t>(cfg_.duration / cfg_.bin_width);
+  field.loads.reserve(num_bins);
+
+  std::vector<double> day_gain(static_cast<std::size_t>(cells));
+  std::vector<double> night_gain(static_cast<std::size_t>(cells));
+  for (int cy = 0; cy < h; ++cy) {
+    for (int cx = 0; cx < w; ++cx) {
+      const auto c = static_cast<std::size_t>(cy * w + cx);
+      day_gain[c] = hotspot_field(day_spots, cx, cy);
+      night_gain[c] = hotspot_field(night_spots, cx, cy);
+    }
+  }
+
+  for (std::size_t b = 0; b < num_bins; ++b) {
+    const Time t = (static_cast<Time>(b) + 0.5) * cfg_.bin_width;
+    // alpha = 1 at local noon, 0 at local midnight.
+    const double alpha =
+        0.5 * (1.0 + std::sin(2.0 * M_PI * t / (24.0 * 3600.0) - M_PI / 2.0));
+    std::vector<double> intensity(static_cast<std::size_t>(cells));
+    double total = 0.0;
+    for (std::size_t c = 0; c < intensity.size(); ++c) {
+      intensity[c] = base[c] *
+                     (1.0 + alpha * day_gain[c] + (1.0 - alpha) * night_gain[c]);
+      total += intensity[c];
+    }
+    std::vector<double> loads(static_cast<std::size_t>(cells));
+    std::normal_distribution<double> noise(1.0, cfg_.observation_noise_cov);
+    for (std::size_t c = 0; c < loads.size(); ++c) {
+      const double expected = cfg_.total_load * intensity[c] / total;
+      loads[c] = std::max(0.0, expected * noise(noise_rng.engine()));
+    }
+    field.loads.push_back(std::move(loads));
+  }
+  return field;
+}
+
+}  // namespace hce::workload

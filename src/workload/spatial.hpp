@@ -1,0 +1,74 @@
+// Spatial load-field synthesizer (San Francisco taxi-trace stand-in).
+//
+// The paper's Fig. 2 uses GPS traces of SF taxis (CRAWDAD epfl/mobility)
+// with hexagonal 1 km cells to show that per-cell load on edge data
+// centers is highly non-uniform and shifts diurnally. We do not ship that
+// dataset; this synthesizer produces a hexagonal-grid load field with the
+// two properties the figure establishes: a lognormal spatial intensity
+// (orders-of-magnitude spread across cells) and diurnal drift between two
+// hotspot mixtures (business-district day vs residential night).
+#pragma once
+
+#include <vector>
+
+#include "stats/boxplot.hpp"
+#include "support/rng.hpp"
+#include "support/time.hpp"
+
+namespace hce::workload {
+
+struct SpatialSynthConfig {
+  int grid_width = 20;   ///< hex columns
+  int grid_height = 20;  ///< hex rows
+  /// Lognormal sigma (natural log) of static cell attractiveness; 1.2
+  /// yields the multi-decade spread seen in the taxi data.
+  double intensity_sigma = 1.2;
+  /// Number of daytime / nighttime hotspots.
+  int num_hotspots = 4;
+  /// Hotspot spatial scale in cells.
+  double hotspot_radius = 3.0;
+  /// Peak hotspot gain over the background field.
+  double hotspot_gain = 6.0;
+  /// Total vehicles (or active users) in the field.
+  double total_load = 5000.0;
+  Time duration = 24.0 * 3600.0;
+  Time bin_width = 30.0 * 60.0;  ///< the paper bins coarsely across a day
+  double observation_noise_cov = 0.15;
+};
+
+struct SpatialField {
+  int width = 0;
+  int height = 0;
+  /// loads[bin][cell]: load (vehicle count) of each cell at each time bin.
+  std::vector<std::vector<double>> loads;
+
+  int num_cells() const { return width * height; }
+  std::size_t num_bins() const { return loads.size(); }
+
+  /// Box summary of one cell's load across time (a column of Fig. 2).
+  stats::BoxSummary cell_summary(int cell) const;
+  /// Box summary of the load distribution across cells at one bin.
+  stats::BoxSummary bin_summary(std::size_t bin) const;
+  /// Cells ordered by descending mean load (Fig. 2 shows the most loaded
+  /// cells' box plots).
+  std::vector<int> cells_by_mean_load() const;
+  /// Max/mean spatial skew index per bin.
+  std::vector<double> skew_per_bin() const;
+};
+
+class SpatialSynth {
+ public:
+  explicit SpatialSynth(SpatialSynthConfig cfg);
+  SpatialField generate(Rng rng) const;
+  const SpatialSynthConfig& config() const { return cfg_; }
+
+ private:
+  SpatialSynthConfig cfg_;
+};
+
+/// Distance in cell units between two offset-coordinate hex cells
+/// (Euclidean on the staggered lattice — exact enough for smooth fields
+/// and RTT models). Shared by the synthesizer and the placement module.
+double hex_distance(double x0, double y0, double x1, double y1);
+
+}  // namespace hce::workload

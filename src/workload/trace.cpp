@@ -1,0 +1,122 @@
+#include "workload/trace.hpp"
+
+#include <algorithm>
+#include <fstream>
+#include <sstream>
+
+#include "support/contracts.hpp"
+
+namespace hce::workload {
+
+Trace::Trace(std::vector<TraceEvent> events) : events_(std::move(events)) {}
+
+void Trace::sort() {
+  std::stable_sort(events_.begin(), events_.end(),
+                   [](const TraceEvent& a, const TraceEvent& b) {
+                     return a.timestamp < b.timestamp;
+                   });
+}
+
+Time Trace::duration() const {
+  if (events_.empty()) return 0.0;
+  Time lo = events_.front().timestamp;
+  Time hi = events_.front().timestamp;
+  for (const auto& e : events_) {
+    lo = std::min(lo, e.timestamp);
+    hi = std::max(hi, e.timestamp);
+  }
+  return hi - lo;
+}
+
+int Trace::num_sites() const {
+  std::int32_t mx = -1;
+  for (const auto& e : events_) mx = std::max(mx, e.site);
+  return static_cast<int>(mx) + 1;
+}
+
+Rate Trace::mean_rate() const {
+  const Time d = duration();
+  if (d <= 0.0) return 0.0;
+  return static_cast<Rate>(events_.size()) / d;
+}
+
+std::vector<std::uint64_t> Trace::site_counts() const {
+  std::vector<std::uint64_t> counts(static_cast<std::size_t>(num_sites()), 0);
+  for (const auto& e : events_) {
+    ++counts[static_cast<std::size_t>(e.site)];
+  }
+  return counts;
+}
+
+Trace Trace::filter_site(int site) const {
+  Trace out;
+  for (const auto& e : events_) {
+    if (e.site == site) out.push(e);
+  }
+  return out;
+}
+
+Trace Trace::aggregated() const {
+  Trace out;
+  out.events_.reserve(events_.size());
+  for (auto e : events_) {
+    e.site = 0;
+    out.events_.push_back(e);
+  }
+  return out;
+}
+
+Trace Trace::window(Time t0, Time t1) const {
+  HCE_EXPECT(t1 > t0, "trace window requires t1 > t0");
+  Trace out;
+  for (auto e : events_) {
+    if (e.timestamp >= t0 && e.timestamp < t1) {
+      e.timestamp -= t0;
+      out.events_.push_back(e);
+    }
+  }
+  return out;
+}
+
+void Trace::write_csv(std::ostream& os) const {
+  os << "timestamp,site,service_demand\n";
+  for (const auto& e : events_) {
+    os << e.timestamp << ',' << e.site << ',' << e.service_demand << '\n';
+  }
+}
+
+Trace Trace::read_csv(std::istream& is) {
+  Trace out;
+  std::string line;
+  bool first = true;
+  while (std::getline(is, line)) {
+    if (line.empty()) continue;
+    if (first) {
+      first = false;
+      if (line.rfind("timestamp", 0) == 0) continue;  // header
+    }
+    std::istringstream ls(line);
+    TraceEvent e;
+    char comma;
+    if (!(ls >> e.timestamp >> comma >> e.site >> comma >> e.service_demand)) {
+      HCE_EXPECT(false, "trace CSV parse error: '" + line + "'");
+    }
+    out.push(e);
+  }
+  out.sort();
+  return out;
+}
+
+void Trace::save(const std::string& path) const {
+  std::ofstream os(path);
+  HCE_EXPECT(os.good(), "cannot open trace file for writing: " + path);
+  write_csv(os);
+}
+
+Trace Trace::load(const std::string& path) {
+  std::ifstream is(path);
+  HCE_EXPECT(is.good(), "cannot open trace file for reading: " + path);
+  return read_csv(is);
+}
+
+}  // namespace hce::workload

@@ -1,0 +1,64 @@
+// Request traces: the on-disk / in-memory format shared by the Azure
+// synthesizer, the CSV reader/writer, and the trace-replay sources.
+//
+// A trace is a time-ordered list of (timestamp, site, service_demand)
+// triples. The edge replays a trace with each event routed to its site;
+// the cloud replays the aggregate of all sites — exactly the construction
+// of the paper's §4.1 "Azure Trace Workload".
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "support/time.hpp"
+
+namespace hce::workload {
+
+struct TraceEvent {
+  Time timestamp = 0.0;       ///< arrival time (s from trace start)
+  std::int32_t site = 0;      ///< edge site index
+  Time service_demand = 0.0;  ///< seconds on the reference server
+};
+
+class Trace {
+ public:
+  Trace() = default;
+  explicit Trace(std::vector<TraceEvent> events);
+
+  void push(TraceEvent e) { events_.push_back(e); }
+  /// Sorts by timestamp (stable), required before replay.
+  void sort();
+
+  std::size_t size() const { return events_.size(); }
+  bool empty() const { return events_.empty(); }
+  const TraceEvent& operator[](std::size_t i) const { return events_[i]; }
+  const std::vector<TraceEvent>& events() const { return events_; }
+
+  Time duration() const;
+  /// Number of distinct site indices (max site + 1).
+  int num_sites() const;
+  /// Mean arrival rate over the trace duration.
+  Rate mean_rate() const;
+  /// Per-site event counts.
+  std::vector<std::uint64_t> site_counts() const;
+
+  /// Sub-trace of one site, with site indices preserved.
+  Trace filter_site(int site) const;
+  /// The cloud view: same events, all mapped to site 0.
+  Trace aggregated() const;
+  /// Restricts to [t0, t1) and shifts timestamps to start at zero.
+  Trace window(Time t0, Time t1) const;
+
+  // --- CSV persistence ("timestamp,site,service_demand" header) --------
+  void write_csv(std::ostream& os) const;
+  static Trace read_csv(std::istream& is);
+  void save(const std::string& path) const;
+  static Trace load(const std::string& path);
+
+ private:
+  std::vector<TraceEvent> events_;
+};
+
+}  // namespace hce::workload

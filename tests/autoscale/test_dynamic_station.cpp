@@ -1,0 +1,150 @@
+#include "autoscale/dynamic_station.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "des/simulation.hpp"
+#include "support/contracts.hpp"
+
+namespace hce::autoscale {
+namespace {
+
+des::Request make_request(std::uint64_t id, double demand) {
+  des::Request r;
+  r.id = id;
+  r.service_demand = demand;
+  return r;
+}
+
+TEST(DynamicStation, BehavesLikeFixedStationWithoutScaling) {
+  des::Simulation sim;
+  DynamicStation st(sim, "s", 2);
+  std::vector<des::Request> done;
+  st.set_completion_handler([&](const des::Request& r) { done.push_back(r); });
+  sim.schedule_in(0.0, [&] {
+    st.arrive(make_request(1, 1.0));
+    st.arrive(make_request(2, 1.0));
+    st.arrive(make_request(3, 1.0));
+  });
+  sim.run();
+  ASSERT_EQ(done.size(), 3u);
+  EXPECT_DOUBLE_EQ(done[2].t_start, 1.0);
+  EXPECT_DOUBLE_EQ(done[2].t_departure, 2.0);
+}
+
+TEST(DynamicStation, ScaleUpDrainsQueueImmediately) {
+  des::Simulation sim;
+  DynamicStation st(sim, "s", 1);
+  std::vector<des::Request> done;
+  st.set_completion_handler([&](const des::Request& r) { done.push_back(r); });
+  sim.schedule_in(0.0, [&] {
+    st.arrive(make_request(1, 5.0));
+    st.arrive(make_request(2, 1.0));  // queued behind the long job
+  });
+  sim.schedule_in(1.0, [&] { st.set_target_servers(2); });
+  sim.run();
+  ASSERT_EQ(done.size(), 2u);
+  // Request 2 starts when the second server appears at t=1.
+  EXPECT_DOUBLE_EQ(done[0].id, 2u);
+  EXPECT_DOUBLE_EQ(done[0].t_start, 1.0);
+}
+
+TEST(DynamicStation, ScaleUpHonoursProvisionDelay) {
+  des::Simulation sim;
+  DynamicStation st(sim, "s", 1);
+  std::vector<des::Request> done;
+  st.set_completion_handler([&](const des::Request& r) { done.push_back(r); });
+  sim.schedule_in(0.0, [&] {
+    st.arrive(make_request(1, 10.0));
+    st.arrive(make_request(2, 1.0));
+  });
+  sim.schedule_in(1.0, [&] { st.set_target_servers(2, 3.0); });
+  sim.run();
+  // The booted server picks up request 2 at t = 4, not t = 1.
+  EXPECT_DOUBLE_EQ(done[0].t_start, 4.0);
+}
+
+TEST(DynamicStation, ScaleDownIsGraceful) {
+  des::Simulation sim;
+  DynamicStation st(sim, "s", 3);
+  int completed = 0;
+  st.set_completion_handler([&](const des::Request&) { ++completed; });
+  sim.schedule_in(0.0, [&] {
+    st.arrive(make_request(1, 2.0));
+    st.arrive(make_request(2, 2.0));
+    st.arrive(make_request(3, 2.0));
+  });
+  sim.schedule_in(0.5, [&] { st.set_target_servers(1); });
+  sim.run(1.0);
+  // No preemption: all three still in service after the scale-down.
+  EXPECT_EQ(st.busy_servers(), 3);
+  EXPECT_EQ(st.target_servers(), 1);
+  EXPECT_EQ(st.provisioned_servers(), 3);  // draining servers still billed
+  sim.run();
+  EXPECT_EQ(completed, 3);
+  EXPECT_EQ(st.provisioned_servers(), 1);
+}
+
+TEST(DynamicStation, ScaleDownWinsOverBootingServer) {
+  des::Simulation sim;
+  DynamicStation st(sim, "s", 1);
+  st.set_completion_handler([](const des::Request&) {});
+  sim.schedule_in(0.0, [&] { st.set_target_servers(4, 2.0); });
+  sim.schedule_in(1.0, [&] { st.set_target_servers(1); });
+  sim.run();
+  EXPECT_EQ(st.target_servers(), 1);
+}
+
+TEST(DynamicStation, ServerSecondsChargeProvisionedCapacity) {
+  des::Simulation sim;
+  DynamicStation st(sim, "s", 2);
+  st.set_completion_handler([](const des::Request&) {});
+  sim.schedule_in(5.0, [&] { st.set_target_servers(1); });
+  sim.run(10.0);
+  // 2 servers for 5 s + 1 server for 5 s.
+  EXPECT_NEAR(st.server_seconds(), 15.0, 1e-9);
+}
+
+TEST(DynamicStation, UtilizationIsBusyOverProvisioned) {
+  des::Simulation sim;
+  DynamicStation st(sim, "s", 2);
+  st.set_completion_handler([](const des::Request&) {});
+  sim.schedule_in(0.0, [&] { st.arrive(make_request(1, 4.0)); });
+  sim.run(10.0);
+  // busy integral 4, provisioned integral 20.
+  EXPECT_NEAR(st.utilization(), 0.2, 1e-9);
+  EXPECT_NEAR(st.busy_seconds(), 4.0, 1e-9);
+}
+
+TEST(DynamicStation, SpeedFactorApplies) {
+  des::Simulation sim;
+  DynamicStation st(sim, "s", 1, 0.5);
+  std::vector<des::Request> done;
+  st.set_completion_handler([&](const des::Request& r) { done.push_back(r); });
+  sim.schedule_in(0.0, [&] { st.arrive(make_request(1, 1.0)); });
+  sim.run();
+  EXPECT_DOUBLE_EQ(done[0].service_time(), 2.0);
+}
+
+TEST(DynamicStation, ResetStatsClears) {
+  des::Simulation sim;
+  DynamicStation st(sim, "s", 1);
+  st.set_completion_handler([](const des::Request&) {});
+  sim.schedule_in(0.0, [&] { st.arrive(make_request(1, 1.0)); });
+  sim.run(2.0);
+  st.reset_stats();
+  EXPECT_EQ(st.completed(), 0u);
+  EXPECT_NEAR(st.server_seconds(), 0.0, 1e-12);
+}
+
+TEST(DynamicStation, RejectsInvalid) {
+  des::Simulation sim;
+  EXPECT_THROW(DynamicStation(sim, "s", 0), ContractViolation);
+  DynamicStation st(sim, "s", 1);
+  EXPECT_THROW(st.set_target_servers(0), ContractViolation);
+  EXPECT_THROW(st.arrive(make_request(1, -1.0)), ContractViolation);
+}
+
+}  // namespace
+}  // namespace hce::autoscale

@@ -1,0 +1,145 @@
+#include "autoscale/elastic_edge.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "cluster/source.hpp"
+#include "des/simulation.hpp"
+#include "support/contracts.hpp"
+#include "workload/arrival.hpp"
+#include "workload/service.hpp"
+
+namespace hce::autoscale {
+namespace {
+
+ElasticEdgeConfig base_config(PolicyPtr policy) {
+  ElasticEdgeConfig cfg;
+  cfg.num_sites = 3;
+  cfg.initial_servers_per_site = 1;
+  cfg.policy = std::move(policy);
+  cfg.control_interval = 10.0;
+  cfg.provision_delay = 5.0;
+  cfg.scale_down_cooldown = 30.0;
+  cfg.control_horizon = 2000.0;
+  return cfg;
+}
+
+void drive(des::Simulation& sim, ElasticEdge& edge, int site, Rate rate,
+           Time until, std::uint64_t seed) {
+  auto* src = new cluster::Source(  // owned by the simulation's lifetime
+      sim, workload::poisson(rate), workload::dnn_inference(1.0), site,
+      [&edge](des::Request r) { edge.submit(std::move(r)); },
+      Rng(seed).stream("src"));
+  src->start(until);
+  // Leak note: tests keep sources alive via unique_ptr in real callers;
+  // here the simulation outlives the function, so we store it statically.
+  static std::vector<std::unique_ptr<cluster::Source>> keepalive;
+  keepalive.emplace_back(src);
+}
+
+TEST(ElasticEdge, StaticPolicyKeepsFleetConstant) {
+  des::Simulation sim;
+  ElasticEdge edge(sim, base_config(static_policy(1)), Rng(1));
+  drive(sim, edge, 0, 5.0, 300.0, 11);
+  sim.run(400.0);
+  EXPECT_EQ(edge.provisioned_servers(), 3);
+  EXPECT_EQ(edge.scaling_actions(), 0u);
+  EXPECT_GT(edge.sink().size(), 1000u);
+}
+
+TEST(ElasticEdge, ReactivePolicyScalesUpUnderOverload) {
+  des::Simulation sim;
+  ElasticEdge edge(sim, base_config(reactive_policy(0.7, 0.3)), Rng(2));
+  drive(sim, edge, 0, 12.5, 600.0, 12);  // near saturation on one server
+  // Observe while the load is still flowing (the policy scales idle
+  // sites back down once the source stops).
+  sim.run(500.0);
+  EXPECT_GT(edge.site(0).target_servers(), 1);
+  EXPECT_GT(edge.scaling_actions(), 0u);
+}
+
+TEST(ElasticEdge, ReactivePolicyScalesIdleSitesDown) {
+  des::Simulation sim;
+  auto cfg = base_config(reactive_policy(0.7, 0.3));
+  cfg.initial_servers_per_site = 3;
+  ElasticEdge edge(sim, cfg, Rng(3));
+  drive(sim, edge, 0, 1.0, 600.0, 13);  // light load, sites 1-2 idle
+  sim.run(700.0);
+  EXPECT_EQ(edge.site(1).target_servers(), 1);
+  EXPECT_EQ(edge.site(2).target_servers(), 1);
+}
+
+TEST(ElasticEdge, ScalingImprovesLatencyUnderOverload) {
+  const Rate overload = 12.8;  // just under one server's saturation
+  auto run_with = [&](PolicyPtr policy) {
+    des::Simulation sim;
+    ElasticEdge edge(sim, base_config(std::move(policy)), Rng(4));
+    drive(sim, edge, 0, overload, 800.0, 14);
+    sim.run(1000.0);
+    return edge.sink().latency_summary(0).mean();
+  };
+  const double static_lat = run_with(static_policy(1));
+  const double reactive_lat = run_with(reactive_policy(0.7, 0.3));
+  EXPECT_LT(reactive_lat, static_lat * 0.6);
+}
+
+TEST(ElasticEdge, ServerSecondsReflectScaling) {
+  des::Simulation sim;
+  auto cfg = base_config(static_policy(2));
+  cfg.initial_servers_per_site = 2;
+  ElasticEdge edge(sim, cfg, Rng(5));
+  sim.run(100.0);
+  // 3 sites x 2 servers x 100 s.
+  EXPECT_NEAR(edge.server_seconds(), 600.0, 1.0);
+}
+
+TEST(ElasticEdge, CooldownLimitsScaleDownRate) {
+  des::Simulation sim;
+  auto cfg = base_config(reactive_policy(0.7, 0.3));
+  cfg.initial_servers_per_site = 4;
+  cfg.scale_down_cooldown = 1000.0;  // effectively one scale-down
+  ElasticEdge edge(sim, cfg, Rng(6));
+  sim.run(500.0);  // idle: wants to go 4 -> 1, cooldown allows one step
+  EXPECT_EQ(edge.site(0).target_servers(), 3);
+}
+
+TEST(ElasticEdge, TwoSigmaPolicyTracksLoad) {
+  des::Simulation sim;
+  ElasticEdge edge(sim, base_config(two_sigma_policy()), Rng(7));
+  drive(sim, edge, 0, 11.0, 600.0, 17);
+  sim.run(500.0);  // while the load is still flowing
+  // 11 req/s -> peak 11 + 2*sqrt(11) = 17.6 -> 2 servers.
+  EXPECT_EQ(edge.site(0).target_servers(), 2);
+}
+
+TEST(ElasticEdge, UtilizationIsBounded) {
+  des::Simulation sim;
+  ElasticEdge edge(sim, base_config(reactive_policy()), Rng(8));
+  drive(sim, edge, 1, 8.0, 400.0, 18);
+  sim.run(500.0);
+  EXPECT_GT(edge.utilization(), 0.0);
+  EXPECT_LT(edge.utilization(), 1.0);
+}
+
+TEST(ElasticEdge, RejectsInvalidConfig) {
+  des::Simulation sim;
+  ElasticEdgeConfig cfg;  // no policy
+  cfg.num_sites = 2;
+  EXPECT_THROW(ElasticEdge(sim, cfg, Rng(9)), ContractViolation);
+  cfg.policy = static_policy(1);
+  cfg.control_interval = 0.0;
+  EXPECT_THROW(ElasticEdge(sim, cfg, Rng(10)), ContractViolation);
+}
+
+TEST(ElasticEdge, RejectsOutOfRangeSite) {
+  des::Simulation sim;
+  ElasticEdge edge(sim, base_config(static_policy(1)), Rng(11));
+  des::Request r;
+  r.site = 7;
+  r.service_demand = 0.1;
+  EXPECT_THROW(edge.submit(std::move(r)), ContractViolation);
+}
+
+}  // namespace
+}  // namespace hce::autoscale

@@ -1,0 +1,140 @@
+#include "autoscale/policy.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/capacity.hpp"
+#include "support/contracts.hpp"
+
+namespace hce::autoscale {
+namespace {
+
+SiteObservation obs(double util, Rate rate, int provisioned = 2,
+                    Rate total = 0.0) {
+  SiteObservation o;
+  o.recent_utilization = util;
+  o.rate_estimate = rate;
+  o.total_rate_estimate = total > 0.0 ? total : rate * 5.0;
+  o.provisioned = provisioned;
+  o.mu = 13.0;
+  return o;
+}
+
+TEST(StaticPolicy, AlwaysReturnsConfiguredCount) {
+  const auto p = static_policy(3);
+  EXPECT_EQ(p->target_servers(obs(0.1, 1.0)), 3);
+  EXPECT_EQ(p->target_servers(obs(0.99, 100.0)), 3);
+  EXPECT_NE(p->name().find("static"), std::string::npos);
+}
+
+TEST(ReactivePolicy, ScalesUpAboveHighWatermark) {
+  const auto p = reactive_policy(0.8, 0.4, 1);
+  EXPECT_EQ(p->target_servers(obs(0.9, 10.0, 2)), 3);
+}
+
+TEST(ReactivePolicy, ScalesDownBelowLowWatermark) {
+  const auto p = reactive_policy(0.8, 0.4, 1);
+  EXPECT_EQ(p->target_servers(obs(0.2, 1.0, 3)), 2);
+}
+
+TEST(ReactivePolicy, HoldsInTheDeadband) {
+  const auto p = reactive_policy(0.8, 0.4, 1);
+  EXPECT_EQ(p->target_servers(obs(0.6, 5.0, 2)), 2);
+}
+
+TEST(ReactivePolicy, NeverGoesBelowOneServer) {
+  const auto p = reactive_policy(0.8, 0.4, 3);
+  EXPECT_EQ(p->target_servers(obs(0.0, 0.0, 2)), 1);
+}
+
+TEST(ReactivePolicy, RejectsBadWatermarks) {
+  EXPECT_THROW(reactive_policy(0.4, 0.8), ContractViolation);
+  EXPECT_THROW(reactive_policy(0.8, 0.0), ContractViolation);
+  EXPECT_THROW(reactive_policy(0.8, 0.4, 0), ContractViolation);
+}
+
+TEST(TwoSigmaPolicy, MatchesPeakFormula) {
+  const auto p = two_sigma_policy();
+  // rate 9: peak = 9 + 2*3 = 15 -> ceil(15/13) = 2 servers.
+  EXPECT_EQ(p->target_servers(obs(0.5, 9.0)), 2);
+  // rate 40: peak = 40 + 2*6.32 = 52.6 -> ceil(/13) = 5.
+  EXPECT_EQ(p->target_servers(obs(0.5, 40.0)), 5);
+}
+
+TEST(TwoSigmaPolicy, AtLeastOneServer) {
+  const auto p = two_sigma_policy();
+  EXPECT_EQ(p->target_servers(obs(0.0, 0.0)), 1);
+}
+
+TEST(TwoSigmaPolicy, MonotoneInRate) {
+  const auto p = two_sigma_policy();
+  int prev = 0;
+  for (double rate : {1.0, 5.0, 12.0, 26.0, 60.0, 130.0}) {
+    const int t = p->target_servers(obs(0.5, rate));
+    EXPECT_GE(t, prev);
+    prev = t;
+  }
+}
+
+TEST(InversionAwarePolicy, MatchesEq22Directly) {
+  InversionAwareConfig cfg;
+  cfg.mu = 13.0;
+  cfg.k_cloud = 5;
+  cfg.delta_n = 0.024;
+  const auto p = inversion_aware_policy(cfg);
+  const auto o = obs(0.6, 10.0, 1, 50.0);
+  core::SiteProvisionParams params;
+  params.lambda_site = 10.0;
+  params.lambda_total = 50.0;
+  params.mu = 13.0;
+  params.k_cloud = 5;
+  params.delta_n = 0.024;
+  EXPECT_EQ(p->target_servers(o), core::min_edge_servers(params));
+}
+
+TEST(InversionAwarePolicy, SmallerDeltaNProvisionsMore) {
+  InversionAwareConfig near_cfg;
+  near_cfg.delta_n = 0.005;
+  InversionAwareConfig far_cfg;
+  far_cfg.delta_n = 0.080;
+  const auto near_p = inversion_aware_policy(near_cfg);
+  const auto far_p = inversion_aware_policy(far_cfg);
+  const auto o = obs(0.6, 11.0, 1, 55.0);
+  EXPECT_GE(near_p->target_servers(o), far_p->target_servers(o));
+}
+
+TEST(InversionAwarePolicy, HeadroomScalesTarget) {
+  InversionAwareConfig base;
+  InversionAwareConfig padded = base;
+  padded.headroom = 2.0;
+  const auto o = obs(0.6, 10.0, 1, 50.0);
+  EXPECT_GE(inversion_aware_policy(padded)->target_servers(o),
+            inversion_aware_policy(base)->target_servers(o));
+}
+
+TEST(InversionAwarePolicy, IdleSiteKeepsOneServer) {
+  const auto p = inversion_aware_policy({});
+  EXPECT_EQ(p->target_servers(obs(0.0, 0.0, 3, 0.0)), 1);
+}
+
+TEST(InversionAwarePolicy, CapsOverloadedCloudEstimate) {
+  // Total estimate above cloud capacity must not throw.
+  InversionAwareConfig cfg;
+  cfg.k_cloud = 2;
+  const auto p = inversion_aware_policy(cfg);
+  const auto o = obs(0.9, 12.0, 1, 100.0);
+  EXPECT_GE(p->target_servers(o), 1);
+}
+
+TEST(InversionAwarePolicy, RejectsInvalidConfig) {
+  InversionAwareConfig cfg;
+  cfg.headroom = 0.5;
+  EXPECT_THROW(inversion_aware_policy(cfg), ContractViolation);
+  cfg = InversionAwareConfig{};
+  cfg.k_cloud = 0;
+  EXPECT_THROW(inversion_aware_policy(cfg), ContractViolation);
+}
+
+}  // namespace
+}  // namespace hce::autoscale

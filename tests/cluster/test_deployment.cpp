@@ -1,0 +1,214 @@
+#include "cluster/deployment.hpp"
+
+#include <gtest/gtest.h>
+
+#include "cluster/source.hpp"
+#include "des/simulation.hpp"
+#include "support/contracts.hpp"
+#include "workload/arrival.hpp"
+#include "workload/service.hpp"
+
+namespace hce::cluster {
+namespace {
+
+des::Request make_request(int site, double demand) {
+  des::Request r;
+  r.site = site;
+  r.service_demand = demand;
+  return r;
+}
+
+TEST(CloudDeployment, EndToEndLatencyIsRttPlusServerTime) {
+  des::Simulation sim;
+  CloudConfig cfg;
+  cfg.num_servers = 1;
+  cfg.network = NetworkModel::fixed(0.030);
+  CloudDeployment cloud(sim, cfg, Rng(1));
+  sim.schedule_in(0.0, [&] { cloud.submit(make_request(0, 0.100)); });
+  sim.run();
+  ASSERT_EQ(cloud.sink().size(), 1u);
+  EXPECT_NEAR(cloud.sink().records()[0].end_to_end, 0.130, 1e-6);
+}
+
+TEST(EdgeDeployment, EndToEndLatencyIsRttPlusServerTime) {
+  des::Simulation sim;
+  EdgeConfig cfg;
+  cfg.num_sites = 2;
+  cfg.network = NetworkModel::fixed(0.001);
+  EdgeDeployment edge(sim, cfg, Rng(2));
+  sim.schedule_in(0.0, [&] { edge.submit(make_request(1, 0.100)); });
+  sim.run();
+  ASSERT_EQ(edge.sink().size(), 1u);
+  EXPECT_NEAR(edge.sink().records()[0].end_to_end, 0.101, 1e-6);
+  EXPECT_EQ(edge.sink().records()[0].site, 1);
+}
+
+TEST(EdgeDeployment, RequestsRouteToTheirSite) {
+  des::Simulation sim;
+  EdgeConfig cfg;
+  cfg.num_sites = 3;
+  EdgeDeployment edge(sim, cfg, Rng(3));
+  sim.schedule_in(0.0, [&] {
+    edge.submit(make_request(0, 0.5));
+    edge.submit(make_request(2, 0.5));
+    edge.submit(make_request(2, 0.5));
+  });
+  sim.run();
+  EXPECT_EQ(edge.site(0).completed(), 1u);
+  EXPECT_EQ(edge.site(1).completed(), 0u);
+  EXPECT_EQ(edge.site(2).completed(), 2u);
+}
+
+TEST(EdgeDeployment, RejectsOutOfRangeSite) {
+  des::Simulation sim;
+  EdgeConfig cfg;
+  cfg.num_sites = 2;
+  EdgeDeployment edge(sim, cfg, Rng(4));
+  EXPECT_THROW(edge.submit(make_request(5, 0.1)), ContractViolation);
+}
+
+TEST(EdgeDeployment, SlowerEdgeHardwareStretchesService) {
+  des::Simulation sim;
+  EdgeConfig cfg;
+  cfg.num_sites = 1;
+  cfg.speed = 0.5;  // the paper's resource-constrained edge
+  cfg.network = NetworkModel::fixed(0.0);
+  EdgeDeployment edge(sim, cfg, Rng(5));
+  sim.schedule_in(0.0, [&] { edge.submit(make_request(0, 0.1)); });
+  sim.run();
+  ASSERT_EQ(edge.sink().size(), 1u);
+  EXPECT_NEAR(edge.sink().records()[0].service, 0.2, 1e-6);
+}
+
+TEST(CloudDeployment, JitterStaysWithinBounds) {
+  des::Simulation sim;
+  CloudConfig cfg;
+  cfg.num_servers = 1;
+  cfg.network =
+      NetworkModel::jittered(0.030, dist::uniform(-0.004, 0.004));
+  CloudDeployment cloud(sim, cfg, Rng(6));
+  for (int i = 0; i < 50; ++i) {
+    sim.schedule_in(i * 1.0, [&] { cloud.submit(make_request(0, 0.001)); });
+  }
+  sim.run();
+  ASSERT_EQ(cloud.sink().size(), 50u);
+  for (const auto& r : cloud.sink().records()) {
+    EXPECT_GE(r.end_to_end, 0.001 + 0.030 - 0.004 - 1e-9);
+    EXPECT_LE(r.end_to_end, 0.001 + 0.030 + 0.004 + 1e-9);
+  }
+}
+
+TEST(CloudDeployment, DispatchOverheadDelaysRequests) {
+  des::Simulation sim;
+  CloudConfig cfg;
+  cfg.num_servers = 1;
+  cfg.network = NetworkModel::fixed(0.010);
+  cfg.dispatch_overhead = 0.002;
+  CloudDeployment cloud(sim, cfg, Rng(7));
+  sim.schedule_in(0.0, [&] { cloud.submit(make_request(0, 0.1)); });
+  sim.run();
+  EXPECT_NEAR(cloud.sink().records()[0].end_to_end, 0.112, 1e-6);
+}
+
+TEST(GeoLoadBalancing, RedirectsFromOverloadedSite) {
+  des::Simulation sim;
+  EdgeConfig cfg;
+  cfg.num_sites = 2;
+  cfg.network = NetworkModel::fixed(0.0);
+  cfg.geo_lb = true;
+  cfg.geo_lb_queue_threshold = 1;
+  cfg.inter_site_rtt = 0.001;
+  EdgeDeployment edge(sim, cfg, Rng(8));
+  // Flood site 0 while site 1 is idle.
+  sim.schedule_in(0.0, [&] {
+    for (int i = 0; i < 6; ++i) edge.submit(make_request(0, 1.0));
+  });
+  sim.run();
+  EXPECT_GT(edge.redirects(), 0u);
+  EXPECT_GT(edge.site(1).completed(), 0u);
+}
+
+TEST(GeoLoadBalancing, ImprovesLatencyUnderSkew) {
+  auto run_geo = [&](bool geo) {
+    des::Simulation sim;
+    EdgeConfig cfg;
+    cfg.num_sites = 4;
+    cfg.network = NetworkModel::fixed(0.001);
+    cfg.geo_lb = geo;
+    cfg.geo_lb_queue_threshold = 2;
+    cfg.inter_site_rtt = 0.010;
+    EdgeDeployment edge(sim, cfg, Rng(9));
+    // All load goes to site 0 (extreme skew) at 90% of one server.
+    auto arrivals = workload::poisson(11.7);
+    auto service = workload::dnn_inference(1.0);
+    Source src(
+        sim, std::move(arrivals), service, 0,
+        [&](des::Request r) { edge.submit(std::move(r)); },
+        Rng(10).stream("src"));
+    src.start(400.0);
+    sim.run();
+    return edge.sink().latency_summary().mean();
+  };
+  const double without = run_geo(false);
+  const double with = run_geo(true);
+  EXPECT_LT(with, without * 0.7);
+}
+
+TEST(GeoLoadBalancing, HonoursMaxRedirects) {
+  des::Simulation sim;
+  EdgeConfig cfg;
+  cfg.num_sites = 3;
+  cfg.geo_lb = true;
+  cfg.geo_lb_queue_threshold = 0;  // always try to redirect
+  cfg.max_redirects = 1;
+  EdgeDeployment edge(sim, cfg, Rng(11));
+  sim.schedule_in(0.0, [&] {
+    for (int i = 0; i < 9; ++i) edge.submit(make_request(0, 0.5));
+  });
+  sim.run();
+  for (const auto& r : edge.sink().records()) {
+    EXPECT_LE(r.redirects, 1);
+  }
+}
+
+TEST(EdgeDeployment, UtilizationAveragesAcrossSites) {
+  des::Simulation sim;
+  EdgeConfig cfg;
+  cfg.num_sites = 2;
+  cfg.network = NetworkModel::fixed(0.0);
+  EdgeDeployment edge(sim, cfg, Rng(12));
+  sim.schedule_in(0.0, [&] { edge.submit(make_request(0, 4.0)); });
+  sim.run(10.0);
+  // Site 0 busy 4/10, site 1 idle: average 0.2.
+  EXPECT_NEAR(edge.utilization(), 0.2, 1e-9);
+  EXPECT_NEAR(edge.site_utilization(0), 0.4, 1e-9);
+}
+
+TEST(EdgeDeployment, ResetStatsClearsSitesAndRedirects) {
+  des::Simulation sim;
+  EdgeConfig cfg;
+  cfg.num_sites = 2;
+  cfg.geo_lb = true;
+  cfg.geo_lb_queue_threshold = 0;
+  EdgeDeployment edge(sim, cfg, Rng(13));
+  sim.schedule_in(0.0, [&] {
+    for (int i = 0; i < 4; ++i) edge.submit(make_request(0, 0.5));
+  });
+  sim.run();
+  edge.reset_stats();
+  EXPECT_EQ(edge.completed(), 0u);
+  EXPECT_EQ(edge.redirects(), 0u);
+}
+
+TEST(Deployments, RejectInvalidConfigs) {
+  des::Simulation sim;
+  EdgeConfig bad;
+  bad.num_sites = 0;
+  EXPECT_THROW(EdgeDeployment(sim, bad, Rng(14)), ContractViolation);
+  bad = EdgeConfig{};
+  bad.servers_per_site = 0;
+  EXPECT_THROW(EdgeDeployment(sim, bad, Rng(15)), ContractViolation);
+}
+
+}  // namespace
+}  // namespace hce::cluster

@@ -1,0 +1,176 @@
+#include "cluster/dispatch.hpp"
+
+#include <gtest/gtest.h>
+
+#include "cluster/source.hpp"
+#include "des/simulation.hpp"
+#include "stats/summary.hpp"
+#include "support/contracts.hpp"
+#include "workload/arrival.hpp"
+#include "workload/service.hpp"
+
+namespace hce::cluster {
+namespace {
+
+des::Request make_request(std::uint64_t id, double demand) {
+  des::Request r;
+  r.id = id;
+  r.service_demand = demand;
+  return r;
+}
+
+TEST(Cluster, CentralQueueUsesOneStation) {
+  des::Simulation sim;
+  Cluster c(sim, "c", 4, DispatchPolicy::kCentralQueue);
+  EXPECT_EQ(c.stations().size(), 1u);
+  EXPECT_EQ(c.stations()[0]->num_servers(), 4);
+}
+
+TEST(Cluster, DispatchedPoliciesUsePerServerStations) {
+  des::Simulation sim;
+  for (auto p : {DispatchPolicy::kRoundRobin, DispatchPolicy::kRandom,
+                 DispatchPolicy::kJoinShortestQueue,
+                 DispatchPolicy::kLeastWork}) {
+    Cluster c(sim, "c", 3, p);
+    EXPECT_EQ(c.stations().size(), 3u);
+    for (const auto& st : c.stations()) {
+      EXPECT_EQ(st->num_servers(), 1);
+    }
+  }
+}
+
+TEST(Cluster, RoundRobinCycles) {
+  des::Simulation sim;
+  Cluster c(sim, "c", 3, DispatchPolicy::kRoundRobin);
+  c.set_completion_handler([](const des::Request&) {});
+  Rng rng(1);
+  sim.schedule_in(0.0, [&] {
+    for (int i = 0; i < 6; ++i) c.dispatch(make_request(i, 10.0), rng);
+  });
+  sim.run(1.0);
+  for (const auto& st : c.stations()) {
+    EXPECT_EQ(st->in_system(), 2u);
+  }
+}
+
+TEST(Cluster, JsqPicksLeastLoaded) {
+  des::Simulation sim;
+  Cluster c(sim, "c", 2, DispatchPolicy::kJoinShortestQueue);
+  c.set_completion_handler([](const des::Request&) {});
+  Rng rng(2);
+  sim.schedule_in(0.0, [&] {
+    c.dispatch(make_request(1, 10.0), rng);  // -> server 0
+    c.dispatch(make_request(2, 10.0), rng);  // -> server 1
+    c.dispatch(make_request(3, 10.0), rng);  // tie -> first min (0)
+    c.dispatch(make_request(4, 10.0), rng);  // -> server 1
+  });
+  sim.run(1.0);
+  EXPECT_EQ(c.stations()[0]->in_system(), 2u);
+  EXPECT_EQ(c.stations()[1]->in_system(), 2u);
+}
+
+TEST(Cluster, LeastWorkUsesQueuedDemand) {
+  des::Simulation sim;
+  Cluster c(sim, "c", 2, DispatchPolicy::kLeastWork);
+  c.set_completion_handler([](const des::Request&) {});
+  Rng rng(3);
+  sim.schedule_in(0.0, [&] {
+    c.dispatch(make_request(1, 10.0), rng);  // server 0 busy
+    c.dispatch(make_request(2, 1.0), rng);   // server 1 busy
+    c.dispatch(make_request(3, 5.0), rng);   // both zero queued work ->
+                                             // tie broken by in_system
+  });
+  sim.run(0.5);
+  // Both servers busy with zero queued work; request 3 queues somewhere.
+  EXPECT_EQ(c.queue_length(), 1u);
+}
+
+TEST(Cluster, CompletionHandlerReceivesAllRequests) {
+  des::Simulation sim;
+  Cluster c(sim, "c", 2, DispatchPolicy::kRandom);
+  int completed = 0;
+  c.set_completion_handler([&](const des::Request&) { ++completed; });
+  Rng rng(4);
+  sim.schedule_in(0.0, [&] {
+    for (int i = 0; i < 20; ++i) c.dispatch(make_request(i, 0.01), rng);
+  });
+  sim.run();
+  EXPECT_EQ(completed, 20);
+  EXPECT_EQ(c.completed(), 20u);
+}
+
+// The bank-teller ordering the paper leans on: at equal load, central
+// queue <= JSQ <= round-robin <= random in mean waiting time.
+TEST(Cluster, PolicyQualityOrderingUnderLoad) {
+  const double rate = 9.0;
+  const int servers = 4;
+  auto run_policy = [&](DispatchPolicy policy) {
+    des::Simulation sim;
+    Cluster c(sim, "c", servers, policy);
+    stats::Summary waits;
+    c.set_completion_handler([&](const des::Request& r) {
+      waits.add(r.waiting_time());
+    });
+    auto service = workload::dnn_inference(1.0);
+    auto arrivals = workload::poisson(rate * servers);
+    Rng src_rng = Rng(99).stream("src");
+    Rng lb_rng = Rng(99).stream("lb");
+    Source source(
+        sim, std::move(arrivals), service, 0,
+        [&](des::Request r) { c.dispatch(std::move(r), lb_rng); },
+        std::move(src_rng));
+    source.start(600.0);
+    sim.run();
+    return waits.mean();
+  };
+
+  const double central = run_policy(DispatchPolicy::kCentralQueue);
+  const double jsq = run_policy(DispatchPolicy::kJoinShortestQueue);
+  const double rr = run_policy(DispatchPolicy::kRoundRobin);
+  const double rnd = run_policy(DispatchPolicy::kRandom);
+
+  EXPECT_LT(central, jsq * 1.2);  // central is best (tolerate sim noise)
+  EXPECT_LT(jsq, rr);
+  EXPECT_LT(rr, rnd);
+}
+
+TEST(Cluster, UtilizationAveragesServers) {
+  des::Simulation sim;
+  Cluster c(sim, "c", 2, DispatchPolicy::kRoundRobin);
+  c.set_completion_handler([](const des::Request&) {});
+  Rng rng(5);
+  sim.schedule_in(0.0, [&] {
+    c.dispatch(make_request(1, 5.0), rng);
+    c.dispatch(make_request(2, 5.0), rng);
+  });
+  sim.run(10.0);
+  EXPECT_NEAR(c.utilization(), 0.5, 1e-9);
+}
+
+TEST(Cluster, ResetStatsClears) {
+  des::Simulation sim;
+  Cluster c(sim, "c", 1, DispatchPolicy::kCentralQueue);
+  c.set_completion_handler([](const des::Request&) {});
+  Rng rng(6);
+  sim.schedule_in(0.0, [&] { c.dispatch(make_request(1, 1.0), rng); });
+  sim.run(2.0);
+  c.reset_stats();
+  EXPECT_EQ(c.completed(), 0u);
+}
+
+TEST(Cluster, ToStringNamesAllPolicies) {
+  EXPECT_EQ(to_string(DispatchPolicy::kCentralQueue), "central-queue");
+  EXPECT_EQ(to_string(DispatchPolicy::kRoundRobin), "round-robin");
+  EXPECT_EQ(to_string(DispatchPolicy::kRandom), "random");
+  EXPECT_EQ(to_string(DispatchPolicy::kJoinShortestQueue), "jsq");
+  EXPECT_EQ(to_string(DispatchPolicy::kLeastWork), "least-work");
+}
+
+TEST(Cluster, RejectsZeroServers) {
+  des::Simulation sim;
+  EXPECT_THROW(Cluster(sim, "c", 0, DispatchPolicy::kCentralQueue),
+               ContractViolation);
+}
+
+}  // namespace
+}  // namespace hce::cluster

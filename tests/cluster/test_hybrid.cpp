@@ -1,0 +1,148 @@
+#include "cluster/hybrid.hpp"
+
+#include <gtest/gtest.h>
+
+#include "cluster/source.hpp"
+#include "des/simulation.hpp"
+#include "stats/quantiles.hpp"
+#include "support/contracts.hpp"
+#include "workload/arrival.hpp"
+#include "workload/service.hpp"
+
+namespace hce::cluster {
+namespace {
+
+des::Request make_request(int site, double demand) {
+  des::Request r;
+  r.site = site;
+  r.service_demand = demand;
+  return r;
+}
+
+HybridConfig base_config(std::size_t threshold) {
+  HybridConfig cfg;
+  cfg.num_sites = 2;
+  cfg.cloud_servers = 4;
+  cfg.edge_network = NetworkModel::fixed(0.001);
+  cfg.cloud_network = NetworkModel::fixed(0.025);
+  cfg.offload_queue_threshold = threshold;
+  return cfg;
+}
+
+TEST(Hybrid, ServesLocallyWhenQueueShort) {
+  des::Simulation sim;
+  HybridDeployment h(sim, base_config(2), Rng(1));
+  sim.schedule_in(0.0, [&] { h.submit(make_request(0, 0.1)); });
+  sim.run();
+  EXPECT_EQ(h.served_locally(), 1u);
+  EXPECT_EQ(h.offloaded(), 0u);
+  ASSERT_EQ(h.sink().size(), 1u);
+  // Edge path latency: 1 ms RTT + 100 ms service.
+  EXPECT_NEAR(h.sink().records()[0].end_to_end, 0.101, 1e-6);
+}
+
+TEST(Hybrid, OffloadsWhenLocalQueueIsLong) {
+  des::Simulation sim;
+  HybridDeployment h(sim, base_config(1), Rng(2));
+  sim.schedule_in(0.0, [&] {
+    h.submit(make_request(0, 1.0));  // in service
+    h.submit(make_request(0, 1.0));  // queued (length 1 = threshold)
+    h.submit(make_request(0, 0.1));  // offloaded
+  });
+  sim.run();
+  EXPECT_EQ(h.offloaded(), 1u);
+  EXPECT_EQ(h.served_locally(), 2u);
+  EXPECT_GT(h.cloud().completed(), 0u);
+}
+
+TEST(Hybrid, ThresholdZeroIsPureCloud) {
+  des::Simulation sim;
+  HybridDeployment h(sim, base_config(0), Rng(3));
+  sim.schedule_in(0.0, [&] {
+    for (int i = 0; i < 5; ++i) h.submit(make_request(0, 0.05));
+  });
+  sim.run();
+  EXPECT_EQ(h.served_locally(), 0u);
+  EXPECT_EQ(h.offloaded(), 5u);
+  EXPECT_NEAR(h.offload_fraction(), 1.0, 1e-12);
+}
+
+TEST(Hybrid, HugeThresholdIsPureEdge) {
+  des::Simulation sim;
+  HybridDeployment h(sim, base_config(1000000), Rng(4));
+  sim.schedule_in(0.0, [&] {
+    for (int i = 0; i < 5; ++i) h.submit(make_request(1, 0.05));
+  });
+  sim.run();
+  EXPECT_EQ(h.offloaded(), 0u);
+  EXPECT_NEAR(h.offload_fraction(), 0.0, 1e-12);
+}
+
+TEST(Hybrid, OffloadedRequestPaysCloudLatency) {
+  des::Simulation sim;
+  HybridDeployment h(sim, base_config(0), Rng(5));
+  sim.schedule_in(0.0, [&] { h.submit(make_request(0, 0.1)); });
+  sim.run();
+  ASSERT_EQ(h.sink().size(), 1u);
+  // edge uplink 0.5 ms + forward (25-1)/2 = 12 ms + service 100 ms +
+  // cloud downlink 12.5 ms = 125 ms.
+  EXPECT_NEAR(h.sink().records()[0].end_to_end, 0.125, 1e-6);
+  EXPECT_EQ(h.sink().records()[0].redirects, 1);
+}
+
+TEST(Hybrid, OffloadBoundsEdgeTailUnderOverload) {
+  // Hot site at 1.3x a single server's capacity: without offload the
+  // queue grows without bound; with offload the tail stays bounded.
+  auto run_threshold = [&](std::size_t threshold) {
+    des::Simulation sim;
+    auto cfg = base_config(threshold);
+    HybridDeployment h(sim, cfg, Rng(6));
+    cluster::Source src(
+        sim, workload::poisson(17.0), workload::dnn_inference(1.0), 0,
+        [&](des::Request r) { h.submit(std::move(r)); },
+        Rng(7).stream("src"));
+    src.start(400.0);
+    sim.run();
+    return stats::quantile(h.sink().latencies(), 0.95);
+  };
+  const double pure_edge = run_threshold(1000000);
+  const double hybrid = run_threshold(3);
+  EXPECT_LT(hybrid, pure_edge * 0.2);
+}
+
+TEST(Hybrid, OffloadFractionGrowsWithLoad) {
+  auto run_rate = [&](Rate rate) {
+    des::Simulation sim;
+    HybridDeployment h(sim, base_config(2), Rng(8));
+    cluster::Source src(
+        sim, workload::poisson(rate), workload::dnn_inference(1.0), 0,
+        [&](des::Request r) { h.submit(std::move(r)); },
+        Rng(9).stream("src"));
+    src.start(400.0);
+    sim.run();
+    return h.offload_fraction();
+  };
+  EXPECT_LT(run_rate(4.0), run_rate(12.0));
+}
+
+TEST(Hybrid, StatsResetClearsCounters) {
+  des::Simulation sim;
+  HybridDeployment h(sim, base_config(0), Rng(10));
+  sim.schedule_in(0.0, [&] { h.submit(make_request(0, 0.01)); });
+  sim.run();
+  h.reset_stats();
+  EXPECT_EQ(h.offloaded(), 0u);
+  EXPECT_EQ(h.served_locally(), 0u);
+}
+
+TEST(Hybrid, RejectsInvalidConfigAndSites) {
+  des::Simulation sim;
+  HybridConfig bad = base_config(1);
+  bad.num_sites = 0;
+  EXPECT_THROW(HybridDeployment(sim, bad, Rng(11)), ContractViolation);
+  HybridDeployment h(sim, base_config(1), Rng(12));
+  EXPECT_THROW(h.submit(make_request(9, 0.1)), ContractViolation);
+}
+
+}  // namespace
+}  // namespace hce::cluster

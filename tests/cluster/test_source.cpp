@@ -1,0 +1,157 @@
+#include "cluster/source.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "des/simulation.hpp"
+#include "support/contracts.hpp"
+#include "workload/arrival.hpp"
+#include "workload/service.hpp"
+
+namespace hce::cluster {
+namespace {
+
+TEST(Source, GeneratesAtConfiguredRate) {
+  des::Simulation sim;
+  std::uint64_t count = 0;
+  Source src(sim, workload::poisson(50.0), workload::dnn_inference(), 0,
+             [&](des::Request) { ++count; }, Rng(1));
+  src.start(100.0);
+  sim.run();
+  EXPECT_NEAR(static_cast<double>(count), 5000.0, 300.0);
+  EXPECT_EQ(src.generated(), count);
+}
+
+TEST(Source, StopsAtHorizon) {
+  des::Simulation sim;
+  Time last = 0.0;
+  Source src(sim, workload::poisson(100.0), workload::dnn_inference(), 0,
+             [&](des::Request) { last = sim.now(); }, Rng(2));
+  src.start(10.0);
+  sim.run();
+  EXPECT_LE(last, 10.0);
+}
+
+TEST(Source, AssignsSiteAndUniqueIds) {
+  des::Simulation sim;
+  std::vector<des::Request> reqs;
+  Source src(sim, workload::poisson(100.0), workload::dnn_inference(), 3,
+             [&](des::Request r) { reqs.push_back(r); }, Rng(3));
+  src.start(1.0);
+  sim.run();
+  ASSERT_GT(reqs.size(), 10u);
+  for (std::size_t i = 0; i < reqs.size(); ++i) {
+    EXPECT_EQ(reqs[i].site, 3);
+    EXPECT_EQ(reqs[i].id, i);
+    EXPECT_GT(reqs[i].service_demand, 0.0);
+  }
+}
+
+TEST(Source, RejectsNullComponents) {
+  des::Simulation sim;
+  EXPECT_THROW(Source(sim, nullptr, workload::dnn_inference(), 0,
+                      [](des::Request) {}, Rng(4)),
+               ContractViolation);
+  EXPECT_THROW(Source(sim, workload::poisson(1.0), nullptr, 0,
+                      [](des::Request) {}, Rng(5)),
+               ContractViolation);
+}
+
+TEST(MirroredSource, StreamsAreIdentical) {
+  des::Simulation sim;
+  std::vector<des::Request> a, b;
+  MirroredSource src(
+      sim, workload::poisson(20.0), workload::dnn_inference(0.8), 1,
+      [&](des::Request r) { a.push_back(r); },
+      [&](des::Request r) { b.push_back(r); }, Rng(6));
+  src.start(20.0);
+  sim.run();
+  ASSERT_GT(a.size(), 50u);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].id, b[i].id);
+    EXPECT_DOUBLE_EQ(a[i].service_demand, b[i].service_demand);
+    EXPECT_EQ(a[i].site, b[i].site);
+  }
+}
+
+TEST(MirroredSource, MatchesSingleSourceStatistics) {
+  des::Simulation sim;
+  std::uint64_t count = 0;
+  MirroredSource src(
+      sim, workload::poisson(40.0), workload::dnn_inference(), 0,
+      [&](des::Request) { ++count; }, [](des::Request) {}, Rng(7));
+  src.start(50.0);
+  sim.run();
+  EXPECT_NEAR(static_cast<double>(count), 2000.0, 200.0);
+}
+
+TEST(TraceReplay, SubmitsEventsAtTraceTimes) {
+  des::Simulation sim;
+  auto trace = std::make_shared<workload::Trace>();
+  trace->push({1.0, 0, 0.1});
+  trace->push({2.5, 1, 0.2});
+  trace->push({4.0, 0, 0.3});
+  std::vector<std::pair<Time, int>> seen;
+  TraceReplaySource replay(sim, trace, [&](des::Request r) {
+    seen.emplace_back(sim.now(), r.site);
+  });
+  replay.start();
+  sim.run();
+  ASSERT_EQ(seen.size(), 3u);
+  EXPECT_DOUBLE_EQ(seen[0].first, 1.0);
+  EXPECT_EQ(seen[1].second, 1);
+  EXPECT_DOUBLE_EQ(seen[2].first, 4.0);
+  EXPECT_EQ(replay.replayed(), 3u);
+}
+
+TEST(TraceReplay, MirrorsToSecondDestination) {
+  des::Simulation sim;
+  auto trace = std::make_shared<workload::Trace>();
+  trace->push({0.5, 0, 0.1});
+  trace->push({1.0, 1, 0.2});
+  int a = 0, b = 0;
+  TraceReplaySource replay(sim, trace, [&](des::Request) { ++a; });
+  replay.also_submit_to([&](des::Request) { ++b; });
+  replay.start();
+  sim.run();
+  EXPECT_EQ(a, 2);
+  EXPECT_EQ(b, 2);
+}
+
+TEST(TraceReplay, OffsetShiftsSubmissionTimes) {
+  des::Simulation sim;
+  auto trace = std::make_shared<workload::Trace>();
+  trace->push({1.0, 0, 0.1});
+  Time seen = -1.0;
+  TraceReplaySource replay(
+      sim, trace, [&](des::Request) { seen = sim.now(); }, 10.0);
+  replay.start();
+  sim.run();
+  EXPECT_DOUBLE_EQ(seen, 11.0);
+}
+
+TEST(TraceReplay, ServiceDemandComesFromTrace) {
+  des::Simulation sim;
+  auto trace = std::make_shared<workload::Trace>();
+  trace->push({0.0, 0, 0.42});
+  double demand = 0.0;
+  TraceReplaySource replay(
+      sim, trace, [&](des::Request r) { demand = r.service_demand; });
+  replay.start();
+  sim.run();
+  EXPECT_DOUBLE_EQ(demand, 0.42);
+}
+
+TEST(TraceReplay, RejectsNullArguments) {
+  des::Simulation sim;
+  auto trace = std::make_shared<workload::Trace>();
+  EXPECT_THROW(TraceReplaySource(sim, nullptr, [](des::Request) {}),
+               ContractViolation);
+  EXPECT_THROW(TraceReplaySource(sim, trace, nullptr), ContractViolation);
+}
+
+}  // namespace
+}  // namespace hce::cluster

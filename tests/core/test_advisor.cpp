@@ -1,0 +1,127 @@
+#include "core/advisor.hpp"
+
+#include <gtest/gtest.h>
+
+#include "support/contracts.hpp"
+
+namespace hce::core {
+namespace {
+
+DeploymentSpec typical_spec() {
+  DeploymentSpec s;
+  s.num_edge_sites = 5;
+  s.servers_per_edge_site = 1;
+  s.cloud_servers = 5;
+  s.edge_rtt = 0.001;
+  s.cloud_rtt = 0.025;
+  s.total_lambda = 40.0;  // 8 req/s per server, rho ~ 0.615
+  return s;
+}
+
+TEST(Advisor, ComputesOperatingPoint) {
+  const auto r = advise(typical_spec());
+  EXPECT_NEAR(r.rho_edge_mean, 8.0 / 13.0, 1e-9);
+  EXPECT_NEAR(r.rho_edge_max, 8.0 / 13.0, 1e-9);
+  EXPECT_NEAR(r.rho_cloud, 40.0 / 65.0, 1e-9);
+  EXPECT_TRUE(r.stable);
+  EXPECT_NEAR(r.delta_n, 0.024, 1e-12);
+}
+
+TEST(Advisor, BoundsAreInternallyConsistent) {
+  const auto r = advise(typical_spec());
+  // With a positive bound above delta_n, inversion must be flagged.
+  EXPECT_EQ(r.inversion_predicted_mm, r.delta_n < r.mm_bound);
+  EXPECT_EQ(r.inversion_predicted_gg, r.delta_n < r.gg_bound);
+  EXPECT_GE(r.cloud_rtt_floor, 0.0);
+}
+
+TEST(Advisor, HighLoadTriggersInversionPrediction) {
+  auto spec = typical_spec();
+  spec.total_lambda = 60.0;  // rho ~ 0.92
+  const auto r = advise(spec);
+  EXPECT_TRUE(r.inversion_predicted_mm);
+}
+
+TEST(Advisor, LowLoadNearbyEdgeDoesNotInvert) {
+  auto spec = typical_spec();
+  spec.total_lambda = 6.5;   // rho = 0.1
+  spec.cloud_rtt = 0.080;    // very distant cloud
+  const auto r = advise(spec);
+  EXPECT_FALSE(r.inversion_predicted_mm);
+}
+
+TEST(Advisor, SkewRaisesMaxUtilizationAndBound) {
+  // Skew kept mild enough that the hottest site (w=0.3 of 40 req/s at
+  // mu=13) stays stable.
+  auto balanced = typical_spec();
+  auto skewed = typical_spec();
+  skewed.site_weights = {0.3, 0.25, 0.2, 0.15, 0.1};
+  const auto rb = advise(balanced);
+  const auto rs = advise(skewed);
+  EXPECT_GT(rs.rho_edge_max, rb.rho_edge_max);
+  EXPECT_GT(rs.mm_bound, rb.mm_bound);
+}
+
+TEST(Advisor, UnstableDeploymentIsFlagged) {
+  auto spec = typical_spec();
+  spec.total_lambda = 70.0;  // rho > 1
+  const auto r = advise(spec);
+  EXPECT_FALSE(r.stable);
+  EXPECT_NE(r.summary().find("WARNING"), std::string::npos);
+}
+
+TEST(Advisor, SlowEdgeHardwareRaisesRisk) {
+  auto fast = typical_spec();
+  auto slow = typical_spec();
+  slow.mu_edge = 6.5;  // half-speed edge
+  slow.total_lambda = 20.0;  // keep both stable
+  fast.total_lambda = 20.0;
+  const auto rf = advise(fast);
+  const auto rs = advise(slow);
+  EXPECT_GT(rs.mm_bound, rf.mm_bound);
+}
+
+TEST(Advisor, CutoffsAreClampedToUnitInterval) {
+  auto spec = typical_spec();
+  spec.cloud_rtt = spec.edge_rtt;  // delta_n = 0
+  const auto r = advise(spec);
+  EXPECT_GE(r.cutoff_utilization_mm, 0.0);
+  EXPECT_LE(r.cutoff_utilization_mm, 1.0);
+  EXPECT_GE(r.cutoff_utilization_gg, 0.0);
+  EXPECT_LE(r.cutoff_utilization_gg, 1.0);
+}
+
+TEST(Advisor, ProvisioningPlanIsPopulatedWhenStable) {
+  const auto r = advise(typical_spec());
+  ASSERT_TRUE(r.provisioning.feasible);
+  EXPECT_EQ(r.provisioning.servers_per_site.size(), 5u);
+  EXPECT_EQ(r.provisioning.cloud_servers, 5);
+}
+
+TEST(Advisor, TwoSigmaPremiumMatchesCapacityModule) {
+  const auto r = advise(typical_spec());
+  EXPECT_NEAR(r.two_sigma_premium, edge_capacity_premium(40.0, 5), 1e-12);
+  EXPECT_GT(r.two_sigma_premium, 1.0);
+}
+
+TEST(Advisor, SummaryMentionsKeyQuantities) {
+  const auto s = advise(typical_spec()).summary();
+  EXPECT_NE(s.find("cutoff utilization"), std::string::npos);
+  EXPECT_NE(s.find("delta_n"), std::string::npos);
+  EXPECT_NE(s.find("two-sigma"), std::string::npos);
+}
+
+TEST(Advisor, RejectsInvalidSpecs) {
+  auto spec = typical_spec();
+  spec.num_edge_sites = 0;
+  EXPECT_THROW(advise(spec), ContractViolation);
+  spec = typical_spec();
+  spec.cloud_rtt = 0.0;  // below edge RTT
+  EXPECT_THROW(advise(spec), ContractViolation);
+  spec = typical_spec();
+  spec.site_weights = {0.5, 0.5};  // wrong length
+  EXPECT_THROW(advise(spec), ContractViolation);
+}
+
+}  // namespace
+}  // namespace hce::core

@@ -1,0 +1,175 @@
+#include "core/capacity.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "support/contracts.hpp"
+
+namespace hce::core {
+namespace {
+
+TEST(TwoSigma, CloudCapacityFormula) {
+  EXPECT_NEAR(two_sigma_cloud_capacity(100.0), 120.0, 1e-12);
+  EXPECT_NEAR(two_sigma_cloud_capacity(0.0), 0.0, 1e-12);
+}
+
+TEST(TwoSigma, EdgeCapacityFormula) {
+  // lambda + 2 sqrt(k lambda): k=4, lambda=100 -> 100 + 2*20 = 140.
+  EXPECT_NEAR(two_sigma_edge_capacity(100.0, 4), 140.0, 1e-12);
+}
+
+TEST(TwoSigma, EdgeEqualsCloudForKOne) {
+  EXPECT_NEAR(two_sigma_edge_capacity(50.0, 1),
+              two_sigma_cloud_capacity(50.0), 1e-12);
+}
+
+TEST(TwoSigma, EdgeExceedsCloudForAllKGreaterOne) {
+  // The §5.2 claim: C_edge > C_cloud whenever k > 1.
+  for (double lambda : {1.0, 10.0, 100.0, 10000.0}) {
+    for (int k : {2, 5, 20, 100}) {
+      EXPECT_GT(two_sigma_edge_capacity(lambda, k),
+                two_sigma_cloud_capacity(lambda))
+          << "lambda=" << lambda << " k=" << k;
+    }
+  }
+}
+
+TEST(TwoSigma, PremiumGrowsWithK) {
+  double prev = 1.0;
+  for (int k : {2, 4, 8, 16}) {
+    const double p = edge_capacity_premium(100.0, k);
+    EXPECT_GT(p, prev);
+    prev = p;
+  }
+}
+
+TEST(TwoSigma, PremiumShrinksWithScale) {
+  // Relative smoothing penalty shrinks as lambda grows (sqrt scaling).
+  EXPECT_GT(edge_capacity_premium(10.0, 5),
+            edge_capacity_premium(10000.0, 5));
+}
+
+TEST(ProvisionBound, DecreasesWithMoreServers) {
+  SiteProvisionParams p;
+  p.lambda_site = 10.0;
+  p.lambda_total = 50.0;
+  p.mu = 13.0;
+  p.k_cloud = 5;
+  double prev = 1e18;
+  for (int k_i = 1; k_i <= 10; ++k_i) {
+    const Time b = provision_bound(p, k_i);
+    EXPECT_LT(b, prev) << k_i;
+    prev = b;
+  }
+}
+
+TEST(ProvisionBound, UnstableSiteYieldsInfinity) {
+  SiteProvisionParams p;
+  p.lambda_site = 20.0;  // needs >= 2 servers at mu=13
+  p.lambda_total = 20.0;
+  p.mu = 13.0;
+  p.k_cloud = 2;
+  EXPECT_TRUE(std::isinf(provision_bound(p, 1)));
+}
+
+TEST(MinEdgeServers, SatisfiesTheBoundAtTheAnswer) {
+  SiteProvisionParams p;
+  p.lambda_site = 10.0;
+  p.lambda_total = 50.0;
+  p.mu = 13.0;
+  p.k_cloud = 5;
+  p.delta_n = 0.025;
+  const int k_i = min_edge_servers(p);
+  ASSERT_GT(k_i, 0);
+  EXPECT_GE(p.delta_n, provision_bound(p, k_i));
+  if (k_i > 1) {
+    // Minimality: one fewer server violates the bound (or stability).
+    const double rho = p.lambda_site / (p.mu * (k_i - 1));
+    if (rho < 1.0) {
+      EXPECT_LT(p.delta_n, provision_bound(p, k_i - 1));
+    }
+  }
+}
+
+TEST(MinEdgeServers, SmallerDeltaNNeedsMoreServers) {
+  SiteProvisionParams p;
+  p.lambda_site = 11.0;
+  p.lambda_total = 55.0;
+  p.mu = 13.0;
+  p.k_cloud = 5;
+  p.delta_n = 0.100;
+  const int far = min_edge_servers(p);
+  p.delta_n = 0.005;
+  const int near = min_edge_servers(p);
+  EXPECT_GE(near, far);
+}
+
+TEST(MinEdgeServers, AlwaysAtLeastStabilityMinimum) {
+  SiteProvisionParams p;
+  p.lambda_site = 40.0;  // needs > 3 servers at mu=13
+  p.lambda_total = 40.0;
+  p.mu = 13.0;
+  p.k_cloud = 4;
+  p.delta_n = 1.0;  // very forgiving
+  EXPECT_GE(min_edge_servers(p), 4);
+}
+
+TEST(MinEdgeServers, OverprovisionFactorScalesResult) {
+  SiteProvisionParams p;
+  p.lambda_site = 10.0;
+  p.lambda_total = 50.0;
+  p.mu = 13.0;
+  p.k_cloud = 5;
+  p.delta_n = 0.025;
+  const int base = min_edge_servers(p);
+  p.overprovision_factor = 2.0;
+  EXPECT_GE(min_edge_servers(p), 2 * base - 1);
+}
+
+TEST(PlanProvisioning, BalancedPlanCoversAllSites) {
+  const auto plan =
+      plan_provisioning({8.0, 8.0, 8.0, 8.0, 8.0}, 13.0, 5, 0.025);
+  ASSERT_TRUE(plan.feasible);
+  ASSERT_EQ(plan.servers_per_site.size(), 5u);
+  for (int k_i : plan.servers_per_site) EXPECT_GE(k_i, 1);
+  EXPECT_EQ(plan.cloud_servers, 5);
+  EXPECT_GE(plan.total_edge_servers, 5);
+  EXPECT_GE(plan.server_premium, 1.0);
+}
+
+TEST(PlanProvisioning, SkewedPlanGivesHotSitesMoreServers) {
+  const auto plan =
+      plan_provisioning({20.0, 5.0, 5.0, 5.0, 5.0}, 13.0, 5, 0.025);
+  ASSERT_TRUE(plan.feasible);
+  EXPECT_GT(plan.servers_per_site[0], plan.servers_per_site[1]);
+}
+
+TEST(PlanProvisioning, RejectsEmpty) {
+  EXPECT_THROW(plan_provisioning({}, 13.0, 5, 0.025), ContractViolation);
+}
+
+TEST(Contracts, RejectInvalidInputs) {
+  EXPECT_THROW(two_sigma_cloud_capacity(-1.0), ContractViolation);
+  EXPECT_THROW(two_sigma_edge_capacity(1.0, 0), ContractViolation);
+  EXPECT_THROW(edge_capacity_premium(0.0, 2), ContractViolation);
+  SiteProvisionParams p;
+  p.lambda_site = 10.0;
+  p.lambda_total = 50.0;
+  p.mu = 13.0;
+  p.k_cloud = 5;
+  p.delta_n = -0.01;
+  EXPECT_THROW(min_edge_servers(p), ContractViolation);
+  p.delta_n = 0.01;
+  p.overprovision_factor = 0.5;
+  EXPECT_THROW(min_edge_servers(p), ContractViolation);
+  SiteProvisionParams overload;
+  overload.lambda_site = 10.0;
+  overload.lambda_total = 100.0;
+  overload.mu = 13.0;
+  overload.k_cloud = 5;  // cloud rho > 1
+  EXPECT_THROW(provision_bound(overload, 1), ContractViolation);
+}
+
+}  // namespace
+}  // namespace hce::core

@@ -1,0 +1,95 @@
+#include "core/economics.hpp"
+
+#include <gtest/gtest.h>
+
+#include "support/contracts.hpp"
+
+namespace hce::core {
+namespace {
+
+constexpr Rate kMu = 13.0;
+
+TEST(FleetCost, LinearInServersAndPrice) {
+  EXPECT_DOUBLE_EQ(fleet_cost_per_hour(10, 0.17), 1.7);
+  EXPECT_DOUBLE_EQ(fleet_cost_per_hour(0, 0.17), 0.0);
+}
+
+TEST(ServerSecondsCost, ConvertsToHours) {
+  EXPECT_DOUBLE_EQ(cost_of_server_seconds(7200.0, 0.30), 0.60);
+  EXPECT_DOUBLE_EQ(cost_of_server_seconds(0.0, 0.30), 0.0);
+}
+
+TEST(CostToMeetSlo, EdgeCostsMoreUnderTypicalConditions) {
+  // 40 req/s, p95 < 300 ms, 1 ms edge vs 25 ms cloud: the edge needs
+  // more servers (lost pooling) at a higher unit price.
+  const SloTarget slo{0.95, 0.300};
+  const PriceModel price;
+  const auto c = cost_to_meet_slo(40.0, 5, kMu, 0.001, 0.025, slo, price);
+  ASSERT_TRUE(c.feasible);
+  EXPECT_GE(c.edge_servers_total, c.cloud_servers);
+  EXPECT_GT(c.cost_premium, 1.0);
+  EXPECT_NEAR(c.edge_cost_per_hour,
+              c.edge_servers_total * price.edge_server_hour, 1e-12);
+  EXPECT_NEAR(c.cloud_cost_per_hour,
+              c.cloud_servers * price.cloud_server_hour, 1e-12);
+}
+
+TEST(CostToMeetSlo, SkewRaisesEdgeCost) {
+  const SloTarget slo{0.95, 0.300};
+  const PriceModel price;
+  const auto balanced =
+      cost_to_meet_slo(40.0, 5, kMu, 0.001, 0.025, slo, price);
+  const auto skewed = cost_to_meet_slo(40.0, 5, kMu, 0.001, 0.025, slo,
+                                       price, {0.4, 0.3, 0.15, 0.1, 0.05});
+  ASSERT_TRUE(balanced.feasible && skewed.feasible);
+  EXPECT_GE(skewed.edge_servers_total, balanced.edge_servers_total);
+  // The cloud sees the same aggregate either way.
+  EXPECT_EQ(skewed.cloud_servers, balanced.cloud_servers);
+}
+
+TEST(CostToMeetSlo, InfeasibleSloIsFlagged) {
+  const SloTarget slo{0.95, 0.010};  // under the cloud RTT
+  const auto c =
+      cost_to_meet_slo(10.0, 5, kMu, 0.001, 0.025, slo, PriceModel{});
+  EXPECT_FALSE(c.feasible);
+}
+
+TEST(CostToMeetSlo, EdgeCanWinWhenSloExcludesTheCloud) {
+  // Tight SLO the cloud physically cannot meet: edge is the only option;
+  // the comparison reports infeasible (cloud side) rather than a premium.
+  const SloTarget slo{0.95, 0.300};
+  const auto c =
+      cost_to_meet_slo(10.0, 5, kMu, 0.001, 0.290, slo, PriceModel{});
+  EXPECT_FALSE(c.feasible);
+  EXPECT_EQ(c.cloud_servers, -1);
+  for (int k_i : c.edge_servers_per_site) EXPECT_GT(k_i, 0);
+}
+
+TEST(CostToMeetSlo, PerSiteCountsCoverTheLoad) {
+  const SloTarget slo{0.95, 0.300};
+  const auto c =
+      cost_to_meet_slo(40.0, 5, kMu, 0.001, 0.025, slo, PriceModel{});
+  ASSERT_TRUE(c.feasible);
+  int total = 0;
+  for (int k_i : c.edge_servers_per_site) {
+    EXPECT_GE(k_i, 1);
+    total += k_i;
+  }
+  EXPECT_EQ(total, c.edge_servers_total);
+  EXPECT_EQ(c.edge_servers_per_site.size(), 5u);
+}
+
+TEST(Contracts, RejectInvalid) {
+  EXPECT_THROW(fleet_cost_per_hour(-1, 0.1), ContractViolation);
+  EXPECT_THROW(fleet_cost_per_hour(1, -0.1), ContractViolation);
+  EXPECT_THROW(cost_of_server_seconds(-1.0, 0.1), ContractViolation);
+  EXPECT_THROW(cost_to_meet_slo(0.0, 5, kMu, 0.001, 0.025, SloTarget{},
+                                PriceModel{}),
+               ContractViolation);
+  EXPECT_THROW(cost_to_meet_slo(10.0, 5, kMu, 0.001, 0.025, SloTarget{},
+                                PriceModel{}, {0.5, 0.5}),
+               ContractViolation);
+}
+
+}  // namespace
+}  // namespace hce::core

@@ -1,0 +1,348 @@
+#include "core/inversion.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "queueing/approx.hpp"
+#include "support/contracts.hpp"
+
+namespace hce::core {
+namespace {
+
+constexpr double kMu = 13.0;  // the paper's calibrated service rate
+
+MmkBoundParams balanced(int k, double rho, Rate mu = kMu) {
+  return MmkBoundParams{k, rho, rho, mu};
+}
+
+TEST(Lemma31, MatchesWhittDifferenceByConstruction) {
+  const auto p = balanced(5, 0.7);
+  const double expected =
+      queueing::whitt_conditional_wait_time(0.7, 1, kMu) -
+      queueing::whitt_conditional_wait_time(0.7, 5, kMu);
+  EXPECT_NEAR(delta_n_bound_mmk(p), expected, 1e-15);
+}
+
+TEST(Lemma31, BoundIsPositiveForKGreaterThanOne) {
+  for (int k : {2, 5, 10, 100}) {
+    for (double rho : {0.1, 0.5, 0.9}) {
+      EXPECT_GT(delta_n_bound_mmk(balanced(k, rho)), 0.0)
+          << "k=" << k << " rho=" << rho;
+    }
+  }
+}
+
+TEST(Lemma31, NoInversionEverForKEqualOne) {
+  // §3.1.1: a single-site edge with identical hardware never inverts —
+  // the bound is exactly zero, so delta_n >= 0 never satisfies it.
+  for (double rho : {0.1, 0.5, 0.9, 0.99}) {
+    EXPECT_NEAR(delta_n_bound_mmk(balanced(1, rho)), 0.0, 1e-15);
+    EXPECT_FALSE(inversion_predicted_mmk(0.0, balanced(1, rho)));
+    EXPECT_FALSE(inversion_predicted_mmk(0.010, balanced(1, rho)));
+  }
+}
+
+TEST(Lemma31, BoundIncreasesWithUtilization) {
+  double prev = 0.0;
+  for (double rho = 0.1; rho < 0.96; rho += 0.05) {
+    const double b = delta_n_bound_mmk(balanced(5, rho));
+    EXPECT_GT(b, prev) << rho;
+    prev = b;
+  }
+}
+
+TEST(Lemma31, InversionPredicateIsThresholded) {
+  const auto p = balanced(5, 0.8);
+  const double bound = delta_n_bound_mmk(p);
+  EXPECT_TRUE(inversion_predicted_mmk(bound * 0.99, p));
+  EXPECT_FALSE(inversion_predicted_mmk(bound * 1.01, p));
+}
+
+TEST(Corollary311, InvertsTheLemmaExactly) {
+  // At rho = cutoff, the balanced bound equals delta_n.
+  for (int k : {2, 5, 10}) {
+    for (double delta_ms : {15.0, 25.0, 54.0}) {
+      const Time dn = delta_ms * 1e-3;
+      const double rho = cutoff_utilization_mmk(dn, k, kMu);
+      if (rho <= 0.0 || rho >= 1.0) continue;
+      EXPECT_NEAR(delta_n_bound_mmk(balanced(k, rho)), dn, 1e-12)
+          << "k=" << k << " dn=" << delta_ms;
+    }
+  }
+}
+
+TEST(Corollary311, CutoffIncreasesWithDeltaN) {
+  // Farther cloud -> inversion needs higher utilization. (The cutoff can
+  // be far below zero for small delta_n — inversion at any load.)
+  double prev = -1e18;
+  for (double dn_ms : {5.0, 15.0, 25.0, 54.0, 80.0}) {
+    const double rho = cutoff_utilization_mmk(dn_ms * 1e-3, 5, kMu);
+    EXPECT_GT(rho, prev);
+    prev = rho;
+  }
+}
+
+TEST(Corollary311, CutoffDecreasesWithK) {
+  // More edge sites -> inversion at lower utilization.
+  double prev = 2.0;
+  for (int k : {2, 4, 8, 16, 64}) {
+    const double rho = cutoff_utilization_mmk(0.054, k, kMu);
+    EXPECT_LT(rho, prev) << k;
+    prev = rho;
+  }
+}
+
+TEST(Corollary312, LimitIsLowerThanAnyFiniteK) {
+  const double limit = cutoff_utilization_mmk_limit(0.054, kMu);
+  for (int k : {2, 10, 100, 10000}) {
+    EXPECT_GT(cutoff_utilization_mmk(0.054, k, kMu), limit);
+  }
+  // And the finite-k cutoff converges to the limit.
+  EXPECT_NEAR(cutoff_utilization_mmk(0.054, 1000000, kMu), limit, 1e-2);
+}
+
+TEST(Corollary313, FloorEqualsBoundWithZeroEdgeRtt) {
+  const auto p = balanced(5, 0.8);
+  EXPECT_DOUBLE_EQ(cloud_rtt_lower_bound(p), delta_n_bound_mmk(p));
+}
+
+TEST(Asymmetric, ReducesToSymmetricWhenHardwareMatches) {
+  AsymmetricParams a;
+  a.k = 5;
+  a.rho_edge = a.rho_cloud = 0.7;
+  a.mu_edge = a.mu_cloud = kMu;
+  EXPECT_NEAR(delta_n_bound_asymmetric(a),
+              delta_n_bound_mmk(balanced(5, 0.7)), 1e-15);
+}
+
+TEST(Asymmetric, SlowerEdgeMakesInversionPossibleAtKEqualOne) {
+  // §3.1.1: with constrained edge hardware, k=1 can invert.
+  AsymmetricParams a;
+  a.k = 1;
+  a.rho_edge = a.rho_cloud = 0.5;
+  a.mu_edge = 6.5;   // half-speed edge server
+  a.mu_cloud = 13.0;
+  EXPECT_GT(delta_n_bound_asymmetric(a), 0.0);
+}
+
+TEST(Asymmetric, SlowerEdgeRaisesTheBound) {
+  AsymmetricParams fast;
+  fast.k = 5;
+  fast.rho_edge = fast.rho_cloud = 0.6;
+  fast.mu_edge = fast.mu_cloud = kMu;
+  AsymmetricParams slow = fast;
+  slow.mu_edge = kMu / 2.0;
+  EXPECT_GT(delta_n_bound_asymmetric(slow),
+            delta_n_bound_asymmetric(fast));
+}
+
+TEST(Lemma32, ReducesTowardMm1DifferenceForExponential) {
+  // With cA² = cB² = 1, the G/G bound uses AC/Bolch approximations of the
+  // exact M/M quantities; it must at least share the sign and grow with
+  // utilization.
+  GgkBoundParams g;
+  g.k = 5;
+  g.mu = kMu;
+  g.ca2_edge = g.ca2_cloud = g.cb2 = 1.0;
+  double prev = -1.0;
+  for (double rho = 0.3; rho < 0.95; rho += 0.1) {
+    g.rho_edge = g.rho_cloud = rho;
+    const double b = delta_n_bound_ggk(g);
+    EXPECT_GT(b, prev);
+    prev = b;
+  }
+  EXPECT_GT(prev, 0.0);
+}
+
+TEST(Lemma32, BurstierArrivalsRaiseTheBound) {
+  GgkBoundParams low;
+  low.k = 5;
+  low.rho_edge = low.rho_cloud = 0.75;
+  low.mu = kMu;
+  low.ca2_edge = low.ca2_cloud = 1.0;
+  low.cb2 = 1.0;
+  GgkBoundParams high = low;
+  high.ca2_edge = 4.0;  // bursty edge arrivals (Corollary 3.2.1 takeaway)
+  EXPECT_GT(delta_n_bound_ggk(high), delta_n_bound_ggk(low));
+}
+
+TEST(Lemma32, LowVariabilityServiceLowersTheBound) {
+  GgkBoundParams exp_service;
+  exp_service.k = 5;
+  exp_service.rho_edge = exp_service.rho_cloud = 0.75;
+  exp_service.mu = kMu;
+  exp_service.ca2_edge = exp_service.ca2_cloud = 1.0;
+  exp_service.cb2 = 1.0;
+  GgkBoundParams det_service = exp_service;
+  det_service.cb2 = 0.0;  // deterministic DNN-like service
+  EXPECT_LT(delta_n_bound_ggk(det_service),
+            delta_n_bound_ggk(exp_service));
+}
+
+TEST(Corollary321, LimitKeepsOnlyEdgeTerm) {
+  GgkBoundParams g;
+  g.k = 5;
+  g.rho_edge = 0.8;
+  g.rho_cloud = 0.8;
+  g.mu = kMu;
+  g.ca2_edge = 2.0;
+  g.ca2_cloud = 2.0;
+  g.cb2 = 0.5;
+  const double limit = delta_n_bound_ggk_limit(g);
+  EXPECT_GT(limit, delta_n_bound_ggk(g));
+  // As k grows the full bound approaches the limit (the residual cloud
+  // term decays as 1/k).
+  GgkBoundParams big = g;
+  big.k = 100000;
+  EXPECT_NEAR(delta_n_bound_ggk(big), limit, 1e-5);
+}
+
+TEST(CutoffGgk, AtCutoffBoundEqualsDeltaN) {
+  const Time dn = 0.025;
+  const double rho = cutoff_utilization_ggk(dn, 5, kMu, 1.0, 1.0, 0.25);
+  ASSERT_GT(rho, 0.0);
+  ASSERT_LT(rho, 1.0);
+  GgkBoundParams g;
+  g.k = 5;
+  g.rho_edge = g.rho_cloud = rho;
+  g.mu = kMu;
+  g.ca2_edge = g.ca2_cloud = 1.0;
+  g.cb2 = 0.25;
+  EXPECT_NEAR(delta_n_bound_ggk(g), dn, 1e-6);
+}
+
+TEST(CutoffGgk, MultiServerEdgeSitesRaiseTheCutoff) {
+  // G/G/2 sites pool better than G/G/1 sites: inversion needs more load.
+  const double m1 = cutoff_utilization_ggk(0.024, 5, kMu, 1.0, 1.0, 1.0, 1);
+  const double m2 =
+      cutoff_utilization_ggk(0.024, 10, kMu, 1.0, 1.0, 1.0, 2);
+  EXPECT_GT(m2, m1);
+}
+
+TEST(GgkBound, MultiServerEdgeLowersTheBound) {
+  GgkBoundParams one;
+  one.k = 10;
+  one.rho_edge = one.rho_cloud = 0.7;
+  one.mu = kMu;
+  GgkBoundParams two = one;
+  two.m_edge = 2;
+  EXPECT_LT(delta_n_bound_ggk(two), delta_n_bound_ggk(one));
+}
+
+TEST(CutoffGgk, LowerVariabilityYieldsHigherCutoff) {
+  const double low_var =
+      cutoff_utilization_ggk(0.025, 5, kMu, 1.0, 1.0, 0.0625);
+  const double high_var =
+      cutoff_utilization_ggk(0.025, 5, kMu, 2.25, 2.25, 1.0);
+  EXPECT_GT(low_var, high_var);
+}
+
+TEST(Lemma33, BalancedSkewReducesToLemma31) {
+  SkewedBoundParams s;
+  s.weights = {0.2, 0.2, 0.2, 0.2, 0.2};
+  s.rho_sites = {0.7, 0.7, 0.7, 0.7, 0.7};
+  s.rho_cloud = 0.7;
+  s.mu = kMu;
+  EXPECT_NEAR(delta_n_bound_skewed(s),
+              delta_n_bound_mmk(balanced(5, 0.7)), 1e-12);
+}
+
+TEST(Lemma33, SkewRaisesTheBoundAtFixedMeanLoad) {
+  // Same aggregate load, skewed split: hot sites dominate the weighted
+  // wait, so the bound (and inversion risk) grows.
+  SkewedBoundParams balanced_p;
+  balanced_p.weights = {0.25, 0.25, 0.25, 0.25};
+  balanced_p.rho_sites = {0.6, 0.6, 0.6, 0.6};
+  balanced_p.rho_cloud = 0.6;
+  balanced_p.mu = kMu;
+
+  SkewedBoundParams skewed_p;
+  skewed_p.weights = {0.4, 0.3, 0.2, 0.1};
+  // rho_i proportional to weight: rho_i = w_i * 4 * 0.6.
+  skewed_p.rho_sites = {0.96, 0.72, 0.48, 0.24};
+  skewed_p.rho_cloud = 0.6;
+  skewed_p.mu = kMu;
+
+  EXPECT_GT(delta_n_bound_skewed(skewed_p),
+            delta_n_bound_skewed(balanced_p));
+}
+
+TEST(Lemma33, PredicateUsesTheBound) {
+  SkewedBoundParams s;
+  s.weights = {0.5, 0.5};
+  s.rho_sites = {0.9, 0.3};
+  s.rho_cloud = 0.6;
+  s.mu = kMu;
+  const double bound = delta_n_bound_skewed(s);
+  EXPECT_TRUE(inversion_predicted_skewed(bound * 0.9, s));
+  EXPECT_FALSE(inversion_predicted_skewed(bound * 1.1, s));
+}
+
+TEST(Lemma33, RejectsNonNormalizedWeights) {
+  SkewedBoundParams s;
+  s.weights = {0.5, 0.9};
+  s.rho_sites = {0.5, 0.5};
+  s.rho_cloud = 0.5;
+  s.mu = kMu;
+  EXPECT_THROW(delta_n_bound_skewed(s), ContractViolation);
+}
+
+TEST(Literal, Lemma31AsPrinted) {
+  // sqrt(2) (1/(1-rho) - 1/(sqrt(k)(1-rho))) at rho=0.5, k=4:
+  // sqrt(2) (2 - 1) = sqrt(2).
+  EXPECT_NEAR(literal::delta_n_bound_mmk(4, 0.5, 0.5), std::sqrt(2.0),
+              1e-12);
+}
+
+TEST(Literal, Corollary311AsPrinted) {
+  // rho* = 1 - (2/dn)(1 - 1/sqrt(k)).
+  EXPECT_NEAR(literal::cutoff_utilization(30.0, 5),
+              1.0 - (2.0 / 30.0) * (1.0 - 1.0 / std::sqrt(5.0)), 1e-12);
+}
+
+TEST(Literal, Corollary312AsPrinted) {
+  EXPECT_NEAR(literal::cutoff_utilization_limit(4.0), 0.5, 1e-12);
+}
+
+TEST(Literal, PrintedCorollaryDiffersFromDerivedForm) {
+  // Documents the paper inconsistency: Eq. 9's printed constant (2,
+  // dimensionless) does not equal the dimensional inversion of Lemma 3.1.
+  const double printed = literal::cutoff_utilization(30.0, 5);
+  const double derived = cutoff_utilization_mmk(0.030, 5, kMu);
+  EXPECT_GT(std::abs(printed - derived), 1e-3);
+}
+
+TEST(Contracts, RejectOutOfDomainInputs) {
+  EXPECT_THROW(delta_n_bound_mmk(balanced(0, 0.5)), ContractViolation);
+  EXPECT_THROW(delta_n_bound_mmk(balanced(5, 1.0)), ContractViolation);
+  EXPECT_THROW(delta_n_bound_mmk(balanced(5, -0.1)), ContractViolation);
+  EXPECT_THROW(cutoff_utilization_mmk(0.0, 5, kMu), ContractViolation);
+  EXPECT_THROW(cutoff_utilization_mmk(0.025, 5, 0.0), ContractViolation);
+  EXPECT_THROW(literal::cutoff_utilization(0.0, 5), ContractViolation);
+}
+
+// Property sweep: the derived cutoff and the G/G cutoff with exponential
+// SCVs should rank scenarios the same way across k and delta_n.
+class CutoffConsistency
+    : public ::testing::TestWithParam<std::tuple<int, double>> {};
+
+TEST_P(CutoffConsistency, GgCutoffWithUnitScvsTracksMmCutoffDirection) {
+  const auto [k, dn_ms] = GetParam();
+  const Time dn = dn_ms * 1e-3;
+  const double mm = cutoff_utilization_mmk(dn, k, kMu);
+  const double gg = cutoff_utilization_ggk(dn, k, kMu, 1.0, 1.0, 1.0);
+  // Both must agree that a farther cloud (2x dn) raises the cutoff.
+  const double mm2 = cutoff_utilization_mmk(2.0 * dn, k, kMu);
+  const double gg2 = cutoff_utilization_ggk(2.0 * dn, k, kMu, 1.0, 1.0, 1.0);
+  EXPECT_GT(mm2, mm);
+  EXPECT_GE(gg2, gg);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, CutoffConsistency,
+    ::testing::Combine(::testing::Values(2, 5, 10),
+                       ::testing::Values(15.0, 25.0, 54.0)));
+
+}  // namespace
+}  // namespace hce::core

@@ -1,0 +1,92 @@
+#include "core/sensitivity.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "support/contracts.hpp"
+
+namespace hce::core {
+namespace {
+
+GgkBoundParams typical() {
+  GgkBoundParams p;
+  p.k = 5;
+  p.rho_edge = 0.6;
+  p.rho_cloud = 0.6;
+  p.mu = 13.0;
+  p.ca2_edge = 1.0;
+  p.ca2_cloud = 1.0;
+  p.cb2 = 1.0;
+  return p;
+}
+
+TEST(Sensitivity, SignsMatchTheTheory) {
+  const auto s = bound_sensitivity(typical());
+  EXPECT_GT(s.d_rho_edge, 0.0);    // loading the edge worsens the bound
+  EXPECT_LT(s.d_rho_cloud, 0.0);   // loading the cloud helps the edge
+  EXPECT_GT(s.d_ca2_edge, 0.0);    // burstier edge arrivals worsen it
+  EXPECT_GT(s.d_cb2, 0.0);         // more variable service worsens it
+  EXPECT_LT(s.d_edge_server, 0.0); // thickening sites helps
+}
+
+TEST(Sensitivity, EdgeUtilizationDominatesAtHighLoad) {
+  auto p = typical();
+  p.rho_edge = p.rho_cloud = 0.9;
+  const auto s = bound_sensitivity(p);
+  EXPECT_EQ(s.dominant_lever(), "rho_edge");
+}
+
+TEST(Sensitivity, EdgeRhoDerivativeGrowsWithLoad) {
+  auto lo = typical();
+  lo.rho_edge = lo.rho_cloud = 0.4;
+  auto hi = typical();
+  hi.rho_edge = hi.rho_cloud = 0.85;
+  EXPECT_GT(bound_sensitivity(hi).d_rho_edge,
+            bound_sensitivity(lo).d_rho_edge);
+}
+
+TEST(Sensitivity, DerivativesMatchDirectEvaluation) {
+  // Check d_cb2 against a coarse secant of the bound itself.
+  const auto p = typical();
+  const auto s = bound_sensitivity(p);
+  GgkBoundParams hi = p;
+  hi.cb2 = 1.2;
+  GgkBoundParams lo = p;
+  lo.cb2 = 0.8;
+  const double secant =
+      (delta_n_bound_ggk(hi) - delta_n_bound_ggk(lo)) / 0.4;
+  EXPECT_NEAR(s.d_cb2, secant, 0.05 * std::abs(secant) + 1e-9);
+}
+
+TEST(Sensitivity, ExtraCloudServerReducesBoundAtFixedLoad) {
+  // More cloud servers at the same aggregate load lower the cloud wait
+  // (pooling) — wait, that *raises* the bound's cloud term subtraction...
+  // the cloud wait shrinks, so less is subtracted and the bound GROWS:
+  // a bigger cloud pool makes the edge look worse. Verify the sign.
+  const auto s = bound_sensitivity(typical());
+  EXPECT_GT(s.d_cloud_server, 0.0);
+}
+
+TEST(Sensitivity, EdgeCaOnlyAffectsEdgeTerm) {
+  // d_ca2_edge at k -> infinity equals rho/(mu(1-rho))/2 (the AC edge
+  // term's linear coefficient in ca2).
+  auto p = typical();
+  p.k = 100000;
+  const auto s = bound_sensitivity(p);
+  const double expected =
+      p.rho_edge / (p.mu * (1.0 - p.rho_edge)) / 2.0;
+  EXPECT_NEAR(s.d_ca2_edge, expected, 0.02 * expected);
+}
+
+TEST(Sensitivity, RejectsBoundaryPoints) {
+  auto p = typical();
+  p.rho_edge = 0.0;
+  EXPECT_THROW(bound_sensitivity(p), ContractViolation);
+  p = typical();
+  p.rho_cloud = 1.0;
+  EXPECT_THROW(bound_sensitivity(p), ContractViolation);
+}
+
+}  // namespace
+}  // namespace hce::core

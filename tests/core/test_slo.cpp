@@ -1,0 +1,115 @@
+#include "core/slo.hpp"
+
+#include <gtest/gtest.h>
+
+#include "queueing/mmk.hpp"
+#include "support/contracts.hpp"
+
+namespace hce::core {
+namespace {
+
+constexpr Rate kMu = 13.0;
+
+TEST(MaxRateForSlo, ZeroWhenRttAloneBreaksTheBudget) {
+  const SloTarget slo{0.95, 0.020};  // 20 ms p95, but RTT is 25 ms
+  EXPECT_DOUBLE_EQ(max_rate_for_slo(5, kMu, 0.025, slo), 0.0);
+}
+
+TEST(MaxRateForSlo, ApproachesCapacityForLooseSlo) {
+  const SloTarget slo{0.95, 30.0};  // 30 s p95: anything stable passes
+  const Rate r = max_rate_for_slo(5, kMu, 0.025, slo);
+  EXPECT_GT(r, 0.99 * 5 * kMu);
+}
+
+TEST(MaxRateForSlo, BoundaryIsTight) {
+  // Exponential service has p95 ~ 230 ms at mu = 13, so a feasible p95
+  // SLO behind a 25 ms RTT must exceed ~255 ms.
+  const SloTarget slo{0.95, 0.300};
+  const Rate r = max_rate_for_slo(5, kMu, 0.025, slo);
+  ASSERT_GT(r, 0.0);
+  ASSERT_LT(r, 5 * kMu);
+  // At the boundary rate, the tail probability equals 1 - percentile.
+  const auto q = queueing::Mmk::make(r, kMu, 5);
+  EXPECT_NEAR(q.response_tail(0.300 - 0.025), 0.05, 1e-5);
+}
+
+TEST(MaxRateForSlo, MeanObjectiveBoundaryIsTight) {
+  const auto slo = SloTarget::mean(0.150);
+  const Rate r = max_rate_for_slo(5, kMu, 0.025, slo);
+  ASSERT_GT(r, 0.0);
+  const auto q = queueing::Mmk::make(r, kMu, 5);
+  EXPECT_NEAR(0.025 + q.mean_response(), 0.150, 1e-6);
+}
+
+TEST(MaxRateForSlo, MoreServersCarryMoreLoad) {
+  const SloTarget slo{0.95, 0.300};
+  double prev = 0.0;
+  for (int k : {1, 2, 5, 10}) {
+    const Rate r = max_rate_for_slo(k, kMu, 0.025, slo);
+    EXPECT_GT(r, prev) << k;
+    prev = r;
+  }
+}
+
+TEST(MaxRateForSlo, ShorterRttCarriesMoreLoad) {
+  const SloTarget slo{0.95, 0.300};
+  EXPECT_GT(max_rate_for_slo(5, kMu, 0.001, slo),
+            max_rate_for_slo(5, kMu, 0.050, slo));
+}
+
+TEST(MinServersForSlo, InvertsMaxRate) {
+  const SloTarget slo{0.95, 0.300};
+  const int k = min_servers_for_slo(40.0, kMu, 0.025, slo);
+  ASSERT_GT(k, 0);
+  EXPECT_GE(max_rate_for_slo(k, kMu, 0.025, slo), 40.0);
+  if (k > 1) {
+    EXPECT_LT(max_rate_for_slo(k - 1, kMu, 0.025, slo), 40.0);
+  }
+}
+
+TEST(MinServersForSlo, InfeasibleSloReturnsMinusOne) {
+  const SloTarget slo{0.95, 0.010};  // impossible behind 25 ms RTT
+  EXPECT_EQ(min_servers_for_slo(10.0, kMu, 0.025, slo), -1);
+}
+
+TEST(CompareSloCapacity, PooledCloudWinsUnderTightQueueingBudget) {
+  // 1 ms edge vs 25 ms cloud under a 300 ms p95 SLO: the cloud's pooling
+  // gain dominates its 24 ms handicap for thin edge fleets.
+  const SloTarget slo{0.95, 0.300};
+  const auto c = compare_slo_capacity(5, 1, kMu, 0.001, 0.025, slo);
+  EXPECT_GT(c.cloud_capacity, 0.0);
+  EXPECT_GT(c.edge_capacity, 0.0);
+  EXPECT_LT(c.edge_over_cloud, 1.0);
+}
+
+TEST(CompareSloCapacity, EdgeWinsWhenSloIsRttDominated) {
+  // A 90 ms p95 SLO with ~77 ms service: the 25 ms cloud RTT leaves no
+  // queueing budget at all, while the 1 ms edge has some.
+  const SloTarget slo{0.95, 0.300};
+  const auto c = compare_slo_capacity(5, 1, kMu, 0.001, 0.260, slo);
+  EXPECT_GT(c.edge_capacity, 0.0);
+  EXPECT_DOUBLE_EQ(c.cloud_capacity, 0.0);
+}
+
+TEST(CompareSloCapacity, ThickerSitesCloseTheGap) {
+  const SloTarget slo{0.95, 0.300};
+  const auto thin = compare_slo_capacity(10, 1, kMu, 0.001, 0.025, slo);
+  const auto thick = compare_slo_capacity(2, 5, kMu, 0.001, 0.025, slo);
+  // Same total fleet (10); fewer/fatter sites pool better.
+  EXPECT_GT(thick.edge_over_cloud, thin.edge_over_cloud);
+}
+
+TEST(SloContracts, RejectInvalid) {
+  EXPECT_THROW(max_rate_for_slo(0, kMu, 0.0, SloTarget{}), ContractViolation);
+  EXPECT_THROW(max_rate_for_slo(1, 0.0, 0.0, SloTarget{}), ContractViolation);
+  EXPECT_THROW(max_rate_for_slo(1, kMu, -0.1, SloTarget{}),
+               ContractViolation);
+  SloTarget bad;
+  bad.latency = 0.0;
+  EXPECT_THROW(max_rate_for_slo(1, kMu, 0.0, bad), ContractViolation);
+  bad = SloTarget{1.5, 0.1};
+  EXPECT_THROW(max_rate_for_slo(1, kMu, 0.0, bad), ContractViolation);
+}
+
+}  // namespace
+}  // namespace hce::core

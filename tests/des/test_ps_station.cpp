@@ -1,0 +1,211 @@
+#include "des/ps_station.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "cluster/source.hpp"
+#include "des/simulation.hpp"
+#include "dist/distribution.hpp"
+#include "queueing/mm1.hpp"
+#include "stats/summary.hpp"
+#include "support/contracts.hpp"
+#include "workload/arrival.hpp"
+#include "workload/service.hpp"
+
+namespace hce::des {
+namespace {
+
+Request make_request(std::uint64_t id, double demand) {
+  Request r;
+  r.id = id;
+  r.service_demand = demand;
+  return r;
+}
+
+TEST(PsStation, SingleJobRunsAtFullSpeed) {
+  Simulation sim;
+  PsStation st(sim, "ps", 1);
+  std::vector<Request> done;
+  st.set_completion_handler([&](const Request& r) { done.push_back(r); });
+  sim.schedule_in(0.0, [&] { st.arrive(make_request(1, 2.0)); });
+  sim.run();
+  ASSERT_EQ(done.size(), 1u);
+  EXPECT_DOUBLE_EQ(done[0].t_departure, 2.0);
+}
+
+TEST(PsStation, TwoEqualJobsShareAndFinishTogether) {
+  Simulation sim;
+  PsStation st(sim, "ps", 1);
+  std::vector<Request> done;
+  st.set_completion_handler([&](const Request& r) { done.push_back(r); });
+  sim.schedule_in(0.0, [&] {
+    st.arrive(make_request(1, 1.0));
+    st.arrive(make_request(2, 1.0));
+  });
+  sim.run();
+  ASSERT_EQ(done.size(), 2u);
+  // Each runs at rate 1/2: both finish at t = 2.
+  EXPECT_DOUBLE_EQ(done[0].t_departure, 2.0);
+  EXPECT_DOUBLE_EQ(done[1].t_departure, 2.0);
+}
+
+TEST(PsStation, ShortJobOvertakesLongJob) {
+  Simulation sim;
+  PsStation st(sim, "ps", 1);
+  std::vector<std::uint64_t> order;
+  st.set_completion_handler(
+      [&](const Request& r) { order.push_back(r.id); });
+  sim.schedule_in(0.0, [&] { st.arrive(make_request(1, 10.0)); });
+  sim.schedule_in(1.0, [&] { st.arrive(make_request(2, 0.5)); });
+  sim.run();
+  // Under FCFS job 2 would wait 9 s; under PS it finishes first.
+  EXPECT_EQ(order, (std::vector<std::uint64_t>{2, 1}));
+}
+
+TEST(PsStation, LateArrivalSlowsEarlierJob) {
+  Simulation sim;
+  PsStation st(sim, "ps", 1);
+  std::vector<Request> done;
+  st.set_completion_handler([&](const Request& r) { done.push_back(r); });
+  sim.schedule_in(0.0, [&] { st.arrive(make_request(1, 2.0)); });
+  sim.schedule_in(1.0, [&] { st.arrive(make_request(2, 3.0)); });
+  sim.run();
+  ASSERT_EQ(done.size(), 2u);
+  // Job 1: 1 s alone (1.0 done), then shares; 1 remaining at rate 1/2
+  // -> finishes at t = 3. Job 2 accrues 1.0 by t=3 (2 s at rate 1/2),
+  // then runs alone; 2.0 more -> t = 5.
+  EXPECT_DOUBLE_EQ(done[0].t_departure, 3.0);
+  EXPECT_DOUBLE_EQ(done[1].t_departure, 5.0);
+}
+
+TEST(PsStation, MultiServerGivesFullRateUpToCapacity) {
+  Simulation sim;
+  PsStation st(sim, "ps", 2);
+  std::vector<Request> done;
+  st.set_completion_handler([&](const Request& r) { done.push_back(r); });
+  sim.schedule_in(0.0, [&] {
+    st.arrive(make_request(1, 1.0));
+    st.arrive(make_request(2, 1.0));  // both run at rate 1
+  });
+  sim.run();
+  EXPECT_DOUBLE_EQ(done[0].t_departure, 1.0);
+  EXPECT_DOUBLE_EQ(done[1].t_departure, 1.0);
+}
+
+TEST(PsStation, SpeedScalesRates) {
+  Simulation sim;
+  PsStation st(sim, "ps", 1, 2.0);
+  std::vector<Request> done;
+  st.set_completion_handler([&](const Request& r) { done.push_back(r); });
+  sim.schedule_in(0.0, [&] { st.arrive(make_request(1, 1.0)); });
+  sim.run();
+  EXPECT_DOUBLE_EQ(done[0].t_departure, 0.5);
+}
+
+// M/M/1-PS has the same mean response time as M/M/1-FCFS: 1/(mu-lambda).
+TEST(PsStation, Mm1PsMeanResponseMatchesTheory) {
+  const double mu = 13.0, rho = 0.7;
+  Simulation sim;
+  PsStation st(sim, "ps", 1);
+  stats::Summary responses;
+  st.set_completion_handler(
+      [&](const Request& r) { responses.add(r.server_time()); });
+  Rng rng(21);
+  cluster::Source src(
+      sim, workload::poisson(rho * mu),
+      workload::from_distribution(dist::exponential(1.0 / mu)), 0,
+      [&](Request r) { st.arrive(std::move(r)); }, rng.stream("src"));
+  sim.schedule_at(2000.0, [&] { st.reset_stats(); });
+  src.start(30000.0);
+  sim.run();
+  const double theory = queueing::Mm1::make(rho * mu, mu).mean_response();
+  EXPECT_NEAR(responses.mean(), theory, 0.08 * theory);
+}
+
+// The PS insensitivity property: M/G/1-PS mean response depends on the
+// service distribution only through its mean — deterministic and
+// hyperexponential service give the same mean response as exponential.
+class PsInsensitivity : public ::testing::TestWithParam<double> {};
+
+TEST_P(PsInsensitivity, MeanResponseDependsOnlyOnMeanService) {
+  const double cov = GetParam();
+  const double mu = 13.0, rho = 0.7;
+  Simulation sim;
+  PsStation st(sim, "ps", 1);
+  stats::Summary responses;
+  st.set_completion_handler(
+      [&](const Request& r) { responses.add(r.server_time()); });
+  Rng rng(31);
+  cluster::Source src(
+      sim, workload::poisson(rho * mu),
+      workload::from_distribution(dist::by_cov(1.0 / mu, cov)), 0,
+      [&](Request r) { st.arrive(std::move(r)); }, rng.stream("src"));
+  sim.schedule_at(2000.0, [&] { st.reset_stats(); });
+  src.start(40000.0);
+  sim.run();
+  const double expected = (1.0 / mu) / (1.0 - rho);
+  EXPECT_NEAR(responses.mean(), expected, 0.09 * expected) << "cov=" << cov;
+}
+
+INSTANTIATE_TEST_SUITE_P(ServiceCovs, PsInsensitivity,
+                         ::testing::Values(0.0, 0.5, 1.0, 2.0),
+                         [](const auto& info) {
+                           return "cov" + std::to_string(static_cast<int>(
+                                              info.param * 10));
+                         });
+
+TEST(PsStation, LittlesLawHolds) {
+  const double mu = 13.0, rho = 0.6;
+  Simulation sim;
+  PsStation st(sim, "ps", 1);
+  stats::Summary responses;
+  std::uint64_t completions = 0;
+  bool past_warmup = false;
+  st.set_completion_handler([&](const Request& r) {
+    if (!past_warmup) return;
+    responses.add(r.server_time());
+    ++completions;
+  });
+  Rng rng(41);
+  cluster::Source src(
+      sim, workload::poisson(rho * mu),
+      workload::from_distribution(dist::exponential(1.0 / mu)), 0,
+      [&](Request r) { st.arrive(std::move(r)); }, rng.stream("src"));
+  const Time warmup = 1000.0, horizon = 20000.0;
+  sim.schedule_at(warmup, [&] {
+    st.reset_stats();
+    past_warmup = true;
+  });
+  src.start(horizon);
+  sim.run();
+  const double rate = static_cast<double>(completions) / (sim.now() - warmup);
+  EXPECT_NEAR(st.mean_in_system(), rate * responses.mean(),
+              0.08 * st.mean_in_system() + 0.02);
+}
+
+TEST(PsStation, UtilizationMatchesOfferedLoad) {
+  const double mu = 13.0, rho = 0.5;
+  Simulation sim;
+  PsStation st(sim, "ps", 1);
+  st.set_completion_handler([](const Request&) {});
+  Rng rng(51);
+  cluster::Source src(
+      sim, workload::poisson(rho * mu),
+      workload::from_distribution(dist::exponential(1.0 / mu)), 0,
+      [&](Request r) { st.arrive(std::move(r)); }, rng.stream("src"));
+  src.start(20000.0);
+  sim.run();
+  EXPECT_NEAR(st.utilization(), rho, 0.03);
+}
+
+TEST(PsStation, RejectsInvalid) {
+  Simulation sim;
+  EXPECT_THROW(PsStation(sim, "ps", 0), ContractViolation);
+  EXPECT_THROW(PsStation(sim, "ps", 1, 0.0), ContractViolation);
+  PsStation st(sim, "ps", 1);
+  EXPECT_THROW(st.arrive(make_request(1, -0.5)), ContractViolation);
+}
+
+}  // namespace
+}  // namespace hce::des

@@ -1,0 +1,158 @@
+#include "des/simulation.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "support/contracts.hpp"
+
+namespace hce::des {
+namespace {
+
+TEST(Simulation, StartsAtTimeZero) {
+  Simulation sim;
+  EXPECT_DOUBLE_EQ(sim.now(), 0.0);
+  EXPECT_TRUE(sim.empty());
+}
+
+TEST(Simulation, ExecutesEventsInTimeOrder) {
+  Simulation sim;
+  std::vector<int> order;
+  sim.schedule_in(3.0, [&] { order.push_back(3); });
+  sim.schedule_in(1.0, [&] { order.push_back(1); });
+  sim.schedule_in(2.0, [&] { order.push_back(2); });
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_DOUBLE_EQ(sim.now(), 3.0);
+}
+
+TEST(Simulation, SimultaneousEventsFireInScheduleOrder) {
+  Simulation sim;
+  std::vector<int> order;
+  sim.schedule_in(1.0, [&] { order.push_back(1); });
+  sim.schedule_in(1.0, [&] { order.push_back(2); });
+  sim.schedule_in(1.0, [&] { order.push_back(3); });
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(Simulation, HandlersCanScheduleMoreEvents) {
+  Simulation sim;
+  int fired = 0;
+  std::function<void()> chain = [&] {
+    ++fired;
+    if (fired < 5) sim.schedule_in(1.0, chain);
+  };
+  sim.schedule_in(1.0, chain);
+  sim.run();
+  EXPECT_EQ(fired, 5);
+  EXPECT_DOUBLE_EQ(sim.now(), 5.0);
+}
+
+TEST(Simulation, RunUntilStopsAtHorizon) {
+  Simulation sim;
+  int fired = 0;
+  sim.schedule_in(1.0, [&] { ++fired; });
+  sim.schedule_in(10.0, [&] { ++fired; });
+  const auto n = sim.run(5.0);
+  EXPECT_EQ(n, 1u);
+  EXPECT_EQ(fired, 1);
+  EXPECT_DOUBLE_EQ(sim.now(), 5.0);
+  // The later event remains pending and fires on the next run.
+  sim.run();
+  EXPECT_EQ(fired, 2);
+  EXPECT_DOUBLE_EQ(sim.now(), 10.0);
+}
+
+TEST(Simulation, RunUntilAdvancesClockToHorizonWhenEmpty) {
+  Simulation sim;
+  sim.run(42.0);
+  EXPECT_DOUBLE_EQ(sim.now(), 42.0);
+}
+
+TEST(Simulation, MaxEventsLimitsExecution) {
+  Simulation sim;
+  int fired = 0;
+  for (int i = 0; i < 10; ++i) {
+    sim.schedule_in(i + 1.0, [&] { ++fired; });
+  }
+  sim.run(kTimeInfinity, 4);
+  EXPECT_EQ(fired, 4);
+}
+
+TEST(Simulation, CancelPreventsExecution) {
+  Simulation sim;
+  int fired = 0;
+  const auto id = sim.schedule_in(1.0, [&] { ++fired; });
+  sim.schedule_in(2.0, [&] { ++fired; });
+  EXPECT_TRUE(sim.cancel(id));
+  sim.run();
+  EXPECT_EQ(fired, 1);
+}
+
+TEST(Simulation, DoubleCancelReturnsFalse) {
+  Simulation sim;
+  const auto id = sim.schedule_in(1.0, [] {});
+  EXPECT_TRUE(sim.cancel(id));
+  EXPECT_FALSE(sim.cancel(id));
+}
+
+TEST(Simulation, CancelOfUnknownIdReturnsFalse) {
+  Simulation sim;
+  EXPECT_FALSE(sim.cancel(Simulation::EventId{999}));
+}
+
+TEST(Simulation, ScheduleAtAbsoluteTime) {
+  Simulation sim;
+  Time seen = -1.0;
+  sim.schedule_at(7.5, [&] { seen = sim.now(); });
+  sim.run();
+  EXPECT_DOUBLE_EQ(seen, 7.5);
+}
+
+TEST(Simulation, RejectsSchedulingInThePast) {
+  Simulation sim;
+  sim.schedule_in(5.0, [] {});
+  sim.run();
+  EXPECT_THROW(sim.schedule_at(1.0, [] {}), ContractViolation);
+  EXPECT_THROW(sim.schedule_in(-1.0, [] {}), ContractViolation);
+}
+
+TEST(Simulation, CountsExecutedEvents) {
+  Simulation sim;
+  for (int i = 0; i < 7; ++i) sim.schedule_in(1.0, [] {});
+  sim.run();
+  EXPECT_EQ(sim.events_executed(), 7u);
+}
+
+TEST(Simulation, PendingExcludesCancelled) {
+  Simulation sim;
+  const auto a = sim.schedule_in(1.0, [] {});
+  sim.schedule_in(2.0, [] {});
+  EXPECT_EQ(sim.pending(), 2u);
+  sim.cancel(a);
+  EXPECT_EQ(sim.pending(), 1u);
+}
+
+TEST(Simulation, ZeroDelayEventFiresAtCurrentTime) {
+  Simulation sim;
+  Time seen = -1.0;
+  sim.schedule_in(1.0, [&] {
+    sim.schedule_in(0.0, [&] { seen = sim.now(); });
+  });
+  sim.run();
+  EXPECT_DOUBLE_EQ(seen, 1.0);
+}
+
+TEST(Simulation, LargeEventCountIsHandled) {
+  Simulation sim;
+  std::uint64_t fired = 0;
+  for (int i = 0; i < 100000; ++i) {
+    sim.schedule_in(static_cast<Time>(i) * 1e-3, [&] { ++fired; });
+  }
+  sim.run();
+  EXPECT_EQ(fired, 100000u);
+}
+
+}  // namespace
+}  // namespace hce::des

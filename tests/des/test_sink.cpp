@@ -1,0 +1,82 @@
+#include "des/sink.hpp"
+
+#include <gtest/gtest.h>
+
+namespace hce::des {
+namespace {
+
+Request completed_request(int site, Time created, Time completed,
+                          Time wait = 0.0, Time service = 0.1) {
+  Request r;
+  r.site = site;
+  r.t_created = created;
+  r.t_arrival = created;
+  r.t_start = created + wait;
+  r.t_departure = r.t_start + service;
+  r.t_completed = completed;
+  return r;
+}
+
+TEST(Sink, RecordsEndToEndLatency) {
+  Sink sink;
+  sink.record(completed_request(0, 1.0, 1.5));
+  ASSERT_EQ(sink.size(), 1u);
+  EXPECT_NEAR(sink.records()[0].end_to_end, 0.5, 1e-6);
+}
+
+TEST(Sink, LatenciesFilterBySite) {
+  Sink sink;
+  sink.record(completed_request(0, 0.0, 1.0));
+  sink.record(completed_request(1, 0.0, 2.0));
+  sink.record(completed_request(1, 0.0, 3.0));
+  EXPECT_EQ(sink.latencies().size(), 3u);
+  EXPECT_EQ(sink.latencies(0).size(), 1u);
+  EXPECT_EQ(sink.latencies(1).size(), 2u);
+  EXPECT_EQ(sink.latencies(7).size(), 0u);
+}
+
+TEST(Sink, WaitingTimesAreRecorded) {
+  Sink sink;
+  sink.record(completed_request(0, 0.0, 1.0, 0.25));
+  ASSERT_EQ(sink.waiting_times().size(), 1u);
+  EXPECT_NEAR(sink.waiting_times()[0], 0.25, 1e-6);
+}
+
+TEST(Sink, DropBeforeRemovesWarmupRecords) {
+  Sink sink;
+  sink.record(completed_request(0, 0.0, 10.0));
+  sink.record(completed_request(0, 0.0, 20.0));
+  sink.record(completed_request(0, 0.0, 30.0));
+  sink.drop_before(15.0);
+  EXPECT_EQ(sink.size(), 2u);
+  for (const auto& r : sink.records()) {
+    EXPECT_GE(r.t_completed, 15.0);
+  }
+}
+
+TEST(Sink, SummaryMatchesRecords) {
+  Sink sink;
+  sink.record(completed_request(0, 0.0, 1.0));
+  sink.record(completed_request(0, 0.0, 3.0));
+  const auto s = sink.latency_summary();
+  EXPECT_EQ(s.count(), 2u);
+  EXPECT_NEAR(s.mean(), 2.0, 1e-6);
+}
+
+TEST(Sink, SummaryPerSite) {
+  Sink sink;
+  sink.record(completed_request(0, 0.0, 1.0));
+  sink.record(completed_request(1, 0.0, 5.0));
+  EXPECT_NEAR(sink.latency_summary(1).mean(), 5.0, 1e-6);
+  EXPECT_EQ(sink.latency_summary(2).count(), 0u);
+}
+
+TEST(Sink, ClearEmptiesRecords) {
+  Sink sink;
+  sink.record(completed_request(0, 0.0, 1.0));
+  sink.clear();
+  EXPECT_EQ(sink.size(), 0u);
+}
+
+}  // namespace
+}  // namespace hce::des

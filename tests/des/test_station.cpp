@@ -1,0 +1,189 @@
+#include "des/station.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "des/simulation.hpp"
+#include "support/contracts.hpp"
+
+namespace hce::des {
+namespace {
+
+Request make_request(std::uint64_t id, double demand) {
+  Request r;
+  r.id = id;
+  r.service_demand = demand;
+  return r;
+}
+
+TEST(Station, ServesSingleRequestImmediately) {
+  Simulation sim;
+  Station st(sim, "s", 1);
+  std::vector<Request> done;
+  st.set_completion_handler([&](const Request& r) { done.push_back(r); });
+  sim.schedule_in(1.0, [&] { st.arrive(make_request(1, 0.5)); });
+  sim.run();
+  ASSERT_EQ(done.size(), 1u);
+  EXPECT_DOUBLE_EQ(done[0].t_arrival, 1.0);
+  EXPECT_DOUBLE_EQ(done[0].t_start, 1.0);
+  EXPECT_DOUBLE_EQ(done[0].t_departure, 1.5);
+  EXPECT_DOUBLE_EQ(done[0].waiting_time(), 0.0);
+  EXPECT_DOUBLE_EQ(done[0].service_time(), 0.5);
+}
+
+TEST(Station, FcfsOrderWithSingleServer) {
+  Simulation sim;
+  Station st(sim, "s", 1);
+  std::vector<std::uint64_t> order;
+  st.set_completion_handler(
+      [&](const Request& r) { order.push_back(r.id); });
+  sim.schedule_in(0.0, [&] {
+    st.arrive(make_request(1, 1.0));
+    st.arrive(make_request(2, 0.1));  // shorter, but must wait its turn
+    st.arrive(make_request(3, 0.1));
+  });
+  sim.run();
+  EXPECT_EQ(order, (std::vector<std::uint64_t>{1, 2, 3}));
+}
+
+TEST(Station, QueuedRequestWaitsForBusyServer) {
+  Simulation sim;
+  Station st(sim, "s", 1);
+  std::vector<Request> done;
+  st.set_completion_handler([&](const Request& r) { done.push_back(r); });
+  sim.schedule_in(0.0, [&] { st.arrive(make_request(1, 2.0)); });
+  sim.schedule_in(1.0, [&] { st.arrive(make_request(2, 1.0)); });
+  sim.run();
+  ASSERT_EQ(done.size(), 2u);
+  EXPECT_DOUBLE_EQ(done[1].t_start, 2.0);       // waits until #1 departs
+  EXPECT_DOUBLE_EQ(done[1].waiting_time(), 1.0);
+  EXPECT_DOUBLE_EQ(done[1].t_departure, 3.0);
+}
+
+TEST(Station, MultiServerRunsInParallel) {
+  Simulation sim;
+  Station st(sim, "s", 2);
+  std::vector<Request> done;
+  st.set_completion_handler([&](const Request& r) { done.push_back(r); });
+  sim.schedule_in(0.0, [&] {
+    st.arrive(make_request(1, 1.0));
+    st.arrive(make_request(2, 1.0));
+    st.arrive(make_request(3, 1.0));
+  });
+  sim.run();
+  ASSERT_EQ(done.size(), 3u);
+  // Two run immediately; the third starts when the first finishes.
+  EXPECT_DOUBLE_EQ(done[0].t_departure, 1.0);
+  EXPECT_DOUBLE_EQ(done[1].t_departure, 1.0);
+  EXPECT_DOUBLE_EQ(done[2].t_start, 1.0);
+  EXPECT_DOUBLE_EQ(done[2].t_departure, 2.0);
+}
+
+TEST(Station, SpeedFactorScalesServiceTime) {
+  Simulation sim;
+  Station st(sim, "slow-edge", 1, 0.5);  // half-speed server (§3.1.1)
+  std::vector<Request> done;
+  st.set_completion_handler([&](const Request& r) { done.push_back(r); });
+  sim.schedule_in(0.0, [&] { st.arrive(make_request(1, 1.0)); });
+  sim.run();
+  ASSERT_EQ(done.size(), 1u);
+  EXPECT_DOUBLE_EQ(done[0].service_time(), 2.0);
+}
+
+TEST(Station, UtilizationMatchesBusyFraction) {
+  Simulation sim;
+  Station st(sim, "s", 1);
+  st.set_completion_handler([](const Request&) {});
+  sim.schedule_in(0.0, [&] { st.arrive(make_request(1, 3.0)); });
+  sim.run(10.0);
+  // Busy 3 s of 10 s.
+  EXPECT_NEAR(st.utilization(), 0.3, 1e-12);
+}
+
+TEST(Station, MultiServerUtilizationNormalizedByServers) {
+  Simulation sim;
+  Station st(sim, "s", 2);
+  st.set_completion_handler([](const Request&) {});
+  sim.schedule_in(0.0, [&] {
+    st.arrive(make_request(1, 4.0));
+    st.arrive(make_request(2, 2.0));
+  });
+  sim.run(10.0);
+  // Busy-server integral = 4 + 2 = 6 over 2 servers * 10 s.
+  EXPECT_NEAR(st.utilization(), 0.3, 1e-12);
+}
+
+TEST(Station, QueueLengthTracking) {
+  Simulation sim;
+  Station st(sim, "s", 1);
+  st.set_completion_handler([](const Request&) {});
+  sim.schedule_in(0.0, [&] {
+    st.arrive(make_request(1, 2.0));
+    st.arrive(make_request(2, 2.0));
+    st.arrive(make_request(3, 2.0));
+  });
+  sim.run(1.0);
+  EXPECT_EQ(st.queue_length(), 2u);
+  EXPECT_EQ(st.busy_servers(), 1);
+  EXPECT_EQ(st.in_system(), 3u);
+  sim.run();
+  EXPECT_EQ(st.queue_length(), 0u);
+  EXPECT_EQ(st.completed(), 3u);
+}
+
+TEST(Station, QueuedWorkTracksRemainingDemand) {
+  Simulation sim;
+  Station st(sim, "s", 1);
+  st.set_completion_handler([](const Request&) {});
+  sim.schedule_in(0.0, [&] {
+    st.arrive(make_request(1, 1.0));
+    st.arrive(make_request(2, 0.5));
+    st.arrive(make_request(3, 0.25));
+  });
+  sim.run(0.5);
+  EXPECT_NEAR(st.queued_work(), 0.75, 1e-12);
+  sim.run();
+  EXPECT_NEAR(st.queued_work(), 0.0, 1e-12);
+}
+
+TEST(Station, ResetStatsClearsCountersAndIntegrals) {
+  Simulation sim;
+  Station st(sim, "s", 1);
+  st.set_completion_handler([](const Request&) {});
+  sim.schedule_in(0.0, [&] { st.arrive(make_request(1, 1.0)); });
+  sim.run(2.0);
+  st.reset_stats();
+  sim.run(4.0);
+  EXPECT_EQ(st.completed(), 0u);
+  EXPECT_EQ(st.arrivals(), 0u);
+  EXPECT_NEAR(st.utilization(), 0.0, 1e-12);
+}
+
+TEST(Station, MeanQueueLengthIsTimeWeighted) {
+  Simulation sim;
+  Station st(sim, "s", 1);
+  st.set_completion_handler([](const Request&) {});
+  sim.schedule_in(0.0, [&] {
+    st.arrive(make_request(1, 1.0));
+    st.arrive(make_request(2, 1.0));  // queued for [0,1)
+  });
+  sim.run(2.0);
+  // Queue holds 1 request for 1 s out of 2 s.
+  EXPECT_NEAR(st.mean_queue_length(), 0.5, 1e-12);
+}
+
+TEST(Station, RejectsInvalidConstruction) {
+  Simulation sim;
+  EXPECT_THROW(Station(sim, "s", 0), ContractViolation);
+  EXPECT_THROW(Station(sim, "s", 1, 0.0), ContractViolation);
+}
+
+TEST(Station, RejectsNegativeDemand) {
+  Simulation sim;
+  Station st(sim, "s", 1);
+  EXPECT_THROW(st.arrive(make_request(1, -1.0)), ContractViolation);
+}
+
+}  // namespace
+}  // namespace hce::des

@@ -1,0 +1,202 @@
+#include "dist/distribution.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+#include <string>
+
+#include "stats/summary.hpp"
+#include "support/contracts.hpp"
+#include "support/rng.hpp"
+
+namespace hce::dist {
+namespace {
+
+stats::Summary sample_many(const DistPtr& d, int n = 200000,
+                           std::uint64_t seed = 31) {
+  Rng rng(seed);
+  stats::Summary s;
+  for (int i = 0; i < n; ++i) s.add(d->sample(rng));
+  return s;
+}
+
+// Property suite: every distribution's empirical moments match its
+// declared analytic moments.
+struct MomentCase {
+  const char* label;
+  DistPtr dist;
+};
+
+class MomentAgreement : public ::testing::TestWithParam<MomentCase> {};
+
+TEST_P(MomentAgreement, SampleMeanMatchesAnalyticMean) {
+  const auto& d = GetParam().dist;
+  const auto s = sample_many(d);
+  EXPECT_NEAR(s.mean(), d->mean(), 0.02 * std::max(1.0, d->mean()))
+      << d->name();
+}
+
+TEST_P(MomentAgreement, SampleVarianceMatchesAnalyticVariance) {
+  const auto& d = GetParam().dist;
+  // Heavy-tailed families (Pareto with alpha <= 4) have sample-variance
+  // estimators without a CLT; their variance is checked structurally in
+  // the dedicated Pareto tests instead.
+  if (!std::isfinite(d->variance()) ||
+      std::string(GetParam().label).find("pareto") != std::string::npos) {
+    GTEST_SKIP() << "heavy tail: no finite-sample variance agreement";
+  }
+  const auto s = sample_many(d);
+  const double tol = 0.06 * std::max(0.01, d->variance());
+  EXPECT_NEAR(s.variance(), d->variance(), tol) << d->name();
+}
+
+TEST_P(MomentAgreement, ScvIsConsistentWithMeanAndVariance) {
+  const auto& d = GetParam().dist;
+  const double m = d->mean();
+  EXPECT_NEAR(d->scv(), d->variance() / (m * m), 1e-9) << d->name();
+  EXPECT_NEAR(d->cov() * d->cov(), d->scv(), 1e-9) << d->name();
+}
+
+TEST_P(MomentAgreement, SamplesAreNonNegative) {
+  const auto& d = GetParam().dist;
+  Rng rng(17);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_GE(d->sample(rng), 0.0) << d->name();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllFamilies, MomentAgreement,
+    ::testing::Values(
+        MomentCase{"exponential", exponential(0.077)},
+        MomentCase{"deterministic", deterministic(0.5)},
+        MomentCase{"uniform", uniform(0.2, 1.0)},
+        MomentCase{"lognormal_low", lognormal(1.0, 0.4)},
+        MomentCase{"lognormal_high", lognormal(0.08, 1.5)},
+        MomentCase{"gamma", gamma(2.0, 0.5)},
+        MomentCase{"erlang4", erlang(4, 1.0)},
+        MomentCase{"weibull", weibull(1.5, 1.0)},
+        MomentCase{"pareto3", pareto(3.0, 1.0)},
+        MomentCase{"bounded_pareto", bounded_pareto(1.5, 0.01, 10.0)},
+        MomentCase{"hyperexp", hyperexponential(1.0, 2.0)},
+        MomentCase{"shifted", shifted(exponential(1.0), 0.5)},
+        MomentCase{"scaled", scaled(exponential(1.0), 3.0)}),
+    [](const auto& info) { return std::string(info.param.label); });
+
+TEST(Exponential, ScvIsOne) {
+  EXPECT_NEAR(exponential(2.0)->scv(), 1.0, 1e-12);
+}
+
+TEST(Deterministic, ScvIsZero) {
+  EXPECT_DOUBLE_EQ(deterministic(1.0)->scv(), 0.0);
+  EXPECT_DOUBLE_EQ(deterministic(1.0)->variance(), 0.0);
+}
+
+TEST(ErlangK, ScvIsOneOverK) {
+  EXPECT_NEAR(erlang(4, 1.0)->scv(), 0.25, 1e-12);
+  EXPECT_NEAR(erlang(1, 1.0)->scv(), 1.0, 1e-12);
+}
+
+TEST(Hyperexponential, MatchesTargetCov) {
+  for (double cov : {1.0, 1.5, 2.0, 4.0}) {
+    const auto d = hyperexponential(1.0, cov);
+    EXPECT_NEAR(d->cov(), cov, 1e-9);
+    EXPECT_NEAR(d->mean(), 1.0, 1e-9);
+  }
+}
+
+TEST(Lognormal, MedianBelowMean) {
+  // Lognormal mean exceeds median; the sampler must reflect that skew.
+  const auto d = lognormal(1.0, 1.0);
+  Rng rng(3);
+  int below = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    if (d->sample(rng) < 1.0) ++below;
+  }
+  EXPECT_GT(static_cast<double>(below) / n, 0.55);
+}
+
+TEST(Pareto, InfiniteVarianceForAlphaBelowTwo) {
+  EXPECT_TRUE(std::isinf(pareto(1.5, 1.0)->variance()));
+}
+
+TEST(BoundedPareto, SamplesWithinBounds) {
+  const auto d = bounded_pareto(1.5, 0.1, 5.0);
+  Rng rng(23);
+  for (int i = 0; i < 20000; ++i) {
+    const double x = d->sample(rng);
+    EXPECT_GE(x, 0.1 - 1e-12);
+    EXPECT_LE(x, 5.0 + 1e-12);
+  }
+}
+
+TEST(ByCov, SelectsCorrectFamily) {
+  EXPECT_NE(by_cov(1.0, 0.0)->name().find("Det"), std::string::npos);
+  EXPECT_NE(by_cov(1.0, 0.5)->name().find("Gamma"), std::string::npos);
+  EXPECT_NE(by_cov(1.0, 1.0)->name().find("Exp"), std::string::npos);
+  EXPECT_NE(by_cov(1.0, 2.0)->name().find("H2"), std::string::npos);
+}
+
+TEST(ByCov, PreservesMeanAndCovAcrossFamilies) {
+  for (double cov : {0.0, 0.3, 0.7, 1.0, 1.8}) {
+    const auto d = by_cov(0.077, cov);
+    EXPECT_NEAR(d->mean(), 0.077, 1e-9) << cov;
+    EXPECT_NEAR(d->cov(), cov, 1e-9) << cov;
+  }
+}
+
+TEST(Shifted, ShiftsMeanOnly) {
+  const auto base = exponential(1.0);
+  const auto d = shifted(base, 0.25);
+  EXPECT_NEAR(d->mean(), 1.25, 1e-12);
+  EXPECT_NEAR(d->variance(), base->variance(), 1e-12);
+}
+
+TEST(Scaled, ScalesMeanAndStddevLinearly) {
+  const auto d = scaled(exponential(1.0), 2.0);
+  EXPECT_NEAR(d->mean(), 2.0, 1e-12);
+  EXPECT_NEAR(d->stddev(), 2.0, 1e-12);
+  EXPECT_NEAR(d->scv(), 1.0, 1e-12);  // scaling preserves SCV
+}
+
+TEST(Empirical, MatchesSampleMoments) {
+  const auto d = empirical({1.0, 2.0, 3.0});
+  EXPECT_DOUBLE_EQ(d->mean(), 2.0);
+  EXPECT_DOUBLE_EQ(d->variance(), 1.0);
+  Rng rng(7);
+  for (int i = 0; i < 100; ++i) {
+    const double x = d->sample(rng);
+    EXPECT_TRUE(x == 1.0 || x == 2.0 || x == 3.0);
+  }
+}
+
+TEST(Contracts, InvalidParametersThrow) {
+  EXPECT_THROW(exponential(0.0), ContractViolation);
+  EXPECT_THROW(exponential(-1.0), ContractViolation);
+  EXPECT_THROW(deterministic(-0.1), ContractViolation);
+  EXPECT_THROW(uniform(2.0, 1.0), ContractViolation);
+  EXPECT_THROW(lognormal(-1.0, 0.5), ContractViolation);
+  EXPECT_THROW(gamma(1.0, 0.0), ContractViolation);
+  EXPECT_THROW(erlang(0, 1.0), ContractViolation);
+  EXPECT_THROW(pareto(1.0, 1.0), ContractViolation);
+  EXPECT_THROW(bounded_pareto(1.5, 1.0, 0.5), ContractViolation);
+  EXPECT_THROW(hyperexponential(1.0, 0.5), ContractViolation);
+  EXPECT_THROW(empirical({}), ContractViolation);
+  EXPECT_THROW(shifted(nullptr, 0.1), ContractViolation);
+  EXPECT_THROW(shifted(exponential(1.0), -0.1), ContractViolation);
+  EXPECT_THROW(scaled(exponential(1.0), 0.0), ContractViolation);
+  EXPECT_THROW(by_cov(1.0, -0.5), ContractViolation);
+}
+
+TEST(Determinism, SameSeedSameSamples) {
+  const auto d = lognormal(1.0, 0.9);
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_DOUBLE_EQ(d->sample(a), d->sample(b));
+  }
+}
+
+}  // namespace
+}  // namespace hce::dist

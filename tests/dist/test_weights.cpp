@@ -1,0 +1,87 @@
+#include "dist/weights.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "support/contracts.hpp"
+#include "support/rng.hpp"
+
+namespace hce::dist {
+namespace {
+
+double sum(const std::vector<double>& v) {
+  return std::accumulate(v.begin(), v.end(), 0.0);
+}
+
+TEST(UniformWeights, EqualAndNormalized) {
+  const auto w = uniform_weights(5);
+  ASSERT_EQ(w.size(), 5u);
+  for (double x : w) EXPECT_DOUBLE_EQ(x, 0.2);
+  EXPECT_NEAR(sum(w), 1.0, 1e-12);
+}
+
+TEST(ZipfWeights, ZeroExponentIsUniform) {
+  const auto w = zipf_weights(4, 0.0);
+  for (double x : w) EXPECT_NEAR(x, 0.25, 1e-12);
+}
+
+TEST(ZipfWeights, DecreasingInRank) {
+  const auto w = zipf_weights(6, 1.2);
+  for (std::size_t i = 1; i < w.size(); ++i) {
+    EXPECT_GT(w[i - 1], w[i]);
+  }
+  EXPECT_NEAR(sum(w), 1.0, 1e-12);
+}
+
+TEST(ZipfWeights, LargerExponentMoreSkewed) {
+  const auto w1 = zipf_weights(10, 0.5);
+  const auto w2 = zipf_weights(10, 2.0);
+  EXPECT_GT(skew_index(w2), skew_index(w1));
+}
+
+TEST(DirichletWeights, NormalizedAndPositive) {
+  Rng rng(3);
+  const auto w = dirichlet_weights(8, 0.5, rng);
+  ASSERT_EQ(w.size(), 8u);
+  EXPECT_NEAR(sum(w), 1.0, 1e-12);
+  for (double x : w) EXPECT_GE(x, 0.0);
+}
+
+TEST(DirichletWeights, SmallAlphaIsSpikier) {
+  Rng r1(5), r2(5);
+  double spiky = 0.0, flat = 0.0;
+  for (int i = 0; i < 50; ++i) {
+    spiky += skew_index(dirichlet_weights(10, 0.2, r1));
+    flat += skew_index(dirichlet_weights(10, 50.0, r2));
+  }
+  EXPECT_GT(spiky, flat);
+}
+
+TEST(Normalized, ScalesToUnitSum) {
+  const auto w = normalized({2.0, 6.0});
+  EXPECT_DOUBLE_EQ(w[0], 0.25);
+  EXPECT_DOUBLE_EQ(w[1], 0.75);
+}
+
+TEST(Normalized, RejectsInvalid) {
+  EXPECT_THROW(normalized({}), ContractViolation);
+  EXPECT_THROW(normalized({0.0, 0.0}), ContractViolation);
+  EXPECT_THROW(normalized({1.0, -1.0}), ContractViolation);
+}
+
+TEST(SkewIndex, BalancedIsOneConcentratedIsK) {
+  EXPECT_DOUBLE_EQ(skew_index(uniform_weights(7)), 1.0);
+  EXPECT_DOUBLE_EQ(skew_index({1.0, 0.0, 0.0, 0.0}), 4.0);
+}
+
+TEST(Contracts, RejectBadArguments) {
+  Rng rng(1);
+  EXPECT_THROW(uniform_weights(0), ContractViolation);
+  EXPECT_THROW(zipf_weights(0, 1.0), ContractViolation);
+  EXPECT_THROW(zipf_weights(3, -1.0), ContractViolation);
+  EXPECT_THROW(dirichlet_weights(3, 0.0, rng), ContractViolation);
+}
+
+}  // namespace
+}  // namespace hce::dist

@@ -1,0 +1,105 @@
+#include "experiment/crossover.hpp"
+
+#include <gtest/gtest.h>
+
+#include "support/contracts.hpp"
+
+namespace hce::experiment {
+namespace {
+
+PointResult synthetic_point(Rate rate, double edge_mean, double cloud_mean,
+                            double edge_p95 = 0.0, double cloud_p95 = 0.0) {
+  PointResult p;
+  p.rate_per_server = rate;
+  p.edge.mean = edge_mean;
+  p.cloud.mean = cloud_mean;
+  p.edge.p95 = edge_p95 > 0.0 ? edge_p95 : edge_mean * 2.0;
+  p.cloud.p95 = cloud_p95 > 0.0 ? cloud_p95 : cloud_mean * 1.2;
+  p.edge.p50 = edge_mean;
+  p.cloud.p50 = cloud_mean;
+  p.edge.p99 = p.edge.p95 * 1.5;
+  p.cloud.p99 = p.cloud.p95 * 1.2;
+  return p;
+}
+
+TEST(MetricOf, SelectsTheRightField) {
+  SideStats s;
+  s.mean = 1.0;
+  s.p50 = 2.0;
+  s.p95 = 3.0;
+  s.p99 = 4.0;
+  EXPECT_DOUBLE_EQ(metric_of(s, Metric::kMean), 1.0);
+  EXPECT_DOUBLE_EQ(metric_of(s, Metric::kP50), 2.0);
+  EXPECT_DOUBLE_EQ(metric_of(s, Metric::kP95), 3.0);
+  EXPECT_DOUBLE_EQ(metric_of(s, Metric::kP99), 4.0);
+}
+
+TEST(MetricName, NamesAllMetrics) {
+  EXPECT_STREQ(metric_name(Metric::kMean), "mean");
+  EXPECT_STREQ(metric_name(Metric::kP95), "p95");
+}
+
+TEST(FindCrossover, LocatesInterpolatedCrossing) {
+  std::vector<PointResult> sweep{
+      synthetic_point(6.0, 0.010, 0.030),
+      synthetic_point(8.0, 0.020, 0.030),
+      synthetic_point(10.0, 0.040, 0.030),
+  };
+  const auto c = find_crossover(sweep, Metric::kMean, 13.0);
+  ASSERT_TRUE(c.has_value());
+  EXPECT_GT(c->rate, 8.0);
+  EXPECT_LT(c->rate, 10.0);
+  EXPECT_NEAR(c->utilization, c->rate / 13.0, 1e-12);
+}
+
+TEST(FindCrossover, NulloptWhenEdgeAlwaysWins) {
+  std::vector<PointResult> sweep{
+      synthetic_point(6.0, 0.010, 0.030),
+      synthetic_point(12.0, 0.020, 0.030),
+  };
+  EXPECT_FALSE(find_crossover(sweep, Metric::kMean, 13.0).has_value());
+}
+
+TEST(FindCrossover, TailCanCrossBeforeMean) {
+  // The Fig. 5 phenomenon: p95 inverts while the mean does not.
+  std::vector<PointResult> sweep{
+      synthetic_point(6.0, 0.010, 0.030, 0.020, 0.033),
+      synthetic_point(9.0, 0.020, 0.030, 0.040, 0.033),
+      synthetic_point(12.0, 0.028, 0.030, 0.080, 0.033),
+  };
+  const auto mean_c = find_crossover(sweep, Metric::kMean, 13.0);
+  const auto tail_c = find_crossover(sweep, Metric::kP95, 13.0);
+  EXPECT_FALSE(mean_c.has_value());
+  ASSERT_TRUE(tail_c.has_value());
+  EXPECT_LT(tail_c->rate, 9.0);
+}
+
+TEST(FindCrossover, TooFewPointsIsNullopt) {
+  std::vector<PointResult> sweep{synthetic_point(6.0, 1.0, 2.0)};
+  EXPECT_FALSE(find_crossover(sweep, Metric::kMean, 13.0).has_value());
+}
+
+TEST(FindCrossover, RejectsBadMu) {
+  std::vector<PointResult> sweep{synthetic_point(6.0, 1.0, 2.0),
+                                 synthetic_point(7.0, 3.0, 2.0)};
+  EXPECT_THROW(find_crossover(sweep, Metric::kMean, 0.0), ContractViolation);
+}
+
+TEST(MeasureCrossovers, FindsInversionInTypicalScenario) {
+  // End-to-end: a near cloud and a wide rate range must show a mean
+  // inversion, and the tail inversion must come no later.
+  Scenario s = Scenario::typical_cloud();
+  s.warmup = 60.0;
+  s.duration = 500.0;
+  s.replications = 2;
+  s.rtt_jitter = 0.0;
+  const auto c = measure_crossovers(s, {2.0, 4.0, 6.0, 8.0, 10.0, 12.0});
+  ASSERT_TRUE(c.mean.has_value());
+  ASSERT_TRUE(c.p95.has_value());
+  EXPECT_LE(c.p95->rate, c.mean->rate + 0.5);
+  EXPECT_GT(c.mean->utilization, 0.0);
+  EXPECT_LT(c.mean->utilization, 1.0);
+}
+
+}  // namespace
+}  // namespace hce::experiment

@@ -1,0 +1,100 @@
+#include "experiment/replay.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "support/contracts.hpp"
+#include "support/rng.hpp"
+#include "workload/analysis.hpp"
+#include "workload/profile.hpp"
+#include "workload/service.hpp"
+
+namespace hce::experiment {
+namespace {
+
+std::shared_ptr<const workload::Trace> skewed_trace(double hot_rate,
+                                                    double cold_rate,
+                                                    Time duration = 1200.0,
+                                                    std::uint64_t seed = 3) {
+  const std::vector<workload::RateProfile> profiles{
+      workload::RateProfile::constant(hot_rate),
+      workload::RateProfile::constant(cold_rate),
+      workload::RateProfile::constant(cold_rate),
+  };
+  return std::make_shared<workload::Trace>(workload::generate_trace(
+      profiles, workload::dnn_inference(0.5), duration, Rng(seed)));
+}
+
+TEST(ReplayComparison, ReturnsPerSiteAndAggregateResults) {
+  const auto r = replay_comparison(skewed_trace(8.0, 2.0), ReplayConfig{});
+  ASSERT_EQ(r.edge_sites.size(), 3u);
+  EXPECT_GT(r.edge_sites[0].requests, r.edge_sites[1].requests);
+  EXPECT_GT(r.edge_mean, 0.0);
+  EXPECT_GT(r.cloud_mean, 0.0);
+  EXPECT_GT(r.edge_utilization, 0.0);
+  EXPECT_LT(r.edge_utilization, 1.0);
+  EXPECT_EQ(r.edge_series.size(), r.cloud_series.size());
+}
+
+TEST(ReplayComparison, HotSiteHasHigherLatencyThanColdSite) {
+  const auto r = replay_comparison(skewed_trace(10.0, 2.0), ReplayConfig{});
+  EXPECT_GT(r.edge_sites[0].mean_latency, r.edge_sites[1].mean_latency);
+  EXPECT_GT(r.edge_sites[0].utilization, r.edge_sites[1].utilization);
+}
+
+TEST(ReplayComparison, LightLoadEdgeWinsHeavyLoadInverts) {
+  const auto light =
+      replay_comparison(skewed_trace(2.0, 1.0, 1200.0, 5), ReplayConfig{});
+  EXPECT_FALSE(light.edge_inverted());
+  const auto heavy =
+      replay_comparison(skewed_trace(11.0, 9.0, 1200.0, 6), ReplayConfig{});
+  EXPECT_TRUE(heavy.edge_inverted());
+  EXPECT_GT(heavy.inverted_bins, 0);
+}
+
+TEST(ReplayComparison, SlowEdgeHardwareWorsensEdgeOnly) {
+  auto cfg = ReplayConfig{};
+  const auto fast = replay_comparison(skewed_trace(4.0, 2.0), cfg);
+  cfg.edge_speed = 0.5;
+  const auto slow = replay_comparison(skewed_trace(4.0, 2.0), cfg);
+  EXPECT_GT(slow.edge_mean, fast.edge_mean);
+  EXPECT_NEAR(slow.cloud_mean, fast.cloud_mean, 0.02 * fast.cloud_mean);
+}
+
+TEST(ReplayComparison, CloudSizeOverrideApplies) {
+  auto cfg = ReplayConfig{};
+  cfg.cloud_servers = 9;  // triple the default for 3 sites
+  const auto big = replay_comparison(skewed_trace(10.0, 8.0), cfg);
+  const auto small = replay_comparison(skewed_trace(10.0, 8.0),
+                                       ReplayConfig{});
+  EXPECT_LT(big.cloud_mean, small.cloud_mean);
+}
+
+TEST(ReplayComparison, SeriesBinsCoverTheTrace) {
+  auto cfg = ReplayConfig{};
+  cfg.series_bin = 100.0;
+  const auto r = replay_comparison(skewed_trace(5.0, 2.0, 1000.0), cfg);
+  EXPECT_GE(r.edge_series.size(), 10u);
+}
+
+TEST(ReplayComparison, DeterministicForFixedSeed) {
+  const auto a = replay_comparison(skewed_trace(6.0, 3.0), ReplayConfig{});
+  const auto b = replay_comparison(skewed_trace(6.0, 3.0), ReplayConfig{});
+  EXPECT_DOUBLE_EQ(a.edge_mean, b.edge_mean);
+  EXPECT_DOUBLE_EQ(a.cloud_mean, b.cloud_mean);
+}
+
+TEST(ReplayComparison, RejectsInvalidInput) {
+  EXPECT_THROW(replay_comparison(nullptr, ReplayConfig{}),
+               ContractViolation);
+  auto empty = std::make_shared<workload::Trace>();
+  EXPECT_THROW(replay_comparison(empty, ReplayConfig{}), ContractViolation);
+  auto cfg = ReplayConfig{};
+  cfg.servers_per_site = 0;
+  EXPECT_THROW(replay_comparison(skewed_trace(2.0, 1.0), cfg),
+               ContractViolation);
+}
+
+}  // namespace
+}  // namespace hce::experiment

@@ -1,0 +1,88 @@
+#include "experiment/report.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "support/contracts.hpp"
+
+namespace hce::experiment {
+namespace {
+
+std::vector<PointResult> sample_sweep() {
+  std::vector<PointResult> sweep;
+  for (double rate : {4.0, 8.0}) {
+    PointResult p;
+    p.rate_per_server = rate;
+    p.rho_offered = rate / 13.0;
+    p.edge.mean = 0.090;
+    p.edge.p50 = 0.085;
+    p.edge.p95 = 0.200;
+    p.edge.p99 = 0.300;
+    p.edge.utilization = rate / 13.0;
+    p.edge.mean_ci_half_width = 0.002;
+    p.cloud = p.edge;
+    p.cloud.mean = 0.104;
+    sweep.push_back(p);
+  }
+  return sweep;
+}
+
+TEST(Report, TableHasOneRowPerPoint) {
+  const auto t = sweep_table(sample_sweep());
+  EXPECT_EQ(t.num_rows(), 2u);
+}
+
+TEST(Report, CsvHasHeaderAndRows) {
+  const std::string csv = sweep_csv(sample_sweep());
+  std::istringstream is(csv);
+  std::string line;
+  int lines = 0;
+  while (std::getline(is, line)) ++lines;
+  EXPECT_EQ(lines, 3);
+  EXPECT_EQ(csv.rfind("req/s/server", 0), 0u);
+  EXPECT_NE(csv.find("edge_mean_ms"), std::string::npos);
+  EXPECT_NE(csv.find("90.000"), std::string::npos);  // 0.090 s in ms
+}
+
+TEST(Report, MarkdownHasSeparatorRow) {
+  const std::string md = sweep_markdown(sample_sweep());
+  EXPECT_EQ(md.rfind("| req/s/server", 0), 0u);
+  EXPECT_NE(md.find("|---|"), std::string::npos);
+  // Header + separator + 2 data rows.
+  int lines = 0;
+  std::istringstream is(md);
+  std::string line;
+  while (std::getline(is, line)) ++lines;
+  EXPECT_EQ(lines, 4);
+}
+
+TEST(Report, SaveCsvRoundTrips) {
+  const std::string path = "/tmp/hce_sweep_test.csv";
+  save_sweep_csv(sample_sweep(), path);
+  std::ifstream is(path);
+  ASSERT_TRUE(is.good());
+  std::string header;
+  std::getline(is, header);
+  EXPECT_EQ(header.rfind("req/s/server", 0), 0u);
+  std::remove(path.c_str());
+}
+
+TEST(Report, SaveToBadPathThrows) {
+  EXPECT_THROW(save_sweep_csv(sample_sweep(), "/nonexistent/dir/x.csv"),
+               ContractViolation);
+}
+
+TEST(Report, EmptySweepYieldsHeaderOnly) {
+  const std::string csv = sweep_csv({});
+  std::istringstream is(csv);
+  std::string line;
+  int lines = 0;
+  while (std::getline(is, line)) ++lines;
+  EXPECT_EQ(lines, 1);
+}
+
+}  // namespace
+}  // namespace hce::experiment

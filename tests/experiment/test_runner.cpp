@@ -1,0 +1,147 @@
+#include "experiment/runner.hpp"
+
+#include <gtest/gtest.h>
+
+#include "support/contracts.hpp"
+
+namespace hce::experiment {
+namespace {
+
+Scenario fast_scenario() {
+  Scenario s = Scenario::typical_cloud();
+  s.warmup = 60.0;
+  s.duration = 400.0;
+  s.replications = 2;
+  s.num_sites = 3;
+  s.rtt_jitter = 0.0;
+  return s;
+}
+
+TEST(RunReplication, ProducesSamplesOnBothSides) {
+  const auto out = run_replication(fast_scenario(), 6.0, 0);
+  EXPECT_GT(out.edge_latencies.size(), 1000u);
+  // Paired streams: the cloud sees the same request count.
+  EXPECT_NEAR(static_cast<double>(out.edge_latencies.size()),
+              static_cast<double>(out.cloud_latencies.size()),
+              0.01 * static_cast<double>(out.edge_latencies.size()) + 20.0);
+}
+
+TEST(RunReplication, UtilizationTracksOfferedLoad) {
+  const auto out = run_replication(fast_scenario(), 6.5, 0);
+  EXPECT_NEAR(out.edge_utilization, 0.5, 0.06);
+  EXPECT_NEAR(out.cloud_utilization, 0.5, 0.06);
+}
+
+TEST(RunReplication, EdgeLatencyLowerAtLowLoad) {
+  const auto out = run_replication(fast_scenario(), 2.0, 0);
+  double edge_mean = 0.0, cloud_mean = 0.0;
+  for (double x : out.edge_latencies) edge_mean += x;
+  for (double x : out.cloud_latencies) cloud_mean += x;
+  edge_mean /= static_cast<double>(out.edge_latencies.size());
+  cloud_mean /= static_cast<double>(out.cloud_latencies.size());
+  EXPECT_LT(edge_mean, cloud_mean);
+}
+
+TEST(RunReplication, IsDeterministicPerReplicationIndex) {
+  const auto a = run_replication(fast_scenario(), 5.0, 1);
+  const auto b = run_replication(fast_scenario(), 5.0, 1);
+  ASSERT_EQ(a.edge_latencies.size(), b.edge_latencies.size());
+  for (std::size_t i = 0; i < a.edge_latencies.size(); i += 131) {
+    EXPECT_DOUBLE_EQ(a.edge_latencies[i], b.edge_latencies[i]);
+  }
+}
+
+TEST(RunReplication, DifferentReplicationsDiffer) {
+  const auto a = run_replication(fast_scenario(), 5.0, 0);
+  const auto b = run_replication(fast_scenario(), 5.0, 1);
+  EXPECT_NE(a.edge_latencies.size(), b.edge_latencies.size());
+}
+
+TEST(RunReplication, PerSiteOutputsHaveSiteLength) {
+  const auto out = run_replication(fast_scenario(), 5.0, 0);
+  EXPECT_EQ(out.site_mean_latency.size(), 3u);
+  EXPECT_EQ(out.site_utilization.size(), 3u);
+  for (double u : out.site_utilization) {
+    EXPECT_GT(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(RunReplication, SkewedWeightsLoadSitesUnequally) {
+  auto s = fast_scenario();
+  s.site_weights = {0.6, 0.3, 0.1};
+  const auto out = run_replication(s, 5.0, 0);
+  EXPECT_GT(out.site_utilization[0], out.site_utilization[1]);
+  EXPECT_GT(out.site_utilization[1], out.site_utilization[2]);
+}
+
+TEST(RunReplication, RejectsSaturatingRate) {
+  EXPECT_THROW(run_replication(fast_scenario(), 13.0, 0),
+               ContractViolation);
+  EXPECT_THROW(run_replication(fast_scenario(), 0.0, 0), ContractViolation);
+}
+
+TEST(RunPoint, MergesReplications) {
+  const auto p = run_point(fast_scenario(), 6.0);
+  EXPECT_GT(p.edge.samples, 2000u);
+  EXPECT_GT(p.edge.mean, 0.0);
+  EXPECT_GE(p.edge.p95, p.edge.p50);
+  EXPECT_GE(p.edge.p99, p.edge.p95);
+  EXPECT_GT(p.edge.mean_ci_half_width, 0.0);
+  EXPECT_NEAR(p.rho_offered, 6.0 / 13.0, 1e-12);
+}
+
+TEST(RunSweep, PreservesRateOrder) {
+  auto s = fast_scenario();
+  s.replications = 1;
+  s.duration = 200.0;
+  const auto sweep = run_sweep(s, {3.0, 6.0, 9.0});
+  ASSERT_EQ(sweep.size(), 3u);
+  EXPECT_DOUBLE_EQ(sweep[0].rate_per_server, 3.0);
+  EXPECT_DOUBLE_EQ(sweep[2].rate_per_server, 9.0);
+  // Latency grows with load on both sides.
+  EXPECT_LT(sweep[0].edge.mean, sweep[2].edge.mean);
+}
+
+TEST(RunSweep, ThreadedAndSerialResultsMatch) {
+  auto s = fast_scenario();
+  s.replications = 1;
+  s.duration = 150.0;
+  const auto serial = run_sweep(s, {4.0, 8.0}, 1);
+  const auto threaded = run_sweep(s, {4.0, 8.0}, 2);
+  ASSERT_EQ(serial.size(), threaded.size());
+  for (std::size_t i = 0; i < serial.size(); ++i) {
+    EXPECT_DOUBLE_EQ(serial[i].edge.mean, threaded[i].edge.mean);
+    EXPECT_DOUBLE_EQ(serial[i].cloud.p95, threaded[i].cloud.p95);
+  }
+}
+
+TEST(RunSweep, RejectsEmptyAxis) {
+  EXPECT_THROW(run_sweep(fast_scenario(), {}), ContractViolation);
+}
+
+TEST(RateAxes, HaveExpectedShape) {
+  const auto paper = paper_rate_axis();
+  EXPECT_EQ(paper.front(), 6.0);
+  EXPECT_EQ(paper.back(), 12.0);
+  const auto fine = fine_rate_axis();
+  EXPECT_GT(fine.size(), paper.size());
+  for (std::size_t i = 1; i < fine.size(); ++i) {
+    EXPECT_GT(fine[i], fine[i - 1]);
+  }
+}
+
+TEST(ScenarioPresets, MatchPaperRtts) {
+  EXPECT_NEAR(Scenario::nearby_cloud().cloud_rtt, 0.015, 1e-12);
+  EXPECT_NEAR(Scenario::typical_cloud().cloud_rtt, 0.025, 1e-12);
+  EXPECT_NEAR(Scenario::distant_cloud().cloud_rtt, 0.054, 1e-12);
+  EXPECT_NEAR(Scenario::transcontinental_cloud().cloud_rtt, 0.080, 1e-12);
+  for (const auto& s :
+       {Scenario::nearby_cloud(), Scenario::distant_cloud()}) {
+    EXPECT_NEAR(s.edge_rtt, 0.001, 1e-12);
+    EXPECT_EQ(s.cloud_servers(), 5);
+  }
+}
+
+}  // namespace
+}  // namespace hce::experiment

@@ -1,0 +1,157 @@
+// Little's law (L = lambda * W) is distribution-free: it must hold in the
+// simulator for any arrival process, service distribution, server count,
+// and dispatch policy. This parameterized suite sweeps that space.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <tuple>
+
+#include "cluster/dispatch.hpp"
+#include "cluster/source.hpp"
+#include "des/simulation.hpp"
+#include "des/station.hpp"
+#include "dist/distribution.hpp"
+#include "stats/summary.hpp"
+#include "support/rng.hpp"
+#include "workload/arrival.hpp"
+#include "workload/service.hpp"
+
+namespace hce {
+namespace {
+
+// (servers, rho, arrival_cov, service_cov)
+using LittleParam = std::tuple<int, double, double, double>;
+
+class LittlesLaw : public ::testing::TestWithParam<LittleParam> {};
+
+TEST_P(LittlesLaw, NumberInSystemEqualsRateTimesResponse) {
+  const auto [servers, rho, ca, cb] = GetParam();
+  const double mu = 13.0;
+  const Rate lambda = rho * mu * servers;
+
+  des::Simulation sim;
+  des::Station station(sim, "st", servers);
+  stats::Summary responses;
+  std::uint64_t completions = 0;
+  bool past_warmup = false;
+  station.set_completion_handler([&](const des::Request& r) {
+    if (!past_warmup) return;  // L and the rate are both post-warmup
+    responses.add(r.server_time());
+    ++completions;
+  });
+  Rng rng(9000 + static_cast<std::uint64_t>(servers * 100 + rho * 10));
+  cluster::Source src(
+      sim, workload::renewal_rate_cov(lambda, ca),
+      workload::from_distribution(dist::by_cov(1.0 / mu, cb)), 0,
+      [&](des::Request r) { station.arrive(std::move(r)); },
+      rng.stream("src"));
+
+  const Time horizon = 20000.0;
+  const Time warmup = horizon * 0.1;
+  sim.schedule_at(warmup, [&] {
+    station.reset_stats();
+    past_warmup = true;
+  });
+  src.start(horizon);
+  sim.run();
+
+  const double measured_rate =
+      static_cast<double>(completions) / (sim.now() - warmup);
+  const double L = station.mean_in_system();
+  const double W = responses.mean();
+  // L = lambda_effective * W within sampling tolerance.
+  EXPECT_NEAR(L, measured_rate * W, 0.08 * L + 0.02)
+      << "servers=" << servers << " rho=" << rho << " ca=" << ca
+      << " cb=" << cb;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, LittlesLaw,
+    ::testing::Values(
+        LittleParam{1, 0.3, 1.0, 1.0}, LittleParam{1, 0.7, 1.0, 1.0},
+        LittleParam{1, 0.9, 1.0, 1.0}, LittleParam{1, 0.7, 0.0, 0.5},
+        LittleParam{1, 0.7, 2.0, 1.0}, LittleParam{2, 0.7, 1.0, 0.25},
+        LittleParam{5, 0.5, 1.0, 1.0}, LittleParam{5, 0.85, 1.0, 0.5},
+        LittleParam{10, 0.8, 1.5, 1.0}),
+    [](const auto& info) {
+      // Commas inside a structured binding's brackets would be split by
+      // the macro expansion, so use std::get here.
+      return "k" + std::to_string(std::get<0>(info.param)) + "_rho" +
+             std::to_string(static_cast<int>(std::get<1>(info.param) * 100)) +
+             "_ca" +
+             std::to_string(static_cast<int>(std::get<2>(info.param) * 10)) +
+             "_cb" +
+             std::to_string(static_cast<int>(std::get<3>(info.param) * 10));
+    });
+
+// Work conservation: completed requests' total service time equals the
+// busy-server time integral (utilization * servers * elapsed).
+TEST(WorkConservation, BusyIntegralEqualsServedWork) {
+  const double mu = 13.0;
+  des::Simulation sim;
+  des::Station station(sim, "st", 3);
+  double served_work = 0.0;
+  station.set_completion_handler(
+      [&](const des::Request& r) { served_work += r.service_time(); });
+  Rng rng(41);
+  cluster::Source src(
+      sim, workload::poisson(0.7 * mu * 3),
+      workload::from_distribution(dist::exponential(1.0 / mu)), 0,
+      [&](des::Request r) { station.arrive(std::move(r)); },
+      rng.stream("src"));
+  src.start(5000.0);
+  sim.run();
+  const double busy_integral = station.utilization() * 3.0 * sim.now();
+  // In-flight work at the end is at most a few service times.
+  EXPECT_NEAR(busy_integral, served_work, 1.0);
+}
+
+// FCFS within a station: completion order of queued requests matches
+// arrival order for a single server, for any service distribution.
+TEST(FcfsInvariant, SingleServerCompletesInArrivalOrder) {
+  des::Simulation sim;
+  des::Station station(sim, "st", 1);
+  std::vector<std::uint64_t> completion_order;
+  station.set_completion_handler([&](const des::Request& r) {
+    completion_order.push_back(r.id);
+  });
+  Rng rng(42);
+  cluster::Source src(
+      sim, workload::poisson(12.0),
+      workload::from_distribution(dist::lognormal(1.0 / 13.0, 2.0)), 0,
+      [&](des::Request r) { station.arrive(std::move(r)); },
+      rng.stream("src"));
+  src.start(500.0);
+  sim.run();
+  ASSERT_GT(completion_order.size(), 1000u);
+  for (std::size_t i = 1; i < completion_order.size(); ++i) {
+    EXPECT_EQ(completion_order[i], completion_order[i - 1] + 1);
+  }
+}
+
+// Timestamp lineage: created <= arrival <= start <= departure for every
+// request under load.
+TEST(TimestampLineage, IsMonotonePerRequest) {
+  des::Simulation sim;
+  des::Station station(sim, "st", 2);
+  bool ok = true;
+  station.set_completion_handler([&](const des::Request& r) {
+    ok = ok && r.t_created <= r.t_arrival && r.t_arrival <= r.t_start &&
+         r.t_start <= r.t_departure;
+  });
+  Rng rng(43);
+  cluster::Source src(
+      sim, workload::poisson(20.0),
+      workload::from_distribution(dist::exponential(0.08)), 0,
+      [&](des::Request r) {
+        r.t_created = sim.now();
+        station.arrive(std::move(r));
+      },
+      rng.stream("src"));
+  src.start(500.0);
+  sim.run();
+  EXPECT_TRUE(ok);
+}
+
+}  // namespace
+}  // namespace hce

@@ -1,0 +1,166 @@
+// Simulator-vs-closed-form validation: the DES must reproduce exact
+// queueing theory within confidence tolerances. This is the load-bearing
+// integration suite — if the simulator drifts from M/M/1, M/M/k, M/D/1,
+// or M/G/1, every figure reproduction is suspect.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+
+#include "cluster/source.hpp"
+#include "queueing/approx.hpp"
+#include "des/simulation.hpp"
+#include "des/station.hpp"
+#include "dist/distribution.hpp"
+#include "queueing/mg1.hpp"
+#include "queueing/mm1.hpp"
+#include "queueing/mmk.hpp"
+#include "stats/quantiles.hpp"
+#include "stats/summary.hpp"
+#include "support/rng.hpp"
+#include "workload/arrival.hpp"
+#include "workload/service.hpp"
+
+namespace hce {
+namespace {
+
+struct SimResult {
+  stats::Summary waits;
+  std::vector<double> wait_samples;
+  double utilization = 0.0;
+  double mean_in_system = 0.0;
+};
+
+SimResult simulate_station(int servers, Rate lambda, dist::DistPtr service,
+                           Time horizon, std::uint64_t seed,
+                           double arrival_cov = 1.0) {
+  des::Simulation sim;
+  des::Station station(sim, "st", servers);
+  SimResult out;
+  station.set_completion_handler([&](const des::Request& r) {
+    out.waits.add(r.waiting_time());
+    out.wait_samples.push_back(r.waiting_time());
+  });
+  Rng rng(seed);
+  cluster::Source src(
+      sim, workload::renewal_rate_cov(lambda, arrival_cov),
+      workload::from_distribution(std::move(service)), 0,
+      [&](des::Request r) { station.arrive(std::move(r)); },
+      rng.stream("src"));
+  const Time warmup = horizon * 0.1;
+  sim.schedule_at(warmup, [&] { station.reset_stats(); });
+  src.start(horizon);
+  sim.run();
+  out.utilization = station.utilization();
+  out.mean_in_system = station.mean_in_system();
+  return out;
+}
+
+// --- M/M/1 ----------------------------------------------------------------
+
+class Mm1Agreement : public ::testing::TestWithParam<double> {};
+
+TEST_P(Mm1Agreement, MeanWaitMatchesTheory) {
+  const double rho = GetParam();
+  const double mu = 13.0;
+  const auto theory = queueing::Mm1::make(rho * mu, mu);
+  const auto sim = simulate_station(1, rho * mu, dist::exponential(1.0 / mu),
+                                    30000.0, 101);
+  // Relative tolerance loosens with rho (longer autocorrelation).
+  const double tol = (rho < 0.8 ? 0.08 : 0.15) * theory.mean_wait() + 1e-4;
+  EXPECT_NEAR(sim.waits.mean(), theory.mean_wait(), tol) << "rho=" << rho;
+}
+
+TEST_P(Mm1Agreement, UtilizationMatchesOfferedLoad) {
+  const double rho = GetParam();
+  const double mu = 13.0;
+  const auto sim = simulate_station(1, rho * mu, dist::exponential(1.0 / mu),
+                                    20000.0, 202);
+  EXPECT_NEAR(sim.utilization, rho, 0.03) << "rho=" << rho;
+}
+
+INSTANTIATE_TEST_SUITE_P(RhoGrid, Mm1Agreement,
+                         ::testing::Values(0.3, 0.5, 0.7, 0.9));
+
+TEST(Mm1WaitDistribution, TailQuantileMatchesTheory) {
+  const double mu = 13.0, rho = 0.7;
+  const auto theory = queueing::Mm1::make(rho * mu, mu);
+  auto sim = simulate_station(1, rho * mu, dist::exponential(1.0 / mu),
+                              30000.0, 303);
+  const double p95_sim = stats::quantile(std::move(sim.wait_samples), 0.95);
+  const double p95_theory = theory.wait_quantile(0.95);
+  EXPECT_NEAR(p95_sim, p95_theory, 0.12 * p95_theory);
+}
+
+// --- M/M/k ----------------------------------------------------------------
+
+class MmkAgreement : public ::testing::TestWithParam<int> {};
+
+TEST_P(MmkAgreement, MeanWaitMatchesErlangC) {
+  const int k = GetParam();
+  const double mu = 13.0, rho = 0.8;
+  const auto theory = queueing::Mmk::make(rho * mu * k, mu, k);
+  const auto sim = simulate_station(k, rho * mu * k,
+                                    dist::exponential(1.0 / mu), 20000.0,
+                                    404 + static_cast<std::uint64_t>(k));
+  EXPECT_NEAR(sim.waits.mean(), theory.mean_wait(),
+              0.12 * theory.mean_wait() + 2e-4)
+      << "k=" << k;
+}
+
+INSTANTIATE_TEST_SUITE_P(Ks, MmkAgreement, ::testing::Values(2, 5, 10));
+
+TEST(MmkPooling, SimulatedCloudBeatsSimulatedEdge) {
+  // The experimental core of the paper, in miniature: same per-server
+  // load, pooled queue wins.
+  const double mu = 13.0, rho = 0.8;
+  const auto edge = simulate_station(1, rho * mu, dist::exponential(1.0 / mu),
+                                     15000.0, 505);
+  const auto cloud = simulate_station(
+      5, rho * mu * 5, dist::exponential(1.0 / mu), 15000.0, 506);
+  EXPECT_GT(edge.waits.mean(), 2.0 * cloud.waits.mean());
+}
+
+// --- M/D/1 and M/G/1 --------------------------------------------------------
+
+TEST(Md1Agreement, DeterministicServiceHalvesTheWait) {
+  const double mu = 13.0, rho = 0.7;
+  const auto sim = simulate_station(1, rho * mu,
+                                    dist::deterministic(1.0 / mu),
+                                    30000.0, 607);
+  const double theory = queueing::md1_mean_wait(rho * mu, mu);
+  EXPECT_NEAR(sim.waits.mean(), theory, 0.10 * theory);
+}
+
+class Mg1Agreement : public ::testing::TestWithParam<double> {};
+
+TEST_P(Mg1Agreement, PollaczekKhinchineHolds) {
+  const double scv = GetParam();
+  const double mu = 13.0, rho = 0.7;
+  const auto theory = queueing::Mg1::make(rho * mu, mu, scv);
+  const auto sim = simulate_station(
+      1, rho * mu, dist::by_cov(1.0 / mu, std::sqrt(scv)), 40000.0, 708);
+  EXPECT_NEAR(sim.waits.mean(), theory.mean_wait(),
+              0.12 * theory.mean_wait() + 1e-4)
+      << "scv=" << scv;
+}
+
+INSTANTIATE_TEST_SUITE_P(Scvs, Mg1Agreement,
+                         ::testing::Values(0.0625, 0.25, 1.0, 4.0));
+
+// --- G/G/1 sanity against Allen-Cunneen -------------------------------------
+
+TEST(Gg1Agreement, AllenCunneenTracksSimulationAtHighLoad) {
+  const double mu = 13.0, rho = 0.85;
+  const double ca = 1.5, cb = 0.5;
+  const auto sim =
+      simulate_station(1, rho * mu, dist::by_cov(1.0 / mu, cb), 60000.0,
+                       809, ca);
+  const double approx = queueing::allen_cunneen_gg1_wait(
+      rho * mu, mu, ca * ca, cb * cb);
+  // AC is an approximation for non-M arrivals; allow a generous band.
+  EXPECT_NEAR(sim.waits.mean(), approx, 0.30 * approx);
+}
+
+}  // namespace
+}  // namespace hce

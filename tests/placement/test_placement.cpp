@@ -1,0 +1,153 @@
+#include "placement/placement.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+
+#include "support/contracts.hpp"
+#include "workload/spatial.hpp"
+
+namespace hce::placement {
+namespace {
+
+// A 4x4 grid with all load concentrated in one corner cell.
+std::vector<double> corner_load() {
+  std::vector<double> load(16, 0.01);
+  load[0] = 100.0;
+  return load;
+}
+
+// A grid with two far-apart hotspots.
+std::vector<double> two_hotspots(int width = 8, int height = 8) {
+  std::vector<double> load(static_cast<std::size_t>(width * height), 0.01);
+  load[0] = 50.0;                                        // top-left
+  load[static_cast<std::size_t>(width * height - 1)] = 50.0;  // bottom-right
+  return load;
+}
+
+GridRttModel rtt_model() {
+  GridRttModel m;
+  m.base_rtt = 0.001;
+  m.rtt_per_cell = 0.001;
+  m.cloud_rtt = 0.025;
+  return m;
+}
+
+TEST(GreedyPlace, SingleSiteLandsOnTheHotspot) {
+  const auto p = greedy_place(corner_load(), 4, 4, 1, rtt_model());
+  ASSERT_EQ(p.site_cells.size(), 1u);
+  EXPECT_EQ(p.site_cells[0], 0);
+  EXPECT_NEAR(p.site_weights[0], 1.0, 1e-12);
+}
+
+TEST(GreedyPlace, TwoSitesCoverTwoHotspots) {
+  const auto p = greedy_place(two_hotspots(), 8, 8, 2, rtt_model());
+  ASSERT_EQ(p.site_cells.size(), 2u);
+  const bool covers_tl =
+      std::find(p.site_cells.begin(), p.site_cells.end(), 0) !=
+      p.site_cells.end();
+  const bool covers_br =
+      std::find(p.site_cells.begin(), p.site_cells.end(), 63) !=
+      p.site_cells.end();
+  EXPECT_TRUE(covers_tl);
+  EXPECT_TRUE(covers_br);
+}
+
+TEST(GreedyPlace, MeanRttDecreasesWithMoreSites) {
+  workload::SpatialSynthConfig cfg;
+  cfg.grid_width = 10;
+  cfg.grid_height = 10;
+  const auto field = workload::SpatialSynth(cfg).generate(Rng(1));
+  // Use the first bin's loads.
+  const auto& load = field.loads[0];
+  double prev = 1e18;
+  for (int k : {1, 2, 4, 8}) {
+    const auto p = greedy_place(load, 10, 10, k, rtt_model());
+    EXPECT_LT(p.mean_rtt, prev) << k;
+    prev = p.mean_rtt;
+  }
+}
+
+TEST(GreedyPlace, WeightsSumToOne) {
+  const auto p = greedy_place(two_hotspots(), 8, 8, 3, rtt_model());
+  const double sum = std::accumulate(p.site_weights.begin(),
+                                     p.site_weights.end(), 0.0);
+  EXPECT_NEAR(sum, 1.0, 1e-12);
+}
+
+TEST(GreedyPlace, AssignmentMapsEveryCellToAChosenSite) {
+  const auto p = greedy_place(two_hotspots(), 8, 8, 2, rtt_model());
+  ASSERT_EQ(p.assignment.size(), 64u);
+  for (int a : p.assignment) {
+    EXPECT_GE(a, 0);
+    EXPECT_LT(a, 2);
+  }
+}
+
+TEST(GreedyPlace, AssignmentIsNearest) {
+  const auto p = greedy_place(two_hotspots(), 8, 8, 2, rtt_model());
+  // Cell 0's assignment must be the site at cell 0.
+  const int site_at_0 = static_cast<int>(
+      std::find(p.site_cells.begin(), p.site_cells.end(), 0) -
+      p.site_cells.begin());
+  EXPECT_EQ(p.assignment[0], site_at_0);
+}
+
+TEST(EvaluatePlacement, DayPlacementDegradesAtNight) {
+  // Place on a day field, evaluate on a drifted night field: the mean
+  // RTT should not improve (load moved away from the chosen sites).
+  workload::SpatialSynthConfig cfg;
+  cfg.grid_width = 12;
+  cfg.grid_height = 12;
+  const auto field = workload::SpatialSynth(cfg).generate(Rng(3));
+  const auto& day = field.loads[field.num_bins() / 2];  // midday
+  const auto& night = field.loads[0];                   // midnight
+  const auto placed = greedy_place(day, 12, 12, 3, rtt_model());
+  const auto re = evaluate_placement(placed.site_cells, night, 12, 12,
+                                     rtt_model());
+  EXPECT_GE(re.mean_rtt, placed.mean_rtt * 0.8);
+  EXPECT_EQ(re.site_cells, placed.site_cells);
+}
+
+TEST(ToDeploymentSpec, CarriesPlacementIntoAdvisorInput) {
+  const auto p = greedy_place(two_hotspots(), 8, 8, 2, rtt_model());
+  const auto spec = to_deployment_spec(p, rtt_model(), 20.0, 13.0, 1);
+  EXPECT_EQ(spec.num_edge_sites, 2);
+  EXPECT_EQ(spec.cloud_servers, 2);
+  EXPECT_NEAR(spec.edge_rtt, p.mean_rtt, 1e-12);
+  EXPECT_NEAR(spec.cloud_rtt, 0.025, 1e-12);
+  EXPECT_EQ(spec.site_weights.size(), 2u);
+  // The spec must be advisable without throwing.
+  const auto report = core::advise(spec);
+  EXPECT_TRUE(report.stable);
+}
+
+TEST(GreedyPlace, SkewIndexReflectsConcentration) {
+  const auto p = greedy_place(corner_load(), 4, 4, 2, rtt_model());
+  EXPECT_GT(p.load_skew, 1.5);  // one site hogs nearly all the load
+}
+
+TEST(GreedyPlace, RejectsInvalidInput) {
+  EXPECT_THROW(greedy_place({}, 0, 0, 1, rtt_model()), ContractViolation);
+  EXPECT_THROW(greedy_place(corner_load(), 4, 4, 0, rtt_model()),
+               ContractViolation);
+  EXPECT_THROW(greedy_place(corner_load(), 4, 4, 17, rtt_model()),
+               ContractViolation);
+  EXPECT_THROW(greedy_place(corner_load(), 5, 4, 1, rtt_model()),
+               ContractViolation);
+}
+
+TEST(EvaluatePlacement, RejectsEmptySites) {
+  EXPECT_THROW(evaluate_placement({}, corner_load(), 4, 4, rtt_model()),
+               ContractViolation);
+}
+
+TEST(GridRttModel, RttGrowsWithDistance) {
+  const auto m = rtt_model();
+  EXPECT_DOUBLE_EQ(m.site_rtt(0.0), 0.001);
+  EXPECT_GT(m.site_rtt(10.0), m.site_rtt(1.0));
+}
+
+}  // namespace
+}  // namespace hce::placement

@@ -1,0 +1,118 @@
+#include "queueing/finite.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "queueing/mm1.hpp"
+#include "queueing/mmk.hpp"
+#include "support/contracts.hpp"
+
+namespace hce::queueing {
+namespace {
+
+TEST(MmkB, ErlangLossMatchesErlangB) {
+  for (int k : {1, 2, 5, 20}) {
+    for (double a : {0.5, 2.0, 10.0}) {
+      const auto q = erlang_loss(a, 1.0, k);
+      EXPECT_NEAR(q.blocking_probability(), erlang_b(a, k), 1e-12)
+          << "k=" << k << " a=" << a;
+    }
+  }
+}
+
+TEST(MmkB, ProbabilitiesSumToOne) {
+  const auto q = MmkB::make(10.0, 13.0, 2, 8);
+  double total = 0.0;
+  for (int n = 0; n <= 8; ++n) total += q.prob_n(n);
+  EXPECT_NEAR(total, 1.0, 1e-12);
+}
+
+TEST(MmkB, MmOneOneKnownForm) {
+  // M/M/1/B: p_n = rho^n (1-rho)/(1-rho^{B+1}).
+  const double rho = 0.8;
+  const int B = 5;
+  const auto q = MmkB::make(rho * 13.0, 13.0, 1, B);
+  const double denom = (1.0 - std::pow(rho, B + 1));
+  for (int n = 0; n <= B; ++n) {
+    EXPECT_NEAR(q.prob_n(n), std::pow(rho, n) * (1.0 - rho) / denom, 1e-12)
+        << n;
+  }
+}
+
+TEST(MmkB, LargeBufferApproachesMmk) {
+  const auto finite = MmkB::make(40.0, 13.0, 5, 500);
+  const auto infinite = Mmk::make(40.0, 13.0, 5);
+  EXPECT_NEAR(finite.blocking_probability(), 0.0, 1e-9);
+  EXPECT_NEAR(finite.mean_wait_accepted(), infinite.mean_wait(),
+              1e-6 + 0.01 * infinite.mean_wait());
+  EXPECT_NEAR(finite.throughput(), 40.0, 1e-6);
+}
+
+TEST(MmkB, OverloadIsWellDefined) {
+  // lambda twice the capacity: the queue saturates, throughput caps near
+  // k*mu, blocking approaches 1 - k*mu/lambda.
+  const auto q = MmkB::make(52.0, 13.0, 2, 20);
+  EXPECT_GT(q.offered_utilization(), 1.9);
+  EXPECT_LT(q.server_utilization(), 1.0);
+  EXPECT_NEAR(q.throughput(), 26.0, 0.5);
+  EXPECT_NEAR(q.blocking_probability(), 1.0 - 26.0 / 52.0, 0.02);
+}
+
+TEST(MmkB, BlockingIncreasesWithLoad) {
+  double prev = 0.0;
+  for (double lambda : {5.0, 10.0, 15.0, 20.0, 30.0}) {
+    const auto q = MmkB::make(lambda, 13.0, 1, 10);
+    EXPECT_GT(q.blocking_probability(), prev);
+    prev = q.blocking_probability();
+  }
+}
+
+TEST(MmkB, BlockingDecreasesWithBuffer) {
+  double prev = 1.0;
+  for (int B : {1, 2, 5, 10, 50}) {
+    const auto q = MmkB::make(10.0, 13.0, 1, B);
+    EXPECT_LT(q.blocking_probability(), prev);
+    prev = q.blocking_probability();
+  }
+}
+
+TEST(MmkB, LittlesLawOnAcceptedTraffic) {
+  const auto q = MmkB::make(20.0, 13.0, 2, 6);
+  EXPECT_NEAR(q.mean_queue_length(),
+              q.throughput() * q.mean_wait_accepted(), 1e-9);
+}
+
+TEST(MmkB, MeanInSystemBounds) {
+  const auto q = MmkB::make(100.0, 13.0, 2, 10);
+  EXPECT_LE(q.mean_in_system(), 10.0);
+  EXPECT_GE(q.mean_in_system(), q.mean_queue_length());
+}
+
+TEST(MmkB, ZeroLoad) {
+  const auto q = MmkB::make(0.0, 13.0, 2, 5);
+  EXPECT_NEAR(q.blocking_probability(), 0.0, 1e-12);
+  EXPECT_NEAR(q.prob_n(0), 1.0, 1e-12);
+  EXPECT_NEAR(q.throughput(), 0.0, 1e-12);
+  EXPECT_NEAR(q.mean_wait_accepted(), 0.0, 1e-12);
+}
+
+TEST(MmkB, DeepOverloadStaysFinite) {
+  // Extreme load with a big buffer must not overflow the weight pass.
+  const auto q = MmkB::make(1e6, 1.0, 4, 2000);
+  EXPECT_GT(q.blocking_probability(), 0.99);
+  EXPECT_TRUE(std::isfinite(q.mean_in_system()));
+}
+
+TEST(MmkB, RejectsInvalid) {
+  EXPECT_THROW(MmkB::make(-1.0, 1.0, 1, 1), ContractViolation);
+  EXPECT_THROW(MmkB::make(1.0, 0.0, 1, 1), ContractViolation);
+  EXPECT_THROW(MmkB::make(1.0, 1.0, 0, 1), ContractViolation);
+  EXPECT_THROW(MmkB::make(1.0, 1.0, 2, 1), ContractViolation);
+  const auto q = MmkB::make(1.0, 1.0, 1, 3);
+  EXPECT_THROW(q.prob_n(-1), ContractViolation);
+  EXPECT_THROW(q.prob_n(4), ContractViolation);
+}
+
+}  // namespace
+}  // namespace hce::queueing

@@ -1,0 +1,190 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "queueing/approx.hpp"
+#include "queueing/mg1.hpp"
+#include "queueing/mm1.hpp"
+#include "queueing/mmk.hpp"
+#include "support/contracts.hpp"
+
+namespace hce::queueing {
+namespace {
+
+TEST(Mg1, ReducesToMm1ForExponentialService) {
+  const auto pk = Mg1::make(8.0, 10.0, 1.0);
+  const auto mm = Mm1::make(8.0, 10.0);
+  EXPECT_NEAR(pk.mean_wait(), mm.mean_wait(), 1e-12);
+}
+
+TEST(Mg1, DeterministicServiceHalvesTheWait) {
+  const auto md = Mg1::make(8.0, 10.0, 0.0);
+  const auto mm = Mm1::make(8.0, 10.0);
+  EXPECT_NEAR(md.mean_wait(), mm.mean_wait() / 2.0, 1e-12);
+  EXPECT_NEAR(md1_mean_wait(8.0, 10.0), md.mean_wait(), 1e-12);
+}
+
+TEST(Mg1, WaitScalesLinearlyInOnePlusScv) {
+  const auto base = Mg1::make(6.0, 13.0, 0.0);
+  const auto v1 = Mg1::make(6.0, 13.0, 1.0);
+  const auto v3 = Mg1::make(6.0, 13.0, 3.0);
+  EXPECT_NEAR(v1.mean_wait(), base.mean_wait() * 2.0, 1e-12);
+  EXPECT_NEAR(v3.mean_wait(), base.mean_wait() * 4.0, 1e-12);
+}
+
+TEST(Mg1, LittlesLawHolds) {
+  const auto q = Mg1::make(6.0, 13.0, 0.25);
+  EXPECT_NEAR(q.mean_queue_length(), 6.0 * q.mean_wait(), 1e-12);
+  EXPECT_NEAR(q.mean_in_system(), 6.0 * q.mean_response(), 1e-12);
+}
+
+TEST(Mg1, RejectsInvalid) {
+  EXPECT_THROW(Mg1::make(10.0, 10.0, 1.0), ContractViolation);
+  EXPECT_THROW(Mg1::make(1.0, 10.0, -0.1), ContractViolation);
+}
+
+TEST(Whitt, PaperEquationSixLiteralValue) {
+  // E[w|w>0] = sqrt(2) / ((1-rho) sqrt(k)).
+  EXPECT_NEAR(whitt_conditional_wait(0.5, 1), std::sqrt(2.0) / 0.5, 1e-12);
+  EXPECT_NEAR(whitt_conditional_wait(0.75, 4),
+              std::sqrt(2.0) / (0.25 * 2.0), 1e-12);
+}
+
+TEST(Whitt, TimeFormScalesByServiceTime) {
+  const double mu = 13.0;
+  EXPECT_NEAR(whitt_conditional_wait_time(0.6, 5, mu),
+              whitt_conditional_wait(0.6, 5) / mu, 1e-12);
+}
+
+TEST(Whitt, DivergesAtSaturation) {
+  EXPECT_GT(whitt_conditional_wait(0.999, 1), 1000.0);
+  EXPECT_THROW(whitt_conditional_wait(1.0, 1), ContractViolation);
+}
+
+TEST(Whitt, DecreasesWithK) {
+  double prev = whitt_conditional_wait(0.8, 1);
+  for (int k = 2; k <= 64; k *= 2) {
+    const double w = whitt_conditional_wait(0.8, k);
+    EXPECT_LT(w, prev);
+    prev = w;
+  }
+}
+
+TEST(Bolch, HighUtilizationBranch) {
+  // rho > 0.7: Ps = (rho^k + rho)/2.
+  EXPECT_NEAR(bolch_wait_probability(0.8, 2), (0.64 + 0.8) / 2.0, 1e-12);
+  EXPECT_NEAR(bolch_wait_probability(0.9, 1), 0.9, 1e-12);
+}
+
+TEST(Bolch, LowUtilizationBranch) {
+  // rho < 0.7: Ps = rho^((k+1)/2).
+  EXPECT_NEAR(bolch_wait_probability(0.5, 3), std::pow(0.5, 2.0), 1e-12);
+  EXPECT_NEAR(bolch_wait_probability(0.4, 1), 0.4, 1e-12);
+}
+
+TEST(Bolch, ApproximatesErlangC) {
+  // The Bolch approximation should track Erlang-C within a modest factor
+  // in its recommended (high-utilization) regime.
+  for (int k : {2, 5, 10}) {
+    for (double rho : {0.75, 0.85, 0.95}) {
+      const double exact = erlang_c(rho * k, k);
+      const double approx = bolch_wait_probability(rho, k);
+      EXPECT_NEAR(approx, exact, 0.35 * exact + 0.05)
+          << "k=" << k << " rho=" << rho;
+    }
+  }
+}
+
+TEST(AllenCunneen, Gg1ReducesToPollaczekKhinchine) {
+  // With Poisson arrivals (cA² = 1), AC G/G/1 is exactly P-K.
+  const double lambda = 8.0, mu = 13.0;
+  for (double cb2 : {0.0, 0.5, 1.0, 2.0}) {
+    const auto pk = Mg1::make(lambda, mu, cb2);
+    EXPECT_NEAR(allen_cunneen_gg1_wait(lambda, mu, 1.0, cb2),
+                pk.mean_wait(), 1e-12)
+        << cb2;
+  }
+}
+
+TEST(AllenCunneen, Gg1ReducesToMm1ForExponentialBoth) {
+  const auto mm = Mm1::make(9.0, 13.0);
+  EXPECT_NEAR(allen_cunneen_gg1_wait(9.0, 13.0, 1.0, 1.0), mm.mean_wait(),
+              1e-12);
+}
+
+TEST(AllenCunneen, GgkTracksErlangCWaitAtHighUtilization) {
+  // M/M/k case (cA²=cB²=1): AC should approximate the exact M/M/k wait.
+  for (int k : {2, 5}) {
+    for (double rho : {0.8, 0.9}) {
+      const double mu = 13.0;
+      const double lambda = rho * mu * k;
+      const auto exact = Mmk::make(lambda, mu, k).mean_wait();
+      const double approx = allen_cunneen_ggk_wait(lambda, mu, k, 1.0, 1.0);
+      EXPECT_NEAR(approx, exact, 0.35 * exact)
+          << "k=" << k << " rho=" << rho;
+    }
+  }
+}
+
+TEST(AllenCunneen, WaitGrowsWithVariability) {
+  const double lambda = 50.0, mu = 13.0;
+  const double low = allen_cunneen_ggk_wait(lambda, mu, 5, 0.5, 0.25);
+  const double high = allen_cunneen_ggk_wait(lambda, mu, 5, 4.0, 2.0);
+  EXPECT_GT(high, low);
+}
+
+TEST(AllenCunneen, RejectsUnstable) {
+  EXPECT_THROW(allen_cunneen_gg1_wait(13.0, 13.0, 1.0, 1.0),
+               ContractViolation);
+  EXPECT_THROW(allen_cunneen_ggk_wait(65.0, 13.0, 5, 1.0, 1.0),
+               ContractViolation);
+}
+
+TEST(Kingman, IsUpperBoundOnMm1Wait) {
+  for (double rho : {0.3, 0.6, 0.9}) {
+    const double mu = 13.0;
+    const auto exact = Mm1::make(rho * mu, mu).mean_wait();
+    EXPECT_GE(kingman_gg1_bound(rho * mu, mu, 1.0, 1.0), exact - 1e-12)
+        << rho;
+  }
+}
+
+TEST(Kingman, EqualsPkFormForPoissonArrivals) {
+  // Kingman with cA²=1 equals the P-K mean wait (it is exact there).
+  const auto pk = Mg1::make(9.0, 13.0, 0.5);
+  EXPECT_NEAR(kingman_gg1_bound(9.0, 13.0, 1.0, 0.5), pk.mean_wait(),
+              1e-12);
+}
+
+TEST(MgkApprox, ExactForSingleServer) {
+  // Lee-Longton reduces to Pollaczek-Khinchine at k = 1.
+  for (double cb2 : {0.0, 0.25, 1.0, 3.0}) {
+    const auto pk = Mg1::make(8.0, 13.0, cb2);
+    EXPECT_NEAR(mgk_wait_approx(8.0, 13.0, 1, cb2), pk.mean_wait(), 1e-12)
+        << cb2;
+  }
+}
+
+TEST(MgkApprox, ExactForExponentialService) {
+  // cb2 = 1 recovers the exact M/M/k wait at any k.
+  for (int k : {2, 5, 10}) {
+    const auto mmk = Mmk::make(0.8 * 13.0 * k, 13.0, k);
+    EXPECT_NEAR(mgk_wait_approx(0.8 * 13.0 * k, 13.0, k, 1.0),
+                mmk.mean_wait(), 1e-12)
+        << k;
+  }
+}
+
+TEST(MgkApprox, DeterministicServiceHalvesTheMultiServerWait) {
+  const double w_det = mgk_wait_approx(40.0, 13.0, 5, 0.0);
+  const double w_exp = mgk_wait_approx(40.0, 13.0, 5, 1.0);
+  EXPECT_NEAR(w_det, w_exp / 2.0, 1e-12);
+}
+
+TEST(MgkApprox, RejectsInvalid) {
+  EXPECT_THROW(mgk_wait_approx(40.0, 13.0, 5, -0.1), ContractViolation);
+  EXPECT_THROW(mgk_wait_approx(65.0, 13.0, 5, 1.0), ContractViolation);
+}
+
+}  // namespace
+}  // namespace hce::queueing

@@ -1,0 +1,95 @@
+#include "queueing/mm1.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "support/contracts.hpp"
+
+namespace hce::queueing {
+namespace {
+
+TEST(Mm1, ClassicTextbookValues) {
+  // lambda = 8, mu = 10: rho = 0.8, Lq = 3.2, Wq = 0.4, W = 0.5.
+  const auto q = Mm1::make(8.0, 10.0);
+  EXPECT_DOUBLE_EQ(q.utilization(), 0.8);
+  EXPECT_NEAR(q.mean_queue_length(), 3.2, 1e-12);
+  EXPECT_NEAR(q.mean_in_system(), 4.0, 1e-12);
+  EXPECT_NEAR(q.mean_wait(), 0.4, 1e-12);
+  EXPECT_NEAR(q.mean_response(), 0.5, 1e-12);
+}
+
+TEST(Mm1, LittlesLawHolds) {
+  const auto q = Mm1::make(5.0, 13.0);
+  EXPECT_NEAR(q.mean_in_system(), 5.0 * q.mean_response(), 1e-12);
+  EXPECT_NEAR(q.mean_queue_length(), 5.0 * q.mean_wait(), 1e-12);
+}
+
+TEST(Mm1, ZeroLoadHasNoQueueing) {
+  const auto q = Mm1::make(0.0, 10.0);
+  EXPECT_DOUBLE_EQ(q.mean_wait(), 0.0);
+  EXPECT_DOUBLE_EQ(q.mean_response(), 0.1);
+}
+
+TEST(Mm1, WaitExplodesNearSaturation) {
+  const auto q = Mm1::make(9.99, 10.0);
+  EXPECT_GT(q.mean_wait(), 50.0);
+}
+
+TEST(Mm1, ConditionalWaitEqualsResponseScale) {
+  const auto q = Mm1::make(6.0, 13.0);
+  EXPECT_NEAR(q.mean_wait_given_wait(), 1.0 / 7.0, 1e-12);
+  // E[Wq] = P(wait) * E[Wq | wait].
+  EXPECT_NEAR(q.mean_wait(), q.prob_wait() * q.mean_wait_given_wait(),
+              1e-12);
+}
+
+TEST(Mm1, ResponseTailIsExponential) {
+  const auto q = Mm1::make(8.0, 10.0);
+  EXPECT_NEAR(q.response_tail(0.0), 1.0, 1e-12);
+  EXPECT_NEAR(q.response_tail(0.5), std::exp(-1.0), 1e-12);
+}
+
+TEST(Mm1, ResponseQuantileInvertsTail) {
+  const auto q = Mm1::make(8.0, 10.0);
+  for (double p : {0.5, 0.9, 0.95, 0.99}) {
+    const double t = q.response_quantile(p);
+    EXPECT_NEAR(1.0 - q.response_tail(t), p, 1e-10) << p;
+  }
+}
+
+TEST(Mm1, WaitDistributionHasAtomAtZero) {
+  const auto q = Mm1::make(6.0, 10.0);  // rho = 0.6
+  EXPECT_NEAR(q.wait_tail(0.0), 0.6, 1e-12);  // P(Wq > 0) = rho
+  EXPECT_DOUBLE_EQ(q.wait_quantile(0.3), 0.0);  // below the atom
+  EXPECT_GT(q.wait_quantile(0.95), 0.0);
+}
+
+TEST(Mm1, WaitQuantileInvertsTail) {
+  const auto q = Mm1::make(9.0, 10.0);
+  const double t = q.wait_quantile(0.95);
+  EXPECT_NEAR(q.wait_tail(t), 0.05, 1e-10);
+}
+
+TEST(Mm1, RejectsUnstableAndInvalid) {
+  EXPECT_THROW(Mm1::make(10.0, 10.0), ContractViolation);
+  EXPECT_THROW(Mm1::make(11.0, 10.0), ContractViolation);
+  EXPECT_THROW(Mm1::make(-1.0, 10.0), ContractViolation);
+  EXPECT_THROW(Mm1::make(1.0, 0.0), ContractViolation);
+}
+
+// Property: mean wait is strictly increasing in utilization.
+class Mm1Monotonicity : public ::testing::TestWithParam<double> {};
+
+TEST_P(Mm1Monotonicity, WaitIncreasesWithLoad) {
+  const double rho = GetParam();
+  const auto lo = Mm1::make(rho * 10.0, 10.0);
+  const auto hi = Mm1::make((rho + 0.05) * 10.0, 10.0);
+  EXPECT_LT(lo.mean_wait(), hi.mean_wait());
+}
+
+INSTANTIATE_TEST_SUITE_P(RhoGrid, Mm1Monotonicity,
+                         ::testing::Values(0.1, 0.3, 0.5, 0.7, 0.85, 0.9));
+
+}  // namespace
+}  // namespace hce::queueing

@@ -1,0 +1,150 @@
+#include "queueing/mmk.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "queueing/mm1.hpp"
+#include "support/contracts.hpp"
+
+namespace hce::queueing {
+namespace {
+
+TEST(ErlangB, KnownValues) {
+  // Classic telephony values: a=2 erlangs, 2 trunks -> B = 0.4.
+  EXPECT_NEAR(erlang_b(2.0, 2), 0.4, 1e-12);
+  // a=1, k=1 -> 0.5; a=0 -> 0.
+  EXPECT_NEAR(erlang_b(1.0, 1), 0.5, 1e-12);
+  EXPECT_NEAR(erlang_b(0.0, 5), 0.0, 1e-12);
+  // k=0 always blocks.
+  EXPECT_NEAR(erlang_b(3.0, 0), 1.0, 1e-12);
+}
+
+TEST(ErlangB, DecreasesWithMoreServers) {
+  double prev = 1.0;
+  for (int k = 1; k <= 20; ++k) {
+    const double b = erlang_b(5.0, k);
+    EXPECT_LT(b, prev);
+    prev = b;
+  }
+}
+
+TEST(ErlangC, KnownValues) {
+  // a = 2, k = 3: C = B/(1 - rho(1-B)) with B = 0.2105...;
+  // standard tabulated value ~0.4444.
+  EXPECT_NEAR(erlang_c(2.0, 3), 4.0 / 9.0, 1e-9);
+  // k=1 reduces to rho.
+  EXPECT_NEAR(erlang_c(0.7, 1), 0.7, 1e-12);
+}
+
+TEST(ErlangC, ZeroLoadNeverWaits) {
+  EXPECT_DOUBLE_EQ(erlang_c(0.0, 4), 0.0);
+}
+
+TEST(ErlangC, RejectsUnstable) {
+  EXPECT_THROW(erlang_c(3.0, 3), ContractViolation);
+}
+
+TEST(ErlangC, StableForLargeK) {
+  // The recursion must not overflow for hundreds of servers.
+  const double c = erlang_c(180.0, 200);
+  EXPECT_GT(c, 0.0);
+  EXPECT_LT(c, 1.0);
+}
+
+TEST(Mmk, ReducesToMm1ForK1) {
+  const auto mmk = Mmk::make(8.0, 10.0, 1);
+  const auto mm1 = Mm1::make(8.0, 10.0);
+  EXPECT_NEAR(mmk.mean_wait(), mm1.mean_wait(), 1e-12);
+  EXPECT_NEAR(mmk.mean_response(), mm1.mean_response(), 1e-12);
+  EXPECT_NEAR(mmk.prob_wait(), mm1.prob_wait(), 1e-12);
+  EXPECT_NEAR(mmk.wait_tail(0.1), mm1.wait_tail(0.1), 1e-12);
+}
+
+TEST(Mmk, TextbookTwoServerExample) {
+  // lambda = 1.2/min, mu = 1/min, k = 2 (Gross & Harris style):
+  // rho = 0.6, C = erlang_c(1.2, 2), Wq = C / (2 - 1.2).
+  const auto q = Mmk::make(1.2, 1.0, 2);
+  const double c = erlang_c(1.2, 2);
+  EXPECT_NEAR(q.prob_wait(), c, 1e-12);
+  EXPECT_NEAR(q.mean_wait(), c / 0.8, 1e-12);
+  EXPECT_NEAR(q.utilization(), 0.6, 1e-12);
+}
+
+TEST(Mmk, LittlesLawHolds) {
+  const auto q = Mmk::make(40.0, 13.0, 5);
+  EXPECT_NEAR(q.mean_queue_length(), 40.0 * q.mean_wait(), 1e-12);
+  EXPECT_NEAR(q.mean_in_system(), 40.0 * q.mean_response(), 1e-12);
+}
+
+TEST(Mmk, PooledQueueBeatsSplitQueues) {
+  // The bank-teller fact the paper builds on: M/M/k wait is below the
+  // M/M/1 wait at the same per-server utilization, for any k > 1.
+  const double mu = 13.0;
+  for (int k : {2, 5, 10, 50}) {
+    for (double rho : {0.5, 0.7, 0.9}) {
+      const auto cloud = Mmk::make(rho * mu * k, mu, k);
+      const auto edge = Mm1::make(rho * mu, mu);
+      EXPECT_LT(cloud.mean_wait(), edge.mean_wait())
+          << "k=" << k << " rho=" << rho;
+    }
+  }
+}
+
+TEST(Mmk, WaitTailAndQuantileAreConsistent) {
+  const auto q = Mmk::make(40.0, 13.0, 5);
+  const double t = q.wait_quantile(0.95);
+  EXPECT_NEAR(q.wait_tail(t), 0.05, 1e-9);
+  // Below the atom the quantile is zero.
+  EXPECT_DOUBLE_EQ(q.wait_quantile(0.1), 0.0);
+}
+
+TEST(Mmk, ResponseTailDecreasesMonotonically) {
+  const auto q = Mmk::make(40.0, 13.0, 5);
+  double prev = 1.0 + 1e-12;
+  for (double t = 0.0; t < 1.0; t += 0.05) {
+    const double tail = q.response_tail(t);
+    EXPECT_LE(tail, prev);
+    EXPECT_GE(tail, 0.0);
+    prev = tail;
+  }
+  EXPECT_NEAR(q.response_tail(0.0), 1.0, 1e-12);
+}
+
+TEST(Mmk, ResponseQuantileInvertsTail) {
+  const auto q = Mmk::make(40.0, 13.0, 5);
+  for (double p : {0.5, 0.9, 0.95, 0.99}) {
+    const double t = q.response_quantile(p);
+    EXPECT_NEAR(1.0 - q.response_tail(t), p, 1e-7) << p;
+  }
+}
+
+TEST(Mmk, ResponseTailHandlesThetaEqualMu) {
+  // theta = k mu - lambda == mu  <=>  lambda = (k-1) mu.
+  const auto q = Mmk::make(13.0, 13.0, 2);
+  EXPECT_NEAR(q.response_tail(0.0), 1.0, 1e-12);
+  EXPECT_GT(q.response_tail(0.05), 0.0);
+}
+
+TEST(Mmk, RejectsInvalid) {
+  EXPECT_THROW(Mmk::make(10.0, 1.0, 5), ContractViolation);  // unstable
+  EXPECT_THROW(Mmk::make(1.0, 1.0, 0), ContractViolation);
+  EXPECT_THROW(Mmk::make(-1.0, 1.0, 2), ContractViolation);
+}
+
+// Property: at fixed per-server utilization, pooling gain grows with k.
+class PoolingGain : public ::testing::TestWithParam<int> {};
+
+TEST_P(PoolingGain, WaitDecreasesWithK) {
+  const int k = GetParam();
+  const double mu = 13.0, rho = 0.8;
+  const auto small = Mmk::make(rho * mu * k, mu, k);
+  const auto large = Mmk::make(rho * mu * (k + 1), mu, k + 1);
+  EXPECT_GT(small.mean_wait(), large.mean_wait());
+}
+
+INSTANTIATE_TEST_SUITE_P(Ks, PoolingGain,
+                         ::testing::Values(1, 2, 3, 5, 8, 13, 21));
+
+}  // namespace
+}  // namespace hce::queueing

@@ -1,0 +1,138 @@
+#include "stats/autocorr.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "cluster/source.hpp"
+#include "des/simulation.hpp"
+#include "des/station.hpp"
+#include "dist/distribution.hpp"
+#include "support/contracts.hpp"
+#include "support/rng.hpp"
+#include "workload/arrival.hpp"
+#include "workload/service.hpp"
+
+namespace hce::stats {
+namespace {
+
+std::vector<double> iid_sample(int n, std::uint64_t seed) {
+  Rng rng(seed);
+  auto d = dist::exponential(1.0);
+  std::vector<double> v;
+  v.reserve(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) v.push_back(d->sample(rng));
+  return v;
+}
+
+// AR(1) process with coefficient phi: rho(k) = phi^k, IAT = (1+phi)/(1-phi).
+std::vector<double> ar1_sample(int n, double phi, std::uint64_t seed) {
+  Rng rng(seed);
+  std::normal_distribution<double> noise(0.0, 1.0);
+  std::vector<double> v;
+  v.reserve(static_cast<std::size_t>(n));
+  double x = 0.0;
+  for (int i = 0; i < n; ++i) {
+    x = phi * x + noise(rng.engine());
+    v.push_back(x);
+  }
+  return v;
+}
+
+TEST(Autocorrelation, LagZeroIsOne) {
+  const auto v = iid_sample(1000, 1);
+  EXPECT_DOUBLE_EQ(autocorrelation(v, 0), 1.0);
+}
+
+TEST(Autocorrelation, IidIsNearZeroAtPositiveLags) {
+  const auto v = iid_sample(50000, 2);
+  for (std::size_t lag : {1u, 5u, 20u}) {
+    EXPECT_NEAR(autocorrelation(v, lag), 0.0, 0.02) << lag;
+  }
+}
+
+TEST(Autocorrelation, Ar1MatchesPhiPowers) {
+  const double phi = 0.8;
+  const auto v = ar1_sample(200000, phi, 3);
+  EXPECT_NEAR(autocorrelation(v, 1), phi, 0.02);
+  EXPECT_NEAR(autocorrelation(v, 2), phi * phi, 0.03);
+  EXPECT_NEAR(autocorrelation(v, 5), std::pow(phi, 5), 0.04);
+}
+
+TEST(Autocorrelation, ConstantSeriesIsDegenerate) {
+  const std::vector<double> v(100, 3.0);
+  EXPECT_DOUBLE_EQ(autocorrelation(v, 0), 1.0);
+  EXPECT_DOUBLE_EQ(autocorrelation(v, 3), 0.0);
+}
+
+TEST(AutocorrelationFunction, HasRequestedLength) {
+  const auto v = iid_sample(1000, 4);
+  const auto acf = autocorrelation_function(v, 10);
+  ASSERT_EQ(acf.size(), 11u);
+  EXPECT_DOUBLE_EQ(acf[0], 1.0);
+}
+
+TEST(Iat, NearOneForIidData) {
+  const auto v = iid_sample(50000, 5);
+  EXPECT_NEAR(integrated_autocorrelation_time(v), 1.0, 0.2);
+}
+
+TEST(Iat, MatchesAr1ClosedForm) {
+  const double phi = 0.7;  // IAT = (1+phi)/(1-phi) = 5.67
+  const auto v = ar1_sample(300000, phi, 6);
+  EXPECT_NEAR(integrated_autocorrelation_time(v),
+              (1.0 + phi) / (1.0 - phi), 0.6);
+}
+
+TEST(Iat, AtLeastOne) {
+  // Alternating series has negative lag-1 correlation; IAT clamps at 1.
+  std::vector<double> v;
+  for (int i = 0; i < 1000; ++i) v.push_back(i % 2 == 0 ? 1.0 : -1.0);
+  EXPECT_GE(integrated_autocorrelation_time(v), 1.0);
+}
+
+TEST(EffectiveSampleSize, ShrinksWithCorrelation) {
+  const auto iid = iid_sample(20000, 7);
+  const auto corr = ar1_sample(20000, 0.9, 7);
+  EXPECT_GT(effective_sample_size(iid), 0.7 * 20000);
+  EXPECT_LT(effective_sample_size(corr), 0.25 * 20000);
+}
+
+TEST(EffectiveSampleSize, QueueWaitsAreHeavilyCorrelated) {
+  // Waiting times from a hot M/M/1 are the motivating case: n_eff << n.
+  des::Simulation sim;
+  des::Station st(sim, "s", 1);
+  std::vector<double> waits;
+  st.set_completion_handler(
+      [&](const des::Request& r) { waits.push_back(r.waiting_time()); });
+  Rng rng(8);
+  cluster::Source src(
+      sim, workload::poisson(0.9 * 13.0),
+      workload::from_distribution(dist::exponential(1.0 / 13.0)), 0,
+      [&](des::Request r) { st.arrive(std::move(r)); }, rng.stream("src"));
+  src.start(5000.0);
+  sim.run();
+  ASSERT_GT(waits.size(), 10000u);
+  EXPECT_LT(effective_sample_size(waits),
+            0.2 * static_cast<double>(waits.size()));
+}
+
+TEST(SuggestedBatchCount, IidGetsManyBatchesCorrelatedGetsFew) {
+  const auto iid = iid_sample(5000, 9);
+  EXPECT_EQ(suggested_batch_count(iid), 64);  // clamped at the max
+  const auto corr = ar1_sample(5000, 0.95, 9);
+  EXPECT_LT(suggested_batch_count(corr), 20);
+  EXPECT_GE(suggested_batch_count(corr), 2);
+}
+
+TEST(Contracts, RejectDegenerateInputs) {
+  EXPECT_THROW(autocorrelation({1.0}, 0), ContractViolation);
+  EXPECT_THROW(autocorrelation({1.0, 2.0}, 2), ContractViolation);
+  EXPECT_THROW(integrated_autocorrelation_time({1.0, 2.0}),
+               ContractViolation);
+  EXPECT_THROW(suggested_batch_count({1.0, 2.0}), ContractViolation);
+}
+
+}  // namespace
+}  // namespace hce::stats

@@ -1,0 +1,113 @@
+#include "stats/boxplot.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "dist/distribution.hpp"
+#include "support/contracts.hpp"
+#include "support/rng.hpp"
+
+namespace hce::stats {
+namespace {
+
+TEST(BoxSummary, QuartilesOfSimpleSample) {
+  const auto b = box_summary({1.0, 2.0, 3.0, 4.0, 5.0});
+  EXPECT_DOUBLE_EQ(b.median, 3.0);
+  EXPECT_DOUBLE_EQ(b.q1, 2.0);
+  EXPECT_DOUBLE_EQ(b.q3, 4.0);
+  EXPECT_DOUBLE_EQ(b.min, 1.0);
+  EXPECT_DOUBLE_EQ(b.max, 5.0);
+  EXPECT_DOUBLE_EQ(b.mean, 3.0);
+  EXPECT_EQ(b.n, 5u);
+  EXPECT_EQ(b.outliers, 0u);
+}
+
+TEST(BoxSummary, DetectsOutliersBeyondFences) {
+  std::vector<double> v{1.0, 2.0, 2.0, 3.0, 3.0, 3.0, 4.0, 4.0, 5.0, 100.0};
+  const auto b = box_summary(v);
+  EXPECT_EQ(b.outliers, 1u);
+  EXPECT_LT(b.whisker_hi, 100.0);
+  EXPECT_DOUBLE_EQ(b.max, 100.0);
+}
+
+TEST(BoxSummary, WhiskersInsideFences) {
+  Rng rng(5);
+  auto d = dist::lognormal(1.0, 1.5);
+  std::vector<double> v;
+  for (int i = 0; i < 5000; ++i) v.push_back(d->sample(rng));
+  const auto b = box_summary(v);
+  const double hi_fence = b.q3 + 1.5 * b.iqr();
+  const double lo_fence = b.q1 - 1.5 * b.iqr();
+  EXPECT_LE(b.whisker_hi, hi_fence);
+  EXPECT_GE(b.whisker_lo, lo_fence);
+  EXPECT_GE(b.whisker_lo, b.min);
+  EXPECT_LE(b.whisker_hi, b.max);
+}
+
+TEST(BoxSummary, RejectsEmpty) {
+  EXPECT_THROW(box_summary({}), ContractViolation);
+}
+
+TEST(BoxSummary, ConstantSampleDegeneratesGracefully) {
+  const auto b = box_summary({2.0, 2.0, 2.0});
+  EXPECT_DOUBLE_EQ(b.median, 2.0);
+  EXPECT_DOUBLE_EQ(b.iqr(), 0.0);
+  EXPECT_EQ(b.outliers, 0u);
+}
+
+TEST(ViolinSummary, DensityIntegratesToApproximatelyOne) {
+  Rng rng(7);
+  auto d = dist::gamma(1.0, 0.5);
+  std::vector<double> v;
+  for (int i = 0; i < 3000; ++i) v.push_back(d->sample(rng));
+  const auto vio = violin_summary(v, 128);
+  double integral = 0.0;
+  for (std::size_t i = 1; i < vio.grid.size(); ++i) {
+    integral += 0.5 * (vio.density[i] + vio.density[i - 1]) *
+                (vio.grid[i] - vio.grid[i - 1]);
+  }
+  // Tails beyond the whiskers are truncated, so a bit below 1.
+  EXPECT_GT(integral, 0.85);
+  EXPECT_LT(integral, 1.05);
+}
+
+TEST(ViolinSummary, PeakNearModeOfUnimodalSample) {
+  Rng rng(11);
+  auto d = dist::gamma(5.0, 0.2);  // tight around 5
+  std::vector<double> v;
+  for (int i = 0; i < 4000; ++i) v.push_back(d->sample(rng));
+  const auto vio = violin_summary(v, 128);
+  std::size_t argmax = 0;
+  for (std::size_t i = 0; i < vio.density.size(); ++i) {
+    if (vio.density[i] > vio.density[argmax]) argmax = i;
+  }
+  EXPECT_NEAR(vio.grid[argmax], 5.0, 1.0);
+}
+
+TEST(ViolinSummary, EmbedsBoxSummary) {
+  const auto vio = violin_summary({1.0, 2.0, 3.0, 4.0, 5.0});
+  EXPECT_DOUBLE_EQ(vio.box.median, 3.0);
+  EXPECT_GT(vio.bandwidth, 0.0);
+}
+
+TEST(ViolinSummary, GridIsMonotone) {
+  const auto vio = violin_summary({1.0, 5.0, 2.0, 4.0, 3.0}, 32);
+  for (std::size_t i = 1; i < vio.grid.size(); ++i) {
+    EXPECT_LT(vio.grid[i - 1], vio.grid[i]);
+  }
+}
+
+TEST(RenderViolin, ProducesBars) {
+  Rng rng(3);
+  auto d = dist::exponential(0.05);
+  std::vector<double> v;
+  for (int i = 0; i < 500; ++i) v.push_back(d->sample(rng));
+  const auto vio = violin_summary(v, 64);
+  const std::string s = render_violin(vio);
+  EXPECT_NE(s.find('*'), std::string::npos);
+}
+
+}  // namespace
+}  // namespace hce::stats

@@ -1,0 +1,112 @@
+#include "stats/ci.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numeric>
+#include <vector>
+
+#include "dist/distribution.hpp"
+#include "stats/quantiles.hpp"
+#include "support/contracts.hpp"
+#include "support/rng.hpp"
+
+namespace hce::stats {
+namespace {
+
+TEST(TCritical, MatchesTabulatedValues95) {
+  // Standard two-sided t table at 95%.
+  EXPECT_NEAR(t_critical(1, 0.95), 12.706, 0.05);
+  EXPECT_NEAR(t_critical(2, 0.95), 4.303, 0.02);
+  EXPECT_NEAR(t_critical(5, 0.95), 2.571, 0.02);
+  EXPECT_NEAR(t_critical(10, 0.95), 2.228, 0.01);
+  EXPECT_NEAR(t_critical(30, 0.95), 2.042, 0.01);
+  EXPECT_NEAR(t_critical(120, 0.95), 1.980, 0.01);
+}
+
+TEST(TCritical, MatchesTabulatedValues99) {
+  EXPECT_NEAR(t_critical(10, 0.99), 3.169, 0.02);
+  EXPECT_NEAR(t_critical(30, 0.99), 2.750, 0.02);
+}
+
+TEST(TCritical, ApproachesNormalForLargeDf) {
+  EXPECT_NEAR(t_critical(100000, 0.95), 1.960, 0.002);
+}
+
+TEST(TCritical, RejectsBadInputs) {
+  EXPECT_THROW(t_critical(0, 0.95), ContractViolation);
+  EXPECT_THROW(t_critical(5, 1.0), ContractViolation);
+}
+
+TEST(ReplicationCi, KnownSmallSample) {
+  // means = {10, 12, 14}: mean 12, sd 2, hw = t(2,.95) * 2/sqrt(3).
+  const auto ci = replication_ci({10.0, 12.0, 14.0});
+  EXPECT_DOUBLE_EQ(ci.mean, 12.0);
+  EXPECT_NEAR(ci.half_width, 4.303 * 2.0 / std::sqrt(3.0), 0.02);
+  EXPECT_TRUE(ci.contains(12.0));
+  EXPECT_FALSE(ci.contains(100.0));
+}
+
+TEST(ReplicationCi, RequiresTwoReplications) {
+  EXPECT_THROW(replication_ci({1.0}), ContractViolation);
+}
+
+TEST(ReplicationCi, CoverageIsApproximatelyNominal) {
+  // Repeatedly build CIs from 10 replication means of a known-mean
+  // distribution; ~95% should contain the true mean.
+  Rng rng(77);
+  auto d = dist::exponential(1.0);
+  int covered = 0;
+  const int trials = 400;
+  for (int t = 0; t < trials; ++t) {
+    std::vector<double> means;
+    for (int r = 0; r < 10; ++r) {
+      double sum = 0.0;
+      for (int i = 0; i < 50; ++i) sum += d->sample(rng);
+      means.push_back(sum / 50.0);
+    }
+    if (replication_ci(means).contains(1.0)) ++covered;
+  }
+  const double coverage = static_cast<double>(covered) / trials;
+  EXPECT_GT(coverage, 0.90);
+  EXPECT_LT(coverage, 0.99);
+}
+
+TEST(BatchMeansCi, MatchesReplicationCiOnIidBatches) {
+  Rng rng(5);
+  auto d = dist::uniform(0.0, 2.0);
+  std::vector<double> obs;
+  for (int i = 0; i < 2000; ++i) obs.push_back(d->sample(rng));
+  const auto ci = batch_means_ci(obs, 20);
+  EXPECT_NEAR(ci.mean, 1.0, 0.05);
+  EXPECT_GT(ci.half_width, 0.0);
+  EXPECT_LT(ci.half_width, 0.1);
+}
+
+TEST(BatchMeansCi, RejectsTooFewObservations) {
+  EXPECT_THROW(batch_means_ci({1.0, 2.0}, 10), ContractViolation);
+}
+
+TEST(BootstrapCi, MedianCiContainsTrueMedian) {
+  Rng rng(9);
+  auto d = dist::lognormal(1.0, 0.8);
+  std::vector<double> sample;
+  for (int i = 0; i < 2000; ++i) sample.push_back(d->sample(rng));
+  const auto stat = [](const std::vector<double>& v) {
+    return quantile(v, 0.5);
+  };
+  const auto ci = bootstrap_ci(sample, stat, Rng(1), 200);
+  // True median of lognormal(mean=1, cov=0.8) = mean / sqrt(1+cov^2).
+  const double true_median = 1.0 / std::sqrt(1.0 + 0.64);
+  EXPECT_NEAR(ci.mean, true_median, 0.1);
+  EXPECT_GT(ci.half_width, 0.0);
+}
+
+TEST(BootstrapCi, RejectsEmptySample) {
+  EXPECT_THROW(bootstrap_ci({}, [](const std::vector<double>&) { return 0.0; },
+                            Rng(1)),
+               ContractViolation);
+}
+
+}  // namespace
+}  // namespace hce::stats

@@ -1,0 +1,103 @@
+#include "stats/histogram.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "dist/distribution.hpp"
+#include "stats/quantiles.hpp"
+#include "support/contracts.hpp"
+#include "support/rng.hpp"
+
+namespace hce::stats {
+namespace {
+
+TEST(LatencyHistogram, CountsAndMean) {
+  LatencyHistogram h;
+  h.add(0.001);
+  h.add(0.002);
+  h.add(0.003);
+  EXPECT_EQ(h.count(), 3u);
+  EXPECT_NEAR(h.mean_estimate(), 0.002, 1e-12);
+}
+
+TEST(LatencyHistogram, QuantileWithinBucketResolution) {
+  LatencyHistogram h(1e-6, 32);
+  Rng rng(1);
+  auto d = dist::lognormal(0.050, 0.7);
+  std::vector<double> sample;
+  for (int i = 0; i < 50000; ++i) {
+    const double x = d->sample(rng);
+    h.add(x);
+    sample.push_back(x);
+  }
+  for (double q : {0.5, 0.9, 0.95, 0.99}) {
+    const double exact = quantile(sample, q);
+    // 32 buckets/decade => ~7.5% relative bucket width.
+    EXPECT_NEAR(h.quantile(q), exact, 0.08 * exact) << "q=" << q;
+  }
+}
+
+TEST(LatencyHistogram, ValuesBelowMinClampIntoUnderflowBucket) {
+  LatencyHistogram h(1e-3, 8, 3);
+  h.add(1e-9);
+  EXPECT_EQ(h.count(), 1u);
+  EXPECT_EQ(h.bucket_count(0), 1u);
+}
+
+TEST(LatencyHistogram, ValuesAboveRangeClampIntoLastBucket) {
+  LatencyHistogram h(1e-3, 8, 2);  // covers up to 0.1
+  h.add(1e6);
+  EXPECT_EQ(h.bucket_count(h.num_buckets() - 1), 1u);
+}
+
+TEST(LatencyHistogram, MergeAddsCounts) {
+  LatencyHistogram a, b;
+  a.add(0.010);
+  b.add(0.020);
+  b.add(0.030);
+  a.merge(b);
+  EXPECT_EQ(a.count(), 3u);
+  EXPECT_NEAR(a.mean_estimate(), 0.020, 1e-12);
+}
+
+TEST(LatencyHistogram, MergeRejectsDifferentLayouts) {
+  LatencyHistogram a(1e-6, 32), b(1e-6, 16);
+  EXPECT_THROW(a.merge(b), ContractViolation);
+}
+
+TEST(LatencyHistogram, BucketEdgesAreMonotone) {
+  LatencyHistogram h;
+  for (int i = 1; i < h.num_buckets(); ++i) {
+    EXPECT_LT(h.bucket_lower(i), h.bucket_upper(i));
+    EXPECT_DOUBLE_EQ(h.bucket_upper(i - 1), h.bucket_lower(i));
+  }
+}
+
+TEST(LatencyHistogram, QuantileOfEmptyThrows) {
+  LatencyHistogram h;
+  EXPECT_THROW(h.quantile(0.5), ContractViolation);
+}
+
+TEST(LatencyHistogram, RenderProducesNonEmptyOutput) {
+  LatencyHistogram h;
+  Rng rng(2);
+  auto d = dist::exponential(0.02);
+  for (int i = 0; i < 1000; ++i) h.add(d->sample(rng));
+  const std::string s = h.render();
+  EXPECT_NE(s.find('#'), std::string::npos);
+}
+
+TEST(LatencyHistogram, RenderOfEmptyIsGraceful) {
+  LatencyHistogram h;
+  EXPECT_EQ(h.render(), "(empty histogram)\n");
+}
+
+TEST(LatencyHistogram, RejectsNonFinite) {
+  LatencyHistogram h;
+  EXPECT_THROW(h.add(std::numeric_limits<double>::infinity()),
+               ContractViolation);
+}
+
+}  // namespace
+}  // namespace hce::stats

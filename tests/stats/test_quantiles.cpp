@@ -1,0 +1,124 @@
+#include "stats/quantiles.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <tuple>
+#include <vector>
+
+#include "dist/distribution.hpp"
+#include "support/contracts.hpp"
+#include "support/rng.hpp"
+
+namespace hce::stats {
+namespace {
+
+TEST(Quantile, MedianOfOddSample) {
+  EXPECT_DOUBLE_EQ(quantile({3.0, 1.0, 2.0}, 0.5), 2.0);
+}
+
+TEST(Quantile, Type7InterpolationMatchesNumpy) {
+  // numpy.quantile([1,2,3,4], 0.25) == 1.75 with default interpolation.
+  EXPECT_DOUBLE_EQ(quantile({1.0, 2.0, 3.0, 4.0}, 0.25), 1.75);
+  EXPECT_DOUBLE_EQ(quantile({1.0, 2.0, 3.0, 4.0}, 0.5), 2.5);
+}
+
+TEST(Quantile, ExtremesAreMinAndMax) {
+  const std::vector<double> v{5.0, 1.0, 9.0};
+  EXPECT_DOUBLE_EQ(quantile(v, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(quantile(v, 1.0), 9.0);
+}
+
+TEST(Quantile, SingleElement) {
+  EXPECT_DOUBLE_EQ(quantile({7.0}, 0.99), 7.0);
+}
+
+TEST(Quantile, RejectsEmptySample) {
+  EXPECT_THROW(quantile({}, 0.5), ContractViolation);
+}
+
+TEST(Quantile, RejectsOutOfRangeProbability) {
+  EXPECT_THROW(quantile({1.0}, -0.1), ContractViolation);
+  EXPECT_THROW(quantile({1.0}, 1.1), ContractViolation);
+}
+
+TEST(Quantiles, BatchMatchesIndividual) {
+  const std::vector<double> v{4.0, 8.0, 15.0, 16.0, 23.0, 42.0};
+  const auto qs = quantiles(v, {0.1, 0.5, 0.9});
+  EXPECT_DOUBLE_EQ(qs[0], quantile(v, 0.1));
+  EXPECT_DOUBLE_EQ(qs[1], quantile(v, 0.5));
+  EXPECT_DOUBLE_EQ(qs[2], quantile(v, 0.9));
+}
+
+TEST(QuantileSorted, AgreesWithQuantile) {
+  std::vector<double> v{9.0, 2.0, 5.0, 7.0, 1.0};
+  const double q = quantile(v, 0.3);
+  std::sort(v.begin(), v.end());
+  EXPECT_DOUBLE_EQ(quantile_sorted(v, 0.3), q);
+}
+
+TEST(P2Quantile, ExactForFewerThanFiveSamples) {
+  P2Quantile p(0.5);
+  p.add(3.0);
+  p.add(1.0);
+  EXPECT_DOUBLE_EQ(p.value(), 2.0);
+}
+
+TEST(P2Quantile, RejectsDegenerateProbability) {
+  EXPECT_THROW(P2Quantile(0.0), ContractViolation);
+  EXPECT_THROW(P2Quantile(1.0), ContractViolation);
+}
+
+TEST(P2Quantile, RejectsValueWithNoSamples) {
+  P2Quantile p(0.5);
+  EXPECT_THROW(p.value(), ContractViolation);
+}
+
+TEST(P2Quantile, CountsSamples) {
+  P2Quantile p(0.9);
+  for (int i = 0; i < 42; ++i) p.add(i);
+  EXPECT_EQ(p.count(), 42u);
+  EXPECT_DOUBLE_EQ(p.probability(), 0.9);
+}
+
+// Property suite: P² tracks exact quantiles within a few percent across
+// distributions and probabilities.
+class P2Accuracy
+    : public ::testing::TestWithParam<std::tuple<const char*, double>> {};
+
+TEST_P(P2Accuracy, TracksExactQuantile) {
+  const auto [dist_name, q] = GetParam();
+  dist::DistPtr d;
+  if (std::string(dist_name) == "exp") d = dist::exponential(1.0);
+  if (std::string(dist_name) == "uniform") d = dist::uniform(0.0, 1.0);
+  if (std::string(dist_name) == "lognormal") d = dist::lognormal(1.0, 0.8);
+  ASSERT_NE(d, nullptr);
+
+  Rng rng(2024);
+  P2Quantile p2(q);
+  std::vector<double> sample;
+  const int n = 30000;
+  sample.reserve(n);
+  for (int i = 0; i < n; ++i) {
+    const double x = d->sample(rng);
+    p2.add(x);
+    sample.push_back(x);
+  }
+  const double exact = quantile(std::move(sample), q);
+  EXPECT_NEAR(p2.value(), exact, std::max(0.05 * exact, 0.01))
+      << dist_name << " q=" << q;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    DistributionsAndProbabilities, P2Accuracy,
+    ::testing::Combine(::testing::Values("exp", "uniform", "lognormal"),
+                       ::testing::Values(0.5, 0.9, 0.95, 0.99)),
+    [](const auto& info) {
+      const std::string d = std::get<0>(info.param);
+      const int pct = static_cast<int>(std::get<1>(info.param) * 100 + 0.5);
+      return d + "_p" + std::to_string(pct);
+    });
+
+}  // namespace
+}  // namespace hce::stats

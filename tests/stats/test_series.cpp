@@ -1,0 +1,71 @@
+#include "stats/series.hpp"
+
+#include <gtest/gtest.h>
+
+#include "support/contracts.hpp"
+
+namespace hce::stats {
+namespace {
+
+TEST(BinnedSeries, CountsEventsIntoCorrectBins) {
+  BinnedSeries s(0.0, 60.0, 3);
+  s.count_event(10.0);
+  s.count_event(59.9);
+  s.count_event(60.0);
+  s.count_event(150.0);
+  EXPECT_EQ(s.count(0), 2u);
+  EXPECT_EQ(s.count(1), 1u);
+  EXPECT_EQ(s.count(2), 1u);
+}
+
+TEST(BinnedSeries, MeansPerBin) {
+  BinnedSeries s(0.0, 1.0, 2);
+  s.add(0.5, 10.0);
+  s.add(0.6, 20.0);
+  s.add(1.5, 7.0);
+  EXPECT_DOUBLE_EQ(s.mean(0), 15.0);
+  EXPECT_DOUBLE_EQ(s.mean(1), 7.0);
+  EXPECT_DOUBLE_EQ(s.sum(0), 30.0);
+}
+
+TEST(BinnedSeries, EmptyBinMeanIsZero) {
+  BinnedSeries s(0.0, 1.0, 2);
+  EXPECT_DOUBLE_EQ(s.mean(0), 0.0);
+}
+
+TEST(BinnedSeries, OutOfRangeClampsToEdges) {
+  BinnedSeries s(10.0, 1.0, 2);
+  s.count_event(0.0);    // before start -> bin 0
+  s.count_event(100.0);  // after end -> last bin
+  EXPECT_EQ(s.count(0), 1u);
+  EXPECT_EQ(s.count(1), 1u);
+}
+
+TEST(BinnedSeries, BinStartsAreCorrect) {
+  BinnedSeries s(100.0, 5.0, 3);
+  EXPECT_DOUBLE_EQ(s.bin_start(0), 100.0);
+  EXPECT_DOUBLE_EQ(s.bin_start(2), 110.0);
+  EXPECT_DOUBLE_EQ(s.bin_width(), 5.0);
+}
+
+TEST(BinnedSeries, VectorsHaveBinLength) {
+  BinnedSeries s(0.0, 1.0, 4);
+  s.add(2.5, 3.0);
+  EXPECT_EQ(s.counts_per_bin().size(), 4u);
+  EXPECT_EQ(s.means_per_bin().size(), 4u);
+  EXPECT_DOUBLE_EQ(s.means_per_bin()[2], 3.0);
+}
+
+TEST(BinnedSeries, RejectsInvalidConstruction) {
+  EXPECT_THROW(BinnedSeries(0.0, 0.0, 5), ContractViolation);
+  EXPECT_THROW(BinnedSeries(0.0, 1.0, 0), ContractViolation);
+}
+
+TEST(BinnedSeries, RejectsOutOfRangeIndex) {
+  BinnedSeries s(0.0, 1.0, 2);
+  EXPECT_THROW(s.mean(2), ContractViolation);
+  EXPECT_THROW(s.bin_start(5), ContractViolation);
+}
+
+}  // namespace
+}  // namespace hce::stats

@@ -1,0 +1,72 @@
+#include "stats/timeweighted.hpp"
+
+#include <gtest/gtest.h>
+
+#include "support/contracts.hpp"
+
+namespace hce::stats {
+namespace {
+
+TEST(TimeWeighted, ConstantLevelAveragesToItself) {
+  TimeWeighted tw(0.0, 3.0);
+  EXPECT_DOUBLE_EQ(tw.average(10.0), 3.0);
+}
+
+TEST(TimeWeighted, StepFunctionAverage) {
+  TimeWeighted tw(0.0, 0.0);
+  tw.set(2.0, 4.0);  // level 0 for [0,2), 4 for [2,10)
+  EXPECT_DOUBLE_EQ(tw.average(10.0), (0.0 * 2.0 + 4.0 * 8.0) / 10.0);
+}
+
+TEST(TimeWeighted, AdjustAccumulatesDeltas) {
+  TimeWeighted tw(0.0, 1.0);
+  tw.adjust(1.0, +2.0);  // 3 from t=1
+  tw.adjust(3.0, -1.0);  // 2 from t=3
+  EXPECT_DOUBLE_EQ(tw.current(), 2.0);
+  EXPECT_DOUBLE_EQ(tw.integral(4.0), 1.0 * 1.0 + 3.0 * 2.0 + 2.0 * 1.0);
+}
+
+TEST(TimeWeighted, ResetDiscardsHistoryKeepsLevel) {
+  TimeWeighted tw(0.0, 5.0);
+  tw.set(10.0, 1.0);
+  tw.reset(10.0);
+  EXPECT_DOUBLE_EQ(tw.current(), 1.0);
+  EXPECT_DOUBLE_EQ(tw.average(20.0), 1.0);
+  EXPECT_DOUBLE_EQ(tw.integral(20.0), 10.0);
+}
+
+TEST(TimeWeighted, TracksMaximum) {
+  TimeWeighted tw(0.0, 0.0);
+  tw.set(1.0, 7.0);
+  tw.set(2.0, 3.0);
+  EXPECT_DOUBLE_EQ(tw.max(), 7.0);
+}
+
+TEST(TimeWeighted, ResetClearsMaxToCurrentLevel) {
+  TimeWeighted tw(0.0, 0.0);
+  tw.set(1.0, 9.0);
+  tw.set(2.0, 2.0);
+  tw.reset(2.0);
+  EXPECT_DOUBLE_EQ(tw.max(), 2.0);
+}
+
+TEST(TimeWeighted, AverageAtStartReturnsLevel) {
+  TimeWeighted tw(5.0, 2.5);
+  EXPECT_DOUBLE_EQ(tw.average(5.0), 2.5);
+}
+
+TEST(TimeWeighted, RejectsTimeGoingBackwards) {
+  TimeWeighted tw(10.0, 0.0);
+  EXPECT_THROW(tw.set(9.0, 1.0), ContractViolation);
+  EXPECT_THROW(tw.average(9.0), ContractViolation);
+}
+
+TEST(TimeWeighted, ZeroDurationSegmentsAreHarmless) {
+  TimeWeighted tw(0.0, 1.0);
+  tw.set(2.0, 5.0);
+  tw.set(2.0, 7.0);  // same timestamp: replaces level without weight
+  EXPECT_DOUBLE_EQ(tw.average(4.0), (1.0 * 2.0 + 7.0 * 2.0) / 4.0);
+}
+
+}  // namespace
+}  // namespace hce::stats

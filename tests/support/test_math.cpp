@@ -1,0 +1,165 @@
+#include "support/math.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "support/contracts.hpp"
+
+namespace hce {
+namespace {
+
+TEST(Bisect, FindsRootOfLinearFunction) {
+  const auto r = bisect([](double x) { return x - 3.0; }, 0.0, 10.0);
+  EXPECT_TRUE(r.converged);
+  EXPECT_NEAR(r.x, 3.0, 1e-9);
+}
+
+TEST(Bisect, FindsRootOfTranscendentalFunction) {
+  const auto r = bisect([](double x) { return std::cos(x); }, 0.0, 3.0);
+  EXPECT_TRUE(r.converged);
+  EXPECT_NEAR(r.x, M_PI / 2.0, 1e-8);
+}
+
+TEST(Bisect, ExactRootAtEndpointReturnsImmediately) {
+  const auto r = bisect([](double x) { return x; }, 0.0, 1.0);
+  EXPECT_TRUE(r.converged);
+  EXPECT_DOUBLE_EQ(r.x, 0.0);
+  EXPECT_EQ(r.iterations, 0);
+}
+
+TEST(Bisect, RequiresSignChange) {
+  EXPECT_THROW(bisect([](double) { return 1.0; }, 0.0, 1.0),
+               ContractViolation);
+}
+
+TEST(Bisect, RequiresOrderedBracket) {
+  EXPECT_THROW(bisect([](double x) { return x; }, 1.0, 0.0),
+               ContractViolation);
+}
+
+TEST(Brent, ConvergesFasterThanBisectOnSmoothFunction) {
+  int brent_calls = 0;
+  int bisect_calls = 0;
+  auto f_brent = [&](double x) {
+    ++brent_calls;
+    return x * x * x - 2.0 * x - 5.0;
+  };
+  auto f_bisect = [&](double x) {
+    ++bisect_calls;
+    return x * x * x - 2.0 * x - 5.0;
+  };
+  const auto rb = brent(f_brent, 1.0, 3.0);
+  const auto rr = bisect(f_bisect, 1.0, 3.0);
+  EXPECT_TRUE(rb.converged);
+  EXPECT_NEAR(rb.x, rr.x, 1e-7);
+  EXPECT_LT(brent_calls, bisect_calls);
+}
+
+TEST(Brent, HandlesRootAtBracketEdge) {
+  const auto r = brent([](double x) { return x - 1.0; }, 1.0, 2.0);
+  EXPECT_TRUE(r.converged);
+  EXPECT_DOUBLE_EQ(r.x, 1.0);
+}
+
+TEST(FindFirstRoot, LocatesFirstOfSeveralRoots) {
+  // sin has roots at pi, 2*pi in (1, 7).
+  const auto r = find_first_root([](double x) { return std::sin(x); }, 1.0,
+                                 7.0, 512);
+  ASSERT_TRUE(r.has_value());
+  EXPECT_NEAR(r->x, M_PI, 1e-8);
+}
+
+TEST(FindFirstRoot, ReturnsNulloptWhenNoSignChange) {
+  const auto r =
+      find_first_root([](double x) { return x * x + 1.0; }, -1.0, 1.0);
+  EXPECT_FALSE(r.has_value());
+}
+
+TEST(LerpAt, InterpolatesBetweenPoints) {
+  const std::vector<double> xs{0.0, 1.0, 2.0};
+  const std::vector<double> ys{0.0, 10.0, 40.0};
+  EXPECT_DOUBLE_EQ(lerp_at(xs, ys, 0.5), 5.0);
+  EXPECT_DOUBLE_EQ(lerp_at(xs, ys, 1.5), 25.0);
+}
+
+TEST(LerpAt, ClampsOutsideRange) {
+  const std::vector<double> xs{0.0, 1.0};
+  const std::vector<double> ys{3.0, 7.0};
+  EXPECT_DOUBLE_EQ(lerp_at(xs, ys, -5.0), 3.0);
+  EXPECT_DOUBLE_EQ(lerp_at(xs, ys, 5.0), 7.0);
+}
+
+TEST(LerpAt, RejectsMismatchedSizes) {
+  EXPECT_THROW(lerp_at({0.0, 1.0}, {1.0}, 0.5), ContractViolation);
+}
+
+TEST(CrossingPoint, FindsWhereSeriesACrossesAboveB) {
+  const std::vector<double> xs{0.0, 1.0, 2.0, 3.0};
+  const std::vector<double> a{0.0, 1.0, 3.0, 6.0};
+  const std::vector<double> b{2.0, 2.0, 2.0, 2.0};
+  const auto x = crossing_point(xs, a, b);
+  ASSERT_TRUE(x.has_value());
+  EXPECT_NEAR(*x, 1.5, 1e-12);
+}
+
+TEST(CrossingPoint, NulloptWhenAlwaysBelow) {
+  const std::vector<double> xs{0.0, 1.0};
+  EXPECT_FALSE(crossing_point(xs, {0.0, 0.5}, {1.0, 1.0}).has_value());
+}
+
+TEST(CrossingPoint, NulloptWhenAlwaysAbove) {
+  // A starts above B and stays above: no upward crossing is reported.
+  const std::vector<double> xs{0.0, 1.0};
+  EXPECT_FALSE(crossing_point(xs, {2.0, 3.0}, {1.0, 1.0}).has_value());
+}
+
+TEST(CrossingPoint, DetectsCrossingAtSamplePoint) {
+  const std::vector<double> xs{0.0, 1.0, 2.0};
+  const std::vector<double> a{0.0, 1.0, 2.0};
+  const std::vector<double> b{1.0, 1.0, 1.0};
+  const auto x = crossing_point(xs, a, b);
+  ASSERT_TRUE(x.has_value());
+  EXPECT_NEAR(*x, 1.0, 1e-12);
+}
+
+TEST(LogFactorial, MatchesDirectComputationForSmallN) {
+  double acc = 0.0;
+  for (int n = 1; n <= 20; ++n) {
+    acc += std::log(static_cast<double>(n));
+    EXPECT_NEAR(log_factorial(n), acc, 1e-9) << "n=" << n;
+  }
+}
+
+TEST(LogFactorial, ZeroFactorialIsOne) {
+  EXPECT_NEAR(log_factorial(0), 0.0, 1e-12);
+}
+
+TEST(LogFactorial, RejectsNegative) {
+  EXPECT_THROW(log_factorial(-1), ContractViolation);
+}
+
+TEST(LogAddExp, MatchesNaiveComputationInSafeRange) {
+  EXPECT_NEAR(log_add_exp(std::log(2.0), std::log(3.0)), std::log(5.0),
+              1e-12);
+}
+
+TEST(LogAddExp, StableForLargeMagnitudes) {
+  // Naive exp would overflow; the answer is ~1000 + log(2).
+  EXPECT_NEAR(log_add_exp(1000.0, 1000.0), 1000.0 + std::log(2.0), 1e-9);
+}
+
+TEST(Clamp, ClampsBothEnds) {
+  EXPECT_DOUBLE_EQ(clamp(-1.0, 0.0, 1.0), 0.0);
+  EXPECT_DOUBLE_EQ(clamp(2.0, 0.0, 1.0), 1.0);
+  EXPECT_DOUBLE_EQ(clamp(0.4, 0.0, 1.0), 0.4);
+}
+
+TEST(ApproxEqual, RelativeToleranceScalesWithMagnitude) {
+  EXPECT_TRUE(approx_equal(1e12, 1e12 + 1.0, 1e-9));
+  EXPECT_FALSE(approx_equal(1.0, 1.1, 1e-9));
+  EXPECT_TRUE(approx_equal(0.0, 0.0));
+}
+
+}  // namespace
+}  // namespace hce

@@ -1,0 +1,115 @@
+#include "support/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+namespace hce {
+namespace {
+
+TEST(Rng, SameSeedReproducesIdenticalStream) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a(), b());
+  }
+}
+
+TEST(Rng, DifferentSeedsProduceDifferentStreams) {
+  Rng a(1), b(2);
+  int differences = 0;
+  for (int i = 0; i < 50; ++i) {
+    if (a() != b()) ++differences;
+  }
+  EXPECT_GT(differences, 45);
+}
+
+TEST(Rng, NamedSubstreamsAreIndependentOfDrawOrder) {
+  // Drawing from the parent must not perturb a derived child stream.
+  Rng parent1(7);
+  Rng child1 = parent1.stream("service");
+  Rng parent2(7);
+  for (int i = 0; i < 10; ++i) (void)parent2();
+  Rng child2 = parent2.stream("service");
+  for (int i = 0; i < 20; ++i) {
+    EXPECT_EQ(child1(), child2());
+  }
+}
+
+TEST(Rng, DifferentLabelsYieldDifferentStreams) {
+  Rng parent(7);
+  Rng a = parent.stream("arrivals");
+  Rng b = parent.stream("service");
+  int differences = 0;
+  for (int i = 0; i < 20; ++i) {
+    if (a() != b()) ++differences;
+  }
+  EXPECT_GT(differences, 17);
+}
+
+TEST(Rng, IndexedStreamsAreDistinct) {
+  Rng parent(7);
+  std::set<std::uint64_t> firsts;
+  for (std::uint64_t i = 0; i < 64; ++i) {
+    firsts.insert(parent.stream("site", i)());
+  }
+  EXPECT_EQ(firsts.size(), 64u);
+}
+
+TEST(Rng, Uniform01IsInHalfOpenUnitInterval) {
+  Rng rng(99);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform01();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, Uniform01MeanIsOneHalf) {
+  Rng rng(5);
+  double sum = 0.0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) sum += rng.uniform01();
+  EXPECT_NEAR(sum / n, 0.5, 0.005);
+}
+
+TEST(Rng, UniformRespectsBounds) {
+  Rng rng(11);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.uniform(3.0, 5.0);
+    EXPECT_GE(u, 3.0);
+    EXPECT_LT(u, 5.0);
+  }
+}
+
+TEST(Rng, BelowCoversFullRange) {
+  Rng rng(13);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) seen.insert(rng.below(5));
+  EXPECT_EQ(seen.size(), 5u);
+  EXPECT_EQ(*seen.rbegin(), 4u);
+}
+
+TEST(Splitmix64, IsDeterministicAndMixing) {
+  EXPECT_EQ(splitmix64(0), splitmix64(0));
+  EXPECT_NE(splitmix64(0), splitmix64(1));
+  // Adjacent inputs should differ in many bits.
+  const std::uint64_t x = splitmix64(42) ^ splitmix64(43);
+  int bits = 0;
+  for (int i = 0; i < 64; ++i) bits += (x >> i) & 1;
+  EXPECT_GT(bits, 16);
+}
+
+TEST(HashLabel, DistinguishesLabels) {
+  EXPECT_NE(hash_label("a"), hash_label("b"));
+  EXPECT_NE(hash_label("ab"), hash_label("ba"));
+  EXPECT_EQ(hash_label("edge"), hash_label("edge"));
+}
+
+TEST(Rng, SeedIsRemembered) {
+  Rng rng(1234);
+  EXPECT_EQ(rng.seed(), 1234u);
+}
+
+}  // namespace
+}  // namespace hce

@@ -1,0 +1,79 @@
+#include "support/table.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "support/contracts.hpp"
+
+namespace hce {
+namespace {
+
+TEST(TextTable, RendersHeaderAndRows) {
+  TextTable t({"name", "value"});
+  t.row().add("alpha").add(1.5, 1);
+  t.row().add("beta").add(2);
+  const std::string s = t.str();
+  EXPECT_NE(s.find("name"), std::string::npos);
+  EXPECT_NE(s.find("alpha"), std::string::npos);
+  EXPECT_NE(s.find("1.5"), std::string::npos);
+  EXPECT_NE(s.find("2"), std::string::npos);
+}
+
+TEST(TextTable, FormatsMilliseconds) {
+  TextTable t({"latency"});
+  t.row().add_ms(0.0255, 1);  // 25.5 ms
+  EXPECT_NE(t.str().find("25.5"), std::string::npos);
+}
+
+TEST(TextTable, CountsRows) {
+  TextTable t({"a"});
+  EXPECT_EQ(t.num_rows(), 0u);
+  t.row().add("x");
+  t.row().add("y");
+  EXPECT_EQ(t.num_rows(), 2u);
+}
+
+TEST(TextTable, CsvOutputIsParseable) {
+  TextTable t({"a", "b"});
+  t.row().add("1").add("2");
+  EXPECT_EQ(t.csv(), "a,b\n1,2\n");
+}
+
+TEST(TextTable, CsvEscapesCommasAndQuotes) {
+  TextTable t({"x"});
+  t.row().add("hello, \"world\"");
+  EXPECT_EQ(t.csv(), "x\n\"hello, \"\"world\"\"\"\n");
+}
+
+TEST(TextTable, RejectsTooManyCells) {
+  TextTable t({"only"});
+  t.row().add("1");
+  EXPECT_THROW(t.add("2"), ContractViolation);
+}
+
+TEST(TextTable, RejectsAddBeforeRow) {
+  TextTable t({"c"});
+  EXPECT_THROW(t.add("x"), ContractViolation);
+}
+
+TEST(TextTable, RejectsEmptyHeader) {
+  EXPECT_THROW(TextTable({}), ContractViolation);
+}
+
+TEST(TextTable, PrintWritesToStream) {
+  TextTable t({"h"});
+  t.row().add("v");
+  std::ostringstream os;
+  t.print(os);
+  EXPECT_EQ(os.str(), t.str());
+}
+
+TEST(FormatFixed, RespectsPrecision) {
+  EXPECT_EQ(format_fixed(3.14159, 2), "3.14");
+  EXPECT_EQ(format_fixed(1.0, 0), "1");
+  EXPECT_EQ(format_fixed(-0.5, 1), "-0.5");
+}
+
+}  // namespace
+}  // namespace hce

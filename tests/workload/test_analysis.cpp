@@ -1,0 +1,155 @@
+#include "workload/analysis.hpp"
+
+#include <gtest/gtest.h>
+
+#include "support/contracts.hpp"
+#include "support/rng.hpp"
+#include "workload/azure.hpp"
+#include "workload/profile.hpp"
+#include "workload/service.hpp"
+
+namespace hce::workload {
+namespace {
+
+Trace paced_trace() {
+  // Site 0: one event per second (deterministic); site 1: every 2 s.
+  Trace t;
+  for (int i = 0; i < 21; ++i) {
+    t.push({static_cast<Time>(i), 0, 0.10});
+    if (i % 2 == 0) t.push({static_cast<Time>(i) + 0.5, 1, 0.30});
+  }
+  t.sort();
+  return t;
+}
+
+TEST(Analyze, RatesAndWeights) {
+  const auto s = analyze(paced_trace());
+  ASSERT_EQ(s.sites.size(), 2u);
+  EXPECT_EQ(s.total_count, 32u);
+  EXPECT_NEAR(s.duration, 20.5, 1e-9);
+  EXPECT_NEAR(s.sites[0].rate, 21.0 / 20.5, 1e-9);
+  EXPECT_NEAR(s.sites[1].rate, 11.0 / 20.5, 1e-9);
+  EXPECT_NEAR(s.sites[0].weight + s.sites[1].weight, 1.0, 1e-12);
+  EXPECT_GT(s.sites[0].weight, s.sites[1].weight);
+}
+
+TEST(Analyze, DeterministicStreamsHaveZeroInterarrivalScv) {
+  const auto s = analyze(paced_trace());
+  EXPECT_NEAR(s.sites[0].interarrival_scv, 0.0, 1e-9);
+  EXPECT_NEAR(s.sites[1].interarrival_scv, 0.0, 1e-9);
+}
+
+TEST(Analyze, ServiceMoments) {
+  const auto s = analyze(paced_trace());
+  EXPECT_NEAR(s.sites[0].service_mean, 0.10, 1e-12);
+  EXPECT_NEAR(s.sites[0].service_scv, 0.0, 1e-12);
+  EXPECT_NEAR(s.sites[1].service_mean, 0.30, 1e-12);
+  // Aggregate: 21 x 0.1, 11 x 0.3.
+  const double mean = (21.0 * 0.1 + 11.0 * 0.3) / 32.0;
+  EXPECT_NEAR(s.service_mean, mean, 1e-9);
+  EXPECT_GT(s.service_scv, 0.0);  // mixture is variable
+  EXPECT_NEAR(s.implied_mu(), 1.0 / mean, 1e-9);
+}
+
+TEST(Analyze, PoissonTraceHasUnitScv) {
+  // Sample a Poisson-ish trace via the Azure synth with modulation off.
+  AzureSynthConfig cfg;
+  cfg.num_functions = 50;
+  cfg.num_sites = 2;
+  cfg.duration = 3600.0;
+  cfg.total_rate = 10.0;
+  cfg.diurnal_amplitude = 0.0;
+  cfg.bursts_per_site_per_day = 0.0;
+  cfg.popularity_s = 0.0;
+  const auto trace = AzureSynth(cfg).generate(Rng(3));
+  const auto s = analyze(trace);
+  EXPECT_NEAR(s.interarrival_scv, 1.0, 0.1);
+  for (const auto& site : s.sites) {
+    EXPECT_NEAR(site.interarrival_scv, 1.0, 0.15) << site.site;
+  }
+}
+
+TEST(Analyze, BurstyTraceHasHighScv) {
+  AzureSynthConfig cfg;
+  cfg.num_functions = 50;
+  cfg.num_sites = 2;
+  cfg.duration = 3600.0;
+  cfg.total_rate = 10.0;
+  cfg.diurnal_amplitude = 0.0;
+  cfg.bursts_per_site_per_day = 200.0;
+  cfg.burst_multiplier = 10.0;
+  const auto trace = AzureSynth(cfg).generate(Rng(4));
+  const auto s = analyze(trace);
+  EXPECT_GT(s.interarrival_scv, 1.2);
+}
+
+TEST(Analyze, HottestSiteRate) {
+  const auto s = analyze(paced_trace());
+  EXPECT_NEAR(s.hottest_site_rate(), 21.0 / 20.5, 1e-9);
+}
+
+TEST(Analyze, WeightsVectorMatchesSites) {
+  const auto s = analyze(paced_trace());
+  const auto w = s.weights();
+  ASSERT_EQ(w.size(), 2u);
+  EXPECT_DOUBLE_EQ(w[0], s.sites[0].weight);
+}
+
+TEST(GenerateTrace, ProducesExpectedRatesPerSite) {
+  const std::vector<RateProfile> profiles{RateProfile::constant(6.0),
+                                          RateProfile::constant(2.0)};
+  const auto trace = generate_trace(profiles, dnn_inference(0.5), 2000.0,
+                                    Rng(9));
+  const auto s = analyze(trace);
+  ASSERT_EQ(s.sites.size(), 2u);
+  EXPECT_NEAR(s.sites[0].rate, 6.0, 0.3);
+  EXPECT_NEAR(s.sites[1].rate, 2.0, 0.2);
+  EXPECT_NEAR(s.service_mean, 1.0 / 13.0, 0.002);
+}
+
+TEST(GenerateTrace, DiurnalProfileShowsInTheSeries) {
+  const std::vector<RateProfile> profiles{
+      RateProfile::diurnal(10.0, 0.8, 2000.0)};
+  const auto trace = generate_trace(profiles, dnn_inference(0.5), 2000.0,
+                                    Rng(10));
+  const auto series = rate_series(trace, 100.0, 1);
+  // Peak quarter vs trough quarter of the cycle.
+  EXPECT_GT(series[0][5], 2.0 * series[0][15]);
+}
+
+TEST(GenerateTrace, IsDeterministicAndSorted) {
+  const std::vector<RateProfile> profiles{RateProfile::constant(5.0)};
+  const auto a = generate_trace(profiles, dnn_inference(), 500.0, Rng(11));
+  const auto b = generate_trace(profiles, dnn_inference(), 500.0, Rng(11));
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 1; i < a.size(); ++i) {
+    EXPECT_GE(a[i].timestamp, a[i - 1].timestamp);
+  }
+  EXPECT_DOUBLE_EQ(a[0].timestamp, b[0].timestamp);
+}
+
+TEST(GenerateTrace, RejectsInvalid) {
+  EXPECT_THROW(generate_trace({}, dnn_inference(), 10.0, Rng(1)),
+               ContractViolation);
+  EXPECT_THROW(generate_trace({RateProfile::constant(1.0)}, nullptr, 10.0,
+                              Rng(1)),
+               ContractViolation);
+  EXPECT_THROW(generate_trace({RateProfile::constant(1.0)}, dnn_inference(),
+                              0.0, Rng(1)),
+               ContractViolation);
+}
+
+TEST(Analyze, RejectsDegenerateTraces) {
+  Trace empty;
+  EXPECT_THROW(analyze(empty), ContractViolation);
+  Trace one;
+  one.push({0.0, 0, 0.1});
+  EXPECT_THROW(analyze(one), ContractViolation);
+  Trace unsorted;
+  unsorted.push({5.0, 0, 0.1});
+  unsorted.push({1.0, 0, 0.1});
+  EXPECT_THROW(analyze(unsorted), ContractViolation);
+}
+
+}  // namespace
+}  // namespace hce::workload

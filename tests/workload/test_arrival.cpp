@@ -1,0 +1,153 @@
+#include "workload/arrival.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "stats/summary.hpp"
+#include "support/contracts.hpp"
+#include "support/rng.hpp"
+
+namespace hce::workload {
+namespace {
+
+stats::Summary interarrivals(ArrivalProcess& p, int n, Rng& rng) {
+  stats::Summary s;
+  Time t = 0.0;
+  for (int i = 0; i < n; ++i) {
+    const Time next = p.next_arrival_after(t, rng);
+    s.add(next - t);
+    t = next;
+  }
+  return s;
+}
+
+TEST(Poisson, RateMatchesEmpiricalMean) {
+  auto p = poisson(12.0);
+  Rng rng(1);
+  const auto s = interarrivals(*p, 100000, rng);
+  EXPECT_NEAR(s.mean(), 1.0 / 12.0, 0.002);
+  EXPECT_NEAR(p->mean_rate(), 12.0, 1e-12);
+  EXPECT_NEAR(p->interarrival_scv(), 1.0, 1e-9);
+}
+
+TEST(Poisson, InterarrivalScvIsOne) {
+  auto p = poisson(5.0);
+  Rng rng(2);
+  const auto s = interarrivals(*p, 100000, rng);
+  EXPECT_NEAR(s.scv(), 1.0, 0.05);
+}
+
+TEST(Poisson, ArrivalsAreStrictlyIncreasing) {
+  auto p = poisson(100.0);
+  Rng rng(3);
+  Time t = 0.0;
+  for (int i = 0; i < 10000; ++i) {
+    const Time next = p->next_arrival_after(t, rng);
+    EXPECT_GT(next, t);
+    t = next;
+  }
+}
+
+TEST(Poisson, RejectsNonPositiveRate) {
+  EXPECT_THROW(poisson(0.0), ContractViolation);
+}
+
+TEST(RenewalRateCov, MatchesTargetMoments) {
+  for (double cov : {0.0, 0.5, 1.0, 2.0}) {
+    auto p = renewal_rate_cov(8.0, cov);
+    Rng rng(4);
+    const auto s = interarrivals(*p, 60000, rng);
+    EXPECT_NEAR(s.mean(), 1.0 / 8.0, 0.003) << cov;
+    EXPECT_NEAR(p->interarrival_scv(), cov * cov, 1e-9) << cov;
+    if (cov > 0.0) {
+      EXPECT_NEAR(std::sqrt(s.scv()), cov, 0.08) << cov;
+    }
+  }
+}
+
+TEST(Renewal, DeterministicIsPaced) {
+  auto p = renewal(dist::deterministic(0.25));
+  Rng rng(5);
+  Time t = 0.0;
+  for (int i = 1; i <= 10; ++i) {
+    t = p->next_arrival_after(t, rng);
+    EXPECT_NEAR(t, 0.25 * i, 1e-12);
+  }
+}
+
+TEST(Renewal, RejectsNull) {
+  EXPECT_THROW(renewal(nullptr), ContractViolation);
+}
+
+TEST(Mmpp2, MeanRateIsDwellWeighted) {
+  auto p = mmpp2(2.0, 20.0, 10.0, 10.0);
+  EXPECT_NEAR(p->mean_rate(), 11.0, 1e-12);
+}
+
+TEST(Mmpp2, EmpiricalRateMatches) {
+  auto p = mmpp2(2.0, 20.0, 5.0, 5.0);
+  Rng rng(6);
+  Time t = 0.0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) t = p->next_arrival_after(t, rng);
+  EXPECT_NEAR(static_cast<double>(n) / t, 11.0, 0.5);
+}
+
+TEST(Mmpp2, IsBurstierThanPoisson) {
+  auto p = mmpp2(1.0, 30.0, 2.0, 2.0);
+  EXPECT_GT(p->interarrival_scv(), 1.0);
+  Rng rng(7);
+  const auto s = interarrivals(*p, 100000, rng);
+  EXPECT_GT(s.scv(), 1.3);
+}
+
+TEST(Mmpp2, RejectsInvalid) {
+  EXPECT_THROW(mmpp2(1.0, 0.0, 1.0, 1.0), ContractViolation);
+  EXPECT_THROW(mmpp2(1.0, 2.0, 0.0, 1.0), ContractViolation);
+}
+
+TEST(Nhpp, ConstantRateReducesToPoisson) {
+  auto p = nhpp([](Time) { return 10.0; }, 10.0, 10.0);
+  Rng rng(8);
+  const auto s = interarrivals(*p, 50000, rng);
+  EXPECT_NEAR(s.mean(), 0.1, 0.003);
+  EXPECT_NEAR(s.scv(), 1.0, 0.05);
+}
+
+TEST(Nhpp, TracksDiurnalRate) {
+  // Rate 20 in the first half-day, 2 in the second.
+  auto rate_fn = [](Time t) {
+    return std::fmod(t, 86400.0) < 43200.0 ? 20.0 : 2.0;
+  };
+  auto p = nhpp(rate_fn, 20.0, 11.0);
+  Rng rng(9);
+  Time t = 0.0;
+  int day_count = 0, night_count = 0;
+  while (t < 86400.0) {
+    t = p->next_arrival_after(t, rng);
+    if (t < 43200.0) ++day_count;
+    else if (t < 86400.0) ++night_count;
+  }
+  EXPECT_NEAR(static_cast<double>(day_count) / 43200.0, 20.0, 1.0);
+  EXPECT_NEAR(static_cast<double>(night_count) / 43200.0, 2.0, 0.4);
+}
+
+TEST(Nhpp, RejectsInvalid) {
+  EXPECT_THROW(nhpp([](Time) { return 1.0; }, 0.0, 1.0), ContractViolation);
+}
+
+TEST(Determinism, SameSeedSameArrivals) {
+  auto p1 = renewal_rate_cov(7.0, 1.5);
+  auto p2 = renewal_rate_cov(7.0, 1.5);
+  Rng a(42), b(42);
+  Time ta = 0.0, tb = 0.0;
+  for (int i = 0; i < 1000; ++i) {
+    ta = p1->next_arrival_after(ta, a);
+    tb = p2->next_arrival_after(tb, b);
+    EXPECT_DOUBLE_EQ(ta, tb);
+  }
+}
+
+}  // namespace
+}  // namespace hce::workload

@@ -1,0 +1,164 @@
+#include "workload/azure.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+
+#include "dist/weights.hpp"
+#include "support/contracts.hpp"
+
+namespace hce::workload {
+namespace {
+
+AzureSynthConfig small_config() {
+  AzureSynthConfig cfg;
+  cfg.num_functions = 120;
+  cfg.num_sites = 5;
+  cfg.duration = 2.0 * 3600.0;  // 2 h keeps tests fast
+  cfg.total_rate = 20.0;
+  return cfg;
+}
+
+TEST(AzureSynth, GeneratesSortedTrace) {
+  const AzureSynth synth(small_config());
+  const Trace t = synth.generate(Rng(1));
+  ASSERT_GT(t.size(), 1000u);
+  for (std::size_t i = 1; i < t.size(); ++i) {
+    EXPECT_LE(t[i - 1].timestamp, t[i].timestamp);
+  }
+}
+
+TEST(AzureSynth, MeanRateNearTarget) {
+  auto cfg = small_config();
+  cfg.diurnal_amplitude = 0.0;  // remove modulation for a clean check
+  cfg.bursts_per_site_per_day = 0.0;
+  const AzureSynth synth(cfg);
+  const Trace t = synth.generate(Rng(2));
+  EXPECT_NEAR(t.mean_rate(), cfg.total_rate, 0.1 * cfg.total_rate);
+}
+
+TEST(AzureSynth, AllSitesWithinRange) {
+  const AzureSynth synth(small_config());
+  const Trace t = synth.generate(Rng(3));
+  for (const auto& e : t.events()) {
+    EXPECT_GE(e.site, 0);
+    EXPECT_LT(e.site, 5);
+    EXPECT_GT(e.service_demand, 0.0);
+  }
+}
+
+TEST(AzureSynth, SiteLoadsAreSkewed) {
+  // The whole point of the Azure construction: sites see unequal load.
+  const AzureSynth synth(small_config());
+  const Trace t = synth.generate(Rng(4));
+  const auto counts = t.site_counts();
+  std::vector<double> w(counts.begin(), counts.end());
+  EXPECT_GT(dist::skew_index(dist::normalized(w)), 1.15);
+}
+
+TEST(AzureSynth, SiteWeightsDescribeGeneratedTrace) {
+  // Disable diurnal modulation and bursts: over a short horizon their
+  // phase effects would not average out of the per-site shares.
+  auto cfg = small_config();
+  cfg.diurnal_amplitude = 0.0;
+  cfg.bursts_per_site_per_day = 0.0;
+  const AzureSynth synth(cfg);
+  const auto weights = synth.site_weights(Rng(5));
+  const Trace t = synth.generate(Rng(5));
+  const auto counts = t.site_counts();
+  const double total = static_cast<double>(t.size());
+  for (std::size_t s = 0; s < weights.size(); ++s) {
+    const double observed = static_cast<double>(counts[s]) / total;
+    EXPECT_NEAR(observed, weights[s], 0.05) << "site " << s;
+  }
+}
+
+TEST(AzureSynth, DeterministicGivenSeed) {
+  const AzureSynth synth(small_config());
+  const Trace a = synth.generate(Rng(7));
+  const Trace b = synth.generate(Rng(7));
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); i += 97) {
+    EXPECT_DOUBLE_EQ(a[i].timestamp, b[i].timestamp);
+    EXPECT_EQ(a[i].site, b[i].site);
+    EXPECT_DOUBLE_EQ(a[i].service_demand, b[i].service_demand);
+  }
+}
+
+TEST(AzureSynth, DifferentSeedsDiffer) {
+  const AzureSynth synth(small_config());
+  const Trace a = synth.generate(Rng(1));
+  const Trace b = synth.generate(Rng(2));
+  EXPECT_NE(a.size(), b.size());
+}
+
+TEST(AzureSynth, ExecutionTimesSpreadAcrossOrdersOfMagnitude) {
+  auto cfg = small_config();
+  cfg.exec_median_spread = 0.5;
+  const AzureSynth synth(cfg);
+  const Trace t = synth.generate(Rng(11));
+  double lo = 1e9, hi = 0.0;
+  for (const auto& e : t.events()) {
+    lo = std::min(lo, e.service_demand);
+    hi = std::max(hi, e.service_demand);
+  }
+  EXPECT_GT(hi / lo, 10.0);
+}
+
+TEST(AzureSynth, BurstsIncreaseLoadVariability) {
+  auto quiet = small_config();
+  quiet.bursts_per_site_per_day = 0.0;
+  auto bursty = small_config();
+  bursty.bursts_per_site_per_day = 40.0;
+  bursty.burst_multiplier = 8.0;
+
+  auto bin_cov = [](const Trace& t) {
+    const auto series = rate_series(t, 60.0, 5);
+    double mean = 0.0, var = 0.0;
+    std::vector<double> all;
+    for (const auto& site : series) {
+      all.insert(all.end(), site.begin(), site.end());
+    }
+    for (double x : all) mean += x;
+    mean /= static_cast<double>(all.size());
+    for (double x : all) var += (x - mean) * (x - mean);
+    var /= static_cast<double>(all.size());
+    return std::sqrt(var) / mean;
+  };
+
+  EXPECT_GT(bin_cov(AzureSynth(bursty).generate(Rng(13))),
+            bin_cov(AzureSynth(quiet).generate(Rng(13))));
+}
+
+TEST(RateSeries, CountsPerBin) {
+  Trace t;
+  t.push({10.0, 0, 0.1});
+  t.push({20.0, 0, 0.1});
+  t.push({70.0, 1, 0.1});
+  // Duration is 70-10 = 60 s -> one 60 s bin; the t=70 event clamps in.
+  const auto series = rate_series(t, 60.0, 2);
+  ASSERT_EQ(series.size(), 2u);
+  ASSERT_EQ(series[0].size(), 1u);
+  EXPECT_DOUBLE_EQ(series[0][0], 2.0);
+  EXPECT_DOUBLE_EQ(series[1][0], 1.0);
+}
+
+TEST(RateSeries, RejectsInvalid) {
+  Trace t;
+  EXPECT_THROW(rate_series(t, 0.0, 2), ContractViolation);
+  EXPECT_THROW(rate_series(t, 60.0, 0), ContractViolation);
+}
+
+TEST(AzureSynth, RejectsBadConfig) {
+  AzureSynthConfig cfg;
+  cfg.num_functions = 2;
+  cfg.num_sites = 5;
+  EXPECT_THROW(AzureSynth{cfg}, ContractViolation);
+  cfg = AzureSynthConfig{};
+  cfg.diurnal_amplitude = 1.5;
+  EXPECT_THROW(AzureSynth{cfg}, ContractViolation);
+}
+
+}  // namespace
+}  // namespace hce::workload

@@ -1,0 +1,112 @@
+#include "workload/profile.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "support/contracts.hpp"
+#include "support/rng.hpp"
+
+namespace hce::workload {
+namespace {
+
+TEST(RateProfile, ConstantIsFlat) {
+  const auto p = RateProfile::constant(7.0);
+  EXPECT_DOUBLE_EQ(p.at(0.0), 7.0);
+  EXPECT_DOUBLE_EQ(p.at(1e6), 7.0);
+  EXPECT_DOUBLE_EQ(p.peak(), 7.0);
+  EXPECT_DOUBLE_EQ(p.mean(), 7.0);
+}
+
+TEST(RateProfile, DiurnalOscillatesAroundBase) {
+  const auto p = RateProfile::diurnal(10.0, 0.5, 86400.0);
+  EXPECT_NEAR(p.at(0.0), 10.0, 1e-9);            // sin(0) = 0
+  EXPECT_NEAR(p.at(86400.0 / 4.0), 15.0, 1e-9);  // peak
+  EXPECT_NEAR(p.at(3.0 * 86400.0 / 4.0), 5.0, 1e-9);
+  EXPECT_DOUBLE_EQ(p.peak(), 15.0);
+  EXPECT_DOUBLE_EQ(p.mean(), 10.0);
+}
+
+TEST(RateProfile, SquareWaveDutyCycle) {
+  const auto p = RateProfile::square(2.0, 10.0, 100.0, 0.25);
+  EXPECT_DOUBLE_EQ(p.at(10.0), 10.0);
+  EXPECT_DOUBLE_EQ(p.at(30.0), 2.0);
+  EXPECT_DOUBLE_EQ(p.at(110.0), 10.0);  // periodic
+  EXPECT_DOUBLE_EQ(p.mean(), 0.25 * 10.0 + 0.75 * 2.0);
+}
+
+TEST(RateProfile, PiecewiseStepsThroughBreakpoints) {
+  const auto p = RateProfile::piecewise({{0.0, 1.0}, {10.0, 5.0}, {20.0, 2.0}});
+  EXPECT_DOUBLE_EQ(p.at(-1.0), 1.0);
+  EXPECT_DOUBLE_EQ(p.at(5.0), 1.0);
+  EXPECT_DOUBLE_EQ(p.at(10.0), 5.0);
+  EXPECT_DOUBLE_EQ(p.at(15.0), 5.0);
+  EXPECT_DOUBLE_EQ(p.at(100.0), 2.0);
+  EXPECT_DOUBLE_EQ(p.peak(), 5.0);
+}
+
+TEST(RateProfile, SumAddsRatesAndPeaks) {
+  const auto p = RateProfile::constant(3.0) + RateProfile::constant(4.0);
+  EXPECT_DOUBLE_EQ(p.at(42.0), 7.0);
+  EXPECT_DOUBLE_EQ(p.peak(), 7.0);
+  EXPECT_DOUBLE_EQ(p.mean(), 7.0);
+}
+
+TEST(RateProfile, ScaledMultipliesEverything) {
+  const auto p = RateProfile::diurnal(10.0, 0.3, 100.0).scaled(2.0);
+  EXPECT_DOUBLE_EQ(p.mean(), 20.0);
+  EXPECT_DOUBLE_EQ(p.peak(), 26.0);
+  EXPECT_NEAR(p.at(25.0), 26.0, 1e-9);
+}
+
+TEST(RateProfile, ExpectedCountIntegratesTheRate) {
+  const auto c = RateProfile::constant(5.0);
+  EXPECT_NEAR(c.expected_count(0.0, 10.0), 50.0, 1e-9);
+  const auto d = RateProfile::diurnal(10.0, 0.5, 100.0);
+  // Over a whole period the sinusoid integrates to the base rate.
+  EXPECT_NEAR(d.expected_count(0.0, 100.0), 1000.0, 0.5);
+}
+
+TEST(RateProfile, ToArrivalsTracksTheProfile) {
+  const auto p = RateProfile::square(2.0, 20.0, 200.0, 0.5);
+  auto arrivals = p.to_arrivals();
+  Rng rng(5);
+  Time t = 0.0;
+  int high_count = 0, low_count = 0;
+  while (t < 2000.0) {
+    t = arrivals->next_arrival_after(t, rng);
+    if (std::fmod(t, 200.0) < 100.0) {
+      ++high_count;
+    } else {
+      ++low_count;
+    }
+  }
+  // 10:1 rate ratio should be clearly visible.
+  EXPECT_GT(high_count, 5 * low_count);
+}
+
+TEST(RateProfile, FlashCrowdComposition) {
+  // Baseline diurnal plus a square-wave burst: the canonical §2.1
+  // temporal dynamics ("diurnal effects ... flash crowds").
+  const auto p = RateProfile::diurnal(8.0, 0.4, 86400.0) +
+                 RateProfile::square(0.0, 16.0, 86400.0, 0.05);
+  EXPECT_GT(p.peak(), 24.0);
+  EXPECT_NEAR(p.mean(), 8.0 + 0.8, 1e-9);
+}
+
+TEST(RateProfile, RejectsInvalid) {
+  EXPECT_THROW(RateProfile::constant(0.0), ContractViolation);
+  EXPECT_THROW(RateProfile::diurnal(1.0, 1.0, 10.0), ContractViolation);
+  EXPECT_THROW(RateProfile::square(5.0, 5.0, 10.0), ContractViolation);
+  EXPECT_THROW(RateProfile::square(1.0, 5.0, 10.0, 0.0), ContractViolation);
+  EXPECT_THROW(RateProfile::piecewise({}), ContractViolation);
+  EXPECT_THROW(RateProfile::piecewise({{0.0, 1.0}, {0.0, 2.0}}),
+               ContractViolation);
+  EXPECT_THROW(RateProfile::piecewise({{0.0, 0.0}}), ContractViolation);
+  EXPECT_THROW(RateProfile::constant(1.0).scaled(0.0), ContractViolation);
+  EXPECT_THROW(RateProfile::constant(1.0).expected_count(5.0, 5.0),
+               ContractViolation);
+}
+
+}  // namespace
+}  // namespace hce::workload

@@ -1,0 +1,91 @@
+#include "workload/service.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "stats/summary.hpp"
+#include "support/contracts.hpp"
+#include "support/rng.hpp"
+
+namespace hce::workload {
+namespace {
+
+TEST(DnnInference, CalibratedToPaperSaturationRate) {
+  const auto m = dnn_inference();
+  EXPECT_NEAR(m->mean(), 1.0 / 13.0, 1e-12);
+  EXPECT_NEAR(m->service_rate(), 13.0, 1e-9);
+}
+
+TEST(DnnInference, CovIsConfigurable) {
+  EXPECT_NEAR(dnn_inference(0.25)->scv(), 0.0625, 1e-9);
+  EXPECT_NEAR(dnn_inference(1.0)->scv(), 1.0, 1e-9);
+}
+
+TEST(DnnInference, EmpiricalMomentsMatch) {
+  const auto m = dnn_inference(0.5);
+  Rng rng(1);
+  stats::Summary s;
+  for (int i = 0; i < 100000; ++i) s.add(m->sample(rng));
+  EXPECT_NEAR(s.mean(), m->mean(), 0.002 * m->mean() + 1e-4);
+  EXPECT_NEAR(s.cov(), 0.5, 0.02);
+}
+
+TEST(FromDistribution, WrapsMoments) {
+  const auto m = from_distribution(dist::exponential(0.1));
+  EXPECT_NEAR(m->mean(), 0.1, 1e-12);
+  EXPECT_NEAR(m->scv(), 1.0, 1e-12);
+}
+
+TEST(FromDistribution, RejectsNull) {
+  EXPECT_THROW(from_distribution(nullptr), ContractViolation);
+}
+
+TEST(SizeClasses, DegenerateSingleClass) {
+  const auto m = size_classes({1.0}, {0.05});
+  EXPECT_DOUBLE_EQ(m->mean(), 0.05);
+  EXPECT_DOUBLE_EQ(m->scv(), 0.0);
+  Rng rng(2);
+  EXPECT_DOUBLE_EQ(m->sample(rng), 0.05);
+}
+
+TEST(SizeClasses, MeanIsWeightedAverage) {
+  const auto m = size_classes({1.0, 3.0}, {0.1, 0.2});
+  EXPECT_NEAR(m->mean(), 0.25 * 0.1 + 0.75 * 0.2, 1e-12);
+}
+
+TEST(SizeClasses, EmpiricalFrequenciesMatchWeights) {
+  const auto m = size_classes({1.0, 1.0, 2.0}, {0.1, 0.2, 0.3});
+  Rng rng(3);
+  int c0 = 0, c1 = 0, c2 = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) {
+    const Time t = m->sample(rng);
+    if (t == 0.1) ++c0;
+    else if (t == 0.2) ++c1;
+    else ++c2;
+  }
+  EXPECT_NEAR(static_cast<double>(c0) / n, 0.25, 0.01);
+  EXPECT_NEAR(static_cast<double>(c1) / n, 0.25, 0.01);
+  EXPECT_NEAR(static_cast<double>(c2) / n, 0.50, 0.01);
+}
+
+TEST(SizeClasses, ScvMatchesDiscreteMoments) {
+  const auto m = size_classes({1.0, 1.0}, {0.1, 0.3});
+  // mean 0.2, var = E[x^2]-mean^2 = 0.05-0.04 = 0.01, scv = 0.25.
+  EXPECT_NEAR(m->scv(), 0.25, 1e-12);
+}
+
+TEST(SizeClasses, RejectsInvalid) {
+  EXPECT_THROW(size_classes({}, {}), ContractViolation);
+  EXPECT_THROW(size_classes({1.0}, {0.1, 0.2}), ContractViolation);
+  EXPECT_THROW(size_classes({-1.0}, {0.1}), ContractViolation);
+  EXPECT_THROW(size_classes({0.0}, {0.1}), ContractViolation);
+}
+
+TEST(ReferenceConstants, AreConsistent) {
+  EXPECT_NEAR(kReferenceSaturationRate * kReferenceServiceTime, 1.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace hce::workload

@@ -1,0 +1,152 @@
+#include "workload/spatial.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "support/contracts.hpp"
+
+namespace hce::workload {
+namespace {
+
+SpatialSynthConfig small_config() {
+  SpatialSynthConfig cfg;
+  cfg.grid_width = 10;
+  cfg.grid_height = 10;
+  cfg.duration = 24.0 * 3600.0;
+  cfg.bin_width = 3600.0;
+  cfg.total_load = 1000.0;
+  return cfg;
+}
+
+TEST(SpatialSynth, FieldHasExpectedShape) {
+  const SpatialSynth synth(small_config());
+  const auto field = synth.generate(Rng(1));
+  EXPECT_EQ(field.width, 10);
+  EXPECT_EQ(field.height, 10);
+  EXPECT_EQ(field.num_cells(), 100);
+  EXPECT_EQ(field.num_bins(), 24u);
+  for (const auto& bin : field.loads) {
+    EXPECT_EQ(bin.size(), 100u);
+  }
+}
+
+TEST(SpatialSynth, TotalLoadApproximatelyConserved) {
+  const SpatialSynth synth(small_config());
+  const auto field = synth.generate(Rng(2));
+  for (const auto& bin : field.loads) {
+    const double total = std::accumulate(bin.begin(), bin.end(), 0.0);
+    // Per-cell observation noise (CoV 0.15) concentrated on a few hot
+    // cells leaves ~10% variability in the bin total.
+    EXPECT_NEAR(total, 1000.0, 200.0);
+  }
+}
+
+TEST(SpatialSynth, LoadIsNonNegative) {
+  const SpatialSynth synth(small_config());
+  const auto field = synth.generate(Rng(3));
+  for (const auto& bin : field.loads) {
+    for (double x : bin) EXPECT_GE(x, 0.0);
+  }
+}
+
+TEST(SpatialSynth, LoadIsSpatiallySkewed) {
+  // The Fig. 2 property: some cells see far more load than the average.
+  const SpatialSynth synth(small_config());
+  const auto field = synth.generate(Rng(4));
+  const auto skews = field.skew_per_bin();
+  for (double s : skews) EXPECT_GT(s, 3.0);
+}
+
+TEST(SpatialSynth, DiurnalDriftChangesCellRanking) {
+  // Day and night hotspots differ, so the top cell should change between
+  // a midday bin and a midnight bin for most seeds.
+  const SpatialSynth synth(small_config());
+  const auto field = synth.generate(Rng(5));
+  const auto& noon = field.loads[12];
+  const auto& midnight = field.loads[0];
+  const auto top_noon = static_cast<std::size_t>(
+      std::max_element(noon.begin(), noon.end()) - noon.begin());
+  // Correlation between noon and midnight loads should be well below 1.
+  double mn = 0.0, mm = 0.0;
+  for (std::size_t c = 0; c < noon.size(); ++c) {
+    mn += noon[c];
+    mm += midnight[c];
+  }
+  mn /= static_cast<double>(noon.size());
+  mm /= static_cast<double>(noon.size());
+  double cov = 0.0, vn = 0.0, vm = 0.0;
+  for (std::size_t c = 0; c < noon.size(); ++c) {
+    cov += (noon[c] - mn) * (midnight[c] - mm);
+    vn += (noon[c] - mn) * (noon[c] - mn);
+    vm += (midnight[c] - mm) * (midnight[c] - mm);
+  }
+  const double corr = cov / std::sqrt(vn * vm);
+  EXPECT_LT(corr, 0.995);
+  EXPECT_GT(noon[top_noon], mn);  // hotspot is above average by definition
+}
+
+TEST(SpatialField, CellSummaryAggregatesAcrossTime) {
+  const SpatialSynth synth(small_config());
+  const auto field = synth.generate(Rng(6));
+  const auto b = field.cell_summary(0);
+  EXPECT_EQ(b.n, field.num_bins());
+  EXPECT_GE(b.max, b.median);
+  EXPECT_GE(b.median, b.min);
+}
+
+TEST(SpatialField, BinSummaryAggregatesAcrossCells) {
+  const SpatialSynth synth(small_config());
+  const auto field = synth.generate(Rng(7));
+  const auto b = field.bin_summary(0);
+  EXPECT_EQ(b.n, 100u);
+}
+
+TEST(SpatialField, CellsByMeanLoadIsDescending) {
+  const SpatialSynth synth(small_config());
+  const auto field = synth.generate(Rng(8));
+  const auto order = field.cells_by_mean_load();
+  ASSERT_EQ(order.size(), 100u);
+  const auto mean_of = [&](int cell) {
+    double m = 0.0;
+    for (const auto& bin : field.loads) {
+      m += bin[static_cast<std::size_t>(cell)];
+    }
+    return m;
+  };
+  for (std::size_t i = 1; i < order.size(); ++i) {
+    EXPECT_GE(mean_of(order[i - 1]), mean_of(order[i]));
+  }
+}
+
+TEST(SpatialSynth, Deterministic) {
+  const SpatialSynth synth(small_config());
+  const auto a = synth.generate(Rng(9));
+  const auto b = synth.generate(Rng(9));
+  EXPECT_EQ(a.loads, b.loads);
+}
+
+TEST(SpatialSynth, RejectsInvalidConfig) {
+  SpatialSynthConfig cfg = small_config();
+  cfg.grid_width = 0;
+  EXPECT_THROW(SpatialSynth{cfg}, ContractViolation);
+  cfg = small_config();
+  cfg.total_load = 0.0;
+  EXPECT_THROW(SpatialSynth{cfg}, ContractViolation);
+  cfg = small_config();
+  cfg.bin_width = cfg.duration * 2.0;
+  EXPECT_THROW(SpatialSynth{cfg}, ContractViolation);
+}
+
+TEST(SpatialField, RejectsOutOfRangeIndices) {
+  const SpatialSynth synth(small_config());
+  const auto field = synth.generate(Rng(10));
+  EXPECT_THROW(field.cell_summary(-1), ContractViolation);
+  EXPECT_THROW(field.cell_summary(100), ContractViolation);
+  EXPECT_THROW(field.bin_summary(24), ContractViolation);
+}
+
+}  // namespace
+}  // namespace hce::workload

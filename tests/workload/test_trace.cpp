@@ -1,0 +1,121 @@
+#include "workload/trace.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "support/contracts.hpp"
+
+namespace hce::workload {
+namespace {
+
+Trace sample_trace() {
+  Trace t;
+  t.push({0.0, 0, 0.10});
+  t.push({1.0, 1, 0.20});
+  t.push({2.0, 0, 0.30});
+  t.push({3.5, 2, 0.15});
+  return t;
+}
+
+TEST(Trace, BasicAccessors) {
+  const Trace t = sample_trace();
+  EXPECT_EQ(t.size(), 4u);
+  EXPECT_FALSE(t.empty());
+  EXPECT_EQ(t.num_sites(), 3);
+  EXPECT_DOUBLE_EQ(t.duration(), 3.5);
+  EXPECT_NEAR(t.mean_rate(), 4.0 / 3.5, 1e-12);
+}
+
+TEST(Trace, SiteCounts) {
+  const auto counts = sample_trace().site_counts();
+  ASSERT_EQ(counts.size(), 3u);
+  EXPECT_EQ(counts[0], 2u);
+  EXPECT_EQ(counts[1], 1u);
+  EXPECT_EQ(counts[2], 1u);
+}
+
+TEST(Trace, FilterSiteKeepsOnlyThatSite) {
+  const Trace t = sample_trace().filter_site(0);
+  EXPECT_EQ(t.size(), 2u);
+  for (const auto& e : t.events()) EXPECT_EQ(e.site, 0);
+}
+
+TEST(Trace, AggregatedMapsAllToSiteZero) {
+  const Trace agg = sample_trace().aggregated();
+  EXPECT_EQ(agg.size(), 4u);
+  EXPECT_EQ(agg.num_sites(), 1);
+  // Timestamps and demands preserved.
+  EXPECT_DOUBLE_EQ(agg[3].timestamp, 3.5);
+  EXPECT_DOUBLE_EQ(agg[3].service_demand, 0.15);
+}
+
+TEST(Trace, WindowRestrictsAndShifts) {
+  const Trace w = sample_trace().window(1.0, 3.0);
+  EXPECT_EQ(w.size(), 2u);
+  EXPECT_DOUBLE_EQ(w[0].timestamp, 0.0);
+  EXPECT_DOUBLE_EQ(w[1].timestamp, 1.0);
+}
+
+TEST(Trace, WindowRejectsEmptyInterval) {
+  EXPECT_THROW(sample_trace().window(3.0, 3.0), ContractViolation);
+}
+
+TEST(Trace, SortOrdersByTimestamp) {
+  Trace t;
+  t.push({5.0, 0, 0.1});
+  t.push({1.0, 0, 0.2});
+  t.sort();
+  EXPECT_DOUBLE_EQ(t[0].timestamp, 1.0);
+  EXPECT_DOUBLE_EQ(t[1].timestamp, 5.0);
+}
+
+TEST(Trace, CsvRoundTrip) {
+  const Trace t = sample_trace();
+  std::ostringstream os;
+  t.write_csv(os);
+  std::istringstream is(os.str());
+  const Trace back = Trace::read_csv(is);
+  ASSERT_EQ(back.size(), t.size());
+  for (std::size_t i = 0; i < t.size(); ++i) {
+    EXPECT_DOUBLE_EQ(back[i].timestamp, t[i].timestamp);
+    EXPECT_EQ(back[i].site, t[i].site);
+    EXPECT_DOUBLE_EQ(back[i].service_demand, t[i].service_demand);
+  }
+}
+
+TEST(Trace, CsvReadSkipsHeaderAndEmptyLines) {
+  std::istringstream is(
+      "timestamp,site,service_demand\n\n1.5,2,0.25\n\n");
+  const Trace t = Trace::read_csv(is);
+  ASSERT_EQ(t.size(), 1u);
+  EXPECT_DOUBLE_EQ(t[0].timestamp, 1.5);
+  EXPECT_EQ(t[0].site, 2);
+}
+
+TEST(Trace, CsvRejectsGarbage) {
+  std::istringstream is("not,a,number\nx\n");
+  EXPECT_THROW(Trace::read_csv(is), ContractViolation);
+}
+
+TEST(Trace, EmptyTraceProperties) {
+  Trace t;
+  EXPECT_TRUE(t.empty());
+  EXPECT_DOUBLE_EQ(t.duration(), 0.0);
+  EXPECT_EQ(t.num_sites(), 0);
+  EXPECT_DOUBLE_EQ(t.mean_rate(), 0.0);
+}
+
+TEST(Trace, SaveAndLoadFile) {
+  const std::string path = "/tmp/hce_trace_test.csv";
+  sample_trace().save(path);
+  const Trace t = Trace::load(path);
+  EXPECT_EQ(t.size(), 4u);
+}
+
+TEST(Trace, LoadMissingFileThrows) {
+  EXPECT_THROW(Trace::load("/nonexistent/file.csv"), ContractViolation);
+}
+
+}  // namespace
+}  // namespace hce::workload
