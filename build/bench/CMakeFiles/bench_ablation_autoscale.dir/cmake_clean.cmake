@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_autoscale.dir/bench_ablation_autoscale.cpp.o"
+  "CMakeFiles/bench_ablation_autoscale.dir/bench_ablation_autoscale.cpp.o.d"
+  "bench_ablation_autoscale"
+  "bench_ablation_autoscale.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_autoscale.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

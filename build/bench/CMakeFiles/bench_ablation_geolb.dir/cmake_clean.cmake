@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_geolb.dir/bench_ablation_geolb.cpp.o"
+  "CMakeFiles/bench_ablation_geolb.dir/bench_ablation_geolb.cpp.o.d"
+  "bench_ablation_geolb"
+  "bench_ablation_geolb.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_geolb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

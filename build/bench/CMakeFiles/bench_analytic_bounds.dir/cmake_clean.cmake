@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_analytic_bounds.dir/bench_analytic_bounds.cpp.o"
+  "CMakeFiles/bench_analytic_bounds.dir/bench_analytic_bounds.cpp.o.d"
+  "bench_analytic_bounds"
+  "bench_analytic_bounds.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_analytic_bounds.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_capacity_planning.dir/bench_capacity_planning.cpp.o"
+  "CMakeFiles/bench_capacity_planning.dir/bench_capacity_planning.cpp.o.d"
+  "bench_capacity_planning"
+  "bench_capacity_planning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_capacity_planning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

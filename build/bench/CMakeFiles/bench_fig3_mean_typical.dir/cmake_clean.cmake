@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig3_mean_typical.dir/bench_fig3_mean_typical.cpp.o"
+  "CMakeFiles/bench_fig3_mean_typical.dir/bench_fig3_mean_typical.cpp.o.d"
+  "bench_fig3_mean_typical"
+  "bench_fig3_mean_typical.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig3_mean_typical.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

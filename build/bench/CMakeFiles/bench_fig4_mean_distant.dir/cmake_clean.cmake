@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig4_mean_distant.dir/bench_fig4_mean_distant.cpp.o"
+  "CMakeFiles/bench_fig4_mean_distant.dir/bench_fig4_mean_distant.cpp.o.d"
+  "bench_fig4_mean_distant"
+  "bench_fig4_mean_distant.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4_mean_distant.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig5_tail_distant.dir/bench_fig5_tail_distant.cpp.o"
+  "CMakeFiles/bench_fig5_tail_distant.dir/bench_fig5_tail_distant.cpp.o.d"
+  "bench_fig5_tail_distant"
+  "bench_fig5_tail_distant.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5_tail_distant.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig7_cloud_locations.dir/bench_fig7_cloud_locations.cpp.o"
+  "CMakeFiles/bench_fig7_cloud_locations.dir/bench_fig7_cloud_locations.cpp.o.d"
+  "bench_fig7_cloud_locations"
+  "bench_fig7_cloud_locations.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7_cloud_locations.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_slo_economics.dir/bench_slo_economics.cpp.o"
+  "CMakeFiles/bench_slo_economics.dir/bench_slo_economics.cpp.o.d"
+  "bench_slo_economics"
+  "bench_slo_economics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_slo_economics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

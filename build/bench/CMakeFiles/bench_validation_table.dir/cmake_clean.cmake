@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_validation_table.dir/bench_validation_table.cpp.o"
+  "CMakeFiles/bench_validation_table.dir/bench_validation_table.cpp.o.d"
+  "bench_validation_table"
+  "bench_validation_table.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_validation_table.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/geo_loadbalance.dir/geo_loadbalance.cpp.o"
+  "CMakeFiles/geo_loadbalance.dir/geo_loadbalance.cpp.o.d"
+  "geo_loadbalance"
+  "geo_loadbalance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/geo_loadbalance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/site_placement.dir/site_placement.cpp.o"
+  "CMakeFiles/site_placement.dir/site_placement.cpp.o.d"
+  "site_placement"
+  "site_placement.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/site_placement.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/trace_advisor.dir/trace_advisor.cpp.o"
+  "CMakeFiles/trace_advisor.dir/trace_advisor.cpp.o.d"
+  "trace_advisor"
+  "trace_advisor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/trace_advisor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

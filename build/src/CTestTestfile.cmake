@@ -1,0 +1,17 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("support")
+subdirs("stats")
+subdirs("dist")
+subdirs("des")
+subdirs("workload")
+subdirs("queueing")
+subdirs("cluster")
+subdirs("core")
+subdirs("autoscale")
+subdirs("placement")
+subdirs("experiment")

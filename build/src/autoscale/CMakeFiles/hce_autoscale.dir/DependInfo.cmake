@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/autoscale/dynamic_station.cpp" "src/autoscale/CMakeFiles/hce_autoscale.dir/dynamic_station.cpp.o" "gcc" "src/autoscale/CMakeFiles/hce_autoscale.dir/dynamic_station.cpp.o.d"
+  "/root/repo/src/autoscale/elastic_edge.cpp" "src/autoscale/CMakeFiles/hce_autoscale.dir/elastic_edge.cpp.o" "gcc" "src/autoscale/CMakeFiles/hce_autoscale.dir/elastic_edge.cpp.o.d"
+  "/root/repo/src/autoscale/policy.cpp" "src/autoscale/CMakeFiles/hce_autoscale.dir/policy.cpp.o" "gcc" "src/autoscale/CMakeFiles/hce_autoscale.dir/policy.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/des/CMakeFiles/hce_des.dir/DependInfo.cmake"
+  "/root/repo/build/src/cluster/CMakeFiles/hce_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/hce_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/hce_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/hce_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/hce_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/dist/CMakeFiles/hce_dist.dir/DependInfo.cmake"
+  "/root/repo/build/src/queueing/CMakeFiles/hce_queueing.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hce_autoscale.dir/dynamic_station.cpp.o"
+  "CMakeFiles/hce_autoscale.dir/dynamic_station.cpp.o.d"
+  "CMakeFiles/hce_autoscale.dir/elastic_edge.cpp.o"
+  "CMakeFiles/hce_autoscale.dir/elastic_edge.cpp.o.d"
+  "CMakeFiles/hce_autoscale.dir/policy.cpp.o"
+  "CMakeFiles/hce_autoscale.dir/policy.cpp.o.d"
+  "libhce_autoscale.a"
+  "libhce_autoscale.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hce_autoscale.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cluster/deployment.cpp" "src/cluster/CMakeFiles/hce_cluster.dir/deployment.cpp.o" "gcc" "src/cluster/CMakeFiles/hce_cluster.dir/deployment.cpp.o.d"
+  "/root/repo/src/cluster/dispatch.cpp" "src/cluster/CMakeFiles/hce_cluster.dir/dispatch.cpp.o" "gcc" "src/cluster/CMakeFiles/hce_cluster.dir/dispatch.cpp.o.d"
+  "/root/repo/src/cluster/hybrid.cpp" "src/cluster/CMakeFiles/hce_cluster.dir/hybrid.cpp.o" "gcc" "src/cluster/CMakeFiles/hce_cluster.dir/hybrid.cpp.o.d"
+  "/root/repo/src/cluster/source.cpp" "src/cluster/CMakeFiles/hce_cluster.dir/source.cpp.o" "gcc" "src/cluster/CMakeFiles/hce_cluster.dir/source.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/des/CMakeFiles/hce_des.dir/DependInfo.cmake"
+  "/root/repo/build/src/dist/CMakeFiles/hce_dist.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/hce_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/hce_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/hce_stats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hce_cluster.dir/deployment.cpp.o"
+  "CMakeFiles/hce_cluster.dir/deployment.cpp.o.d"
+  "CMakeFiles/hce_cluster.dir/dispatch.cpp.o"
+  "CMakeFiles/hce_cluster.dir/dispatch.cpp.o.d"
+  "CMakeFiles/hce_cluster.dir/hybrid.cpp.o"
+  "CMakeFiles/hce_cluster.dir/hybrid.cpp.o.d"
+  "CMakeFiles/hce_cluster.dir/source.cpp.o"
+  "CMakeFiles/hce_cluster.dir/source.cpp.o.d"
+  "libhce_cluster.a"
+  "libhce_cluster.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hce_cluster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

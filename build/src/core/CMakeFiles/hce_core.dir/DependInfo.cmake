@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/advisor.cpp" "src/core/CMakeFiles/hce_core.dir/advisor.cpp.o" "gcc" "src/core/CMakeFiles/hce_core.dir/advisor.cpp.o.d"
+  "/root/repo/src/core/capacity.cpp" "src/core/CMakeFiles/hce_core.dir/capacity.cpp.o" "gcc" "src/core/CMakeFiles/hce_core.dir/capacity.cpp.o.d"
+  "/root/repo/src/core/economics.cpp" "src/core/CMakeFiles/hce_core.dir/economics.cpp.o" "gcc" "src/core/CMakeFiles/hce_core.dir/economics.cpp.o.d"
+  "/root/repo/src/core/inversion.cpp" "src/core/CMakeFiles/hce_core.dir/inversion.cpp.o" "gcc" "src/core/CMakeFiles/hce_core.dir/inversion.cpp.o.d"
+  "/root/repo/src/core/sensitivity.cpp" "src/core/CMakeFiles/hce_core.dir/sensitivity.cpp.o" "gcc" "src/core/CMakeFiles/hce_core.dir/sensitivity.cpp.o.d"
+  "/root/repo/src/core/slo.cpp" "src/core/CMakeFiles/hce_core.dir/slo.cpp.o" "gcc" "src/core/CMakeFiles/hce_core.dir/slo.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/queueing/CMakeFiles/hce_queueing.dir/DependInfo.cmake"
+  "/root/repo/build/src/dist/CMakeFiles/hce_dist.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/hce_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

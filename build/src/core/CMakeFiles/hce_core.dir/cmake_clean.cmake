@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hce_core.dir/advisor.cpp.o"
+  "CMakeFiles/hce_core.dir/advisor.cpp.o.d"
+  "CMakeFiles/hce_core.dir/capacity.cpp.o"
+  "CMakeFiles/hce_core.dir/capacity.cpp.o.d"
+  "CMakeFiles/hce_core.dir/economics.cpp.o"
+  "CMakeFiles/hce_core.dir/economics.cpp.o.d"
+  "CMakeFiles/hce_core.dir/inversion.cpp.o"
+  "CMakeFiles/hce_core.dir/inversion.cpp.o.d"
+  "CMakeFiles/hce_core.dir/sensitivity.cpp.o"
+  "CMakeFiles/hce_core.dir/sensitivity.cpp.o.d"
+  "CMakeFiles/hce_core.dir/slo.cpp.o"
+  "CMakeFiles/hce_core.dir/slo.cpp.o.d"
+  "libhce_core.a"
+  "libhce_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hce_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/des/ps_station.cpp" "src/des/CMakeFiles/hce_des.dir/ps_station.cpp.o" "gcc" "src/des/CMakeFiles/hce_des.dir/ps_station.cpp.o.d"
+  "/root/repo/src/des/simulation.cpp" "src/des/CMakeFiles/hce_des.dir/simulation.cpp.o" "gcc" "src/des/CMakeFiles/hce_des.dir/simulation.cpp.o.d"
+  "/root/repo/src/des/sink.cpp" "src/des/CMakeFiles/hce_des.dir/sink.cpp.o" "gcc" "src/des/CMakeFiles/hce_des.dir/sink.cpp.o.d"
+  "/root/repo/src/des/station.cpp" "src/des/CMakeFiles/hce_des.dir/station.cpp.o" "gcc" "src/des/CMakeFiles/hce_des.dir/station.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/hce_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/hce_stats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hce_des.dir/ps_station.cpp.o"
+  "CMakeFiles/hce_des.dir/ps_station.cpp.o.d"
+  "CMakeFiles/hce_des.dir/simulation.cpp.o"
+  "CMakeFiles/hce_des.dir/simulation.cpp.o.d"
+  "CMakeFiles/hce_des.dir/sink.cpp.o"
+  "CMakeFiles/hce_des.dir/sink.cpp.o.d"
+  "CMakeFiles/hce_des.dir/station.cpp.o"
+  "CMakeFiles/hce_des.dir/station.cpp.o.d"
+  "libhce_des.a"
+  "libhce_des.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hce_des.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

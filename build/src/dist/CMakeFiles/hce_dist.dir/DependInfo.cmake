@@ -1,0 +1,21 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dist/distribution.cpp" "src/dist/CMakeFiles/hce_dist.dir/distribution.cpp.o" "gcc" "src/dist/CMakeFiles/hce_dist.dir/distribution.cpp.o.d"
+  "/root/repo/src/dist/weights.cpp" "src/dist/CMakeFiles/hce_dist.dir/weights.cpp.o" "gcc" "src/dist/CMakeFiles/hce_dist.dir/weights.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/hce_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hce_dist.dir/distribution.cpp.o"
+  "CMakeFiles/hce_dist.dir/distribution.cpp.o.d"
+  "CMakeFiles/hce_dist.dir/weights.cpp.o"
+  "CMakeFiles/hce_dist.dir/weights.cpp.o.d"
+  "libhce_dist.a"
+  "libhce_dist.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hce_dist.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/experiment/crossover.cpp" "src/experiment/CMakeFiles/hce_experiment.dir/crossover.cpp.o" "gcc" "src/experiment/CMakeFiles/hce_experiment.dir/crossover.cpp.o.d"
+  "/root/repo/src/experiment/replay.cpp" "src/experiment/CMakeFiles/hce_experiment.dir/replay.cpp.o" "gcc" "src/experiment/CMakeFiles/hce_experiment.dir/replay.cpp.o.d"
+  "/root/repo/src/experiment/report.cpp" "src/experiment/CMakeFiles/hce_experiment.dir/report.cpp.o" "gcc" "src/experiment/CMakeFiles/hce_experiment.dir/report.cpp.o.d"
+  "/root/repo/src/experiment/runner.cpp" "src/experiment/CMakeFiles/hce_experiment.dir/runner.cpp.o" "gcc" "src/experiment/CMakeFiles/hce_experiment.dir/runner.cpp.o.d"
+  "/root/repo/src/experiment/scenario.cpp" "src/experiment/CMakeFiles/hce_experiment.dir/scenario.cpp.o" "gcc" "src/experiment/CMakeFiles/hce_experiment.dir/scenario.cpp.o.d"
+  "/root/repo/src/experiment/trace_advice.cpp" "src/experiment/CMakeFiles/hce_experiment.dir/trace_advice.cpp.o" "gcc" "src/experiment/CMakeFiles/hce_experiment.dir/trace_advice.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/cluster/CMakeFiles/hce_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/hce_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/des/CMakeFiles/hce_des.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/hce_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/dist/CMakeFiles/hce_dist.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/hce_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/hce_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/queueing/CMakeFiles/hce_queueing.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hce_experiment.dir/crossover.cpp.o"
+  "CMakeFiles/hce_experiment.dir/crossover.cpp.o.d"
+  "CMakeFiles/hce_experiment.dir/replay.cpp.o"
+  "CMakeFiles/hce_experiment.dir/replay.cpp.o.d"
+  "CMakeFiles/hce_experiment.dir/report.cpp.o"
+  "CMakeFiles/hce_experiment.dir/report.cpp.o.d"
+  "CMakeFiles/hce_experiment.dir/runner.cpp.o"
+  "CMakeFiles/hce_experiment.dir/runner.cpp.o.d"
+  "CMakeFiles/hce_experiment.dir/scenario.cpp.o"
+  "CMakeFiles/hce_experiment.dir/scenario.cpp.o.d"
+  "CMakeFiles/hce_experiment.dir/trace_advice.cpp.o"
+  "CMakeFiles/hce_experiment.dir/trace_advice.cpp.o.d"
+  "libhce_experiment.a"
+  "libhce_experiment.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hce_experiment.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

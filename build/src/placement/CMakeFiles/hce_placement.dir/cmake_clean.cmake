@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hce_placement.dir/placement.cpp.o"
+  "CMakeFiles/hce_placement.dir/placement.cpp.o.d"
+  "libhce_placement.a"
+  "libhce_placement.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hce_placement.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

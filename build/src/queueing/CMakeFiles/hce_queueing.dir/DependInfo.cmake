@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/queueing/approx.cpp" "src/queueing/CMakeFiles/hce_queueing.dir/approx.cpp.o" "gcc" "src/queueing/CMakeFiles/hce_queueing.dir/approx.cpp.o.d"
+  "/root/repo/src/queueing/finite.cpp" "src/queueing/CMakeFiles/hce_queueing.dir/finite.cpp.o" "gcc" "src/queueing/CMakeFiles/hce_queueing.dir/finite.cpp.o.d"
+  "/root/repo/src/queueing/mg1.cpp" "src/queueing/CMakeFiles/hce_queueing.dir/mg1.cpp.o" "gcc" "src/queueing/CMakeFiles/hce_queueing.dir/mg1.cpp.o.d"
+  "/root/repo/src/queueing/mm1.cpp" "src/queueing/CMakeFiles/hce_queueing.dir/mm1.cpp.o" "gcc" "src/queueing/CMakeFiles/hce_queueing.dir/mm1.cpp.o.d"
+  "/root/repo/src/queueing/mmk.cpp" "src/queueing/CMakeFiles/hce_queueing.dir/mmk.cpp.o" "gcc" "src/queueing/CMakeFiles/hce_queueing.dir/mmk.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/hce_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

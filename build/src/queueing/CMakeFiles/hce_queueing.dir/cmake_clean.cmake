@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hce_queueing.dir/approx.cpp.o"
+  "CMakeFiles/hce_queueing.dir/approx.cpp.o.d"
+  "CMakeFiles/hce_queueing.dir/finite.cpp.o"
+  "CMakeFiles/hce_queueing.dir/finite.cpp.o.d"
+  "CMakeFiles/hce_queueing.dir/mg1.cpp.o"
+  "CMakeFiles/hce_queueing.dir/mg1.cpp.o.d"
+  "CMakeFiles/hce_queueing.dir/mm1.cpp.o"
+  "CMakeFiles/hce_queueing.dir/mm1.cpp.o.d"
+  "CMakeFiles/hce_queueing.dir/mmk.cpp.o"
+  "CMakeFiles/hce_queueing.dir/mmk.cpp.o.d"
+  "libhce_queueing.a"
+  "libhce_queueing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hce_queueing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libhce_queueing.a"
+)

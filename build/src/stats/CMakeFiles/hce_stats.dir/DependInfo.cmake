@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/stats/autocorr.cpp" "src/stats/CMakeFiles/hce_stats.dir/autocorr.cpp.o" "gcc" "src/stats/CMakeFiles/hce_stats.dir/autocorr.cpp.o.d"
+  "/root/repo/src/stats/boxplot.cpp" "src/stats/CMakeFiles/hce_stats.dir/boxplot.cpp.o" "gcc" "src/stats/CMakeFiles/hce_stats.dir/boxplot.cpp.o.d"
+  "/root/repo/src/stats/ci.cpp" "src/stats/CMakeFiles/hce_stats.dir/ci.cpp.o" "gcc" "src/stats/CMakeFiles/hce_stats.dir/ci.cpp.o.d"
+  "/root/repo/src/stats/histogram.cpp" "src/stats/CMakeFiles/hce_stats.dir/histogram.cpp.o" "gcc" "src/stats/CMakeFiles/hce_stats.dir/histogram.cpp.o.d"
+  "/root/repo/src/stats/quantiles.cpp" "src/stats/CMakeFiles/hce_stats.dir/quantiles.cpp.o" "gcc" "src/stats/CMakeFiles/hce_stats.dir/quantiles.cpp.o.d"
+  "/root/repo/src/stats/series.cpp" "src/stats/CMakeFiles/hce_stats.dir/series.cpp.o" "gcc" "src/stats/CMakeFiles/hce_stats.dir/series.cpp.o.d"
+  "/root/repo/src/stats/summary.cpp" "src/stats/CMakeFiles/hce_stats.dir/summary.cpp.o" "gcc" "src/stats/CMakeFiles/hce_stats.dir/summary.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/hce_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hce_stats.dir/autocorr.cpp.o"
+  "CMakeFiles/hce_stats.dir/autocorr.cpp.o.d"
+  "CMakeFiles/hce_stats.dir/boxplot.cpp.o"
+  "CMakeFiles/hce_stats.dir/boxplot.cpp.o.d"
+  "CMakeFiles/hce_stats.dir/ci.cpp.o"
+  "CMakeFiles/hce_stats.dir/ci.cpp.o.d"
+  "CMakeFiles/hce_stats.dir/histogram.cpp.o"
+  "CMakeFiles/hce_stats.dir/histogram.cpp.o.d"
+  "CMakeFiles/hce_stats.dir/quantiles.cpp.o"
+  "CMakeFiles/hce_stats.dir/quantiles.cpp.o.d"
+  "CMakeFiles/hce_stats.dir/series.cpp.o"
+  "CMakeFiles/hce_stats.dir/series.cpp.o.d"
+  "CMakeFiles/hce_stats.dir/summary.cpp.o"
+  "CMakeFiles/hce_stats.dir/summary.cpp.o.d"
+  "libhce_stats.a"
+  "libhce_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hce_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

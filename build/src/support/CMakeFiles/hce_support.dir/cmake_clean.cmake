@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hce_support.dir/math.cpp.o"
+  "CMakeFiles/hce_support.dir/math.cpp.o.d"
+  "CMakeFiles/hce_support.dir/table.cpp.o"
+  "CMakeFiles/hce_support.dir/table.cpp.o.d"
+  "libhce_support.a"
+  "libhce_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hce_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

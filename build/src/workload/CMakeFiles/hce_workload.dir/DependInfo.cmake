@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workload/analysis.cpp" "src/workload/CMakeFiles/hce_workload.dir/analysis.cpp.o" "gcc" "src/workload/CMakeFiles/hce_workload.dir/analysis.cpp.o.d"
+  "/root/repo/src/workload/arrival.cpp" "src/workload/CMakeFiles/hce_workload.dir/arrival.cpp.o" "gcc" "src/workload/CMakeFiles/hce_workload.dir/arrival.cpp.o.d"
+  "/root/repo/src/workload/azure.cpp" "src/workload/CMakeFiles/hce_workload.dir/azure.cpp.o" "gcc" "src/workload/CMakeFiles/hce_workload.dir/azure.cpp.o.d"
+  "/root/repo/src/workload/profile.cpp" "src/workload/CMakeFiles/hce_workload.dir/profile.cpp.o" "gcc" "src/workload/CMakeFiles/hce_workload.dir/profile.cpp.o.d"
+  "/root/repo/src/workload/service.cpp" "src/workload/CMakeFiles/hce_workload.dir/service.cpp.o" "gcc" "src/workload/CMakeFiles/hce_workload.dir/service.cpp.o.d"
+  "/root/repo/src/workload/spatial.cpp" "src/workload/CMakeFiles/hce_workload.dir/spatial.cpp.o" "gcc" "src/workload/CMakeFiles/hce_workload.dir/spatial.cpp.o.d"
+  "/root/repo/src/workload/trace.cpp" "src/workload/CMakeFiles/hce_workload.dir/trace.cpp.o" "gcc" "src/workload/CMakeFiles/hce_workload.dir/trace.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/hce_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/dist/CMakeFiles/hce_dist.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/hce_stats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hce_workload.dir/analysis.cpp.o"
+  "CMakeFiles/hce_workload.dir/analysis.cpp.o.d"
+  "CMakeFiles/hce_workload.dir/arrival.cpp.o"
+  "CMakeFiles/hce_workload.dir/arrival.cpp.o.d"
+  "CMakeFiles/hce_workload.dir/azure.cpp.o"
+  "CMakeFiles/hce_workload.dir/azure.cpp.o.d"
+  "CMakeFiles/hce_workload.dir/profile.cpp.o"
+  "CMakeFiles/hce_workload.dir/profile.cpp.o.d"
+  "CMakeFiles/hce_workload.dir/service.cpp.o"
+  "CMakeFiles/hce_workload.dir/service.cpp.o.d"
+  "CMakeFiles/hce_workload.dir/spatial.cpp.o"
+  "CMakeFiles/hce_workload.dir/spatial.cpp.o.d"
+  "CMakeFiles/hce_workload.dir/trace.cpp.o"
+  "CMakeFiles/hce_workload.dir/trace.cpp.o.d"
+  "libhce_workload.a"
+  "libhce_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hce_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

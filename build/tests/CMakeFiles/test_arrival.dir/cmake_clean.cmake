@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_arrival.dir/workload/test_arrival.cpp.o"
+  "CMakeFiles/test_arrival.dir/workload/test_arrival.cpp.o.d"
+  "test_arrival"
+  "test_arrival.pdb"
+  "test_arrival[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_arrival.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_autocorr.dir/stats/test_autocorr.cpp.o"
+  "CMakeFiles/test_autocorr.dir/stats/test_autocorr.cpp.o.d"
+  "test_autocorr"
+  "test_autocorr.pdb"
+  "test_autocorr[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_autocorr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_autoscale_policy.dir/autoscale/test_policy.cpp.o"
+  "CMakeFiles/test_autoscale_policy.dir/autoscale/test_policy.cpp.o.d"
+  "test_autoscale_policy"
+  "test_autoscale_policy.pdb"
+  "test_autoscale_policy[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_autoscale_policy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

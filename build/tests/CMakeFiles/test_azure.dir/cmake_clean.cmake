@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_azure.dir/workload/test_azure.cpp.o"
+  "CMakeFiles/test_azure.dir/workload/test_azure.cpp.o.d"
+  "test_azure"
+  "test_azure.pdb"
+  "test_azure[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_azure.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_dynamic_station.dir/autoscale/test_dynamic_station.cpp.o"
+  "CMakeFiles/test_dynamic_station.dir/autoscale/test_dynamic_station.cpp.o.d"
+  "test_dynamic_station"
+  "test_dynamic_station.pdb"
+  "test_dynamic_station[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_dynamic_station.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

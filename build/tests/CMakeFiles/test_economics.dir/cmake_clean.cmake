@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_economics.dir/core/test_economics.cpp.o"
+  "CMakeFiles/test_economics.dir/core/test_economics.cpp.o.d"
+  "test_economics"
+  "test_economics.pdb"
+  "test_economics[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_economics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_elastic_edge.dir/autoscale/test_elastic_edge.cpp.o"
+  "CMakeFiles/test_elastic_edge.dir/autoscale/test_elastic_edge.cpp.o.d"
+  "test_elastic_edge"
+  "test_elastic_edge.pdb"
+  "test_elastic_edge[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_elastic_edge.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

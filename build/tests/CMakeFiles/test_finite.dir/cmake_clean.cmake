@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_finite.dir/queueing/test_finite.cpp.o"
+  "CMakeFiles/test_finite.dir/queueing/test_finite.cpp.o.d"
+  "test_finite"
+  "test_finite.pdb"
+  "test_finite[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_finite.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

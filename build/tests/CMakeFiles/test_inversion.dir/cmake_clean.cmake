@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_inversion.dir/core/test_inversion.cpp.o"
+  "CMakeFiles/test_inversion.dir/core/test_inversion.cpp.o.d"
+  "test_inversion"
+  "test_inversion.pdb"
+  "test_inversion[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_inversion.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

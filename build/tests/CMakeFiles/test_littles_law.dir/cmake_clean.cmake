@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_littles_law.dir/integration/test_littles_law.cpp.o"
+  "CMakeFiles/test_littles_law.dir/integration/test_littles_law.cpp.o.d"
+  "test_littles_law"
+  "test_littles_law.pdb"
+  "test_littles_law[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_littles_law.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_mg1_approx.dir/queueing/test_mg1_approx.cpp.o"
+  "CMakeFiles/test_mg1_approx.dir/queueing/test_mg1_approx.cpp.o.d"
+  "test_mg1_approx"
+  "test_mg1_approx.pdb"
+  "test_mg1_approx[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_mg1_approx.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

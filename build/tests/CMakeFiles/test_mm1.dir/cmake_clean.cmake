@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_mm1.dir/queueing/test_mm1.cpp.o"
+  "CMakeFiles/test_mm1.dir/queueing/test_mm1.cpp.o.d"
+  "test_mm1"
+  "test_mm1.pdb"
+  "test_mm1[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_mm1.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

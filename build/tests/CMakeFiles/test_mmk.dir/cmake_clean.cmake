@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_mmk.dir/queueing/test_mmk.cpp.o"
+  "CMakeFiles/test_mmk.dir/queueing/test_mmk.cpp.o.d"
+  "test_mmk"
+  "test_mmk.pdb"
+  "test_mmk[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_mmk.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

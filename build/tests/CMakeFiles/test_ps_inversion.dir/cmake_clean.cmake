@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ps_inversion.dir/integration/test_ps_inversion.cpp.o"
+  "CMakeFiles/test_ps_inversion.dir/integration/test_ps_inversion.cpp.o.d"
+  "test_ps_inversion"
+  "test_ps_inversion.pdb"
+  "test_ps_inversion[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ps_inversion.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_quantiles.dir/stats/test_quantiles.cpp.o"
+  "CMakeFiles/test_quantiles.dir/stats/test_quantiles.cpp.o.d"
+  "test_quantiles"
+  "test_quantiles.pdb"
+  "test_quantiles[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_quantiles.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sim_vs_theory.dir/integration/test_sim_vs_theory.cpp.o"
+  "CMakeFiles/test_sim_vs_theory.dir/integration/test_sim_vs_theory.cpp.o.d"
+  "test_sim_vs_theory"
+  "test_sim_vs_theory.pdb"
+  "test_sim_vs_theory[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sim_vs_theory.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_slo.dir/core/test_slo.cpp.o"
+  "CMakeFiles/test_slo.dir/core/test_slo.cpp.o.d"
+  "test_slo"
+  "test_slo.pdb"
+  "test_slo[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_slo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/stats/test_timeweighted.cpp" "tests/CMakeFiles/test_timeweighted.dir/stats/test_timeweighted.cpp.o" "gcc" "tests/CMakeFiles/test_timeweighted.dir/stats/test_timeweighted.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/autoscale/CMakeFiles/hce_autoscale.dir/DependInfo.cmake"
+  "/root/repo/build/src/placement/CMakeFiles/hce_placement.dir/DependInfo.cmake"
+  "/root/repo/build/src/experiment/CMakeFiles/hce_experiment.dir/DependInfo.cmake"
+  "/root/repo/build/src/cluster/CMakeFiles/hce_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/des/CMakeFiles/hce_des.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/hce_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/hce_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/hce_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/dist/CMakeFiles/hce_dist.dir/DependInfo.cmake"
+  "/root/repo/build/src/queueing/CMakeFiles/hce_queueing.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/hce_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_timeweighted.dir/stats/test_timeweighted.cpp.o"
+  "CMakeFiles/test_timeweighted.dir/stats/test_timeweighted.cpp.o.d"
+  "test_timeweighted"
+  "test_timeweighted.pdb"
+  "test_timeweighted[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_timeweighted.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

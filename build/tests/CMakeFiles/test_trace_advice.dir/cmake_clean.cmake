@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_trace_advice.dir/experiment/test_trace_advice.cpp.o"
+  "CMakeFiles/test_trace_advice.dir/experiment/test_trace_advice.cpp.o.d"
+  "test_trace_advice"
+  "test_trace_advice.pdb"
+  "test_trace_advice[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_trace_advice.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
