@@ -1,0 +1,116 @@
+// fault_drill: watch one CRN-paired edge-vs-cloud run ride out injected
+// faults.
+//
+// Builds a typical-cloud scenario with edge-site crashes (MTTF/MTTR),
+// WAN latency spikes with transient partitions, and the client-side
+// timeout/retry/failover policy, then prints:
+//   1. the materialized fault trace (per-site outage windows),
+//   2. the paired client-side scoreboard — offered, delivered, retries,
+//      abandoned, duplicates — for both deployments,
+//   3. latency and availability side by side.
+//
+// Usage: fault_drill [mttf_seconds] [rate_per_server]
+//   defaults: mttf=300, rate=6  (mttr fixed at 30 s)
+#include <cstdlib>
+#include <iostream>
+
+#include "experiment/runner.hpp"
+#include "experiment/scenario.hpp"
+#include "faults/fault.hpp"
+#include "support/rng.hpp"
+#include "support/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace hce;
+
+  const double mttf = argc > 1 ? std::atof(argv[1]) : 300.0;
+  const double mttr = 30.0;
+  const Rate rate = argc > 2 ? std::atof(argv[2]) : 6.0;
+  if (mttf <= 0.0 || rate <= 0.0) {
+    std::cerr << "usage: fault_drill [mttf_seconds] [rate_per_server]\n";
+    return 1;
+  }
+
+  experiment::Scenario sc = experiment::Scenario::typical_cloud();
+  sc.warmup = 60.0;
+  sc.duration = 600.0;
+  sc.replications = 1;
+  sc.faults.edge_site.enabled = true;
+  sc.faults.edge_site.mttf = mttf;
+  sc.faults.edge_site.mttr = mttr;
+  sc.faults.mirror_to_cloud = true;  // same machines crash on both sides
+  sc.faults.edge_link.enabled = true;
+  sc.faults.edge_link.mean_spike_gap = 120.0;
+  sc.faults.edge_link.mean_spike_duration = 2.0;
+  sc.faults.edge_link.spike_extra_rtt = 0.040;
+  sc.faults.edge_link.partition_fraction = 0.3;
+  sc.retry.enabled = true;
+  // The timeout sits well above the healthy sojourn time so it only trips
+  // on crashes and partitions. Tightening it (or raising the rate) pushes
+  // the edge into a self-sustaining retry storm — killed work re-issues,
+  // the extra load drives sojourn past the timeout, and every attempt
+  // times out from then on. Try `fault_drill 120 10` to watch that.
+  sc.retry.timeout = 2.0;
+  sc.retry.max_retries = 2;
+
+  std::cout << "fault drill: " << sc.num_sites << " edge sites of "
+            << sc.servers_per_site << " server(s) vs " << sc.cloud_servers()
+            << "-server cloud, MTTF " << mttf << " s, MTTR " << mttr
+            << " s (site availability "
+            << format_fixed(sc.faults.edge_site.availability(), 3) << "), "
+            << rate << " req/s per server\n";
+
+  // 1. The fault trace the run will replay (same substream the runner
+  //    draws: seed -> "faults" -> replication 0).
+  const Time horizon = sc.warmup + sc.duration;
+  const auto trace = faults::FaultTrace::generate(
+      sc.faults, sc.num_sites, horizon,
+      Rng(sc.seed).stream("replication", 0).stream("faults"));
+  std::cout << "\n--- materialized outage windows (replication 0) ---\n";
+  for (int s = 0; s < sc.num_sites; ++s) {
+    std::cout << "site " << s << ":";
+    for (const auto& o : trace.site_outages[static_cast<std::size_t>(s)]) {
+      std::cout << "  [" << format_fixed(o.start, 0) << ", "
+                << format_fixed(o.end, 0) << ")";
+    }
+    std::cout << "  (down "
+              << format_fixed(100.0 * trace.site_downtime_fraction(s), 1)
+              << "%)\n";
+  }
+
+  // 2-3. Run the paired replication and print the scoreboard.
+  const auto out = experiment::run_replication(sc, rate, 0);
+
+  TextTable t({"side", "offered", "delivered", "retries", "abandoned",
+               "duplicates", "availability"});
+  const auto row = [&t](const char* side, const cluster::ClientStats& c) {
+    t.row()
+        .add(side)
+        .add(static_cast<int>(c.offered))
+        .add(static_cast<int>(c.delivered))
+        .add(static_cast<int>(c.retries))
+        .add(static_cast<int>(c.timeouts))
+        .add(static_cast<int>(c.duplicates))
+        .add(c.availability(), 4);
+  };
+  std::cout << "\n--- client scoreboard (post-warmup) ---\n";
+  row("edge", out.edge_client);
+  row("cloud", out.cloud_client);
+  t.print(std::cout);
+  std::cout << "edge failover hops: " << out.edge_failovers
+            << ", requests killed/black-holed inside the edge: "
+            << out.edge_dropped << " (cloud: " << out.cloud_dropped << ")\n";
+
+  double edge_mean = 0.0, cloud_mean = 0.0;
+  for (double v : out.edge_latencies) edge_mean += v;
+  if (!out.edge_latencies.empty()) edge_mean /= out.edge_latencies.size();
+  for (double v : out.cloud_latencies) cloud_mean += v;
+  if (!out.cloud_latencies.empty()) cloud_mean /= out.cloud_latencies.size();
+  std::cout << "\nmean latency (delivered only): edge "
+            << format_fixed(1e3 * edge_mean, 2) << " ms vs cloud "
+            << format_fixed(1e3 * cloud_mean, 2) << " ms\n";
+  std::cout << "the cloud absorbs the *same* crashes behind one queue; the "
+               "edge pays failover hops\nand retry latency for every site "
+               "outage. Try: fault_drill 120 10\n";
+  return 0;
+}

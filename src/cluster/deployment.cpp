@@ -7,60 +7,172 @@
 
 namespace hce::cluster {
 
+// ---------------------------------------------------------------------------
+// Cloud
+// ---------------------------------------------------------------------------
+
 CloudDeployment::CloudDeployment(des::Simulation& sim, CloudConfig cfg,
                                  Rng rng)
     : sim_(sim),
-      cfg_(cfg),
+      cfg_(std::move(cfg)),
       rng_(std::move(rng)),
-      cluster_(sim, "cloud", cfg.num_servers, cfg.dispatch, cfg.speed) {
+      cluster_(sim, "cloud", cfg_.num_servers, cfg_.dispatch, cfg_.speed) {
   cluster_.set_completion_handler([this](const des::Request& done) {
-    // Downlink back to the client, then record.
+    // Downlink back to the client, then deliver. A partitioned WAN path
+    // swallows the response; the client's timeout recovers the request.
     des::Request copy = done;
-    const Time downlink = cfg_.network.one_way(rng_);
+    Time extra = 0.0;
+    if (cfg_.link_faults) {
+      if (cfg_.link_faults->partitioned(sim_.now())) {
+        ++client_.link_drops;
+        return;
+      }
+      extra = cfg_.link_faults->extra_one_way(sim_.now());
+    }
+    const Time downlink = cfg_.network.one_way(rng_) + extra;
     sim_.schedule_in(downlink, [this, copy]() mutable {
       copy.t_completed = sim_.now();
-      sink_.record(copy);
+      deliver(std::move(copy));
     });
   });
 }
 
 void CloudDeployment::submit(des::Request req) {
   req.t_created = sim_.now();
-  const Time uplink = cfg_.network.one_way(rng_) + cfg_.dispatch_overhead;
+  ++client_.offered;
+  if (cfg_.retry.enabled) {
+    req.client_token = next_token_++;
+    start_attempt(std::move(req), 1, epoch_);
+  } else {
+    send_attempt(std::move(req));
+  }
+}
+
+void CloudDeployment::start_attempt(des::Request req, int attempt,
+                                    std::uint64_t epoch) {
+  const std::uint64_t token = req.client_token;
+  const auto timeout_event = sim_.schedule_in(
+      cfg_.retry.timeout, [this, token] { on_timeout(token); });
+  pending_[token] = PendingRequest{timeout_event, attempt, epoch, req};
+  send_attempt(std::move(req));
+}
+
+void CloudDeployment::send_attempt(des::Request req) {
+  Time extra = 0.0;
+  if (cfg_.link_faults) {
+    if (cfg_.link_faults->partitioned(sim_.now())) {
+      ++client_.link_drops;  // lost in transit; the timeout recovers it
+      return;
+    }
+    extra = cfg_.link_faults->extra_one_way(sim_.now());
+  }
+  const Time uplink =
+      cfg_.network.one_way(rng_) + extra + cfg_.dispatch_overhead;
   sim_.schedule_in(uplink, [this, r = std::move(req)]() mutable {
     cluster_.dispatch(std::move(r), rng_);
   });
 }
 
+void CloudDeployment::on_timeout(std::uint64_t token) {
+  const auto it = pending_.find(token);
+  if (it == pending_.end()) return;
+  PendingRequest p = std::move(it->second);
+  pending_.erase(it);
+  // Requests offered before a stats reset keep retrying (the client does
+  // not know about measurement epochs) but touch no counter.
+  const bool counted = p.epoch == epoch_;
+  if (p.attempt >= 1 + cfg_.retry.max_retries) {
+    if (counted) ++client_.timeouts;  // budget exhausted: client gives up
+    return;
+  }
+  if (counted) ++client_.retries;
+  const Time backoff = cfg_.retry.backoff_before(p.attempt);
+  sim_.schedule_in(backoff, [this, p = std::move(p)]() mutable {
+    // The cloud has a single dispatcher: retries go back to it.
+    start_attempt(std::move(p.req), p.attempt + 1, p.epoch);
+  });
+}
+
+void CloudDeployment::deliver(des::Request req) {
+  bool counted = true;
+  if (cfg_.retry.enabled) {
+    const auto it = pending_.find(req.client_token);
+    if (it == pending_.end()) {
+      // The client already timed this attempt out (and either retried or
+      // gave up); the late response is a duplicate.
+      ++client_.duplicates;
+      return;
+    }
+    counted = it->second.epoch == epoch_;
+    sim_.cancel(it->second.timeout_event);
+    pending_.erase(it);
+  }
+  if (counted) ++client_.delivered;
+  sink_.record(req);
+}
+
+void CloudDeployment::reset_stats() {
+  cluster_.reset_stats();
+  client_ = ClientStats{};
+  ++epoch_;
+}
+
+// ---------------------------------------------------------------------------
+// Edge
+// ---------------------------------------------------------------------------
+
 EdgeDeployment::EdgeDeployment(des::Simulation& sim, EdgeConfig cfg, Rng rng)
-    : sim_(sim), cfg_(cfg), rng_(std::move(rng)) {
-  HCE_EXPECT(cfg.num_sites >= 1, "edge deployment needs >= 1 site");
-  HCE_EXPECT(cfg.servers_per_site >= 1,
+    : sim_(sim), cfg_(std::move(cfg)), rng_(std::move(rng)) {
+  HCE_EXPECT(cfg_.num_sites >= 1, "edge deployment needs >= 1 site");
+  HCE_EXPECT(cfg_.servers_per_site >= 1,
              "edge deployment needs >= 1 server per site");
-  sites_.reserve(static_cast<std::size_t>(cfg.num_sites));
-  for (int s = 0; s < cfg.num_sites; ++s) {
+  HCE_EXPECT(cfg_.site_link_faults.empty() ||
+                 static_cast<int>(cfg_.site_link_faults.size()) ==
+                     cfg_.num_sites,
+             "site_link_faults must be empty or one entry per site");
+  sites_.reserve(static_cast<std::size_t>(cfg_.num_sites));
+  for (int s = 0; s < cfg_.num_sites; ++s) {
     sites_.push_back(std::make_unique<des::Station>(
-        sim, "edge/" + std::to_string(s), cfg.servers_per_site, cfg.speed,
+        sim, "edge/" + std::to_string(s), cfg_.servers_per_site, cfg_.speed,
         s));
     sites_.back()->set_completion_handler([this](const des::Request& done) {
       des::Request copy = done;
-      const Time downlink = cfg_.network.one_way(rng_);
+      Time extra = 0.0;
+      const faults::LinkSchedule* ls = link_schedule(done.station_id);
+      if (ls != nullptr) {
+        if (ls->partitioned(sim_.now())) {
+          ++client_.link_drops;  // response lost; client timeout recovers
+          return;
+        }
+        extra = ls->extra_one_way(sim_.now());
+      }
+      const Time downlink = cfg_.network.one_way(rng_) + extra;
       sim_.schedule_in(downlink, [this, copy]() mutable {
         copy.t_completed = sim_.now();
-        sink_.record(copy);
+        deliver(std::move(copy));
       });
     });
   }
 }
 
+const faults::LinkSchedule* EdgeDeployment::link_schedule(int site) const {
+  if (cfg_.site_link_faults.empty() || site < 0 ||
+      site >= static_cast<int>(cfg_.site_link_faults.size())) {
+    return nullptr;
+  }
+  return cfg_.site_link_faults[static_cast<std::size_t>(site)].get();
+}
+
 int EdgeDeployment::pick_redirect_target(int from_site) const {
-  // Least in-system among the other sites.
+  // Least in-system among the other *up* sites (redirecting into a crashed
+  // site would black-hole the request behind an attractive queue of zero).
   int best = -1;
   std::size_t best_n = std::numeric_limits<std::size_t>::max();
   for (int s = 0; s < cfg_.num_sites; ++s) {
     if (s == from_site) continue;
-    const std::size_t n =
-        sites_[static_cast<std::size_t>(s)]->in_system();
+    const auto& st = *sites_[static_cast<std::size_t>(s)];
+    if (!st.is_up()) continue;
+    const std::size_t n = st.in_system();
     if (n < best_n) {
       best_n = n;
       best = s;
@@ -69,9 +181,32 @@ int EdgeDeployment::pick_redirect_target(int from_site) const {
   return best;
 }
 
+int EdgeDeployment::next_up_site(int from) const {
+  for (int d = 1; d < cfg_.num_sites; ++d) {
+    const int s = (from + d) % cfg_.num_sites;
+    if (sites_[static_cast<std::size_t>(s)]->is_up()) return s;
+  }
+  return -1;
+}
+
 void EdgeDeployment::arrive_at_site(des::Request req, int site_index) {
   auto& station = *sites_[static_cast<std::size_t>(site_index)];
-  if (cfg_.geo_lb && req.redirects < cfg_.max_redirects &&
+  if (!station.is_up() && cfg_.retry.failover) {
+    // Dispatcher health checks: reroute around the crashed site to the
+    // next-nearest up one, paying one inter-site hop. If every site is
+    // down the request black-holes at the local station (counted in
+    // dropped()) and the client timeout takes over.
+    const int target = next_up_site(site_index);
+    if (target >= 0) {
+      ++failover_count_;
+      const Time hop = cfg_.inter_site_rtt / 2.0;
+      sim_.schedule_in(hop, [this, target, r = std::move(req)]() mutable {
+        arrive_at_site(std::move(r), target);
+      });
+      return;
+    }
+  }
+  if (cfg_.geo_lb && req.redirects < cfg_.max_redirects && station.is_up() &&
       station.queue_length() >= cfg_.geo_lb_queue_threshold) {
     const int target = pick_redirect_target(site_index);
     if (target >= 0 &&
@@ -93,11 +228,82 @@ void EdgeDeployment::submit(des::Request req) {
   HCE_EXPECT(req.site >= 0 && req.site < cfg_.num_sites,
              "edge submit: request site out of range");
   req.t_created = sim_.now();
+  ++client_.offered;
   const int target = req.site;
-  const Time uplink = cfg_.network.one_way(rng_);
+  if (cfg_.retry.enabled) {
+    req.client_token = next_token_++;
+    start_attempt(std::move(req), 1, target, epoch_);
+  } else {
+    send_attempt(std::move(req), target);
+  }
+}
+
+void EdgeDeployment::start_attempt(des::Request req, int attempt, int target,
+                                   std::uint64_t epoch) {
+  const std::uint64_t token = req.client_token;
+  const auto timeout_event = sim_.schedule_in(
+      cfg_.retry.timeout, [this, token] { on_timeout(token); });
+  pending_[token] = PendingRequest{timeout_event, attempt, target, epoch, req};
+  send_attempt(std::move(req), target);
+}
+
+void EdgeDeployment::send_attempt(des::Request req, int target) {
+  Time extra = 0.0;
+  const faults::LinkSchedule* ls = link_schedule(target);
+  if (ls != nullptr) {
+    if (ls->partitioned(sim_.now())) {
+      ++client_.link_drops;  // lost in transit; the timeout recovers it
+      return;
+    }
+    extra = ls->extra_one_way(sim_.now());
+  }
+  const Time uplink = cfg_.network.one_way(rng_) + extra;
   sim_.schedule_in(uplink, [this, target, r = std::move(req)]() mutable {
     arrive_at_site(std::move(r), target);
   });
+}
+
+void EdgeDeployment::on_timeout(std::uint64_t token) {
+  const auto it = pending_.find(token);
+  if (it == pending_.end()) return;
+  PendingRequest p = std::move(it->second);
+  pending_.erase(it);
+  // Requests offered before a stats reset keep retrying (the client does
+  // not know about measurement epochs) but touch no counter.
+  const bool counted = p.epoch == epoch_;
+  if (p.attempt >= 1 + cfg_.retry.max_retries) {
+    if (counted) ++client_.timeouts;  // budget exhausted: client gives up
+    return;
+  }
+  if (counted) ++client_.retries;
+  const Time backoff = cfg_.retry.backoff_before(p.attempt);
+  sim_.schedule_in(backoff, [this, p = std::move(p)]() mutable {
+    // Pick the failover target at re-issue time (sites may have recovered
+    // or crashed during the backoff). Ring order from the last target —
+    // also a hedge when the timeout was congestion, not a crash.
+    int target = p.req.site;
+    if (cfg_.retry.failover) {
+      const int next = next_up_site(p.target);
+      target = next >= 0 ? next : p.target;
+    }
+    start_attempt(std::move(p.req), p.attempt + 1, target, p.epoch);
+  });
+}
+
+void EdgeDeployment::deliver(des::Request req) {
+  bool counted = true;
+  if (cfg_.retry.enabled) {
+    const auto it = pending_.find(req.client_token);
+    if (it == pending_.end()) {
+      ++client_.duplicates;  // stale response of a retried attempt
+      return;
+    }
+    counted = it->second.epoch == epoch_;
+    sim_.cancel(it->second.timeout_event);
+    pending_.erase(it);
+  }
+  if (counted) ++client_.delivered;
+  sink_.record(req);
 }
 
 double EdgeDeployment::utilization() const {
@@ -112,9 +318,18 @@ std::uint64_t EdgeDeployment::completed() const {
   return n;
 }
 
+std::uint64_t EdgeDeployment::dropped() const {
+  std::uint64_t n = 0;
+  for (const auto& s : sites_) n += s->dropped_arrivals() + s->killed();
+  return n;
+}
+
 void EdgeDeployment::reset_stats() {
   for (auto& s : sites_) s->reset_stats();
   redirect_count_ = 0;
+  failover_count_ = 0;
+  client_ = ClientStats{};
+  ++epoch_;
 }
 
 }  // namespace hce::cluster

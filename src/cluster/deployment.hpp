@@ -10,9 +10,18 @@
 //   EdgeDeployment — k sites of m servers each, a short network RTT
 //   (n_edge), requests pinned to their originating site (optionally with
 //   geographic load balancing, §5.1's "queue jockeying" mitigation).
+//
+// Both also embed the *client* of the paper's measurement harness: an
+// at-least-once timeout/retry/backoff loop (RetryPolicy) plus per-leg
+// consultation of a faults::LinkSchedule, so scenarios with crashed sites
+// or partitioned WAN links complete (or are counted as timed out) instead
+// of black-holing. With faults disabled and retries off, the request path
+// is byte-identical to the fault-free original.
 #pragma once
 
+#include <cstdint>
 #include <memory>
+#include <unordered_map>
 #include <vector>
 
 #include "cluster/dispatch.hpp"
@@ -21,9 +30,47 @@
 #include "des/simulation.hpp"
 #include "des/sink.hpp"
 #include "des/station.hpp"
+#include "faults/fault.hpp"
 #include "support/rng.hpp"
 
 namespace hce::cluster {
+
+/// Client-side accounting of the timeout/retry loop. The core identity —
+/// asserted by the invariant tests — is that with retries enabled every
+/// offered request resolves exactly once:
+///
+///   offered == delivered + timeouts        (after the calendar drains)
+///
+/// (delivered counts first responses only; late duplicate responses of
+/// retried requests land in `duplicates`, legs lost to WAN partitions in
+/// `link_drops`.) Without retries, faults can lose requests silently and
+/// only offered/delivered remain meaningful.
+///
+/// Counters describe the cohort of requests *offered since the last
+/// reset_stats()*: a request submitted before a warmup reset but resolving
+/// after it touches no counter (otherwise `timeouts` could exceed
+/// `offered` and availability would leave [0, 1]).
+struct ClientStats {
+  std::uint64_t offered = 0;     ///< logical requests submitted
+  std::uint64_t delivered = 0;   ///< first responses accepted by clients
+  std::uint64_t retries = 0;     ///< re-issued attempts
+  std::uint64_t timeouts = 0;    ///< abandoned after the retry budget
+  std::uint64_t duplicates = 0;  ///< stale responses dropped at the client
+  std::uint64_t link_drops = 0;  ///< request/response legs lost to partitions
+
+  /// Fraction of offered requests *not* abandoned. 1.0 when fault-free.
+  double availability() const {
+    return offered > 0
+               ? 1.0 - static_cast<double>(timeouts) /
+                           static_cast<double>(offered)
+               : 1.0;
+  }
+  double timeout_rate() const {
+    return offered > 0 ? static_cast<double>(timeouts) /
+                             static_cast<double>(offered)
+                       : 0.0;
+  }
+};
 
 struct CloudConfig {
   int num_servers = 5;
@@ -32,8 +79,13 @@ struct CloudConfig {
   double speed = 1.0;
   NetworkModel network = NetworkModel::fixed(0.025);
   DispatchPolicy dispatch = DispatchPolicy::kCentralQueue;
-  /// Per-request load-balancer processing overhead (HAProxy hop).
+  /// Per-request fixed load-balancer processing overhead (HAProxy hop).
   Time dispatch_overhead = 0.0;
+  /// Client-side timeout/retry/backoff policy (failover does not apply to
+  /// the single-site cloud; retries go back to the same dispatcher).
+  RetryPolicy retry;
+  /// WAN degradation schedule on the client->cloud path (null = healthy).
+  std::shared_ptr<const faults::LinkSchedule> link_faults;
 };
 
 class CloudDeployment {
@@ -49,16 +101,35 @@ class CloudDeployment {
   const des::Sink& sink() const { return sink_; }
   double utilization() const { return cluster_.utilization(); }
   std::uint64_t completed() const { return cluster_.completed(); }
-  void reset_stats() { cluster_.reset_stats(); }
+  const ClientStats& client_stats() const { return client_; }
+  /// Requests black-holed or killed inside the cluster (crashed servers).
+  std::uint64_t dropped() const { return cluster_.dropped(); }
+  void reset_stats();
   const CloudConfig& config() const { return cfg_; }
   Cluster& cluster() { return cluster_; }
 
  private:
+  struct PendingRequest {
+    des::Simulation::EventId timeout_event;
+    int attempt = 1;  ///< 1-based attempt number currently in flight
+    std::uint64_t epoch = 0;  ///< stats epoch the request was offered in
+    des::Request req;
+  };
+
+  void start_attempt(des::Request req, int attempt, std::uint64_t epoch);
+  void send_attempt(des::Request req);
+  void on_timeout(std::uint64_t token);
+  void deliver(des::Request req);
+
   des::Simulation& sim_;
   CloudConfig cfg_;
   Rng rng_;
   Cluster cluster_;
   des::Sink sink_;
+  std::unordered_map<std::uint64_t, PendingRequest> pending_;
+  std::uint64_t next_token_ = 0;
+  std::uint64_t epoch_ = 0;  ///< bumped by reset_stats()
+  ClientStats client_;
 };
 
 struct EdgeConfig {
@@ -76,6 +147,18 @@ struct EdgeConfig {
   /// Round-trip penalty added per redirect hop (inter-site distance).
   Time inter_site_rtt = 0.020;
   int max_redirects = 1;
+
+  // --- Fault handling ---------------------------------------------------
+  /// Client-side timeout/retry/backoff. When `retry.failover` is set,
+  /// requests arriving at a crashed site are rerouted to the next-nearest
+  /// up site (ring order, one inter_site_rtt/2 hop each), and timed-out
+  /// attempts are re-issued against the next-nearest up site rather than
+  /// the crashed one. Failover-on-crash models dispatcher health checks
+  /// and is active even when timeout retries are disabled.
+  RetryPolicy retry;
+  /// Per-site access-link degradation schedules (empty = all healthy;
+  /// otherwise one entry per site, null entries allowed).
+  std::vector<std::shared_ptr<const faults::LinkSchedule>> site_link_faults;
 };
 
 class EdgeDeployment {
@@ -99,12 +182,36 @@ class EdgeDeployment {
   double site_utilization(int i) const { return site(i).utilization(); }
   std::uint64_t completed() const;
   std::uint64_t redirects() const { return redirect_count_; }
+  /// Crash-failover hops (distinct from geo-LB redirects: these reroute
+  /// around *down* sites, not long queues).
+  std::uint64_t failovers() const { return failover_count_; }
+  const ClientStats& client_stats() const { return client_; }
+  /// Requests black-holed or killed at crashed sites.
+  std::uint64_t dropped() const;
   void reset_stats();
   const EdgeConfig& config() const { return cfg_; }
 
  private:
+  struct PendingRequest {
+    des::Simulation::EventId timeout_event;
+    int attempt = 1;   ///< 1-based attempt number currently in flight
+    int target = 0;    ///< site the in-flight attempt was sent to
+    std::uint64_t epoch = 0;  ///< stats epoch the request was offered in
+    des::Request req;
+  };
+
   void arrive_at_site(des::Request req, int site_index);
   int pick_redirect_target(int from_site) const;
+  /// Next up site in ring order after `from` (the "next-nearest" site of
+  /// a constant-inter-site-RTT topology); -1 if every site is down.
+  int next_up_site(int from) const;
+  const faults::LinkSchedule* link_schedule(int site) const;
+
+  void start_attempt(des::Request req, int attempt, int target,
+                     std::uint64_t epoch);
+  void send_attempt(des::Request req, int target);
+  void on_timeout(std::uint64_t token);
+  void deliver(des::Request req);
 
   des::Simulation& sim_;
   EdgeConfig cfg_;
@@ -112,6 +219,11 @@ class EdgeDeployment {
   std::vector<std::unique_ptr<des::Station>> sites_;
   des::Sink sink_;
   std::uint64_t redirect_count_ = 0;
+  std::uint64_t failover_count_ = 0;
+  std::unordered_map<std::uint64_t, PendingRequest> pending_;
+  std::uint64_t next_token_ = 0;
+  std::uint64_t epoch_ = 0;  ///< bumped by reset_stats()
+  ClientStats client_;
 };
 
 }  // namespace hce::cluster

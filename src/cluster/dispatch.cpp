@@ -1,5 +1,6 @@
 #include "cluster/dispatch.hpp"
 
+#include <algorithm>
 #include <limits>
 
 #include "support/contracts.hpp"
@@ -45,45 +46,135 @@ void Cluster::dispatch(des::Request req, Rng& rng) {
     stations_[0]->arrive(std::move(req));
     return;
   }
+  // Crashed member stations are skipped by every policy (a real dispatcher
+  // health-checks its backends). When every member is down the request is
+  // still handed to a station, where it is black-holed and counted in
+  // dropped(); the client-side timeout layer recovers it. The fault-free
+  // fast paths consume exactly the RNG draws of the original policies, so
+  // enabling the fault subsystem cannot perturb fault-free streams.
+  const std::size_t n = stations_.size();
   std::size_t target = 0;
   switch (policy_) {
-    case DispatchPolicy::kRoundRobin:
+    case DispatchPolicy::kRoundRobin: {
       target = rr_next_;
-      rr_next_ = (rr_next_ + 1) % stations_.size();
+      for (std::size_t tries = 0; tries + 1 < n && !stations_[target]->is_up();
+           ++tries) {
+        target = (target + 1) % n;
+      }
+      rr_next_ = (target + 1) % n;
       break;
-    case DispatchPolicy::kRandom:
-      target = rng.below(stations_.size());
+    }
+    case DispatchPolicy::kRandom: {
+      std::size_t up_count = 0;
+      for (const auto& st : stations_) up_count += st->is_up() ? 1 : 0;
+      if (up_count == n || up_count == 0) {
+        target = rng.below(n);
+        break;
+      }
+      std::size_t pick = rng.below(up_count);
+      for (std::size_t s = 0; s < n; ++s) {
+        if (!stations_[s]->is_up()) continue;
+        if (pick == 0) {
+          target = s;
+          break;
+        }
+        --pick;
+      }
       break;
+    }
     case DispatchPolicy::kJoinShortestQueue: {
       std::size_t best = std::numeric_limits<std::size_t>::max();
+      bool found = false;
       for (std::size_t s = 0; s < stations_.size(); ++s) {
-        const std::size_t n = stations_[s]->in_system();
-        if (n < best) {
-          best = n;
+        if (!stations_[s]->is_up()) continue;
+        const std::size_t in_sys = stations_[s]->in_system();
+        if (in_sys < best) {
+          best = in_sys;
           target = s;
+          found = true;
         }
       }
+      if (!found) target = 0;
       break;
     }
     case DispatchPolicy::kLeastWork: {
       double best = std::numeric_limits<double>::max();
+      bool found = false;
       for (std::size_t s = 0; s < stations_.size(); ++s) {
+        if (!stations_[s]->is_up()) continue;
         // Queued work plus a busy indicator as an in-service proxy.
         const double w = stations_[s]->queued_work() +
                          (stations_[s]->busy_servers() > 0 ? 1e-9 : 0.0);
-        if (w < best ||
+        if (!found || w < best ||
             (w == best &&
              stations_[s]->in_system() < stations_[target]->in_system())) {
           best = w;
           target = s;
+          found = true;
         }
       }
+      if (!found) target = 0;
       break;
     }
     case DispatchPolicy::kCentralQueue:
       break;  // unreachable
   }
   stations_[target]->arrive(std::move(req));
+}
+
+void Cluster::set_server_group_up(int group, int group_size, bool up) {
+  HCE_EXPECT(group >= 0, "server group index must be non-negative");
+  HCE_EXPECT(group_size >= 1, "server group size must be positive");
+  const int lo = group * group_size;
+  if (lo >= num_servers_) return;  // group not present in this cluster
+  const int hi = std::min(lo + group_size, num_servers_);
+  if (policy_ == DispatchPolicy::kCentralQueue) {
+    // The pooled cloud loses `hi - lo` tellers but keeps its single line —
+    // the bank-teller argument applied to degraded capacity. Guard with
+    // down_groups_ so repeated crash (or repeated recover) notifications
+    // are idempotent.
+    const int width = hi - lo;
+    const int active = stations_[0]->active_servers();
+    if (!up) {
+      if (down_groups_.insert(group).second) {
+        stations_[0]->set_active_servers(std::max(0, active - width));
+      }
+    } else {
+      if (down_groups_.erase(group) > 0) {
+        stations_[0]->set_active_servers(std::min(num_servers_, active + width));
+      }
+    }
+  } else {
+    // Dispatched cluster: the member stations crash/recover individually
+    // (Station::set_up is itself idempotent).
+    for (int s = lo; s < hi; ++s) {
+      stations_[static_cast<std::size_t>(s)]->set_up(up);
+    }
+    if (!up) {
+      down_groups_.insert(group);
+    } else {
+      down_groups_.erase(group);
+    }
+  }
+}
+
+int Cluster::active_servers() const {
+  if (policy_ == DispatchPolicy::kCentralQueue) {
+    return stations_[0]->active_servers();
+  }
+  int active = 0;
+  for (const auto& st : stations_) {
+    if (st->is_up()) active += st->num_servers();
+  }
+  return active;
+}
+
+std::uint64_t Cluster::dropped() const {
+  std::uint64_t n = 0;
+  for (const auto& st : stations_) {
+    n += st->dropped_arrivals() + st->killed();
+  }
+  return n;
 }
 
 double Cluster::utilization() const {

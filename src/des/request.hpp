@@ -40,6 +40,12 @@ struct Request {
   int served_by = -1;
   /// Number of geographic load-balancing redirects experienced.
   int redirects = 0;
+  /// Client-side correlation token for the timeout/retry layer. Assigned
+  /// per deployment at submit time (ids alone are only unique per source),
+  /// shared by every retry attempt of the same logical request so the
+  /// client can match a completion to its pending entry and discard stale
+  /// duplicates.
+  std::uint64_t client_token = 0;
 
   Time waiting_time() const { return t_start - t_arrival; }
   Time service_time() const { return t_departure - t_start; }

@@ -21,6 +21,7 @@ std::uint64_t Simulation::run(Time until, std::uint64_t max_events) {
     }
     Handler fn = std::move(top.fn);
     now_ = top.t;
+    pending_.erase(top.seq);
     heap_.pop();
     fn();
     ++n;

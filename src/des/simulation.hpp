@@ -46,14 +46,18 @@ class Simulation {
     HCE_EXPECT(t >= now_, "schedule_at: time in the past");
     const std::uint64_t seq = next_seq_++;
     heap_.push(Entry{t, seq, std::move(fn)});
+    pending_.insert(seq);
     return EventId{seq};
   }
 
-  /// Cancels a pending event. Returns false if it already fired or was
-  /// already cancelled. O(1) amortized (lazy deletion).
+  /// Cancels a pending event. Returns false if it already fired, was
+  /// already cancelled, or was never scheduled — so cancel-after-fire is a
+  /// detectable no-op rather than a silent tombstone. O(1) amortized
+  /// (lazy deletion: the heap entry is discarded when it reaches the top).
   bool cancel(EventId id) {
-    if (id.seq >= next_seq_) return false;
-    return cancelled_.insert(id.seq).second;
+    if (pending_.erase(id.seq) == 0) return false;
+    cancelled_.insert(id.seq);
+    return true;
   }
 
   /// Runs events until the calendar empties, `until` is passed, or
@@ -63,7 +67,7 @@ class Simulation {
                     std::uint64_t max_events = UINT64_MAX);
 
   bool empty() const { return heap_.empty(); }
-  std::size_t pending() const { return heap_.size() - cancelled_.size(); }
+  std::size_t pending() const { return pending_.size(); }
   std::uint64_t events_executed() const { return executed_; }
 
  private:
@@ -80,7 +84,8 @@ class Simulation {
   };
 
   std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
-  std::unordered_set<std::uint64_t> cancelled_;
+  std::unordered_set<std::uint64_t> pending_;    // scheduled, not yet fired/cancelled
+  std::unordered_set<std::uint64_t> cancelled_;  // cancelled, still in heap
   Time now_ = 0.0;
   std::uint64_t next_seq_ = 0;
   std::uint64_t executed_ = 0;

@@ -17,6 +17,9 @@ Station::Station(Simulation& sim, std::string name, int num_servers,
   HCE_EXPECT(num_servers >= 1, "station needs at least one server");
   HCE_EXPECT(speed > 0.0, "station speed must be positive");
   server_busy_.assign(static_cast<std::size_t>(num_servers), false);
+  service_event_.assign(static_cast<std::size_t>(num_servers),
+                        Simulation::EventId{});
+  active_ = num_servers;
 }
 
 void Station::set_completion_handler(CompletionHandler handler) {
@@ -26,15 +29,21 @@ void Station::set_completion_handler(CompletionHandler handler) {
 void Station::arrive(Request req) {
   HCE_EXPECT(req.service_demand >= 0.0,
              "request service demand must be non-negative");
+  if (!up_) {
+    // Crashed site: the request is black-holed. The client never hears
+    // back; its timeout/retry policy (cluster layer) is what recovers it.
+    ++dropped_;
+    return;
+  }
   req.t_arrival = sim_.now();
   req.station_id = station_id_;
   ++arrivals_;
   system_tw_.adjust(sim_.now(), 1.0);
 
-  if (busy_ < num_servers_) {
-    // Find an idle server slot.
+  if (busy_ < active_) {
+    // Find an idle active server slot.
     int server = -1;
-    for (int s = 0; s < num_servers_; ++s) {
+    for (int s = 0; s < active_; ++s) {
       if (!server_busy_[static_cast<std::size_t>(s)]) {
         server = s;
         break;
@@ -57,8 +66,8 @@ void Station::start_service(Request req, int server) {
   busy_tw_.set(sim_.now(), static_cast<double>(busy_));
 
   const Time service_time = req.service_demand / speed_;
-  sim_.schedule_in(service_time,
-                   [this, server, r = std::move(req)]() mutable {
+  service_event_[static_cast<std::size_t>(server)] = sim_.schedule_in(
+      service_time, [this, server, r = std::move(req)]() mutable {
                      r.t_departure = sim_.now();
                      server_busy_[static_cast<std::size_t>(server)] = false;
                      --busy_;
@@ -82,6 +91,59 @@ void Station::start_service(Request req, int server) {
                    });
 }
 
+void Station::kill_in_service(int server) {
+  const auto s = static_cast<std::size_t>(server);
+  if (!server_busy_[s]) return;
+  sim_.cancel(service_event_[s]);
+  server_busy_[s] = false;
+  --busy_;
+  busy_tw_.set(sim_.now(), static_cast<double>(busy_));
+  system_tw_.adjust(sim_.now(), -1.0);
+  ++killed_;
+}
+
+void Station::refill_idle_servers() {
+  for (int s = 0; s < active_ && !queue_.empty(); ++s) {
+    if (server_busy_[static_cast<std::size_t>(s)]) continue;
+    Request next = std::move(queue_.front());
+    queue_.pop_front();
+    queued_work_ -= next.service_demand;
+    if (queued_work_ < 0.0) queued_work_ = 0.0;
+    queue_tw_.set(sim_.now(), static_cast<double>(queue_.size()));
+    start_service(std::move(next), s);
+  }
+}
+
+void Station::set_up(bool up) {
+  if (up == up_) return;
+  if (!up) {
+    // Crash: kill in-service work, drop the queue.
+    for (int s = 0; s < num_servers_; ++s) kill_in_service(s);
+    killed_ += queue_.size();
+    system_tw_.adjust(sim_.now(), -static_cast<double>(queue_.size()));
+    queue_.clear();
+    queued_work_ = 0.0;
+    queue_tw_.set(sim_.now(), 0.0);
+    up_ = false;
+  } else {
+    up_ = true;  // all servers recover idle; active_ is unchanged
+  }
+}
+
+void Station::set_active_servers(int count) {
+  HCE_EXPECT(count >= 0 && count <= num_servers_,
+             "active server count out of [0, c]");
+  if (count < active_) {
+    // Deactivated slots lose their in-flight work (hardware failure, not
+    // a graceful drain — see autoscale::DynamicStation for the latter).
+    for (int s = count; s < active_; ++s) kill_in_service(s);
+    active_ = count;
+  } else if (count > active_) {
+    active_ = count;
+    refill_idle_servers();
+  }
+}
+
 double Station::utilization() const {
   const double avg_busy = busy_tw_.average(sim_.now());
   return avg_busy / static_cast<double>(num_servers_);
@@ -101,6 +163,8 @@ void Station::reset_stats() {
   system_tw_.reset(sim_.now());
   completed_ = 0;
   arrivals_ = 0;
+  dropped_ = 0;
+  killed_ = 0;
 }
 
 }  // namespace hce::des

@@ -35,8 +35,28 @@ class Station {
   /// arrival completes (typically by the deployment that owns the station).
   void set_completion_handler(CompletionHandler handler);
 
-  /// Request arrives at the queue at the current simulation time.
+  /// Request arrives at the queue at the current simulation time. If the
+  /// station is down the request is black-holed (counted in
+  /// dropped_arrivals); the client-side timeout/retry layer is responsible
+  /// for recovering it.
   void arrive(Request req);
+
+  // --- Fault injection (hce::faults drives these) -----------------------
+  /// Whole-station crash / recovery. Crashing drops every queued request
+  /// and kills in-service work (their completion events are cancelled);
+  /// recovery restores all servers idle. Idempotent.
+  void set_up(bool up);
+  bool is_up() const { return up_; }
+  /// Degrades/restores capacity to `count` active servers in [0, c] —
+  /// the central-queue cloud's analogue of losing one server group.
+  /// Decreasing kills in-service work on the deactivated (highest-index)
+  /// slots; increasing pulls queued requests into the freed slots.
+  void set_active_servers(int count);
+  int active_servers() const { return active_; }
+  /// Arrivals black-holed because the station was down.
+  std::uint64_t dropped_arrivals() const { return dropped_; }
+  /// Requests killed mid-service or dropped from the queue by a crash.
+  std::uint64_t killed() const { return killed_; }
 
   // --- Introspection (used by dispatchers and geographic LB) -----------
   int num_servers() const { return num_servers_; }
@@ -66,6 +86,8 @@ class Station {
 
  private:
   void start_service(Request req, int server);
+  void kill_in_service(int server);
+  void refill_idle_servers();
 
   Simulation& sim_;
   std::string name_;
@@ -77,9 +99,14 @@ class Station {
   std::deque<Request> queue_;
   double queued_work_ = 0.0;
   std::vector<bool> server_busy_;
+  std::vector<Simulation::EventId> service_event_;
   int busy_ = 0;
+  bool up_ = true;
+  int active_ = 0;  // set to num_servers_ in the constructor
   std::uint64_t completed_ = 0;
   std::uint64_t arrivals_ = 0;
+  std::uint64_t dropped_ = 0;
+  std::uint64_t killed_ = 0;
 
   stats::TimeWeighted queue_tw_;
   stats::TimeWeighted busy_tw_;

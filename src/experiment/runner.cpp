@@ -9,6 +9,7 @@
 #include "des/simulation.hpp"
 #include "dist/distribution.hpp"
 #include "dist/weights.hpp"
+#include "faults/fault.hpp"
 #include "stats/ci.hpp"
 #include "stats/quantiles.hpp"
 #include "stats/summary.hpp"
@@ -37,6 +38,19 @@ ReplicationOutput run_replication(const Scenario& sc, Rate rate_per_server,
       Rng(sc.seed).stream("replication", static_cast<std::uint64_t>(replication));
 
   des::Simulation sim;
+  const Time horizon = sc.warmup + sc.duration;
+
+  // Materialize the fault schedule first (from its own substream) so the
+  // identical trace drives both deployments below: the same machines
+  // crash at the same instants whether they are deployed as k edge sites
+  // or as k server groups of the consolidated cloud (CRN pairing of
+  // hardware faults).
+  faults::FaultTrace trace;
+  const bool faulted = sc.faults.any();
+  if (faulted) {
+    trace = faults::FaultTrace::generate(sc.faults, sc.num_sites, horizon,
+                                         rng.stream("faults"));
+  }
 
   cluster::EdgeConfig edge_cfg;
   edge_cfg.num_sites = sc.num_sites;
@@ -46,6 +60,14 @@ ReplicationOutput run_replication(const Scenario& sc, Rate rate_per_server,
   edge_cfg.geo_lb = sc.geo_lb;
   edge_cfg.geo_lb_queue_threshold = sc.geo_lb_queue_threshold;
   edge_cfg.inter_site_rtt = sc.inter_site_rtt;
+  edge_cfg.retry = sc.retry;
+  if (faulted) {
+    edge_cfg.site_link_faults.resize(static_cast<std::size_t>(sc.num_sites));
+    for (int s = 0; s < sc.num_sites; ++s) {
+      edge_cfg.site_link_faults[static_cast<std::size_t>(s)] =
+          trace.site_link_schedule(s);
+    }
+  }
   cluster::EdgeDeployment edge(sim, edge_cfg, rng.stream("edge-net"));
 
   cluster::CloudConfig cloud_cfg;
@@ -53,7 +75,34 @@ ReplicationOutput run_replication(const Scenario& sc, Rate rate_per_server,
   cloud_cfg.network = make_network(sc.cloud_rtt, sc.rtt_jitter);
   cloud_cfg.dispatch = sc.cloud_dispatch;
   cloud_cfg.dispatch_overhead = sc.cloud_dispatch_overhead;
+  cloud_cfg.retry = sc.retry;
+  if (faulted) {
+    cloud_cfg.link_faults = trace.cloud_link_schedule();
+  }
   cluster::CloudDeployment cloud(sim, cloud_cfg, rng.stream("cloud-net"));
+
+  // Thread the crash/recover schedule onto the calendar. Edge site i and
+  // (when mirrored) cloud server group i fail at the same instants; both
+  // transitions are scheduled back-to-back so their calendar order is
+  // fixed by construction, not by floating-point coincidence.
+  if (faulted) {
+    for (int s = 0; s < sc.num_sites; ++s) {
+      for (const faults::Outage& o :
+           trace.site_outages[static_cast<std::size_t>(s)]) {
+        sim.schedule_at(o.start, [&edge, s] { edge.site(s).set_up(false); });
+        sim.schedule_at(o.end, [&edge, s] { edge.site(s).set_up(true); });
+        if (sc.faults.mirror_to_cloud) {
+          const int group_size = sc.servers_per_site;
+          sim.schedule_at(o.start, [&cloud, s, group_size] {
+            cloud.cluster().set_server_group_up(s, group_size, false);
+          });
+          sim.schedule_at(o.end, [&cloud, s, group_size] {
+            cloud.cluster().set_server_group_up(s, group_size, true);
+          });
+        }
+      }
+    }
+  }
 
   // Service model: target mean 1/mu including the fixed overhead, so the
   // offered utilization rate/mu is exact regardless of the overhead knob.
@@ -109,6 +158,18 @@ ReplicationOutput run_replication(const Scenario& sc, Rate rate_per_server,
   out.edge_utilization = edge.utilization();
   out.cloud_utilization = cloud.utilization();
   out.edge_redirects = edge.redirects();
+  out.edge_failovers = edge.failovers();
+  out.edge_client = edge.client_stats();
+  out.cloud_client = cloud.client_stats();
+  out.edge_dropped = edge.dropped();
+  out.cloud_dropped = cloud.dropped();
+  out.site_downtime.resize(static_cast<std::size_t>(sc.num_sites), 0.0);
+  if (faulted) {
+    for (int s = 0; s < sc.num_sites; ++s) {
+      out.site_downtime[static_cast<std::size_t>(s)] =
+          trace.site_downtime_fraction(s);
+    }
+  }
   out.site_mean_latency.resize(static_cast<std::size_t>(sc.num_sites));
   out.site_utilization.resize(static_cast<std::size_t>(sc.num_sites));
   for (int s = 0; s < sc.num_sites; ++s) {
@@ -122,8 +183,19 @@ ReplicationOutput run_replication(const Scenario& sc, Rate rate_per_server,
 namespace {
 
 SideStats merge_side(const std::vector<std::vector<double>>& latencies,
-                     const std::vector<double>& utilizations) {
+                     const std::vector<double>& utilizations,
+                     const std::vector<cluster::ClientStats>& clients) {
   SideStats s;
+  for (const cluster::ClientStats& c : clients) {
+    s.offered += c.offered;
+    s.retries += c.retries;
+    s.timeouts += c.timeouts;
+  }
+  if (s.offered > 0) {
+    s.timeout_rate =
+        static_cast<double>(s.timeouts) / static_cast<double>(s.offered);
+    s.availability = 1.0 - s.timeout_rate;
+  }
   std::vector<double> all;
   std::vector<double> rep_means;
   for (const auto& rep : latencies) {
@@ -162,16 +234,20 @@ PointResult run_point(const Scenario& sc, Rate rate_per_server) {
 
   std::vector<std::vector<double>> edge_lat, cloud_lat;
   std::vector<double> edge_util, cloud_util;
+  std::vector<cluster::ClientStats> edge_clients, cloud_clients;
   for (int r = 0; r < sc.replications; ++r) {
     ReplicationOutput out = run_replication(sc, rate_per_server, r);
     edge_lat.push_back(std::move(out.edge_latencies));
     cloud_lat.push_back(std::move(out.cloud_latencies));
     edge_util.push_back(out.edge_utilization);
     cloud_util.push_back(out.cloud_utilization);
+    edge_clients.push_back(out.edge_client);
+    cloud_clients.push_back(out.cloud_client);
     pr.edge_redirects += out.edge_redirects;
+    pr.edge_failovers += out.edge_failovers;
   }
-  pr.edge = merge_side(edge_lat, edge_util);
-  pr.cloud = merge_side(cloud_lat, cloud_util);
+  pr.edge = merge_side(edge_lat, edge_util, edge_clients);
+  pr.cloud = merge_side(cloud_lat, cloud_util, cloud_clients);
   return pr;
 }
 

@@ -11,12 +11,17 @@
 
 #include <vector>
 
+#include "cluster/deployment.hpp"
 #include "experiment/scenario.hpp"
 #include "support/time.hpp"
 
 namespace hce::experiment {
 
 /// Statistics of one deployment at one sweep point (merged replications).
+/// Latency statistics cover *delivered* requests; the fault-accounting
+/// counters (offered/retries/timeouts) restore the requests that never
+/// came back, and `availability` is the fraction of offered requests not
+/// abandoned by the client's retry budget (1.0 in fault-free runs).
 struct SideStats {
   double mean = 0.0;   ///< mean end-to-end latency (s)
   double p50 = 0.0;
@@ -25,15 +30,24 @@ struct SideStats {
   double mean_ci_half_width = 0.0;  ///< t-interval across replications
   double utilization = 0.0;         ///< time-average server utilization
   std::uint64_t samples = 0;
+
+  // --- Fault / retry accounting (summed across replications) -----------
+  std::uint64_t offered = 0;   ///< client submits (post-warmup)
+  std::uint64_t retries = 0;   ///< re-issued attempts
+  std::uint64_t timeouts = 0;  ///< requests abandoned after the budget
+  double timeout_rate = 0.0;   ///< timeouts / offered
+  double availability = 1.0;   ///< 1 - timeout_rate
 };
 
-/// One sweep point: edge and cloud under the identical workload.
+/// One sweep point: edge and cloud under the identical workload (and,
+/// with faults enabled, the identical fault trace — CRN pairing).
 struct PointResult {
   Rate rate_per_server = 0.0;  ///< offered req/s per server
   double rho_offered = 0.0;    ///< rate / mu (offered utilization)
   SideStats edge;
   SideStats cloud;
   std::uint64_t edge_redirects = 0;  ///< geo-LB redirects (if enabled)
+  std::uint64_t edge_failovers = 0;  ///< crash-failover hops (if faults)
 };
 
 /// Runs one replication at the given per-server rate; returns raw latency
@@ -45,6 +59,15 @@ struct ReplicationOutput {
   double edge_utilization = 0.0;
   double cloud_utilization = 0.0;
   std::uint64_t edge_redirects = 0;
+  std::uint64_t edge_failovers = 0;
+  /// Client-side retry/timeout accounting (post-warmup).
+  cluster::ClientStats edge_client;
+  cluster::ClientStats cloud_client;
+  /// Requests black-holed or killed inside each deployment by crashes.
+  std::uint64_t edge_dropped = 0;
+  std::uint64_t cloud_dropped = 0;
+  /// Fraction of [0, horizon) each edge site was down in the fault trace.
+  std::vector<double> site_downtime;
   /// Per-site mean latency and utilization (for Fig. 10-style breakdowns).
   std::vector<double> site_mean_latency;
   std::vector<double> site_utilization;

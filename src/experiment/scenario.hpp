@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "cluster/dispatch.hpp"
+#include "faults/fault.hpp"
 #include "support/time.hpp"
 #include "workload/service.hpp"
 
@@ -60,6 +61,17 @@ struct Scenario {
   bool geo_lb = false;
   std::size_t geo_lb_queue_threshold = 2;
   Time inter_site_rtt = 0.020;
+
+  // Fault injection (hce::faults). The schedule is materialized once per
+  // replication from a dedicated RNG substream and applied to *both*
+  // deployments (the same machines crash at the same instants under
+  // either topology — common-random-numbers pairing of hardware faults),
+  // so the measured edge/cloud gap under failure is not blurred by
+  // fault-sampling noise.
+  faults::FaultConfig faults;
+  /// Client-side timeout/retry/backoff (applies to both sides). Enable it
+  /// whenever faults are enabled, or crashed sites black-hole requests.
+  cluster::RetryPolicy retry;
 
   // Run control.
   Time warmup = 240.0;

@@ -1,0 +1,142 @@
+#include "faults/fault.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "support/contracts.hpp"
+
+namespace hce::faults {
+
+namespace {
+
+/// Inverse-CDF exponential draw; inlined (rather than dist::exponential)
+/// so the trace generator consumes exactly one uniform per draw — easy to
+/// reason about when auditing stream consumption.
+Time exp_draw(Time mean, Rng& rng) {
+  return -mean * std::log1p(-rng.uniform01());
+}
+
+std::vector<Outage> generate_outages(const SiteFaultConfig& cfg,
+                                     Time horizon, Rng& rng) {
+  std::vector<Outage> out;
+  if (!cfg.enabled) return out;
+  HCE_EXPECT(cfg.mttf > 0.0 && cfg.mttr > 0.0,
+             "site fault MTTF/MTTR must be positive");
+  Time t = 0.0;
+  for (;;) {
+    t += exp_draw(cfg.mttf, rng);  // up interval
+    if (t >= horizon) break;
+    const Time down = exp_draw(cfg.mttr, rng);
+    out.push_back(Outage{t, t + down});
+    t += down;
+  }
+  return out;
+}
+
+std::vector<LinkEvent> generate_link_events(const LinkFaultConfig& cfg,
+                                            Time horizon, Rng& rng) {
+  std::vector<LinkEvent> out;
+  if (!cfg.enabled) return out;
+  HCE_EXPECT(cfg.mean_spike_gap > 0.0 && cfg.mean_spike_duration > 0.0,
+             "link fault gap/duration must be positive");
+  HCE_EXPECT(cfg.partition_fraction >= 0.0 && cfg.partition_fraction <= 1.0,
+             "partition_fraction must be in [0, 1]");
+  Time t = 0.0;
+  for (;;) {
+    t += exp_draw(cfg.mean_spike_gap, rng);
+    if (t >= horizon) break;
+    LinkEvent e;
+    e.start = t;
+    e.end = t + exp_draw(cfg.mean_spike_duration, rng);
+    e.partition = rng.uniform01() < cfg.partition_fraction;
+    e.extra_rtt = e.partition ? 0.0 : cfg.spike_extra_rtt;
+    out.push_back(e);
+    t = e.end;
+  }
+  return out;
+}
+
+}  // namespace
+
+LinkSchedule::LinkSchedule(std::vector<LinkEvent> events)
+    : events_(std::move(events)) {
+  for (std::size_t i = 1; i < events_.size(); ++i) {
+    HCE_EXPECT(events_[i].start >= events_[i - 1].end,
+               "link events must be sorted and non-overlapping");
+  }
+}
+
+const LinkEvent* LinkSchedule::find(Time t) const {
+  // Last event with start <= t.
+  const auto it = std::upper_bound(
+      events_.begin(), events_.end(), t,
+      [](Time x, const LinkEvent& e) { return x < e.start; });
+  if (it == events_.begin()) return nullptr;
+  const LinkEvent& e = *(it - 1);
+  return t < e.end ? &e : nullptr;
+}
+
+Time LinkSchedule::extra_one_way(Time t) const {
+  const LinkEvent* e = find(t);
+  return e != nullptr ? e->extra_rtt / 2.0 : 0.0;
+}
+
+bool LinkSchedule::partitioned(Time t) const {
+  const LinkEvent* e = find(t);
+  return e != nullptr && e->partition;
+}
+
+FaultTrace FaultTrace::generate(const FaultConfig& config, int num_sites,
+                                Time horizon, Rng rng) {
+  HCE_EXPECT(num_sites >= 1, "fault trace needs >= 1 site");
+  HCE_EXPECT(horizon > 0.0, "fault trace needs a positive horizon");
+  FaultTrace trace;
+  trace.horizon = horizon;
+  trace.site_outages.resize(static_cast<std::size_t>(num_sites));
+  trace.site_link_events.resize(static_cast<std::size_t>(num_sites));
+  // Dedicated substream per fault process: adding/removing one process
+  // (or resizing one site's trace) cannot perturb any other stream.
+  for (int s = 0; s < num_sites; ++s) {
+    Rng site_rng = rng.stream("site-outage", static_cast<std::uint64_t>(s));
+    trace.site_outages[static_cast<std::size_t>(s)] =
+        generate_outages(config.edge_site, horizon, site_rng);
+    Rng link_rng = rng.stream("site-link", static_cast<std::uint64_t>(s));
+    trace.site_link_events[static_cast<std::size_t>(s)] =
+        generate_link_events(config.edge_link, horizon, link_rng);
+  }
+  Rng cloud_rng = rng.stream("cloud-link");
+  trace.cloud_link_events =
+      generate_link_events(config.cloud_link, horizon, cloud_rng);
+  return trace;
+}
+
+bool FaultTrace::in_outage(const std::vector<Outage>& outages, Time t) {
+  const auto it = std::upper_bound(
+      outages.begin(), outages.end(), t,
+      [](Time x, const Outage& o) { return x < o.start; });
+  if (it == outages.begin()) return false;
+  return t < (it - 1)->end;
+}
+
+double FaultTrace::site_downtime_fraction(int site) const {
+  const auto& outages = site_outages.at(static_cast<std::size_t>(site));
+  Time down = 0.0;
+  for (const Outage& o : outages) {
+    down += std::min(o.end, horizon) - o.start;
+  }
+  return horizon > 0.0 ? down / horizon : 0.0;
+}
+
+std::shared_ptr<const LinkSchedule> FaultTrace::site_link_schedule(
+    int site) const {
+  const auto& events = site_link_events.at(static_cast<std::size_t>(site));
+  if (events.empty()) return nullptr;
+  return std::make_shared<const LinkSchedule>(events);
+}
+
+std::shared_ptr<const LinkSchedule> FaultTrace::cloud_link_schedule() const {
+  if (cloud_link_events.empty()) return nullptr;
+  return std::make_shared<const LinkSchedule>(cloud_link_events);
+}
+
+}  // namespace hce::faults

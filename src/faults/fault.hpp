@@ -1,0 +1,140 @@
+// Deterministic fault injection: site crashes, WAN jitter spikes, and
+// transient partitions.
+//
+// The paper's inversion argument (Lemmas 3.1-3.3) compares k small edge
+// queues against one pooled cloud queue at *nominal* capacity. Partial
+// failure makes the comparison starker: losing one of k edge sites
+// concentrates its load on the survivors and pushes them past the cutoff
+// utilization, while a consolidated cloud losing the same hardware (one
+// server group out of k) degrades gracefully — the bank-teller argument
+// applied to degraded capacity. Public edge platforms really do churn
+// ("From Cloud to Edge: A First Look at Public Edge Platforms" reports
+// node churn and WAN jitter dominating tail latency), so fault drills are
+// part of the reproduction, not an extra.
+//
+// Design: faults are *pre-generated* into a FaultTrace before the
+// simulation starts, from a dedicated RNG substream. Two consequences:
+//   1. common random numbers — the identical trace is applied to the edge
+//      and cloud deployments of a paired comparison (same machines fail at
+//      the same instants), so the measured edge/cloud gap under failure is
+//      not blurred by fault-sampling noise;
+//   2. determinism — no self-rescheduling fault process lives on the
+//      event calendar, so the calendar drains, sweeps stay byte-identical
+//      across thread counts, and a trace can be printed/diffed.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "support/rng.hpp"
+#include "support/time.hpp"
+
+namespace hce::faults {
+
+/// Crash/recover process for a class of sites: exponential up-times with
+/// mean `mttf` alternating with exponential repair times with mean `mttr`
+/// (the standard alternating-renewal availability model; steady-state
+/// availability = mttf / (mttf + mttr)).
+struct SiteFaultConfig {
+  bool enabled = false;
+  Time mttf = hours(1);     ///< mean time to failure (up-time)
+  Time mttr = minutes(2);   ///< mean time to repair (down-time)
+
+  /// Steady-state availability implied by the MTTF/MTTR pair.
+  double availability() const {
+    return enabled ? mttf / (mttf + mttr) : 1.0;
+  }
+};
+
+/// Transient WAN degradation on a client<->deployment link: spikes arrive
+/// as a Poisson process (mean gap `mean_spike_gap`), last an exponential
+/// `mean_spike_duration`, and either add `spike_extra_rtt` of latency or
+/// — with probability `partition_fraction` — partition the link outright
+/// (requests and responses in flight during a partition are lost).
+struct LinkFaultConfig {
+  bool enabled = false;
+  Time mean_spike_gap = minutes(5);
+  Time mean_spike_duration = 2.0;
+  Time spike_extra_rtt = ms(100);
+  double partition_fraction = 0.0;  ///< in [0, 1]
+};
+
+/// Full fault model for one scenario.
+struct FaultConfig {
+  /// Per-edge-site crash/recover process (independent draws per site).
+  SiteFaultConfig edge_site;
+  /// Mirror each edge-site outage onto the cloud as the loss of the
+  /// corresponding server *group* (same physical machines failing under
+  /// either deployment — the CRN pairing of hardware faults).
+  bool mirror_to_cloud = true;
+  /// WAN faults on each edge site's access link (independent per site).
+  LinkFaultConfig edge_link;
+  /// WAN faults on the (single) client->cloud path.
+  LinkFaultConfig cloud_link;
+
+  bool any() const {
+    return edge_site.enabled || edge_link.enabled || cloud_link.enabled;
+  }
+};
+
+/// One down interval [start, end).
+struct Outage {
+  Time start = 0.0;
+  Time end = 0.0;
+};
+
+/// One WAN degradation window [start, end).
+struct LinkEvent {
+  Time start = 0.0;
+  Time end = 0.0;
+  Time extra_rtt = 0.0;   ///< added round-trip latency during the window
+  bool partition = false; ///< true: link drops traffic instead
+};
+
+/// Time-indexed view over one link's event list (sorted, non-overlapping).
+/// Lookup is O(log n) binary search; deployments consult it per leg.
+class LinkSchedule {
+ public:
+  explicit LinkSchedule(std::vector<LinkEvent> events);
+
+  /// Extra one-way delay at time `t` (half the window's extra RTT).
+  Time extra_one_way(Time t) const;
+  /// True if the link is partitioned at time `t` (traffic is dropped).
+  bool partitioned(Time t) const;
+  const std::vector<LinkEvent>& events() const { return events_; }
+
+ private:
+  const LinkEvent* find(Time t) const;
+  std::vector<LinkEvent> events_;
+};
+
+/// A fully materialized fault schedule over [0, horizon): per-site outage
+/// lists plus per-link degradation windows. Byte-deterministic in
+/// (config, num_sites, horizon, rng seed).
+struct FaultTrace {
+  Time horizon = 0.0;
+  /// site_outages[i]: down intervals of edge site i. When
+  /// mirror_to_cloud is set these same intervals take down cloud server
+  /// group i.
+  std::vector<std::vector<Outage>> site_outages;
+  /// Per-edge-site access-link degradation windows.
+  std::vector<std::vector<LinkEvent>> site_link_events;
+  /// Client->cloud path degradation windows.
+  std::vector<LinkEvent> cloud_link_events;
+
+  static FaultTrace generate(const FaultConfig& config, int num_sites,
+                             Time horizon, Rng rng);
+
+  /// True if `t` falls inside one of `outages` (they are sorted).
+  static bool in_outage(const std::vector<Outage>& outages, Time t);
+
+  /// Fraction of [0, horizon) that site `i` is down.
+  double site_downtime_fraction(int site) const;
+
+  /// Shareable per-link schedules (empty pointers when no events).
+  std::shared_ptr<const LinkSchedule> site_link_schedule(int site) const;
+  std::shared_ptr<const LinkSchedule> cloud_link_schedule() const;
+};
+
+}  // namespace hce::faults

@@ -1,0 +1,270 @@
+// Failover ordering and client-side timeout/retry/backoff semantics.
+//
+// Satellite focus: with site 0 down, edge requests must route to the
+// next-nearest up site (ring order) and the failover counters must say so;
+// the Cluster analogue must skip crashed member stations; the retry loop
+// must re-issue on timeout, stop at its budget, and keep the
+// offered == delivered + timeouts identity.
+#include <gtest/gtest.h>
+
+#include "cluster/deployment.hpp"
+#include "cluster/dispatch.hpp"
+#include "des/simulation.hpp"
+#include "support/rng.hpp"
+
+namespace hce::cluster {
+namespace {
+
+des::Request make_request(int site, double demand) {
+  des::Request r;
+  r.site = site;
+  r.service_demand = demand;
+  return r;
+}
+
+EdgeConfig three_site_config() {
+  EdgeConfig cfg;
+  cfg.num_sites = 3;
+  cfg.network = NetworkModel::fixed(0.001);
+  cfg.inter_site_rtt = 0.020;
+  return cfg;
+}
+
+TEST(EdgeFailover, DownSiteRoutesToNextNearestUpSite) {
+  des::Simulation sim;
+  EdgeDeployment edge(sim, three_site_config(), Rng(1));
+  edge.site(0).set_up(false);
+  sim.schedule_in(0.0, [&] { edge.submit(make_request(0, 0.1)); });
+  sim.run();
+  ASSERT_EQ(edge.sink().size(), 1u);
+  EXPECT_EQ(edge.failovers(), 1u);
+  EXPECT_EQ(edge.site(1).completed(), 1u);  // ring order: 0 -> 1
+  EXPECT_EQ(edge.site(2).completed(), 0u);
+  EXPECT_EQ(edge.site(0).dropped_arrivals(), 0u);  // rerouted, not dropped
+  // The detour pays one inter-site hop on top of the local RTT.
+  EXPECT_NEAR(edge.sink().records()[0].end_to_end, 0.001 + 0.010 + 0.1,
+              1e-6);  // sink records store float
+}
+
+TEST(EdgeFailover, SkipsConsecutiveDownSites) {
+  des::Simulation sim;
+  EdgeDeployment edge(sim, three_site_config(), Rng(2));
+  edge.site(0).set_up(false);
+  edge.site(1).set_up(false);
+  sim.schedule_in(0.0, [&] { edge.submit(make_request(0, 0.1)); });
+  sim.run();
+  ASSERT_EQ(edge.sink().size(), 1u);
+  EXPECT_EQ(edge.site(2).completed(), 1u);  // ring order: 0 -> 2
+  EXPECT_EQ(edge.failovers(), 1u);          // one reroute decision, one hop
+}
+
+TEST(EdgeFailover, AllSitesDownBlackHolesAtLocalSite) {
+  des::Simulation sim;
+  EdgeDeployment edge(sim, three_site_config(), Rng(3));
+  for (int s = 0; s < 3; ++s) edge.site(s).set_up(false);
+  sim.schedule_in(0.0, [&] { edge.submit(make_request(0, 0.1)); });
+  sim.run();
+  EXPECT_EQ(edge.sink().size(), 0u);
+  EXPECT_EQ(edge.failovers(), 0u);
+  EXPECT_EQ(edge.site(0).dropped_arrivals(), 1u);
+  EXPECT_EQ(edge.dropped(), 1u);
+}
+
+TEST(EdgeFailover, DisabledFailoverDropsAtTheDownSite) {
+  des::Simulation sim;
+  EdgeConfig cfg = three_site_config();
+  cfg.retry.failover = false;
+  EdgeDeployment edge(sim, cfg, Rng(4));
+  edge.site(0).set_up(false);
+  sim.schedule_in(0.0, [&] { edge.submit(make_request(0, 0.1)); });
+  sim.run();
+  EXPECT_EQ(edge.sink().size(), 0u);
+  EXPECT_EQ(edge.failovers(), 0u);
+  EXPECT_EQ(edge.site(0).dropped_arrivals(), 1u);
+}
+
+TEST(EdgeFailover, GeoLbRedirectsSkipDownSites) {
+  des::Simulation sim;
+  EdgeConfig cfg = three_site_config();
+  cfg.geo_lb = true;
+  cfg.geo_lb_queue_threshold = 1;
+  cfg.retry.failover = false;  // isolate the geo-LB path
+  EdgeDeployment edge(sim, cfg, Rng(5));
+  edge.site(1).set_up(false);  // the would-be redirect target (empty queue)
+  sim.schedule_in(0.0, [&] {
+    // Load up site 0 so the last arrival wants to redirect.
+    edge.submit(make_request(0, 0.5));
+    edge.submit(make_request(0, 0.5));
+    edge.submit(make_request(0, 0.5));
+    edge.submit(make_request(0, 0.5));
+  });
+  sim.run();
+  // Nothing may land on the crashed site 1; redirects go to site 2.
+  EXPECT_EQ(edge.site(1).completed(), 0u);
+  EXPECT_EQ(edge.site(1).dropped_arrivals(), 0u);
+  EXPECT_EQ(edge.sink().size(), 4u);
+}
+
+TEST(ClusterFailover, RoundRobinSkipsDownStations) {
+  des::Simulation sim;
+  Cluster cl(sim, "c", 3, DispatchPolicy::kRoundRobin);
+  cl.set_completion_handler([](const des::Request&) {});
+  Rng rng(6);
+  cl.stations()[1]->set_up(false);
+  for (int i = 0; i < 4; ++i) {
+    des::Request r = make_request(0, 0.1);
+    r.id = static_cast<std::uint64_t>(i);
+    cl.dispatch(std::move(r), rng);
+  }
+  sim.run();
+  EXPECT_EQ(cl.stations()[0]->completed() + cl.stations()[2]->completed(),
+            4u);
+  EXPECT_EQ(cl.stations()[1]->completed(), 0u);
+  EXPECT_EQ(cl.dropped(), 0u);
+  EXPECT_EQ(cl.active_servers(), 2);
+}
+
+TEST(ClusterFailover, JsqNeverPicksDownStations) {
+  des::Simulation sim;
+  Cluster cl(sim, "c", 3, DispatchPolicy::kJoinShortestQueue);
+  cl.set_completion_handler([](const des::Request&) {});
+  Rng rng(7);
+  cl.stations()[0]->set_up(false);  // in_system 0: would win the JSQ scan
+  for (int i = 0; i < 6; ++i) cl.dispatch(make_request(0, 1.0), rng);
+  EXPECT_EQ(cl.stations()[0]->in_system(), 0u);
+  EXPECT_EQ(cl.stations()[0]->dropped_arrivals(), 0u);
+  EXPECT_EQ(cl.stations()[1]->in_system() + cl.stations()[2]->in_system(),
+            6u);
+}
+
+TEST(ClusterFailover, CentralQueueDegradesActiveServerGroups) {
+  des::Simulation sim;
+  Cluster cl(sim, "c", 6, DispatchPolicy::kCentralQueue);
+  cl.set_completion_handler([](const des::Request&) {});
+  EXPECT_EQ(cl.active_servers(), 6);
+  cl.set_server_group_up(1, 2, false);
+  EXPECT_EQ(cl.active_servers(), 4);
+  cl.set_server_group_up(1, 2, false);  // idempotent
+  EXPECT_EQ(cl.active_servers(), 4);
+  cl.set_server_group_up(2, 2, false);
+  EXPECT_EQ(cl.active_servers(), 2);
+  cl.set_server_group_up(1, 2, true);
+  EXPECT_EQ(cl.active_servers(), 4);
+  cl.set_server_group_up(1, 2, true);  // idempotent
+  EXPECT_EQ(cl.active_servers(), 4);
+  cl.set_server_group_up(5, 2, false);  // beyond the cluster: no-op
+  EXPECT_EQ(cl.active_servers(), 4);
+}
+
+// --- Client-side timeout / retry / backoff ---------------------------------
+
+TEST(Retry, TimesOutAfterBudgetWhenEverySiteIsDown) {
+  des::Simulation sim;
+  EdgeConfig cfg;
+  cfg.num_sites = 1;
+  cfg.retry.enabled = true;
+  cfg.retry.timeout = 0.2;
+  cfg.retry.max_retries = 1;
+  cfg.retry.backoff_base = 0.05;
+  EdgeDeployment edge(sim, cfg, Rng(8));
+  edge.site(0).set_up(false);
+  sim.schedule_in(0.0, [&] { edge.submit(make_request(0, 0.1)); });
+  sim.run();
+  const ClientStats& cs = edge.client_stats();
+  EXPECT_EQ(cs.offered, 1u);
+  EXPECT_EQ(cs.retries, 1u);
+  EXPECT_EQ(cs.timeouts, 1u);
+  EXPECT_EQ(cs.delivered, 0u);
+  EXPECT_EQ(cs.offered, cs.delivered + cs.timeouts);
+  EXPECT_DOUBLE_EQ(cs.availability(), 0.0);
+  // attempt 1 times out at 0.2, backoff 0.05, attempt 2 times out 0.2
+  // later: the calendar drains at 0.45.
+  EXPECT_DOUBLE_EQ(sim.now(), 0.45);
+}
+
+TEST(Retry, RecoversWhenTheSiteComesBack) {
+  des::Simulation sim;
+  EdgeConfig cfg;
+  cfg.num_sites = 1;
+  cfg.network = NetworkModel::fixed(0.0);
+  cfg.retry.enabled = true;
+  cfg.retry.timeout = 0.2;
+  cfg.retry.max_retries = 2;
+  cfg.retry.backoff_base = 0.05;
+  EdgeDeployment edge(sim, cfg, Rng(9));
+  edge.site(0).set_up(false);
+  sim.schedule_in(0.23, [&] { edge.site(0).set_up(true); });
+  sim.schedule_in(0.0, [&] { edge.submit(make_request(0, 0.1)); });
+  sim.run();
+  const ClientStats& cs = edge.client_stats();
+  EXPECT_EQ(cs.offered, 1u);
+  EXPECT_EQ(cs.retries, 1u);  // one re-issue at t = 0.25 succeeds
+  EXPECT_EQ(cs.timeouts, 0u);
+  EXPECT_EQ(cs.delivered, 1u);
+  EXPECT_EQ(cs.offered, cs.delivered + cs.timeouts);
+  ASSERT_EQ(edge.sink().size(), 1u);
+  // End-to-end latency includes the wasted first attempt + backoff.
+  EXPECT_NEAR(edge.sink().records()[0].end_to_end, 0.25 + 0.1,
+              1e-6);  // sink records store float
+  EXPECT_DOUBLE_EQ(cs.availability(), 1.0);
+}
+
+TEST(Retry, ExponentialBackoffSchedule) {
+  RetryPolicy p;
+  p.backoff_base = 0.05;
+  p.backoff_factor = 2.0;
+  EXPECT_DOUBLE_EQ(p.backoff_before(1), 0.05);
+  EXPECT_DOUBLE_EQ(p.backoff_before(2), 0.10);
+  EXPECT_DOUBLE_EQ(p.backoff_before(3), 0.20);
+}
+
+TEST(Retry, LateResponseOfARetriedAttemptIsDroppedAsDuplicate) {
+  // Timeout shorter than the service time: attempt 1 completes *after*
+  // the client re-issued. The client must accept exactly one response.
+  des::Simulation sim;
+  CloudConfig cfg;
+  cfg.num_servers = 2;
+  cfg.network = NetworkModel::fixed(0.0);
+  cfg.retry.enabled = true;
+  cfg.retry.timeout = 0.1;
+  cfg.retry.max_retries = 3;
+  cfg.retry.backoff_base = 0.01;
+  CloudDeployment cloud(sim, cfg, Rng(10));
+  sim.schedule_in(0.0, [&] { cloud.submit(make_request(0, 0.15)); });
+  sim.run();
+  const ClientStats& cs = cloud.client_stats();
+  EXPECT_EQ(cs.offered, 1u);
+  EXPECT_EQ(cs.delivered, 1u);
+  EXPECT_EQ(cs.timeouts, 0u);
+  EXPECT_EQ(cs.retries, 1u);
+  EXPECT_EQ(cs.duplicates, 1u);  // the retried attempt's own response
+  EXPECT_EQ(cloud.sink().size(), 1u);
+  EXPECT_EQ(cs.offered, cs.delivered + cs.timeouts);
+}
+
+TEST(Retry, CloudRetriesRideOutAServerGroupCrash) {
+  des::Simulation sim;
+  CloudConfig cfg;
+  cfg.num_servers = 4;
+  cfg.network = NetworkModel::fixed(0.010);
+  cfg.retry.enabled = true;
+  cfg.retry.timeout = 0.3;
+  cfg.retry.max_retries = 2;
+  CloudDeployment cloud(sim, cfg, Rng(11));
+  // Lose half the cloud for [0.1, 0.4): in-flight work on those servers
+  // is killed and must be recovered by the client retry.
+  sim.schedule_in(0.1, [&] { cloud.cluster().set_server_group_up(0, 2, false); });
+  sim.schedule_in(0.4, [&] { cloud.cluster().set_server_group_up(0, 2, true); });
+  for (int i = 0; i < 4; ++i) {
+    sim.schedule_in(0.0, [&] { cloud.submit(make_request(0, 0.2)); });
+  }
+  sim.run();
+  const ClientStats& cs = cloud.client_stats();
+  EXPECT_EQ(cs.offered, 4u);
+  EXPECT_EQ(cs.offered, cs.delivered + cs.timeouts);
+  EXPECT_EQ(cs.delivered, 4u);  // everything recovers within the budget
+  EXPECT_GE(cs.retries, 1u);    // the killed requests were re-issued
+}
+
+}  // namespace
+}  // namespace hce::cluster

@@ -154,5 +154,72 @@ TEST(Simulation, LargeEventCountIsHandled) {
   EXPECT_EQ(fired, 100000u);
 }
 
+// --- Lazy-cancellation edge cases ------------------------------------------
+
+TEST(Simulation, CancelAfterFireIsADetectableNoOp) {
+  Simulation sim;
+  const auto id = sim.schedule_in(1.0, [] {});
+  sim.run();
+  EXPECT_FALSE(sim.cancel(id));
+  EXPECT_EQ(sim.pending(), 0u);
+  // A later event must be unaffected by the failed cancel.
+  bool fired = false;
+  sim.schedule_in(1.0, [&] { fired = true; });
+  EXPECT_FALSE(sim.cancel(id));  // still a no-op, does not eat the new event
+  sim.run();
+  EXPECT_TRUE(fired);
+}
+
+TEST(Simulation, DoubleCancelReportsFalseTheSecondTime) {
+  Simulation sim;
+  bool fired = false;
+  const auto id = sim.schedule_in(1.0, [&] { fired = true; });
+  EXPECT_TRUE(sim.cancel(id));
+  EXPECT_FALSE(sim.cancel(id));
+  EXPECT_EQ(sim.pending(), 0u);
+  sim.run();
+  EXPECT_FALSE(fired);
+}
+
+TEST(Simulation, CancelOfSimultaneousEventPreservesScheduleOrder) {
+  // Three events at the identical timestamp; cancelling the middle one
+  // must leave the remaining two firing in their original schedule order.
+  Simulation sim;
+  std::vector<int> order;
+  sim.schedule_at(5.0, [&] { order.push_back(1); });
+  const auto b = sim.schedule_at(5.0, [&] { order.push_back(2); });
+  sim.schedule_at(5.0, [&] { order.push_back(3); });
+  EXPECT_TRUE(sim.cancel(b));
+  EXPECT_EQ(sim.pending(), 2u);
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 3}));
+  EXPECT_DOUBLE_EQ(sim.now(), 5.0);
+}
+
+TEST(Simulation, CancelDuringSimultaneousBatchIsHonored) {
+  // The first of two same-time events cancels the second while the second
+  // is already on the heap: lazy deletion must still suppress it.
+  Simulation sim;
+  bool second_fired = false;
+  Simulation::EventId second{};
+  sim.schedule_at(2.0, [&] { EXPECT_TRUE(sim.cancel(second)); });
+  second = sim.schedule_at(2.0, [&] { second_fired = true; });
+  sim.run();
+  EXPECT_FALSE(second_fired);
+  EXPECT_EQ(sim.pending(), 0u);
+  EXPECT_EQ(sim.events_executed(), 1u);
+}
+
+TEST(Simulation, CancelThenRescheduleAtSameTimeKeepsDeterministicOrder) {
+  Simulation sim;
+  std::vector<int> order;
+  const auto a = sim.schedule_at(1.0, [&] { order.push_back(1); });
+  sim.schedule_at(1.0, [&] { order.push_back(2); });
+  EXPECT_TRUE(sim.cancel(a));
+  sim.schedule_at(1.0, [&] { order.push_back(3); });  // re-issued last
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{2, 3}));  // survivors in schedule order
+}
+
 }  // namespace
 }  // namespace hce::des

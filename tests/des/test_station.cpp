@@ -185,5 +185,109 @@ TEST(Station, RejectsNegativeDemand) {
   EXPECT_THROW(st.arrive(make_request(1, -1.0)), ContractViolation);
 }
 
+// --- Fault injection --------------------------------------------------------
+
+TEST(Station, DownStationBlackHolesArrivals) {
+  Simulation sim;
+  Station st(sim, "s", 1);
+  std::vector<Request> done;
+  st.set_completion_handler([&](const Request& r) { done.push_back(r); });
+  st.set_up(false);
+  sim.schedule_in(1.0, [&] { st.arrive(make_request(1, 0.5)); });
+  sim.run();
+  EXPECT_TRUE(done.empty());
+  EXPECT_EQ(st.dropped_arrivals(), 1u);
+  EXPECT_EQ(st.arrivals(), 0u);
+  EXPECT_EQ(st.in_system(), 0u);
+}
+
+TEST(Station, CrashKillsInServiceAndDropsQueue) {
+  Simulation sim;
+  Station st(sim, "s", 1);
+  std::vector<Request> done;
+  st.set_completion_handler([&](const Request& r) { done.push_back(r); });
+  sim.schedule_in(0.0, [&] {
+    st.arrive(make_request(1, 1.0));  // in service [0,1)
+    st.arrive(make_request(2, 1.0));  // queued
+    st.arrive(make_request(3, 1.0));  // queued
+  });
+  sim.schedule_in(0.5, [&] { st.set_up(false); });
+  sim.run();
+  EXPECT_TRUE(done.empty());        // the completion event was cancelled
+  EXPECT_EQ(st.killed(), 3u);       // 1 in service + 2 queued
+  EXPECT_EQ(st.in_system(), 0u);
+  EXPECT_TRUE(sim.empty());         // no orphaned service events remain
+}
+
+TEST(Station, RecoveryRestoresService) {
+  Simulation sim;
+  Station st(sim, "s", 1);
+  std::vector<Request> done;
+  st.set_completion_handler([&](const Request& r) { done.push_back(r); });
+  sim.schedule_in(0.0, [&] { st.set_up(false); });
+  sim.schedule_in(1.0, [&] { st.set_up(true); });
+  sim.schedule_in(2.0, [&] { st.arrive(make_request(1, 0.25)); });
+  sim.run();
+  ASSERT_EQ(done.size(), 1u);
+  EXPECT_DOUBLE_EQ(done[0].t_departure, 2.25);
+  EXPECT_TRUE(st.is_up());
+}
+
+TEST(Station, SetUpIsIdempotent) {
+  Simulation sim;
+  Station st(sim, "s", 2);
+  st.set_up(false);
+  st.set_up(false);
+  EXPECT_FALSE(st.is_up());
+  st.set_up(true);
+  st.set_up(true);
+  EXPECT_TRUE(st.is_up());
+  EXPECT_EQ(st.killed(), 0u);
+}
+
+TEST(Station, DeactivatingServersKillsOnlyTheirWork) {
+  Simulation sim;
+  Station st(sim, "s", 2);
+  std::vector<Request> done;
+  st.set_completion_handler([&](const Request& r) { done.push_back(r); });
+  sim.schedule_in(0.0, [&] {
+    st.arrive(make_request(1, 1.0));  // server 0
+    st.arrive(make_request(2, 1.0));  // server 1
+  });
+  // Degrade to one active server mid-service: server 1's request dies.
+  sim.schedule_in(0.5, [&] { st.set_active_servers(1); });
+  sim.run();
+  ASSERT_EQ(done.size(), 1u);
+  EXPECT_EQ(done[0].id, 1u);
+  EXPECT_EQ(st.killed(), 1u);
+  EXPECT_EQ(st.active_servers(), 1);
+}
+
+TEST(Station, ReactivatingServersPullsQueuedWork) {
+  Simulation sim;
+  Station st(sim, "s", 2);
+  std::vector<Request> done;
+  st.set_completion_handler([&](const Request& r) { done.push_back(r); });
+  sim.schedule_in(0.0, [&] {
+    st.set_active_servers(1);
+    st.arrive(make_request(1, 1.0));  // served [0,1) on server 0
+    st.arrive(make_request(2, 1.0));  // queued (only one active server)
+  });
+  sim.schedule_in(0.25, [&] { st.set_active_servers(2); });
+  sim.run();
+  ASSERT_EQ(done.size(), 2u);
+  // Request 2 starts the moment capacity returns, not after request 1.
+  EXPECT_DOUBLE_EQ(done[0].t_departure, 1.0);
+  EXPECT_DOUBLE_EQ(done[1].t_departure, 1.25);
+  EXPECT_EQ(st.killed(), 0u);
+}
+
+TEST(Station, RejectsOutOfRangeActiveServerCount) {
+  Simulation sim;
+  Station st(sim, "s", 2);
+  EXPECT_THROW(st.set_active_servers(-1), ContractViolation);
+  EXPECT_THROW(st.set_active_servers(3), ContractViolation);
+}
+
 }  // namespace
 }  // namespace hce::des

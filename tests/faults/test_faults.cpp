@@ -1,0 +1,155 @@
+// Unit tests for the deterministic fault-injection trace generator.
+#include "faults/fault.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "support/rng.hpp"
+
+namespace hce::faults {
+namespace {
+
+FaultConfig crashy_config() {
+  FaultConfig cfg;
+  cfg.edge_site.enabled = true;
+  cfg.edge_site.mttf = 100.0;
+  cfg.edge_site.mttr = 10.0;
+  return cfg;
+}
+
+TEST(SiteFaultConfig, AvailabilityIsMttfOverMttfPlusMttr) {
+  SiteFaultConfig cfg;
+  cfg.enabled = true;
+  cfg.mttf = 100.0;
+  cfg.mttr = 25.0;
+  EXPECT_DOUBLE_EQ(cfg.availability(), 0.8);
+  cfg.enabled = false;
+  EXPECT_DOUBLE_EQ(cfg.availability(), 1.0);
+}
+
+TEST(FaultTrace, DisabledConfigGeneratesNoEvents) {
+  const FaultTrace trace =
+      FaultTrace::generate(FaultConfig{}, 4, 1000.0, Rng(1));
+  for (const auto& site : trace.site_outages) EXPECT_TRUE(site.empty());
+  for (const auto& site : trace.site_link_events) EXPECT_TRUE(site.empty());
+  EXPECT_TRUE(trace.cloud_link_events.empty());
+  EXPECT_EQ(trace.site_link_schedule(0), nullptr);
+  EXPECT_EQ(trace.cloud_link_schedule(), nullptr);
+}
+
+TEST(FaultTrace, GenerationIsDeterministicInSeed) {
+  const FaultConfig cfg = crashy_config();
+  const FaultTrace a = FaultTrace::generate(cfg, 3, 5000.0, Rng(77));
+  const FaultTrace b = FaultTrace::generate(cfg, 3, 5000.0, Rng(77));
+  ASSERT_EQ(a.site_outages.size(), b.site_outages.size());
+  for (std::size_t s = 0; s < a.site_outages.size(); ++s) {
+    ASSERT_EQ(a.site_outages[s].size(), b.site_outages[s].size());
+    for (std::size_t i = 0; i < a.site_outages[s].size(); ++i) {
+      EXPECT_EQ(a.site_outages[s][i].start, b.site_outages[s][i].start);
+      EXPECT_EQ(a.site_outages[s][i].end, b.site_outages[s][i].end);
+    }
+  }
+  // A different seed produces a different trace.
+  const FaultTrace c = FaultTrace::generate(cfg, 3, 5000.0, Rng(78));
+  bool any_diff = false;
+  for (std::size_t s = 0; s < a.site_outages.size() && !any_diff; ++s) {
+    any_diff = a.site_outages[s].size() != c.site_outages[s].size() ||
+               (!a.site_outages[s].empty() &&
+                a.site_outages[s][0].start != c.site_outages[s][0].start);
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(FaultTrace, SitesDrawFromIndependentSubstreams) {
+  const FaultConfig cfg = crashy_config();
+  const FaultTrace a = FaultTrace::generate(cfg, 2, 5000.0, Rng(9));
+  ASSERT_FALSE(a.site_outages[0].empty());
+  ASSERT_FALSE(a.site_outages[1].empty());
+  EXPECT_NE(a.site_outages[0][0].start, a.site_outages[1][0].start);
+
+  // Enabling link faults must not perturb the outage streams (each fault
+  // process owns a dedicated substream).
+  FaultConfig with_links = cfg;
+  with_links.edge_link.enabled = true;
+  with_links.cloud_link.enabled = true;
+  const FaultTrace b = FaultTrace::generate(with_links, 2, 5000.0, Rng(9));
+  for (int s = 0; s < 2; ++s) {
+    const auto su = static_cast<std::size_t>(s);
+    ASSERT_EQ(a.site_outages[su].size(), b.site_outages[su].size());
+    for (std::size_t i = 0; i < a.site_outages[su].size(); ++i) {
+      EXPECT_EQ(a.site_outages[su][i].start, b.site_outages[su][i].start);
+    }
+  }
+}
+
+TEST(FaultTrace, OutagesAreSortedNonOverlappingAndStartInsideHorizon) {
+  const Time horizon = 20000.0;
+  const FaultTrace trace =
+      FaultTrace::generate(crashy_config(), 4, horizon, Rng(123));
+  for (const auto& site : trace.site_outages) {
+    for (std::size_t i = 0; i < site.size(); ++i) {
+      EXPECT_LT(site[i].start, horizon);
+      EXPECT_GT(site[i].end, site[i].start);
+      if (i > 0) EXPECT_GE(site[i].start, site[i - 1].end);
+    }
+  }
+}
+
+TEST(FaultTrace, DowntimeFractionApproachesUnavailability) {
+  FaultConfig cfg = crashy_config();  // A = 100/110 => ~9.1% down
+  const FaultTrace trace =
+      FaultTrace::generate(cfg, 1, 2.0e6, Rng(5));
+  const double down = trace.site_downtime_fraction(0);
+  const double expected = 1.0 - cfg.edge_site.availability();
+  EXPECT_NEAR(down, expected, 0.02);
+}
+
+TEST(FaultTrace, InOutageMatchesIntervals) {
+  std::vector<Outage> outages{{10.0, 12.0}, {20.0, 25.0}};
+  EXPECT_FALSE(FaultTrace::in_outage(outages, 9.999));
+  EXPECT_TRUE(FaultTrace::in_outage(outages, 10.0));
+  EXPECT_TRUE(FaultTrace::in_outage(outages, 11.999));
+  EXPECT_FALSE(FaultTrace::in_outage(outages, 12.0));
+  EXPECT_FALSE(FaultTrace::in_outage(outages, 19.0));
+  EXPECT_TRUE(FaultTrace::in_outage(outages, 24.0));
+  EXPECT_FALSE(FaultTrace::in_outage(outages, 25.0));
+  EXPECT_FALSE(FaultTrace::in_outage({}, 1.0));
+}
+
+TEST(LinkSchedule, LookupInsideAndOutsideWindows) {
+  std::vector<LinkEvent> events;
+  events.push_back(LinkEvent{5.0, 7.0, 0.100, false});
+  events.push_back(LinkEvent{9.0, 10.0, 0.0, true});
+  const LinkSchedule sched(events);
+
+  EXPECT_DOUBLE_EQ(sched.extra_one_way(4.9), 0.0);
+  EXPECT_DOUBLE_EQ(sched.extra_one_way(5.0), 0.050);  // half the RTT spike
+  EXPECT_DOUBLE_EQ(sched.extra_one_way(6.999), 0.050);
+  EXPECT_DOUBLE_EQ(sched.extra_one_way(7.0), 0.0);
+  EXPECT_FALSE(sched.partitioned(6.0));
+  EXPECT_TRUE(sched.partitioned(9.5));
+  EXPECT_FALSE(sched.partitioned(10.0));
+  EXPECT_DOUBLE_EQ(sched.extra_one_way(9.5), 0.0);  // partition, not slow
+}
+
+TEST(LinkSchedule, GeneratedEventsRespectPartitionFraction) {
+  LinkFaultConfig cfg;
+  cfg.enabled = true;
+  cfg.mean_spike_gap = 10.0;
+  cfg.mean_spike_duration = 1.0;
+  cfg.spike_extra_rtt = 0.2;
+  cfg.partition_fraction = 1.0;  // every spike is a partition
+  FaultConfig full;
+  full.edge_link = cfg;
+  const FaultTrace trace = FaultTrace::generate(full, 1, 10000.0, Rng(3));
+  const auto& events = trace.site_link_events[0];
+  ASSERT_FALSE(events.empty());
+  for (const LinkEvent& e : events) {
+    EXPECT_TRUE(e.partition);
+    EXPECT_DOUBLE_EQ(e.extra_rtt, 0.0);
+  }
+}
+
+}  // namespace
+}  // namespace hce::faults

@@ -1,0 +1,257 @@
+// Statistical invariant harness over a *randomized* grid of scenarios.
+//
+// Three families of invariants, each distribution-free:
+//   1. Little's law, L = lambda * W, at every edge site and at the cloud
+//      cluster of a randomly drawn fault-free scenario;
+//   2. utilization conservation: measured busy fraction equals offered
+//      work per server (rho = lambda * E[S] / (c * speed)) on both sides
+//      of the same comparison;
+//   3. request conservation under faults: with retries enabled, every
+//      offered request resolves exactly once once the calendar drains —
+//      offered == delivered + timed-out, as an exact integer identity.
+//
+// The grid is drawn from a seeded RNG so the parameter space wanders
+// (servers, sites, load, variability) while staying reproducible.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "cluster/deployment.hpp"
+#include "cluster/source.hpp"
+#include "des/simulation.hpp"
+#include "experiment/runner.hpp"
+#include "experiment/scenario.hpp"
+#include "support/rng.hpp"
+#include "workload/arrival.hpp"
+#include "workload/service.hpp"
+
+namespace hce {
+namespace {
+
+struct GridScenario {
+  int num_sites;
+  int servers_per_site;
+  double rho;          // offered utilization
+  double arrival_cov;
+  double service_cov;
+  std::uint64_t seed;
+};
+
+/// Draws a randomized but reproducible grid of fault-free scenarios.
+std::vector<GridScenario> draw_grid(int n, std::uint64_t master_seed) {
+  Rng rng(master_seed);
+  std::vector<GridScenario> grid;
+  grid.reserve(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    GridScenario g;
+    g.num_sites = 2 + static_cast<int>(rng.below(4));        // 2..5
+    g.servers_per_site = 1 + static_cast<int>(rng.below(2)); // 1..2
+    g.rho = rng.uniform(0.35, 0.75);
+    g.arrival_cov = rng.uniform(0.6, 1.4);
+    g.service_cov = rng.uniform(0.4, 1.2);
+    g.seed = rng.stream("grid", static_cast<std::uint64_t>(i)).seed();
+    grid.push_back(g);
+  }
+  return grid;
+}
+
+struct MeasuredSide {
+  double L = 0.0;            // time-average number in system (stations)
+  double lambda = 0.0;       // completion rate (post-warmup)
+  double W = 0.0;            // mean time in station (wait + service)
+  double utilization = 0.0;  // busy fraction
+  int servers = 0;
+};
+
+/// Runs one fault-free paired comparison and measures both sides' station
+/// aggregates directly (the runner's sinks measure client latency; the
+/// law is asserted at the stations where L and W are defined).
+void run_pair(const GridScenario& g, MeasuredSide& edge_out,
+              MeasuredSide& cloud_out) {
+  const double mu = workload::kReferenceSaturationRate;
+  const Rate lambda_total =
+      g.rho * mu * g.num_sites * g.servers_per_site;
+
+  des::Simulation sim;
+  cluster::EdgeConfig ecfg;
+  ecfg.num_sites = g.num_sites;
+  ecfg.servers_per_site = g.servers_per_site;
+  cluster::EdgeDeployment edge(sim, ecfg, Rng(g.seed).stream("edge-net"));
+  cluster::CloudConfig ccfg;
+  ccfg.num_servers = g.num_sites * g.servers_per_site;
+  cluster::CloudDeployment cloud(sim, ccfg, Rng(g.seed).stream("cloud-net"));
+
+  auto service = workload::from_distribution(
+      dist::by_cov(1.0 / mu, g.service_cov));
+  std::vector<std::unique_ptr<cluster::MirroredSource>> sources;
+  for (int s = 0; s < g.num_sites; ++s) {
+    sources.push_back(std::make_unique<cluster::MirroredSource>(
+        sim,
+        workload::renewal_rate_cov(lambda_total / g.num_sites,
+                                   g.arrival_cov),
+        service, s, [&edge](des::Request r) { edge.submit(std::move(r)); },
+        [&cloud](des::Request r) { cloud.submit(std::move(r)); },
+        Rng(g.seed).stream("source", static_cast<std::uint64_t>(s))));
+  }
+
+  const Time warmup = 500.0;
+  const Time horizon = 6000.0;
+  for (auto& src : sources) src->start(horizon);
+  sim.schedule_at(warmup, [&] {
+    edge.reset_stats();
+    cloud.reset_stats();
+  });
+  sim.run();
+  const Time window = sim.now() - warmup;
+
+  // Edge: aggregate the k sites (L and lambda add; W averages over
+  // completions).
+  MeasuredSide e;
+  double edge_completions = 0.0;
+  for (int s = 0; s < g.num_sites; ++s) {
+    e.L += edge.site(s).mean_in_system();
+    edge_completions += static_cast<double>(edge.site(s).completed());
+    e.utilization += edge.site(s).utilization();
+  }
+  e.utilization /= g.num_sites;
+  e.lambda = edge_completions / window;
+  e.servers = g.num_sites * g.servers_per_site;
+  {
+    // Mean station time from the sink (waiting + service per record).
+    double sum = 0.0;
+    std::uint64_t n = 0;
+    for (const auto& rec : edge.sink().records()) {
+      if (rec.t_completed < warmup) continue;
+      sum += static_cast<double>(rec.waiting) +
+             static_cast<double>(rec.service);
+      ++n;
+    }
+    e.W = n > 0 ? sum / static_cast<double>(n) : 0.0;
+  }
+  edge_out = e;
+
+  MeasuredSide c;
+  const auto& cloud_station = *cloud.cluster().stations()[0];
+  c.L = cloud_station.mean_in_system();
+  c.lambda = static_cast<double>(cloud_station.completed()) / window;
+  c.utilization = cloud_station.utilization();
+  c.servers = ccfg.num_servers;
+  {
+    double sum = 0.0;
+    std::uint64_t n = 0;
+    for (const auto& rec : cloud.sink().records()) {
+      if (rec.t_completed < warmup) continue;
+      sum += static_cast<double>(rec.waiting) +
+             static_cast<double>(rec.service);
+      ++n;
+    }
+    c.W = n > 0 ? sum / static_cast<double>(n) : 0.0;
+  }
+  cloud_out = c;
+}
+
+class InvariantGrid : public ::testing::TestWithParam<int> {};
+
+TEST_P(InvariantGrid, LittlesLawAndUtilizationConservation) {
+  const auto grid = draw_grid(6, 0xFAB7E5);
+  const GridScenario g = grid[static_cast<std::size_t>(GetParam())];
+  MeasuredSide edge, cloud;
+  run_pair(g, edge, cloud);
+
+  const double mu = workload::kReferenceSaturationRate;
+
+  // --- Little's law on both sides (10% relative tolerance: finite run).
+  ASSERT_GT(edge.lambda, 0.0);
+  EXPECT_NEAR(edge.L, edge.lambda * edge.W,
+              0.10 * edge.L + 0.02)
+      << "edge: sites=" << g.num_sites << " rho=" << g.rho;
+  EXPECT_NEAR(cloud.L, cloud.lambda * cloud.W,
+              0.10 * cloud.L + 0.02)
+      << "cloud: servers=" << cloud.servers << " rho=" << g.rho;
+
+  // --- Utilization conservation: busy fraction == lambda E[S] / c.
+  const double edge_expected =
+      edge.lambda / (mu * edge.servers);
+  EXPECT_NEAR(edge.utilization, edge_expected,
+              0.08 * edge_expected + 0.01);
+  const double cloud_expected =
+      cloud.lambda / (mu * cloud.servers);
+  EXPECT_NEAR(cloud.utilization, cloud_expected,
+              0.08 * cloud_expected + 0.01);
+
+  // --- The paired workload really was identical on both sides.
+  EXPECT_NEAR(edge.lambda, cloud.lambda, 0.02 * cloud.lambda + 0.01);
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomizedGrid, InvariantGrid,
+                         ::testing::Range(0, 6));
+
+// --- Request conservation under faults -------------------------------------
+
+class FaultConservation : public ::testing::TestWithParam<int> {};
+
+TEST_P(FaultConservation, OfferedEqualsDeliveredPlusTimedOut) {
+  // warmup = 0 keeps the identity exact: no request straddles a stats
+  // reset. The calendar drains before we look, so every pending entry has
+  // resolved by completion or by timeout.
+  experiment::Scenario sc = experiment::Scenario::typical_cloud();
+  sc.num_sites = 3;
+  sc.warmup = 0.0;
+  sc.duration = 400.0;
+  sc.replications = 1;
+  sc.seed = 7000 + static_cast<std::uint64_t>(GetParam());
+  sc.faults.edge_site.enabled = true;
+  sc.faults.edge_site.mttf = 60.0;
+  sc.faults.edge_site.mttr = 8.0;
+  sc.faults.edge_link.enabled = true;
+  sc.faults.edge_link.mean_spike_gap = 40.0;
+  sc.faults.edge_link.mean_spike_duration = 1.5;
+  sc.faults.edge_link.partition_fraction = 0.5;
+  sc.faults.cloud_link.enabled = true;
+  sc.faults.cloud_link.mean_spike_gap = 80.0;
+  sc.faults.cloud_link.mean_spike_duration = 1.0;
+  sc.faults.cloud_link.partition_fraction = 0.5;
+  sc.retry.enabled = true;
+  sc.retry.timeout = 0.4;
+  sc.retry.max_retries = 2;
+
+  const auto out = experiment::run_replication(sc, 8.0, 0);
+
+  // Exact integer identity on both sides: no lost requests.
+  EXPECT_EQ(out.edge_client.offered,
+            out.edge_client.delivered + out.edge_client.timeouts);
+  EXPECT_EQ(out.cloud_client.offered,
+            out.cloud_client.delivered + out.cloud_client.timeouts);
+  // The same logical workload was offered to both deployments.
+  EXPECT_EQ(out.edge_client.offered, out.cloud_client.offered);
+  // Delivered-at-client matches the sink sample counts.
+  EXPECT_EQ(out.edge_client.delivered, out.edge_latencies.size());
+  EXPECT_EQ(out.cloud_client.delivered, out.cloud_latencies.size());
+  // Faults actually engaged (otherwise this test checks nothing).
+  EXPECT_GT(out.edge_client.retries + out.cloud_client.retries, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FaultConservation, ::testing::Range(0, 4));
+
+TEST(FaultConservation, FaultFreeRetryRunsDeliverEverything) {
+  experiment::Scenario sc = experiment::Scenario::typical_cloud();
+  sc.num_sites = 2;
+  sc.warmup = 0.0;
+  sc.duration = 300.0;
+  sc.replications = 1;
+  sc.retry.enabled = true;  // retries armed but nothing to recover from
+  // A timeout far above any plausible sojourn time: with no faults the
+  // client must never fire it. (A tight timeout would clip the natural
+  // latency tail and re-inject load — a retry storm, not a fault drill.)
+  sc.retry.timeout = 30.0;
+  const auto out = experiment::run_replication(sc, 7.0, 0);
+  EXPECT_EQ(out.edge_client.timeouts, 0u);
+  EXPECT_EQ(out.cloud_client.timeouts, 0u);
+  EXPECT_EQ(out.edge_client.offered, out.edge_client.delivered);
+  EXPECT_EQ(out.cloud_client.offered, out.cloud_client.delivered);
+  EXPECT_EQ(out.edge_client.retries, 0u);
+  EXPECT_EQ(out.cloud_client.retries, 0u);
+}
+
+}  // namespace
+}  // namespace hce
