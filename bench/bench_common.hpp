@@ -8,14 +8,32 @@
 //      (DES event throughput, analytic evaluators), so performance
 //      regressions in the library itself are visible.
 //
-// The binaries take standard google-benchmark flags; with no arguments
-// they print the figure and run the microbenchmarks with default settings.
+// The binaries take standard google-benchmark flags plus two of our own:
+//
+//   --json <path>   dump the microbenchmark results as machine-readable
+//                   JSON (shorthand for --benchmark_out=<path>
+//                   --benchmark_out_format=json), so every bench binary
+//                   can feed the performance-trajectory record.
+//   --smoke <baseline.json>
+//                   regression-gate mode: skip the figure reproduction,
+//                   run only the benchmark named in the baseline file
+//                   (~seconds, not minutes), and exit non-zero if its
+//                   items_per_second fell more than the baseline's
+//                   tolerance below the recorded value. This is what the
+//                   HCE_BENCH_SMOKE ctest label runs.
+//
+// With no arguments they print the figure and run the microbenchmarks
+// with default settings.
 #pragma once
 
 #include <benchmark/benchmark.h>
 
+#include <cstdlib>
+#include <fstream>
 #include <iostream>
+#include <sstream>
 #include <string>
+#include <vector>
 
 #include "support/table.hpp"
 
@@ -39,12 +57,141 @@ inline void check(const std::string& what, bool ok) {
   std::cout << (ok ? "[REPRODUCED] " : "[DIVERGES]   ") << what << '\n';
 }
 
+/// Pulls a quoted string value for `key` out of a (small, trusted) JSON
+/// blob. Good enough for our own baseline files; not a general parser.
+inline std::string json_string_field(const std::string& text,
+                                     const std::string& key) {
+  const auto kpos = text.find('"' + key + '"');
+  if (kpos == std::string::npos) return {};
+  const auto open = text.find('"', text.find(':', kpos));
+  if (open == std::string::npos) return {};
+  const auto close = text.find('"', open + 1);
+  if (close == std::string::npos) return {};
+  return text.substr(open + 1, close - open - 1);
+}
+
+/// Pulls a numeric value for `key` out of a small JSON blob; `fallback`
+/// if absent.
+inline double json_number_field(const std::string& text,
+                                const std::string& key, double fallback) {
+  const auto kpos = text.find('"' + key + '"');
+  if (kpos == std::string::npos) return fallback;
+  const auto colon = text.find(':', kpos);
+  if (colon == std::string::npos) return fallback;
+  return std::strtod(text.c_str() + colon + 1, nullptr);
+}
+
+namespace detail {
+
+/// Console reporter that also captures items_per_second for one named
+/// benchmark (the smoke-gate target).
+class CapturingReporter : public benchmark::ConsoleReporter {
+ public:
+  explicit CapturingReporter(std::string name) : name_(std::move(name)) {}
+
+  void ReportRuns(const std::vector<Run>& runs) override {
+    for (const auto& r : runs) {
+      if (r.benchmark_name() != name_) continue;
+      const auto it = r.counters.find("items_per_second");
+      if (it != r.counters.end()) {
+        items_per_second = static_cast<double>(it->second);
+        seen = true;
+      }
+    }
+    ConsoleReporter::ReportRuns(runs);
+  }
+
+  double items_per_second = 0.0;
+  bool seen = false;
+
+ private:
+  std::string name_;
+};
+
+}  // namespace detail
+
 /// Standard main body: print the figure, then run microbenchmarks.
+/// Handles the --json / --smoke extensions described in the header.
 inline int run(int argc, char** argv, void (*reproduce)()) {
-  reproduce();
-  std::cout << "\n--- library microbenchmarks ---\n";
-  benchmark::Initialize(&argc, argv);
-  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  std::string json_path;
+  std::string smoke_path;
+  std::vector<std::string> passthrough;
+  passthrough.reserve(static_cast<std::size_t>(argc) + 4);
+  passthrough.emplace_back(argc > 0 ? argv[0] : "bench");
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    if (a == "--json" && i + 1 < argc) {
+      json_path = argv[++i];
+    } else if (a == "--smoke" && i + 1 < argc) {
+      smoke_path = argv[++i];
+    } else {
+      passthrough.push_back(a);
+    }
+  }
+  if (!json_path.empty()) {
+    passthrough.push_back("--benchmark_out=" + json_path);
+    passthrough.push_back("--benchmark_out_format=json");
+  }
+
+  std::string smoke_name;
+  double smoke_baseline = 0.0;
+  double smoke_tolerance = 0.20;
+  if (!smoke_path.empty()) {
+    std::ifstream in(smoke_path);
+    if (!in) {
+      std::cerr << "smoke: cannot read baseline file " << smoke_path << '\n';
+      return 2;
+    }
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    const std::string text = ss.str();
+    smoke_name = json_string_field(text, "benchmark");
+    smoke_baseline = json_number_field(text, "items_per_second", 0.0);
+    smoke_tolerance = json_number_field(text, "tolerance", 0.20);
+    if (smoke_name.empty() || smoke_baseline <= 0.0) {
+      std::cerr << "smoke: baseline file needs \"benchmark\" and a positive "
+                   "\"items_per_second\"\n";
+      return 2;
+    }
+    // Keep the gate to a few seconds: one benchmark, a fixed min time.
+    passthrough.push_back("--benchmark_filter=^" + smoke_name + "$");
+    passthrough.push_back("--benchmark_min_time=2");
+  } else {
+    reproduce();
+    std::cout << "\n--- library microbenchmarks ---\n";
+  }
+
+  std::vector<char*> args;
+  args.reserve(passthrough.size());
+  for (auto& s : passthrough) args.push_back(s.data());
+  int bench_argc = static_cast<int>(args.size());
+  benchmark::Initialize(&bench_argc, args.data());
+  if (benchmark::ReportUnrecognizedArguments(bench_argc, args.data())) {
+    return 1;
+  }
+
+  if (!smoke_path.empty()) {
+    detail::CapturingReporter reporter(smoke_name);
+    benchmark::RunSpecifiedBenchmarks(&reporter);
+    benchmark::Shutdown();
+    if (!reporter.seen) {
+      std::cerr << "smoke: benchmark " << smoke_name
+                << " did not run (bad name in baseline?)\n";
+      return 2;
+    }
+    const double floor = smoke_baseline * (1.0 - smoke_tolerance);
+    std::cout << "smoke: " << smoke_name << " " << reporter.items_per_second
+              << " items/s vs baseline " << smoke_baseline << " (floor "
+              << floor << ")\n";
+    if (reporter.items_per_second < floor) {
+      std::cerr << "smoke: REGRESSION: more than "
+                << (smoke_tolerance * 100.0) << "% below baseline\n";
+      return 1;
+    }
+    std::cout << "smoke: OK\n";
+    return 0;
+  }
+
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
   return 0;

@@ -52,7 +52,9 @@ void DynamicStation::try_start_service() {
     busy_tw_.set(sim_.now(), static_cast<double>(busy_));
     update_provisioned();
     const Time service_time = req.service_demand / speed_;
-    sim_.schedule_in(service_time, [this, r = std::move(req)]() mutable {
+    const auto h = in_service_.put(std::move(req));
+    sim_.schedule_in(service_time, [this, h] {
+      des::Request r = in_service_.take(h);
       r.t_departure = sim_.now();
       --busy_;
       busy_tw_.set(sim_.now(), static_cast<double>(busy_));

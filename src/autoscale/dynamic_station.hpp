@@ -16,6 +16,7 @@
 #include <string>
 
 #include "des/request.hpp"
+#include "des/request_pool.hpp"
 #include "des/simulation.hpp"
 #include "stats/timeweighted.hpp"
 
@@ -71,6 +72,9 @@ class DynamicStation {
   int target_ = 1;
   int busy_ = 0;
   std::deque<des::Request> queue_;
+  /// In-service request payloads: the completion event captures a 4-byte
+  /// pool handle so the handler fits the calendar's inline buffer.
+  des::RequestPool in_service_;
   std::uint64_t completed_ = 0;
   std::uint64_t arrivals_ = 0;
   std::uint64_t pending_scaleups_ = 0;

@@ -24,11 +24,12 @@ ElasticEdge::ElasticEdge(des::Simulation& sim, ElasticEdgeConfig cfg, Rng rng)
         sim, "elastic-edge/" + std::to_string(s),
         cfg_.initial_servers_per_site, cfg_.speed, s));
     sites_.back()->set_completion_handler([this](const des::Request& done) {
-      des::Request copy = done;
       const Time downlink = cfg_.network.one_way(rng_);
-      sim_.schedule_in(downlink, [this, copy]() mutable {
-        copy.t_completed = sim_.now();
-        sink_.record(copy);
+      const auto h = pool_.put(des::Request(done));
+      sim_.schedule_in(downlink, [this, h] {
+        des::Request r = pool_.take(h);
+        r.t_completed = sim_.now();
+        sink_.record(r);
       });
     });
   }
@@ -47,8 +48,9 @@ void ElasticEdge::submit(des::Request req) {
   req.t_created = sim_.now();
   const int target = req.site;
   const Time uplink = cfg_.network.one_way(rng_);
-  sim_.schedule_in(uplink, [this, target, r = std::move(req)]() mutable {
-    sites_[static_cast<std::size_t>(target)]->arrive(std::move(r));
+  const auto h = pool_.put(std::move(req));
+  sim_.schedule_in(uplink, [this, target, h] {
+    sites_[static_cast<std::size_t>(target)]->arrive(pool_.take(h));
   });
 }
 

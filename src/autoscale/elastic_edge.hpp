@@ -16,6 +16,7 @@
 #include "autoscale/policy.hpp"
 #include "cluster/network.hpp"
 #include "des/request.hpp"
+#include "des/request_pool.hpp"
 #include "des/simulation.hpp"
 #include "des/sink.hpp"
 #include "support/rng.hpp"
@@ -75,6 +76,9 @@ class ElasticEdge {
   Rng rng_;
   std::vector<std::unique_ptr<DynamicStation>> sites_;
   des::Sink sink_;
+  /// In-flight request payloads (uplink/downlink legs): calendar handlers
+  /// capture 4-byte pool handles, not Requests.
+  des::RequestPool pool_;
 
   // Control state.
   std::vector<std::uint64_t> arrivals_at_last_tick_;

@@ -30,9 +30,11 @@ CloudDeployment::CloudDeployment(des::Simulation& sim, CloudConfig cfg,
       extra = cfg_.link_faults->extra_one_way(sim_.now());
     }
     const Time downlink = cfg_.network.one_way(rng_) + extra;
-    sim_.schedule_in(downlink, [this, copy]() mutable {
-      copy.t_completed = sim_.now();
-      deliver(std::move(copy));
+    const auto h = pool_.put(std::move(copy));
+    sim_.schedule_in(downlink, [this, h] {
+      des::Request r = pool_.take(h);
+      r.t_completed = sim_.now();
+      deliver(std::move(r));
     });
   });
 }
@@ -68,8 +70,9 @@ void CloudDeployment::send_attempt(des::Request req) {
   }
   const Time uplink =
       cfg_.network.one_way(rng_) + extra + cfg_.dispatch_overhead;
-  sim_.schedule_in(uplink, [this, r = std::move(req)]() mutable {
-    cluster_.dispatch(std::move(r), rng_);
+  const auto h = pool_.put(std::move(req));
+  sim_.schedule_in(uplink, [this, h] {
+    cluster_.dispatch(pool_.take(h), rng_);
   });
 }
 
@@ -87,10 +90,13 @@ void CloudDeployment::on_timeout(std::uint64_t token) {
   }
   if (counted) ++client_.retries;
   const Time backoff = cfg_.retry.backoff_before(p.attempt);
-  sim_.schedule_in(backoff, [this, p = std::move(p)]() mutable {
-    // The cloud has a single dispatcher: retries go back to it.
-    start_attempt(std::move(p.req), p.attempt + 1, p.epoch);
-  });
+  const auto h = pool_.put(std::move(p.req));
+  sim_.schedule_in(backoff,
+                   [this, h, attempt = p.attempt, epoch = p.epoch] {
+                     // The cloud has a single dispatcher: retries go back
+                     // to it.
+                     start_attempt(pool_.take(h), attempt + 1, epoch);
+                   });
 }
 
 void CloudDeployment::deliver(des::Request req) {
@@ -147,9 +153,11 @@ EdgeDeployment::EdgeDeployment(des::Simulation& sim, EdgeConfig cfg, Rng rng)
         extra = ls->extra_one_way(sim_.now());
       }
       const Time downlink = cfg_.network.one_way(rng_) + extra;
-      sim_.schedule_in(downlink, [this, copy]() mutable {
-        copy.t_completed = sim_.now();
-        deliver(std::move(copy));
+      const auto h = pool_.put(std::move(copy));
+      sim_.schedule_in(downlink, [this, h] {
+        des::Request r = pool_.take(h);
+        r.t_completed = sim_.now();
+        deliver(std::move(r));
       });
     });
   }
@@ -200,8 +208,9 @@ void EdgeDeployment::arrive_at_site(des::Request req, int site_index) {
     if (target >= 0) {
       ++failover_count_;
       const Time hop = cfg_.inter_site_rtt / 2.0;
-      sim_.schedule_in(hop, [this, target, r = std::move(req)]() mutable {
-        arrive_at_site(std::move(r), target);
+      const auto h = pool_.put(std::move(req));
+      sim_.schedule_in(hop, [this, target, h] {
+        arrive_at_site(pool_.take(h), target);
       });
       return;
     }
@@ -215,8 +224,9 @@ void EdgeDeployment::arrive_at_site(des::Request req, int site_index) {
       ++req.redirects;
       ++redirect_count_;
       const Time hop = cfg_.inter_site_rtt / 2.0;
-      sim_.schedule_in(hop, [this, target, r = std::move(req)]() mutable {
-        arrive_at_site(std::move(r), target);
+      const auto h = pool_.put(std::move(req));
+      sim_.schedule_in(hop, [this, target, h] {
+        arrive_at_site(pool_.take(h), target);
       });
       return;
     }
@@ -258,8 +268,9 @@ void EdgeDeployment::send_attempt(des::Request req, int target) {
     extra = ls->extra_one_way(sim_.now());
   }
   const Time uplink = cfg_.network.one_way(rng_) + extra;
-  sim_.schedule_in(uplink, [this, target, r = std::move(req)]() mutable {
-    arrive_at_site(std::move(r), target);
+  const auto h = pool_.put(std::move(req));
+  sim_.schedule_in(uplink, [this, target, h] {
+    arrive_at_site(pool_.take(h), target);
   });
 }
 
@@ -277,17 +288,22 @@ void EdgeDeployment::on_timeout(std::uint64_t token) {
   }
   if (counted) ++client_.retries;
   const Time backoff = cfg_.retry.backoff_before(p.attempt);
-  sim_.schedule_in(backoff, [this, p = std::move(p)]() mutable {
-    // Pick the failover target at re-issue time (sites may have recovered
-    // or crashed during the backoff). Ring order from the last target —
-    // also a hedge when the timeout was congestion, not a crash.
-    int target = p.req.site;
-    if (cfg_.retry.failover) {
-      const int next = next_up_site(p.target);
-      target = next >= 0 ? next : p.target;
-    }
-    start_attempt(std::move(p.req), p.attempt + 1, target, p.epoch);
-  });
+  const auto h = pool_.put(std::move(p.req));
+  sim_.schedule_in(
+      backoff, [this, h, attempt = p.attempt, prev_target = p.target,
+                epoch = p.epoch] {
+        // Pick the failover target at re-issue time (sites may have
+        // recovered or crashed during the backoff). Ring order from the
+        // last target — also a hedge when the timeout was congestion, not
+        // a crash.
+        des::Request req = pool_.take(h);
+        int target = req.site;
+        if (cfg_.retry.failover) {
+          const int next = next_up_site(prev_target);
+          target = next >= 0 ? next : prev_target;
+        }
+        start_attempt(std::move(req), attempt + 1, target, epoch);
+      });
 }
 
 void EdgeDeployment::deliver(des::Request req) {

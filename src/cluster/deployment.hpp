@@ -27,6 +27,7 @@
 #include "cluster/dispatch.hpp"
 #include "cluster/network.hpp"
 #include "des/request.hpp"
+#include "des/request_pool.hpp"
 #include "des/simulation.hpp"
 #include "des/sink.hpp"
 #include "des/station.hpp"
@@ -126,6 +127,9 @@ class CloudDeployment {
   Rng rng_;
   Cluster cluster_;
   des::Sink sink_;
+  /// In-flight request payloads (uplink/downlink legs, retry backoffs):
+  /// calendar handlers capture 4-byte pool handles, not Requests.
+  des::RequestPool pool_;
   std::unordered_map<std::uint64_t, PendingRequest> pending_;
   std::uint64_t next_token_ = 0;
   std::uint64_t epoch_ = 0;  ///< bumped by reset_stats()
@@ -218,6 +222,9 @@ class EdgeDeployment {
   Rng rng_;
   std::vector<std::unique_ptr<des::Station>> sites_;
   des::Sink sink_;
+  /// In-flight request payloads (network legs, failover/redirect hops,
+  /// retry backoffs): handlers capture 4-byte pool handles.
+  des::RequestPool pool_;
   std::uint64_t redirect_count_ = 0;
   std::uint64_t failover_count_ = 0;
   std::unordered_map<std::uint64_t, PendingRequest> pending_;

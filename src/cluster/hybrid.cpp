@@ -18,10 +18,11 @@ HybridDeployment::HybridDeployment(des::Simulation& sim, HybridConfig cfg,
   HCE_EXPECT(cfg.cloud_servers >= 1, "hybrid needs >= 1 cloud server");
 
   auto record_after = [this](const des::Request& done, Time downlink) {
-    des::Request copy = done;
-    sim_.schedule_in(downlink, [this, copy]() mutable {
-      copy.t_completed = sim_.now();
-      sink_.record(copy);
+    const auto h = pool_.put(des::Request(done));
+    sim_.schedule_in(downlink, [this, h] {
+      des::Request r = pool_.take(h);
+      r.t_completed = sim_.now();
+      sink_.record(r);
     });
   };
 
@@ -47,7 +48,9 @@ void HybridDeployment::submit(des::Request req) {
   req.t_created = sim_.now();
   const int site_index = req.site;
   const Time uplink = cfg_.edge_network.one_way(rng_);
-  sim_.schedule_in(uplink, [this, site_index, r = std::move(req)]() mutable {
+  const auto h = pool_.put(std::move(req));
+  sim_.schedule_in(uplink, [this, site_index, h] {
+    des::Request r = pool_.take(h);
     auto& station = *sites_[static_cast<std::size_t>(site_index)];
     if (station.queue_length() >= cfg_.offload_queue_threshold) {
       // Forward over the edge->cloud leg; the response returns directly
@@ -56,8 +59,9 @@ void HybridDeployment::submit(des::Request req) {
       ++r.redirects;
       const Time forward = std::max<Time>(
           0.0, (cfg_.cloud_network.rtt - cfg_.edge_network.rtt) / 2.0);
-      sim_.schedule_in(forward, [this, r = std::move(r)]() mutable {
-        cloud_.dispatch(std::move(r), rng_);
+      const auto fh = pool_.put(std::move(r));
+      sim_.schedule_in(forward, [this, fh] {
+        cloud_.dispatch(pool_.take(fh), rng_);
       });
       return;
     }

@@ -16,6 +16,7 @@
 #include "cluster/dispatch.hpp"
 #include "cluster/network.hpp"
 #include "des/request.hpp"
+#include "des/request_pool.hpp"
 #include "des/simulation.hpp"
 #include "des/sink.hpp"
 #include "des/station.hpp"
@@ -69,6 +70,9 @@ class HybridDeployment {
   std::vector<std::unique_ptr<des::Station>> sites_;
   Cluster cloud_;
   des::Sink sink_;
+  /// In-flight request payloads (network legs, offload hops): calendar
+  /// handlers capture 4-byte pool handles, not Requests.
+  des::RequestPool pool_;
   std::uint64_t offloaded_ = 0;
   std::uint64_t local_ = 0;
 };

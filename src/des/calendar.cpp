@@ -1,0 +1,38 @@
+#include "des/calendar.hpp"
+
+namespace hce::des {
+
+void Calendar::reserve(std::size_t n) {
+  handlers_.reserve(n);
+  gen_.reserve(n);
+  posnext_.reserve(n);
+  keys_.reserve(n + kPad);
+  heap_slot_.reserve(n + kPad);
+}
+
+bool Calendar::cancel(EventId id) {
+  if (!pending(id)) return false;
+  remove_heap_entry(posnext_[id.slot]);
+  handlers_[id.slot].reset();
+  release_slot(id.slot);
+  ++ctr_.cancelled;
+  return true;
+}
+
+void Calendar::remove_heap_entry(std::size_t pos) {
+  const Key last_key = keys_.back();
+  const std::uint32_t last_slot = heap_slot_.back();
+  keys_.pop_back();
+  heap_slot_.pop_back();
+  if (pos < hsize()) {
+    // The displaced entry may need to move either direction (it came from
+    // the bottom but the removed entry can be anywhere).
+    if (pos > 0 && earlier(last_key, key((pos - 1) / kArity))) {
+      sift_up(pos, last_key, last_slot);
+    } else {
+      sift_down(pos, last_key, last_slot);
+    }
+  }
+}
+
+}  // namespace hce::des

@@ -1,0 +1,342 @@
+// Indexed 4-ary heap event calendar with slab storage.
+//
+// The engine's previous calendar was a std::priority_queue of 48-byte
+// (time, seq, std::function) entries with lazy tombstone cancellation
+// through an unordered_set of cancelled sequence numbers. Per event that
+// design paid a binary-heap push/pop of 48-byte entries, one hash lookup
+// per pop (tombstone check), and — for any capture list over
+// std::function's 16-byte small-buffer, i.e. every Request-carrying
+// scheduling site — a heap allocation plus free on the hottest path in
+// the simulator. Cancellation was lazy: a cancel-heavy run (client
+// timeouts that almost always get cancelled by the response) kept every
+// dead entry resident in the heap *and* a node in the hash set until its
+// deadline drifted to the top.
+//
+// This calendar eliminates all of that by construction:
+//
+//   * Event handlers are constructed in place into a slab of inline-
+//     storage slots recycled through an intrusive free list — zero
+//     steady-state allocation once the slab has grown to the run's
+//     high-water mark (or was reserve()d up front), and zero handler
+//     moves on the schedule path.
+//   * The heap is a 4-ary structure-of-arrays: a dense 16-byte
+//     {time, seq} key array (the compare-hot half) plus a parallel u32
+//     slot-index array. Every comparison during a sift reads contiguous
+//     key memory — never chasing a slot index into the slab — and the
+//     shallower tree does ~half the compare levels of a binary heap.
+//     Sift moves shuffle 16-byte keys and 4-byte indices, not ~100-byte
+//     handler-bearing slots.
+//   * Slot metadata lives in dense parallel u32 arrays, not next to the
+//     fat handler storage. The per-move heap-position write — the classic
+//     overhead of an indexed heap — lands in a 4-byte-stride array that
+//     stays cache-resident, and the position field doubles as the
+//     free-list link (a slot is never pending and free at once).
+//   * Each slot records its heap position, so cancel() is a true O(log n)
+//     sift-out: the entry leaves the heap immediately and its slot is
+//     reused. Calendar memory is bounded by the *live* event count, never
+//     by the cancelled count.
+//   * EventIds are generation-tagged {slot, gen}: the slot's generation is
+//     bumped on every release, so a stale id (already fired, already
+//     cancelled, never scheduled) is detected exactly — cancel returns
+//     false instead of corrupting an unrelated event that reused the slot.
+//
+// Ordering contract: strict (time, seq) order, identical to the previous
+// engine — the determinism tests (and the committed golden latency
+// digests) lock this in bit-for-bit.
+#pragma once
+
+#include <bit>
+#include <cstddef>
+#include <cstdint>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+#include "des/handler.hpp"
+#include "support/contracts.hpp"
+#include "support/time.hpp"
+
+namespace hce::des {
+
+namespace detail {
+
+/// Minimal over-aligned allocator so the heap's key array can be pinned
+/// to cache-line boundaries (std::allocator only guarantees 16).
+template <typename T, std::size_t Align>
+struct AlignedAlloc {
+  using value_type = T;
+  // allocator_traits cannot auto-rebind through a non-type template
+  // parameter, so spell it out.
+  template <typename U>
+  struct rebind {
+    using other = AlignedAlloc<U, Align>;
+  };
+  AlignedAlloc() noexcept = default;
+  template <typename U>
+  AlignedAlloc(const AlignedAlloc<U, Align>&) noexcept {}  // NOLINT
+  T* allocate(std::size_t n) {
+    return static_cast<T*>(
+        ::operator new(n * sizeof(T), std::align_val_t(Align)));
+  }
+  void deallocate(T* p, std::size_t) noexcept {
+    ::operator delete(p, std::align_val_t(Align));
+  }
+  template <typename U>
+  bool operator==(const AlignedAlloc<U, Align>&) const noexcept {
+    return true;
+  }
+};
+
+}  // namespace detail
+
+class Calendar {
+ public:
+  static constexpr std::uint32_t kNullIndex = 0xFFFFFFFFu;
+
+  /// Generation-tagged reference to a scheduled event. A default-
+  /// constructed id refers to nothing and is always safe to cancel (no-op).
+  struct EventId {
+    std::uint32_t slot = kNullIndex;
+    std::uint32_t gen = 0;
+  };
+
+  /// Engine-level accounting, exposed through Simulation::stats().
+  struct Counters {
+    std::uint64_t scheduled = 0;  ///< schedule() calls
+    std::uint64_t fired = 0;      ///< events popped for execution
+    std::uint64_t cancelled = 0;  ///< successful cancel() calls
+    std::size_t peak_size = 0;    ///< max simultaneous pending events
+    std::size_t slab_high_water = 0;  ///< max slots ever allocated
+  };
+
+  Calendar() {
+    // Front padding: with the key array cache-line aligned, logical
+    // sibling groups {4p+1..4p+4} land at physical {4p+4..4p+7} — a
+    // 64-byte-aligned block — so every sift level reads exactly one line.
+    keys_.resize(kPad);
+    heap_slot_.resize(kPad);
+  }
+  Calendar(const Calendar&) = delete;
+  Calendar& operator=(const Calendar&) = delete;
+
+  /// Pre-sizes the slab and heap for `n` simultaneous events so a run of
+  /// known scale never reallocates mid-measurement.
+  void reserve(std::size_t n);
+
+  /// Inserts an event, constructing the handler directly in its slab slot
+  /// (no intermediate Handler move). `seq` must be strictly increasing
+  /// across calls (the caller owns the sequence counter); it is the
+  /// tiebreak for equal times and must never repeat among live events.
+  /// `t` must be non-negative (simulation clocks start at 0 and never run
+  /// backwards) — that is what lets keys compare as unsigned bits.
+  template <typename F>
+  EventId schedule(Time t, std::uint64_t seq, F&& fn) {
+    HCE_ASSERT(t >= 0.0, "calendar times are non-negative");
+    const std::uint32_t idx = acquire_slot();
+    if constexpr (std::is_same_v<std::remove_cvref_t<F>, Handler>) {
+      handlers_[idx] = std::forward<F>(fn);
+    } else {
+      handlers_[idx].emplace(std::forward<F>(fn));
+    }
+    const std::size_t pos = hsize();
+    keys_.emplace_back();  // placeholders; sift_up writes the node in place
+    heap_slot_.emplace_back();
+    sift_up(pos, Key{time_bits(t), seq}, idx);
+    ++ctr_.scheduled;
+    if (hsize() > ctr_.peak_size) ctr_.peak_size = hsize();
+    return EventId{idx, gen_[idx]};
+  }
+
+  /// Removes a pending event in O(log n). Returns false — touching
+  /// nothing — if the id already fired, was already cancelled, or never
+  /// existed (generation mismatch).
+  bool cancel(EventId id);
+
+  /// True if `id` still refers to a pending event.
+  bool pending(EventId id) const {
+    if (id.slot >= gen_.size() || gen_[id.slot] != id.gen) return false;
+    const std::uint32_t pos = posnext_[id.slot];
+    return pos < hsize() && hslot(pos) == id.slot;
+  }
+
+  bool empty() const { return hsize() == 0; }
+  std::size_t size() const { return hsize(); }
+
+  /// Timestamp of the earliest pending event. Precondition: !empty().
+  Time min_time() const { return bits_time(key(0).tbits); }
+
+  /// Pops the earliest event, releasing its slot *before* the handler is
+  /// returned — so the handler may itself schedule (possibly reusing the
+  /// slot) or attempt to cancel its own, now stale, id. Precondition:
+  /// !empty().
+  Handler pop_min(Time* t) {
+    HCE_ASSERT(hsize() > 0, "pop_min on an empty calendar");
+    const std::uint32_t idx = hslot(0);
+    if (t != nullptr) *t = bits_time(key(0).tbits);
+    Handler fn = std::move(handlers_[idx]);
+    const Key last_key = keys_.back();
+    const std::uint32_t last_slot = heap_slot_.back();
+    keys_.pop_back();
+    heap_slot_.pop_back();
+    if (hsize() > 0) {
+      sift_down(0, last_key, last_slot);
+#if defined(__GNUC__) || defined(__clang__)
+      // The next pop's victim is already decided: warm its handler slot
+      // and release metadata while the current handler executes.
+      const std::uint32_t nxt = hslot(0);
+      __builtin_prefetch(&handlers_[nxt]);
+      __builtin_prefetch(&gen_[nxt]);
+#endif
+    }
+    release_slot(idx);
+    ++ctr_.fired;
+    return fn;
+  }
+
+  const Counters& counters() const { return ctr_; }
+
+  /// Slots currently allocated in the slab (live + free-listed). Bounded
+  /// by the high-water mark of *live* events — cancellations recycle.
+  std::size_t slab_size() const { return handlers_.size(); }
+
+ private:
+  static constexpr std::size_t kArity = 4;
+  /// Leading dummy entries in the physical arrays (see constructor).
+  static constexpr std::size_t kPad = 3;
+
+  /// Heap sort key. Exactly 16 bytes with no padding: the compare-hot
+  /// array stays as dense as the ordering contract allows, so a sift over
+  /// a 100k-event heap walks ~1.6 MB instead of the slab's many MB.
+  ///
+  /// The time is stored as its IEEE-754 bit pattern: for non-negative
+  /// doubles (a simulation clock never goes negative; +inf sorts last)
+  /// unsigned bit-order equals numeric order, so the full (time, seq)
+  /// comparison is one branchless 128-bit unsigned compare instead of a
+  /// double compare + equality branch + integer compare.
+  struct Key {
+    std::uint64_t tbits;
+    std::uint64_t seq;
+  };
+  static_assert(sizeof(Key) == 16, "heap keys must stay 16 bytes dense");
+
+  static std::uint64_t time_bits(Time t) {
+    return std::bit_cast<std::uint64_t>(t);
+  }
+  static Time bits_time(std::uint64_t b) { return std::bit_cast<Time>(b); }
+
+  /// Strict (time, seq) order; seq values are unique so this is total.
+  static bool earlier(const Key& a, const Key& b) {
+#ifdef __SIZEOF_INT128__
+    __extension__ using U128 = unsigned __int128;  // silence -Wpedantic
+    const auto pack = [](const Key& k) {
+      return (static_cast<U128>(k.tbits) << 64) | k.seq;
+    };
+    return pack(a) < pack(b);
+#else
+    if (a.tbits != b.tbits) return a.tbits < b.tbits;
+    return a.seq < b.seq;
+#endif
+  }
+
+  // Logical-index accessors over the front-padded physical arrays.
+  std::size_t hsize() const { return keys_.size() - kPad; }
+  const Key& key(std::size_t pos) const { return keys_[pos + kPad]; }
+  Key& key(std::size_t pos) { return keys_[pos + kPad]; }
+  std::uint32_t hslot(std::size_t pos) const { return heap_slot_[pos + kPad]; }
+
+  void place(std::size_t pos, Key k, std::uint32_t slot) {
+    key(pos) = k;
+    heap_slot_[pos + kPad] = slot;
+    posnext_[slot] = static_cast<std::uint32_t>(pos);
+  }
+
+  void sift_up(std::size_t pos, Key k, std::uint32_t slot) {
+    while (pos > 0) {
+      const std::size_t parent = (pos - 1) / kArity;
+      if (!earlier(k, key(parent))) break;
+      place(pos, key(parent), hslot(parent));
+      pos = parent;
+    }
+    place(pos, k, slot);
+  }
+
+  void sift_down(std::size_t pos, Key k, std::uint32_t slot) {
+    const std::size_t n = hsize();
+    for (;;) {
+      const std::size_t first_child = pos * kArity + 1;
+      if (first_child >= n) break;
+#if defined(__GNUC__) || defined(__clang__)
+      // The next level's children are a predictable strided access into a
+      // multi-MB array on deep drains; start the fetch while this level's
+      // four keys are compared.
+      if (first_child * kArity + 1 < n) {
+        __builtin_prefetch(&key(first_child * kArity + 1));
+      }
+#endif
+      std::size_t best = first_child;
+      if (first_child + kArity <= n) {
+        // Full sibling group (the overwhelmingly common case): unrolled
+        // tournament over one cache line of four keys.
+        const std::size_t l =
+            earlier(key(first_child + 1), key(first_child)) ? first_child + 1
+                                                            : first_child;
+        const std::size_t r =
+            earlier(key(first_child + 3), key(first_child + 2))
+                ? first_child + 3
+                : first_child + 2;
+        best = earlier(key(r), key(l)) ? r : l;
+      } else {
+        for (std::size_t c = first_child + 1; c < n; ++c) {
+          if (earlier(key(c), key(best))) best = c;
+        }
+      }
+      if (!earlier(key(best), k)) break;
+      place(pos, key(best), hslot(best));
+      pos = best;
+    }
+    place(pos, k, slot);
+  }
+
+  void remove_heap_entry(std::size_t pos);
+
+  std::uint32_t acquire_slot() {
+    if (free_head_ != kNullIndex) {
+      const std::uint32_t idx = free_head_;
+      free_head_ = posnext_[idx];
+      return idx;
+    }
+    HCE_ASSERT(handlers_.size() < kNullIndex, "calendar slab exhausted");
+    handlers_.emplace_back();
+    gen_.push_back(0);
+    posnext_.push_back(kNullIndex);
+    if (handlers_.size() > ctr_.slab_high_water) {
+      ctr_.slab_high_water = handlers_.size();
+    }
+    return static_cast<std::uint32_t>(handlers_.size() - 1);
+  }
+
+  void release_slot(std::uint32_t idx) {
+    ++gen_[idx];  // invalidate every outstanding EventId for this slot
+    posnext_[idx] = free_head_;
+    free_head_ = idx;
+  }
+
+  // Slab: handler storage plus dense parallel metadata, indexed by slot.
+  // posnext_ is the heap position while a slot is pending and the
+  // free-list link while it is free — a slot is never both, and the dense
+  // 4-byte stride keeps the per-sift-move position write cache-resident.
+  std::vector<Handler> handlers_;
+  std::vector<std::uint32_t> gen_;
+  std::vector<std::uint32_t> posnext_;
+  // Structure-of-arrays 4-ary heap ordered by (t, seq): keys_ is the
+  // compare-hot half, heap_slot_ the parallel payload index (written on
+  // moves, read only at the top). Same index = same heap node. Both are
+  // front-padded by kPad and keys_ is cache-line aligned so each sibling
+  // group of four 16-byte keys occupies exactly one line.
+  std::vector<Key, detail::AlignedAlloc<Key, 64>> keys_;
+  std::vector<std::uint32_t> heap_slot_;
+  std::uint32_t free_head_ = kNullIndex;
+  Counters ctr_;
+};
+
+}  // namespace hce::des

@@ -1,0 +1,73 @@
+// Slab pool for in-flight Request payloads.
+//
+// Event handlers are fixed-capacity inline callables (handler.hpp): a
+// lambda capturing a full Request (~88 bytes) by value would not fit and
+// would be rejected at compile time. Scheduling sites that carry a
+// request across a network leg, a failover hop, or a retry backoff
+// instead park it here and capture the 4-byte handle — the request lives
+// in a recycled slab slot, so the steady state allocates nothing and the
+// pool's footprint is bounded by the peak number of requests in flight,
+// not by the total served.
+//
+// Handles are single-use: put() checks a request in, take() checks it out
+// and frees the slot. The owner (one deployment, one station) is single-
+// threaded under the simulation clock, so no synchronization is needed.
+#pragma once
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "des/request.hpp"
+#include "support/contracts.hpp"
+
+namespace hce::des {
+
+class RequestPool {
+ public:
+  using Handle = std::uint32_t;
+
+  /// Checks a request into the pool; the returned handle must be
+  /// take()-n exactly once.
+  Handle put(Request&& r) {
+    Handle h;
+    if (free_.empty()) {
+      h = static_cast<Handle>(slots_.size());
+      slots_.push_back(std::move(r));
+      if (slots_.size() > high_water_) high_water_ = slots_.size();
+    } else {
+      h = free_.back();
+      free_.pop_back();
+      slots_[h] = std::move(r);
+    }
+    ++in_use_;
+    return h;
+  }
+
+  /// Checks the request back out and recycles its slot.
+  Request take(Handle h) {
+    HCE_ASSERT(h < slots_.size(), "request pool: handle out of range");
+    HCE_ASSERT(in_use_ > 0, "request pool: take with nothing checked in");
+    Request r = std::move(slots_[h]);
+    free_.push_back(h);
+    --in_use_;
+    return r;
+  }
+
+  /// Pre-sizes the slab for `n` simultaneous in-flight requests.
+  void reserve(std::size_t n) {
+    slots_.reserve(n);
+    free_.reserve(n);
+  }
+
+  std::size_t in_use() const { return in_use_; }
+  std::size_t high_water() const { return high_water_; }
+
+ private:
+  std::vector<Request> slots_;
+  std::vector<Handle> free_;
+  std::size_t in_use_ = 0;
+  std::size_t high_water_ = 0;
+};
+
+}  // namespace hce::des

@@ -6,28 +6,22 @@ namespace hce::des {
 
 std::uint64_t Simulation::run(Time until, std::uint64_t max_events) {
   std::uint64_t n = 0;
-  while (!heap_.empty() && n < max_events) {
-    const Entry& top = heap_.top();
-    if (top.t > until) {
+  while (!calendar_.empty() && n < max_events) {
+    if (calendar_.min_time() > until) {
       now_ = until;
       break;
     }
-    // Lazy deletion of cancelled events.
-    const auto it = cancelled_.find(top.seq);
-    if (it != cancelled_.end()) {
-      cancelled_.erase(it);
-      heap_.pop();
-      continue;
-    }
-    Handler fn = std::move(top.fn);
-    now_ = top.t;
-    pending_.erase(top.seq);
-    heap_.pop();
+    // The slot is released before the handler runs, so the handler may
+    // schedule new events (possibly reusing the slot) and a cancel() of
+    // the executing event's own id is a detectable no-op.
+    Time t = 0.0;
+    Handler fn = calendar_.pop_min(&t);
+    now_ = t;
     fn();
     ++n;
     ++executed_;
   }
-  if (heap_.empty() && until != kTimeInfinity && now_ < until) {
+  if (calendar_.empty() && until != kTimeInfinity && now_ < until) {
     now_ = until;
   }
   return n;

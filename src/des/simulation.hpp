@@ -1,20 +1,21 @@
 // Discrete-event simulation engine.
 //
-// A minimal, fast event calendar: binary heap keyed by (time, sequence
-// number) so simultaneous events fire in schedule order (deterministic
-// replay), with O(log n) lazy cancellation. Handlers are type-erased
-// callables; components (stations, arrival sources, links) schedule each
-// other through this single clock, which is what makes end-to-end latency
-// measurements consistent across the edge and cloud topologies being
-// compared.
+// A thin clock + sequence counter over the indexed 4-ary heap Calendar
+// (see calendar.hpp for the data-structure rationale). Events fire in
+// strict (time, sequence-number) order so simultaneous events execute in
+// schedule order — deterministic replay across runs and thread counts —
+// and handlers are fixed-capacity inline callables (handler.hpp), so the
+// steady-state hot path of schedule/fire/cancel performs no heap
+// allocation and no hashing. Components (stations, arrival sources,
+// links, autoscalers, fault drivers) schedule each other through this
+// single clock, which is what makes end-to-end latency measurements
+// consistent across the edge and cloud topologies being compared.
 #pragma once
 
 #include <cstdint>
-#include <functional>
-#include <queue>
-#include <unordered_set>
-#include <vector>
 
+#include "des/calendar.hpp"
+#include "des/handler.hpp"
 #include "support/contracts.hpp"
 #include "support/time.hpp"
 
@@ -22,12 +23,14 @@ namespace hce::des {
 
 class Simulation {
  public:
-  using Handler = std::function<void()>;
+  using Handler = des::Handler;
 
-  /// Identifies a scheduled event for cancellation.
-  struct EventId {
-    std::uint64_t seq = 0;
-  };
+  /// Identifies a scheduled event for cancellation. Generation-tagged:
+  /// stale ids (fired/cancelled/never scheduled) are detected exactly.
+  using EventId = Calendar::EventId;
+
+  /// Engine performance/accounting counters (see Calendar::Counters).
+  using Stats = Calendar::Counters;
 
   Simulation() = default;
   Simulation(const Simulation&) = delete;
@@ -35,30 +38,31 @@ class Simulation {
 
   Time now() const { return now_; }
 
+  /// Pre-sizes the calendar for `n` simultaneous pending events; a run
+  /// whose in-flight event count stays under `n` never reallocates.
+  void reserve(std::size_t n) { calendar_.reserve(n); }
+
   /// Schedules `fn` to run `delay` seconds from now. delay >= 0.
-  EventId schedule_in(Time delay, Handler fn) {
+  /// Templated so the callable is constructed directly into its calendar
+  /// slot — the schedule path performs zero handler moves.
+  template <typename F>
+  EventId schedule_in(Time delay, F&& fn) {
     HCE_EXPECT(delay >= 0.0, "schedule_in: negative delay");
-    return schedule_at(now_ + delay, std::move(fn));
+    return schedule_at(now_ + delay, std::forward<F>(fn));
   }
 
   /// Schedules `fn` at absolute time `t` >= now().
-  EventId schedule_at(Time t, Handler fn) {
+  template <typename F>
+  EventId schedule_at(Time t, F&& fn) {
     HCE_EXPECT(t >= now_, "schedule_at: time in the past");
-    const std::uint64_t seq = next_seq_++;
-    heap_.push(Entry{t, seq, std::move(fn)});
-    pending_.insert(seq);
-    return EventId{seq};
+    return calendar_.schedule(t, next_seq_++, std::forward<F>(fn));
   }
 
-  /// Cancels a pending event. Returns false if it already fired, was
-  /// already cancelled, or was never scheduled — so cancel-after-fire is a
-  /// detectable no-op rather than a silent tombstone. O(1) amortized
-  /// (lazy deletion: the heap entry is discarded when it reaches the top).
-  bool cancel(EventId id) {
-    if (pending_.erase(id.seq) == 0) return false;
-    cancelled_.insert(id.seq);
-    return true;
-  }
+  /// Cancels a pending event in O(log n): the entry leaves the calendar
+  /// immediately (no tombstone) and its slot is recycled. Returns false
+  /// if it already fired, was already cancelled, or was never scheduled —
+  /// cancel-after-fire is a detectable no-op.
+  bool cancel(EventId id) { return calendar_.cancel(id); }
 
   /// Runs events until the calendar empties, `until` is passed, or
   /// `max_events` fire. Returns the number of events executed. The clock
@@ -66,26 +70,20 @@ class Simulation {
   std::uint64_t run(Time until = kTimeInfinity,
                     std::uint64_t max_events = UINT64_MAX);
 
-  bool empty() const { return heap_.empty(); }
-  std::size_t pending() const { return pending_.size(); }
+  bool empty() const { return calendar_.empty(); }
+  std::size_t pending() const { return calendar_.size(); }
   std::uint64_t events_executed() const { return executed_; }
 
- private:
-  struct Entry {
-    Time t;
-    std::uint64_t seq;
-    mutable Handler fn;  // moved out on execution
-  };
-  struct Later {
-    bool operator()(const Entry& a, const Entry& b) const {
-      if (a.t != b.t) return a.t > b.t;
-      return a.seq > b.seq;
-    }
-  };
+  /// Engine counters: events scheduled/fired/cancelled, peak calendar
+  /// size, and the slab high-water mark (the calendar's memory bound).
+  const Stats& stats() const { return calendar_.counters(); }
 
-  std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
-  std::unordered_set<std::uint64_t> pending_;    // scheduled, not yet fired/cancelled
-  std::unordered_set<std::uint64_t> cancelled_;  // cancelled, still in heap
+  /// Event slots currently resident (live + recycled). Bounded by the
+  /// peak number of *live* events, independent of how many were cancelled.
+  std::size_t calendar_slab_size() const { return calendar_.slab_size(); }
+
+ private:
+  Calendar calendar_;
   Time now_ = 0.0;
   std::uint64_t next_seq_ = 0;
   std::uint64_t executed_ = 0;

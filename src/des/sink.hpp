@@ -29,6 +29,10 @@ class Sink {
   /// Records a completed request observed back at the client.
   void record(const Request& req);
 
+  /// Pre-sizes the record buffer (e.g. from the offered-load estimate of
+  /// a replication) so recording never reallocates mid-measurement.
+  void reserve(std::size_t n) { records_.reserve(n); }
+
   /// Drops records completed before `t` (warmup removal).
   void drop_before(Time t);
 

@@ -19,6 +19,7 @@ Station::Station(Simulation& sim, std::string name, int num_servers,
   server_busy_.assign(static_cast<std::size_t>(num_servers), false);
   service_event_.assign(static_cast<std::size_t>(num_servers),
                         Simulation::EventId{});
+  in_service_.assign(static_cast<std::size_t>(num_servers), Request{});
   active_ = num_servers;
 }
 
@@ -66,29 +67,36 @@ void Station::start_service(Request req, int server) {
   busy_tw_.set(sim_.now(), static_cast<double>(busy_));
 
   const Time service_time = req.service_demand / speed_;
-  service_event_[static_cast<std::size_t>(server)] = sim_.schedule_in(
-      service_time, [this, server, r = std::move(req)]() mutable {
-                     r.t_departure = sim_.now();
-                     server_busy_[static_cast<std::size_t>(server)] = false;
-                     --busy_;
-                     busy_tw_.set(sim_.now(), static_cast<double>(busy_));
-                     system_tw_.adjust(sim_.now(), -1.0);
-                     ++completed_;
+  // The in-service payload stays in the per-server slot; the completion
+  // event captures only {this, server} and fits the inline handler.
+  in_service_[static_cast<std::size_t>(server)] = std::move(req);
+  service_event_[static_cast<std::size_t>(server)] =
+      sim_.schedule_in(service_time, [this, server] {
+        complete_service(server);
+      });
+}
 
-                     // Pull the next request before invoking the handler so
-                     // reentrant arrivals observe a consistent queue.
-                     if (!queue_.empty()) {
-                       Request next = std::move(queue_.front());
-                       queue_.pop_front();
-                       queued_work_ -= next.service_demand;
-                       if (queued_work_ < 0.0) queued_work_ = 0.0;
-                       queue_tw_.set(sim_.now(),
-                                     static_cast<double>(queue_.size()));
-                       start_service(std::move(next), server);
-                     }
+void Station::complete_service(int server) {
+  Request r = std::move(in_service_[static_cast<std::size_t>(server)]);
+  r.t_departure = sim_.now();
+  server_busy_[static_cast<std::size_t>(server)] = false;
+  --busy_;
+  busy_tw_.set(sim_.now(), static_cast<double>(busy_));
+  system_tw_.adjust(sim_.now(), -1.0);
+  ++completed_;
 
-                     if (on_complete_) on_complete_(r);
-                   });
+  // Pull the next request before invoking the handler so reentrant
+  // arrivals observe a consistent queue.
+  if (!queue_.empty()) {
+    Request next = std::move(queue_.front());
+    queue_.pop_front();
+    queued_work_ -= next.service_demand;
+    if (queued_work_ < 0.0) queued_work_ = 0.0;
+    queue_tw_.set(sim_.now(), static_cast<double>(queue_.size()));
+    start_service(std::move(next), server);
+  }
+
+  if (on_complete_) on_complete_(r);
 }
 
 void Station::kill_in_service(int server) {

@@ -86,6 +86,7 @@ class Station {
 
  private:
   void start_service(Request req, int server);
+  void complete_service(int server);
   void kill_in_service(int server);
   void refill_idle_servers();
 
@@ -100,6 +101,10 @@ class Station {
   double queued_work_ = 0.0;
   std::vector<bool> server_busy_;
   std::vector<Simulation::EventId> service_event_;
+  /// In-service request per server slot. The completion event captures
+  /// only {this, server} — the payload stays here, keeping the handler
+  /// inside the calendar's inline buffer (zero per-event allocation).
+  std::vector<Request> in_service_;
   int busy_ = 0;
   bool up_ = true;
   int active_ = 0;  // set to num_servers_ in the constructor

@@ -127,6 +127,20 @@ ReplicationOutput run_replication(const Scenario& sc, Rate rate_per_server,
   const Rate total_rate =
       rate_per_server * static_cast<double>(sc.cloud_servers());
 
+  // Pre-size the measurement buffers from the offered-load estimate so
+  // nothing reallocates mid-measurement: the sinks hold ~rate * duration
+  // completions (warmup records are dropped later but buffered briefly),
+  // and the calendar's pending-event population is roughly the number of
+  // requests in flight (a couple of round-trips' worth of arrivals) plus
+  // one timer per pending retry.
+  const auto expected_completions =
+      static_cast<std::size_t>(total_rate * horizon * 1.05) + 64;
+  edge.sink().reserve(expected_completions);
+  cloud.sink().reserve(expected_completions);
+  const Time inflight_window =
+      1.0 + (sc.retry.enabled ? sc.retry.timeout : 0.0);
+  sim.reserve(static_cast<std::size_t>(total_rate * inflight_window) + 256);
+
   std::vector<std::unique_ptr<cluster::MirroredSource>> sources;
   sources.reserve(weights.size());
   for (int site = 0; site < sc.num_sites; ++site) {
@@ -182,9 +196,32 @@ ReplicationOutput run_replication(const Scenario& sc, Rate rate_per_server,
 
 namespace {
 
+/// Per-worker scratch buffers, reused across sweep points so the merge
+/// stage stops reallocating once the first point has sized them (the
+/// buffers grow to the largest point's sample count and stay there).
+struct PointScratch {
+  std::vector<std::vector<double>> edge_lat, cloud_lat;
+  std::vector<double> edge_util, cloud_util;
+  std::vector<cluster::ClientStats> edge_clients, cloud_clients;
+  std::vector<double> all;        ///< merged latency samples (sorted)
+  std::vector<double> rep_means;  ///< per-replication means for the CI
+
+  void clear_point() {
+    // clear() keeps the outer capacity; the per-replication latency
+    // vectors are moved in from the (pre-reserved) sinks.
+    edge_lat.clear();
+    cloud_lat.clear();
+    edge_util.clear();
+    cloud_util.clear();
+    edge_clients.clear();
+    cloud_clients.clear();
+  }
+};
+
 SideStats merge_side(const std::vector<std::vector<double>>& latencies,
                      const std::vector<double>& utilizations,
-                     const std::vector<cluster::ClientStats>& clients) {
+                     const std::vector<cluster::ClientStats>& clients,
+                     PointScratch& scratch) {
   SideStats s;
   for (const cluster::ClientStats& c : clients) {
     s.offered += c.offered;
@@ -196,8 +233,10 @@ SideStats merge_side(const std::vector<std::vector<double>>& latencies,
         static_cast<double>(s.timeouts) / static_cast<double>(s.offered);
     s.availability = 1.0 - s.timeout_rate;
   }
-  std::vector<double> all;
-  std::vector<double> rep_means;
+  std::vector<double>& all = scratch.all;
+  std::vector<double>& rep_means = scratch.rep_means;
+  all.clear();
+  rep_means.clear();
   for (const auto& rep : latencies) {
     if (rep.empty()) continue;
     stats::Summary sum;
@@ -225,30 +264,36 @@ SideStats merge_side(const std::vector<std::vector<double>>& latencies,
   return s;
 }
 
-}  // namespace
-
-PointResult run_point(const Scenario& sc, Rate rate_per_server) {
+PointResult run_point_scratch(const Scenario& sc, Rate rate_per_server,
+                              PointScratch& scratch) {
   PointResult pr;
   pr.rate_per_server = rate_per_server;
   pr.rho_offered = rate_per_server / sc.mu;
 
-  std::vector<std::vector<double>> edge_lat, cloud_lat;
-  std::vector<double> edge_util, cloud_util;
-  std::vector<cluster::ClientStats> edge_clients, cloud_clients;
+  scratch.clear_point();
   for (int r = 0; r < sc.replications; ++r) {
     ReplicationOutput out = run_replication(sc, rate_per_server, r);
-    edge_lat.push_back(std::move(out.edge_latencies));
-    cloud_lat.push_back(std::move(out.cloud_latencies));
-    edge_util.push_back(out.edge_utilization);
-    cloud_util.push_back(out.cloud_utilization);
-    edge_clients.push_back(out.edge_client);
-    cloud_clients.push_back(out.cloud_client);
+    scratch.edge_lat.push_back(std::move(out.edge_latencies));
+    scratch.cloud_lat.push_back(std::move(out.cloud_latencies));
+    scratch.edge_util.push_back(out.edge_utilization);
+    scratch.cloud_util.push_back(out.cloud_utilization);
+    scratch.edge_clients.push_back(out.edge_client);
+    scratch.cloud_clients.push_back(out.cloud_client);
     pr.edge_redirects += out.edge_redirects;
     pr.edge_failovers += out.edge_failovers;
   }
-  pr.edge = merge_side(edge_lat, edge_util, edge_clients);
-  pr.cloud = merge_side(cloud_lat, cloud_util, cloud_clients);
+  pr.edge = merge_side(scratch.edge_lat, scratch.edge_util,
+                       scratch.edge_clients, scratch);
+  pr.cloud = merge_side(scratch.cloud_lat, scratch.cloud_util,
+                        scratch.cloud_clients, scratch);
   return pr;
+}
+
+}  // namespace
+
+PointResult run_point(const Scenario& sc, Rate rate_per_server) {
+  PointScratch scratch;
+  return run_point_scratch(sc, rate_per_server, scratch);
 }
 
 std::vector<PointResult> run_sweep(const Scenario& sc,
@@ -263,8 +308,9 @@ std::vector<PointResult> run_sweep(const Scenario& sc,
       static_cast<unsigned>(rates.size()));
 
   if (workers <= 1) {
+    PointScratch scratch;  // reused across every point of the sweep
     for (std::size_t i = 0; i < rates.size(); ++i) {
-      results[i] = run_point(sc, rates[i]);
+      results[i] = run_point_scratch(sc, rates[i], scratch);
     }
     return results;
   }
@@ -274,10 +320,11 @@ std::vector<PointResult> run_sweep(const Scenario& sc,
   pool.reserve(workers);
   for (unsigned w = 0; w < workers; ++w) {
     pool.emplace_back([&] {
+      PointScratch scratch;  // one per worker, reused across its points
       for (;;) {
         const std::size_t i = next.fetch_add(1);
         if (i >= rates.size()) return;
-        results[i] = run_point(sc, rates[i]);
+        results[i] = run_point_scratch(sc, rates[i], scratch);
       }
     });
   }

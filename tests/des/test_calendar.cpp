@@ -1,0 +1,271 @@
+// Calendar unit + property tests.
+//
+// The calendar is the one data structure every simulated number flows
+// through, so it gets adversarial coverage beyond the Simulation-level
+// tests: a randomized schedule/cancel/pop interleaving checked against a
+// naive sorted-vector reference model, generation-tag reuse-after-free
+// detection, cancellation of the currently-executing event, and the
+// bounded-memory guarantee under the cancel-heavy timeout/retry pattern
+// that the old lazy-tombstone engine handled pathologically.
+#include "des/calendar.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "des/simulation.hpp"
+
+namespace hce::des {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Reference model: a sorted-by-(time, seq) vector of live events.
+// ---------------------------------------------------------------------------
+
+struct RefEvent {
+  Time t;
+  std::uint64_t seq;
+  int payload;
+};
+
+class ReferenceCalendar {
+ public:
+  void schedule(Time t, std::uint64_t seq, int payload) {
+    events_.push_back(RefEvent{t, seq, payload});
+  }
+
+  bool cancel(std::uint64_t seq) {
+    const auto it =
+        std::find_if(events_.begin(), events_.end(),
+                     [seq](const RefEvent& e) { return e.seq == seq; });
+    if (it == events_.end()) return false;
+    events_.erase(it);
+    return true;
+  }
+
+  bool empty() const { return events_.empty(); }
+  std::size_t size() const { return events_.size(); }
+
+  RefEvent pop_min() {
+    auto best = events_.begin();
+    for (auto it = events_.begin(); it != events_.end(); ++it) {
+      if (it->t < best->t || (it->t == best->t && it->seq < best->seq)) {
+        best = it;
+      }
+    }
+    const RefEvent e = *best;
+    events_.erase(best);
+    return e;
+  }
+
+ private:
+  std::vector<RefEvent> events_;
+};
+
+// Deterministic xorshift so the property test replays identically.
+struct XorShift {
+  std::uint64_t s;
+  std::uint64_t next() {
+    s ^= s << 13;
+    s ^= s >> 7;
+    s ^= s << 17;
+    return s;
+  }
+};
+
+// ---------------------------------------------------------------------------
+// Property test: random interleavings agree with the reference model.
+// ---------------------------------------------------------------------------
+
+TEST(CalendarProperty, RandomInterleavingsMatchReferenceModel) {
+  for (std::uint64_t round = 0; round < 8; ++round) {
+    Calendar cal;
+    ReferenceCalendar ref;
+    XorShift rng{0xC0FFEE ^ (round * 0x9E3779B97F4A7C15ull)};
+    std::uint64_t next_seq = 0;
+    int fired_payload = -1;
+    // Live events by seq so we can aim cancels at real targets.
+    std::vector<std::pair<std::uint64_t, Calendar::EventId>> live;
+
+    for (int step = 0; step < 4000; ++step) {
+      const std::uint64_t r = rng.next();
+      const int op = static_cast<int>(r % 100);
+      if (op < 55 || cal.empty()) {
+        // Schedule with deliberately collision-heavy times: equal
+        // timestamps exercise the (time, seq) tiebreak.
+        const Time t = static_cast<Time>((r >> 8) % 37) * 0.25;
+        const int payload = static_cast<int>(next_seq);
+        const auto id = cal.schedule(t, next_seq, [&fired_payload, payload] {
+          fired_payload = payload;
+        });
+        ref.schedule(t, next_seq, payload);
+        live.emplace_back(next_seq, id);
+        ++next_seq;
+      } else if (op < 75 && !live.empty()) {
+        // Cancel a random live event; both sides must agree it existed.
+        const std::size_t pick = (r >> 32) % live.size();
+        const auto [seq, id] = live[pick];
+        EXPECT_TRUE(cal.pending(id));
+        EXPECT_TRUE(cal.cancel(id));
+        EXPECT_TRUE(ref.cancel(seq));
+        EXPECT_FALSE(cal.cancel(id)) << "double cancel must fail";
+        live.erase(live.begin() + static_cast<std::ptrdiff_t>(pick));
+      } else {
+        // Pop: order and payload must match the reference exactly.
+        ASSERT_FALSE(cal.empty());
+        Time t = -1.0;
+        Handler fn = cal.pop_min(&t);
+        const RefEvent expect = ref.pop_min();
+        EXPECT_EQ(t, expect.t);
+        fired_payload = -1;
+        fn();
+        EXPECT_EQ(fired_payload, expect.payload);
+        live.erase(std::find_if(live.begin(), live.end(),
+                                [&](const auto& p) {
+                                  return p.first == expect.seq;
+                                }));
+      }
+      ASSERT_EQ(cal.size(), ref.size());
+    }
+
+    // Drain both; the full remaining order must agree.
+    while (!cal.empty()) {
+      Time t = -1.0;
+      Handler fn = cal.pop_min(&t);
+      const RefEvent expect = ref.pop_min();
+      EXPECT_EQ(t, expect.t);
+      fired_payload = -1;
+      fn();
+      EXPECT_EQ(fired_payload, expect.payload);
+    }
+    EXPECT_TRUE(ref.empty());
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Generation tags: stale ids must be detected exactly.
+// ---------------------------------------------------------------------------
+
+TEST(CalendarGenerations, StaleIdAfterFireIsDetected) {
+  Calendar cal;
+  int fired = 0;
+  const auto id = cal.schedule(1.0, 0, [&fired] { ++fired; });
+  EXPECT_TRUE(cal.pending(id));
+  Handler fn = cal.pop_min(nullptr);
+  fn();
+  EXPECT_EQ(fired, 1);
+  EXPECT_FALSE(cal.pending(id));
+  EXPECT_FALSE(cal.cancel(id)) << "cancel-after-fire must be a no-op";
+}
+
+TEST(CalendarGenerations, ReusedSlotDoesNotResurrectOldId) {
+  Calendar cal;
+  const auto id1 = cal.schedule(1.0, 0, [] {});
+  ASSERT_TRUE(cal.cancel(id1));
+  // The slot is recycled by the very next schedule (LIFO free list).
+  const auto id2 = cal.schedule(2.0, 1, [] {});
+  ASSERT_EQ(id2.slot, id1.slot) << "test assumes LIFO slot reuse";
+  EXPECT_NE(id2.gen, id1.gen);
+  EXPECT_FALSE(cal.pending(id1));
+  EXPECT_FALSE(cal.cancel(id1))
+      << "a stale id must not cancel the event that reused its slot";
+  EXPECT_TRUE(cal.pending(id2));
+  EXPECT_TRUE(cal.cancel(id2));
+}
+
+TEST(CalendarGenerations, DefaultIdIsAlwaysSafe) {
+  Calendar cal;
+  EXPECT_FALSE(cal.cancel(Calendar::EventId{}));
+  EXPECT_FALSE(cal.pending(Calendar::EventId{}));
+  cal.schedule(1.0, 0, [] {});
+  EXPECT_FALSE(cal.cancel(Calendar::EventId{}));
+}
+
+// ---------------------------------------------------------------------------
+// Cancelling the currently-executing event (its slot was released before
+// the handler ran) must be a detectable no-op, and must not disturb an
+// event that immediately reused the slot.
+// ---------------------------------------------------------------------------
+
+TEST(CalendarSelfCancel, CancelOfExecutingEventIsNoOp) {
+  Simulation sim;
+  Simulation::EventId self{};
+  bool self_cancel_result = true;
+  int other_fired = 0;
+  self = sim.schedule_in(1.0, [&] {
+    // By now this event has fired: its id is stale. The cancel must
+    // return false and must not touch any other pending event.
+    self_cancel_result = sim.cancel(self);
+  });
+  sim.schedule_in(2.0, [&other_fired] { ++other_fired; });
+  sim.run();
+  EXPECT_FALSE(self_cancel_result);
+  EXPECT_EQ(other_fired, 1);
+}
+
+TEST(CalendarSelfCancel, ExecutingHandlerMayReuseOwnSlot) {
+  Simulation sim;
+  Simulation::EventId self{};
+  int chained = 0;
+  self = sim.schedule_in(1.0, [&] {
+    // Scheduling from inside the handler may reuse the just-released
+    // slot; the stale self-id must not cancel the new event.
+    sim.schedule_in(1.0, [&chained] { ++chained; });
+    EXPECT_FALSE(sim.cancel(self));
+  });
+  sim.run();
+  EXPECT_EQ(chained, 1);
+}
+
+// ---------------------------------------------------------------------------
+// Bounded memory under the cancel-heavy timeout/retry pattern
+// (regression test for the old engine's unbounded tombstone growth).
+// ---------------------------------------------------------------------------
+
+TEST(CalendarMemory, CancelHeavyWorkloadKeepsSlabBounded) {
+  // The old lazy-tombstone calendar kept every cancelled timeout resident
+  // (heap entry + hash-set node) until its distant deadline surfaced, so
+  // memory grew with the *cancelled* count. The indexed heap removes the
+  // entry on the spot, so the slab high-water mark must track the peak
+  // number of simultaneously *live* events — a small constant here —
+  // regardless of how many timeouts were scheduled and cancelled.
+  Simulation sim;
+  constexpr int kRequests = 50000;
+  constexpr double kSpacing = 1e-3;  // one request per ms
+  constexpr double kTimeout = 5.0;   // 5000x the spacing
+
+  struct Loop {
+    Simulation& sim;
+    int remaining;
+    Simulation::EventId timeout{};
+    void step() {
+      if (remaining-- == 0) return;
+      // Guard timeout far in the future...
+      timeout = sim.schedule_in(kTimeout, [] {
+        FAIL() << "timeout fired although the response always wins";
+      });
+      // ...always beaten by the response, which cancels it and issues
+      // the next request.
+      sim.schedule_in(kSpacing, [this] {
+        EXPECT_TRUE(sim.cancel(timeout));
+        step();
+      });
+    }
+  };
+  Loop loop{sim, kRequests};
+  loop.step();
+  sim.run();
+
+  EXPECT_EQ(sim.stats().cancelled, static_cast<std::uint64_t>(kRequests));
+  EXPECT_EQ(sim.stats().fired, static_cast<std::uint64_t>(kRequests));
+  // At most 2 events are ever live at once (timeout + response), so the
+  // slab must stay O(1) — not O(kRequests) like the tombstone design.
+  EXPECT_LE(sim.stats().peak_size, 4u);
+  EXPECT_LE(sim.calendar_slab_size(), 8u);
+  EXPECT_LE(sim.stats().slab_high_water, 8u);
+}
+
+}  // namespace
+}  // namespace hce::des

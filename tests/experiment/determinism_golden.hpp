@@ -1,0 +1,94 @@
+// Golden latency digests captured at the seed commit (pre-calendar-swap
+// engine), hexfloat so every bit is pinned. The determinism suite replays
+// the same scenarios on the current engine and requires bit-identical
+// statistics: the indexed-heap calendar, inline handlers, and request
+// pooling are pure performance changes and must not move a single
+// reported number.
+//
+// Regenerate (only if a *deliberate* semantic change is made) by printing
+// each SideStats field with printf("%a") for the scenarios in
+// test_determinism.cpp at rates {6, 9, 11}, 1 thread.
+#pragma once
+
+#include <cstdint>
+
+namespace hce::experiment::golden {
+
+struct GoldenSide {
+  double mean;
+  double p50;
+  double p95;
+  double p99;
+  double mean_ci_half_width;
+  double utilization;
+  std::uint64_t samples;
+  std::uint64_t offered;
+  std::uint64_t retries;
+  std::uint64_t timeouts;
+};
+
+struct GoldenPoint {
+  double rate;
+  GoldenSide edge;
+  GoldenSide cloud;
+  std::uint64_t edge_redirects;
+  std::uint64_t edge_failovers;
+};
+
+// small_scenario() (typical_cloud, 3 sites, warmup 30, duration 150,
+// 2 replications, seed 20260806), rates {6, 9, 11}.
+inline constexpr GoldenPoint kFaultFree[3] = {
+    {0x1.8p+2,
+     {0x1.d67bdb6fb5a43p-4, 0x1.8d3d4ep-4, 0x1.0890786666664p-2,
+      0x1.786a451eb851ap-2, 0x1.3eeabb6406299p-6, 0x1.dd768137367fep-2,
+      5453, 5449, 0, 0},
+     {0x1.bd203004a60a4p-4, 0x1.a04fbdp-4, 0x1.821a0c8p-3,
+      0x1.e7a9f9051eb84p-3, 0x1.5cd0b91f3c08p-9, 0x1.dd7c3d12272e7p-2,
+      5452, 5449, 0, 0},
+     0, 0},
+    {0x1.2p+3,
+     {0x1.7a95c98946ba5p-3, 0x1.2828d3p-3, 0x1.e29517cccccc5p-2,
+      0x1.6778c8051eb84p-1, 0x1.58e125c141eecp-4, 0x1.67a9a8f4f5db8p-1,
+      8224, 8213, 0, 0},
+     {0x1.08eafa15321d5p-3, 0x1.e72e1ap-4, 0x1.e591cf6666665p-3,
+      0x1.302854d70a3d7p-2, 0x1.0afdbd9bd0803p-6, 0x1.6783291aad78p-1,
+      8219, 8213, 0, 0},
+     0, 0},
+    {0x1.6p+3,
+     {0x1.5b6ccc6ab020fp-2, 0x1.0858d2p-2, 0x1.d91f71199999p-1,
+      0x1.66199e70a3d72p+0, 0x1.2150de40991cep-7, 0x1.b4ffbe45b7p-1,
+      10000, 9966, 0, 0},
+     {0x1.6df727e2c6235p-3, 0x1.40369dp-3, 0x1.761432ffffffdp-2,
+      0x1.dcb4ab8000005p-2, 0x1.4955d37dcffe2p-3, 0x1.b49de3c8f2de6p-1,
+      9990, 9966, 0, 0},
+     0, 0},
+};
+
+// faulted_scenario(): edge-site crashes (MTTF 40 / MTTR 5), edge-link
+// spikes (gap 30, 1s, +50ms RTT, 30% partition), cloud-link spikes
+// (gap 60, 1s, +50ms RTT), client retry (timeout 0.4s, 2 retries).
+inline constexpr GoldenPoint kFaulted[3] = {
+    {0x1.8p+2,
+     {0x1.abf6adc07bc7cp-1, 0x1.ae82dep-1, 0x1.4f69c14cccccdp+0,
+      0x1.57973a47ae148p+0, 0x1.f7fb335f7fdc5p-4, 0x1.4e56628af61f7p-1,
+      728, 5449, 10415, 4725},
+     {0x0p+0, 0x0p+0, 0x0p+0, 0x0p+0, 0x0p+0, 0x0p+0, 0, 5449, 10898,
+      5449},
+     0, 432},
+    {0x1.2p+3,
+     {0x1.b59d1fa800001p-1, 0x1.ece378p-1, 0x1.4e7c258p+0,
+      0x1.5633479999999p+0, 0x1.7bd0ef8a83d9ap-7, 0x1.ff2a9fbf3ebfcp-2,
+      336, 8213, 16217, 7882},
+     {0x0p+0, 0x0p+0, 0x0p+0, 0x0p+0, 0x0p+0, 0x0p+0, 0, 8213, 16426,
+      8213},
+     0, 678},
+    {0x1.6p+3,
+     {0x1.c6134c6bc8a6p-1, 0x1.056136p+0, 0x1.535e3d8p+0,
+      0x1.58faae6666666p+0, 0x1.1c984108477fp-2, 0x1.c0d9e40561fcep-2,
+      296, 9966, 19761, 9676},
+     {0x0p+0, 0x0p+0, 0x0p+0, 0x0p+0, 0x0p+0, 0x0p+0, 0, 9966, 19932,
+      9966},
+     0, 818},
+};
+
+}  // namespace hce::experiment::golden

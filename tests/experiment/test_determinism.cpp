@@ -10,6 +10,7 @@
 
 #include <vector>
 
+#include "determinism_golden.hpp"
 #include "experiment/scenario.hpp"
 
 namespace hce::experiment {
@@ -76,6 +77,55 @@ void expect_identical(const std::vector<PointResult>& a,
 }
 
 const std::vector<Rate> kRates{6.0, 9.0, 11.0};
+
+// ---------------------------------------------------------------------------
+// Golden digests: the calendar swap (indexed heap, inline handlers, request
+// pooling) is a pure performance change, so every statistic must match the
+// seed-commit engine bit for bit. The fixtures in determinism_golden.hpp
+// were captured on the pre-swap engine with printf("%a").
+// ---------------------------------------------------------------------------
+
+void expect_matches_golden(const SideStats& got, const golden::GoldenSide& g) {
+  EXPECT_EQ(got.mean, g.mean);
+  EXPECT_EQ(got.p50, g.p50);
+  EXPECT_EQ(got.p95, g.p95);
+  EXPECT_EQ(got.p99, g.p99);
+  EXPECT_EQ(got.mean_ci_half_width, g.mean_ci_half_width);
+  EXPECT_EQ(got.utilization, g.utilization);
+  EXPECT_EQ(got.samples, g.samples);
+  EXPECT_EQ(got.offered, g.offered);
+  EXPECT_EQ(got.retries, g.retries);
+  EXPECT_EQ(got.timeouts, g.timeouts);
+}
+
+void expect_matches_golden(const std::vector<PointResult>& got,
+                           const golden::GoldenPoint (&fixture)[3]) {
+  ASSERT_EQ(got.size(), 3u);
+  for (std::size_t i = 0; i < 3; ++i) {
+    SCOPED_TRACE(testing::Message() << "rate " << fixture[i].rate);
+    EXPECT_EQ(got[i].rate_per_server, fixture[i].rate);
+    expect_matches_golden(got[i].edge, fixture[i].edge);
+    expect_matches_golden(got[i].cloud, fixture[i].cloud);
+    EXPECT_EQ(got[i].edge_redirects, fixture[i].edge_redirects);
+    EXPECT_EQ(got[i].edge_failovers, fixture[i].edge_failovers);
+  }
+}
+
+TEST(DeterminismGolden, FaultFreeSweepMatchesSeedDigests) {
+  const Scenario sc = small_scenario();
+  for (const unsigned threads : {1u, 2u, 8u}) {
+    SCOPED_TRACE(testing::Message() << "threads " << threads);
+    expect_matches_golden(run_sweep(sc, kRates, threads), golden::kFaultFree);
+  }
+}
+
+TEST(DeterminismGolden, FaultedSweepMatchesSeedDigests) {
+  const Scenario sc = faulted_scenario();
+  for (const unsigned threads : {1u, 2u, 8u}) {
+    SCOPED_TRACE(testing::Message() << "threads " << threads);
+    expect_matches_golden(run_sweep(sc, kRates, threads), golden::kFaulted);
+  }
+}
 
 TEST(Determinism, SweepIsBitIdenticalAcrossThreadCounts) {
   const Scenario sc = small_scenario();
