@@ -10,9 +10,7 @@
 #include <iostream>
 #include <memory>
 
-#include "cluster/deployment.hpp"
-#include "cluster/source.hpp"
-#include "des/simulation.hpp"
+#include "experiment/replay.hpp"
 #include "stats/boxplot.hpp"
 #include "support/table.hpp"
 #include "workload/azure.hpp"
@@ -51,57 +49,42 @@ int main(int argc, char** argv) {
     }
   }
 
-  const int sites = trace.num_sites();
-  auto shared = std::make_shared<workload::Trace>(std::move(trace));
+  auto shared = std::make_shared<const workload::Trace>(std::move(trace));
 
-  // Mirrored replay: edge (1 ms, one server per site) vs cloud (~26 ms,
+  // Mirrored replay through the experiment layer's factory-built
+  // deployments: edge (1 ms, one server per site) vs cloud (~26 ms,
   // `sites` servers behind a central queue).
-  des::Simulation sim;
-  cluster::EdgeConfig edge_cfg;
-  edge_cfg.num_sites = sites;
-  edge_cfg.network = cluster::NetworkModel::fixed(ms(1));
-  cluster::EdgeDeployment edge(sim, edge_cfg, Rng(1));
-  cluster::CloudConfig cloud_cfg;
-  cloud_cfg.num_servers = sites;
-  cloud_cfg.network = cluster::NetworkModel::fixed(ms(26));
-  cluster::CloudDeployment cloud(sim, cloud_cfg, Rng(2));
-
-  cluster::TraceReplaySource replay(
-      sim, shared, [&](des::Request r) { edge.submit(std::move(r)); });
-  replay.also_submit_to([&](des::Request r) { cloud.submit(std::move(r)); });
-  replay.start();
-  sim.run();
+  experiment::ReplayConfig cfg;
+  cfg.edge_rtt = ms(1);
+  cfg.cloud_rtt = ms(26);
+  const auto out = experiment::replay_comparison(shared, cfg);
 
   std::cout << "\nPer-queue latency summary (ms):\n";
   TextTable t({"queue", "requests", "median", "mean", "p95-ish (q3+1.5IQR)",
                "utilization"});
-  for (int s = 0; s < sites; ++s) {
-    const auto lat = edge.sink().latencies(s);
-    if (lat.empty()) continue;
-    const auto b = stats::box_summary(lat);
+  for (const auto& site : out.edge_sites) {
+    if (site.requests == 0) continue;
     t.row()
-        .add("edge site " + std::to_string(s))
-        .add(static_cast<int>(b.n))
-        .add_ms(b.median)
-        .add_ms(b.mean)
-        .add_ms(b.whisker_hi)
-        .add(edge.site_utilization(s), 2);
+        .add("edge site " + std::to_string(site.site))
+        .add(static_cast<int>(site.box.n))
+        .add_ms(site.box.median)
+        .add_ms(site.box.mean)
+        .add_ms(site.box.whisker_hi)
+        .add(site.utilization, 2);
   }
-  const auto cb = stats::box_summary(cloud.sink().latencies());
   t.row()
       .add("cloud")
-      .add(static_cast<int>(cb.n))
-      .add_ms(cb.median)
-      .add_ms(cb.mean)
-      .add_ms(cb.whisker_hi)
-      .add(cloud.utilization(), 2);
+      .add(static_cast<int>(out.cloud_box.n))
+      .add_ms(out.cloud_box.median)
+      .add_ms(out.cloud_box.mean)
+      .add_ms(out.cloud_box.whisker_hi)
+      .add(out.cloud_utilization, 2);
   t.print(std::cout);
 
-  const auto edge_all = stats::box_summary(edge.sink().latencies());
-  std::cout << "\nOverall edge mean " << format_fixed(edge_all.mean * 1e3, 2)
-            << " ms vs cloud mean " << format_fixed(cb.mean * 1e3, 2)
+  std::cout << "\nOverall edge mean " << format_fixed(out.edge_mean * 1e3, 2)
+            << " ms vs cloud mean " << format_fixed(out.cloud_mean * 1e3, 2)
             << " ms"
-            << (edge_all.mean > cb.mean
+            << (out.edge_inverted()
                     ? "  -> PERFORMANCE INVERSION (edge loses)"
                     : "  -> edge wins on average")
             << "\n";

@@ -9,9 +9,14 @@
 //      abandoned, duplicates — for both deployments,
 //   3. latency and availability side by side.
 //
-// Usage: fault_drill [mttf_seconds] [rate_per_server]
-//   defaults: mttf=300, rate=6  (mttr fixed at 30 s)
+// Any factory kind can sit on either side of the drill — e.g. hybrid
+// offload riding out the same crashes the pure edge pays failovers for.
+//
+// Usage: fault_drill [mttf_seconds] [rate_per_server] [side_a] [side_b]
+//   defaults: mttf=300, rate=6, edge vs cloud  (mttr fixed at 30 s)
+//   kinds: cloud | edge | hybrid | elastic
 #include <cstdlib>
+#include <cstring>
 #include <iostream>
 
 #include "experiment/runner.hpp"
@@ -20,18 +25,36 @@
 #include "support/rng.hpp"
 #include "support/table.hpp"
 
+namespace {
+bool parse_kind(const char* s, hce::experiment::DeploymentKind* out) {
+  using hce::experiment::DeploymentKind;
+  for (DeploymentKind k :
+       {DeploymentKind::kCloud, DeploymentKind::kEdge, DeploymentKind::kHybrid,
+        DeploymentKind::kElastic}) {
+    if (std::strcmp(s, hce::experiment::to_string(k)) == 0) {
+      *out = k;
+      return true;
+    }
+  }
+  return false;
+}
+}  // namespace
+
 int main(int argc, char** argv) {
   using namespace hce;
 
   const double mttf = argc > 1 ? std::atof(argv[1]) : 300.0;
   const double mttr = 30.0;
   const Rate rate = argc > 2 ? std::atof(argv[2]) : 6.0;
-  if (mttf <= 0.0 || rate <= 0.0) {
-    std::cerr << "usage: fault_drill [mttf_seconds] [rate_per_server]\n";
-    return 1;
-  }
 
   experiment::Scenario sc = experiment::Scenario::typical_cloud();
+  const bool kinds_ok = (argc <= 3 || parse_kind(argv[3], &sc.side_a)) &&
+                        (argc <= 4 || parse_kind(argv[4], &sc.side_b));
+  if (mttf <= 0.0 || rate <= 0.0 || !kinds_ok) {
+    std::cerr << "usage: fault_drill [mttf_seconds] [rate_per_server] "
+                 "[cloud|edge|hybrid|elastic [cloud|edge|hybrid|elastic]]\n";
+    return 1;
+  }
   sc.warmup = 60.0;
   sc.duration = 600.0;
   sc.replications = 1;
@@ -53,9 +76,12 @@ int main(int argc, char** argv) {
   sc.retry.timeout = 2.0;
   sc.retry.max_retries = 2;
 
-  std::cout << "fault drill: " << sc.num_sites << " edge sites of "
-            << sc.servers_per_site << " server(s) vs " << sc.cloud_servers()
-            << "-server cloud, MTTF " << mttf << " s, MTTR " << mttr
+  const char* name_a = experiment::to_string(sc.side_a);
+  const char* name_b = experiment::to_string(sc.side_b);
+  std::cout << "fault drill: " << name_a << " vs " << name_b << " over "
+            << sc.num_sites << " sites of " << sc.servers_per_site
+            << " server(s) (cloud pool: " << sc.cloud_servers()
+            << "), MTTF " << mttf << " s, MTTR " << mttr
             << " s (site availability "
             << format_fixed(sc.faults.edge_site.availability(), 3) << "), "
             << rate << " req/s per server\n";
@@ -94,23 +120,25 @@ int main(int argc, char** argv) {
         .add(c.availability(), 4);
   };
   std::cout << "\n--- client scoreboard (post-warmup) ---\n";
-  row("edge", out.edge_client);
-  row("cloud", out.cloud_client);
+  row(name_a, out.edge_client);
+  row(name_b, out.cloud_client);
   t.print(std::cout);
-  std::cout << "edge failover hops: " << out.edge_failovers
-            << ", requests killed/black-holed inside the edge: "
-            << out.edge_dropped << " (cloud: " << out.cloud_dropped << ")\n";
+  std::cout << name_a << " failover hops: " << out.edge_failovers
+            << ", requests killed/black-holed inside " << name_a << ": "
+            << out.edge_dropped << " (" << name_b << ": " << out.cloud_dropped
+            << ")\n";
 
   double edge_mean = 0.0, cloud_mean = 0.0;
   for (double v : out.edge_latencies) edge_mean += v;
   if (!out.edge_latencies.empty()) edge_mean /= out.edge_latencies.size();
   for (double v : out.cloud_latencies) cloud_mean += v;
   if (!out.cloud_latencies.empty()) cloud_mean /= out.cloud_latencies.size();
-  std::cout << "\nmean latency (delivered only): edge "
-            << format_fixed(1e3 * edge_mean, 2) << " ms vs cloud "
+  std::cout << "\nmean latency (delivered only): " << name_a << " "
+            << format_fixed(1e3 * edge_mean, 2) << " ms vs " << name_b << " "
             << format_fixed(1e3 * cloud_mean, 2) << " ms\n";
   std::cout << "the cloud absorbs the *same* crashes behind one queue; the "
                "edge pays failover hops\nand retry latency for every site "
-               "outage. Try: fault_drill 120 10\n";
+               "outage. Try: fault_drill 120 10, or drill the offload\n"
+               "mitigation instead: fault_drill 300 6 hybrid cloud\n";
   return 0;
 }

@@ -35,6 +35,12 @@ void DynamicStation::update_provisioned() {
 void DynamicStation::arrive(des::Request req) {
   HCE_EXPECT(req.service_demand >= 0.0,
              "request service demand must be non-negative");
+  if (!up_) {
+    // Crashed site: the request is black-holed. The client never hears
+    // back; its timeout/retry policy (cluster layer) is what recovers it.
+    ++dropped_;
+    return;
+  }
   req.t_arrival = sim_.now();
   req.station_id = station_id_;
   ++arrivals_;
@@ -53,8 +59,9 @@ void DynamicStation::try_start_service() {
     update_provisioned();
     const Time service_time = req.service_demand / speed_;
     const auto h = in_service_.put(std::move(req));
-    sim_.schedule_in(service_time, [this, h] {
+    const auto ev = sim_.schedule_in(service_time, [this, h] {
       des::Request r = in_service_.take(h);
+      forget_in_flight(h);
       r.t_departure = sim_.now();
       --busy_;
       busy_tw_.set(sim_.now(), static_cast<double>(busy_));
@@ -63,6 +70,41 @@ void DynamicStation::try_start_service() {
       try_start_service();
       if (on_complete_) on_complete_(r);
     });
+    active_.push_back(InFlight{h, ev});
+  }
+}
+
+void DynamicStation::forget_in_flight(des::RequestPool::Handle h) {
+  for (std::size_t i = 0; i < active_.size(); ++i) {
+    if (active_[i].handle == h) {
+      active_[i] = active_.back();
+      active_.pop_back();
+      return;
+    }
+  }
+  HCE_ASSERT(false, "dynamic station: unknown in-flight handle");
+}
+
+void DynamicStation::set_up(bool up) {
+  if (up == up_) return;
+  if (!up) {
+    // Crash: cancel every in-service completion, reclaim the pooled
+    // payloads, drop the queue. Draining/booting state is untouched —
+    // recovery brings the fleet back at the current target.
+    for (const InFlight& f : active_) {
+      sim_.cancel(f.event);
+      (void)in_service_.take(f.handle);  // killed payload; discard
+      ++killed_;
+    }
+    active_.clear();
+    busy_ = 0;
+    busy_tw_.set(sim_.now(), 0.0);
+    update_provisioned();
+    killed_ += queue_.size();
+    queue_.clear();
+    up_ = false;
+  } else {
+    up_ = true;  // servers recover idle; target is unchanged
   }
 }
 
@@ -115,6 +157,8 @@ void DynamicStation::reset_stats() {
   provisioned_tw_.reset(sim_.now());
   completed_ = 0;
   arrivals_ = 0;
+  dropped_ = 0;
+  killed_ = 0;
 }
 
 }  // namespace hce::autoscale

@@ -14,6 +14,7 @@
 #include <deque>
 #include <functional>
 #include <string>
+#include <vector>
 
 #include "des/request.hpp"
 #include "des/request_pool.hpp"
@@ -31,6 +32,19 @@ class DynamicStation {
 
   void set_completion_handler(CompletionHandler handler);
   void arrive(des::Request req);
+
+  // --- Fault injection ----------------------------------------------------
+  /// Whole-station crash / recovery (same semantics as des::Station):
+  /// crashing cancels every in-service completion, drops the queue, and
+  /// counts both in killed(); recovery restores the fleet idle at the
+  /// current target. Arrivals while down are black-holed (the client-side
+  /// timeout/retry layer recovers them). Idempotent.
+  void set_up(bool up);
+  bool is_up() const { return up_; }
+  /// Arrivals black-holed because the station was down.
+  std::uint64_t dropped_arrivals() const { return dropped_; }
+  /// Requests killed mid-service or dropped from the queue by a crash.
+  std::uint64_t killed() const { return killed_; }
 
   /// Sets the provisioned server target (>= 1). Takes effect after
   /// `provision_delay` for scale-up (booting a server takes time);
@@ -62,6 +76,7 @@ class DynamicStation {
  private:
   void try_start_service();
   void update_provisioned();
+  void forget_in_flight(des::RequestPool::Handle h);
 
   des::Simulation& sim_;
   std::string name_;
@@ -75,8 +90,18 @@ class DynamicStation {
   /// In-service request payloads: the completion event captures a 4-byte
   /// pool handle so the handler fits the calendar's inline buffer.
   des::RequestPool in_service_;
+  /// One entry per in-service request, so a crash can cancel every
+  /// completion event and reclaim every pooled payload.
+  struct InFlight {
+    des::RequestPool::Handle handle;
+    des::Simulation::EventId event;
+  };
+  std::vector<InFlight> active_;
+  bool up_ = true;
   std::uint64_t completed_ = 0;
   std::uint64_t arrivals_ = 0;
+  std::uint64_t dropped_ = 0;
+  std::uint64_t killed_ = 0;
   std::uint64_t pending_scaleups_ = 0;
   /// Bumped on every scale-down; voids in-flight (booting) scale-ups.
   std::uint64_t scale_generation_ = 0;

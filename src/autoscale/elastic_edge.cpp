@@ -7,7 +7,10 @@
 namespace hce::autoscale {
 
 ElasticEdge::ElasticEdge(des::Simulation& sim, ElasticEdgeConfig cfg, Rng rng)
-    : sim_(sim), cfg_(std::move(cfg)), rng_(std::move(rng)) {
+    : sim_(sim),
+      cfg_(std::move(cfg)),
+      rng_(std::move(rng)),
+      client_(sim, cfg_.retry, *this) {
   HCE_EXPECT(cfg_.num_sites >= 1, "elastic edge needs >= 1 site");
   HCE_EXPECT(cfg_.initial_servers_per_site >= 1,
              "elastic edge needs >= 1 initial server per site");
@@ -16,6 +19,10 @@ ElasticEdge::ElasticEdge(des::Simulation& sim, ElasticEdgeConfig cfg, Rng rng)
              "elastic edge control interval must be positive");
   HCE_EXPECT(cfg_.rate_ewma_alpha > 0.0 && cfg_.rate_ewma_alpha <= 1.0,
              "elastic edge EWMA alpha in (0, 1]");
+  HCE_EXPECT(cfg_.site_link_faults.empty() ||
+                 static_cast<int>(cfg_.site_link_faults.size()) ==
+                     cfg_.num_sites,
+             "site_link_faults must be empty or one entry per site");
 
   const auto n = static_cast<std::size_t>(cfg_.num_sites);
   sites_.reserve(n);
@@ -24,12 +31,21 @@ ElasticEdge::ElasticEdge(des::Simulation& sim, ElasticEdgeConfig cfg, Rng rng)
         sim, "elastic-edge/" + std::to_string(s),
         cfg_.initial_servers_per_site, cfg_.speed, s));
     sites_.back()->set_completion_handler([this](const des::Request& done) {
-      const Time downlink = cfg_.network.one_way(rng_);
+      Time extra = 0.0;
+      const faults::LinkSchedule* ls = link_schedule(done.station_id);
+      if (ls != nullptr) {
+        if (ls->partitioned(sim_.now())) {
+          client_.count_link_drop();  // response lost; timeout recovers
+          return;
+        }
+        extra = ls->extra_one_way(sim_.now());
+      }
+      const Time downlink = cfg_.network.one_way(rng_) + extra;
       const auto h = pool_.put(des::Request(done));
       sim_.schedule_in(downlink, [this, h] {
         des::Request r = pool_.take(h);
         r.t_completed = sim_.now();
-        sink_.record(r);
+        if (client_.on_response(r)) sink_.record(r);
       });
     });
   }
@@ -42,16 +58,79 @@ ElasticEdge::ElasticEdge(des::Simulation& sim, ElasticEdgeConfig cfg, Rng rng)
   sim_.schedule_in(cfg_.control_interval, [this] { control_tick(); });
 }
 
+const faults::LinkSchedule* ElasticEdge::link_schedule(int site) const {
+  if (cfg_.site_link_faults.empty() || site < 0 ||
+      site >= static_cast<int>(cfg_.site_link_faults.size())) {
+    return nullptr;
+  }
+  return cfg_.site_link_faults[static_cast<std::size_t>(site)].get();
+}
+
+int ElasticEdge::next_up_site(int from) const {
+  for (int d = 1; d < cfg_.num_sites; ++d) {
+    const int s = (from + d) % cfg_.num_sites;
+    if (sites_[static_cast<std::size_t>(s)]->is_up()) return s;
+  }
+  return -1;
+}
+
+void ElasticEdge::arrive_at_site(des::Request req, int site_index) {
+  auto& station = *sites_[static_cast<std::size_t>(site_index)];
+  if (!station.is_up() && cfg_.retry.failover) {
+    // Reroute around the crashed site to the next-nearest up one, paying
+    // one inter-site hop. If every site is down the request black-holes
+    // at the local station (counted in dropped()) and the client timeout
+    // takes over.
+    const int target = next_up_site(site_index);
+    if (target >= 0) {
+      ++failover_count_;
+      const Time hop = cfg_.inter_site_rtt / 2.0;
+      const auto h = pool_.put(std::move(req));
+      sim_.schedule_in(hop, [this, target, h] {
+        arrive_at_site(pool_.take(h), target);
+      });
+      return;
+    }
+  }
+  station.arrive(std::move(req));
+}
+
 void ElasticEdge::submit(des::Request req) {
   HCE_EXPECT(req.site >= 0 && req.site < cfg_.num_sites,
              "elastic edge submit: request site out of range");
-  req.t_created = sim_.now();
-  const int target = req.site;
-  const Time uplink = cfg_.network.one_way(rng_);
+  const int target = req.site;  // requests are pinned to their home site
+  client_.submit(std::move(req), target);
+}
+
+void ElasticEdge::client_send(des::Request req, int target) {
+  Time extra = 0.0;
+  const faults::LinkSchedule* ls = link_schedule(target);
+  if (ls != nullptr) {
+    if (ls->partitioned(sim_.now())) {
+      client_.count_link_drop();  // lost in transit; the timeout recovers it
+      return;
+    }
+    extra = ls->extra_one_way(sim_.now());
+  }
+  const Time uplink = cfg_.network.one_way(rng_) + extra;
   const auto h = pool_.put(std::move(req));
   sim_.schedule_in(uplink, [this, target, h] {
-    sites_[static_cast<std::size_t>(target)]->arrive(pool_.take(h));
+    arrive_at_site(pool_.take(h), target);
   });
+}
+
+int ElasticEdge::client_retry_target(const des::Request& req,
+                                     int prev_target) {
+  int target = req.site;
+  if (cfg_.retry.failover) {
+    const int next = next_up_site(prev_target);
+    target = next >= 0 ? next : prev_target;
+  }
+  return target;
+}
+
+void ElasticEdge::set_site_up(int site, bool up) {
+  sites_.at(static_cast<std::size_t>(site))->set_up(up);
 }
 
 void ElasticEdge::control_tick() {
@@ -128,6 +207,18 @@ int ElasticEdge::provisioned_servers() const {
   return n;
 }
 
+std::uint64_t ElasticEdge::completed() const {
+  std::uint64_t n = 0;
+  for (const auto& s : sites_) n += s->completed();
+  return n;
+}
+
+std::uint64_t ElasticEdge::dropped() const {
+  std::uint64_t n = 0;
+  for (const auto& s : sites_) n += s->dropped_arrivals() + s->killed();
+  return n;
+}
+
 void ElasticEdge::reset_stats() {
   for (std::size_t s = 0; s < sites_.size(); ++s) {
     sites_[s]->reset_stats();
@@ -136,6 +227,8 @@ void ElasticEdge::reset_stats() {
     provisioned_integral_at_last_tick_[s] = 0.0;
   }
   scaling_actions_ = 0;
+  failover_count_ = 0;
+  client_.reset_stats();
 }
 
 }  // namespace hce::autoscale

@@ -1,12 +1,15 @@
 // ElasticEdge: an edge deployment whose per-site fleets are controlled by
 // an autoscaling policy at a fixed control interval.
 //
-// Mirrors cluster::EdgeDeployment's request interface (submit / sink /
+// Implements the abstract cluster::Deployment interface (submit / sink /
 // per-site stats) so experiments can swap a static edge for an elastic
 // one, and adds the control loop: per-site EWMA arrival-rate estimators,
 // periodic policy evaluation with a scale-down cooldown, provisioning
 // delay for scale-up, and server-seconds accounting for the economics
-// module.
+// module. The shared cluster::RetryClient provides the client-side
+// timeout/retry/backoff loop with ring failover around crashed sites —
+// the same machinery (and the same offered == delivered + timeouts
+// identity) as the static deployments.
 #pragma once
 
 #include <memory>
@@ -14,11 +17,14 @@
 
 #include "autoscale/dynamic_station.hpp"
 #include "autoscale/policy.hpp"
+#include "cluster/client.hpp"
+#include "cluster/deployment_base.hpp"
 #include "cluster/network.hpp"
 #include "des/request.hpp"
 #include "des/request_pool.hpp"
 #include "des/simulation.hpp"
 #include "des/sink.hpp"
+#include "faults/fault.hpp"
 #include "support/rng.hpp"
 
 namespace hce::autoscale {
@@ -40,35 +46,70 @@ struct ElasticEdgeConfig {
   Time scale_down_cooldown = 120.0; ///< min time between scale-downs
   /// EWMA smoothing for the arrival-rate estimate, per control tick.
   double rate_ewma_alpha = 0.3;
+
+  // --- Fault handling ---------------------------------------------------
+  /// Client-side timeout/retry/backoff. When `retry.failover` is set,
+  /// arrivals at a crashed site reroute to the next-nearest up site (ring
+  /// order, one inter_site_rtt/2 hop each), and timed-out attempts are
+  /// re-issued against the next-nearest up site.
+  cluster::RetryPolicy retry;
+  /// Per-site access-link degradation schedules (empty = all healthy;
+  /// otherwise one entry per site, null entries allowed).
+  std::vector<std::shared_ptr<const faults::LinkSchedule>> site_link_faults;
+  /// Round-trip penalty per failover hop (inter-site distance).
+  Time inter_site_rtt = 0.020;
 };
 
-class ElasticEdge {
+class ElasticEdge final : public cluster::Deployment,
+                          private cluster::RetryClient::Transport {
  public:
   ElasticEdge(des::Simulation& sim, ElasticEdgeConfig cfg, Rng rng);
 
   /// Client in region req.site issues the request now.
-  void submit(des::Request req);
+  void submit(des::Request req) override;
 
-  des::Sink& sink() { return sink_; }
-  const des::Sink& sink() const { return sink_; }
+  des::Sink& sink() override { return sink_; }
+  const des::Sink& sink() const override { return sink_; }
   DynamicStation& site(int i) {
     return *sites_.at(static_cast<std::size_t>(i));
   }
-  int num_sites() const { return cfg_.num_sites; }
+  int num_sites() const override { return cfg_.num_sites; }
+  /// Crashes/recovers one site's hardware (graceful autoscaling state —
+  /// targets, pending boots — survives the outage).
+  void set_site_up(int site, bool up) override;
 
   /// Total server-seconds consumed across sites since last reset.
   double server_seconds() const;
   /// Mean utilization across sites (busy/provisioned).
-  double utilization() const;
+  double utilization() const override;
+  double site_utilization(int i) const override {
+    return sites_.at(static_cast<std::size_t>(i))->utilization();
+  }
+  std::uint64_t completed() const override;
+  /// Requests black-holed or killed at crashed sites.
+  std::uint64_t dropped() const override;
+  /// Crash-failover hops (reroutes around down sites).
+  std::uint64_t failovers() const override { return failover_count_; }
+  const cluster::ClientStats& client_stats() const override {
+    return client_.stats();
+  }
   /// Current provisioned servers across all sites.
   int provisioned_servers() const;
   /// Scaling actions applied (target changes).
   std::uint64_t scaling_actions() const { return scaling_actions_; }
-  void reset_stats();
+  void reset_stats() override;
 
   const ElasticEdgeConfig& config() const { return cfg_; }
 
  private:
+  // cluster::RetryClient::Transport
+  void client_send(des::Request req, int target) override;
+  int client_retry_target(const des::Request& req, int prev_target) override;
+
+  void arrive_at_site(des::Request req, int site_index);
+  /// Next up site in ring order after `from`; -1 if every site is down.
+  int next_up_site(int from) const;
+  const faults::LinkSchedule* link_schedule(int site) const;
   void control_tick();
 
   des::Simulation& sim_;
@@ -76,8 +117,8 @@ class ElasticEdge {
   Rng rng_;
   std::vector<std::unique_ptr<DynamicStation>> sites_;
   des::Sink sink_;
-  /// In-flight request payloads (uplink/downlink legs): calendar handlers
-  /// capture 4-byte pool handles, not Requests.
+  /// In-flight request payloads (uplink/downlink legs, failover hops):
+  /// calendar handlers capture 4-byte pool handles, not Requests.
   des::RequestPool pool_;
 
   // Control state.
@@ -87,6 +128,8 @@ class ElasticEdge {
   std::vector<double> provisioned_integral_at_last_tick_;
   std::vector<Time> last_scale_down_;
   std::uint64_t scaling_actions_ = 0;
+  std::uint64_t failover_count_ = 0;
+  cluster::RetryClient client_;
 };
 
 }  // namespace hce::autoscale

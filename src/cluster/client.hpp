@@ -1,0 +1,208 @@
+// Client-side transport layer shared by every deployment topology.
+//
+// The paper's measurement harness is, on the client side, always the same
+// machine: it offers a logical request, arms a timeout, re-issues with
+// exponential backoff when the deployment goes quiet, picks a (possibly
+// different) target for each re-issue, and accepts exactly the first
+// response — late responses of retried attempts are duplicates. Before
+// this layer existed the loop was duplicated inside CloudDeployment and
+// EdgeDeployment (two token maps, two timeout state machines) while
+// HybridDeployment and autoscale::ElasticEdge had none at all.
+//
+// RetryClient is that loop, once. A deployment plugs in a Transport —
+//   send(req, target)          how one attempt physically travels
+//                              (link-fault consultation, uplink sampling,
+//                              dispatch/station arrival), and
+//   retry_target(req, prev)    the routing policy for re-issues
+//                              (same-target for the single-site cloud,
+//                              ring-failover for edge fleets, local-site
+//                              for threshold-offload hybrids)
+// — and gets the pending-request table, timeout/retry/backoff machinery,
+// duplicate suppression, link-drop accounting, and epoch-correct
+// ClientStats for free.
+//
+// The pending table is a slab with a free list (the des::RequestPool
+// pattern): tokens are dense 32-bit slot indices tagged with a 32-bit
+// per-slot generation, so the hot path is an array index — no hashing,
+// no allocation in steady state — and stale tokens (late responses of
+// requests that already resolved) miss exactly. The slab's high-water
+// mark is reported to Simulation::stats() as the client-side memory
+// bound, next to the calendar's own slab_high_water.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "des/request.hpp"
+#include "des/simulation.hpp"
+#include "support/time.hpp"
+
+namespace hce::cluster {
+
+/// Client-side timeout / retry / exponential-backoff policy. Without it,
+/// a request sent to a crashed site or across a partitioned link simply
+/// never completes (black hole); with it, the client re-issues the request
+/// after `timeout`, waiting backoff_base * backoff_factor^(attempt-1)
+/// between attempts, up to a budget of `max_retries` re-issues. Edge-style
+/// deployments additionally fail over to the next-nearest *up* site on
+/// retry (ring order; see EdgeDeployment); the cloud retries in place and
+/// hybrids re-enter their local site (whose arrival logic offloads around
+/// crashes).
+struct RetryPolicy {
+  bool enabled = false;
+  Time timeout = 0.5;          ///< per-attempt client timeout
+  int max_retries = 2;         ///< retry budget (re-issues after the first try)
+  Time backoff_base = 0.05;    ///< backoff before the first retry
+  double backoff_factor = 2.0; ///< exponential growth per retry
+  bool failover = true;        ///< reroute around down sites (where meaningful)
+
+  /// Backoff preceding re-issue number `retry` (1-based).
+  Time backoff_before(int retry) const {
+    Time b = backoff_base;
+    for (int i = 1; i < retry; ++i) b *= backoff_factor;
+    return b;
+  }
+};
+
+/// Client-side accounting of the timeout/retry loop. The core identity —
+/// asserted by the invariant tests — is that with retries enabled every
+/// offered request resolves exactly once:
+///
+///   offered == delivered + timeouts        (after the calendar drains)
+///
+/// (delivered counts first responses only; late duplicate responses of
+/// retried requests land in `duplicates`, legs lost to WAN partitions in
+/// `link_drops`.) Without retries, faults can lose requests silently and
+/// only offered/delivered remain meaningful.
+///
+/// Counters describe the cohort of requests *offered since the last
+/// reset_stats()*: a request submitted before a warmup reset but resolving
+/// after it touches no counter (otherwise `timeouts` could exceed
+/// `offered` and availability would leave [0, 1]).
+struct ClientStats {
+  std::uint64_t offered = 0;     ///< logical requests submitted
+  std::uint64_t delivered = 0;   ///< first responses accepted by clients
+  std::uint64_t retries = 0;     ///< re-issued attempts
+  std::uint64_t timeouts = 0;    ///< abandoned after the retry budget
+  std::uint64_t duplicates = 0;  ///< stale responses dropped at the client
+  std::uint64_t link_drops = 0;  ///< request/response legs lost to partitions
+
+  /// Fraction of offered requests *not* abandoned. 1.0 when fault-free.
+  double availability() const {
+    return offered > 0
+               ? 1.0 - static_cast<double>(timeouts) /
+                           static_cast<double>(offered)
+               : 1.0;
+  }
+  double timeout_rate() const {
+    return offered > 0 ? static_cast<double>(timeouts) /
+                             static_cast<double>(offered)
+                       : 0.0;
+  }
+};
+
+/// The shared at-least-once client loop. One instance per deployment;
+/// single-threaded under the owning simulation's clock.
+class RetryClient {
+ public:
+  /// Deployment-side hooks. Implemented (usually privately) by each
+  /// deployment; both calls happen under the simulation clock.
+  class Transport {
+   public:
+    /// Transmits one attempt toward `target`: consult link faults (call
+    /// RetryClient::count_link_drop() on a partition and return), sample
+    /// the uplink, and schedule arrival at the serving infrastructure.
+    virtual void client_send(des::Request req, int target) = 0;
+    /// Routing policy for re-issue attempts: picks the target of the next
+    /// attempt given the one that just timed out. Evaluated at re-issue
+    /// time (after the backoff), so failover decisions see current site
+    /// up/down state.
+    virtual int client_retry_target(const des::Request& req,
+                                    int prev_target) = 0;
+
+   protected:
+    ~Transport() = default;  // non-owning interface
+  };
+
+  RetryClient(des::Simulation& sim, const RetryPolicy& policy,
+              Transport& transport)
+      : sim_(sim), policy_(policy), transport_(transport) {}
+
+  RetryClient(const RetryClient&) = delete;
+  RetryClient& operator=(const RetryClient&) = delete;
+
+  /// Client offers a logical request, initially routed to `target`.
+  /// Stamps t_created, counts it offered, and — with retries enabled —
+  /// registers it in the pending table and arms the first timeout.
+  void submit(des::Request req, int target);
+
+  /// Deployment calls this when a response reaches the client (after the
+  /// downlink leg, with t_completed already stamped). Returns true when
+  /// the response is the first for its logical request — the caller then
+  /// records it in its sink — and false for duplicates, which are dropped.
+  bool on_response(const des::Request& req);
+
+  /// A request or response leg was lost to a link partition. The pending
+  /// entry stays armed; the timeout recovers the request.
+  void count_link_drop() { ++stats_.link_drops; }
+
+  const ClientStats& stats() const { return stats_; }
+  const RetryPolicy& policy() const { return policy_; }
+
+  /// Zeroes the counters and opens a new measurement epoch: requests
+  /// offered before the reset keep retrying but touch no counter.
+  void reset_stats() {
+    stats_ = ClientStats{};
+    ++epoch_;
+  }
+
+  /// Logical requests currently awaiting a response or a re-issue.
+  std::size_t pending_in_flight() const { return live_; }
+  /// Peak pending-table occupancy (slab memory bound); also mirrored into
+  /// Simulation::stats().client_pending_high_water.
+  std::size_t pending_high_water() const { return high_water_; }
+
+ private:
+  /// One pending logical request. Exactly one such struct exists in
+  /// src/cluster/ — every deployment shares this table.
+  struct PendingRequest {
+    des::Simulation::EventId timeout_event{};
+    std::uint32_t generation = 1;  ///< tags tokens; stale lookups miss
+    int attempt = 1;       ///< 1-based attempt number
+    int target = 0;        ///< site/pool the current attempt was sent to
+    std::uint64_t epoch = 0;  ///< stats epoch the request was offered in
+    bool occupied = false; ///< slot holds a live logical request
+    /// An attempt is in flight and its response would be accepted. False
+    /// during the backoff gap between a timeout and the re-issue —
+    /// responses arriving there are duplicates, exactly as if the entry
+    /// had been erased.
+    bool awaiting = false;
+    des::Request req;      ///< payload re-sent on retry
+  };
+
+  static std::uint64_t pack(std::uint32_t slot, std::uint32_t generation) {
+    return (static_cast<std::uint64_t>(generation) << 32) | slot;
+  }
+
+  std::uint32_t allocate_slot();
+  void release(std::uint32_t slot);
+  /// Live entry for `token` iff slot, generation, and awaiting all match.
+  PendingRequest* find_awaiting(std::uint64_t token);
+
+  void start_attempt(std::uint32_t slot, int attempt);
+  void on_timeout(std::uint32_t slot);
+  void reissue(std::uint32_t slot);
+
+  des::Simulation& sim_;
+  RetryPolicy policy_;
+  Transport& transport_;
+  ClientStats stats_;
+  std::uint64_t epoch_ = 0;  ///< bumped by reset_stats()
+
+  std::vector<PendingRequest> slots_;
+  std::vector<std::uint32_t> free_;
+  std::size_t live_ = 0;
+  std::size_t high_water_ = 0;
+};
+
+}  // namespace hce::cluster

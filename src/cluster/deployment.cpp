@@ -16,7 +16,10 @@ CloudDeployment::CloudDeployment(des::Simulation& sim, CloudConfig cfg,
     : sim_(sim),
       cfg_(std::move(cfg)),
       rng_(std::move(rng)),
-      cluster_(sim, "cloud", cfg_.num_servers, cfg_.dispatch, cfg_.speed) {
+      cluster_(sim, "cloud", cfg_.num_servers, cfg_.dispatch, cfg_.speed),
+      client_(sim, cfg_.retry, *this) {
+  HCE_EXPECT(cfg_.fault_group_size >= 1,
+             "cloud fault_group_size must be >= 1");
   cluster_.set_completion_handler([this](const des::Request& done) {
     // Downlink back to the client, then deliver. A partitioned WAN path
     // swallows the response; the client's timeout recovers the request.
@@ -24,7 +27,7 @@ CloudDeployment::CloudDeployment(des::Simulation& sim, CloudConfig cfg,
     Time extra = 0.0;
     if (cfg_.link_faults) {
       if (cfg_.link_faults->partitioned(sim_.now())) {
-        ++client_.link_drops;
+        client_.count_link_drop();
         return;
       }
       extra = cfg_.link_faults->extra_one_way(sim_.now());
@@ -34,36 +37,21 @@ CloudDeployment::CloudDeployment(des::Simulation& sim, CloudConfig cfg,
     sim_.schedule_in(downlink, [this, h] {
       des::Request r = pool_.take(h);
       r.t_completed = sim_.now();
-      deliver(std::move(r));
+      if (client_.on_response(r)) sink_.record(r);
     });
   });
 }
 
 void CloudDeployment::submit(des::Request req) {
-  req.t_created = sim_.now();
-  ++client_.offered;
-  if (cfg_.retry.enabled) {
-    req.client_token = next_token_++;
-    start_attempt(std::move(req), 1, epoch_);
-  } else {
-    send_attempt(std::move(req));
-  }
+  // The cloud has a single dispatcher; every attempt targets it.
+  client_.submit(std::move(req), 0);
 }
 
-void CloudDeployment::start_attempt(des::Request req, int attempt,
-                                    std::uint64_t epoch) {
-  const std::uint64_t token = req.client_token;
-  const auto timeout_event = sim_.schedule_in(
-      cfg_.retry.timeout, [this, token] { on_timeout(token); });
-  pending_[token] = PendingRequest{timeout_event, attempt, epoch, req};
-  send_attempt(std::move(req));
-}
-
-void CloudDeployment::send_attempt(des::Request req) {
+void CloudDeployment::client_send(des::Request req, int /*target*/) {
   Time extra = 0.0;
   if (cfg_.link_faults) {
     if (cfg_.link_faults->partitioned(sim_.now())) {
-      ++client_.link_drops;  // lost in transit; the timeout recovers it
+      client_.count_link_drop();  // lost in transit; the timeout recovers it
       return;
     }
     extra = cfg_.link_faults->extra_one_way(sim_.now());
@@ -76,51 +64,23 @@ void CloudDeployment::send_attempt(des::Request req) {
   });
 }
 
-void CloudDeployment::on_timeout(std::uint64_t token) {
-  const auto it = pending_.find(token);
-  if (it == pending_.end()) return;
-  PendingRequest p = std::move(it->second);
-  pending_.erase(it);
-  // Requests offered before a stats reset keep retrying (the client does
-  // not know about measurement epochs) but touch no counter.
-  const bool counted = p.epoch == epoch_;
-  if (p.attempt >= 1 + cfg_.retry.max_retries) {
-    if (counted) ++client_.timeouts;  // budget exhausted: client gives up
-    return;
-  }
-  if (counted) ++client_.retries;
-  const Time backoff = cfg_.retry.backoff_before(p.attempt);
-  const auto h = pool_.put(std::move(p.req));
-  sim_.schedule_in(backoff,
-                   [this, h, attempt = p.attempt, epoch = p.epoch] {
-                     // The cloud has a single dispatcher: retries go back
-                     // to it.
-                     start_attempt(pool_.take(h), attempt + 1, epoch);
-                   });
+int CloudDeployment::client_retry_target(const des::Request& /*req*/,
+                                         int prev_target) {
+  return prev_target;  // single dispatcher: retries go back to it
 }
 
-void CloudDeployment::deliver(des::Request req) {
-  bool counted = true;
-  if (cfg_.retry.enabled) {
-    const auto it = pending_.find(req.client_token);
-    if (it == pending_.end()) {
-      // The client already timed this attempt out (and either retried or
-      // gave up); the late response is a duplicate.
-      ++client_.duplicates;
-      return;
-    }
-    counted = it->second.epoch == epoch_;
-    sim_.cancel(it->second.timeout_event);
-    pending_.erase(it);
-  }
-  if (counted) ++client_.delivered;
-  sink_.record(req);
+int CloudDeployment::num_sites() const {
+  const int groups = cfg_.num_servers / cfg_.fault_group_size;
+  return groups >= 1 ? groups : 1;
+}
+
+void CloudDeployment::set_site_up(int site, bool up) {
+  cluster_.set_server_group_up(site, cfg_.fault_group_size, up);
 }
 
 void CloudDeployment::reset_stats() {
   cluster_.reset_stats();
-  client_ = ClientStats{};
-  ++epoch_;
+  client_.reset_stats();
 }
 
 // ---------------------------------------------------------------------------
@@ -128,7 +88,10 @@ void CloudDeployment::reset_stats() {
 // ---------------------------------------------------------------------------
 
 EdgeDeployment::EdgeDeployment(des::Simulation& sim, EdgeConfig cfg, Rng rng)
-    : sim_(sim), cfg_(std::move(cfg)), rng_(std::move(rng)) {
+    : sim_(sim),
+      cfg_(std::move(cfg)),
+      rng_(std::move(rng)),
+      client_(sim, cfg_.retry, *this) {
   HCE_EXPECT(cfg_.num_sites >= 1, "edge deployment needs >= 1 site");
   HCE_EXPECT(cfg_.servers_per_site >= 1,
              "edge deployment needs >= 1 server per site");
@@ -147,7 +110,7 @@ EdgeDeployment::EdgeDeployment(des::Simulation& sim, EdgeConfig cfg, Rng rng)
       const faults::LinkSchedule* ls = link_schedule(done.station_id);
       if (ls != nullptr) {
         if (ls->partitioned(sim_.now())) {
-          ++client_.link_drops;  // response lost; client timeout recovers
+          client_.count_link_drop();  // response lost; timeout recovers
           return;
         }
         extra = ls->extra_one_way(sim_.now());
@@ -157,7 +120,7 @@ EdgeDeployment::EdgeDeployment(des::Simulation& sim, EdgeConfig cfg, Rng rng)
       sim_.schedule_in(downlink, [this, h] {
         des::Request r = pool_.take(h);
         r.t_completed = sim_.now();
-        deliver(std::move(r));
+        if (client_.on_response(r)) sink_.record(r);
       });
     });
   }
@@ -237,32 +200,16 @@ void EdgeDeployment::arrive_at_site(des::Request req, int site_index) {
 void EdgeDeployment::submit(des::Request req) {
   HCE_EXPECT(req.site >= 0 && req.site < cfg_.num_sites,
              "edge submit: request site out of range");
-  req.t_created = sim_.now();
-  ++client_.offered;
-  const int target = req.site;
-  if (cfg_.retry.enabled) {
-    req.client_token = next_token_++;
-    start_attempt(std::move(req), 1, target, epoch_);
-  } else {
-    send_attempt(std::move(req), target);
-  }
+  const int target = req.site;  // requests are pinned to their home site
+  client_.submit(std::move(req), target);
 }
 
-void EdgeDeployment::start_attempt(des::Request req, int attempt, int target,
-                                   std::uint64_t epoch) {
-  const std::uint64_t token = req.client_token;
-  const auto timeout_event = sim_.schedule_in(
-      cfg_.retry.timeout, [this, token] { on_timeout(token); });
-  pending_[token] = PendingRequest{timeout_event, attempt, target, epoch, req};
-  send_attempt(std::move(req), target);
-}
-
-void EdgeDeployment::send_attempt(des::Request req, int target) {
+void EdgeDeployment::client_send(des::Request req, int target) {
   Time extra = 0.0;
   const faults::LinkSchedule* ls = link_schedule(target);
   if (ls != nullptr) {
     if (ls->partitioned(sim_.now())) {
-      ++client_.link_drops;  // lost in transit; the timeout recovers it
+      client_.count_link_drop();  // lost in transit; the timeout recovers it
       return;
     }
     extra = ls->extra_one_way(sim_.now());
@@ -274,52 +221,22 @@ void EdgeDeployment::send_attempt(des::Request req, int target) {
   });
 }
 
-void EdgeDeployment::on_timeout(std::uint64_t token) {
-  const auto it = pending_.find(token);
-  if (it == pending_.end()) return;
-  PendingRequest p = std::move(it->second);
-  pending_.erase(it);
-  // Requests offered before a stats reset keep retrying (the client does
-  // not know about measurement epochs) but touch no counter.
-  const bool counted = p.epoch == epoch_;
-  if (p.attempt >= 1 + cfg_.retry.max_retries) {
-    if (counted) ++client_.timeouts;  // budget exhausted: client gives up
-    return;
+int EdgeDeployment::client_retry_target(const des::Request& req,
+                                        int prev_target) {
+  // Ring failover from the last target — sites may have recovered or
+  // crashed during the backoff, and the ring hop is also a hedge when the
+  // timeout was congestion rather than a crash. Without failover, retries
+  // go back to the request's home site.
+  int target = req.site;
+  if (cfg_.retry.failover) {
+    const int next = next_up_site(prev_target);
+    target = next >= 0 ? next : prev_target;
   }
-  if (counted) ++client_.retries;
-  const Time backoff = cfg_.retry.backoff_before(p.attempt);
-  const auto h = pool_.put(std::move(p.req));
-  sim_.schedule_in(
-      backoff, [this, h, attempt = p.attempt, prev_target = p.target,
-                epoch = p.epoch] {
-        // Pick the failover target at re-issue time (sites may have
-        // recovered or crashed during the backoff). Ring order from the
-        // last target — also a hedge when the timeout was congestion, not
-        // a crash.
-        des::Request req = pool_.take(h);
-        int target = req.site;
-        if (cfg_.retry.failover) {
-          const int next = next_up_site(prev_target);
-          target = next >= 0 ? next : prev_target;
-        }
-        start_attempt(std::move(req), attempt + 1, target, epoch);
-      });
+  return target;
 }
 
-void EdgeDeployment::deliver(des::Request req) {
-  bool counted = true;
-  if (cfg_.retry.enabled) {
-    const auto it = pending_.find(req.client_token);
-    if (it == pending_.end()) {
-      ++client_.duplicates;  // stale response of a retried attempt
-      return;
-    }
-    counted = it->second.epoch == epoch_;
-    sim_.cancel(it->second.timeout_event);
-    pending_.erase(it);
-  }
-  if (counted) ++client_.delivered;
-  sink_.record(req);
+void EdgeDeployment::set_site_up(int site, bool up) {
+  sites_.at(static_cast<std::size_t>(site))->set_up(up);
 }
 
 double EdgeDeployment::utilization() const {
@@ -344,8 +261,7 @@ void EdgeDeployment::reset_stats() {
   for (auto& s : sites_) s->reset_stats();
   redirect_count_ = 0;
   failover_count_ = 0;
-  client_ = ClientStats{};
-  ++epoch_;
+  client_.reset_stats();
 }
 
 }  // namespace hce::cluster

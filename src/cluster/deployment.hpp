@@ -11,19 +11,22 @@
 //   (n_edge), requests pinned to their originating site (optionally with
 //   geographic load balancing, §5.1's "queue jockeying" mitigation).
 //
-// Both also embed the *client* of the paper's measurement harness: an
-// at-least-once timeout/retry/backoff loop (RetryPolicy) plus per-leg
-// consultation of a faults::LinkSchedule, so scenarios with crashed sites
-// or partitioned WAN links complete (or are counted as timed out) instead
-// of black-holing. With faults disabled and retries off, the request path
+// Both implement the abstract cluster::Deployment interface
+// (deployment_base.hpp) and run the shared RetryClient (client.hpp) as
+// the client of the paper's measurement harness: an at-least-once
+// timeout/retry/backoff loop plus per-leg consultation of a
+// faults::LinkSchedule, so scenarios with crashed sites or partitioned
+// WAN links complete (or are counted as timed out) instead of
+// black-holing. With faults disabled and retries off, the request path
 // is byte-identical to the fault-free original.
 #pragma once
 
 #include <cstdint>
 #include <memory>
-#include <unordered_map>
 #include <vector>
 
+#include "cluster/client.hpp"
+#include "cluster/deployment_base.hpp"
 #include "cluster/dispatch.hpp"
 #include "cluster/network.hpp"
 #include "des/request.hpp"
@@ -35,43 +38,6 @@
 #include "support/rng.hpp"
 
 namespace hce::cluster {
-
-/// Client-side accounting of the timeout/retry loop. The core identity —
-/// asserted by the invariant tests — is that with retries enabled every
-/// offered request resolves exactly once:
-///
-///   offered == delivered + timeouts        (after the calendar drains)
-///
-/// (delivered counts first responses only; late duplicate responses of
-/// retried requests land in `duplicates`, legs lost to WAN partitions in
-/// `link_drops`.) Without retries, faults can lose requests silently and
-/// only offered/delivered remain meaningful.
-///
-/// Counters describe the cohort of requests *offered since the last
-/// reset_stats()*: a request submitted before a warmup reset but resolving
-/// after it touches no counter (otherwise `timeouts` could exceed
-/// `offered` and availability would leave [0, 1]).
-struct ClientStats {
-  std::uint64_t offered = 0;     ///< logical requests submitted
-  std::uint64_t delivered = 0;   ///< first responses accepted by clients
-  std::uint64_t retries = 0;     ///< re-issued attempts
-  std::uint64_t timeouts = 0;    ///< abandoned after the retry budget
-  std::uint64_t duplicates = 0;  ///< stale responses dropped at the client
-  std::uint64_t link_drops = 0;  ///< request/response legs lost to partitions
-
-  /// Fraction of offered requests *not* abandoned. 1.0 when fault-free.
-  double availability() const {
-    return offered > 0
-               ? 1.0 - static_cast<double>(timeouts) /
-                           static_cast<double>(offered)
-               : 1.0;
-  }
-  double timeout_rate() const {
-    return offered > 0 ? static_cast<double>(timeouts) /
-                             static_cast<double>(offered)
-                       : 0.0;
-  }
-};
 
 struct CloudConfig {
   int num_servers = 5;
@@ -87,53 +53,51 @@ struct CloudConfig {
   RetryPolicy retry;
   /// WAN degradation schedule on the client->cloud path (null = healthy).
   std::shared_ptr<const faults::LinkSchedule> link_faults;
+  /// Servers per fault "site": set_site_up(g, up) crashes/recovers the
+  /// contiguous server group [g*fault_group_size, (g+1)*fault_group_size)
+  /// — the cloud-side mirror of one edge site's hardware under CRN-paired
+  /// outage traces.
+  int fault_group_size = 1;
 };
 
-class CloudDeployment {
+class CloudDeployment final : public Deployment,
+                              private RetryClient::Transport {
  public:
   CloudDeployment(des::Simulation& sim, CloudConfig cfg, Rng rng);
 
   /// Client in region `req.site` issues the request now. The request
   /// traverses the uplink, the dispatcher, a server, and the downlink;
   /// completion is recorded in sink().
-  void submit(des::Request req);
+  void submit(des::Request req) override;
 
-  des::Sink& sink() { return sink_; }
-  const des::Sink& sink() const { return sink_; }
-  double utilization() const { return cluster_.utilization(); }
-  std::uint64_t completed() const { return cluster_.completed(); }
-  const ClientStats& client_stats() const { return client_; }
+  des::Sink& sink() override { return sink_; }
+  const des::Sink& sink() const override { return sink_; }
+  double utilization() const override { return cluster_.utilization(); }
+  std::uint64_t completed() const override { return cluster_.completed(); }
+  const ClientStats& client_stats() const override { return client_.stats(); }
   /// Requests black-holed or killed inside the cluster (crashed servers).
-  std::uint64_t dropped() const { return cluster_.dropped(); }
-  void reset_stats();
+  std::uint64_t dropped() const override { return cluster_.dropped(); }
+  void reset_stats() override;
+  /// Fault groups (server blocks mirroring edge sites); >= 1.
+  int num_sites() const override;
+  void set_site_up(int site, bool up) override;
   const CloudConfig& config() const { return cfg_; }
   Cluster& cluster() { return cluster_; }
 
  private:
-  struct PendingRequest {
-    des::Simulation::EventId timeout_event;
-    int attempt = 1;  ///< 1-based attempt number currently in flight
-    std::uint64_t epoch = 0;  ///< stats epoch the request was offered in
-    des::Request req;
-  };
-
-  void start_attempt(des::Request req, int attempt, std::uint64_t epoch);
-  void send_attempt(des::Request req);
-  void on_timeout(std::uint64_t token);
-  void deliver(des::Request req);
+  // RetryClient::Transport
+  void client_send(des::Request req, int target) override;
+  int client_retry_target(const des::Request& req, int prev_target) override;
 
   des::Simulation& sim_;
   CloudConfig cfg_;
   Rng rng_;
   Cluster cluster_;
   des::Sink sink_;
-  /// In-flight request payloads (uplink/downlink legs, retry backoffs):
-  /// calendar handlers capture 4-byte pool handles, not Requests.
+  /// In-flight request payloads (uplink/downlink legs): calendar handlers
+  /// capture 4-byte pool handles, not Requests.
   des::RequestPool pool_;
-  std::unordered_map<std::uint64_t, PendingRequest> pending_;
-  std::uint64_t next_token_ = 0;
-  std::uint64_t epoch_ = 0;  ///< bumped by reset_stats()
-  ClientStats client_;
+  RetryClient client_;
 };
 
 struct EdgeConfig {
@@ -165,44 +129,44 @@ struct EdgeConfig {
   std::vector<std::shared_ptr<const faults::LinkSchedule>> site_link_faults;
 };
 
-class EdgeDeployment {
+class EdgeDeployment final : public Deployment,
+                             private RetryClient::Transport {
  public:
   EdgeDeployment(des::Simulation& sim, EdgeConfig cfg, Rng rng);
 
   /// Client in region `req.site` issues the request now; it is served by
   /// its local site (or a redirect target when geo-LB triggers).
-  void submit(des::Request req);
+  void submit(des::Request req) override;
 
-  des::Sink& sink() { return sink_; }
-  const des::Sink& sink() const { return sink_; }
+  des::Sink& sink() override { return sink_; }
+  const des::Sink& sink() const override { return sink_; }
   des::Station& site(int i) { return *sites_.at(static_cast<std::size_t>(i)); }
   const des::Station& site(int i) const {
     return *sites_.at(static_cast<std::size_t>(i));
   }
-  int num_sites() const { return cfg_.num_sites; }
+  int num_sites() const override { return cfg_.num_sites; }
+  void set_site_up(int site, bool up) override;
   /// Mean utilization across sites.
-  double utilization() const;
+  double utilization() const override;
   /// Utilization of one site.
-  double site_utilization(int i) const { return site(i).utilization(); }
-  std::uint64_t completed() const;
-  std::uint64_t redirects() const { return redirect_count_; }
+  double site_utilization(int i) const override {
+    return site(i).utilization();
+  }
+  std::uint64_t completed() const override;
+  std::uint64_t redirects() const override { return redirect_count_; }
   /// Crash-failover hops (distinct from geo-LB redirects: these reroute
   /// around *down* sites, not long queues).
-  std::uint64_t failovers() const { return failover_count_; }
-  const ClientStats& client_stats() const { return client_; }
+  std::uint64_t failovers() const override { return failover_count_; }
+  const ClientStats& client_stats() const override { return client_.stats(); }
   /// Requests black-holed or killed at crashed sites.
-  std::uint64_t dropped() const;
-  void reset_stats();
+  std::uint64_t dropped() const override;
+  void reset_stats() override;
   const EdgeConfig& config() const { return cfg_; }
 
  private:
-  struct PendingRequest {
-    des::Simulation::EventId timeout_event;
-    int attempt = 1;   ///< 1-based attempt number currently in flight
-    int target = 0;    ///< site the in-flight attempt was sent to
-    std::uint64_t epoch = 0;  ///< stats epoch the request was offered in
-    des::Request req;
-  };
+  // RetryClient::Transport
+  void client_send(des::Request req, int target) override;
+  int client_retry_target(const des::Request& req, int prev_target) override;
 
   void arrive_at_site(des::Request req, int site_index);
   int pick_redirect_target(int from_site) const;
@@ -211,26 +175,17 @@ class EdgeDeployment {
   int next_up_site(int from) const;
   const faults::LinkSchedule* link_schedule(int site) const;
 
-  void start_attempt(des::Request req, int attempt, int target,
-                     std::uint64_t epoch);
-  void send_attempt(des::Request req, int target);
-  void on_timeout(std::uint64_t token);
-  void deliver(des::Request req);
-
   des::Simulation& sim_;
   EdgeConfig cfg_;
   Rng rng_;
   std::vector<std::unique_ptr<des::Station>> sites_;
   des::Sink sink_;
-  /// In-flight request payloads (network legs, failover/redirect hops,
-  /// retry backoffs): handlers capture 4-byte pool handles.
+  /// In-flight request payloads (network legs, failover/redirect hops):
+  /// handlers capture 4-byte pool handles.
   des::RequestPool pool_;
   std::uint64_t redirect_count_ = 0;
   std::uint64_t failover_count_ = 0;
-  std::unordered_map<std::uint64_t, PendingRequest> pending_;
-  std::uint64_t next_token_ = 0;
-  std::uint64_t epoch_ = 0;  ///< bumped by reset_stats()
-  ClientStats client_;
+  RetryClient client_;
 };
 
 }  // namespace hce::cluster

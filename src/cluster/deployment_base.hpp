@@ -1,0 +1,84 @@
+// The polymorphic deployment interface.
+//
+// The paper's §5 design-implication story is about *choosing between*
+// deployment shapes — pure cloud, pure edge, geo-balanced edge,
+// conditional/hybrid edge use, autoscaled edge — under one measurement
+// harness. This interface is that harness's view of a deployment: clients
+// submit logical requests, completed requests land in a Sink with their
+// full timestamp lineage, and the client-side retry loop's accounting is
+// observable through ClientStats. The experiment layer (sweep runner,
+// crossover finder, fault drills, invariant tests) is written against
+// this interface only, so any kind-pair can be compared, not just
+// edge-vs-cloud.
+//
+// Implementations: cluster::CloudDeployment, cluster::EdgeDeployment,
+// cluster::HybridDeployment, autoscale::ElasticEdge. All of them run the
+// shared cluster::RetryClient (client.hpp) — exactly one timeout/retry/
+// failover state machine exists — and differ only in Transport: how one
+// attempt physically travels and where re-issues are routed.
+#pragma once
+
+#include <cstdint>
+
+#include "cluster/client.hpp"
+#include "des/request.hpp"
+#include "des/sink.hpp"
+
+namespace hce::cluster {
+
+/// Abstract deployment: what the measurement harness sees. One instance
+/// per simulation side; single-threaded under the owning simulation.
+class Deployment {
+ public:
+  virtual ~Deployment() = default;
+
+  /// Client in region `req.site` issues the request now. The deployment
+  /// stamps t_created, routes the request through its topology, and
+  /// records the completion (with t_completed set) into sink().
+  virtual void submit(des::Request req) = 0;
+
+  virtual des::Sink& sink() = 0;
+  virtual const des::Sink& sink() const = 0;
+
+  /// Mean server utilization since the last reset_stats().
+  virtual double utilization() const = 0;
+  /// Requests whose service completed at a server.
+  virtual std::uint64_t completed() const = 0;
+  /// Requests black-holed or killed inside the serving infrastructure
+  /// (crashed sites/servers): arrivals at down stations, queue drops, and
+  /// in-service kills. Client timeouts recover them when retries are on.
+  virtual std::uint64_t dropped() const = 0;
+
+  /// Client-side accounting (offered/delivered/retries/timeouts/...).
+  virtual const ClientStats& client_stats() const = 0;
+
+  /// Zeroes all statistics and opens a new measurement epoch (used at the
+  /// end of warmup). In-flight requests keep running but touch no counter.
+  virtual void reset_stats() = 0;
+
+  // --- Fault injection ----------------------------------------------------
+  /// Number of independently faultable sites (edge sites, cloud server
+  /// groups, hybrid edge sites...). set_site_up accepts [0, num_sites).
+  virtual int num_sites() const = 0;
+  /// Crashes (up=false) or recovers (up=true) one site's serving hardware.
+  /// The outage driver calls this from pre-materialized fault traces.
+  virtual void set_site_up(int site, bool up) = 0;
+
+  // --- Optional per-kind extras (zero where not meaningful) --------------
+  /// Geographic load-balancing redirect hops (§5.1 queue jockeying).
+  virtual std::uint64_t redirects() const { return 0; }
+  /// Crash-failover hops (reroutes around *down* sites).
+  virtual std::uint64_t failovers() const { return 0; }
+  /// Requests served away from their local site by a hybrid's
+  /// threshold-offload policy (0 for non-hybrid kinds).
+  virtual std::uint64_t offloaded() const { return 0; }
+  /// Utilization of one site, where per-site breakdowns exist.
+  virtual double site_utilization(int /*site*/) const { return utilization(); }
+
+ protected:
+  Deployment() = default;
+  Deployment(const Deployment&) = delete;
+  Deployment& operator=(const Deployment&) = delete;
+};
+
+}  // namespace hce::cluster

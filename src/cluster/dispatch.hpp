@@ -31,29 +31,6 @@ enum class DispatchPolicy {
 
 std::string to_string(DispatchPolicy p);
 
-/// Client-side timeout / retry / exponential-backoff policy. Without it,
-/// a request sent to a crashed site or across a partitioned link simply
-/// never completes (black hole); with it, the client re-issues the request
-/// after `timeout`, waiting backoff_base * backoff_factor^(attempt-1)
-/// between attempts, up to a budget of `max_retries` re-issues. Edge
-/// deployments additionally fail over to the next-nearest *up* site on
-/// retry (ring order; see EdgeDeployment); the cloud retries in place.
-struct RetryPolicy {
-  bool enabled = false;
-  Time timeout = 0.5;          ///< per-attempt client timeout
-  int max_retries = 2;         ///< retry budget (re-issues after the first try)
-  Time backoff_base = 0.05;    ///< backoff before the first retry
-  double backoff_factor = 2.0; ///< exponential growth per retry
-  bool failover = true;        ///< edge: retry at the next-nearest up site
-
-  /// Backoff preceding re-issue number `retry` (1-based).
-  Time backoff_before(int retry) const {
-    Time b = backoff_base;
-    for (int i = 1; i < retry; ++i) b *= backoff_factor;
-    return b;
-  }
-};
-
 /// A cluster of servers behind one of the dispatch policies above.
 /// For kCentralQueue this is a single k-server Station; otherwise it is k
 /// single-server Stations plus the routing rule.

@@ -9,65 +9,148 @@ namespace hce::cluster {
 HybridDeployment::HybridDeployment(des::Simulation& sim, HybridConfig cfg,
                                    Rng rng)
     : sim_(sim),
-      cfg_(cfg),
+      cfg_(std::move(cfg)),
       rng_(std::move(rng)),
-      cloud_(sim, "hybrid-cloud", cfg.cloud_servers, cfg.cloud_dispatch) {
-  HCE_EXPECT(cfg.num_sites >= 1, "hybrid needs >= 1 edge site");
-  HCE_EXPECT(cfg.servers_per_site >= 1,
+      cloud_(sim, "hybrid-cloud", cfg_.cloud_servers, cfg_.cloud_dispatch),
+      client_(sim, cfg_.retry, *this) {
+  HCE_EXPECT(cfg_.num_sites >= 1, "hybrid needs >= 1 edge site");
+  HCE_EXPECT(cfg_.servers_per_site >= 1,
              "hybrid needs >= 1 server per site");
-  HCE_EXPECT(cfg.cloud_servers >= 1, "hybrid needs >= 1 cloud server");
+  HCE_EXPECT(cfg_.cloud_servers >= 1, "hybrid needs >= 1 cloud server");
+  HCE_EXPECT(cfg_.site_link_faults.empty() ||
+                 static_cast<int>(cfg_.site_link_faults.size()) ==
+                     cfg_.num_sites,
+             "site_link_faults must be empty or one entry per site");
 
-  auto record_after = [this](const des::Request& done, Time downlink) {
+  sites_.reserve(static_cast<std::size_t>(cfg_.num_sites));
+  for (int s = 0; s < cfg_.num_sites; ++s) {
+    sites_.push_back(std::make_unique<des::Station>(
+        sim, "hybrid-edge/" + std::to_string(s), cfg_.servers_per_site,
+        cfg_.edge_speed, s));
+    sites_.back()->set_completion_handler([this](const des::Request& done) {
+      // Local completion: response returns over the site's access link.
+      Time extra = 0.0;
+      const faults::LinkSchedule* ls = link_schedule(done.station_id);
+      if (ls != nullptr) {
+        if (ls->partitioned(sim_.now())) {
+          client_.count_link_drop();  // response lost; timeout recovers
+          return;
+        }
+        extra = ls->extra_one_way(sim_.now());
+      }
+      const Time downlink = cfg_.edge_network.one_way(rng_) + extra;
+      const auto h = pool_.put(des::Request(done));
+      sim_.schedule_in(downlink, [this, h] {
+        des::Request r = pool_.take(h);
+        r.t_completed = sim_.now();
+        if (client_.on_response(r)) sink_.record(r);
+      });
+    });
+  }
+  cloud_.set_completion_handler([this](const des::Request& done) {
+    // Offloaded completion: the response returns directly from the cloud
+    // to the client over the WAN path.
+    Time extra = 0.0;
+    if (cfg_.cloud_link_faults) {
+      if (cfg_.cloud_link_faults->partitioned(sim_.now())) {
+        client_.count_link_drop();  // response lost; timeout recovers
+        return;
+      }
+      extra = cfg_.cloud_link_faults->extra_one_way(sim_.now());
+    }
+    const Time downlink = cfg_.cloud_network.one_way(rng_) + extra;
     const auto h = pool_.put(des::Request(done));
     sim_.schedule_in(downlink, [this, h] {
       des::Request r = pool_.take(h);
       r.t_completed = sim_.now();
-      sink_.record(r);
+      if (client_.on_response(r)) sink_.record(r);
     });
-  };
+  });
+}
 
-  sites_.reserve(static_cast<std::size_t>(cfg.num_sites));
-  for (int s = 0; s < cfg.num_sites; ++s) {
-    sites_.push_back(std::make_unique<des::Station>(
-        sim, "hybrid-edge/" + std::to_string(s), cfg.servers_per_site,
-        cfg.edge_speed, s));
-    sites_.back()->set_completion_handler(
-        [this, record_after](const des::Request& done) {
-          record_after(done, cfg_.edge_network.one_way(rng_));
-        });
+const faults::LinkSchedule* HybridDeployment::link_schedule(int site) const {
+  if (cfg_.site_link_faults.empty() || site < 0 ||
+      site >= static_cast<int>(cfg_.site_link_faults.size())) {
+    return nullptr;
   }
-  cloud_.set_completion_handler(
-      [this, record_after](const des::Request& done) {
-        record_after(done, cfg_.cloud_network.one_way(rng_));
-      });
+  return cfg_.site_link_faults[static_cast<std::size_t>(site)].get();
 }
 
 void HybridDeployment::submit(des::Request req) {
   HCE_EXPECT(req.site >= 0 && req.site < cfg_.num_sites,
              "hybrid submit: request site out of range");
-  req.t_created = sim_.now();
-  const int site_index = req.site;
-  const Time uplink = cfg_.edge_network.one_way(rng_);
-  const auto h = pool_.put(std::move(req));
-  sim_.schedule_in(uplink, [this, site_index, h] {
-    des::Request r = pool_.take(h);
-    auto& station = *sites_[static_cast<std::size_t>(site_index)];
-    if (station.queue_length() >= cfg_.offload_queue_threshold) {
-      // Forward over the edge->cloud leg; the response returns directly
-      // from the cloud to the client.
-      ++offloaded_;
-      ++r.redirects;
-      const Time forward = std::max<Time>(
-          0.0, (cfg_.cloud_network.rtt - cfg_.edge_network.rtt) / 2.0);
-      const auto fh = pool_.put(std::move(r));
-      sim_.schedule_in(forward, [this, fh] {
-        cloud_.dispatch(pool_.take(fh), rng_);
-      });
+  const int target = req.site;  // requests enter through their home site
+  client_.submit(std::move(req), target);
+}
+
+void HybridDeployment::client_send(des::Request req, int target) {
+  Time extra = 0.0;
+  const faults::LinkSchedule* ls = link_schedule(target);
+  if (ls != nullptr) {
+    if (ls->partitioned(sim_.now())) {
+      client_.count_link_drop();  // lost in transit; the timeout recovers it
       return;
     }
-    ++local_;
-    station.arrive(std::move(r));
+    extra = ls->extra_one_way(sim_.now());
+  }
+  const Time uplink = cfg_.edge_network.one_way(rng_) + extra;
+  const auto h = pool_.put(std::move(req));
+  sim_.schedule_in(uplink, [this, target, h] {
+    arrive_at_site(pool_.take(h), target);
   });
+}
+
+int HybridDeployment::client_retry_target(const des::Request& req,
+                                          int /*prev_target*/) {
+  // Re-enter the local site: its arrival logic offloads around crashed
+  // sites and long queues, so the retry inherits the hybrid's escape
+  // valve instead of needing a ring of its own.
+  return req.site;
+}
+
+void HybridDeployment::arrive_at_site(des::Request req, int site_index) {
+  auto& station = *sites_[static_cast<std::size_t>(site_index)];
+  if (!station.is_up() && cfg_.retry.failover) {
+    // Health-checked offload: the local site is crashed, so the request
+    // takes the cloud path regardless of the queue threshold. Without
+    // failover it black-holes at the station (counted in dropped()) and
+    // the client timeout takes over.
+    offload_to_cloud(std::move(req));
+    return;
+  }
+  if (station.queue_length() >= cfg_.offload_queue_threshold) {
+    offload_to_cloud(std::move(req));
+    return;
+  }
+  ++local_;
+  station.arrive(std::move(req));
+}
+
+void HybridDeployment::offload_to_cloud(des::Request req) {
+  // Forward over the edge->cloud leg; the response returns directly from
+  // the cloud to the client.
+  ++offloaded_;
+  ++req.redirects;
+  Time extra = 0.0;
+  if (cfg_.cloud_link_faults) {
+    if (cfg_.cloud_link_faults->partitioned(sim_.now())) {
+      client_.count_link_drop();  // forward leg lost; timeout recovers
+      return;
+    }
+    extra = cfg_.cloud_link_faults->extra_one_way(sim_.now());
+  }
+  const Time forward =
+      std::max<Time>(0.0, (cfg_.cloud_network.rtt - cfg_.edge_network.rtt) /
+                              2.0) +
+      extra;
+  const auto fh = pool_.put(std::move(req));
+  sim_.schedule_in(forward, [this, fh] {
+    cloud_.dispatch(pool_.take(fh), rng_);
+  });
+}
+
+void HybridDeployment::set_site_up(int site, bool up) {
+  sites_.at(static_cast<std::size_t>(site))->set_up(up);
 }
 
 double HybridDeployment::offload_fraction() const {
@@ -83,11 +166,38 @@ double HybridDeployment::edge_utilization() const {
   return sum / static_cast<double>(sites_.size());
 }
 
+double HybridDeployment::utilization() const {
+  // Busy-server integral over all provisioned servers, edge and cloud.
+  const double edge_servers =
+      static_cast<double>(cfg_.num_sites) *
+      static_cast<double>(cfg_.servers_per_site);
+  const double cloud_servers = static_cast<double>(cfg_.cloud_servers);
+  double busy = 0.0;
+  for (const auto& s : sites_) {
+    busy += s->utilization() * static_cast<double>(cfg_.servers_per_site);
+  }
+  busy += cloud_.utilization() * cloud_servers;
+  return busy / (edge_servers + cloud_servers);
+}
+
+std::uint64_t HybridDeployment::completed() const {
+  std::uint64_t n = cloud_.completed();
+  for (const auto& s : sites_) n += s->completed();
+  return n;
+}
+
+std::uint64_t HybridDeployment::dropped() const {
+  std::uint64_t n = cloud_.dropped();
+  for (const auto& s : sites_) n += s->dropped_arrivals() + s->killed();
+  return n;
+}
+
 void HybridDeployment::reset_stats() {
   for (auto& s : sites_) s->reset_stats();
   cloud_.reset_stats();
   offloaded_ = 0;
   local_ = 0;
+  client_.reset_stats();
 }
 
 }  // namespace hce::cluster

@@ -8,11 +8,19 @@
 // = ∞) and "pure cloud" (threshold = 0), and the natural deployment for
 // applications that fear inversion but want edge latency when it is
 // actually available.
+//
+// Implements the abstract cluster::Deployment interface on top of the
+// shared RetryClient: the hybrid's routing policy re-enters the *local*
+// site on retry (its arrival logic offloads around crashed sites and long
+// queues), so a faulted hybrid satisfies the same
+// offered == delivered + timeouts identity as the pure deployments.
 #pragma once
 
 #include <memory>
 #include <vector>
 
+#include "cluster/client.hpp"
+#include "cluster/deployment_base.hpp"
 #include "cluster/dispatch.hpp"
 #include "cluster/network.hpp"
 #include "des/request.hpp"
@@ -20,6 +28,7 @@
 #include "des/simulation.hpp"
 #include "des/sink.hpp"
 #include "des/station.hpp"
+#include "faults/fault.hpp"
 #include "support/rng.hpp"
 
 namespace hce::cluster {
@@ -37,33 +46,70 @@ struct HybridConfig {
   /// Offload when the local site's queue length is at least this.
   /// 0 = always offload (pure cloud); a huge value = pure edge.
   std::size_t offload_queue_threshold = 2;
+
+  // --- Fault handling ---------------------------------------------------
+  /// Client-side timeout/retry/backoff. Retries re-enter the local site;
+  /// when `retry.failover` is set, arrivals at a *crashed* site offload to
+  /// the cloud pool regardless of the queue threshold (health-checked
+  /// offload — the hybrid's escape valve doubles as its failover path).
+  RetryPolicy retry;
+  /// Per-site access-link degradation on the client<->site leg (empty =
+  /// all healthy; otherwise one entry per site, null entries allowed).
+  std::vector<std::shared_ptr<const faults::LinkSchedule>> site_link_faults;
+  /// WAN degradation on the site->cloud forward leg and the cloud->client
+  /// response leg (null = healthy).
+  std::shared_ptr<const faults::LinkSchedule> cloud_link_faults;
 };
 
-class HybridDeployment {
+class HybridDeployment final : public Deployment,
+                               private RetryClient::Transport {
  public:
   HybridDeployment(des::Simulation& sim, HybridConfig cfg, Rng rng);
 
   /// Client in region req.site issues the request now; it is served at
   /// its local edge site, or offloaded to the cloud pool if the local
-  /// queue is at or above the threshold at (post-uplink) arrival time.
-  void submit(des::Request req);
+  /// queue is at or above the threshold at (post-uplink) arrival time —
+  /// or if the local site is crashed and failover is enabled.
+  void submit(des::Request req) override;
 
-  des::Sink& sink() { return sink_; }
-  const des::Sink& sink() const { return sink_; }
+  des::Sink& sink() override { return sink_; }
+  const des::Sink& sink() const override { return sink_; }
   des::Station& site(int i) { return *sites_.at(static_cast<std::size_t>(i)); }
   Cluster& cloud() { return cloud_; }
 
-  std::uint64_t offloaded() const { return offloaded_; }
+  std::uint64_t offloaded() const override { return offloaded_; }
   std::uint64_t served_locally() const { return local_; }
   /// Fraction of completed requests served by the cloud pool.
   double offload_fraction() const;
   double edge_utilization() const;
   double cloud_utilization() const { return cloud_.utilization(); }
-  void reset_stats();
+  /// Busy-server fraction across the whole deployment (edge + cloud pool).
+  double utilization() const override;
+  std::uint64_t completed() const override;
+  /// Requests black-holed or killed at crashed edge sites or inside the
+  /// cloud pool.
+  std::uint64_t dropped() const override;
+  const ClientStats& client_stats() const override { return client_.stats(); }
+  int num_sites() const override { return cfg_.num_sites; }
+  /// Crashes/recovers one edge site (the cloud pool is not faultable
+  /// through the hybrid; it is the escape valve).
+  void set_site_up(int site, bool up) override;
+  double site_utilization(int i) const override {
+    return sites_.at(static_cast<std::size_t>(i))->utilization();
+  }
+  void reset_stats() override;
 
   const HybridConfig& config() const { return cfg_; }
 
  private:
+  // RetryClient::Transport
+  void client_send(des::Request req, int target) override;
+  int client_retry_target(const des::Request& req, int prev_target) override;
+
+  void arrive_at_site(des::Request req, int site_index);
+  void offload_to_cloud(des::Request req);
+  const faults::LinkSchedule* link_schedule(int site) const;
+
   des::Simulation& sim_;
   HybridConfig cfg_;
   Rng rng_;
@@ -75,6 +121,7 @@ class HybridDeployment {
   des::RequestPool pool_;
   std::uint64_t offloaded_ = 0;
   std::uint64_t local_ = 0;
+  RetryClient client_;
 };
 
 }  // namespace hce::cluster

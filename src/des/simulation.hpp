@@ -29,8 +29,15 @@ class Simulation {
   /// stale ids (fired/cancelled/never scheduled) are detected exactly.
   using EventId = Calendar::EventId;
 
-  /// Engine performance/accounting counters (see Calendar::Counters).
-  using Stats = Calendar::Counters;
+  /// Engine performance/accounting counters: the calendar's own counters
+  /// (see Calendar::Counters) plus engine-adjacent memory bounds reported
+  /// by components. Returned by value from stats().
+  struct Stats : Calendar::Counters {
+    /// Peak pending-request-table occupancy across every client attached
+    /// to this simulation (cluster::RetryClient's slab) — the client-side
+    /// memory bound, next to the calendar's own slab_high_water.
+    std::size_t client_pending_high_water = 0;
+  };
 
   Simulation() = default;
   Simulation(const Simulation&) = delete;
@@ -75,8 +82,21 @@ class Simulation {
   std::uint64_t events_executed() const { return executed_; }
 
   /// Engine counters: events scheduled/fired/cancelled, peak calendar
-  /// size, and the slab high-water mark (the calendar's memory bound).
-  const Stats& stats() const { return calendar_.counters(); }
+  /// size, and the slab high-water marks (calendar- and client-side
+  /// memory bounds).
+  Stats stats() const {
+    Stats s;
+    static_cast<Calendar::Counters&>(s) = calendar_.counters();
+    s.client_pending_high_water = client_pending_high_water_;
+    return s;
+  }
+
+  /// Called by clients (cluster::RetryClient) whenever their pending-table
+  /// high-water mark grows, so the engine's stats() reports the
+  /// client-side memory bound alongside the calendar's.
+  void note_client_pending_high_water(std::size_t n) {
+    if (n > client_pending_high_water_) client_pending_high_water_ = n;
+  }
 
   /// Event slots currently resident (live + recycled). Bounded by the
   /// peak number of *live* events, independent of how many were cancelled.
@@ -84,6 +104,7 @@ class Simulation {
 
  private:
   Calendar calendar_;
+  std::size_t client_pending_high_water_ = 0;
   Time now_ = 0.0;
   std::uint64_t next_seq_ = 0;
   std::uint64_t executed_ = 0;

@@ -1,0 +1,129 @@
+#include "experiment/deployment_factory.hpp"
+
+#include <algorithm>
+#include <utility>
+#include <vector>
+
+#include "autoscale/elastic_edge.hpp"
+#include "autoscale/policy.hpp"
+#include "cluster/deployment.hpp"
+#include "cluster/hybrid.hpp"
+#include "dist/distribution.hpp"
+#include "support/contracts.hpp"
+
+namespace hce::experiment {
+
+cluster::NetworkModel make_network(Time rtt, Time jitter) {
+  const Time j = std::min(jitter, 0.8 * rtt);
+  if (j <= 0.0) return cluster::NetworkModel::fixed(rtt);
+  return cluster::NetworkModel::jittered(rtt, dist::uniform(-j, j));
+}
+
+const char* network_stream_name(DeploymentKind kind) {
+  switch (kind) {
+    case DeploymentKind::kCloud: return "cloud-net";
+    case DeploymentKind::kEdge: return "edge-net";
+    case DeploymentKind::kHybrid: return "hybrid-net";
+    case DeploymentKind::kElastic: return "elastic-net";
+  }
+  return "net";
+}
+
+bool outages_apply(const Scenario& scenario, DeploymentKind kind) {
+  if (!scenario.faults.edge_site.enabled) return false;
+  return kind == DeploymentKind::kCloud ? scenario.faults.mirror_to_cloud
+                                        : true;
+}
+
+namespace {
+
+std::vector<std::shared_ptr<const faults::LinkSchedule>> site_links(
+    const Scenario& sc, const faults::FaultTrace* trace) {
+  std::vector<std::shared_ptr<const faults::LinkSchedule>> links;
+  if (trace == nullptr) return links;
+  links.resize(static_cast<std::size_t>(sc.num_sites));
+  for (int s = 0; s < sc.num_sites; ++s) {
+    links[static_cast<std::size_t>(s)] = trace->site_link_schedule(s);
+  }
+  return links;
+}
+
+}  // namespace
+
+std::unique_ptr<cluster::Deployment> make_deployment(
+    des::Simulation& sim, const Scenario& sc, DeploymentKind kind,
+    const faults::FaultTrace* trace, Rng rng) {
+  switch (kind) {
+    case DeploymentKind::kEdge: {
+      cluster::EdgeConfig cfg;
+      cfg.num_sites = sc.num_sites;
+      cfg.servers_per_site = sc.servers_per_site;
+      cfg.speed = sc.edge_speed;
+      cfg.network = make_network(sc.edge_rtt, sc.rtt_jitter);
+      cfg.geo_lb = sc.geo_lb;
+      cfg.geo_lb_queue_threshold = sc.geo_lb_queue_threshold;
+      cfg.inter_site_rtt = sc.inter_site_rtt;
+      cfg.retry = sc.retry;
+      cfg.site_link_faults = site_links(sc, trace);
+      return std::make_unique<cluster::EdgeDeployment>(sim, std::move(cfg),
+                                                       std::move(rng));
+    }
+    case DeploymentKind::kCloud: {
+      cluster::CloudConfig cfg;
+      cfg.num_servers = sc.cloud_servers();
+      cfg.network = make_network(sc.cloud_rtt, sc.rtt_jitter);
+      cfg.dispatch = sc.cloud_dispatch;
+      cfg.dispatch_overhead = sc.cloud_dispatch_overhead;
+      cfg.retry = sc.retry;
+      if (trace != nullptr) cfg.link_faults = trace->cloud_link_schedule();
+      // One edge site's worth of hardware per fault group: the CRN-paired
+      // outage of edge site i takes down cloud servers [i*m, (i+1)*m).
+      cfg.fault_group_size = sc.servers_per_site;
+      return std::make_unique<cluster::CloudDeployment>(sim, std::move(cfg),
+                                                        std::move(rng));
+    }
+    case DeploymentKind::kHybrid: {
+      cluster::HybridConfig cfg;
+      cfg.num_sites = sc.num_sites;
+      cfg.servers_per_site = sc.servers_per_site;
+      cfg.edge_speed = sc.edge_speed;
+      cfg.edge_network = make_network(sc.edge_rtt, sc.rtt_jitter);
+      cfg.cloud_servers = sc.cloud_servers();
+      cfg.cloud_network = make_network(sc.cloud_rtt, sc.rtt_jitter);
+      cfg.cloud_dispatch = sc.cloud_dispatch;
+      cfg.offload_queue_threshold = sc.hybrid_offload_threshold;
+      cfg.retry = sc.retry;
+      cfg.site_link_faults = site_links(sc, trace);
+      if (trace != nullptr) {
+        cfg.cloud_link_faults = trace->cloud_link_schedule();
+      }
+      return std::make_unique<cluster::HybridDeployment>(sim, std::move(cfg),
+                                                         std::move(rng));
+    }
+    case DeploymentKind::kElastic: {
+      autoscale::ElasticEdgeConfig cfg;
+      cfg.num_sites = sc.num_sites;
+      cfg.initial_servers_per_site = sc.servers_per_site;
+      cfg.speed = sc.edge_speed;
+      cfg.network = make_network(sc.edge_rtt, sc.rtt_jitter);
+      cfg.mu = sc.mu;
+      cfg.policy =
+          autoscale::reactive_policy(sc.elastic_util_high, sc.elastic_util_low);
+      cfg.control_interval = sc.elastic_control_interval;
+      // Cap the self-rescheduling control loop at the run horizon so the
+      // calendar drains and sim.run() terminates without an `until`.
+      cfg.control_horizon = sc.warmup + sc.duration;
+      cfg.provision_delay = sc.elastic_provision_delay;
+      cfg.scale_down_cooldown = sc.elastic_scale_down_cooldown;
+      cfg.retry = sc.retry;
+      cfg.site_link_faults = site_links(sc, trace);
+      cfg.inter_site_rtt = sc.inter_site_rtt;
+      return std::make_unique<autoscale::ElasticEdge>(sim, std::move(cfg),
+                                                      std::move(rng));
+    }
+  }
+  HCE_EXPECT(false, "make_deployment: unknown DeploymentKind");
+  return nullptr;
+}
+
+}  // namespace hce::experiment

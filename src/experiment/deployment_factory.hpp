@@ -1,0 +1,54 @@
+// Deployment factory: one Scenario, any DeploymentKind.
+//
+// Every hand-built Edge/Cloud/Hybrid/Elastic config in the experiment
+// layer funnels through make_deployment(), so a sweep, a crossover
+// search, a trace replay, or a fault drill can compare *any* pair of
+// deployment shapes — the §5 design-implication space — with identical
+// scenario knobs, CRN-paired fault traces, and the shared RetryClient
+// semantics.
+//
+// Split of responsibilities: the factory wires everything that lives
+// inside one deployment (networks with capped jitter, retry policy,
+// link-fault schedules); the *caller* wires site outages through
+// Deployment::set_site_up, because the two sides' crash/recover events
+// must interleave deterministically on one calendar (see
+// runner.cpp's wiring loop).
+#pragma once
+
+#include <memory>
+
+#include "cluster/deployment_base.hpp"
+#include "cluster/network.hpp"
+#include "des/simulation.hpp"
+#include "experiment/scenario.hpp"
+#include "faults/fault.hpp"
+#include "support/rng.hpp"
+
+namespace hce::experiment {
+
+/// RNG substream label for a kind's network sampling. Distinct per kind
+/// ("edge-net", "cloud-net", "hybrid-net", "elastic-net") so paired sides
+/// draw independent jitter; when a scenario pairs a kind with itself the
+/// caller disambiguates with stream(label, 1).
+const char* network_stream_name(DeploymentKind kind);
+
+/// Whether the trace's site outages crash this kind's sites directly.
+/// Edge-like kinds host the failing machines themselves; the cloud is
+/// only affected when faults.mirror_to_cloud maps each edge-site outage
+/// onto the corresponding server group.
+bool outages_apply(const Scenario& scenario, DeploymentKind kind);
+
+/// NetworkModel from an RTT and a uniform +/- jitter half-width, with the
+/// jitter capped at 80% of the RTT so a +/-2 ms spread configured for the
+/// cloud path cannot dominate (or invert) a 1 ms edge path.
+cluster::NetworkModel make_network(Time rtt, Time jitter);
+
+/// Builds one deployment of `kind` from the scenario's knobs. `trace` may
+/// be null (fault-free); when set, the kind's link-fault schedules are
+/// attached here. Site outages are NOT wired here — callers schedule them
+/// via Deployment::set_site_up (see outages_apply).
+std::unique_ptr<cluster::Deployment> make_deployment(
+    des::Simulation& sim, const Scenario& scenario, DeploymentKind kind,
+    const faults::FaultTrace* trace, Rng rng);
+
+}  // namespace hce::experiment

@@ -3,9 +3,10 @@
 #include <algorithm>
 #include <cmath>
 
-#include "cluster/deployment.hpp"
+#include "cluster/deployment_base.hpp"
 #include "cluster/source.hpp"
 #include "des/simulation.hpp"
+#include "experiment/deployment_factory.hpp"
 #include "stats/series.hpp"
 #include "support/contracts.hpp"
 
@@ -25,19 +26,26 @@ ReplayResult replay_comparison(std::shared_ptr<const workload::Trace> trace,
   des::Simulation sim;
   Rng rng(config.seed);
 
-  cluster::EdgeConfig edge_cfg;
-  edge_cfg.num_sites = num_sites;
-  edge_cfg.servers_per_site = config.servers_per_site;
-  edge_cfg.speed = config.edge_speed;
-  edge_cfg.network = cluster::NetworkModel::fixed(config.edge_rtt);
-  cluster::EdgeDeployment edge(sim, edge_cfg, rng.stream("edge"));
-
-  cluster::CloudConfig cloud_cfg;
-  cloud_cfg.num_servers = config.cloud_servers > 0
-                              ? config.cloud_servers
-                              : num_sites * config.servers_per_site;
-  cloud_cfg.network = cluster::NetworkModel::fixed(config.cloud_rtt);
-  cluster::CloudDeployment cloud(sim, cloud_cfg, rng.stream("cloud"));
+  // The replay shares the sweep runner's factory: describe the topology
+  // as a Scenario (zero jitter keeps the fixed networks of the original
+  // replay, which never draw from the per-deployment RNG streams) and
+  // build both sides through make_deployment.
+  Scenario sc;
+  sc.num_sites = num_sites;
+  sc.servers_per_site = config.servers_per_site;
+  sc.cloud_servers_override = config.cloud_servers;
+  sc.edge_rtt = config.edge_rtt;
+  sc.cloud_rtt = config.cloud_rtt;
+  sc.rtt_jitter = 0.0;
+  sc.edge_speed = config.edge_speed;
+  std::unique_ptr<cluster::Deployment> edge_dep = make_deployment(
+      sim, sc, DeploymentKind::kEdge, nullptr,
+      rng.stream(network_stream_name(DeploymentKind::kEdge)));
+  std::unique_ptr<cluster::Deployment> cloud_dep = make_deployment(
+      sim, sc, DeploymentKind::kCloud, nullptr,
+      rng.stream(network_stream_name(DeploymentKind::kCloud)));
+  cluster::Deployment& edge = *edge_dep;
+  cluster::Deployment& cloud = *cloud_dep;
 
   cluster::TraceReplaySource replay(
       sim, trace, [&](des::Request r) { edge.submit(std::move(r)); });

@@ -4,11 +4,12 @@
 #include <atomic>
 #include <thread>
 
-#include "cluster/deployment.hpp"
+#include "cluster/deployment_base.hpp"
 #include "cluster/source.hpp"
 #include "des/simulation.hpp"
 #include "dist/distribution.hpp"
 #include "dist/weights.hpp"
+#include "experiment/deployment_factory.hpp"
 #include "faults/fault.hpp"
 #include "stats/ci.hpp"
 #include "stats/quantiles.hpp"
@@ -16,18 +17,6 @@
 #include "support/contracts.hpp"
 
 namespace hce::experiment {
-
-namespace {
-
-cluster::NetworkModel make_network(Time rtt, Time jitter) {
-  // Cap jitter at 80% of the RTT so a +/-2 ms spread configured for the
-  // cloud path cannot dominate (or invert) a 1 ms edge path.
-  const Time j = std::min(jitter, 0.8 * rtt);
-  if (j <= 0.0) return cluster::NetworkModel::fixed(rtt);
-  return cluster::NetworkModel::jittered(rtt, dist::uniform(-j, j));
-}
-
-}  // namespace
 
 ReplicationOutput run_replication(const Scenario& sc, Rate rate_per_server,
                                   int replication) {
@@ -52,53 +41,42 @@ ReplicationOutput run_replication(const Scenario& sc, Rate rate_per_server,
                                          rng.stream("faults"));
   }
 
-  cluster::EdgeConfig edge_cfg;
-  edge_cfg.num_sites = sc.num_sites;
-  edge_cfg.servers_per_site = sc.servers_per_site;
-  edge_cfg.speed = sc.edge_speed;
-  edge_cfg.network = make_network(sc.edge_rtt, sc.rtt_jitter);
-  edge_cfg.geo_lb = sc.geo_lb;
-  edge_cfg.geo_lb_queue_threshold = sc.geo_lb_queue_threshold;
-  edge_cfg.inter_site_rtt = sc.inter_site_rtt;
-  edge_cfg.retry = sc.retry;
-  if (faulted) {
-    edge_cfg.site_link_faults.resize(static_cast<std::size_t>(sc.num_sites));
-    for (int s = 0; s < sc.num_sites; ++s) {
-      edge_cfg.site_link_faults[static_cast<std::size_t>(s)] =
-          trace.site_link_schedule(s);
-    }
-  }
-  cluster::EdgeDeployment edge(sim, edge_cfg, rng.stream("edge-net"));
+  // Both sides come from the factory: any DeploymentKind pair runs under
+  // the identical mirrored workload. Each side samples its network from
+  // its own named substream (disambiguated by index when a scenario pairs
+  // a kind with itself — stream derivation is order-independent).
+  const faults::FaultTrace* trace_ptr = faulted ? &trace : nullptr;
+  const char* name_a = network_stream_name(sc.side_a);
+  const char* name_b = network_stream_name(sc.side_b);
+  std::unique_ptr<cluster::Deployment> side_a =
+      make_deployment(sim, sc, sc.side_a, trace_ptr, rng.stream(name_a));
+  std::unique_ptr<cluster::Deployment> side_b = make_deployment(
+      sim, sc, sc.side_b, trace_ptr,
+      sc.side_b == sc.side_a ? rng.stream(name_b, 1) : rng.stream(name_b));
+  cluster::Deployment& a = *side_a;
+  cluster::Deployment& b = *side_b;
 
-  cluster::CloudConfig cloud_cfg;
-  cloud_cfg.num_servers = sc.cloud_servers();
-  cloud_cfg.network = make_network(sc.cloud_rtt, sc.rtt_jitter);
-  cloud_cfg.dispatch = sc.cloud_dispatch;
-  cloud_cfg.dispatch_overhead = sc.cloud_dispatch_overhead;
-  cloud_cfg.retry = sc.retry;
+  // Thread the crash/recover schedule onto the calendar. Site i fails at
+  // the same instants on every side that hosts the failing machines
+  // (edge-like kinds directly, the cloud via mirror_to_cloud's server
+  // groups); all transitions of one outage are scheduled back-to-back so
+  // their calendar order is fixed by construction, not by floating-point
+  // coincidence.
   if (faulted) {
-    cloud_cfg.link_faults = trace.cloud_link_schedule();
-  }
-  cluster::CloudDeployment cloud(sim, cloud_cfg, rng.stream("cloud-net"));
-
-  // Thread the crash/recover schedule onto the calendar. Edge site i and
-  // (when mirrored) cloud server group i fail at the same instants; both
-  // transitions are scheduled back-to-back so their calendar order is
-  // fixed by construction, not by floating-point coincidence.
-  if (faulted) {
+    const bool fault_a = outages_apply(sc, sc.side_a);
+    const bool fault_b = outages_apply(sc, sc.side_b);
+    cluster::Deployment* ap = side_a.get();
+    cluster::Deployment* bp = side_b.get();
     for (int s = 0; s < sc.num_sites; ++s) {
       for (const faults::Outage& o :
            trace.site_outages[static_cast<std::size_t>(s)]) {
-        sim.schedule_at(o.start, [&edge, s] { edge.site(s).set_up(false); });
-        sim.schedule_at(o.end, [&edge, s] { edge.site(s).set_up(true); });
-        if (sc.faults.mirror_to_cloud) {
-          const int group_size = sc.servers_per_site;
-          sim.schedule_at(o.start, [&cloud, s, group_size] {
-            cloud.cluster().set_server_group_up(s, group_size, false);
-          });
-          sim.schedule_at(o.end, [&cloud, s, group_size] {
-            cloud.cluster().set_server_group_up(s, group_size, true);
-          });
+        if (fault_a) {
+          sim.schedule_at(o.start, [ap, s] { ap->set_site_up(s, false); });
+          sim.schedule_at(o.end, [ap, s] { ap->set_site_up(s, true); });
+        }
+        if (fault_b) {
+          sim.schedule_at(o.start, [bp, s] { bp->set_site_up(s, false); });
+          sim.schedule_at(o.end, [bp, s] { bp->set_site_up(s, true); });
         }
       }
     }
@@ -135,8 +113,8 @@ ReplicationOutput run_replication(const Scenario& sc, Rate rate_per_server,
   // one timer per pending retry.
   const auto expected_completions =
       static_cast<std::size_t>(total_rate * horizon * 1.05) + 64;
-  edge.sink().reserve(expected_completions);
-  cloud.sink().reserve(expected_completions);
+  a.sink().reserve(expected_completions);
+  b.sink().reserve(expected_completions);
   const Time inflight_window =
       1.0 + (sc.retry.enabled ? sc.retry.timeout : 0.0);
   sim.reserve(static_cast<std::size_t>(total_rate * inflight_window) + 256);
@@ -149,34 +127,37 @@ ReplicationOutput run_replication(const Scenario& sc, Rate rate_per_server,
     auto arrivals = workload::renewal_rate_cov(site_rate, sc.arrival_cov);
     sources.push_back(std::make_unique<cluster::MirroredSource>(
         sim, std::move(arrivals), service, site,
-        [&edge](des::Request r) { edge.submit(std::move(r)); },
-        [&cloud](des::Request r) { cloud.submit(std::move(r)); },
+        [&a](des::Request r) { a.submit(std::move(r)); },
+        [&b](des::Request r) { b.submit(std::move(r)); },
         rng.stream("source", static_cast<std::uint64_t>(site))));
     sources.back()->start(sc.warmup + sc.duration);
   }
 
   // Reset station statistics at the end of warmup.
   sim.schedule_at(sc.warmup, [&] {
-    edge.reset_stats();
-    cloud.reset_stats();
+    a.reset_stats();
+    b.reset_stats();
   });
 
   sim.run();
 
-  edge.sink().drop_before(sc.warmup);
-  cloud.sink().drop_before(sc.warmup);
+  a.sink().drop_before(sc.warmup);
+  b.sink().drop_before(sc.warmup);
 
+  // Results land in the historically named slots: side_a -> the `edge`
+  // fields, side_b -> the `cloud` fields. The default pairing keeps the
+  // names literal; any other pairing reads them as "side a" / "side b".
   ReplicationOutput out;
-  out.edge_latencies = edge.sink().latencies();
-  out.cloud_latencies = cloud.sink().latencies();
-  out.edge_utilization = edge.utilization();
-  out.cloud_utilization = cloud.utilization();
-  out.edge_redirects = edge.redirects();
-  out.edge_failovers = edge.failovers();
-  out.edge_client = edge.client_stats();
-  out.cloud_client = cloud.client_stats();
-  out.edge_dropped = edge.dropped();
-  out.cloud_dropped = cloud.dropped();
+  out.edge_latencies = a.sink().latencies();
+  out.cloud_latencies = b.sink().latencies();
+  out.edge_utilization = a.utilization();
+  out.cloud_utilization = b.utilization();
+  out.edge_redirects = a.redirects();
+  out.edge_failovers = a.failovers();
+  out.edge_client = a.client_stats();
+  out.cloud_client = b.client_stats();
+  out.edge_dropped = a.dropped();
+  out.cloud_dropped = b.dropped();
   out.site_downtime.resize(static_cast<std::size_t>(sc.num_sites), 0.0);
   if (faulted) {
     for (int s = 0; s < sc.num_sites; ++s) {
@@ -188,8 +169,8 @@ ReplicationOutput run_replication(const Scenario& sc, Rate rate_per_server,
   out.site_utilization.resize(static_cast<std::size_t>(sc.num_sites));
   for (int s = 0; s < sc.num_sites; ++s) {
     const auto su = static_cast<std::size_t>(s);
-    out.site_mean_latency[su] = edge.sink().latency_summary(s).mean();
-    out.site_utilization[su] = edge.site_utilization(s);
+    out.site_mean_latency[su] = a.sink().latency_summary(s).mean();
+    out.site_utilization[su] = a.site_utilization(s);
   }
   return out;
 }

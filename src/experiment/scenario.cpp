@@ -2,6 +2,16 @@
 
 namespace hce::experiment {
 
+const char* to_string(DeploymentKind kind) {
+  switch (kind) {
+    case DeploymentKind::kCloud: return "cloud";
+    case DeploymentKind::kEdge: return "edge";
+    case DeploymentKind::kHybrid: return "hybrid";
+    case DeploymentKind::kElastic: return "elastic";
+  }
+  return "unknown";
+}
+
 namespace {
 Scenario base_scenario(std::string name, Time cloud_rtt) {
   Scenario s;

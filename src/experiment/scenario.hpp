@@ -11,6 +11,7 @@
 #include <string>
 #include <vector>
 
+#include "cluster/client.hpp"
 #include "cluster/dispatch.hpp"
 #include "faults/fault.hpp"
 #include "support/time.hpp"
@@ -18,8 +19,27 @@
 
 namespace hce::experiment {
 
+/// The deployment family of §5's design-implication story. A Scenario
+/// names *two* kinds (side_a / side_b); the sweep runner, crossover
+/// finder, and fault drills compare any pair under the identical mirrored
+/// workload and fault trace.
+enum class DeploymentKind {
+  kCloud,    ///< one consolidated site, k*m servers, long RTT
+  kEdge,     ///< k sites of m servers, short RTT (optionally geo-LB)
+  kHybrid,   ///< edge sites with threshold offload to a cloud pool
+  kElastic,  ///< autoscaled edge fleets (autoscale::ElasticEdge)
+};
+
+const char* to_string(DeploymentKind kind);
+
 struct Scenario {
   std::string name = "typical";
+
+  /// Which two deployment shapes this scenario compares. Defaults
+  /// preserve the paper's edge-vs-cloud pairing; results land in the
+  /// PointResult fields named `edge` (side_a) and `cloud` (side_b).
+  DeploymentKind side_a = DeploymentKind::kEdge;
+  DeploymentKind side_b = DeploymentKind::kCloud;
 
   // Topology: k edge sites of m servers vs a cloud of k*m servers (or a
   // fixed-size cloud when cloud_servers_override is set — used to study
@@ -61,6 +81,19 @@ struct Scenario {
   bool geo_lb = false;
   std::size_t geo_lb_queue_threshold = 2;
   Time inter_site_rtt = 0.020;
+
+  // Hybrid deployment (DeploymentKind::kHybrid): offload to the cloud
+  // pool when the local queue is at least this long.
+  std::size_t hybrid_offload_threshold = 2;
+
+  // Elastic deployment (DeploymentKind::kElastic): reactive autoscaler
+  // knobs. The factory uses autoscale::reactive_policy and caps the
+  // control loop at warmup + duration so the calendar drains.
+  Time elastic_control_interval = 30.0;
+  Time elastic_provision_delay = 60.0;
+  Time elastic_scale_down_cooldown = 120.0;
+  double elastic_util_high = 0.8;  ///< scale out above this utilization
+  double elastic_util_low = 0.4;   ///< scale in below this utilization
 
   // Fault injection (hce::faults). The schedule is materialized once per
   // replication from a dedicated RNG substream and applied to *both*

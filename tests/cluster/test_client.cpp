@@ -1,0 +1,247 @@
+// RetryClient unit tests against a scripted transport.
+//
+// The deployment-level behavior (ring failover, link-fault drops, crash
+// recovery) is covered in test_failover.cpp; here the shared client loop
+// is isolated behind a fake Transport so the token/slab machinery itself
+// is pinned: epoch-correct stats across a mid-flight reset, duplicate
+// suppression in every window where a stale response can arrive, the
+// retry-target hook's call discipline, and slot reuse under generation
+// tags.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <utility>
+#include <vector>
+
+#include "cluster/client.hpp"
+#include "des/request.hpp"
+#include "des/simulation.hpp"
+
+namespace hce::cluster {
+namespace {
+
+des::Request make_request(int site) {
+  des::Request r;
+  r.site = site;
+  r.service_demand = 0.1;
+  return r;
+}
+
+/// Scripted deployment side: records every attempt, optionally echoes a
+/// response back after a fixed delay, and advances the target by one per
+/// re-issue (a ring with no notion of "down", so exhaustion is driven
+/// purely by the client's budget).
+struct ScriptedTransport final : RetryClient::Transport {
+  explicit ScriptedTransport(des::Simulation& s) : sim(s) {}
+
+  void client_send(des::Request req, int target) override {
+    sent_targets.push_back(target);
+    send_times.push_back(sim.now());
+    // Per-attempt echo delay: respond_delays[i] for the i-th send (the
+    // last entry repeats; empty = respond_after for all; < 0 black-holes
+    // the attempt).
+    Time delay = respond_after;
+    if (!respond_delays.empty()) {
+      const std::size_t i =
+          std::min(sent_targets.size() - 1, respond_delays.size() - 1);
+      delay = respond_delays[i];
+    }
+    if (delay >= 0.0) {
+      // Handlers carry at most a pointer-sized capture (the engine's
+      // inline-buffer rule): park the payload, capture its index.
+      outbox.push_back(std::move(req));
+      const std::size_t idx = outbox.size() - 1;
+      sim.schedule_in(delay, [this, idx] {
+        des::Request copy = outbox[idx];
+        copy.t_completed = sim.now();
+        if (client->on_response(copy)) ++accepted;
+      });
+    }
+  }
+
+  int client_retry_target(const des::Request& req, int prev_target) override {
+    (void)req;
+    retry_prevs.push_back(prev_target);
+    return prev_target + 1;
+  }
+
+  des::Simulation& sim;
+  RetryClient* client = nullptr;
+  Time respond_after = -1.0;  ///< < 0: black-hole every attempt
+  std::vector<Time> respond_delays;  ///< optional per-attempt overrides
+  int accepted = 0;           ///< responses on_response() said were first
+  std::vector<des::Request> outbox;  ///< attempts awaiting their echo
+  std::vector<int> sent_targets;
+  std::vector<Time> send_times;
+  std::vector<int> retry_prevs;
+};
+
+RetryPolicy tight_policy() {
+  RetryPolicy p;
+  p.enabled = true;
+  p.timeout = 0.5;
+  p.max_retries = 2;
+  p.backoff_base = 0.05;
+  p.backoff_factor = 2.0;
+  return p;
+}
+
+TEST(RetryClient, DisabledPolicyIsPassThrough) {
+  des::Simulation sim;
+  ScriptedTransport t(sim);
+  RetryClient client(sim, RetryPolicy{}, t);  // enabled = false
+  t.client = &client;
+  t.respond_after = 0.1;
+  sim.schedule_in(0.0, [&] { client.submit(make_request(0), 7); });
+  sim.run();
+  EXPECT_EQ(t.sent_targets, std::vector<int>{7});
+  EXPECT_EQ(t.accepted, 1);
+  EXPECT_EQ(client.stats().offered, 1u);
+  EXPECT_EQ(client.stats().delivered, 1u);
+  EXPECT_EQ(client.pending_in_flight(), 0u);   // nothing was registered
+  EXPECT_EQ(client.pending_high_water(), 0u);  // slab never touched
+}
+
+TEST(RetryClient, ExhaustsBudgetConsultingRetryTargetEachReissue) {
+  des::Simulation sim;
+  ScriptedTransport t(sim);  // black hole
+  RetryClient client(sim, tight_policy(), t);
+  t.client = &client;
+  sim.schedule_in(0.0, [&] { client.submit(make_request(0), 3); });
+  sim.run();
+
+  // Attempts at t = 0, 0.55 (timeout 0.5 + backoff 0.05), 1.15 (+0.5+0.1);
+  // the final timeout drains the calendar at 1.65.
+  ASSERT_EQ(t.send_times.size(), 3u);
+  EXPECT_DOUBLE_EQ(t.send_times[0], 0.0);
+  EXPECT_DOUBLE_EQ(t.send_times[1], 0.55);
+  EXPECT_DOUBLE_EQ(t.send_times[2], 1.15);
+  EXPECT_DOUBLE_EQ(sim.now(), 1.65);
+  // The routing hook saw each previous target and its answer was used.
+  EXPECT_EQ(t.retry_prevs, (std::vector<int>{3, 4}));
+  EXPECT_EQ(t.sent_targets, (std::vector<int>{3, 4, 5}));
+
+  const ClientStats& cs = client.stats();
+  EXPECT_EQ(cs.offered, 1u);
+  EXPECT_EQ(cs.retries, 2u);
+  EXPECT_EQ(cs.timeouts, 1u);
+  EXPECT_EQ(cs.delivered, 0u);
+  EXPECT_EQ(cs.offered, cs.delivered + cs.timeouts);
+  EXPECT_EQ(client.pending_in_flight(), 0u);
+  EXPECT_EQ(client.pending_high_water(), 1u);
+  // The slab bound surfaces in the simulation-wide stats.
+  EXPECT_EQ(sim.stats().client_pending_high_water, 1u);
+}
+
+TEST(RetryClient, ResponseInBackoffGapIsADuplicate) {
+  // Attempt 1's response lands at 0.52 — after the 0.5 timeout fired but
+  // before the 0.55 re-issue. Nothing is awaiting in that gap, so the
+  // response must be dropped exactly as if the entry had been erased;
+  // attempt 2 answers promptly (0.55 + 0.1) and is the accepted first.
+  des::Simulation sim;
+  ScriptedTransport t(sim);
+  RetryClient client(sim, tight_policy(), t);
+  t.client = &client;
+  t.respond_delays = {0.52, 0.1};
+  sim.schedule_in(0.0, [&] { client.submit(make_request(0), 0); });
+  sim.run();
+  EXPECT_EQ(t.sent_targets.size(), 2u);
+  EXPECT_EQ(t.accepted, 1);
+  const ClientStats& cs = client.stats();
+  EXPECT_EQ(cs.delivered, 1u);
+  EXPECT_EQ(cs.duplicates, 1u);
+  EXPECT_EQ(cs.retries, 1u);
+  EXPECT_EQ(cs.timeouts, 0u);
+  EXPECT_EQ(cs.offered, cs.delivered + cs.timeouts);
+  EXPECT_EQ(client.pending_in_flight(), 0u);
+}
+
+TEST(RetryClient, StaleTokenAfterResolutionMissesViaGeneration) {
+  // Replay the accepted response verbatim after the request resolved (and
+  // after the slot was recycled by a second request): the bumped
+  // generation must make the stale token miss instead of double-counting.
+  des::Simulation sim;
+  ScriptedTransport t(sim);
+  RetryClient client(sim, tight_policy(), t);
+  t.client = &client;
+  t.respond_after = 0.1;
+  des::Request stale;
+  sim.schedule_in(0.0, [&] { client.submit(make_request(0), 0); });
+  sim.schedule_in(0.15, [&] {
+    stale = make_request(0);
+    // Forge the token the first request used: slot 0, generation 1.
+    stale.client_token = (std::uint64_t{1} << 32) | 0u;
+    client.submit(make_request(1), 1);  // recycles slot 0, generation 2
+  });
+  sim.schedule_in(0.2, [&] {
+    stale.t_completed = sim.now();
+    EXPECT_FALSE(client.on_response(stale));
+  });
+  sim.run();
+  const ClientStats& cs = client.stats();
+  EXPECT_EQ(cs.offered, 2u);
+  EXPECT_EQ(cs.delivered, 2u);
+  EXPECT_EQ(cs.duplicates, 1u);
+  EXPECT_EQ(client.pending_high_water(), 1u);  // slot 0 was reused
+}
+
+TEST(RetryClient, ResetMidFlightTimeoutTouchesNoCounters) {
+  // A request offered before reset_stats() but timing out after it must
+  // not appear in the new epoch's counters (no phantom timeouts in the
+  // measured window) while still being released from the slab.
+  des::Simulation sim;
+  ScriptedTransport t(sim);  // black hole
+  RetryPolicy p = tight_policy();
+  p.max_retries = 0;  // single attempt: timeout at 0.5 resolves it
+  RetryClient client(sim, p, t);
+  t.client = &client;
+  sim.schedule_in(0.0, [&] { client.submit(make_request(0), 0); });
+  sim.schedule_in(0.25, [&] { client.reset_stats(); });
+  sim.run();
+  const ClientStats& cs = client.stats();
+  EXPECT_EQ(cs.offered, 0u);
+  EXPECT_EQ(cs.timeouts, 0u);
+  EXPECT_EQ(cs.retries, 0u);
+  EXPECT_EQ(cs.delivered, 0u);
+  EXPECT_EQ(client.pending_in_flight(), 0u);  // still released
+}
+
+TEST(RetryClient, ResetMidFlightResponseDeliversButDoesNotCount) {
+  // The symmetric case: the pre-reset request *succeeds* after the reset.
+  // The response is still the first for its logical request (the caller
+  // records it — latency samples are filtered by warmup elsewhere), but
+  // the delivered counter belongs to the old epoch and stays zero.
+  des::Simulation sim;
+  ScriptedTransport t(sim);
+  RetryClient client(sim, tight_policy(), t);
+  t.client = &client;
+  t.respond_after = 0.4;
+  sim.schedule_in(0.0, [&] { client.submit(make_request(0), 0); });
+  sim.schedule_in(0.25, [&] { client.reset_stats(); });
+  sim.run();
+  EXPECT_EQ(t.accepted, 1);  // on_response returned true
+  const ClientStats& cs = client.stats();
+  EXPECT_EQ(cs.offered, 0u);
+  EXPECT_EQ(cs.delivered, 0u);
+  EXPECT_EQ(cs.timeouts, 0u);
+  EXPECT_EQ(client.pending_in_flight(), 0u);
+}
+
+TEST(RetryClient, SlabHighWaterTracksConcurrentPending) {
+  des::Simulation sim;
+  ScriptedTransport t(sim);
+  RetryClient client(sim, tight_policy(), t);
+  t.client = &client;
+  t.respond_after = 0.2;
+  sim.schedule_in(0.0, [&] {
+    for (int i = 0; i < 5; ++i) client.submit(make_request(i), i);
+  });
+  sim.run();
+  EXPECT_EQ(client.stats().delivered, 5u);
+  EXPECT_EQ(client.pending_in_flight(), 0u);
+  EXPECT_EQ(client.pending_high_water(), 5u);
+  EXPECT_EQ(sim.stats().client_pending_high_water, 5u);
+}
+
+}  // namespace
+}  // namespace hce::cluster

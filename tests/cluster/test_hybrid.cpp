@@ -2,7 +2,11 @@
 
 #include <gtest/gtest.h>
 
+#include <memory>
+#include <vector>
+
 #include "cluster/source.hpp"
+#include "faults/fault.hpp"
 #include "des/simulation.hpp"
 #include "stats/quantiles.hpp"
 #include "support/contracts.hpp"
@@ -133,6 +137,72 @@ TEST(Hybrid, StatsResetClearsCounters) {
   h.reset_stats();
   EXPECT_EQ(h.offloaded(), 0u);
   EXPECT_EQ(h.served_locally(), 0u);
+}
+
+// --- Faults + retry (regression: the hybrid used to lose these) ------------
+
+TEST(Hybrid, CrashedSiteOffloadsToCloudInsteadOfDropping) {
+  des::Simulation sim;
+  HybridConfig cfg = base_config(1000000);  // never offload by queue length
+  cfg.retry.enabled = true;
+  cfg.retry.timeout = 5.0;
+  HybridDeployment h(sim, cfg, Rng(13));
+  h.set_site_up(0, false);
+  sim.schedule_in(0.0, [&] { h.submit(make_request(0, 0.1)); });
+  sim.run();
+  // The health check routes around the crash: served by the cloud pool,
+  // nothing dropped, nothing timed out.
+  EXPECT_EQ(h.offloaded(), 1u);
+  EXPECT_EQ(h.dropped(), 0u);
+  ASSERT_EQ(h.sink().size(), 1u);
+  const ClientStats& cs = h.client_stats();
+  EXPECT_EQ(cs.offered, 1u);
+  EXPECT_EQ(cs.delivered, 1u);
+  EXPECT_EQ(cs.offered, cs.delivered + cs.timeouts);
+}
+
+TEST(Hybrid, CrashedSiteWithoutFailoverIsRecoveredByRetry) {
+  des::Simulation sim;
+  HybridConfig cfg = base_config(1000000);
+  cfg.retry.enabled = true;
+  cfg.retry.timeout = 0.3;
+  cfg.retry.max_retries = 2;
+  cfg.retry.backoff_base = 0.05;
+  cfg.retry.failover = false;  // no health-checked offload: drop at site
+  HybridDeployment h(sim, cfg, Rng(14));
+  h.set_site_up(0, false);
+  sim.schedule_in(0.5, [&] { h.set_site_up(0, true); });
+  sim.schedule_in(0.0, [&] { h.submit(make_request(0, 0.1)); });
+  sim.run();
+  const ClientStats& cs = h.client_stats();
+  EXPECT_EQ(cs.offered, 1u);
+  EXPECT_EQ(cs.delivered, 1u);  // a re-issue after recovery succeeds
+  EXPECT_GE(cs.retries, 1u);
+  EXPECT_GT(h.dropped(), 0u);  // the attempts that hit the down site
+  EXPECT_EQ(cs.offered, cs.delivered + cs.timeouts);
+}
+
+TEST(Hybrid, PartitionedCloudLinkDropsForwardLegAndRetryRecovers) {
+  des::Simulation sim;
+  HybridConfig cfg = base_config(0);  // threshold 0: everything offloads
+  cfg.retry.enabled = true;
+  cfg.retry.timeout = 0.3;
+  cfg.retry.max_retries = 2;
+  cfg.retry.backoff_base = 0.05;
+  // Cloud path partitioned for [0, 0.2): the forward leg of the first
+  // attempt vanishes; the re-issue after the timeout goes through.
+  cfg.cloud_link_faults = std::make_shared<const faults::LinkSchedule>(
+      std::vector<faults::LinkEvent>{{0.0, 0.2, 0.0, true}});
+  HybridDeployment h(sim, cfg, Rng(15));
+  sim.schedule_in(0.0, [&] { h.submit(make_request(0, 0.1)); });
+  sim.run();
+  const ClientStats& cs = h.client_stats();
+  EXPECT_EQ(cs.offered, 1u);
+  EXPECT_EQ(cs.delivered, 1u);
+  EXPECT_GE(cs.link_drops, 1u);
+  EXPECT_GE(cs.retries, 1u);
+  EXPECT_EQ(cs.offered, cs.delivered + cs.timeouts);
+  EXPECT_EQ(h.sink().size(), 1u);
 }
 
 TEST(Hybrid, RejectsInvalidConfigAndSites) {

@@ -91,7 +91,9 @@ TEST(FaultTrace, OutagesAreSortedNonOverlappingAndStartInsideHorizon) {
     for (std::size_t i = 0; i < site.size(); ++i) {
       EXPECT_LT(site[i].start, horizon);
       EXPECT_GT(site[i].end, site[i].start);
-      if (i > 0) EXPECT_GE(site[i].start, site[i - 1].end);
+      if (i > 0) {
+        EXPECT_GE(site[i].start, site[i - 1].end);
+      }
     }
   }
 }

@@ -233,6 +233,93 @@ TEST_P(FaultConservation, OfferedEqualsDeliveredPlusTimedOut) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, FaultConservation, ::testing::Range(0, 4));
 
+// --- Conservation across every DeploymentKind ------------------------------
+//
+// The identity is a property of the shared RetryClient, so it must hold
+// no matter which deployment shape sits behind the transport: edge ring
+// failover, hybrid threshold offload (the regression this PR adds — the
+// hybrid used to lose requests silently under faults), and the
+// autoscaled elastic fleet whose stations can be crashed mid-service.
+
+experiment::Scenario kind_fault_scenario(experiment::DeploymentKind kind,
+                                         std::uint64_t seed) {
+  experiment::Scenario sc = experiment::Scenario::typical_cloud();
+  sc.side_a = kind;  // side_b stays the cloud: covered in every pairing
+  sc.num_sites = 3;
+  sc.warmup = 0.0;
+  sc.duration = 400.0;
+  sc.replications = 1;
+  sc.seed = seed;
+  sc.faults.edge_site.enabled = true;
+  sc.faults.edge_site.mttf = 60.0;
+  sc.faults.edge_site.mttr = 8.0;
+  sc.faults.edge_link.enabled = true;
+  sc.faults.edge_link.mean_spike_gap = 40.0;
+  sc.faults.edge_link.mean_spike_duration = 1.5;
+  sc.faults.edge_link.partition_fraction = 0.5;
+  sc.faults.cloud_link.enabled = true;
+  sc.faults.cloud_link.mean_spike_gap = 80.0;
+  sc.faults.cloud_link.mean_spike_duration = 1.0;
+  sc.faults.cloud_link.partition_fraction = 0.5;
+  sc.retry.enabled = true;
+  sc.retry.timeout = 0.4;
+  sc.retry.max_retries = 2;
+  return sc;
+}
+
+class KindConservation
+    : public ::testing::TestWithParam<experiment::DeploymentKind> {};
+
+TEST_P(KindConservation, HoldsUnderFaults) {
+  const auto out =
+      experiment::run_replication(kind_fault_scenario(GetParam(), 4242), 8.0, 0);
+  // side_a lands in the `edge`-named slots, side_b (cloud) in `cloud`.
+  EXPECT_EQ(out.edge_client.offered,
+            out.edge_client.delivered + out.edge_client.timeouts);
+  EXPECT_EQ(out.cloud_client.offered,
+            out.cloud_client.delivered + out.cloud_client.timeouts);
+  EXPECT_EQ(out.edge_client.offered, out.cloud_client.offered);
+  EXPECT_EQ(out.edge_client.delivered, out.edge_latencies.size());
+  // The drill is only meaningful if the fault machinery engaged.
+  EXPECT_GT(out.edge_client.retries + out.cloud_client.retries, 0u);
+}
+
+TEST_P(KindConservation, FaultFreeDeliversEverything) {
+  experiment::Scenario sc = kind_fault_scenario(GetParam(), 4243);
+  sc.faults = faults::FaultConfig{};
+  sc.retry.timeout = 30.0;  // far above any sojourn: must never fire
+  const auto out = experiment::run_replication(sc, 8.0, 0);
+  EXPECT_EQ(out.edge_client.timeouts, 0u);
+  EXPECT_EQ(out.edge_client.retries, 0u);
+  EXPECT_EQ(out.edge_client.offered, out.edge_client.delivered);
+  EXPECT_EQ(out.cloud_client.offered, out.cloud_client.delivered);
+  EXPECT_EQ(out.edge_client.offered, out.cloud_client.offered);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllKinds, KindConservation,
+    ::testing::Values(experiment::DeploymentKind::kEdge,
+                      experiment::DeploymentKind::kHybrid,
+                      experiment::DeploymentKind::kElastic),
+    [](const ::testing::TestParamInfo<experiment::DeploymentKind>& info) {
+      return experiment::to_string(info.param);
+    });
+
+TEST(KindConservation, SameKindPairUsesIndependentStreams) {
+  // A scenario may pair a kind with itself (e.g. hybrid-vs-hybrid under
+  // two mitigation settings); the factory disambiguates the network
+  // substreams by index so the sides stay CRN-paired on the workload but
+  // independent on jitter.
+  experiment::Scenario sc = kind_fault_scenario(experiment::DeploymentKind::kHybrid, 4244);
+  sc.side_b = experiment::DeploymentKind::kHybrid;
+  const auto out = experiment::run_replication(sc, 8.0, 0);
+  EXPECT_EQ(out.edge_client.offered, out.cloud_client.offered);
+  EXPECT_EQ(out.edge_client.offered,
+            out.edge_client.delivered + out.edge_client.timeouts);
+  EXPECT_EQ(out.cloud_client.offered,
+            out.cloud_client.delivered + out.cloud_client.timeouts);
+}
+
 TEST(FaultConservation, FaultFreeRetryRunsDeliverEverything) {
   experiment::Scenario sc = experiment::Scenario::typical_cloud();
   sc.num_sites = 2;
