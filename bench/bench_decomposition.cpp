@@ -1,0 +1,211 @@
+// Latency decomposition: the inversion *mechanism* behind Figures 3/4.
+//
+// The paper argues (Eq. 1/2, Lemmas 3.1-3.3) that the edge inverts
+// because its queueing penalty outgrows its network advantage. The
+// end-to-end figures can only show the symptom; with the observability
+// layer (src/obs/) this binary plots the ledger itself across the rate
+// axis, for the typical (~25 ms, Fig. 3) and distant (~54 ms, Fig. 4)
+// clouds:
+//
+//   wait_penalty  = w_edge  - w_cloud     (k M/M/1 queues vs one M/M/k)
+//   net_advantage = n_cloud - n_edge      (constant in load)
+//
+// and checks that end-to-end inversion happens exactly where the ledger
+// flips sign. With Markovian knobs (arrival/service CoV = 1, zero
+// overhead) the measured per-component waits are also validated against
+// the closed forms in src/queueing/: each edge site is an M/M/1 with
+// lambda = rate, the cloud an M/M/k with lambda = rate * k.
+#include "bench_common.hpp"
+
+#include <cmath>
+#include <cstdint>
+#include <iostream>
+#include <vector>
+
+#include "des/sink.hpp"
+#include "experiment/report.hpp"
+#include "experiment/runner.hpp"
+#include "obs/breakdown.hpp"
+#include "queueing/mm1.hpp"
+#include "queueing/mmk.hpp"
+#include "support/rng.hpp"
+#include "support/table.hpp"
+
+namespace {
+
+using namespace hce;
+
+experiment::Scenario scenario(bool distant) {
+  auto s = distant ? experiment::Scenario::distant_cloud()
+                   : experiment::Scenario::typical_cloud();
+  // Markovian shape so the analytic M/M/1 and M/M/k waits are exact.
+  s.arrival_cov = 1.0;
+  s.service_cov = 1.0;
+  s.request_overhead = 0.0;
+  s.warmup = 150.0;
+  s.duration = 1200.0;
+  s.replications = 3;
+  s.observe = true;
+  return s;
+}
+
+std::vector<Rate> axis() {
+  // The paper's 6..12 axis extended down so the pre-crossover regime
+  // (advantage > penalty) is visible in the same table.
+  std::vector<Rate> a;
+  for (double r = 2.0; r <= 12.0; r += 1.0) a.push_back(r);
+  return a;
+}
+
+/// |measured - analytic| within 3 replication-CI half-widths or a 15%
+/// relative band (whichever is looser; plus 1 ms of slack for the very
+/// small waits at the bottom of the axis).
+bool agrees(double measured, double analytic, double ci_half_width) {
+  const double tol =
+      std::max(3.0 * ci_half_width, 0.15 * analytic + 0.001);
+  return std::abs(measured - analytic) <= tol;
+}
+
+struct LedgerSummary {
+  bool edge_keeps_network_advantage = true;
+  bool has_pre_crossover_rate = false;   ///< advantage > penalty somewhere
+  bool has_post_crossover_rate = false;  ///< penalty > advantage somewhere
+  bool flip_matches_inversion = true;    ///< ledger sign == e2e ordering
+  bool waits_match_theory = true;
+};
+
+LedgerSummary ledger(const experiment::Scenario& sc,
+                     const std::vector<experiment::PointResult>& sweep) {
+  LedgerSummary out;
+  const int k = sc.cloud_servers();
+  TextTable t({"req/s/server", "w_edge_ms", "w_mm1_ms", "w_cloud_ms",
+               "w_mmk_ms", "penalty_ms", "advantage_ms", "edge_e2e_ms",
+               "cloud_e2e_ms", "inverted"});
+  for (const auto& p : sweep) {
+    const obs::LatencyBreakdown& e = p.edge.breakdown;
+    const obs::LatencyBreakdown& c = p.cloud.breakdown;
+    const double penalty = e.wait.mean() - c.wait.mean();
+    const double advantage = c.network.mean() - e.network.mean();
+    const queueing::Mm1 mm1{p.rate_per_server, sc.mu};
+    const queueing::Mmk mmk{p.rate_per_server * static_cast<double>(k),
+                            sc.mu, k};
+    t.row()
+        .add(p.rate_per_server, 1)
+        .add_ms(e.wait.mean(), 2)
+        .add_ms(mm1.mean_wait(), 2)
+        .add_ms(c.wait.mean(), 2)
+        .add_ms(mmk.mean_wait(), 2)
+        .add_ms(penalty, 2)
+        .add_ms(advantage, 2)
+        .add_ms(p.edge.mean, 2)
+        .add_ms(p.cloud.mean, 2)
+        .add(penalty > advantage ? 1.0 : 0.0, 0);
+    if (e.network.mean() >= c.network.mean()) {
+      out.edge_keeps_network_advantage = false;
+    }
+    if (penalty < advantage) out.has_pre_crossover_rate = true;
+    if (penalty > advantage) out.has_post_crossover_rate = true;
+    // The ledger's sign must agree with the end-to-end ordering (up to
+    // the service component, which is common to both sides).
+    const bool ledger_says_inverted = penalty > advantage;
+    const bool e2e_inverted = p.edge.mean > p.cloud.mean;
+    if (ledger_says_inverted != e2e_inverted) {
+      out.flip_matches_inversion = false;
+    }
+    if (!agrees(e.wait.mean(), mm1.mean_wait(),
+                e.wait.mean_ci_half_width) ||
+        !agrees(c.wait.mean(), mmk.mean_wait(),
+                c.wait.mean_ci_half_width)) {
+      out.waits_match_theory = false;
+    }
+  }
+  t.print(std::cout);
+  return out;
+}
+
+void reproduce() {
+  bench::banner(
+      "Latency decomposition — the ledger behind the Fig. 3/4 inversion",
+      "the edge keeps its network advantage at every rate, but past the "
+      "crossover its queueing penalty w_edge - w_cloud exceeds the "
+      "advantage n_cloud - n_edge; end-to-end inversion happens exactly "
+      "where the ledger flips sign, and the component waits match the "
+      "M/M/1 / M/M/k closed forms");
+
+  for (const bool distant : {false, true}) {
+    const auto sc = scenario(distant);
+    const auto sweep = experiment::run_sweep(sc, axis());
+
+    bench::section(std::string(distant ? "distant" : "typical") +
+                   " cloud — component means (report::breakdown_table)");
+    experiment::breakdown_table(sweep).print(std::cout);
+
+    bench::section(std::string(distant ? "distant" : "typical") +
+                   " cloud — inversion ledger vs closed forms");
+    const LedgerSummary s = ledger(sc, sweep);
+
+    bench::section("claims (" + std::string(distant ? "Fig. 4" : "Fig. 3") +
+                   ")");
+    bench::check("edge network time below cloud network time at every rate",
+                 s.edge_keeps_network_advantage);
+    bench::check("low rates: network advantage exceeds queueing penalty",
+                 s.has_pre_crossover_rate);
+    bench::check("high rates: queueing penalty exceeds network advantage",
+                 s.has_post_crossover_rate);
+    bench::check("end-to-end inversion occurs exactly at the ledger flip",
+                 s.flip_matches_inversion);
+    bench::check("component waits match M/M/1 (edge) and M/M/k (cloud)",
+                 s.waits_match_theory);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Microbenchmarks: breakdown collection over sink records — the
+// post-processing cost the observability layer adds per replication.
+// ---------------------------------------------------------------------------
+
+std::vector<des::CompletionRecord> synthetic_records(std::size_t n) {
+  std::vector<des::CompletionRecord> recs;
+  recs.reserve(n);
+  Rng rng(12345);
+  for (std::size_t i = 0; i < n; ++i) {
+    des::CompletionRecord r{};
+    r.t_created = static_cast<Time>(i) * 0.01;
+    r.network = 0.025f + 0.001f * static_cast<float>(rng.uniform01());
+    r.waiting = 0.050f * static_cast<float>(rng.uniform01());
+    r.service = 0.077f + 0.01f * static_cast<float>(rng.uniform01());
+    r.retry_penalty = (i % 64 == 0) ? 0.4f : 0.0f;
+    r.end_to_end = r.network + r.waiting + r.service + r.retry_penalty;
+    r.t_completed = r.t_created + static_cast<Time>(r.end_to_end);
+    r.site = static_cast<std::int16_t>(i % 5);
+    recs.push_back(r);
+  }
+  return recs;
+}
+
+void BM_CollectBreakdown(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto recs = synthetic_records(n);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(obs::collect_breakdown(recs));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_CollectBreakdown)->Arg(4096)->Arg(65536);
+
+void BM_MergeBreakdown(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const std::vector<std::vector<des::CompletionRecord>> reps{
+      synthetic_records(n), synthetic_records(n), synthetic_records(n)};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(obs::merge_breakdown(reps));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(3 * n));
+}
+BENCHMARK(BM_MergeBreakdown)->Arg(16384);
+
+}  // namespace
+
+HCE_BENCH_MAIN(reproduce)

@@ -2,6 +2,7 @@
 
 #include <numeric>
 
+#include "obs/sampler.hpp"
 #include "support/contracts.hpp"
 
 namespace hce::autoscale {
@@ -229,6 +230,25 @@ void ElasticEdge::reset_stats() {
   scaling_actions_ = 0;
   failover_count_ = 0;
   client_.reset_stats();
+}
+
+void ElasticEdge::instrument(obs::Sampler& sampler) const {
+  for (const auto& s : sites_) {
+    const DynamicStation* st = s.get();
+    // Bin-average busy servers (not a fraction: the provisioned-server
+    // denominator changes as the autoscaler acts).
+    sampler.add_rate_probe(st->name() + "/busy",
+                           [st] { return st->busy_seconds(); });
+    sampler.add_probe(st->name() + "/queue", [st] {
+      return static_cast<double>(st->queue_length());
+    });
+    sampler.add_probe(st->name() + "/provisioned", [st] {
+      return static_cast<double>(st->provisioned_servers());
+    });
+  }
+  sampler.add_probe("elastic-edge/client_pending", [this] {
+    return static_cast<double>(client_.pending_in_flight());
+  });
 }
 
 }  // namespace hce::autoscale

@@ -98,6 +98,11 @@ class ElasticEdge final : public cluster::Deployment,
   /// Scaling actions applied (target changes).
   std::uint64_t scaling_actions() const { return scaling_actions_; }
   void reset_stats() override;
+  /// Per-site busy-rate/queue/provisioned probes plus
+  /// `elastic-edge/client_pending` (DynamicStations are not des::Stations,
+  /// so utilization is reported as bin-average busy servers instead of a
+  /// busy fraction — the denominator varies as the fleet scales).
+  void instrument(obs::Sampler& sampler) const override;
 
   const ElasticEdgeConfig& config() const { return cfg_; }
 

@@ -6,6 +6,7 @@ namespace hce::cluster {
 
 void RetryClient::submit(des::Request req, int target) {
   req.t_created = sim_.now();
+  req.t_sent = sim_.now();
   ++stats_.offered;
   if (!policy_.enabled) {
     transport_.client_send(std::move(req), target);
@@ -85,6 +86,10 @@ void RetryClient::start_attempt(std::uint32_t slot, int attempt) {
   p.timeout_event = sim_.schedule_in(policy_.timeout,
                                      [this, slot] { on_timeout(slot); });
   des::Request copy = p.req;
+  // Attempt send time: for first attempts this equals t_created; for
+  // re-issues the gap t_sent - t_created is exactly the retry penalty
+  // (lost attempts plus backoff) of the decomposition in des/request.hpp.
+  copy.t_sent = sim_.now();
   transport_.client_send(std::move(copy), p.target);
 }
 

@@ -3,6 +3,7 @@
 #include <limits>
 #include <utility>
 
+#include "obs/sampler.hpp"
 #include "support/contracts.hpp"
 
 namespace hce::cluster {
@@ -81,6 +82,15 @@ void CloudDeployment::set_site_up(int site, bool up) {
 void CloudDeployment::reset_stats() {
   cluster_.reset_stats();
   client_.reset_stats();
+}
+
+void CloudDeployment::instrument(obs::Sampler& sampler) const {
+  for (const auto& st : cluster_.stations()) {
+    sampler.add_station_probes(*st);
+  }
+  sampler.add_probe("cloud/client_pending", [this] {
+    return static_cast<double>(client_.pending_in_flight());
+  });
 }
 
 // ---------------------------------------------------------------------------
@@ -262,6 +272,13 @@ void EdgeDeployment::reset_stats() {
   redirect_count_ = 0;
   failover_count_ = 0;
   client_.reset_stats();
+}
+
+void EdgeDeployment::instrument(obs::Sampler& sampler) const {
+  for (const auto& s : sites_) sampler.add_station_probes(*s);
+  sampler.add_probe("edge/client_pending", [this] {
+    return static_cast<double>(client_.pending_in_flight());
+  });
 }
 
 }  // namespace hce::cluster

@@ -81,6 +81,8 @@ class CloudDeployment final : public Deployment,
   /// Fault groups (server blocks mirroring edge sites); >= 1.
   int num_sites() const override;
   void set_site_up(int site, bool up) override;
+  /// Station util/queue probes plus `cloud/client_pending`.
+  void instrument(obs::Sampler& sampler) const override;
   const CloudConfig& config() const { return cfg_; }
   Cluster& cluster() { return cluster_; }
 
@@ -161,6 +163,8 @@ class EdgeDeployment final : public Deployment,
   /// Requests black-holed or killed at crashed sites.
   std::uint64_t dropped() const override;
   void reset_stats() override;
+  /// Per-site util/queue probes plus `edge/client_pending`.
+  void instrument(obs::Sampler& sampler) const override;
   const EdgeConfig& config() const { return cfg_; }
 
  private:

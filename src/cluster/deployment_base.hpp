@@ -24,6 +24,10 @@
 #include "des/request.hpp"
 #include "des/sink.hpp"
 
+namespace hce::obs {
+class Sampler;
+}  // namespace hce::obs
+
 namespace hce::cluster {
 
 /// Abstract deployment: what the measurement harness sees. One instance
@@ -74,6 +78,15 @@ class Deployment {
   virtual std::uint64_t offloaded() const { return 0; }
   /// Utilization of one site, where per-site breakdowns exist.
   virtual double site_utilization(int /*site*/) const { return utilization(); }
+
+  // --- Observability ------------------------------------------------------
+  /// Registers this deployment's gauges on a time-series sampler: one
+  /// util/queue probe pair per station plus a `<prefix>/client_pending`
+  /// gauge over the retry client's in-flight table. Purely read-only —
+  /// registering probes schedules nothing and consumes no RNG, so a
+  /// deployment behaves identically whether or not it is instrumented.
+  /// Default: no probes (deployments opt in).
+  virtual void instrument(obs::Sampler& /*sampler*/) const {}
 
  protected:
   Deployment() = default;

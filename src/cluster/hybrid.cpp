@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "obs/sampler.hpp"
 #include "support/contracts.hpp"
 
 namespace hce::cluster {
@@ -198,6 +199,14 @@ void HybridDeployment::reset_stats() {
   offloaded_ = 0;
   local_ = 0;
   client_.reset_stats();
+}
+
+void HybridDeployment::instrument(obs::Sampler& sampler) const {
+  for (const auto& s : sites_) sampler.add_station_probes(*s);
+  for (const auto& st : cloud_.stations()) sampler.add_station_probes(*st);
+  sampler.add_probe("hybrid/client_pending", [this] {
+    return static_cast<double>(client_.pending_in_flight());
+  });
 }
 
 }  // namespace hce::cluster

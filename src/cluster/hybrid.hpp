@@ -98,6 +98,8 @@ class HybridDeployment final : public Deployment,
     return sites_.at(static_cast<std::size_t>(i))->utilization();
   }
   void reset_stats() override;
+  /// Per-site + cloud-pool util/queue probes plus `hybrid/client_pending`.
+  void instrument(obs::Sampler& sampler) const override;
 
   const HybridConfig& config() const { return cfg_; }
 

@@ -18,8 +18,15 @@ struct Request {
   /// deployment ignores it for routing but keeps it for per-site reporting.
   int site = 0;
 
-  /// Client-side send time.
+  /// Client-side send time of the *logical* request (first submission).
   Time t_created = 0.0;
+  /// Send time of the attempt that ultimately completed. Equal to
+  /// t_created for first attempts; later for retries, where the gap
+  /// t_sent - t_created is the retry penalty (time lost to attempts that
+  /// timed out or were superseded, plus the backoff gaps between them).
+  /// Stamped by the client layer (cluster::RetryClient); 0 when a request
+  /// is fed to a station directly without a client.
+  Time t_sent = 0.0;
   /// Arrival at the serving station's queue (after uplink network delay).
   Time t_arrival = 0.0;
   /// Service start (t_arrival + waiting time).
@@ -51,6 +58,22 @@ struct Request {
   Time service_time() const { return t_departure - t_start; }
   Time server_time() const { return t_departure - t_arrival; }
   Time end_to_end() const { return t_completed - t_created; }
+
+  // --- Latency decomposition (the paper's Eq. 1/2 components) -----------
+  /// Send time of the delivered attempt, falling back to t_created when no
+  /// client layer stamped t_sent (direct station feeds in unit tests).
+  Time attempt_sent() const { return t_sent > t_created ? t_sent : t_created; }
+  /// Time lost to attempts that timed out or were superseded, including
+  /// the backoff gaps between them. Exactly 0 for first-attempt deliveries.
+  Time retry_penalty() const { return attempt_sent() - t_created; }
+  /// Uplink leg of the delivered attempt: send -> queue entry. Includes
+  /// dispatcher overhead and any redirect/failover hops — everything
+  /// between the client NIC and the serving queue.
+  Time uplink_time() const { return t_arrival - attempt_sent(); }
+  /// Downlink leg: service completion -> observed at the client.
+  Time downlink_time() const { return t_completed - t_departure; }
+  /// Total network time of the delivered attempt (n in Eq. 1/2).
+  Time network_time() const { return uplink_time() + downlink_time(); }
 };
 
 }  // namespace hce::des

@@ -17,7 +17,12 @@ std::uint64_t Simulation::run(Time until, std::uint64_t max_events) {
     Time t = 0.0;
     Handler fn = calendar_.pop_min(&t);
     now_ = t;
+    observer_event_ = false;
     fn();
+    // Handlers that declared themselves observers (read-only sampler
+    // ticks) do not count as activity: last_activity_ stays at the time
+    // the calendar would have drained without them.
+    if (!observer_event_) last_activity_ = now_;
     ++n;
     ++executed_;
   }

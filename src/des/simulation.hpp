@@ -102,10 +102,36 @@ class Simulation {
   /// peak number of *live* events, independent of how many were cancelled.
   std::size_t calendar_slab_size() const { return calendar_.slab_size(); }
 
+  // --- Observer events (read-only instrumentation) ----------------------
+  /// Declares the *currently executing* event an observer: it reads state
+  /// but mutates nothing the simulation can see (obs::Sampler ticks call
+  /// this first). Observer events do not advance last_activity(), so a
+  /// trailing sampler tick that fires after the final completion cannot
+  /// stretch the drained clock.
+  void note_observer_event() { observer_event_ = true; }
+
+  /// Time of the most recent non-observer event — exactly where the clock
+  /// would have drained had no observers been scheduled.
+  Time last_activity() const { return last_activity_; }
+
+  /// After the calendar drains, rewinds the clock to last_activity().
+  /// The experiment runner calls this when observability is enabled so
+  /// every post-run time-average query (utilization = integral / elapsed)
+  /// sees the bit-identical clock it would have seen without observers —
+  /// the final piece of the "instrumentation is provably additive"
+  /// guarantee pinned by the observe-on determinism goldens.
+  void rewind_to_last_activity() {
+    HCE_EXPECT(calendar_.empty(),
+               "rewind_to_last_activity with events still pending");
+    now_ = last_activity_;
+  }
+
  private:
   Calendar calendar_;
   std::size_t client_pending_high_water_ = 0;
   Time now_ = 0.0;
+  Time last_activity_ = 0.0;
+  bool observer_event_ = false;
   std::uint64_t next_seq_ = 0;
   std::uint64_t executed_ = 0;
 };

@@ -11,6 +11,8 @@ void Sink::record(const Request& req) {
   r.waiting = static_cast<float>(req.waiting_time());
   r.service = static_cast<float>(req.service_time());
   r.end_to_end = static_cast<float>(req.end_to_end());
+  r.network = static_cast<float>(req.network_time());
+  r.retry_penalty = static_cast<float>(req.retry_penalty());
   r.site = static_cast<std::int16_t>(req.site);
   r.station = static_cast<std::int16_t>(req.station_id);
   r.redirects = static_cast<std::int16_t>(req.redirects);

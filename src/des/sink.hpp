@@ -16,9 +16,11 @@ namespace hce::des {
 struct CompletionRecord {
   Time t_created;
   Time t_completed;
-  float waiting;     ///< queueing delay (s)
-  float service;     ///< service time (s)
-  float end_to_end;  ///< total latency (s)
+  float waiting;        ///< queueing delay (s)
+  float service;        ///< service time (s)
+  float end_to_end;     ///< total latency (s)
+  float network;        ///< uplink + downlink of the delivered attempt (s)
+  float retry_penalty;  ///< time lost to timed-out/superseded attempts (s)
   std::int16_t site;
   std::int16_t station;
   std::int16_t redirects;

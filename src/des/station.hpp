@@ -79,6 +79,12 @@ class Station {
   double mean_queue_length() const;
   /// Time-average number in system since last reset.
   double mean_in_system() const;
+  /// Exact time integral of busy servers since last reset — the raw signal
+  /// behind utilization(), exposed so rate probes (obs::Sampler) can report
+  /// exact bin-average utilization instead of point samples.
+  double busy_integral() const { return busy_tw_.integral(sim_.now()); }
+  /// Exact time integral of queue length since last reset.
+  double queue_integral() const { return queue_tw_.integral(sim_.now()); }
   std::uint64_t completed() const { return completed_; }
   std::uint64_t arrivals() const { return arrivals_; }
   /// Discards accumulated statistics (warmup removal); counters restart.

@@ -7,6 +7,7 @@
 #include "cluster/source.hpp"
 #include "des/simulation.hpp"
 #include "experiment/deployment_factory.hpp"
+#include "obs/breakdown.hpp"
 #include "stats/series.hpp"
 #include "support/contracts.hpp"
 
@@ -61,6 +62,8 @@ ReplayResult replay_comparison(std::shared_ptr<const workload::Trace> trace,
   out.cloud_utilization = cloud.utilization();
   out.edge_box = stats::box_summary(edge.sink().latencies());
   out.cloud_box = stats::box_summary(cloud.sink().latencies());
+  out.edge_breakdown = obs::collect_breakdown(edge.sink());
+  out.cloud_breakdown = obs::collect_breakdown(cloud.sink());
 
   const auto counts = trace->site_counts();
   for (int s = 0; s < num_sites; ++s) {

@@ -9,6 +9,7 @@
 #include <memory>
 #include <vector>
 
+#include "obs/breakdown.hpp"
 #include "stats/boxplot.hpp"
 #include "support/time.hpp"
 #include "workload/trace.hpp"
@@ -50,6 +51,12 @@ struct ReplayResult {
   std::vector<double> cloud_series;
   /// Bins where the edge mean exceeds the cloud mean.
   int inverted_bins = 0;
+  /// Per-component latency decomposition of each side (network / wait /
+  /// service / retry penalty) — shows *why* a replayed trace inverted,
+  /// not just that it did. Always populated (post-processing of the
+  /// sinks' records; no simulated event changes).
+  obs::LatencyBreakdown edge_breakdown;
+  obs::LatencyBreakdown cloud_breakdown;
 
   bool edge_inverted() const { return edge_mean > cloud_mean; }
 };

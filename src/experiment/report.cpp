@@ -35,9 +35,11 @@ std::string sweep_csv(const std::vector<PointResult>& sweep) {
   return sweep_table(sweep).csv();
 }
 
-std::string sweep_markdown(const std::vector<PointResult>& sweep) {
-  // Render from the CSV cells to keep one source of truth.
-  const TextTable t = sweep_table(sweep);
+namespace {
+
+/// Renders a table as GitHub-flavored Markdown from its CSV cells (one
+/// source of truth for cell formatting).
+std::string table_markdown(const TextTable& t) {
   std::istringstream csv(t.csv());
   std::ostringstream md;
   std::string line;
@@ -64,6 +66,46 @@ std::string sweep_markdown(const std::vector<PointResult>& sweep) {
     }
   }
   return md.str();
+}
+
+}  // namespace
+
+std::string sweep_markdown(const std::vector<PointResult>& sweep) {
+  return table_markdown(sweep_table(sweep));
+}
+
+TextTable breakdown_table(const std::vector<PointResult>& sweep) {
+  TextTable t({"req/s/server", "edge_net_ms", "edge_wait_ms", "edge_svc_ms",
+               "edge_retry_ms", "cloud_net_ms", "cloud_wait_ms",
+               "cloud_svc_ms", "cloud_retry_ms", "wait_penalty_ms",
+               "net_advantage_ms"});
+  for (const auto& p : sweep) {
+    const obs::LatencyBreakdown& e = p.edge.breakdown;
+    const obs::LatencyBreakdown& c = p.cloud.breakdown;
+    t.row()
+        .add(p.rate_per_server, 2)
+        .add_ms(e.network.mean(), 3)
+        .add_ms(e.wait.mean(), 3)
+        .add_ms(e.service.mean(), 3)
+        .add_ms(e.retry_penalty.mean(), 3)
+        .add_ms(c.network.mean(), 3)
+        .add_ms(c.wait.mean(), 3)
+        .add_ms(c.service.mean(), 3)
+        .add_ms(c.retry_penalty.mean(), 3)
+        // The paper's inversion ledger (Eq. 1/2): the edge inverts once
+        // its queueing penalty outgrows its network advantage.
+        .add_ms(e.wait.mean() - c.wait.mean(), 3)
+        .add_ms(c.network.mean() - e.network.mean(), 3);
+  }
+  return t;
+}
+
+std::string breakdown_csv(const std::vector<PointResult>& sweep) {
+  return breakdown_table(sweep).csv();
+}
+
+std::string breakdown_markdown(const std::vector<PointResult>& sweep) {
+  return table_markdown(breakdown_table(sweep));
 }
 
 void save_sweep_csv(const std::vector<PointResult>& sweep,

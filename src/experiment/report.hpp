@@ -25,4 +25,17 @@ std::string sweep_markdown(const std::vector<PointResult>& sweep);
 void save_sweep_csv(const std::vector<PointResult>& sweep,
                     const std::string& path);
 
+/// Decomposition table of an observe-enabled sweep: one row per rate with
+/// both sides' network / wait / service / retry-penalty means (ms) plus
+/// the inversion ledger — the edge's queueing penalty `w_edge - w_cloud`
+/// against its network advantage `n_cloud - n_edge`. Rows whose scenario
+/// ran without Scenario::observe print zeros (no breakdown collected).
+TextTable breakdown_table(const std::vector<PointResult>& sweep);
+
+/// CSV form of breakdown_table (header + rows).
+std::string breakdown_csv(const std::vector<PointResult>& sweep);
+
+/// GitHub-flavored Markdown form.
+std::string breakdown_markdown(const std::vector<PointResult>& sweep);
+
 }  // namespace hce::experiment

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <atomic>
+#include <exception>
+#include <optional>
 #include <thread>
 
 #include "cluster/deployment_base.hpp"
@@ -11,6 +13,7 @@
 #include "dist/weights.hpp"
 #include "experiment/deployment_factory.hpp"
 #include "faults/fault.hpp"
+#include "obs/sampler.hpp"
 #include "stats/ci.hpp"
 #include "stats/quantiles.hpp"
 #include "stats/summary.hpp"
@@ -139,7 +142,26 @@ ReplicationOutput run_replication(const Scenario& sc, Rate rate_per_server,
     b.reset_stats();
   });
 
+  // Optional time-series observability. Sampler ticks are read-only
+  // calendar events that consume no RNG draw, so interleaving them leaves
+  // every reported statistic bit-identical (pinned by the observe-on
+  // determinism test); with observe off, nothing is scheduled at all.
+  std::optional<obs::Sampler> sampler_a, sampler_b;
+  if (sc.observe) {
+    sampler_a.emplace(sim);
+    sampler_b.emplace(sim);
+    a.instrument(*sampler_a);
+    b.instrument(*sampler_b);
+    sampler_a->start(sc.obs_sample_interval, horizon);
+    sampler_b->start(sc.obs_sample_interval, horizon);
+  }
+
   sim.run();
+  // Trailing sampler ticks may fire after the last real event (the run
+  // can drain before the horizon); rewind the clock to the last activity
+  // so every time-average below sees the exact denominator it would have
+  // seen with observe off — utilization is bit-identical either way.
+  if (sc.observe) sim.rewind_to_last_activity();
 
   a.sink().drop_before(sc.warmup);
   b.sink().drop_before(sc.warmup);
@@ -172,6 +194,12 @@ ReplicationOutput run_replication(const Scenario& sc, Rate rate_per_server,
     out.site_mean_latency[su] = a.sink().latency_summary(s).mean();
     out.site_utilization[su] = a.site_utilization(s);
   }
+  if (sc.observe) {
+    out.edge_records = a.sink().records();
+    out.cloud_records = b.sink().records();
+    out.edge_series = sampler_a->take_result();
+    out.cloud_series = sampler_b->take_result();
+  }
   return out;
 }
 
@@ -184,6 +212,7 @@ struct PointScratch {
   std::vector<std::vector<double>> edge_lat, cloud_lat;
   std::vector<double> edge_util, cloud_util;
   std::vector<cluster::ClientStats> edge_clients, cloud_clients;
+  std::vector<std::vector<des::CompletionRecord>> edge_recs, cloud_recs;
   std::vector<double> all;        ///< merged latency samples (sorted)
   std::vector<double> rep_means;  ///< per-replication means for the CI
 
@@ -196,12 +225,16 @@ struct PointScratch {
     cloud_util.clear();
     edge_clients.clear();
     cloud_clients.clear();
+    edge_recs.clear();
+    cloud_recs.clear();
   }
 };
 
 SideStats merge_side(const std::vector<std::vector<double>>& latencies,
                      const std::vector<double>& utilizations,
                      const std::vector<cluster::ClientStats>& clients,
+                     const std::vector<std::vector<des::CompletionRecord>>&
+                         records,
                      PointScratch& scratch) {
   SideStats s;
   for (const cluster::ClientStats& c : clients) {
@@ -214,6 +247,21 @@ SideStats merge_side(const std::vector<std::vector<double>>& latencies,
         static_cast<double>(s.timeouts) / static_cast<double>(s.offered);
     s.availability = 1.0 - s.timeout_rate;
   }
+  // Utilization over the same replication set as every latency statistic:
+  // replications that delivered zero requests are excluded here exactly
+  // as they are from the mean/quantiles/CI below, so a faulted point
+  // cannot mix "utilization of a dead replication" into the average of
+  // the replications its latencies describe.
+  double u = 0.0;
+  std::size_t contributing = 0;
+  for (std::size_t i = 0; i < utilizations.size(); ++i) {
+    if (i < latencies.size() && latencies[i].empty()) continue;
+    u += utilizations[i];
+    ++contributing;
+  }
+  s.utilization = contributing > 0 ? u / static_cast<double>(contributing)
+                                   : 0.0;
+  if (!records.empty()) s.breakdown = obs::merge_breakdown(records);
   std::vector<double>& all = scratch.all;
   std::vector<double>& rep_means = scratch.rep_means;
   all.clear();
@@ -237,11 +285,6 @@ SideStats merge_side(const std::vector<std::vector<double>>& latencies,
   if (rep_means.size() >= 2) {
     s.mean_ci_half_width = stats::replication_ci(rep_means).half_width;
   }
-  double u = 0.0;
-  for (double x : utilizations) u += x;
-  s.utilization = utilizations.empty()
-                      ? 0.0
-                      : u / static_cast<double>(utilizations.size());
   return s;
 }
 
@@ -260,13 +303,17 @@ PointResult run_point_scratch(const Scenario& sc, Rate rate_per_server,
     scratch.cloud_util.push_back(out.cloud_utilization);
     scratch.edge_clients.push_back(out.edge_client);
     scratch.cloud_clients.push_back(out.cloud_client);
+    if (sc.observe) {
+      scratch.edge_recs.push_back(std::move(out.edge_records));
+      scratch.cloud_recs.push_back(std::move(out.cloud_records));
+    }
     pr.edge_redirects += out.edge_redirects;
     pr.edge_failovers += out.edge_failovers;
   }
   pr.edge = merge_side(scratch.edge_lat, scratch.edge_util,
-                       scratch.edge_clients, scratch);
+                       scratch.edge_clients, scratch.edge_recs, scratch);
   pr.cloud = merge_side(scratch.cloud_lat, scratch.cloud_util,
-                        scratch.cloud_clients, scratch);
+                        scratch.cloud_clients, scratch.cloud_recs, scratch);
   return pr;
 }
 
@@ -296,6 +343,13 @@ std::vector<PointResult> run_sweep(const Scenario& sc,
     return results;
   }
 
+  // Exceptions thrown at a sweep point (e.g. a saturated rate tripping
+  // run_replication's contract) must not escape a worker thread — that
+  // would call std::terminate. Each worker captures its point's exception
+  // by index; after the pool drains, the lowest-indexed one is rethrown,
+  // so the caller sees the same exception regardless of thread schedule.
+  std::vector<std::exception_ptr> errors(rates.size());
+  std::atomic<bool> failed{false};
   std::atomic<std::size_t> next{0};
   std::vector<std::thread> pool;
   pool.reserve(workers);
@@ -304,12 +358,24 @@ std::vector<PointResult> run_sweep(const Scenario& sc,
       PointScratch scratch;  // one per worker, reused across its points
       for (;;) {
         const std::size_t i = next.fetch_add(1);
-        if (i >= rates.size()) return;
-        results[i] = run_point_scratch(sc, rates[i], scratch);
+        if (i >= rates.size() || failed.load(std::memory_order_relaxed)) {
+          return;
+        }
+        try {
+          results[i] = run_point_scratch(sc, rates[i], scratch);
+        } catch (...) {
+          errors[i] = std::current_exception();
+          failed.store(true, std::memory_order_relaxed);
+        }
       }
     });
   }
   for (auto& t : pool) t.join();
+  if (failed.load()) {
+    for (const std::exception_ptr& e : errors) {
+      if (e) std::rethrow_exception(e);
+    }
+  }
   return results;
 }
 

@@ -13,6 +13,8 @@
 
 #include "cluster/deployment.hpp"
 #include "experiment/scenario.hpp"
+#include "obs/breakdown.hpp"
+#include "obs/sampler.hpp"
 #include "support/time.hpp"
 
 namespace hce::experiment {
@@ -28,8 +30,16 @@ struct SideStats {
   double p95 = 0.0;
   double p99 = 0.0;
   double mean_ci_half_width = 0.0;  ///< t-interval across replications
-  double utilization = 0.0;         ///< time-average server utilization
+  /// Time-average server utilization, averaged over the same replication
+  /// set as every latency statistic (replications that delivered zero
+  /// requests are excluded; 0 when none delivered any).
+  double utilization = 0.0;
   std::uint64_t samples = 0;
+
+  /// Per-component latency decomposition (network / wait / service /
+  /// retry penalty) over the same delivered requests. Populated only when
+  /// Scenario::observe is set; empty() otherwise.
+  obs::LatencyBreakdown breakdown;
 
   // --- Fault / retry accounting (summed across replications) -----------
   std::uint64_t offered = 0;   ///< client submits (post-warmup)
@@ -71,6 +81,14 @@ struct ReplicationOutput {
   /// Per-site mean latency and utilization (for Fig. 10-style breakdowns).
   std::vector<double> site_mean_latency;
   std::vector<double> site_utilization;
+
+  // --- Observability (populated only when Scenario::observe) ------------
+  /// Post-warmup completion records (full per-request decomposition).
+  std::vector<des::CompletionRecord> edge_records;
+  std::vector<des::CompletionRecord> cloud_records;
+  /// Fixed-cadence gauge series (per-station util/queue, client pending).
+  obs::SamplerResult edge_series;
+  obs::SamplerResult cloud_series;
 };
 
 ReplicationOutput run_replication(const Scenario& scenario,
@@ -81,6 +99,11 @@ PointResult run_point(const Scenario& scenario, Rate rate_per_server);
 
 /// Runs a full rate sweep (the paper's 6..12 req/s axis). Points are
 /// distributed over a thread pool; the result order matches `rates`.
+/// An exception thrown at any sweep point (e.g. a contract violation for
+/// a rate at or above saturation) is captured in its worker, the pool is
+/// drained, and the lowest-indexed point's exception is rethrown here —
+/// deterministically, regardless of thread scheduling — instead of
+/// escaping a worker thread and terminating the process.
 std::vector<PointResult> run_sweep(const Scenario& scenario,
                                    const std::vector<Rate>& rates,
                                    int max_threads = 0);

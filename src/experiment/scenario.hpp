@@ -106,6 +106,17 @@ struct Scenario {
   /// whenever faults are enabled, or crashed sites black-hole requests.
   cluster::RetryPolicy retry;
 
+  // Observability (src/obs/). Off by default: no sampler events are
+  // scheduled, no completion records are copied, and SideStats.breakdown
+  // stays empty — the instrumented and uninstrumented runs execute the
+  // identical event sequence either way (sampler ticks are read-only and
+  // RNG-free), which the goldens-with-observe-on determinism test pins.
+  /// Collect per-replication latency breakdowns (network / wait / service
+  /// / retry penalty) and per-station time series.
+  bool observe = false;
+  /// Sampler cadence in simulated seconds (when observe is on).
+  Time obs_sample_interval = 5.0;
+
   // Run control.
   Time warmup = 240.0;
   Time duration = 1600.0;

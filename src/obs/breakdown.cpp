@@ -1,0 +1,103 @@
+#include "obs/breakdown.hpp"
+
+#include <algorithm>
+
+#include "stats/ci.hpp"
+#include "stats/quantiles.hpp"
+
+namespace hce::obs {
+
+namespace {
+
+/// Scratch for one component while merging: all samples (for quantiles)
+/// plus per-replication means (for the t-interval).
+struct ComponentScratch {
+  std::vector<double> all;
+  std::vector<double> rep_means;
+
+  void finish(ComponentStats& out) {
+    if (all.empty()) return;
+    std::sort(all.begin(), all.end());
+    out.p50 = stats::quantile_sorted(all, 0.50);
+    out.p95 = stats::quantile_sorted(all, 0.95);
+    out.p99 = stats::quantile_sorted(all, 0.99);
+    if (rep_means.size() >= 2) {
+      out.mean_ci_half_width = stats::replication_ci(rep_means).half_width;
+    }
+  }
+};
+
+struct Extractor {
+  double (*get)(const des::CompletionRecord&);
+};
+
+double get_network(const des::CompletionRecord& r) { return r.network; }
+double get_wait(const des::CompletionRecord& r) { return r.waiting; }
+double get_service(const des::CompletionRecord& r) { return r.service; }
+double get_retry(const des::CompletionRecord& r) { return r.retry_penalty; }
+
+}  // namespace
+
+LatencyBreakdown collect_breakdown(
+    const std::vector<des::CompletionRecord>& records, int site) {
+  LatencyBreakdown b;
+  std::vector<double> net, wait, svc, retry;
+  for (const des::CompletionRecord& r : records) {
+    if (site >= 0 && r.site != site) continue;
+    ++b.samples;
+    b.network.summary.add(r.network);
+    b.wait.summary.add(r.waiting);
+    b.service.summary.add(r.service);
+    b.retry_penalty.summary.add(r.retry_penalty);
+    net.push_back(r.network);
+    wait.push_back(r.waiting);
+    svc.push_back(r.service);
+    retry.push_back(r.retry_penalty);
+  }
+  ComponentStats* comps[4] = {&b.network, &b.wait, &b.service,
+                              &b.retry_penalty};
+  std::vector<double>* vals[4] = {&net, &wait, &svc, &retry};
+  for (int c = 0; c < 4; ++c) {
+    if (vals[c]->empty()) continue;
+    std::sort(vals[c]->begin(), vals[c]->end());
+    comps[c]->p50 = stats::quantile_sorted(*vals[c], 0.50);
+    comps[c]->p95 = stats::quantile_sorted(*vals[c], 0.95);
+    comps[c]->p99 = stats::quantile_sorted(*vals[c], 0.99);
+  }
+  return b;
+}
+
+LatencyBreakdown collect_breakdown(const des::Sink& sink, int site) {
+  return collect_breakdown(sink.records(), site);
+}
+
+LatencyBreakdown merge_breakdown(
+    const std::vector<std::vector<des::CompletionRecord>>& replications) {
+  LatencyBreakdown b;
+  const Extractor extract[4] = {
+      {&get_network}, {&get_wait}, {&get_service}, {&get_retry}};
+  ComponentStats* comps[4] = {&b.network, &b.wait, &b.service,
+                              &b.retry_penalty};
+  ComponentScratch scratch[4];
+
+  for (const auto& rep : replications) {
+    if (rep.empty()) continue;  // matches merge_side: empty reps excluded
+    stats::Summary rep_sum[4];
+    for (const des::CompletionRecord& r : rep) {
+      for (int c = 0; c < 4; ++c) {
+        const double x = extract[c].get(r);
+        comps[c]->summary.add(x);
+        rep_sum[c].add(x);
+        scratch[c].all.push_back(x);
+      }
+    }
+    for (int c = 0; c < 4; ++c) {
+      scratch[c].rep_means.push_back(rep_sum[c].mean());
+    }
+    b.samples += rep.size();
+  }
+  for (int c = 0; c < 4; ++c) scratch[c].finish(*comps[c]);
+  return b;
+}
+
+}  // namespace hce::obs

@@ -1,0 +1,88 @@
+// Per-component latency decomposition — the observability layer of the
+// paper's core argument.
+//
+// The paper's inversion story (Eq. 1/2, Lemmas 3.1-3.3) is a
+// *decomposition*: end-to-end latency splits into network, queueing wait,
+// and service, and inversion happens precisely when the edge's queueing
+// penalty (w_edge - w_cloud) outgrows its network advantage
+// (n_cloud - n_edge). The des::Request already carries the full timestamp
+// lineage; this module turns delivered-request records into mergeable
+// per-component statistics so the mechanism can be *measured* instead of
+// inferred from end-to-end numbers:
+//
+//   network       uplink + downlink of the delivered attempt (incl.
+//                 dispatcher overhead and redirect/failover hops)
+//   wait          queueing delay at the serving station
+//   service       time in service
+//   retry_penalty time lost to attempts that timed out or were
+//                 superseded, plus the backoff gaps between them
+//
+// The components satisfy, per delivered request,
+//
+//   network + wait + service + retry_penalty == end_to_end
+//
+// exactly in real arithmetic (the terms telescope over the timestamp
+// lineage) and to a few ulps of the end-to-end value in doubles — pinned
+// by tests/obs/test_breakdown.cpp.
+//
+// Everything here is passive post-processing of sink records: collecting
+// a breakdown changes no simulated event, consumes no RNG draw, and is
+// therefore provably additive (the seed determinism goldens pass with
+// observability on).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "des/sink.hpp"
+#include "stats/summary.hpp"
+
+namespace hce::obs {
+
+/// One latency component over a set of delivered requests: a mergeable
+/// streaming summary plus exact tail quantiles, and — when the set spans
+/// several replications — a Student-t interval across replication means.
+struct ComponentStats {
+  stats::Summary summary;  ///< mean/stddev/min/max over all samples
+  double p50 = 0.0;
+  double p95 = 0.0;
+  double p99 = 0.0;
+  /// Half-width of the 95% t-interval across replication means; 0 when
+  /// fewer than two replications contributed samples.
+  double mean_ci_half_width = 0.0;
+
+  double mean() const { return summary.mean(); }
+};
+
+/// The four-way latency decomposition of one deployment side.
+struct LatencyBreakdown {
+  ComponentStats network;        ///< uplink + downlink (n)
+  ComponentStats wait;           ///< queueing delay (w)
+  ComponentStats service;        ///< service time (s)
+  ComponentStats retry_penalty;  ///< lost attempts + backoff gaps
+  std::uint64_t samples = 0;     ///< delivered requests covered
+
+  bool empty() const { return samples == 0; }
+  /// Sum of component means — equals the mean end-to-end latency of the
+  /// same delivered-request set (up to the float rounding of the records).
+  double mean_total() const {
+    return network.mean() + wait.mean() + service.mean() +
+           retry_penalty.mean();
+  }
+};
+
+/// Breakdown over one replication's records (optionally one site).
+LatencyBreakdown collect_breakdown(
+    const std::vector<des::CompletionRecord>& records, int site = -1);
+
+/// Convenience overload over a sink's current records.
+LatencyBreakdown collect_breakdown(const des::Sink& sink, int site = -1);
+
+/// Merged breakdown across replications: component summaries and
+/// quantiles pool every delivered request; the per-component CI is the
+/// replication t-interval (replications contributing zero requests are
+/// excluded, matching the latency statistics of the sweep runner).
+LatencyBreakdown merge_breakdown(
+    const std::vector<std::vector<des::CompletionRecord>>& replications);
+
+}  // namespace hce::obs

@@ -1,0 +1,85 @@
+#include "obs/sampler.hpp"
+
+#include <utility>
+
+#include "support/contracts.hpp"
+
+namespace hce::obs {
+
+void Sampler::add_probe(std::string name, std::function<double()> probe) {
+  HCE_EXPECT(!started_, "Sampler: register probes before start()");
+  Probe p;
+  p.name = std::move(name);
+  p.fn = std::move(probe);
+  probes_.push_back(std::move(p));
+}
+
+void Sampler::add_rate_probe(std::string name,
+                             std::function<double()> integral, double scale) {
+  HCE_EXPECT(!started_, "Sampler: register probes before start()");
+  Probe p;
+  p.name = std::move(name);
+  p.fn = std::move(integral);
+  p.rate = true;
+  p.scale = scale;
+  probes_.push_back(std::move(p));
+}
+
+void Sampler::add_station_probes(const des::Station& station) {
+  const des::Station* st = &station;
+  add_rate_probe(station.name() + "/util", [st] { return st->busy_integral(); },
+                 1.0 / static_cast<double>(station.num_servers()));
+  add_probe(station.name() + "/queue", [st] {
+    return static_cast<double>(st->queue_length());
+  });
+}
+
+void Sampler::start(Time interval, Time until) {
+  HCE_EXPECT(interval > 0.0, "Sampler: interval must be positive");
+  HCE_EXPECT(!started_, "Sampler: already started");
+  started_ = true;
+  last_tick_ = sim_.now();
+  result_.series.reserve(probes_.size());
+  for (Probe& p : probes_) {
+    result_.series.push_back(Series{p.name, {}});
+    if (p.rate) p.last_integral = p.fn();
+  }
+  if (sim_.now() + interval > until) return;  // nothing to sample
+  sim_.schedule_in(interval, [this, interval, until] {
+    tick(interval, until);
+  });
+}
+
+void Sampler::tick(Time interval, Time until) {
+  // Ticks are pure reads: mark this event as an observer so a tick that
+  // happens to fire after the last real event cannot extend the clock
+  // the post-run time averages are evaluated at.
+  sim_.note_observer_event();
+  const Time now = sim_.now();
+  const Time dt = now - last_tick_;
+  result_.times.push_back(now);
+  for (std::size_t i = 0; i < probes_.size(); ++i) {
+    Probe& p = probes_[i];
+    double value;
+    if (p.rate) {
+      const double integral = p.fn();
+      // A tick spanning a stats reset sees the integral jump backwards;
+      // clamp that one bin to zero rather than report a negative average.
+      value = (dt > 0.0 && integral >= p.last_integral)
+                  ? p.scale * (integral - p.last_integral) / dt
+                  : 0.0;
+      p.last_integral = integral;
+    } else {
+      value = p.fn();
+    }
+    result_.series[i].values.push_back(value);
+  }
+  last_tick_ = now;
+  if (now + interval <= until) {
+    sim_.schedule_in(interval, [this, interval, until] {
+      tick(interval, until);
+    });
+  }
+}
+
+}  // namespace hce::obs

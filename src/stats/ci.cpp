@@ -85,15 +85,24 @@ ConfidenceInterval batch_means_ci(const std::vector<double>& observations,
   HCE_EXPECT(num_batches >= 2, "batch_means_ci needs >= 2 batches");
   HCE_EXPECT(observations.size() >= static_cast<std::size_t>(num_batches),
              "batch_means_ci: fewer observations than batches");
-  const std::size_t batch = observations.size() / static_cast<std::size_t>(num_batches);
+  // Every observation lands in exactly one batch: when the count does not
+  // divide evenly, the first (size % num_batches) batches take one extra
+  // observation (sizes differ by at most one). Discarding the remainder
+  // instead — as this function once did — silently biased the interval
+  // toward the prefix of the sequence, dropping up to num_batches - 1 of
+  // the most recent (best-converged, for a warming process) observations.
+  const std::size_t nb = static_cast<std::size_t>(num_batches);
+  const std::size_t base = observations.size() / nb;
+  const std::size_t extra = observations.size() % nb;
   std::vector<double> means;
-  means.reserve(static_cast<std::size_t>(num_batches));
-  for (int b = 0; b < num_batches; ++b) {
+  means.reserve(nb);
+  std::size_t start = 0;
+  for (std::size_t b = 0; b < nb; ++b) {
+    const std::size_t len = base + (b < extra ? 1 : 0);
     double sum = 0.0;
-    for (std::size_t i = 0; i < batch; ++i) {
-      sum += observations[static_cast<std::size_t>(b) * batch + i];
-    }
-    means.push_back(sum / static_cast<double>(batch));
+    for (std::size_t i = 0; i < len; ++i) sum += observations[start + i];
+    means.push_back(sum / static_cast<double>(len));
+    start += len;
   }
   return replication_ci(means, level);
 }

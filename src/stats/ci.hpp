@@ -36,7 +36,10 @@ ConfidenceInterval replication_ci(const std::vector<double>& replication_means,
                                   double level = 0.95);
 
 /// Batch-means CI: splits `observations` into `num_batches` contiguous
-/// batches and applies a t interval across batch means.
+/// batches and applies a t interval across batch means. Every observation
+/// is used: when the count does not divide evenly, the first
+/// (size % num_batches) batches take one extra observation (batch sizes
+/// differ by at most one; nothing is silently discarded).
 ConfidenceInterval batch_means_ci(const std::vector<double>& observations,
                                   int num_batches = 20, double level = 0.95);
 

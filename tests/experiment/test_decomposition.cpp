@@ -1,0 +1,195 @@
+// The inversion *mechanism*, observed directly.
+//
+// The paper's headline (Fig. 3/4) is that edge latency inverts past a
+// load threshold. The decomposition layer lets tests assert the
+// mechanism rather than the symptom: under common random numbers the
+// edge keeps its network advantage (n_edge < n_cloud) at every rate,
+// but past the crossover its queueing penalty w_edge - w_cloud outgrows
+// the advantage n_cloud - n_edge, and only then does end-to-end latency
+// invert. These tests also pin that turning observability on does not
+// perturb a single reported statistic.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstddef>
+
+#include "experiment/runner.hpp"
+#include "experiment/scenario.hpp"
+#include "obs/breakdown.hpp"
+
+namespace hce::experiment {
+namespace {
+
+Scenario obs_scenario() {
+  Scenario sc = Scenario::typical_cloud();
+  sc.num_sites = 3;
+  sc.warmup = 60.0;
+  sc.duration = 500.0;
+  sc.replications = 3;
+  sc.observe = true;
+  sc.seed = 20260806;
+  return sc;
+}
+
+// ---------------------------------------------------------------------------
+// Mechanism: the ledger flips sign across the crossover.
+// ---------------------------------------------------------------------------
+
+TEST(DecompositionMechanism, PastCrossoverQueueingPenaltyExceedsAdvantage) {
+  const Scenario sc = obs_scenario();
+  const PointResult p = run_point(sc, 12.0);  // rho ~ 0.92, well past
+  const obs::LatencyBreakdown& e = p.edge.breakdown;
+  const obs::LatencyBreakdown& c = p.cloud.breakdown;
+  ASSERT_FALSE(e.empty());
+  ASSERT_FALSE(c.empty());
+  // The network advantage never goes away: the edge is still closer.
+  EXPECT_LT(e.network.mean(), c.network.mean());
+  // But k separate M/M/1-ish queues wait far longer than one M/M/k.
+  EXPECT_GT(e.wait.mean(), c.wait.mean());
+  // The ledger: queueing penalty exceeds network advantage...
+  EXPECT_GT(e.wait.mean() - c.wait.mean(),
+            c.network.mean() - e.network.mean());
+  // ...which is exactly when end-to-end latency inverts.
+  EXPECT_GT(p.edge.mean, p.cloud.mean);
+}
+
+TEST(DecompositionMechanism, BelowCrossoverAdvantageExceedsPenalty) {
+  const Scenario sc = obs_scenario();
+  const PointResult p = run_point(sc, 2.0);  // rho ~ 0.15, nearly idle
+  const obs::LatencyBreakdown& e = p.edge.breakdown;
+  const obs::LatencyBreakdown& c = p.cloud.breakdown;
+  ASSERT_FALSE(e.empty());
+  ASSERT_FALSE(c.empty());
+  EXPECT_LT(e.network.mean(), c.network.mean());
+  // Queues still favor the cloud, but the penalty is small...
+  EXPECT_GE(e.wait.mean(), 0.0);
+  EXPECT_LT(e.wait.mean() - c.wait.mean(),
+            c.network.mean() - e.network.mean());
+  // ...so the edge wins end to end.
+  EXPECT_LT(p.edge.mean, p.cloud.mean);
+}
+
+TEST(DecompositionMechanism, ServiceComponentMatchesBothSides) {
+  // Identical hardware + mirrored workload: mean service time is the one
+  // component that must agree across deployments (CRN gives the same
+  // demands; only queue discipline and network differ).
+  const Scenario sc = obs_scenario();
+  const PointResult p = run_point(sc, 8.0);
+  const double es = p.edge.breakdown.service.mean();
+  const double cs = p.cloud.breakdown.service.mean();
+  EXPECT_NEAR(es, cs, 0.02 * cs);
+  // And both sit near the configured mean service time 1/mu.
+  EXPECT_NEAR(es, 1.0 / sc.mu, 0.05 / sc.mu);
+}
+
+// ---------------------------------------------------------------------------
+// SideStats surfacing.
+// ---------------------------------------------------------------------------
+
+TEST(SideStatsBreakdown, MeanTotalMatchesMeanLatency) {
+  const PointResult p = run_point(obs_scenario(), 8.0);
+  for (const SideStats* s : {&p.edge, &p.cloud}) {
+    ASSERT_FALSE(s->breakdown.empty());
+    EXPECT_EQ(s->breakdown.samples, s->samples);
+    // breakdown components come from float-compressed records; the side
+    // mean from double latencies. They describe the same request set.
+    EXPECT_NEAR(s->breakdown.mean_total(), s->mean, 1e-5 * s->mean);
+  }
+}
+
+TEST(SideStatsBreakdown, EmptyWithoutObserve) {
+  Scenario sc = obs_scenario();
+  sc.observe = false;
+  sc.duration = 120.0;
+  sc.replications = 2;
+  const PointResult p = run_point(sc, 8.0);
+  EXPECT_TRUE(p.edge.breakdown.empty());
+  EXPECT_TRUE(p.cloud.breakdown.empty());
+  EXPECT_GT(p.edge.samples, 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Additivity: observing changes nothing it observes.
+// ---------------------------------------------------------------------------
+
+TEST(Observability, DoesNotPerturbAnyReportedStatistic) {
+  Scenario off = obs_scenario();
+  off.duration = 200.0;
+  off.replications = 2;
+  off.observe = false;
+  Scenario on = off;
+  on.observe = true;
+
+  const PointResult a = run_point(off, 9.0);
+  const PointResult b = run_point(on, 9.0);
+  const auto expect_bit_identical = [](const SideStats& x, const SideStats& y) {
+    // Bit-exact: sampler ticks are read-only and RNG-free.
+    EXPECT_EQ(x.mean, y.mean);
+    EXPECT_EQ(x.p50, y.p50);
+    EXPECT_EQ(x.p95, y.p95);
+    EXPECT_EQ(x.p99, y.p99);
+    EXPECT_EQ(x.mean_ci_half_width, y.mean_ci_half_width);
+    EXPECT_EQ(x.utilization, y.utilization);
+    EXPECT_EQ(x.samples, y.samples);
+  };
+  expect_bit_identical(a.edge, b.edge);
+  expect_bit_identical(a.cloud, b.cloud);
+  EXPECT_TRUE(a.edge.breakdown.empty());
+  EXPECT_FALSE(b.edge.breakdown.empty());
+}
+
+// ---------------------------------------------------------------------------
+// Time series plumbing.
+// ---------------------------------------------------------------------------
+
+TEST(ReplicationSeries, StationAndClientGaugesArePopulated) {
+  Scenario sc = obs_scenario();
+  sc.duration = 190.0;  // horizon 250 -> 50 ticks at the 5 s cadence
+  const ReplicationOutput out = run_replication(sc, 8.0, 0);
+  ASSERT_FALSE(out.edge_series.empty());
+  ASSERT_FALSE(out.cloud_series.empty());
+  EXPECT_EQ(out.edge_series.times.size(), 50u);
+  EXPECT_EQ(out.cloud_series.times.size(), 50u);
+
+  for (const char* name : {"edge/0/util", "edge/1/queue", "edge/2/util",
+                           "edge/client_pending"}) {
+    const obs::Series* s = out.edge_series.find(name);
+    ASSERT_NE(s, nullptr) << name;
+    ASSERT_EQ(s->values.size(), out.edge_series.times.size()) << name;
+  }
+  for (const char* name : {"cloud/util", "cloud/queue",
+                           "cloud/client_pending"}) {
+    const obs::Series* s = out.cloud_series.find(name);
+    ASSERT_NE(s, nullptr) << name;
+    ASSERT_EQ(s->values.size(), out.cloud_series.times.size()) << name;
+  }
+
+  // Utilization bins are exact bin averages: each within [0, 1], and a
+  // busy system's post-warmup bins are not all zero.
+  const obs::Series* util = out.cloud_series.find("cloud/util");
+  double peak = 0.0;
+  for (double v : util->values) {
+    EXPECT_GE(v, 0.0);
+    EXPECT_LE(v, 1.0 + 1e-12);
+    peak = std::max(peak, v);
+  }
+  EXPECT_GT(peak, 0.3);
+  // Pending gauges are nonnegative integers by construction.
+  for (double v : out.cloud_series.find("cloud/client_pending")->values) {
+    EXPECT_GE(v, 0.0);
+  }
+}
+
+TEST(ReplicationSeries, AbsentWithoutObserve) {
+  Scenario sc = obs_scenario();
+  sc.observe = false;
+  sc.duration = 120.0;
+  const ReplicationOutput out = run_replication(sc, 8.0, 0);
+  EXPECT_TRUE(out.edge_series.empty());
+  EXPECT_TRUE(out.cloud_series.empty());
+  EXPECT_TRUE(out.edge_records.empty());
+  EXPECT_TRUE(out.cloud_records.empty());
+}
+
+}  // namespace
+}  // namespace hce::experiment

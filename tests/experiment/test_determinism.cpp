@@ -127,6 +127,51 @@ TEST(DeterminismGolden, FaultedSweepMatchesSeedDigests) {
   }
 }
 
+// ---------------------------------------------------------------------------
+// Observability is provably additive: the same goldens, captured before
+// src/obs/ existed, must match bit for bit with observe enabled. Sampler
+// ticks are read-only calendar events that draw no randomness, and record
+// collection copies what the sink already stored — so instrumenting a run
+// cannot move a single reported bit, at any thread count, faults on or off.
+// ---------------------------------------------------------------------------
+
+TEST(DeterminismGolden, FaultFreeSweepWithObserveOnMatchesSeedDigests) {
+  Scenario sc = small_scenario();
+  sc.observe = true;
+  for (const unsigned threads : {1u, 2u, 8u}) {
+    SCOPED_TRACE(testing::Message() << "threads " << threads);
+    expect_matches_golden(run_sweep(sc, kRates, threads), golden::kFaultFree);
+  }
+}
+
+TEST(DeterminismGolden, FaultedSweepWithObserveOnMatchesSeedDigests) {
+  Scenario sc = faulted_scenario();
+  sc.observe = true;
+  for (const unsigned threads : {1u, 2u, 8u}) {
+    SCOPED_TRACE(testing::Message() << "threads " << threads);
+    expect_matches_golden(run_sweep(sc, kRates, threads), golden::kFaulted);
+  }
+}
+
+TEST(Determinism, BreakdownIsBitIdenticalAcrossThreadCounts) {
+  Scenario sc = faulted_scenario();
+  sc.observe = true;
+  const auto t1 = run_sweep(sc, kRates, 1);
+  const auto t8 = run_sweep(sc, kRates, 8);
+  ASSERT_EQ(t1.size(), t8.size());
+  for (std::size_t i = 0; i < t1.size(); ++i) {
+    for (const auto pick : {&PointResult::edge, &PointResult::cloud}) {
+      const obs::LatencyBreakdown& a = (t1[i].*pick).breakdown;
+      const obs::LatencyBreakdown& b = (t8[i].*pick).breakdown;
+      EXPECT_EQ(a.samples, b.samples);
+      EXPECT_EQ(a.network.mean(), b.network.mean());
+      EXPECT_EQ(a.wait.p99, b.wait.p99);
+      EXPECT_EQ(a.service.mean(), b.service.mean());
+      EXPECT_EQ(a.retry_penalty.mean(), b.retry_penalty.mean());
+    }
+  }
+}
+
 TEST(Determinism, SweepIsBitIdenticalAcrossThreadCounts) {
   const Scenario sc = small_scenario();
   const auto t1 = run_sweep(sc, kRates, 1);

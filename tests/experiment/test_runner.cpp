@@ -2,6 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdint>
+#include <string>
+#include <vector>
+
 #include "support/contracts.hpp"
 
 namespace hce::experiment {
@@ -118,6 +122,116 @@ TEST(RunSweep, ThreadedAndSerialResultsMatch) {
 
 TEST(RunSweep, RejectsEmptyAxis) {
   EXPECT_THROW(run_sweep(fast_scenario(), {}), ContractViolation);
+}
+
+TEST(RunSweep, WorkerExceptionsPropagateInsteadOfTerminating) {
+  // A saturating rate mid-axis trips run_replication's contract inside a
+  // worker thread. Before the exception_ptr capture, that exception
+  // escaped the worker and called std::terminate, killing the process;
+  // now the pool drains and the caller sees the ContractViolation — at
+  // every worker count, including the serial path.
+  auto s = fast_scenario();
+  s.replications = 1;
+  s.duration = 120.0;
+  const std::vector<Rate> rates{5.0, s.mu + 1.0, 6.0};
+  for (int threads : {1, 2, 3}) {
+    EXPECT_THROW(run_sweep(s, rates, threads), ContractViolation)
+        << "threads=" << threads;
+  }
+}
+
+TEST(RunSweep, LowestIndexedFailureIsTheOneRethrown) {
+  // Two bad points: the rethrown exception must be index 1's (the rate
+  // contract), not index 3's, regardless of which worker hit its point
+  // first. Both violations are rate-contract trips here, so observe the
+  // determinism via the serial/threaded agreement of the thrown type.
+  auto s = fast_scenario();
+  s.replications = 1;
+  s.duration = 120.0;
+  const std::vector<Rate> rates{5.0, s.mu + 1.0, 6.0, s.mu + 2.0};
+  std::string serial_what, threaded_what;
+  try {
+    run_sweep(s, rates, 1);
+  } catch (const ContractViolation& e) {
+    serial_what = e.what();
+  }
+  try {
+    run_sweep(s, rates, 4);
+  } catch (const ContractViolation& e) {
+    threaded_what = e.what();
+  }
+  ASSERT_FALSE(serial_what.empty());
+  EXPECT_EQ(serial_what, threaded_what);
+}
+
+// ---------------------------------------------------------------------------
+// SideStats::utilization sample-set consistency (faults on).
+// ---------------------------------------------------------------------------
+
+Scenario lossy_scenario(std::uint64_t seed) {
+  // One edge site, short horizon, site crashes with an MTTR far beyond
+  // the horizon and no client retries: a replication whose crash lands
+  // before the warmup boundary delivers zero post-warmup requests.
+  Scenario s = Scenario::typical_cloud();
+  s.num_sites = 1;
+  s.warmup = 10.0;
+  s.duration = 30.0;
+  s.replications = 6;
+  s.rtt_jitter = 0.0;
+  s.faults.edge_site.enabled = true;
+  s.faults.edge_site.mttf = 25.0;
+  s.faults.edge_site.mttr = 1000.0;
+  s.seed = seed;
+  return s;
+}
+
+TEST(RunPoint, UtilizationAveragesOnlyReplicationsThatDelivered) {
+  // Find a seed whose replication set mixes dead and live replications.
+  constexpr Rate kRate = 2.0;
+  bool found = false;
+  Scenario s;
+  double expected = 0.0;
+  double naive = 0.0;
+  for (std::uint64_t seed = 0; seed < 50 && !found; ++seed) {
+    s = lossy_scenario(seed);
+    std::size_t dead = 0;
+    double live_util_sum = 0.0, all_util_sum = 0.0;
+    std::size_t live = 0;
+    for (int r = 0; r < s.replications; ++r) {
+      const auto out = run_replication(s, kRate, r);
+      all_util_sum += out.edge_utilization;
+      if (out.edge_latencies.empty()) {
+        ++dead;
+      } else {
+        live_util_sum += out.edge_utilization;
+        ++live;
+      }
+    }
+    if (dead > 0 && live > 0) {
+      found = true;
+      expected = live_util_sum / static_cast<double>(live);
+      naive = all_util_sum / static_cast<double>(s.replications);
+    }
+  }
+  ASSERT_TRUE(found) << "no seed produced a mixed dead/live replication set";
+
+  const PointResult p = run_point(s, kRate);
+  // The merged utilization describes the same replication set as the
+  // latency statistics: dead replications are excluded from both.
+  EXPECT_DOUBLE_EQ(p.edge.utilization, expected);
+  // And that is a genuinely different number from the
+  // average-over-everything the runner used to report.
+  EXPECT_NE(p.edge.utilization, naive);
+}
+
+TEST(RunPoint, UtilizationIsZeroWhenNothingIsDelivered) {
+  // Crash at t=0 with certainty-ish: mttf tiny, mttr beyond the horizon.
+  Scenario s = lossy_scenario(3);
+  s.faults.edge_site.mttf = 0.01;
+  s.replications = 2;
+  const PointResult p = run_point(s, 2.0);
+  EXPECT_EQ(p.edge.samples, 0u);
+  EXPECT_EQ(p.edge.utilization, 0.0);
 }
 
 TEST(RateAxes, HaveExpectedShape) {

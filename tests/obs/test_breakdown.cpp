@@ -1,0 +1,253 @@
+// Tests for the per-component latency decomposition (src/obs/breakdown).
+//
+// The paper's inversion story is a decomposition: end-to-end latency
+// splits into network + wait + service (+ retry penalty under faults),
+// and these tests pin the telescoping identity
+//
+//   network + wait + service + retry_penalty == end_to_end
+//
+// exactly in doubles for exactly-representable timestamps, and to a few
+// float ulps for the float-compressed sink records of real runs — the
+// bound documented in obs/breakdown.hpp.
+#include "obs/breakdown.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <vector>
+
+#include "des/request.hpp"
+#include "des/sink.hpp"
+#include "experiment/runner.hpp"
+#include "experiment/scenario.hpp"
+
+namespace hce::obs {
+namespace {
+
+des::Request lineage(Time created, Time sent, Time arrival, Time start,
+                     Time departure, Time completed) {
+  des::Request r;
+  r.t_created = created;
+  r.t_sent = sent;
+  r.t_arrival = arrival;
+  r.t_start = start;
+  r.t_departure = departure;
+  r.t_completed = completed;
+  return r;
+}
+
+experiment::Scenario observed_scenario() {
+  experiment::Scenario sc = experiment::Scenario::typical_cloud();
+  sc.num_sites = 3;
+  sc.warmup = 30.0;
+  sc.duration = 200.0;
+  sc.replications = 2;
+  sc.observe = true;
+  sc.seed = 7;
+  return sc;
+}
+
+experiment::Scenario observed_faulted_scenario() {
+  experiment::Scenario sc = observed_scenario();
+  sc.faults.edge_site.enabled = true;
+  sc.faults.edge_site.mttf = 40.0;
+  sc.faults.edge_site.mttr = 5.0;
+  sc.faults.edge_link.enabled = true;
+  sc.faults.edge_link.mean_spike_gap = 30.0;
+  sc.faults.edge_link.mean_spike_duration = 1.0;
+  sc.faults.edge_link.spike_extra_rtt = 0.050;
+  sc.faults.edge_link.partition_fraction = 0.3;
+  sc.retry.enabled = true;
+  sc.retry.timeout = 0.4;
+  sc.retry.max_retries = 2;
+  return sc;
+}
+
+// ---------------------------------------------------------------------------
+// Request-level identity (doubles).
+// ---------------------------------------------------------------------------
+
+TEST(Decomposition, TelescopesExactlyOnRepresentableTimestamps) {
+  // Dyadic timestamps make every subtraction exact: the identity holds
+  // with zero floating-point error, not just within tolerance.
+  const des::Request r =
+      lineage(128.0, 128.5, 128.53125, 128.625, 128.75, 128.78125);
+  EXPECT_DOUBLE_EQ(r.retry_penalty() + r.network_time() + r.waiting_time() +
+                       r.service_time(),
+                   r.end_to_end());
+  EXPECT_DOUBLE_EQ(r.retry_penalty(), 0.5);
+  EXPECT_DOUBLE_EQ(r.network_time(), 0.0625);
+  EXPECT_DOUBLE_EQ(r.waiting_time(), 0.09375);
+  EXPECT_DOUBLE_EQ(r.service_time(), 0.125);
+}
+
+TEST(Decomposition, TelescopesWithinUlpsOnArbitraryTimestamps) {
+  // Arbitrary decimals: each timestamp difference is correctly rounded
+  // (error <= 0.5 ulp of the component), so the recomposed total sits
+  // within a few ulps of the end-to-end value.
+  const des::Request r = lineage(977.1, 977.131, 977.1442, 977.20007,
+                                 977.31113, 977.3247);
+  const double total = r.retry_penalty() + r.network_time() +
+                       r.waiting_time() + r.service_time();
+  const double e2e = r.end_to_end();
+  EXPECT_NEAR(total, e2e, 8.0 * std::numeric_limits<double>::epsilon() * e2e);
+}
+
+TEST(Decomposition, FirstAttemptHasZeroRetryPenalty) {
+  des::Request r = lineage(100.0, 100.0, 100.1, 100.2, 100.3, 100.4);
+  EXPECT_EQ(r.retry_penalty(), 0.0);
+  // Direct station feeds never stamp t_sent; attempt_sent() falls back to
+  // t_created so the decomposition still telescopes.
+  r.t_sent = 0.0;
+  EXPECT_EQ(r.retry_penalty(), 0.0);
+  EXPECT_DOUBLE_EQ(r.uplink_time(), r.t_arrival - r.t_created);
+}
+
+// ---------------------------------------------------------------------------
+// Record-level identity on real simulated runs (floats).
+// ---------------------------------------------------------------------------
+
+void expect_identity_within_float_ulps(
+    const std::vector<des::CompletionRecord>& recs) {
+  for (const des::CompletionRecord& r : recs) {
+    const double total = static_cast<double>(r.network) +
+                         static_cast<double>(r.waiting) +
+                         static_cast<double>(r.service) +
+                         static_cast<double>(r.retry_penalty);
+    const double tol =
+        4.0 * static_cast<double>(std::numeric_limits<float>::epsilon()) *
+            static_cast<double>(r.end_to_end) +
+        1e-12;
+    ASSERT_NEAR(total, static_cast<double>(r.end_to_end), tol);
+    ASSERT_GE(r.network, 0.0f);
+    ASSERT_GE(r.waiting, 0.0f);
+    ASSERT_GE(r.service, 0.0f);
+    ASSERT_GE(r.retry_penalty, 0.0f);
+  }
+}
+
+TEST(SinkRecords, ComponentsSumToEndToEndWithinFloatUlps) {
+  // Fault-free: both sides deliver thousands of first-attempt requests.
+  const auto clean = experiment::run_replication(observed_scenario(), 9.0, 0);
+  ASSERT_GT(clean.edge_records.size(), 500u);
+  ASSERT_GT(clean.cloud_records.size(), 500u);
+  expect_identity_within_float_ulps(clean.edge_records);
+  expect_identity_within_float_ulps(clean.cloud_records);
+}
+
+TEST(SinkRecords, IdentityHoldsAcrossRetriesFailoversAndSpikes) {
+  // Faulted: sites crash and links spike/partition, so the edge delivers
+  // only a few hundred of the ~5400 offered requests — but each delivered
+  // record, including second attempts paying a retry penalty, still
+  // telescopes. (The cloud side delivers nothing under this retry config
+  // — seed behavior pinned by the determinism goldens — so only the edge
+  // records are checked here.)
+  const auto out =
+      experiment::run_replication(observed_faulted_scenario(), 9.0, 0);
+  ASSERT_GT(out.edge_records.size(), 100u);
+  expect_identity_within_float_ulps(out.edge_records);
+}
+
+TEST(SinkRecords, RetryPenaltyIsExactlyZeroWithoutFaults) {
+  const auto out = experiment::run_replication(observed_scenario(), 6.0, 0);
+  ASSERT_FALSE(out.edge_records.empty());
+  for (const des::CompletionRecord& r : out.edge_records) {
+    ASSERT_EQ(r.retry_penalty, 0.0f);
+  }
+  for (const des::CompletionRecord& r : out.cloud_records) {
+    ASSERT_EQ(r.retry_penalty, 0.0f);
+  }
+}
+
+TEST(SinkRecords, SomeDeliveriesPayARetryPenaltyUnderFaults) {
+  const auto out =
+      experiment::run_replication(observed_faulted_scenario(), 9.0, 0);
+  std::size_t penalized = 0;
+  for (const des::CompletionRecord& r : out.edge_records) {
+    if (r.retry_penalty > 0.0f) ++penalized;
+  }
+  // The fault trace crashes sites and partitions links; with retries on,
+  // some delivered requests must be second attempts.
+  EXPECT_GT(penalized, 0u);
+}
+
+// ---------------------------------------------------------------------------
+// collect_breakdown / merge_breakdown.
+// ---------------------------------------------------------------------------
+
+TEST(CollectBreakdown, MeanTotalMatchesMeanEndToEnd) {
+  const auto out = experiment::run_replication(observed_scenario(), 8.0, 0);
+  const LatencyBreakdown b = collect_breakdown(out.edge_records);
+  ASSERT_EQ(b.samples, out.edge_records.size());
+  double mean_e2e = 0.0;
+  for (const des::CompletionRecord& r : out.edge_records) {
+    mean_e2e += static_cast<double>(r.end_to_end);
+  }
+  mean_e2e /= static_cast<double>(out.edge_records.size());
+  EXPECT_NEAR(b.mean_total(), mean_e2e, 1e-6 * mean_e2e + 1e-12);
+}
+
+TEST(CollectBreakdown, QuantilesAreOrderedPerComponent) {
+  const auto out = experiment::run_replication(observed_scenario(), 8.0, 0);
+  const LatencyBreakdown b = collect_breakdown(out.edge_records);
+  for (const ComponentStats* c :
+       {&b.network, &b.wait, &b.service, &b.retry_penalty}) {
+    EXPECT_LE(c->p50, c->p95);
+    EXPECT_LE(c->p95, c->p99);
+  }
+  // Single-replication collect has no cross-replication interval.
+  EXPECT_EQ(b.network.mean_ci_half_width, 0.0);
+}
+
+TEST(CollectBreakdown, SiteFilterPartitionsTheSamples) {
+  const experiment::Scenario sc = observed_scenario();
+  const auto out = experiment::run_replication(sc, 8.0, 0);
+  const LatencyBreakdown all = collect_breakdown(out.edge_records);
+  std::uint64_t sum = 0;
+  for (int s = 0; s < sc.num_sites; ++s) {
+    sum += collect_breakdown(out.edge_records, s).samples;
+  }
+  EXPECT_EQ(sum, all.samples);
+}
+
+TEST(MergeBreakdown, PoolsSamplesAndComputesReplicationCi) {
+  const auto r0 = experiment::run_replication(observed_scenario(), 8.0, 0);
+  const auto r1 = experiment::run_replication(observed_scenario(), 8.0, 1);
+  const std::vector<std::vector<des::CompletionRecord>> reps{
+      r0.edge_records, r1.edge_records};
+  const LatencyBreakdown merged = merge_breakdown(reps);
+  EXPECT_EQ(merged.samples, r0.edge_records.size() + r1.edge_records.size());
+  // Two replications contribute, so the t-interval exists for every
+  // component with spread.
+  EXPECT_GT(merged.wait.mean_ci_half_width, 0.0);
+  EXPECT_GT(merged.network.mean_ci_half_width, 0.0);
+  // Pooled summary equals collect over the concatenation.
+  std::vector<des::CompletionRecord> cat = r0.edge_records;
+  cat.insert(cat.end(), r1.edge_records.begin(), r1.edge_records.end());
+  const LatencyBreakdown flat = collect_breakdown(cat);
+  EXPECT_DOUBLE_EQ(merged.wait.p99, flat.wait.p99);
+  EXPECT_NEAR(merged.service.mean(), flat.service.mean(), 1e-12);
+}
+
+TEST(MergeBreakdown, SkipsReplicationsWithNoDeliveredRequests) {
+  const auto r0 = experiment::run_replication(observed_scenario(), 8.0, 0);
+  const std::vector<std::vector<des::CompletionRecord>> with_empty{
+      r0.edge_records, {}, r0.edge_records};
+  const std::vector<std::vector<des::CompletionRecord>> without{
+      r0.edge_records, r0.edge_records};
+  const LatencyBreakdown a = merge_breakdown(with_empty);
+  const LatencyBreakdown b = merge_breakdown(without);
+  EXPECT_EQ(a.samples, b.samples);
+  EXPECT_DOUBLE_EQ(a.wait.mean(), b.wait.mean());
+  EXPECT_DOUBLE_EQ(a.network.mean_ci_half_width, b.network.mean_ci_half_width);
+}
+
+TEST(MergeBreakdown, EmptyInputYieldsEmptyBreakdown) {
+  const LatencyBreakdown b = merge_breakdown({});
+  EXPECT_TRUE(b.empty());
+  EXPECT_EQ(b.mean_total(), 0.0);
+}
+
+}  // namespace
+}  // namespace hce::obs

@@ -1,0 +1,154 @@
+// Tests for the fixed-cadence time-series sampler (src/obs/sampler).
+//
+// The sampler's contract is exactness: gauge probes read instantaneous
+// state at tick times, rate probes report *exact* bin averages from the
+// delta of a time integral, and nothing is scheduled when no sampler is
+// started. All expected values below are exactly representable, so the
+// assertions are equality, not tolerance.
+#include "obs/sampler.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "des/request.hpp"
+#include "des/simulation.hpp"
+#include "des/station.hpp"
+#include "support/contracts.hpp"
+
+namespace hce::obs {
+namespace {
+
+TEST(Sampler, GaugeProbesSampleAtEveryTickUntilHorizon) {
+  des::Simulation sim;
+  Sampler s(sim);
+  s.add_probe("clock", [&sim] { return sim.now(); });
+  s.start(3.0, 10.0);
+  sim.run();
+  // Ticks at 3, 6, 9; the next (12) would pass the horizon, so the
+  // calendar drains.
+  ASSERT_EQ(s.num_samples(), 3u);
+  EXPECT_EQ(s.result().times, (std::vector<Time>{3.0, 6.0, 9.0}));
+  const Series* clock = s.result().find("clock");
+  ASSERT_NE(clock, nullptr);
+  EXPECT_EQ(clock->values, (std::vector<double>{3.0, 6.0, 9.0}));
+  EXPECT_TRUE(sim.empty());
+}
+
+TEST(Sampler, RateProbeReportsExactBinAverages) {
+  des::Simulation sim;
+  Sampler s(sim);
+  // Integral grows at rate 2; with scale 0.5 every bin average is
+  // exactly 1.0 regardless of the tick width.
+  s.add_rate_probe("rate", [&sim] { return 2.0 * sim.now(); }, 0.5);
+  s.start(2.0, 8.0);
+  sim.run();
+  const Series* rate = s.result().find("rate");
+  ASSERT_NE(rate, nullptr);
+  EXPECT_EQ(rate->values, (std::vector<double>{1.0, 1.0, 1.0, 1.0}));
+}
+
+TEST(Sampler, RateProbeClampsBinSpanningAStatsReset) {
+  des::Simulation sim;
+  // Integral = now - offset; bumping offset at t=5 mimics reset_stats()
+  // jumping the integral backwards mid-run.
+  double offset = 0.0;
+  Sampler s(sim);
+  s.add_rate_probe("rate", [&] { return sim.now() - offset; });
+  sim.schedule_at(5.0, [&offset] { offset = 5.0; });
+  s.start(2.0, 8.0);
+  sim.run();
+  const Series* rate = s.result().find("rate");
+  ASSERT_NE(rate, nullptr);
+  // Bins [0,2] and [2,4] see slope 1; [4,6] spans the reset (integral
+  // falls from 4 to 1) and clamps to 0; [6,8] resumes at slope 1.
+  EXPECT_EQ(rate->values, (std::vector<double>{1.0, 1.0, 0.0, 1.0}));
+}
+
+TEST(Sampler, StationProbesReportExactUtilizationAndQueueDepth) {
+  des::Simulation sim;
+  des::Station st(sim, "s0", 2);
+  st.set_completion_handler([](const des::Request&) {});
+  des::Request r;
+  r.service_demand = 2.0;
+  st.arrive(r);  // one of two servers busy on [0, 2]
+  Sampler s(sim);
+  s.add_station_probes(st);
+  s.start(5.0, 5.0);
+  sim.run();
+  ASSERT_EQ(s.num_samples(), 1u);
+  const Series* util = s.result().find("s0/util");
+  const Series* queue = s.result().find("s0/queue");
+  ASSERT_NE(util, nullptr);
+  ASSERT_NE(queue, nullptr);
+  // busy integral = 2.0 server-seconds over a 5 s bin with c = 2:
+  // bin-average utilization is exactly 0.2 — a point sample at t=5
+  // would have read 0.
+  EXPECT_EQ(util->values, (std::vector<double>{0.2}));
+  EXPECT_EQ(queue->values, (std::vector<double>{0.0}));
+}
+
+TEST(Sampler, NothingIsScheduledWhenHorizonPrecedesFirstTick) {
+  des::Simulation sim;
+  Sampler s(sim);
+  s.add_probe("g", [] { return 1.0; });
+  s.start(4.0, 3.0);
+  EXPECT_TRUE(sim.empty());
+  sim.run();
+  EXPECT_EQ(s.num_samples(), 0u);
+  EXPECT_TRUE(s.result().empty());
+  // Series headers still exist (one per probe), just with no samples.
+  ASSERT_NE(s.result().find("g"), nullptr);
+  EXPECT_TRUE(s.result().find("g")->values.empty());
+}
+
+TEST(Sampler, TakeResultMovesTheSeriesOut) {
+  des::Simulation sim;
+  Sampler s(sim);
+  s.add_probe("g", [&sim] { return sim.now(); });
+  s.start(1.0, 2.0);
+  sim.run();
+  SamplerResult out = s.take_result();
+  EXPECT_EQ(out.times.size(), 2u);
+  EXPECT_TRUE(s.result().empty());
+}
+
+TEST(Sampler, ContractsRejectMisuse) {
+  des::Simulation sim;
+  Sampler s(sim);
+  s.add_probe("g", [] { return 0.0; });
+  EXPECT_THROW(s.start(0.0, 10.0), ContractViolation);
+  EXPECT_THROW(s.start(-1.0, 10.0), ContractViolation);
+  s.start(1.0, 10.0);
+  EXPECT_THROW(s.add_probe("late", [] { return 0.0; }), ContractViolation);
+  EXPECT_THROW(s.add_rate_probe("late", [] { return 0.0; }),
+               ContractViolation);
+  EXPECT_THROW(s.start(1.0, 10.0), ContractViolation);
+}
+
+TEST(Sampler, TicksAreObserverEventsAndDoNotExtendTheDrainedClock) {
+  des::Simulation sim;
+  // One real event at t=1; ticks continue to t=9. Without the observer
+  // marking, the drained clock would sit at the last tick and every
+  // post-run time average (utilization = integral / elapsed) would see
+  // a denominator that depends on whether sampling was on.
+  sim.schedule_at(1.0, [] {});
+  Sampler s(sim);
+  s.add_probe("g", [] { return 0.0; });
+  s.start(3.0, 10.0);
+  sim.run();
+  EXPECT_EQ(sim.now(), 9.0);            // last executed event: tick at 9
+  EXPECT_EQ(sim.last_activity(), 1.0);  // last *real* event
+  sim.rewind_to_last_activity();
+  EXPECT_EQ(sim.now(), 1.0);
+  EXPECT_EQ(s.num_samples(), 3u);
+}
+
+TEST(SamplerResult, FindReturnsNullForUnknownSeries) {
+  SamplerResult r;
+  EXPECT_EQ(r.find("nope"), nullptr);
+  EXPECT_TRUE(r.empty());
+}
+
+}  // namespace
+}  // namespace hce::obs

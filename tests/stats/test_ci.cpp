@@ -87,6 +87,39 @@ TEST(BatchMeansCi, RejectsTooFewObservations) {
   EXPECT_THROW(batch_means_ci({1.0, 2.0}, 10), ContractViolation);
 }
 
+TEST(BatchMeansCi, RemainderObservationsAreNotDiscarded) {
+  // 7 observations, 2 batches. Folding the remainder gives batches
+  // {1,2,3,4} and {5,6,100} with means 2.5 and 37 -> CI mean 19.75.
+  // The old implementation truncated to batches {1,2,3} and {4,5,6},
+  // silently discarding the outlier 100 and reporting mean 3.5 — a
+  // point estimate that doesn't even use every observation.
+  const std::vector<double> obs{1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 100.0};
+  const auto ci = batch_means_ci(obs, 2);
+  EXPECT_DOUBLE_EQ(ci.mean, 19.75);
+  EXPECT_GT(ci.half_width, 0.0);
+}
+
+TEST(BatchMeansCi, EveryObservationLandsInExactlyOneBatch) {
+  // 10 observations over 3 batches: sizes 4, 3, 3 (first size % nb
+  // batches take the extra one). Batch means 1.25, 2.0, 3.0 -> CI mean
+  // is their average, and the grand total is conserved by construction.
+  const std::vector<double> obs{1.0, 1.0, 1.0, 2.0, 2.0,
+                                2.0, 2.0, 3.0, 3.0, 3.0};
+  const auto ci = batch_means_ci(obs, 3);
+  EXPECT_DOUBLE_EQ(ci.mean, (1.25 + 2.0 + 3.0) / 3.0);
+}
+
+TEST(BatchMeansCi, DivisibleCountMatchesNaiveBatching) {
+  // When the count divides evenly the fold is a no-op: identical to the
+  // classical equal-size batching.
+  std::vector<double> obs;
+  for (int i = 0; i < 40; ++i) obs.push_back(static_cast<double>(i % 5));
+  const auto folded = batch_means_ci(obs, 8);
+  // 8 batches of 5 consecutive values 0..4: every batch mean is 2.
+  EXPECT_DOUBLE_EQ(folded.mean, 2.0);
+  EXPECT_DOUBLE_EQ(folded.half_width, 0.0);
+}
+
 TEST(BootstrapCi, MedianCiContainsTrueMedian) {
   Rng rng(9);
   auto d = dist::lognormal(1.0, 0.8);
