@@ -1,0 +1,256 @@
+// Data-pull drill: how a finite edge cache re-creates the inversion the
+// edge was deployed to avoid.
+//
+// The paper's ledger (Eq. 1/2) charges the edge one queueing penalty
+// against its network advantage. Stateful requests add a second charge:
+// every edge-cache miss pulls the object from the cloud store over the
+// same WAN the deployment dodged, stalling the request for a pull RTT
+// plus the transfer. At a fixed offered rate *below* the stateless
+// crossover (where the edge should win), this bench sweeps popularity
+// skew (Zipf theta) against cache capacity and measures the five-way
+// latency decomposition of both sides under paired CRN workloads. Claims
+// under test: a small cache under flat popularity inverts the comparison
+// even though the edge's measured *network* time stays far below the
+// cloud's (the inversion is entirely the state_pull component); growing
+// the cache or sharpening the skew shrinks the pull stall monotonically
+// until the edge advantage is restored; and the miss traffic drags the
+// mean-latency crossover of a full rate sweep strictly left of the
+// stateless one.
+#include "bench_common.hpp"
+
+#include <cmath>
+#include <cstdint>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "dist/zipf.hpp"
+#include "experiment/crossover.hpp"
+#include "experiment/runner.hpp"
+#include "state/cache.hpp"
+#include "support/rng.hpp"
+#include "support/table.hpp"
+
+namespace {
+
+using namespace hce;
+
+// One shared key universe; the cache levels below span ~1.5% of it up to
+// all of it, so the miss rate runs from "almost every request pulls" down
+// to "only cold first touches pull".
+constexpr std::uint64_t kKeySpace = 4096;
+
+// 15 ms object transfer on top of the pull RTT: a ~100 KB object over a
+// ~50 Mbit/s WAN share. This is what makes the miss path comparable to —
+// and at high miss rates worse than — simply serving from the cloud.
+constexpr double kPullTransfer = 0.015;
+
+experiment::Scenario stateful_scenario(double theta,
+                                       std::uint64_t capacity) {
+  auto s = experiment::Scenario::typical_cloud();
+  s.warmup = 240.0;
+  s.duration = 600.0;
+  s.replications = 3;
+  s.observe = true;  // the claims read the state_pull component
+  s.state.enabled = true;
+  s.state.key_space = kKeySpace;
+  s.state.zipf_theta = theta;
+  s.state.cache_capacity = capacity;
+  s.state.pull_transfer = dist::deterministic(kPullTransfer);
+  return s;
+}
+
+struct Cell {
+  double theta = 0.0;
+  std::uint64_t capacity = 0;  // 0 = unbounded
+  experiment::PointResult point;
+};
+
+std::string capacity_label(std::uint64_t c) {
+  return c == 0 ? std::string("unbounded") : std::to_string(c);
+}
+
+void reproduce() {
+  bench::banner(
+      "data-pull drill — edge/cloud comparison vs. Zipf theta x cache size",
+      "a small edge cache under flat popularity inverts the comparison "
+      "below the stateless crossover (network stays cheap, state pulls do "
+      "not); capacity or skew restores the edge advantage");
+
+  // Fixed rate well below the stateless mean-latency crossover for this
+  // scenario (~4.4 req/s), so any measured inversion is attributable to
+  // the pull path, not queueing.
+  const Rate rate = 3.5;
+  const std::vector<double> thetas{0.6, 0.9, 1.2};
+  const std::vector<std::uint64_t> capacities{64, 512, 0};
+
+  TextTable t({"theta", "capacity", "hit rate", "edge net_ms",
+               "cloud net_ms", "pull_ms", "edge e2e_ms", "cloud e2e_ms",
+               "verdict"});
+  std::vector<std::vector<Cell>> grid;
+  bool identity_ok = true;
+  bool cloud_pull_free = true;
+  for (double theta : thetas) {
+    grid.emplace_back();
+    for (std::uint64_t cap : capacities) {
+      Cell cell;
+      cell.theta = theta;
+      cell.capacity = cap;
+      cell.point = experiment::run_point(stateful_scenario(theta, cap), rate);
+      const auto& e = cell.point.edge;
+      const auto& c = cell.point.cloud;
+
+      // The 5-term telescoping identity, on float-compressed records
+      // pooled across replications.
+      for (const auto* side : {&e, &c}) {
+        const double err =
+            std::abs(side->breakdown.mean_total() - side->mean);
+        if (err > 1e-4 * side->mean + 1e-9) identity_ok = false;
+      }
+      // The cloud serves state locally: no cache tier, no pulls.
+      if (c.cache_lookups != 0 || c.state_pulls != 0 ||
+          c.breakdown.state_pull.mean() != 0.0) {
+        cloud_pull_free = false;
+      }
+
+      t.row().add(theta, 1).add(capacity_label(cap));
+      t.add(e.cache_hit_rate, 3);
+      t.add_ms(e.breakdown.network.mean(), 2);
+      t.add_ms(c.breakdown.network.mean(), 2);
+      t.add_ms(e.breakdown.state_pull.mean(), 2);
+      t.add_ms(e.mean, 2).add_ms(c.mean, 2);
+      t.add(e.mean > c.mean ? "INVERTED" : "edge wins");
+      grid.back().push_back(cell);
+    }
+  }
+  t.print(std::cout);
+
+  // Per-theta monotonicity: more capacity => more hits, less pull stall.
+  bool hits_monotone = true;
+  bool pull_monotone = true;
+  for (const auto& row : grid) {
+    for (std::size_t i = 0; i + 1 < row.size(); ++i) {
+      const auto& small = row[i].point.edge;
+      const auto& big = row[i + 1].point.edge;
+      if (big.cache_hit_rate <= small.cache_hit_rate) hits_monotone = false;
+      if (big.breakdown.state_pull.mean() >=
+          small.breakdown.state_pull.mean()) {
+        pull_monotone = false;
+      }
+    }
+  }
+
+  const auto& inverted = grid.front().front().point;   // theta .6, cap 64
+  const auto& restored = grid.back().back().point;     // theta 1.2, unbounded
+
+  bench::section("claims");
+  bench::check(
+      "small cache + flat popularity inverts: edge network < cloud network "
+      "yet edge e2e > cloud e2e",
+      inverted.edge.breakdown.network.mean() <
+              inverted.cloud.breakdown.network.mean() &&
+          inverted.edge.mean > inverted.cloud.mean);
+  bench::check("the cloud side issues no state pulls anywhere",
+               cloud_pull_free);
+  bench::check("hit rate rises with capacity at every theta", hits_monotone);
+  bench::check("pull stall falls with capacity at every theta",
+               pull_monotone);
+  bench::check(
+      "large cache + high skew restores the edge advantage",
+      restored.edge.mean < restored.cloud.mean &&
+          restored.edge.breakdown.state_pull.mean() <
+              grid.front().front().point.edge.breakdown.state_pull.mean());
+  bench::check(
+      "network + wait + service + retry + state_pull == e2e in every cell",
+      identity_ok);
+
+  // --- crossover shift: the pull tax shrinks the edge operating region --
+  bench::section("mean-latency crossover, stateless vs. stateful");
+  std::vector<Rate> rates;
+  for (Rate r = 1.0; r <= 6.01; r += 0.5) rates.push_back(r);
+
+  auto stateless = experiment::Scenario::typical_cloud();
+  stateless.warmup = 240.0;
+  stateless.duration = 600.0;
+  stateless.replications = 3;
+  auto stateful = stateful_scenario(1.2, 64);
+  stateful.observe = false;  // the sweep only needs means
+  const Rate mu = stateless.mu;
+
+  const auto x0 = experiment::find_crossover(
+      experiment::run_sweep(stateless, rates), experiment::Metric::kMean, mu);
+  const auto x1 = experiment::find_crossover(
+      experiment::run_sweep(stateful, rates), experiment::Metric::kMean, mu);
+  TextTable xt({"workload", "crossover (req/s)", "cutoff rho"});
+  xt.row().add("stateless");
+  if (x0) xt.add(x0->rate, 2).add(x0->utilization, 3); else xt.add("none").add("-");
+  xt.row().add("stateful (theta 1.2, cache 64)");
+  if (x1) xt.add(x1->rate, 2).add(x1->utilization, 3); else xt.add("none").add("-");
+  xt.print(std::cout);
+
+  bench::check(
+      "miss traffic drags the crossover strictly left of the stateless one",
+      x0.has_value() && x1.has_value() && x1->rate < x0->rate);
+}
+
+// --- microbenchmarks --------------------------------------------------------
+
+void BM_ZipfDraw(benchmark::State& state) {
+  const dist::ZipfSampler zipf(static_cast<std::uint64_t>(state.range(0)),
+                               0.9);
+  Rng rng(1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(zipf.key(rng));
+  }
+  state.SetItemsProcessed(state.iterations());
+  state.SetLabel(std::to_string(state.range(0)) +
+                 " keys, alias method (O(1)/draw)");
+}
+BENCHMARK(BM_ZipfDraw)->Arg(1 << 10)->Arg(1 << 20);
+
+void BM_CacheChurn(benchmark::State& state) {
+  // Steady-state lookup/insert churn on Zipf(0.9) keys over a universe
+  // 64x the capacity, replayed from a 64Ki-draw tape. The small capacity
+  // exercises the miss/evict path (~37% hits); the 64Ki capacity absorbs
+  // the whole tape and measures the pure hit/promote path. After the
+  // warm-fill, the loop body must allocate nothing (slab + free list +
+  // open-addressing index).
+  const auto cap = static_cast<std::uint64_t>(state.range(0));
+  state::EdgeCache cache(cap);
+  const dist::ZipfSampler zipf(cap * 64, 0.9);
+  Rng rng(7);
+  std::vector<std::uint64_t> keys(1 << 16);
+  for (auto& k : keys) k = zipf.key(rng);
+  std::size_t i = 0;
+  for (auto _ : state) {
+    state::EdgeCache::Handle h = cache.lookup(keys[i]);
+    if (!h.valid()) h = cache.insert(keys[i]);
+    benchmark::DoNotOptimize(h);
+    i = (i + 1) & (keys.size() - 1);
+  }
+  state.SetItemsProcessed(state.iterations());
+  state.SetLabel("cap " + std::to_string(cap) + ", hit rate " +
+                 format_fixed(cache.stats().hit_rate(), 2));
+}
+BENCHMARK(BM_CacheChurn)->Arg(1024)->Arg(65536);
+
+void BM_StatefulReplication(benchmark::State& state) {
+  auto sc = stateful_scenario(0.9, state.range(0) != 0 ? 512 : 64);
+  sc.observe = false;
+  sc.warmup = 30.0;
+  sc.duration = 150.0;
+  sc.replications = 1;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(experiment::run_replication(sc, 3.5, 0));
+  }
+  state.SetLabel(state.range(0) != 0 ? "cache 512 (hit-heavy)"
+                                     : "cache 64 (pull-heavy)");
+}
+BENCHMARK(BM_StatefulReplication)
+    ->Arg(0)
+    ->Arg(1)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+HCE_BENCH_MAIN(reproduce)

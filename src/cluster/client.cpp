@@ -103,6 +103,9 @@ void RetryClient::on_timeout(std::uint32_t slot) {
   const bool counted = p.epoch == epoch_;
   if (p.attempt >= 1 + policy_.max_retries) {
     if (counted) ++stats_.timeouts;  // budget exhausted: client gives up
+    // Resource reclamation must run regardless of the stats epoch — a
+    // pull abandoned after a warmup reset still holds a parked request.
+    if (on_abandon_) on_abandon_(p.req);
     release(slot);
     return;
   }

@@ -31,6 +31,8 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
+#include <utility>
 #include <vector>
 
 #include "des/request.hpp"
@@ -146,6 +148,17 @@ class RetryClient {
   /// entry stays armed; the timeout recovers the request.
   void count_link_drop() { ++stats_.link_drops; }
 
+  /// Optional hook fired with the abandoned payload when a request
+  /// exhausts its retry budget (the moment `timeouts` is counted), just
+  /// before the pending slot is released. For owners that parked
+  /// per-request resources keyed by a payload field — the state tier
+  /// parks the original request behind each pull — and must reclaim them
+  /// even across stats epochs. Unset for plain deployments: behavior is
+  /// then byte-identical to the pre-hook client.
+  void set_on_abandon(std::function<void(const des::Request&)> fn) {
+    on_abandon_ = std::move(fn);
+  }
+
   const ClientStats& stats() const { return stats_; }
   const RetryPolicy& policy() const { return policy_; }
 
@@ -196,6 +209,7 @@ class RetryClient {
   des::Simulation& sim_;
   RetryPolicy policy_;
   Transport& transport_;
+  std::function<void(const des::Request&)> on_abandon_;
   ClientStats stats_;
   std::uint64_t epoch_ = 0;  ///< bumped by reset_stats()
 

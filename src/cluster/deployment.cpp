@@ -134,6 +134,21 @@ EdgeDeployment::EdgeDeployment(des::Simulation& sim, EdgeConfig cfg, Rng rng)
       });
     });
   }
+  if (cfg_.state.enabled) {
+    StateTierConfig tc;
+    tc.spec = cfg_.state;
+    tc.pull_network = cfg_.state_network;
+    tc.pull_retry = cfg_.state_retry;
+    tc.pull_link_faults = cfg_.state_link_faults;
+    tc.num_sites = cfg_.num_sites;
+    // Pull jitter draws come from a derived substream, so enabling the
+    // tier cannot perturb the uplink/downlink sampling order above.
+    tier_ = std::make_unique<StateTier>(
+        sim, std::move(tc), rng_.stream("state-pull"),
+        [this](des::Request r, int site) {
+          sites_[static_cast<std::size_t>(site)]->arrive(std::move(r));
+        });
+  }
 }
 
 const faults::LinkSchedule* EdgeDeployment::link_schedule(int site) const {
@@ -204,6 +219,13 @@ void EdgeDeployment::arrive_at_site(des::Request req, int site_index) {
       return;
     }
   }
+  if (tier_ != nullptr) {
+    // Cache consultation happens at the final serving site (after any
+    // failover/redirect hop): hits enter the queue now, misses park here
+    // until their pull lands.
+    tier_->access(std::move(req), site_index);
+    return;
+  }
   station.arrive(std::move(req));
 }
 
@@ -264,6 +286,8 @@ std::uint64_t EdgeDeployment::completed() const {
 std::uint64_t EdgeDeployment::dropped() const {
   std::uint64_t n = 0;
   for (const auto& s : sites_) n += s->dropped_arrivals() + s->killed();
+  // Requests whose state pull was abandoned are black-holed in the tier.
+  if (tier_ != nullptr) n += tier_->pull_stats().abandoned;
   return n;
 }
 
@@ -271,6 +295,7 @@ void EdgeDeployment::reset_stats() {
   for (auto& s : sites_) s->reset_stats();
   redirect_count_ = 0;
   failover_count_ = 0;
+  if (tier_ != nullptr) tier_->reset_stats();
   client_.reset_stats();
 }
 
@@ -279,6 +304,7 @@ void EdgeDeployment::instrument(obs::Sampler& sampler) const {
   sampler.add_probe("edge/client_pending", [this] {
     return static_cast<double>(client_.pending_in_flight());
   });
+  if (tier_ != nullptr) tier_->instrument(sampler, "edge");
 }
 
 }  // namespace hce::cluster

@@ -29,6 +29,7 @@
 #include "cluster/deployment_base.hpp"
 #include "cluster/dispatch.hpp"
 #include "cluster/network.hpp"
+#include "cluster/state_tier.hpp"
 #include "des/request.hpp"
 #include "des/request_pool.hpp"
 #include "des/simulation.hpp"
@@ -129,6 +130,18 @@ struct EdgeConfig {
   /// Per-site access-link degradation schedules (empty = all healthy;
   /// otherwise one entry per site, null entries allowed).
   std::vector<std::shared_ptr<const faults::LinkSchedule>> site_link_faults;
+
+  // --- Stateful requests (src/state/) -----------------------------------
+  /// Cache-tier spec; `state.enabled` turns key consultation on. A miss
+  /// at a site pulls the object from the cloud store over state_network
+  /// (with state_link_faults applied) before the request may queue —
+  /// the data-pull path of the inversion regime.
+  state::StateSpec state;
+  NetworkModel state_network = NetworkModel::fixed(0.025);
+  /// Pull timeout/retry policy; keep enabled when state_link_faults is
+  /// set (see StateTierConfig).
+  RetryPolicy state_retry;
+  std::shared_ptr<const faults::LinkSchedule> state_link_faults;
 };
 
 class EdgeDeployment final : public Deployment,
@@ -163,9 +176,19 @@ class EdgeDeployment final : public Deployment,
   /// Requests black-holed or killed at crashed sites.
   std::uint64_t dropped() const override;
   void reset_stats() override;
-  /// Per-site util/queue probes plus `edge/client_pending`.
+  /// Per-site util/queue probes plus `edge/client_pending` (and, with a
+  /// state tier, per-site cache occupancy + pulls-in-flight gauges).
   void instrument(obs::Sampler& sampler) const override;
   const EdgeConfig& config() const { return cfg_; }
+
+  state::CacheStats cache_stats() const override {
+    return tier_ ? tier_->cache_stats() : state::CacheStats{};
+  }
+  state::PullStats pull_stats() const override {
+    return tier_ ? tier_->pull_stats() : state::PullStats{};
+  }
+  /// The state tier, or null when the deployment is stateless.
+  const StateTier* state_tier() const { return tier_.get(); }
 
  private:
   // RetryClient::Transport
@@ -189,6 +212,8 @@ class EdgeDeployment final : public Deployment,
   des::RequestPool pool_;
   std::uint64_t redirect_count_ = 0;
   std::uint64_t failover_count_ = 0;
+  /// Cache tier between routing and the serving queue (null = stateless).
+  std::unique_ptr<StateTier> tier_;
   RetryClient client_;
 };
 

@@ -23,6 +23,8 @@
 #include "cluster/client.hpp"
 #include "des/request.hpp"
 #include "des/sink.hpp"
+#include "state/cache.hpp"
+#include "state/state.hpp"
 
 namespace hce::obs {
 class Sampler;
@@ -78,6 +80,13 @@ class Deployment {
   virtual std::uint64_t offloaded() const { return 0; }
   /// Utilization of one site, where per-site breakdowns exist.
   virtual double site_utilization(int /*site*/) const { return utilization(); }
+  /// Aggregate edge-cache counters of the state tier. Zero-valued for
+  /// stateless deployments and for the cloud, which serves state locally
+  /// (the store lives next to its servers) — only edge-style kinds pay
+  /// the pull path.
+  virtual state::CacheStats cache_stats() const { return {}; }
+  /// State-pull accounting of the cache tier (zero when stateless).
+  virtual state::PullStats pull_stats() const { return {}; }
 
   // --- Observability ------------------------------------------------------
   /// Registers this deployment's gauges on a time-series sampler: one

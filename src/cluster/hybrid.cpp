@@ -67,6 +67,22 @@ HybridDeployment::HybridDeployment(des::Simulation& sim, HybridConfig cfg,
       if (client_.on_response(r)) sink_.record(r);
     });
   });
+  if (cfg_.state.enabled) {
+    StateTierConfig tc;
+    tc.spec = cfg_.state;
+    // Local misses pull over the hybrid's own cloud path — the store
+    // lives next to the overflow pool.
+    tc.pull_network = cfg_.cloud_network;
+    tc.pull_retry = cfg_.state_retry;
+    tc.pull_link_faults = cfg_.cloud_link_faults;
+    tc.num_sites = cfg_.num_sites;
+    tier_ = std::make_unique<StateTier>(
+        sim, std::move(tc), rng_.stream("state-pull"),
+        [this](des::Request r, int site) {
+          ++local_;
+          sites_[static_cast<std::size_t>(site)]->arrive(std::move(r));
+        });
+  }
 }
 
 const faults::LinkSchedule* HybridDeployment::link_schedule(int site) const {
@@ -121,6 +137,13 @@ void HybridDeployment::arrive_at_site(des::Request req, int site_index) {
   }
   if (station.queue_length() >= cfg_.offload_queue_threshold) {
     offload_to_cloud(std::move(req));
+    return;
+  }
+  if (tier_ != nullptr) {
+    // Only the locally served branch consults the cache: offloaded
+    // requests execute next to the store and never pull. The tier's
+    // resume counts `local_` when the request finally queues.
+    tier_->access(std::move(req), site_index);
     return;
   }
   ++local_;
@@ -190,6 +213,8 @@ std::uint64_t HybridDeployment::completed() const {
 std::uint64_t HybridDeployment::dropped() const {
   std::uint64_t n = cloud_.dropped();
   for (const auto& s : sites_) n += s->dropped_arrivals() + s->killed();
+  // Requests whose state pull was abandoned are black-holed in the tier.
+  if (tier_ != nullptr) n += tier_->pull_stats().abandoned;
   return n;
 }
 
@@ -198,6 +223,7 @@ void HybridDeployment::reset_stats() {
   cloud_.reset_stats();
   offloaded_ = 0;
   local_ = 0;
+  if (tier_ != nullptr) tier_->reset_stats();
   client_.reset_stats();
 }
 
@@ -207,6 +233,7 @@ void HybridDeployment::instrument(obs::Sampler& sampler) const {
   sampler.add_probe("hybrid/client_pending", [this] {
     return static_cast<double>(client_.pending_in_flight());
   });
+  if (tier_ != nullptr) tier_->instrument(sampler, "hybrid");
 }
 
 }  // namespace hce::cluster

@@ -23,6 +23,7 @@
 #include "cluster/deployment_base.hpp"
 #include "cluster/dispatch.hpp"
 #include "cluster/network.hpp"
+#include "cluster/state_tier.hpp"
 #include "des/request.hpp"
 #include "des/request_pool.hpp"
 #include "des/simulation.hpp"
@@ -59,6 +60,17 @@ struct HybridConfig {
   /// WAN degradation on the site->cloud forward leg and the cloud->client
   /// response leg (null = healthy).
   std::shared_ptr<const faults::LinkSchedule> cloud_link_faults;
+
+  // --- Stateful requests (src/state/) -----------------------------------
+  /// Cache-tier spec for *locally served* requests: a local miss pulls
+  /// state from the cloud store over the hybrid's own cloud path
+  /// (cloud_network + cloud_link_faults). Offloaded requests run next to
+  /// the store and never stall on data — offloading dodges the pull the
+  /// same way it dodges the local queue.
+  state::StateSpec state;
+  /// Pull timeout/retry policy; keep enabled when cloud_link_faults is
+  /// set (see StateTierConfig).
+  RetryPolicy state_retry;
 };
 
 class HybridDeployment final : public Deployment,
@@ -98,8 +110,18 @@ class HybridDeployment final : public Deployment,
     return sites_.at(static_cast<std::size_t>(i))->utilization();
   }
   void reset_stats() override;
-  /// Per-site + cloud-pool util/queue probes plus `hybrid/client_pending`.
+  /// Per-site + cloud-pool util/queue probes plus `hybrid/client_pending`
+  /// (and, with a state tier, cache occupancy + pulls-in-flight gauges).
   void instrument(obs::Sampler& sampler) const override;
+
+  state::CacheStats cache_stats() const override {
+    return tier_ ? tier_->cache_stats() : state::CacheStats{};
+  }
+  state::PullStats pull_stats() const override {
+    return tier_ ? tier_->pull_stats() : state::PullStats{};
+  }
+  /// The state tier, or null when the deployment is stateless.
+  const StateTier* state_tier() const { return tier_.get(); }
 
   const HybridConfig& config() const { return cfg_; }
 
@@ -123,6 +145,8 @@ class HybridDeployment final : public Deployment,
   des::RequestPool pool_;
   std::uint64_t offloaded_ = 0;
   std::uint64_t local_ = 0;
+  /// Cache tier in front of the local sites (null = stateless).
+  std::unique_ptr<StateTier> tier_;
   RetryClient client_;
 };
 

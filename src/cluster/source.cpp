@@ -33,6 +33,7 @@ void Source::schedule_next() {
     req.id = next_id_++;
     req.site = site_;
     req.service_demand = service_->sample(rng_);
+    if (keys_) req.key = keys_->key(*key_rng_);
     ++generated_;
     submit_(std::move(req));
     schedule_next();
@@ -72,6 +73,9 @@ void MirroredSource::schedule_next() {
     req.id = next_id_++;
     req.site = site_;
     req.service_demand = service_->sample(rng_);
+    // One draw per logical request: both mirrored copies touch the same
+    // key, extending the CRN pairing to the data access pattern.
+    if (keys_) req.key = keys_->key(*key_rng_);
     ++generated_;
     des::Request copy = req;
     submit_a_(std::move(req));

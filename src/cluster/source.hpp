@@ -9,10 +9,12 @@
 
 #include <functional>
 #include <memory>
+#include <optional>
 #include <utility>
 
 #include "des/request.hpp"
 #include "des/simulation.hpp"
+#include "dist/zipf.hpp"
 #include "support/rng.hpp"
 #include "workload/arrival.hpp"
 #include "workload/service.hpp"
@@ -32,6 +34,16 @@ class Source {
   /// Begins generation; arrivals strictly after now() up to `until`.
   void start(Time until);
 
+  /// Attaches a key sampler (stateful workloads): each generated request
+  /// draws Request::key from the popularity law, using the dedicated
+  /// `key_rng` stream — attaching keys cannot perturb arrival or service
+  /// sampling, so stateless runs stay bit-identical. Unset = keys stay 0.
+  void set_key_sampler(std::shared_ptr<const dist::ZipfSampler> keys,
+                       Rng key_rng) {
+    keys_ = std::move(keys);
+    key_rng_.emplace(std::move(key_rng));
+  }
+
   std::uint64_t generated() const { return generated_; }
 
  private:
@@ -43,6 +55,8 @@ class Source {
   int site_;
   SubmitFn submit_;
   Rng rng_;
+  std::shared_ptr<const dist::ZipfSampler> keys_;
+  std::optional<Rng> key_rng_;
   Time until_ = 0.0;
   Time next_time_ = 0.0;
   std::uint64_t generated_ = 0;
@@ -58,6 +72,18 @@ class MirroredSource {
                  workload::ServicePtr service, int site, SubmitFn submit_a,
                  SubmitFn submit_b, Rng rng);
   void start(Time until);
+
+  /// Attaches a key sampler. The key is drawn ONCE per logical request
+  /// and shared by both mirrored copies — CRN pairing extends to the data
+  /// access pattern, so an edge/cloud (or edge/edge) comparison sees the
+  /// identical key sequence on both sides. Dedicated stream; see
+  /// Source::set_key_sampler.
+  void set_key_sampler(std::shared_ptr<const dist::ZipfSampler> keys,
+                       Rng key_rng) {
+    keys_ = std::move(keys);
+    key_rng_.emplace(std::move(key_rng));
+  }
+
   std::uint64_t generated() const { return generated_; }
 
  private:
@@ -70,6 +96,8 @@ class MirroredSource {
   SubmitFn submit_a_;
   SubmitFn submit_b_;
   Rng rng_;
+  std::shared_ptr<const dist::ZipfSampler> keys_;
+  std::optional<Rng> key_rng_;
   Time until_ = 0.0;
   Time last_time_ = 0.0;
   std::uint64_t generated_ = 0;

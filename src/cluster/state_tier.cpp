@@ -1,0 +1,162 @@
+#include "cluster/state_tier.hpp"
+
+#include <utility>
+
+#include "obs/sampler.hpp"
+#include "support/contracts.hpp"
+
+namespace hce::cluster {
+
+StateTier::StateTier(des::Simulation& sim, StateTierConfig cfg, Rng rng,
+                     ResumeFn resume)
+    : sim_(sim),
+      cfg_(std::move(cfg)),
+      rng_(std::move(rng)),
+      resume_(std::move(resume)),
+      pull_client_(sim, cfg_.pull_retry, *this) {
+  HCE_EXPECT(cfg_.num_sites >= 1, "state tier needs >= 1 site");
+  HCE_EXPECT(resume_ != nullptr, "state tier: null resume function");
+  HCE_EXPECT(cfg_.pull_retry.enabled || cfg_.pull_link_faults == nullptr,
+             "state pulls over a faulty link need pull retries enabled "
+             "(a pull lost to a partition would strand its request)");
+  caches_.reserve(static_cast<std::size_t>(cfg_.num_sites));
+  for (int s = 0; s < cfg_.num_sites; ++s) {
+    caches_.emplace_back(cfg_.spec.cache_capacity, cfg_.spec.admission);
+  }
+  // A trivial pull path (no RTT, no jitter, no transfer, no faults)
+  // completes misses inline: no calendar event is scheduled and no RNG is
+  // drawn, so the event sequence is byte-identical to a stateless run —
+  // the theta-irrelevant configuration of the determinism test.
+  trivial_ = cfg_.pull_network.rtt == 0.0 && cfg_.pull_network.jitter == nullptr &&
+             cfg_.spec.pull_transfer == nullptr &&
+             cfg_.pull_link_faults == nullptr;
+  pull_client_.set_on_abandon(
+      [this](const des::Request& pull) { abandon_pull(pull); });
+}
+
+void StateTier::access(des::Request req, int site) {
+  auto& cache = caches_[static_cast<std::size_t>(site)];
+  if (cache.lookup(req.key).valid()) {
+    resume_(std::move(req), site);
+    return;
+  }
+  ++issued_;
+  if (trivial_) {
+    ++completed_;
+    cache.insert(req.key);
+    resume_(std::move(req), site);
+    return;
+  }
+  // The pull is its own Request: the RetryClient restamps t_created /
+  // t_sent on submit, so the parked original keeps its timeline and the
+  // pull's lineage measures only the fetch.
+  des::Request pull;
+  pull.site = site;
+  pull.key = req.key;
+  if (cfg_.spec.pull_transfer != nullptr) {
+    // Object size sampled once per miss: retried pull attempts refetch
+    // the same object, so they carry the same transfer time.
+    pull.service_demand = cfg_.spec.pull_transfer->sample(rng_);
+  }
+  pull.id = parked_.put(std::move(req));
+  pull_client_.submit(std::move(pull), site);
+}
+
+void StateTier::client_send(des::Request pull, int /*target*/) {
+  Time extra = 0.0;
+  if (cfg_.pull_link_faults != nullptr) {
+    if (cfg_.pull_link_faults->partitioned(sim_.now())) {
+      pull_client_.count_link_drop();  // lost; the pull timeout recovers it
+      return;
+    }
+    extra = cfg_.pull_link_faults->extra_one_way(sim_.now());
+  }
+  const Time leg = cfg_.pull_network.one_way(rng_) + extra;
+  const auto h = legs_.put(std::move(pull));
+  sim_.schedule_in(leg, [this, h] { store_respond(h); });
+}
+
+int StateTier::client_retry_target(const des::Request& /*pull*/,
+                                   int prev_target) {
+  return prev_target;  // one cloud store; retries go back to it
+}
+
+void StateTier::store_respond(des::RequestPool::Handle h) {
+  des::Request pull = legs_.take(h);
+  Time extra = 0.0;
+  if (cfg_.pull_link_faults != nullptr) {
+    if (cfg_.pull_link_faults->partitioned(sim_.now())) {
+      pull_client_.count_link_drop();  // response lost; timeout recovers
+      return;
+    }
+    extra = cfg_.pull_link_faults->extra_one_way(sim_.now());
+  }
+  // The object rides the response leg: one-way latency plus its transfer
+  // time (size over WAN bandwidth, sampled at issue).
+  const Time leg =
+      cfg_.pull_network.one_way(rng_) + extra + pull.service_demand;
+  const auto h2 = legs_.put(std::move(pull));
+  sim_.schedule_in(leg, [this, h2] { complete_pull(h2); });
+}
+
+void StateTier::complete_pull(des::RequestPool::Handle h) {
+  des::Request pull = legs_.take(h);
+  pull.t_completed = sim_.now();
+  // First response wins; a late response of a retried pull is a duplicate
+  // and its parked original is long gone.
+  if (!pull_client_.on_response(pull)) return;
+  ++completed_;
+  const int site = pull.site;
+  caches_[static_cast<std::size_t>(site)].insert(pull.key);
+  des::Request orig =
+      parked_.take(static_cast<des::RequestPool::Handle>(pull.id));
+  // Total stall from first issue to landed object — retries, backoff
+  // gaps, and transfer included.
+  orig.state_pull += sim_.now() - pull.t_created;
+  resume_(std::move(orig), site);
+}
+
+void StateTier::abandon_pull(const des::Request& pull) {
+  ++abandoned_;
+  // The pull budget is exhausted: the parked original is dropped (its
+  // foreground client's own timeout reports the loss to the user).
+  parked_.take(static_cast<des::RequestPool::Handle>(pull.id));
+}
+
+state::CacheStats StateTier::cache_stats() const {
+  state::CacheStats total;
+  for (const auto& c : caches_) total += c.stats();
+  return total;
+}
+
+state::PullStats StateTier::pull_stats() const {
+  state::PullStats p;
+  p.issued = issued_;
+  p.completed = completed_;
+  p.abandoned = abandoned_;
+  p.retries = pull_client_.stats().retries;
+  p.link_drops = pull_client_.stats().link_drops;
+  return p;
+}
+
+void StateTier::reset_stats() {
+  for (auto& c : caches_) c.reset_stats();
+  issued_ = 0;
+  completed_ = 0;
+  abandoned_ = 0;
+  pull_client_.reset_stats();
+}
+
+void StateTier::instrument(obs::Sampler& sampler,
+                           const std::string& prefix) const {
+  for (int s = 0; s < cfg_.num_sites; ++s) {
+    const auto* cache = &caches_[static_cast<std::size_t>(s)];
+    sampler.add_probe(prefix + "/cache/" + std::to_string(s) + "/occupancy",
+                      [cache] { return static_cast<double>(cache->size()); });
+  }
+  sampler.add_probe(prefix + "/pulls_in_flight", [this] {
+    return static_cast<double>(pulls_in_flight());
+  });
+}
+
+}  // namespace hce::cluster

@@ -1,0 +1,132 @@
+// The stateful-services tier of edge-style deployments.
+//
+// Every request names a data object (Request::key). The cloud stores all
+// objects next to its servers — cloud requests never stall on data. An
+// edge (or hybrid-local) request, however, consults its site's finite
+// EdgeCache first: a hit proceeds into the serving queue immediately, a
+// miss parks the request and pulls the object from the cloud store over
+// the WAN — the same faulty links the edge deployment was built to avoid.
+// This is the data-pull inversion regime: the edge keeps its network
+// advantage on the request path yet pays (1 - hit_rate) * pull_cost per
+// request on the miss path, and for small caches or flat popularity the
+// sum inverts the comparison even at low utilization.
+//
+// The pull path is a client/transport loop in its own right, so it runs
+// the unified RetryClient: pulls time out, back off, re-issue, and count
+// link drops exactly like foreground requests (`issued == completed +
+// abandoned` after the calendar drains). The parked original accumulates
+// the whole stall — including pull retries and backoffs — into
+// Request::state_pull, the fifth component of the obs/ decomposition.
+//
+// Storage discipline matches the rest of the engine: parked originals and
+// in-flight pull legs live in recycled RequestPool slabs, handlers
+// capture 4-byte handles, and the per-site caches are slab-backed — the
+// steady-state miss path allocates nothing.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cluster/client.hpp"
+#include "cluster/network.hpp"
+#include "des/request.hpp"
+#include "des/request_pool.hpp"
+#include "des/simulation.hpp"
+#include "faults/fault.hpp"
+#include "state/cache.hpp"
+#include "state/state.hpp"
+#include "support/rng.hpp"
+
+namespace hce::obs {
+class Sampler;
+}  // namespace hce::obs
+
+namespace hce::cluster {
+
+struct StateTierConfig {
+  state::StateSpec spec;
+  /// RTT of the site <-> cloud-store path (usually the scenario's cloud
+  /// RTT: the store lives where the consolidated cloud lives).
+  NetworkModel pull_network = NetworkModel::fixed(0.025);
+  /// Timeout/retry policy of pulls. Must stay enabled whenever
+  /// pull_link_faults is set — a pull lost to a partition with no retry
+  /// would strand its parked request forever (enforced at construction).
+  RetryPolicy pull_retry;
+  /// WAN degradation on the pull path (null = healthy).
+  std::shared_ptr<const faults::LinkSchedule> pull_link_faults;
+  int num_sites = 1;
+};
+
+/// One cache tier per deployment: per-site EdgeCaches plus the shared
+/// pull client. Single-threaded under the owning simulation's clock.
+class StateTier final : private RetryClient::Transport {
+ public:
+  /// Called when a request is cleared to enter site `site`'s queue (cache
+  /// hit, or its pull completed). Typically binds Station::arrive.
+  using ResumeFn = std::function<void(des::Request, int)>;
+
+  StateTier(des::Simulation& sim, StateTierConfig cfg, Rng rng,
+            ResumeFn resume);
+
+  StateTier(const StateTier&) = delete;
+  StateTier& operator=(const StateTier&) = delete;
+
+  /// Consults site `site`'s cache for req.key. Hit: resumes the request
+  /// synchronously (no calendar event, no RNG). Miss: parks the request
+  /// and issues a pull; resume fires when the object lands. When the pull
+  /// path is trivial (zero RTT, no jitter, no transfer, no faults) the
+  /// miss also completes inline — the knob behind the cache-on-vs-
+  /// stateless bit-identity test.
+  void access(des::Request req, int site);
+
+  /// Aggregate cache counters over all sites.
+  state::CacheStats cache_stats() const;
+  const state::EdgeCache& cache(int site) const {
+    return caches_[static_cast<std::size_t>(site)];
+  }
+  /// Pull accounting (issued/completed/abandoned plus the pull client's
+  /// retry and link-drop counts).
+  state::PullStats pull_stats() const;
+  std::size_t pulls_in_flight() const { return pull_client_.pending_in_flight(); }
+
+  /// Zeroes counters (cache contents stay resident — a warmup reset does
+  /// not cool the cache) and opens a new pull-client epoch.
+  void reset_stats();
+
+  /// Registers per-site occupancy gauges and a pulls-in-flight gauge
+  /// under `<prefix>/...`. Read-only, RNG-free.
+  void instrument(obs::Sampler& sampler, const std::string& prefix) const;
+
+  bool trivial_pulls() const { return trivial_; }
+  const StateTierConfig& config() const { return cfg_; }
+
+ private:
+  // RetryClient::Transport (the pull loop's view).
+  void client_send(des::Request pull, int target) override;
+  int client_retry_target(const des::Request& pull, int prev_target) override;
+
+  void store_respond(des::RequestPool::Handle h);
+  void complete_pull(des::RequestPool::Handle h);
+  void abandon_pull(const des::Request& pull);
+
+  des::Simulation& sim_;
+  StateTierConfig cfg_;
+  Rng rng_;
+  ResumeFn resume_;
+  std::vector<state::EdgeCache> caches_;
+  /// Originals parked behind their pull; the pull carries the handle in
+  /// its id field.
+  des::RequestPool parked_;
+  /// Pull payloads between calendar events (uplink/response legs).
+  des::RequestPool legs_;
+  RetryClient pull_client_;
+  std::uint64_t issued_ = 0;
+  std::uint64_t completed_ = 0;
+  std::uint64_t abandoned_ = 0;
+  bool trivial_ = false;
+};
+
+}  // namespace hce::cluster

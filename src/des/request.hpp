@@ -41,6 +41,16 @@ struct Request {
   /// resource-constrained edge hardware (s_edge > s_cloud).
   double service_demand = 0.0;
 
+  /// Data object this request touches, drawn from the Zipf popularity law
+  /// of the stateful workload (dist::ZipfSampler). 0 and unused when the
+  /// scenario is stateless.
+  std::uint64_t key = 0;
+  /// Total stall waiting for edge-cache misses to pull state from the
+  /// cloud store, including pull retries and their backoff gaps. Exactly
+  /// 0 on cache hits and in stateless scenarios. Accumulated by
+  /// cluster::StateTier before the request enters the serving queue.
+  Time state_pull = 0.0;
+
   /// Station that served the request (set by the station).
   int station_id = -1;
   /// Server slot within the station.
@@ -66,10 +76,15 @@ struct Request {
   /// Time lost to attempts that timed out or were superseded, including
   /// the backoff gaps between them. Exactly 0 for first-attempt deliveries.
   Time retry_penalty() const { return attempt_sent() - t_created; }
+  /// Time stalled on state pulls of the delivered attempt (the fifth
+  /// decomposition component; see state_pull above).
+  Time state_pull_time() const { return state_pull; }
   /// Uplink leg of the delivered attempt: send -> queue entry. Includes
   /// dispatcher overhead and any redirect/failover hops — everything
-  /// between the client NIC and the serving queue.
-  Time uplink_time() const { return t_arrival - attempt_sent(); }
+  /// between the client NIC and the serving queue — but NOT the state-
+  /// pull stall, which is its own component. (Subtracting an exact 0.0 is
+  /// a bitwise no-op, so stateless lineages are unchanged.)
+  Time uplink_time() const { return t_arrival - attempt_sent() - state_pull; }
   /// Downlink leg: service completion -> observed at the client.
   Time downlink_time() const { return t_completed - t_departure; }
   /// Total network time of the delivered attempt (n in Eq. 1/2).

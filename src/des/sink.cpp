@@ -13,6 +13,7 @@ void Sink::record(const Request& req) {
   r.end_to_end = static_cast<float>(req.end_to_end());
   r.network = static_cast<float>(req.network_time());
   r.retry_penalty = static_cast<float>(req.retry_penalty());
+  r.state_pull = static_cast<float>(req.state_pull_time());
   r.site = static_cast<std::int16_t>(req.site);
   r.station = static_cast<std::int16_t>(req.station_id);
   r.redirects = static_cast<std::int16_t>(req.redirects);

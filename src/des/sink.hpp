@@ -21,6 +21,7 @@ struct CompletionRecord {
   float end_to_end;     ///< total latency (s)
   float network;        ///< uplink + downlink of the delivered attempt (s)
   float retry_penalty;  ///< time lost to timed-out/superseded attempts (s)
+  float state_pull;     ///< stall on edge-cache miss pulls (s); 0 stateless
   std::int16_t site;
   std::int16_t station;
   std::int16_t redirects;

@@ -1,0 +1,71 @@
+#include "dist/zipf.hpp"
+
+#include <limits>
+#include <utility>
+
+#include "dist/weights.hpp"
+#include "support/contracts.hpp"
+
+namespace hce::dist {
+
+AliasTable::AliasTable(std::vector<double> weights)
+    : weights_(normalized(std::move(weights))) {
+  const std::size_t n = weights_.size();
+  HCE_EXPECT(n <= std::numeric_limits<std::uint32_t>::max(),
+             "alias table limited to 2^32 outcomes");
+  prob_.resize(n);
+  alias_.resize(n);
+
+  // Vose's stable two-stack construction: columns with scaled weight < 1
+  // are "small", >= 1 are "large"; each small column is topped up by one
+  // large donor. Processing order is index order within each stack, so
+  // the table (and therefore every draw sequence) is a pure function of
+  // the weight vector — no RNG, no pointer order.
+  std::vector<double> scaled(n);
+  std::vector<std::uint32_t> small, large;
+  small.reserve(n);
+  large.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    scaled[i] = weights_[i] * static_cast<double>(n);
+    (scaled[i] < 1.0 ? small : large).push_back(static_cast<std::uint32_t>(i));
+  }
+  while (!small.empty() && !large.empty()) {
+    const std::uint32_t s = small.back();
+    const std::uint32_t l = large.back();
+    small.pop_back();
+    prob_[s] = scaled[s];
+    alias_[s] = l;
+    scaled[l] -= 1.0 - scaled[s];
+    if (scaled[l] < 1.0) {
+      large.pop_back();
+      small.push_back(l);
+    }
+  }
+  // Leftovers (either stack) have scaled weight 1 up to rounding: they
+  // always accept, so their alias is never taken — point it at itself.
+  for (const std::uint32_t i : large) {
+    prob_[i] = 1.0;
+    alias_[i] = i;
+  }
+  for (const std::uint32_t i : small) {
+    prob_[i] = 1.0;
+    alias_[i] = i;
+  }
+}
+
+namespace {
+
+int checked_key_count(std::uint64_t num_keys) {
+  HCE_EXPECT(num_keys >= 1 && num_keys <= static_cast<std::uint64_t>(
+                                              std::numeric_limits<int>::max()),
+             "zipf sampler: key space must fit in int");
+  return static_cast<int>(num_keys);
+}
+
+}  // namespace
+
+ZipfSampler::ZipfSampler(std::uint64_t num_keys, double theta)
+    : theta_(theta),
+      table_(zipf_weights(checked_key_count(num_keys), theta)) {}
+
+}  // namespace hce::dist

@@ -1,0 +1,72 @@
+// O(1) sampling from finite discrete distributions (Vose alias method),
+// specialized for the Zipf popularity law of stateful request keys.
+//
+// The stateful-services layer draws a key for every generated request, so
+// the sampler sits on the hottest RNG path after arrivals and service
+// demands. The alias method preprocesses the weight vector once into two
+// flat arrays and then answers each draw with exactly ONE uniform deviate
+// and two array reads — O(1) per sample, no binary search over a CDF, and
+// a fixed RNG consumption per draw, which is what keeps common-random-
+// number pairing intact: both mirrored sides share the single key drawn
+// from a dedicated "keys" substream, and enabling keys cannot perturb any
+// other component's stream.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "support/rng.hpp"
+
+namespace hce::dist {
+
+/// Walker/Vose alias table over an arbitrary non-negative weight vector.
+/// Construction is O(n); sampling is O(1) with exactly one uniform01()
+/// draw (so the RNG stream advances by a fixed amount per sample).
+class AliasTable {
+ public:
+  /// `weights` need not be normalized; they must be non-negative with a
+  /// positive sum. The normalized copy is retained for inspection.
+  explicit AliasTable(std::vector<double> weights);
+
+  std::size_t size() const { return prob_.size(); }
+
+  /// Index in [0, size()) with probability weights()[i]. One RNG draw.
+  std::size_t sample(Rng& rng) const {
+    const double x = rng.uniform01() * static_cast<double>(prob_.size());
+    std::size_t i = static_cast<std::size_t>(x);
+    if (i >= prob_.size()) i = prob_.size() - 1;  // u == 1 - ulp edge
+    return (x - static_cast<double>(i)) < prob_[i]
+               ? i
+               : static_cast<std::size_t>(alias_[i]);
+  }
+
+  /// The normalized weight vector the table was built from.
+  const std::vector<double>& weights() const { return weights_; }
+
+ private:
+  std::vector<double> prob_;          ///< acceptance threshold per column
+  std::vector<std::uint32_t> alias_;  ///< fallback index per column
+  std::vector<double> weights_;       ///< normalized input, for tests
+};
+
+/// Zipf(theta) key sampler over keys {0, ..., num_keys-1}: key i has
+/// probability proportional to 1/(i+1)^theta (theta = 0 is uniform).
+/// Built on dist::zipf_weights + AliasTable; immutable and safe to share
+/// across sides/sources (each caller brings its own Rng stream).
+class ZipfSampler {
+ public:
+  ZipfSampler(std::uint64_t num_keys, double theta);
+
+  /// Draws one key. Exactly one uniform01() per call.
+  std::uint64_t key(Rng& rng) const { return table_.sample(rng); }
+
+  std::uint64_t num_keys() const { return table_.size(); }
+  double theta() const { return theta_; }
+  const std::vector<double>& weights() const { return table_.weights(); }
+
+ private:
+  double theta_;
+  AliasTable table_;
+};
+
+}  // namespace hce::dist

@@ -65,6 +65,18 @@ std::unique_ptr<cluster::Deployment> make_deployment(
       cfg.inter_site_rtt = sc.inter_site_rtt;
       cfg.retry = sc.retry;
       cfg.site_link_faults = site_links(sc, trace);
+      if (sc.state.enabled) {
+        cfg.state = sc.state;
+        // The store lives in the cloud region unless overridden; pulls
+        // share the WAN's jitter model and its fault schedule.
+        const Time pull_rtt =
+            sc.state_pull_rtt < 0.0 ? sc.cloud_rtt : sc.state_pull_rtt;
+        cfg.state_network = make_network(pull_rtt, sc.rtt_jitter);
+        cfg.state_retry = sc.state_pull_retry;
+        if (trace != nullptr) {
+          cfg.state_link_faults = trace->cloud_link_schedule();
+        }
+      }
       return std::make_unique<cluster::EdgeDeployment>(sim, std::move(cfg),
                                                        std::move(rng));
     }
@@ -97,10 +109,20 @@ std::unique_ptr<cluster::Deployment> make_deployment(
       if (trace != nullptr) {
         cfg.cloud_link_faults = trace->cloud_link_schedule();
       }
+      if (sc.state.enabled) {
+        cfg.state = sc.state;
+        cfg.state_retry = sc.state_pull_retry;
+      }
       return std::make_unique<cluster::HybridDeployment>(sim, std::move(cfg),
                                                          std::move(rng));
     }
     case DeploymentKind::kElastic: {
+      // The elastic fleet has no cache tier yet: scaling events would
+      // invalidate per-site working sets in ways the current model does
+      // not describe, so reject the combination loudly instead of
+      // silently simulating a stateless fleet.
+      HCE_EXPECT(!sc.state.enabled,
+                 "stateful scenarios do not support kElastic yet");
       autoscale::ElasticEdgeConfig cfg;
       cfg.num_sites = sc.num_sites;
       cfg.initial_servers_per_site = sc.servers_per_site;

@@ -76,9 +76,9 @@ std::string sweep_markdown(const std::vector<PointResult>& sweep) {
 
 TextTable breakdown_table(const std::vector<PointResult>& sweep) {
   TextTable t({"req/s/server", "edge_net_ms", "edge_wait_ms", "edge_svc_ms",
-               "edge_retry_ms", "cloud_net_ms", "cloud_wait_ms",
-               "cloud_svc_ms", "cloud_retry_ms", "wait_penalty_ms",
-               "net_advantage_ms"});
+               "edge_retry_ms", "edge_pull_ms", "cloud_net_ms",
+               "cloud_wait_ms", "cloud_svc_ms", "cloud_retry_ms",
+               "cloud_pull_ms", "wait_penalty_ms", "net_advantage_ms"});
   for (const auto& p : sweep) {
     const obs::LatencyBreakdown& e = p.edge.breakdown;
     const obs::LatencyBreakdown& c = p.cloud.breakdown;
@@ -88,12 +88,15 @@ TextTable breakdown_table(const std::vector<PointResult>& sweep) {
         .add_ms(e.wait.mean(), 3)
         .add_ms(e.service.mean(), 3)
         .add_ms(e.retry_penalty.mean(), 3)
+        .add_ms(e.state_pull.mean(), 3)
         .add_ms(c.network.mean(), 3)
         .add_ms(c.wait.mean(), 3)
         .add_ms(c.service.mean(), 3)
         .add_ms(c.retry_penalty.mean(), 3)
+        .add_ms(c.state_pull.mean(), 3)
         // The paper's inversion ledger (Eq. 1/2): the edge inverts once
-        // its queueing penalty outgrows its network advantage.
+        // its queueing (plus data-pull) penalty outgrows its network
+        // advantage.
         .add_ms(e.wait.mean() - c.wait.mean(), 3)
         .add_ms(c.network.mean() - e.network.mean(), 3);
   }

@@ -11,6 +11,7 @@
 #include "des/simulation.hpp"
 #include "dist/distribution.hpp"
 #include "dist/weights.hpp"
+#include "dist/zipf.hpp"
 #include "experiment/deployment_factory.hpp"
 #include "faults/fault.hpp"
 #include "obs/sampler.hpp"
@@ -122,6 +123,16 @@ ReplicationOutput run_replication(const Scenario& sc, Rate rate_per_server,
       1.0 + (sc.retry.enabled ? sc.retry.timeout : 0.0);
   sim.reserve(static_cast<std::size_t>(total_rate * inflight_window) + 256);
 
+  // Stateful workloads: one alias table shared by every site's source
+  // (construction is O(key_space), sampling O(1)); each site draws its
+  // keys from a dedicated "keys" substream so enabling state perturbs
+  // neither arrival nor service sampling.
+  std::shared_ptr<const dist::ZipfSampler> keys;
+  if (sc.state.enabled) {
+    keys = std::make_shared<const dist::ZipfSampler>(sc.state.key_space,
+                                                     sc.state.zipf_theta);
+  }
+
   std::vector<std::unique_ptr<cluster::MirroredSource>> sources;
   sources.reserve(weights.size());
   for (int site = 0; site < sc.num_sites; ++site) {
@@ -133,6 +144,10 @@ ReplicationOutput run_replication(const Scenario& sc, Rate rate_per_server,
         [&a](des::Request r) { a.submit(std::move(r)); },
         [&b](des::Request r) { b.submit(std::move(r)); },
         rng.stream("source", static_cast<std::uint64_t>(site))));
+    if (keys) {
+      sources.back()->set_key_sampler(
+          keys, rng.stream("keys", static_cast<std::uint64_t>(site)));
+    }
     sources.back()->start(sc.warmup + sc.duration);
   }
 
@@ -180,6 +195,10 @@ ReplicationOutput run_replication(const Scenario& sc, Rate rate_per_server,
   out.cloud_client = b.client_stats();
   out.edge_dropped = a.dropped();
   out.cloud_dropped = b.dropped();
+  out.edge_cache = a.cache_stats();
+  out.cloud_cache = b.cache_stats();
+  out.edge_pulls = a.pull_stats();
+  out.cloud_pulls = b.pull_stats();
   out.site_downtime.resize(static_cast<std::size_t>(sc.num_sites), 0.0);
   if (faulted) {
     for (int s = 0; s < sc.num_sites; ++s) {
@@ -212,6 +231,8 @@ struct PointScratch {
   std::vector<std::vector<double>> edge_lat, cloud_lat;
   std::vector<double> edge_util, cloud_util;
   std::vector<cluster::ClientStats> edge_clients, cloud_clients;
+  std::vector<state::CacheStats> edge_caches, cloud_caches;
+  std::vector<state::PullStats> edge_pulls, cloud_pulls;
   std::vector<std::vector<des::CompletionRecord>> edge_recs, cloud_recs;
   std::vector<double> all;        ///< merged latency samples (sorted)
   std::vector<double> rep_means;  ///< per-replication means for the CI
@@ -225,6 +246,10 @@ struct PointScratch {
     cloud_util.clear();
     edge_clients.clear();
     cloud_clients.clear();
+    edge_caches.clear();
+    cloud_caches.clear();
+    edge_pulls.clear();
+    cloud_pulls.clear();
     edge_recs.clear();
     cloud_recs.clear();
   }
@@ -233,6 +258,8 @@ struct PointScratch {
 SideStats merge_side(const std::vector<std::vector<double>>& latencies,
                      const std::vector<double>& utilizations,
                      const std::vector<cluster::ClientStats>& clients,
+                     const std::vector<state::CacheStats>& caches,
+                     const std::vector<state::PullStats>& pulls,
                      const std::vector<std::vector<des::CompletionRecord>>&
                          records,
                      PointScratch& scratch) {
@@ -241,6 +268,19 @@ SideStats merge_side(const std::vector<std::vector<double>>& latencies,
     s.offered += c.offered;
     s.retries += c.retries;
     s.timeouts += c.timeouts;
+  }
+  for (const state::CacheStats& c : caches) {
+    s.cache_lookups += c.lookups;
+    s.cache_hits += c.hits;
+    s.cache_misses += c.misses;
+  }
+  for (const state::PullStats& p : pulls) {
+    s.state_pulls += p.issued;
+    s.pulls_abandoned += p.abandoned;
+  }
+  if (s.cache_lookups > 0) {
+    s.cache_hit_rate = static_cast<double>(s.cache_hits) /
+                       static_cast<double>(s.cache_lookups);
   }
   if (s.offered > 0) {
     s.timeout_rate =
@@ -303,6 +343,10 @@ PointResult run_point_scratch(const Scenario& sc, Rate rate_per_server,
     scratch.cloud_util.push_back(out.cloud_utilization);
     scratch.edge_clients.push_back(out.edge_client);
     scratch.cloud_clients.push_back(out.cloud_client);
+    scratch.edge_caches.push_back(out.edge_cache);
+    scratch.cloud_caches.push_back(out.cloud_cache);
+    scratch.edge_pulls.push_back(out.edge_pulls);
+    scratch.cloud_pulls.push_back(out.cloud_pulls);
     if (sc.observe) {
       scratch.edge_recs.push_back(std::move(out.edge_records));
       scratch.cloud_recs.push_back(std::move(out.cloud_records));
@@ -311,9 +355,11 @@ PointResult run_point_scratch(const Scenario& sc, Rate rate_per_server,
     pr.edge_failovers += out.edge_failovers;
   }
   pr.edge = merge_side(scratch.edge_lat, scratch.edge_util,
-                       scratch.edge_clients, scratch.edge_recs, scratch);
+                       scratch.edge_clients, scratch.edge_caches,
+                       scratch.edge_pulls, scratch.edge_recs, scratch);
   pr.cloud = merge_side(scratch.cloud_lat, scratch.cloud_util,
-                        scratch.cloud_clients, scratch.cloud_recs, scratch);
+                        scratch.cloud_clients, scratch.cloud_caches,
+                        scratch.cloud_pulls, scratch.cloud_recs, scratch);
   return pr;
 }
 

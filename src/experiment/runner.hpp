@@ -15,6 +15,8 @@
 #include "experiment/scenario.hpp"
 #include "obs/breakdown.hpp"
 #include "obs/sampler.hpp"
+#include "state/cache.hpp"
+#include "state/state.hpp"
 #include "support/time.hpp"
 
 namespace hce::experiment {
@@ -47,6 +49,14 @@ struct SideStats {
   std::uint64_t timeouts = 0;  ///< requests abandoned after the budget
   double timeout_rate = 0.0;   ///< timeouts / offered
   double availability = 1.0;   ///< 1 - timeout_rate
+
+  // --- State-tier accounting (summed; zero when stateless or cloud) -----
+  std::uint64_t cache_lookups = 0;
+  std::uint64_t cache_hits = 0;
+  std::uint64_t cache_misses = 0;
+  std::uint64_t state_pulls = 0;      ///< pull RPCs issued (== misses)
+  std::uint64_t pulls_abandoned = 0;  ///< pulls lost to the retry budget
+  double cache_hit_rate = 0.0;        ///< hits / lookups (0 if no lookups)
 };
 
 /// One sweep point: edge and cloud under the identical workload (and,
@@ -76,6 +86,12 @@ struct ReplicationOutput {
   /// Requests black-holed or killed inside each deployment by crashes.
   std::uint64_t edge_dropped = 0;
   std::uint64_t cloud_dropped = 0;
+  /// State-tier accounting (all-zero for stateless scenarios and for
+  /// sides without a cache tier — the cloud serves state locally).
+  state::CacheStats edge_cache;
+  state::CacheStats cloud_cache;
+  state::PullStats edge_pulls;
+  state::PullStats cloud_pulls;
   /// Fraction of [0, horizon) each edge site was down in the fault trace.
   std::vector<double> site_downtime;
   /// Per-site mean latency and utilization (for Fig. 10-style breakdowns).

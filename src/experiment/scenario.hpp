@@ -14,6 +14,7 @@
 #include "cluster/client.hpp"
 #include "cluster/dispatch.hpp"
 #include "faults/fault.hpp"
+#include "state/state.hpp"
 #include "support/time.hpp"
 #include "workload/service.hpp"
 
@@ -105,6 +106,26 @@ struct Scenario {
   /// Client-side timeout/retry/backoff (applies to both sides). Enable it
   /// whenever faults are enabled, or crashed sites black-hole requests.
   cluster::RetryPolicy retry;
+
+  // Stateful requests (src/state/). Off by default: requests carry key 0
+  // and no cache tier is built — the stateless event sequence is
+  // bit-identical to pre-state builds. When `state.enabled` is set, every
+  // request draws a key from a Zipf(theta) popularity law over
+  // `state.key_space` keys (shared across mirrored sides under CRN), and
+  // edge-style deployments consult a finite per-site cache: a miss parks
+  // the request while its state is pulled from the cloud store. The cloud
+  // side serves state locally and never pulls — this asymmetry is the
+  // data-pull inversion regime (bench_cache_inversion).
+  state::StateSpec state;
+  /// Round-trip to the state store for *edge* misses. Negative = use
+  /// cloud_rtt (the store lives in the cloud region). Hybrid deployments
+  /// always pull over their own cloud path and ignore this knob.
+  Time state_pull_rtt = -1.0;
+  /// Timeout/retry policy for pull RPCs. Defaults on: pulls traverse the
+  /// same faulty WAN as responses, and the state tier requires retries
+  /// whenever link faults are present (a lost pull would strand its
+  /// parked request forever).
+  cluster::RetryPolicy state_pull_retry{true, 0.5, 3, 0.05, 2.0, true};
 
   // Observability (src/obs/). Off by default: no sampler events are
   // scheduled, no completion records are copied, and SideStats.breakdown

@@ -9,6 +9,8 @@ namespace hce::obs {
 
 namespace {
 
+constexpr int kComponents = 5;
+
 /// Scratch for one component while merging: all samples (for quantiles)
 /// plus per-replication means (for the t-interval).
 struct ComponentScratch {
@@ -35,13 +37,14 @@ double get_network(const des::CompletionRecord& r) { return r.network; }
 double get_wait(const des::CompletionRecord& r) { return r.waiting; }
 double get_service(const des::CompletionRecord& r) { return r.service; }
 double get_retry(const des::CompletionRecord& r) { return r.retry_penalty; }
+double get_pull(const des::CompletionRecord& r) { return r.state_pull; }
 
 }  // namespace
 
 LatencyBreakdown collect_breakdown(
     const std::vector<des::CompletionRecord>& records, int site) {
   LatencyBreakdown b;
-  std::vector<double> net, wait, svc, retry;
+  std::vector<double> net, wait, svc, retry, pull;
   for (const des::CompletionRecord& r : records) {
     if (site >= 0 && r.site != site) continue;
     ++b.samples;
@@ -49,15 +52,17 @@ LatencyBreakdown collect_breakdown(
     b.wait.summary.add(r.waiting);
     b.service.summary.add(r.service);
     b.retry_penalty.summary.add(r.retry_penalty);
+    b.state_pull.summary.add(r.state_pull);
     net.push_back(r.network);
     wait.push_back(r.waiting);
     svc.push_back(r.service);
     retry.push_back(r.retry_penalty);
+    pull.push_back(r.state_pull);
   }
-  ComponentStats* comps[4] = {&b.network, &b.wait, &b.service,
-                              &b.retry_penalty};
-  std::vector<double>* vals[4] = {&net, &wait, &svc, &retry};
-  for (int c = 0; c < 4; ++c) {
+  ComponentStats* comps[kComponents] = {&b.network, &b.wait, &b.service,
+                                        &b.retry_penalty, &b.state_pull};
+  std::vector<double>* vals[kComponents] = {&net, &wait, &svc, &retry, &pull};
+  for (int c = 0; c < kComponents; ++c) {
     if (vals[c]->empty()) continue;
     std::sort(vals[c]->begin(), vals[c]->end());
     comps[c]->p50 = stats::quantile_sorted(*vals[c], 0.50);
@@ -74,29 +79,32 @@ LatencyBreakdown collect_breakdown(const des::Sink& sink, int site) {
 LatencyBreakdown merge_breakdown(
     const std::vector<std::vector<des::CompletionRecord>>& replications) {
   LatencyBreakdown b;
-  const Extractor extract[4] = {
-      {&get_network}, {&get_wait}, {&get_service}, {&get_retry}};
-  ComponentStats* comps[4] = {&b.network, &b.wait, &b.service,
-                              &b.retry_penalty};
-  ComponentScratch scratch[4];
+  const Extractor extract[kComponents] = {{&get_network},
+                                          {&get_wait},
+                                          {&get_service},
+                                          {&get_retry},
+                                          {&get_pull}};
+  ComponentStats* comps[kComponents] = {&b.network, &b.wait, &b.service,
+                                        &b.retry_penalty, &b.state_pull};
+  ComponentScratch scratch[kComponents];
 
   for (const auto& rep : replications) {
     if (rep.empty()) continue;  // matches merge_side: empty reps excluded
-    stats::Summary rep_sum[4];
+    stats::Summary rep_sum[kComponents];
     for (const des::CompletionRecord& r : rep) {
-      for (int c = 0; c < 4; ++c) {
+      for (int c = 0; c < kComponents; ++c) {
         const double x = extract[c].get(r);
         comps[c]->summary.add(x);
         rep_sum[c].add(x);
         scratch[c].all.push_back(x);
       }
     }
-    for (int c = 0; c < 4; ++c) {
+    for (int c = 0; c < kComponents; ++c) {
       scratch[c].rep_means.push_back(rep_sum[c].mean());
     }
     b.samples += rep.size();
   }
-  for (int c = 0; c < 4; ++c) scratch[c].finish(*comps[c]);
+  for (int c = 0; c < kComponents; ++c) scratch[c].finish(*comps[c]);
   return b;
 }
 

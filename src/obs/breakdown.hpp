@@ -16,10 +16,13 @@
 //   service       time in service
 //   retry_penalty time lost to attempts that timed out or were
 //                 superseded, plus the backoff gaps between them
+//   state_pull    stall on edge-cache misses pulling state from the
+//                 cloud store (the data-pull inversion mechanism);
+//                 exactly 0 in stateless scenarios
 //
 // The components satisfy, per delivered request,
 //
-//   network + wait + service + retry_penalty == end_to_end
+//   network + wait + service + retry_penalty + state_pull == end_to_end
 //
 // exactly in real arithmetic (the terms telescope over the timestamp
 // lineage) and to a few ulps of the end-to-end value in doubles — pinned
@@ -54,12 +57,13 @@ struct ComponentStats {
   double mean() const { return summary.mean(); }
 };
 
-/// The four-way latency decomposition of one deployment side.
+/// The five-way latency decomposition of one deployment side.
 struct LatencyBreakdown {
   ComponentStats network;        ///< uplink + downlink (n)
   ComponentStats wait;           ///< queueing delay (w)
   ComponentStats service;        ///< service time (s)
   ComponentStats retry_penalty;  ///< lost attempts + backoff gaps
+  ComponentStats state_pull;     ///< edge-cache miss pull stalls
   std::uint64_t samples = 0;     ///< delivered requests covered
 
   bool empty() const { return samples == 0; }
@@ -67,7 +71,7 @@ struct LatencyBreakdown {
   /// same delivered-request set (up to the float rounding of the records).
   double mean_total() const {
     return network.mean() + wait.mean() + service.mean() +
-           retry_penalty.mean();
+           retry_penalty.mean() + state_pull.mean();
   }
 };
 

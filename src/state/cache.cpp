@@ -1,0 +1,198 @@
+#include "state/cache.hpp"
+
+#include "support/contracts.hpp"
+#include "support/rng.hpp"
+
+namespace hce::state {
+
+namespace {
+
+std::size_t next_pow2(std::size_t n) {
+  std::size_t p = 1;
+  while (p < n) p <<= 1;
+  return p;
+}
+
+}  // namespace
+
+EdgeCache::EdgeCache(std::uint64_t capacity, AdmissionPolicy admission)
+    : capacity_(capacity), admission_(admission) {
+  if (capacity_ > 0) {
+    // Bounded: everything is sized up front, so no container ever grows
+    // again — lookups and inserts are allocation-free for the lifetime of
+    // the cache. Index at <= 0.5 load keeps probe chains short.
+    HCE_EXPECT(capacity_ <= (1ull << 31),
+               "edge cache capacity limited to 2^31 entries");
+    const auto cap = static_cast<std::size_t>(capacity_);
+    slab_.resize(cap);
+    free_.reserve(cap);
+    for (std::size_t i = cap; i-- > 0;) {
+      free_.push_back(static_cast<std::uint32_t>(i));
+    }
+    index_.assign(next_pow2(cap < 4 ? 8 : cap * 2), kNil);
+  } else {
+    index_.assign(1024, kNil);
+  }
+  index_mask_ = index_.size() - 1;
+  if (admission_ == AdmissionPolicy::kSecondHit) {
+    const std::size_t n = capacity_ > 0 ? index_.size() : 4096;
+    seen_keys_.assign(n, 0);
+    seen_valid_.assign(n, false);
+  }
+}
+
+std::size_t EdgeCache::hash_key(std::uint64_t key) {
+  return static_cast<std::size_t>(splitmix64(key));
+}
+
+std::uint32_t EdgeCache::find_slot(std::uint64_t key) const {
+  std::size_t pos = hash_key(key) & index_mask_;
+  while (index_[pos] != kNil) {
+    if (slab_[index_[pos]].key == key) return index_[pos];
+    pos = (pos + 1) & index_mask_;
+  }
+  return kNil;
+}
+
+void EdgeCache::index_insert(std::uint64_t key, std::uint32_t slot) {
+  std::size_t pos = hash_key(key) & index_mask_;
+  while (index_[pos] != kNil) pos = (pos + 1) & index_mask_;
+  index_[pos] = slot;
+}
+
+void EdgeCache::index_erase(std::uint64_t key) {
+  std::size_t pos = hash_key(key) & index_mask_;
+  while (slab_[index_[pos]].key != key) pos = (pos + 1) & index_mask_;
+  // Backward-shift deletion: pull each displaced successor back into the
+  // hole so probe chains stay gap-free without tombstones.
+  std::size_t hole = pos;
+  index_[hole] = kNil;
+  std::size_t next = (hole + 1) & index_mask_;
+  while (index_[next] != kNil) {
+    const std::size_t ideal = hash_key(slab_[index_[next]].key) & index_mask_;
+    if (((next - ideal) & index_mask_) >= ((next - hole) & index_mask_)) {
+      index_[hole] = index_[next];
+      index_[next] = kNil;
+      hole = next;
+    }
+    next = (next + 1) & index_mask_;
+  }
+}
+
+void EdgeCache::grow_index() {
+  index_.assign(index_.size() * 2, kNil);
+  index_mask_ = index_.size() - 1;
+  for (std::size_t s = 0; s < slab_.size(); ++s) {
+    if (slab_[s].generation & 1u) {
+      index_insert(slab_[s].key, static_cast<std::uint32_t>(s));
+    }
+  }
+}
+
+void EdgeCache::lru_unlink(std::uint32_t slot) {
+  Entry& e = slab_[slot];
+  if (e.lru_prev != kNil) {
+    slab_[e.lru_prev].lru_next = e.lru_next;
+  } else {
+    lru_head_ = e.lru_next;
+  }
+  if (e.lru_next != kNil) {
+    slab_[e.lru_next].lru_prev = e.lru_prev;
+  } else {
+    lru_tail_ = e.lru_prev;
+  }
+  e.lru_prev = kNil;
+  e.lru_next = kNil;
+}
+
+void EdgeCache::lru_push_mru(std::uint32_t slot) {
+  Entry& e = slab_[slot];
+  e.lru_prev = lru_tail_;
+  e.lru_next = kNil;
+  if (lru_tail_ != kNil) {
+    slab_[lru_tail_].lru_next = slot;
+  } else {
+    lru_head_ = slot;
+  }
+  lru_tail_ = slot;
+}
+
+void EdgeCache::evict_lru() {
+  const std::uint32_t slot = lru_head_;
+  HCE_ASSERT(slot != kNil, "evict_lru on an empty cache");
+  index_erase(slab_[slot].key);
+  lru_unlink(slot);
+  ++slab_[slot].generation;  // even again: frees the slot, stales handles
+  free_.push_back(slot);
+  --live_;
+  ++stats_.evictions;
+}
+
+bool EdgeCache::admit(std::uint64_t key) {
+  if (admission_ == AdmissionPolicy::kAlways) return true;
+  const std::size_t pos = hash_key(key) & (seen_keys_.size() - 1);
+  if (seen_valid_[pos] && seen_keys_[pos] == key) return true;
+  seen_keys_[pos] = key;
+  seen_valid_[pos] = true;
+  return false;
+}
+
+EdgeCache::Handle EdgeCache::lookup(std::uint64_t key) {
+  ++stats_.lookups;
+  const std::uint32_t slot = find_slot(key);
+  if (slot == kNil) {
+    ++stats_.misses;
+    return Handle{};
+  }
+  ++stats_.hits;
+  lru_unlink(slot);
+  lru_push_mru(slot);
+  return Handle{slot, slab_[slot].generation};
+}
+
+EdgeCache::Handle EdgeCache::insert(std::uint64_t key) {
+  std::uint32_t slot = find_slot(key);
+  if (slot != kNil) {
+    // Already resident (e.g. a concurrent pull installed it): promote.
+    lru_unlink(slot);
+    lru_push_mru(slot);
+    return Handle{slot, slab_[slot].generation};
+  }
+  if (!admit(key)) {
+    ++stats_.admission_rejects;
+    return Handle{};
+  }
+  if (capacity_ > 0 && live_ == capacity_) evict_lru();
+  if (free_.empty()) {
+    slot = static_cast<std::uint32_t>(slab_.size());
+    slab_.emplace_back();
+  } else {
+    slot = free_.back();
+    free_.pop_back();
+  }
+  Entry& e = slab_[slot];
+  e.key = key;
+  ++e.generation;  // odd: occupied
+  ++live_;
+  if (live_ > high_water_) high_water_ = live_;
+  if (capacity_ == 0 && 2 * (live_ + 1) > index_.size()) grow_index();
+  index_insert(key, slot);
+  lru_push_mru(slot);
+  ++stats_.insertions;
+  return Handle{slot, e.generation};
+}
+
+bool EdgeCache::contains(std::uint64_t key) const {
+  return find_slot(key) != kNil;
+}
+
+std::vector<std::uint64_t> EdgeCache::keys_lru_order() const {
+  std::vector<std::uint64_t> keys;
+  keys.reserve(live_);
+  for (std::uint32_t s = lru_head_; s != kNil; s = slab_[s].lru_next) {
+    keys.push_back(slab_[s].key);
+  }
+  return keys;
+}
+
+}  // namespace hce::state

@@ -1,0 +1,160 @@
+// Finite-memory edge cache: slab-backed LRU with pluggable admission.
+//
+// One instance models the data tier of one edge site. The design follows
+// the engine's PR2 storage discipline (des::RequestPool, the calendar
+// slab, RetryClient's pending table):
+//
+//   * entries live in a pre-sized slab with a free list — after
+//     construction the steady state allocates NOTHING per lookup or
+//     insert (the zero-allocation budget the bench smoke gate watches);
+//   * the key index is an open-addressing, power-of-two, linear-probe
+//     table with backward-shift deletion — no buckets, no per-node heap;
+//   * recency is an intrusive doubly-linked list threaded through the
+//     slab by 32-bit slot index;
+//   * Handles are generation-tagged (slot, generation) pairs, so a handle
+//     held across an eviction goes stale and misses exactly, instead of
+//     aliasing whatever key reused the slot.
+//
+// Determinism: the cache consumes no RNG and its behavior is a pure
+// function of the lookup/insert call sequence, so a cached run is exactly
+// as replayable as a stateless one.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace hce::state {
+
+/// What a miss is allowed to admit into the cache.
+enum class AdmissionPolicy {
+  /// Every miss admits its key (classic LRU).
+  kAlways,
+  /// A key is admitted only on its second miss within doorkeeper memory:
+  /// a fixed-size, overwrite-on-collision key filter screens one-hit
+  /// wonders so scans cannot flush the hot set (TinyLFU-style doorkeeper).
+  kSecondHit,
+};
+
+/// Monotone counters since the last reset_stats(). The conservation
+/// identity `lookups == hits + misses` holds at every instant.
+struct CacheStats {
+  std::uint64_t lookups = 0;
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t insertions = 0;        ///< keys admitted into the slab
+  std::uint64_t evictions = 0;         ///< LRU entries displaced
+  std::uint64_t admission_rejects = 0; ///< misses screened by the policy
+
+  double hit_rate() const {
+    return lookups > 0
+               ? static_cast<double>(hits) / static_cast<double>(lookups)
+               : 0.0;
+  }
+
+  CacheStats& operator+=(const CacheStats& o) {
+    lookups += o.lookups;
+    hits += o.hits;
+    misses += o.misses;
+    insertions += o.insertions;
+    evictions += o.evictions;
+    admission_rejects += o.admission_rejects;
+    return *this;
+  }
+};
+
+/// LRU cache over 64-bit keys (presence only — the simulation models
+/// object *residency*, the payload bytes exist only as transfer time).
+class EdgeCache {
+ public:
+  /// Generation-tagged reference to a cache entry. Stale after the entry
+  /// is evicted (or the cache cleared); valid(h) then returns false.
+  struct Handle {
+    std::uint32_t slot = 0;
+    std::uint32_t generation = 0;  ///< 0 = never-valid sentinel
+
+    bool valid() const { return generation != 0; }
+  };
+
+  /// `capacity` = max resident entries; 0 = unbounded (the slab and index
+  /// grow on demand — no eviction ever happens).
+  explicit EdgeCache(std::uint64_t capacity,
+                     AdmissionPolicy admission = AdmissionPolicy::kAlways);
+
+  /// Counted lookup: a hit promotes the entry to most-recently-used and
+  /// returns its handle; a miss returns an invalid handle. The caller
+  /// decides whether the miss turns into an insert (usually after the
+  /// state pull completes).
+  Handle lookup(std::uint64_t key);
+
+  /// Admits `key` (unless the admission policy rejects it), evicting the
+  /// LRU entry when the cache is full. Inserting a resident key just
+  /// promotes it. Returns the entry's handle, or an invalid handle on
+  /// admission rejection.
+  Handle insert(std::uint64_t key);
+
+  /// True iff `h` still refers to the entry it was obtained for.
+  bool valid(Handle h) const {
+    return h.valid() && h.slot < slab_.size() &&
+           slab_[h.slot].generation == h.generation;
+  }
+
+  /// Uncounted presence probe (tests / probes only — does not touch
+  /// recency or stats).
+  bool contains(std::uint64_t key) const;
+
+  std::uint64_t capacity() const { return capacity_; }
+  std::size_t size() const { return live_; }
+  /// Peak resident-entry count; never exceeds capacity() when bounded.
+  std::size_t slab_high_water() const { return high_water_; }
+  const CacheStats& stats() const { return stats_; }
+  /// Zeroes the counters; cache contents are untouched (warmup reset).
+  void reset_stats() { stats_ = CacheStats{}; }
+
+  /// Resident keys from least- to most-recently used (test helper; walks
+  /// the intrusive list).
+  std::vector<std::uint64_t> keys_lru_order() const;
+
+ private:
+  struct Entry {
+    std::uint64_t key = 0;
+    std::uint32_t generation = 0;  ///< even = free, odd = occupied
+    std::uint32_t lru_prev = kNil;
+    std::uint32_t lru_next = kNil;
+  };
+
+  static constexpr std::uint32_t kNil = 0xffffffffu;
+
+  static std::size_t hash_key(std::uint64_t key);
+
+  std::uint32_t find_slot(std::uint64_t key) const;  ///< kNil if absent
+  void index_insert(std::uint64_t key, std::uint32_t slot);
+  void index_erase(std::uint64_t key);
+  void grow_index();
+
+  void lru_unlink(std::uint32_t slot);
+  void lru_push_mru(std::uint32_t slot);
+  void evict_lru();
+  bool admit(std::uint64_t key);
+
+  std::uint64_t capacity_;
+  AdmissionPolicy admission_;
+  CacheStats stats_;
+
+  std::vector<Entry> slab_;
+  std::vector<std::uint32_t> free_;
+  std::size_t live_ = 0;
+  std::size_t high_water_ = 0;
+
+  /// Open-addressing index: slot number per probe position, kNil = empty.
+  std::vector<std::uint32_t> index_;
+  std::size_t index_mask_ = 0;
+
+  std::uint32_t lru_head_ = kNil;  ///< least recently used
+  std::uint32_t lru_tail_ = kNil;  ///< most recently used
+
+  /// kSecondHit doorkeeper: recently-missed keys, overwrite-on-collision.
+  std::vector<std::uint64_t> seen_keys_;
+  std::vector<bool> seen_valid_;
+};
+
+}  // namespace hce::state

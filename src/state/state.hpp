@@ -1,0 +1,59 @@
+// Configuration and accounting types of the stateful-services layer.
+//
+// The reproduction's requests were pure compute until this layer: the
+// only inversion mechanism was the paper's network-vs-wait ledger. Real
+// edge platforms lose a second way — each request touches a data object,
+// the edge holds a finite cache of those objects, and every miss pulls
+// state from the cloud store over the very WAN links the edge deployment
+// was supposed to avoid. StateSpec describes that workload (key
+// popularity, cache size, pull size); PullStats accounts for the miss
+// traffic. The cache itself lives in state/cache.hpp and the DES wiring
+// in cluster/state_tier.hpp.
+#pragma once
+
+#include <cstdint>
+
+#include "dist/distribution.hpp"
+#include "state/cache.hpp"
+
+namespace hce::state {
+
+/// Knobs of the stateful workload and the edge cache tier. Disabled by
+/// default: no keys are sampled, no cache is built, and the request path
+/// is bit-identical to the stateless engine (pinned by the determinism
+/// goldens).
+struct StateSpec {
+  bool enabled = false;
+  /// Number of distinct data objects; requests draw keys from
+  /// Zipf(zipf_theta) over [0, key_space).
+  std::uint64_t key_space = 10000;
+  /// Popularity skew: 0 = uniform, ~0.9-1.0 = web-like hot-key skew.
+  double zipf_theta = 0.9;
+  /// Entries per per-site edge cache. 0 = unbounded (every key fits once
+  /// pulled — the theta-irrelevant configuration of the bit-identity
+  /// test).
+  std::uint64_t cache_capacity = 1024;
+  /// What a miss admits into the cache.
+  AdmissionPolicy admission = AdmissionPolicy::kAlways;
+  /// Transfer time of the pulled object appended to the pull's response
+  /// leg (object size over WAN bandwidth). Null = zero-size objects; the
+  /// miss then costs exactly one pull RTT.
+  dist::DistPtr pull_transfer;
+};
+
+/// Accounting of the miss path. After the calendar drains (and with no
+/// stats reset mid-flight) the tier satisfies, exactly:
+///
+///   cache misses == issued == completed + abandoned
+///
+/// (folded into tests/integration/test_invariants.cpp next to Little's
+/// law and the client-side offered == delivered + timeouts identity).
+struct PullStats {
+  std::uint64_t issued = 0;     ///< pulls started (one per cache miss)
+  std::uint64_t completed = 0;  ///< objects installed, requests resumed
+  std::uint64_t abandoned = 0;  ///< pull retry budget exhausted
+  std::uint64_t retries = 0;    ///< re-issued pull attempts
+  std::uint64_t link_drops = 0; ///< pull legs lost to WAN partitions
+};
+
+}  // namespace hce::state

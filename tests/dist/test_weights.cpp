@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <numeric>
 
 #include "support/contracts.hpp"
@@ -38,6 +39,33 @@ TEST(ZipfWeights, LargerExponentMoreSkewed) {
   const auto w1 = zipf_weights(10, 0.5);
   const auto w2 = zipf_weights(10, 2.0);
   EXPECT_GT(skew_index(w2), skew_index(w1));
+}
+
+TEST(ZipfWeights, LargeKHighExponentTailMatchesHighPrecisionReference) {
+  // Regression for an accumulation-order bug: summing 1/r^s in ascending
+  // rank order adds ~1e-13-sized terms to an O(1) partial sum, so for
+  // large k and s > 1 the tiny tail contributions were rounded away and
+  // the normalized tail weights came out relatively wrong. The fix sums
+  // smallest-first; pin the result against a long-double reference.
+  const std::size_t k = 1000000;
+  const double s = 2.0;
+  const auto w = zipf_weights(k, s);
+  long double ref_sum = 0.0L;
+  for (std::size_t r = k; r >= 1; --r) {
+    ref_sum += 1.0L / powl(static_cast<long double>(r),
+                           static_cast<long double>(s));
+  }
+  // Check head, middle, and tail ranks against the reference.
+  for (std::size_t r : {std::size_t{1}, k / 2, k - 1, k}) {
+    const long double ref =
+        (1.0L / powl(static_cast<long double>(r),
+                     static_cast<long double>(s))) /
+        ref_sum;
+    const double rel = std::abs(static_cast<double>(
+        (static_cast<long double>(w[r - 1]) - ref) / ref));
+    EXPECT_LT(rel, 1e-12) << "rank " << r;
+  }
+  EXPECT_NEAR(sum(w), 1.0, 1e-9);
 }
 
 TEST(DirichletWeights, NormalizedAndPositive) {

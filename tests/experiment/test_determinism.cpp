@@ -61,6 +61,12 @@ void expect_identical(const SideStats& a, const SideStats& b) {
   EXPECT_EQ(a.timeouts, b.timeouts);
   EXPECT_EQ(a.timeout_rate, b.timeout_rate);
   EXPECT_EQ(a.availability, b.availability);
+  EXPECT_EQ(a.cache_lookups, b.cache_lookups);
+  EXPECT_EQ(a.cache_hits, b.cache_hits);
+  EXPECT_EQ(a.cache_misses, b.cache_misses);
+  EXPECT_EQ(a.state_pulls, b.state_pulls);
+  EXPECT_EQ(a.pulls_abandoned, b.pulls_abandoned);
+  EXPECT_EQ(a.cache_hit_rate, b.cache_hit_rate);
 }
 
 void expect_identical(const std::vector<PointResult>& a,
@@ -194,6 +200,79 @@ TEST(Determinism, FaultedSweepIsBitIdenticalAcrossThreadCounts) {
     activity += p.edge.retries + p.edge.timeouts + p.edge_failovers;
   }
   EXPECT_GT(activity, 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Stateful scenarios: the cache tier (keys, per-site LRU caches, the pull
+// client) must be exactly as deterministic as the rest of the engine —
+// the cache consumes no RNG, keys come from a dedicated substream, and
+// pull jitter from a derived one, so thread count cannot move a bit even
+// with faults, retries, observability, and abandoned pulls all engaged.
+// ---------------------------------------------------------------------------
+
+Scenario stateful_faulted_scenario() {
+  Scenario sc = faulted_scenario();
+  sc.observe = true;
+  sc.state.enabled = true;
+  sc.state.key_space = 400;
+  sc.state.zipf_theta = 0.9;
+  sc.state.cache_capacity = 32;
+  return sc;
+}
+
+TEST(Determinism, CacheEnabledFaultedSweepIsBitIdenticalAcrossThreadCounts) {
+  const Scenario sc = stateful_faulted_scenario();
+  const auto t1 = run_sweep(sc, kRates, 1);
+  const auto t2 = run_sweep(sc, kRates, 2);
+  const auto t8 = run_sweep(sc, kRates, 8);
+  expect_identical(t1, t2);
+  expect_identical(t1, t8);
+  // The tier engaged on every point: lookups split into hits and misses,
+  // and the state_pull component carries real stall time.
+  for (const PointResult& p : t1) {
+    EXPECT_GT(p.edge.cache_hits, 0u);
+    EXPECT_GT(p.edge.state_pulls, 0u);
+    EXPECT_EQ(p.edge.cache_lookups, p.edge.cache_hits + p.edge.cache_misses);
+    EXPECT_GT(p.edge.breakdown.state_pull.mean(), 0.0);
+    EXPECT_EQ(p.cloud.cache_lookups, 0u);
+  }
+}
+
+TEST(Determinism, TrivialStatePathIsBitIdenticalToStateless) {
+  // capacity 0 (unbounded), zero pull RTT, no jitter on the pull path, no
+  // transfer, no faults: the tier completes every miss inline — no
+  // calendar event, no RNG draw — and key sampling lives on a substream
+  // nothing else reads. Every latency, utilization, and client statistic
+  // must therefore match a stateless run bit for bit (theta-irrelevance:
+  // the skew knob cannot matter when every miss is free).
+  const Scenario stateless = small_scenario();
+  Scenario trivial = small_scenario();
+  trivial.state.enabled = true;
+  trivial.state.key_space = 400;
+  trivial.state.zipf_theta = 1.2;
+  trivial.state.cache_capacity = 0;
+  trivial.state_pull_rtt = 0.0;
+  const auto a = run_sweep(stateless, kRates, 2);
+  const auto b = run_sweep(trivial, kRates, 2);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    // Compare the pre-existing statistics only: the cache counters
+    // legitimately differ (zero vs engaged), the timings must not.
+    EXPECT_EQ(a[i].edge.mean, b[i].edge.mean);
+    EXPECT_EQ(a[i].edge.p50, b[i].edge.p50);
+    EXPECT_EQ(a[i].edge.p95, b[i].edge.p95);
+    EXPECT_EQ(a[i].edge.p99, b[i].edge.p99);
+    EXPECT_EQ(a[i].edge.utilization, b[i].edge.utilization);
+    EXPECT_EQ(a[i].edge.samples, b[i].edge.samples);
+    EXPECT_EQ(a[i].edge.offered, b[i].edge.offered);
+    EXPECT_EQ(a[i].cloud.mean, b[i].cloud.mean);
+    EXPECT_EQ(a[i].cloud.p99, b[i].cloud.p99);
+    EXPECT_EQ(a[i].cloud.utilization, b[i].cloud.utilization);
+    EXPECT_EQ(a[i].cloud.offered, b[i].cloud.offered);
+    // The tier really was active on the edge side (one lookup per access).
+    EXPECT_GT(b[i].edge.cache_lookups, 0u);
+    EXPECT_EQ(b[i].edge.cache_misses, b[i].edge.state_pulls);
+  }
 }
 
 TEST(Determinism, RepeatedRunsWithTheSameSeedAreBitIdentical) {

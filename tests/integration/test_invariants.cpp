@@ -320,6 +320,75 @@ TEST(KindConservation, SameKindPairUsesIndependentStreams) {
             out.cloud_client.delivered + out.cloud_client.timeouts);
 }
 
+// --- Cache / pull conservation (stateful scenarios) ------------------------
+//
+// With the state tier in the path, three more exact integer identities
+// join offered == delivered + timeouts, all holding after the calendar
+// drains (warmup = 0 keeps every counter in one epoch):
+//
+//   lookups == hits + misses          (the cache splits every access)
+//   misses  == pulls issued           (every miss starts exactly one pull)
+//   issued  == completed + abandoned  (every pull resolves exactly once)
+
+experiment::Scenario cache_scenario(experiment::DeploymentKind kind,
+                                    std::uint64_t seed) {
+  experiment::Scenario sc = kind_fault_scenario(kind, seed);
+  sc.state.enabled = true;
+  sc.state.key_space = 500;
+  sc.state.zipf_theta = 0.9;
+  sc.state.cache_capacity = 64;
+  return sc;
+}
+
+class CacheConservation
+    : public ::testing::TestWithParam<experiment::DeploymentKind> {};
+
+TEST_P(CacheConservation, PullLedgerBalancesUnderFaults) {
+  const auto out =
+      experiment::run_replication(cache_scenario(GetParam(), 5151), 8.0, 0);
+  EXPECT_EQ(out.edge_cache.lookups,
+            out.edge_cache.hits + out.edge_cache.misses);
+  EXPECT_EQ(out.edge_cache.misses, out.edge_pulls.issued);
+  EXPECT_EQ(out.edge_pulls.issued,
+            out.edge_pulls.completed + out.edge_pulls.abandoned);
+  // The foreground identity still holds with the tier in the path: a
+  // request whose pull was abandoned is recovered by its own client
+  // timeout, not lost.
+  EXPECT_EQ(out.edge_client.offered,
+            out.edge_client.delivered + out.edge_client.timeouts);
+  EXPECT_EQ(out.cloud_client.offered,
+            out.cloud_client.delivered + out.cloud_client.timeouts);
+  // The cloud side serves state next to its servers: no cache, no pulls.
+  EXPECT_EQ(out.cloud_cache.lookups, 0u);
+  EXPECT_EQ(out.cloud_pulls.issued, 0u);
+  // The drill engaged: the tier saw traffic, and the skewed key law
+  // produced both hits (hot keys) and misses (cold tail + evictions).
+  EXPECT_GT(out.edge_cache.lookups, 0u);
+  EXPECT_GT(out.edge_cache.hits, 0u);
+  EXPECT_GT(out.edge_cache.misses, 0u);
+}
+
+TEST_P(CacheConservation, FaultFreeCompletesEveryPull) {
+  experiment::Scenario sc = cache_scenario(GetParam(), 5252);
+  sc.faults = faults::FaultConfig{};
+  sc.retry.timeout = 30.0;  // must never fire without faults
+  const auto out = experiment::run_replication(sc, 8.0, 0);
+  EXPECT_EQ(out.edge_pulls.abandoned, 0u);
+  EXPECT_EQ(out.edge_pulls.retries, 0u);
+  EXPECT_EQ(out.edge_pulls.link_drops, 0u);
+  EXPECT_EQ(out.edge_cache.misses, out.edge_pulls.issued);
+  EXPECT_EQ(out.edge_pulls.issued, out.edge_pulls.completed);
+  EXPECT_EQ(out.edge_client.offered, out.edge_client.delivered);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    StatefulKinds, CacheConservation,
+    ::testing::Values(experiment::DeploymentKind::kEdge,
+                      experiment::DeploymentKind::kHybrid),
+    [](const ::testing::TestParamInfo<experiment::DeploymentKind>& info) {
+      return experiment::to_string(info.param);
+    });
+
 TEST(FaultConservation, FaultFreeRetryRunsDeliverEverything) {
   experiment::Scenario sc = experiment::Scenario::typical_cloud();
   sc.num_sites = 2;

@@ -1,10 +1,11 @@
 // Tests for the per-component latency decomposition (src/obs/breakdown).
 //
 // The paper's inversion story is a decomposition: end-to-end latency
-// splits into network + wait + service (+ retry penalty under faults),
-// and these tests pin the telescoping identity
+// splits into network + wait + service (+ retry penalty under faults,
+// + state-pull stall under stateful workloads), and these tests pin the
+// telescoping identity
 //
-//   network + wait + service + retry_penalty == end_to_end
+//   network + wait + service + retry_penalty + state_pull == end_to_end
 //
 // exactly in doubles for exactly-representable timestamps, and to a few
 // float ulps for the float-compressed sink records of real runs — the
@@ -114,7 +115,8 @@ void expect_identity_within_float_ulps(
     const double total = static_cast<double>(r.network) +
                          static_cast<double>(r.waiting) +
                          static_cast<double>(r.service) +
-                         static_cast<double>(r.retry_penalty);
+                         static_cast<double>(r.retry_penalty) +
+                         static_cast<double>(r.state_pull);
     const double tol =
         4.0 * static_cast<double>(std::numeric_limits<float>::epsilon()) *
             static_cast<double>(r.end_to_end) +
@@ -124,6 +126,7 @@ void expect_identity_within_float_ulps(
     ASSERT_GE(r.waiting, 0.0f);
     ASSERT_GE(r.service, 0.0f);
     ASSERT_GE(r.retry_penalty, 0.0f);
+    ASSERT_GE(r.state_pull, 0.0f);
   }
 }
 
@@ -172,6 +175,40 @@ TEST(SinkRecords, SomeDeliveriesPayARetryPenaltyUnderFaults) {
   EXPECT_GT(penalized, 0u);
 }
 
+TEST(SinkRecords, StatePullComponentCarriesTheMissStall) {
+  // Stateful scenario, fault-free: the 5-term identity must hold with the
+  // pull path engaged, the edge's missed requests must carry a positive
+  // state_pull (one store round-trip each), and the cloud side — which
+  // serves state next to its servers — must report exactly zero.
+  experiment::Scenario sc = observed_scenario();
+  sc.state.enabled = true;
+  sc.state.key_space = 400;
+  sc.state.zipf_theta = 0.9;
+  sc.state.cache_capacity = 32;
+  const auto out = experiment::run_replication(sc, 8.0, 0);
+  ASSERT_GT(out.edge_records.size(), 500u);
+  expect_identity_within_float_ulps(out.edge_records);
+  expect_identity_within_float_ulps(out.cloud_records);
+  std::size_t stalled = 0;
+  for (const des::CompletionRecord& r : out.edge_records) {
+    if (r.state_pull > 0.0f) ++stalled;
+  }
+  EXPECT_GT(stalled, 0u) << "no edge request ever paid a pull";
+  EXPECT_LT(stalled, out.edge_records.size())
+      << "hot keys should hit the cache";
+  for (const des::CompletionRecord& r : out.cloud_records) {
+    ASSERT_EQ(r.state_pull, 0.0f);
+  }
+}
+
+TEST(SinkRecords, StatePullIsExactlyZeroWhenStateless) {
+  const auto out = experiment::run_replication(observed_scenario(), 6.0, 0);
+  ASSERT_FALSE(out.edge_records.empty());
+  for (const des::CompletionRecord& r : out.edge_records) {
+    ASSERT_EQ(r.state_pull, 0.0f);
+  }
+}
+
 // ---------------------------------------------------------------------------
 // collect_breakdown / merge_breakdown.
 // ---------------------------------------------------------------------------
@@ -192,7 +229,7 @@ TEST(CollectBreakdown, QuantilesAreOrderedPerComponent) {
   const auto out = experiment::run_replication(observed_scenario(), 8.0, 0);
   const LatencyBreakdown b = collect_breakdown(out.edge_records);
   for (const ComponentStats* c :
-       {&b.network, &b.wait, &b.service, &b.retry_penalty}) {
+       {&b.network, &b.wait, &b.service, &b.retry_penalty, &b.state_pull}) {
     EXPECT_LE(c->p50, c->p95);
     EXPECT_LE(c->p95, c->p99);
   }

@@ -1,0 +1,190 @@
+// EdgeCache unit and invariant tests (state/cache.hpp).
+//
+// The cache is the determinism-critical heart of the state tier: it
+// consumes no RNG, so its behavior must be a pure function of the
+// lookup/insert call sequence. These tests pin the LRU discipline, the
+// capacity/slab bounds, generation-tagged handle staleness, the counter
+// conservation identity, the kSecondHit doorkeeper, and — via a
+// differential churn test against a naive reference implementation — the
+// open-addressing index's backward-shift deletion.
+#include "state/cache.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <list>
+#include <unordered_map>
+#include <vector>
+
+#include "support/contracts.hpp"
+#include "support/rng.hpp"
+
+namespace hce::state {
+namespace {
+
+TEST(EdgeCache, MissThenInsertThenHit) {
+  EdgeCache c(4);
+  EXPECT_FALSE(c.lookup(17).valid());
+  const auto h = c.insert(17);
+  EXPECT_TRUE(h.valid());
+  EXPECT_TRUE(c.valid(h));
+  EXPECT_TRUE(c.lookup(17).valid());
+  EXPECT_EQ(c.stats().lookups, 2u);
+  EXPECT_EQ(c.stats().hits, 1u);
+  EXPECT_EQ(c.stats().misses, 1u);
+  EXPECT_EQ(c.stats().insertions, 1u);
+  EXPECT_DOUBLE_EQ(c.stats().hit_rate(), 0.5);
+}
+
+TEST(EdgeCache, LruEvictionOrder) {
+  EdgeCache c(3);
+  c.insert(1);
+  c.insert(2);
+  c.insert(3);
+  EXPECT_EQ(c.keys_lru_order(), (std::vector<std::uint64_t>{1, 2, 3}));
+  // Touch 1: order becomes 2, 3, 1; inserting 4 evicts 2.
+  EXPECT_TRUE(c.lookup(1).valid());
+  c.insert(4);
+  EXPECT_EQ(c.keys_lru_order(), (std::vector<std::uint64_t>{3, 1, 4}));
+  EXPECT_FALSE(c.contains(2));
+  EXPECT_EQ(c.stats().evictions, 1u);
+  // Re-inserting a resident key promotes without eviction.
+  c.insert(3);
+  EXPECT_EQ(c.keys_lru_order(), (std::vector<std::uint64_t>{1, 4, 3}));
+  EXPECT_EQ(c.stats().evictions, 1u);
+  EXPECT_EQ(c.size(), 3u);
+}
+
+TEST(EdgeCache, CapacityNeverExceeded) {
+  EdgeCache c(8);
+  Rng rng(11);
+  for (int i = 0; i < 5000; ++i) {
+    const auto key = static_cast<std::uint64_t>(rng.uniform01() * 64.0);
+    if (!c.lookup(key).valid()) c.insert(key);
+    ASSERT_LE(c.size(), 8u);
+  }
+  EXPECT_LE(c.slab_high_water(), 8u);
+  EXPECT_EQ(c.stats().lookups, 5000u);
+  EXPECT_EQ(c.stats().lookups, c.stats().hits + c.stats().misses);
+  EXPECT_EQ(c.stats().insertions,
+            c.stats().evictions + static_cast<std::uint64_t>(c.size()));
+}
+
+TEST(EdgeCache, UnboundedNeverEvicts) {
+  EdgeCache c(0);
+  for (std::uint64_t k = 0; k < 3000; ++k) c.insert(k);
+  EXPECT_EQ(c.size(), 3000u);
+  EXPECT_EQ(c.stats().evictions, 0u);
+  for (std::uint64_t k = 0; k < 3000; ++k) {
+    ASSERT_TRUE(c.lookup(k).valid()) << "key " << k;
+  }
+}
+
+TEST(EdgeCache, HandleGoesStaleOnEviction) {
+  EdgeCache c(2);
+  const auto h1 = c.insert(100);
+  c.insert(200);
+  ASSERT_TRUE(c.valid(h1));
+  c.insert(300);  // evicts 100 (LRU)
+  EXPECT_FALSE(c.valid(h1)) << "stale handle must miss, not alias";
+  EXPECT_FALSE(c.contains(100));
+  // The slot was recycled; the new occupant's handle is valid while the
+  // old one stays stale (generation tag, not slot identity).
+  const auto h3 = c.insert(300);
+  EXPECT_TRUE(c.valid(h3));
+  EXPECT_FALSE(c.valid(h1));
+  EXPECT_FALSE(c.valid(EdgeCache::Handle{}));
+}
+
+TEST(EdgeCache, SecondHitDoorkeeperScreensOneHitWonders) {
+  EdgeCache c(4, AdmissionPolicy::kSecondHit);
+  // First insert of a key is screened; the second admits it.
+  EXPECT_FALSE(c.insert(7).valid());
+  EXPECT_EQ(c.stats().admission_rejects, 1u);
+  EXPECT_FALSE(c.contains(7));
+  EXPECT_TRUE(c.insert(7).valid());
+  EXPECT_TRUE(c.contains(7));
+  EXPECT_EQ(c.stats().insertions, 1u);
+}
+
+TEST(EdgeCache, ResetStatsKeepsContents) {
+  EdgeCache c(4);
+  c.insert(1);
+  c.insert(2);
+  c.reset_stats();
+  EXPECT_EQ(c.stats().lookups, 0u);
+  EXPECT_EQ(c.stats().insertions, 0u);
+  EXPECT_EQ(c.size(), 2u);
+  EXPECT_TRUE(c.lookup(1).valid()) << "warmup reset must not cool the cache";
+}
+
+TEST(EdgeCache, RejectsOversizedCapacity) {
+  EXPECT_THROW(EdgeCache((1ull << 31) + 1), ContractViolation);
+}
+
+/// Naive reference LRU: std::list recency + unordered_map index. Slow and
+/// allocation-happy — exactly what EdgeCache avoids — but obviously
+/// correct, which is the point of the differential test.
+class ReferenceLru {
+ public:
+  explicit ReferenceLru(std::size_t capacity) : capacity_(capacity) {}
+
+  bool lookup(std::uint64_t key) {
+    auto it = index_.find(key);
+    if (it == index_.end()) return false;
+    order_.splice(order_.end(), order_, it->second);
+    return true;
+  }
+
+  void insert(std::uint64_t key) {
+    auto it = index_.find(key);
+    if (it != index_.end()) {
+      order_.splice(order_.end(), order_, it->second);
+      return;
+    }
+    if (order_.size() == capacity_) {
+      index_.erase(order_.front());
+      order_.pop_front();
+    }
+    order_.push_back(key);
+    index_[key] = std::prev(order_.end());
+  }
+
+  std::vector<std::uint64_t> keys_lru_order() const {
+    return {order_.begin(), order_.end()};
+  }
+
+ private:
+  std::size_t capacity_;
+  std::list<std::uint64_t> order_;
+  std::unordered_map<std::uint64_t, std::list<std::uint64_t>::iterator>
+      index_;
+};
+
+TEST(EdgeCache, DifferentialChurnAgainstReferenceLru) {
+  // 50k mixed lookups/inserts over a key population ~6x the capacity:
+  // heavy eviction churn recycles every slot many times and exercises the
+  // index's backward-shift deletion across wrapped probe chains. The
+  // slab cache must agree with the reference on every single decision.
+  const std::size_t cap = 64;
+  EdgeCache c(cap);
+  ReferenceLru ref(cap);
+  Rng rng(20260806);
+  for (int i = 0; i < 50000; ++i) {
+    const auto key = static_cast<std::uint64_t>(rng.uniform01() * 400.0);
+    const bool hit = c.lookup(key).valid();
+    const bool ref_hit = ref.lookup(key);
+    ASSERT_EQ(hit, ref_hit) << "op " << i << " key " << key;
+    if (!hit) {
+      c.insert(key);
+      ref.insert(key);
+    }
+    ASSERT_LE(c.size(), cap);
+  }
+  EXPECT_EQ(c.keys_lru_order(), ref.keys_lru_order());
+  EXPECT_EQ(c.stats().lookups, c.stats().hits + c.stats().misses);
+  EXPECT_EQ(c.slab_high_water(), cap);
+}
+
+}  // namespace
+}  // namespace hce::state

@@ -1,0 +1,239 @@
+// StateTier unit tests (cluster/state_tier.hpp): the cache-miss pull loop
+// in isolation, driven by a recording resume callback instead of a real
+// deployment.
+//
+// Pins the four regimes of the miss path: synchronous hits, ordinary
+// pulls (one RTT of stall, accumulated into Request::state_pull), the
+// trivial inline path (zero-cost pulls schedule nothing — the knob behind
+// the cache-on-vs-stateless bit-identity test), and faulted pulls (WAN
+// partitions: retries recover, an exhausted budget abandons the parked
+// request). The pull conservation identity `misses == issued ==
+// completed + abandoned` is asserted throughout; its deployment-level
+// version lives in tests/integration/test_invariants.cpp.
+#include "cluster/state_tier.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "des/request.hpp"
+#include "des/simulation.hpp"
+#include "dist/distribution.hpp"
+#include "faults/fault.hpp"
+#include "support/contracts.hpp"
+#include "support/rng.hpp"
+
+namespace hce::cluster {
+namespace {
+
+struct Resumed {
+  des::Request req;
+  int site = 0;
+  Time at = 0.0;
+};
+
+/// Builds a tier whose resume callback records into `out`.
+std::unique_ptr<StateTier> make_tier(des::Simulation& sim,
+                                     StateTierConfig cfg,
+                                     std::vector<Resumed>& out) {
+  return std::make_unique<StateTier>(
+      sim, std::move(cfg), Rng(99).stream("state-pull"),
+      [&sim, &out](des::Request r, int site) {
+        out.push_back({std::move(r), site, sim.now()});
+      });
+}
+
+des::Request make_request(std::uint64_t key, int site) {
+  des::Request r;
+  r.key = key;
+  r.site = site;
+  r.service_demand = 0.1;
+  return r;
+}
+
+TEST(StateTier, MissPullsOverOneRttThenHitIsSynchronous) {
+  des::Simulation sim;
+  StateTierConfig cfg;
+  cfg.spec.cache_capacity = 16;
+  cfg.pull_network = NetworkModel::fixed(0.05);
+  std::vector<Resumed> resumed;
+  auto tier = make_tier(sim, cfg, resumed);
+
+  tier->access(make_request(7, 0), 0);
+  EXPECT_TRUE(resumed.empty()) << "miss must park, not resume inline";
+  EXPECT_EQ(tier->pull_stats().issued, 1u);
+  EXPECT_EQ(tier->pull_stats().completed, 0u);
+  sim.run();
+
+  ASSERT_EQ(resumed.size(), 1u);
+  EXPECT_EQ(resumed[0].req.key, 7u);
+  // Fixed 50 ms RTT, no jitter, no transfer: the stall is exactly one
+  // round trip, and all of it lands in the state_pull component.
+  EXPECT_DOUBLE_EQ(resumed[0].at, 0.05);
+  EXPECT_DOUBLE_EQ(resumed[0].req.state_pull_time(), 0.05);
+  EXPECT_EQ(tier->pull_stats().issued, 1u);
+  EXPECT_EQ(tier->pull_stats().completed, 1u);
+  EXPECT_EQ(tier->cache_stats().misses, 1u);
+
+  // The object is now resident: the next access resumes synchronously,
+  // with zero stall, before the calendar moves at all.
+  tier->access(make_request(7, 0), 0);
+  ASSERT_EQ(resumed.size(), 2u);
+  EXPECT_DOUBLE_EQ(resumed[1].req.state_pull_time(), 0.0);
+  EXPECT_EQ(tier->cache_stats().hits, 1u);
+  EXPECT_EQ(tier->pull_stats().issued, 1u);
+}
+
+TEST(StateTier, PerSiteCachesAreIndependent) {
+  des::Simulation sim;
+  StateTierConfig cfg;
+  cfg.spec.cache_capacity = 16;
+  cfg.pull_network = NetworkModel::fixed(0.02);
+  cfg.num_sites = 2;
+  std::vector<Resumed> resumed;
+  auto tier = make_tier(sim, cfg, resumed);
+
+  tier->access(make_request(7, 0), 0);
+  sim.run();
+  ASSERT_EQ(resumed.size(), 1u);
+  EXPECT_EQ(resumed[0].site, 0);
+
+  // Site 1 does not share site 0's working set: same key pulls again.
+  tier->access(make_request(7, 1), 1);
+  EXPECT_EQ(tier->pull_stats().issued, 2u);
+  sim.run();
+  ASSERT_EQ(resumed.size(), 2u);
+  EXPECT_EQ(resumed[1].site, 1);
+  EXPECT_EQ(tier->cache(0).size(), 1u);
+  EXPECT_EQ(tier->cache(1).size(), 1u);
+}
+
+TEST(StateTier, TrivialPullPathCompletesInlineWithoutEvents) {
+  des::Simulation sim;
+  StateTierConfig cfg;
+  cfg.spec.cache_capacity = 0;  // unbounded
+  cfg.pull_network = NetworkModel::fixed(0.0);
+  std::vector<Resumed> resumed;
+  auto tier = make_tier(sim, cfg, resumed);
+  ASSERT_TRUE(tier->trivial_pulls());
+
+  tier->access(make_request(3, 0), 0);
+  // Inline: resumed before any sim.run(), no events, no stall. This is
+  // the configuration under which a cache-enabled run must stay
+  // bit-identical to a stateless one.
+  ASSERT_EQ(resumed.size(), 1u);
+  EXPECT_DOUBLE_EQ(resumed[0].req.state_pull_time(), 0.0);
+  EXPECT_EQ(tier->pulls_in_flight(), 0u);
+  EXPECT_EQ(tier->pull_stats().issued, 1u);
+  EXPECT_EQ(tier->pull_stats().completed, 1u);
+  sim.run();
+  EXPECT_DOUBLE_EQ(sim.now(), 0.0) << "trivial pulls must schedule nothing";
+}
+
+TEST(StateTier, TransferTimeRidesTheResponseLeg) {
+  des::Simulation sim;
+  StateTierConfig cfg;
+  cfg.spec.cache_capacity = 16;
+  cfg.spec.pull_transfer = dist::deterministic(0.2);
+  cfg.pull_network = NetworkModel::fixed(0.05);
+  std::vector<Resumed> resumed;
+  auto tier = make_tier(sim, cfg, resumed);
+  EXPECT_FALSE(tier->trivial_pulls());
+
+  tier->access(make_request(1, 0), 0);
+  sim.run();
+  ASSERT_EQ(resumed.size(), 1u);
+  // One RTT (0.05) plus the object transfer (0.2).
+  EXPECT_DOUBLE_EQ(resumed[0].req.state_pull_time(), 0.25);
+  EXPECT_DOUBLE_EQ(resumed[0].at, 0.25);
+}
+
+TEST(StateTier, PartitionedPullRetriesAndRecovers) {
+  des::Simulation sim;
+  StateTierConfig cfg;
+  cfg.spec.cache_capacity = 16;
+  cfg.pull_network = NetworkModel::fixed(0.02);
+  cfg.pull_retry = RetryPolicy{true, 0.1, 3, 0.05, 2.0, true};
+  cfg.pull_link_faults = std::make_shared<const faults::LinkSchedule>(
+      std::vector<faults::LinkEvent>{{0.0, 0.06, 0.0, true}});
+  std::vector<Resumed> resumed;
+  auto tier = make_tier(sim, cfg, resumed);
+
+  tier->access(make_request(9, 0), 0);
+  sim.run();
+  // Attempt 1 (t=0) is swallowed by the partition; the 0.1 s timeout and
+  // 0.05 s backoff re-issue it at t=0.15, after the link heals.
+  ASSERT_EQ(resumed.size(), 1u);
+  const state::PullStats p = tier->pull_stats();
+  EXPECT_EQ(p.issued, 1u);
+  EXPECT_EQ(p.completed, 1u);
+  EXPECT_EQ(p.abandoned, 0u);
+  EXPECT_EQ(p.retries, 1u);
+  EXPECT_EQ(p.link_drops, 1u);
+  // The stall covers the lost attempt, timeout, backoff, and the
+  // successful round trip — all charged to the parked original.
+  EXPECT_DOUBLE_EQ(resumed[0].req.state_pull_time(), 0.17);
+}
+
+TEST(StateTier, ExhaustedPullBudgetAbandonsTheParkedRequest) {
+  des::Simulation sim;
+  StateTierConfig cfg;
+  cfg.spec.cache_capacity = 16;
+  cfg.pull_network = NetworkModel::fixed(0.02);
+  cfg.pull_retry = RetryPolicy{true, 0.1, 2, 0.05, 2.0, true};
+  // Permanent partition: every attempt is lost, the budget exhausts.
+  cfg.pull_link_faults = std::make_shared<const faults::LinkSchedule>(
+      std::vector<faults::LinkEvent>{{0.0, 1000.0, 0.0, true}});
+  std::vector<Resumed> resumed;
+  auto tier = make_tier(sim, cfg, resumed);
+
+  tier->access(make_request(9, 0), 0);
+  sim.run();
+  EXPECT_TRUE(resumed.empty());
+  const state::PullStats p = tier->pull_stats();
+  EXPECT_EQ(p.issued, 1u);
+  EXPECT_EQ(p.completed, 0u);
+  EXPECT_EQ(p.abandoned, 1u);
+  EXPECT_EQ(p.retries, 2u);
+  EXPECT_EQ(p.link_drops, 3u);  // initial attempt + both retries
+  EXPECT_EQ(p.issued, p.completed + p.abandoned);
+  EXPECT_EQ(tier->pulls_in_flight(), 0u);
+  EXPECT_FALSE(tier->cache(0).contains(9));
+}
+
+TEST(StateTier, FaultyLinkRequiresRetriesEnabled) {
+  des::Simulation sim;
+  StateTierConfig cfg;
+  cfg.pull_link_faults = std::make_shared<const faults::LinkSchedule>(
+      std::vector<faults::LinkEvent>{{0.0, 1.0, 0.0, true}});
+  cfg.pull_retry.enabled = false;
+  std::vector<Resumed> resumed;
+  EXPECT_THROW(make_tier(sim, cfg, resumed), ContractViolation);
+}
+
+TEST(StateTier, ResetStatsKeepsTheCacheWarm) {
+  des::Simulation sim;
+  StateTierConfig cfg;
+  cfg.spec.cache_capacity = 16;
+  cfg.pull_network = NetworkModel::fixed(0.02);
+  std::vector<Resumed> resumed;
+  auto tier = make_tier(sim, cfg, resumed);
+
+  tier->access(make_request(5, 0), 0);
+  sim.run();
+  tier->reset_stats();
+  EXPECT_EQ(tier->pull_stats().issued, 0u);
+  EXPECT_EQ(tier->cache_stats().lookups, 0u);
+
+  // Warmup reset does not cool the cache: the post-reset epoch sees a
+  // clean hit, exactly like a deployment's end-of-warmup reset.
+  tier->access(make_request(5, 0), 0);
+  ASSERT_EQ(resumed.size(), 2u);
+  EXPECT_EQ(tier->cache_stats().hits, 1u);
+  EXPECT_EQ(tier->pull_stats().issued, 0u);
+}
+
+}  // namespace
+}  // namespace hce::cluster
