@@ -60,8 +60,7 @@ struct ElasticEdgeConfig {
   Time inter_site_rtt = 0.020;
 };
 
-class ElasticEdge final : public cluster::Deployment,
-                          private cluster::RetryClient::Transport {
+class ElasticEdge final : public cluster::Deployment {
  public:
   ElasticEdge(des::Simulation& sim, ElasticEdgeConfig cfg, Rng rng);
 
@@ -107,9 +106,10 @@ class ElasticEdge final : public cluster::Deployment,
   const ElasticEdgeConfig& config() const { return cfg_; }
 
  private:
-  // cluster::RetryClient::Transport
-  void client_send(des::Request req, int target) override;
-  int client_retry_target(const des::Request& req, int prev_target) override;
+  // Retry-client hooks, bound statically (no virtual dispatch per event).
+  friend class cluster::BasicRetryClient<ElasticEdge>;
+  void client_send(des::Request req, int target);
+  int client_retry_target(const des::Request& req, int prev_target);
 
   void arrive_at_site(des::Request req, int site_index);
   /// Next up site in ring order after `from`; -1 if every site is down.
@@ -134,7 +134,7 @@ class ElasticEdge final : public cluster::Deployment,
   std::vector<Time> last_scale_down_;
   std::uint64_t scaling_actions_ = 0;
   std::uint64_t failover_count_ = 0;
-  cluster::RetryClient client_;
+  cluster::BasicRetryClient<ElasticEdge> client_;
 };
 
 }  // namespace hce::autoscale

@@ -1,126 +1,11 @@
 #include "cluster/client.hpp"
 
-#include <utility>
-
 namespace hce::cluster {
 
-void RetryClient::submit(des::Request req, int target) {
-  req.t_created = sim_.now();
-  req.t_sent = sim_.now();
-  ++stats_.offered;
-  if (!policy_.enabled) {
-    transport_.client_send(std::move(req), target);
-    return;
-  }
-  const std::uint32_t slot = allocate_slot();
-  PendingRequest& p = slots_[slot];
-  req.client_token = pack(slot, p.generation);
-  p.target = target;
-  p.epoch = epoch_;
-  p.req = std::move(req);
-  start_attempt(slot, 1);
-}
-
-bool RetryClient::on_response(const des::Request& req) {
-  if (!policy_.enabled) {
-    ++stats_.delivered;
-    return true;
-  }
-  PendingRequest* p = find_awaiting(req.client_token);
-  if (p == nullptr) {
-    // The client already timed this attempt out (and either retried or
-    // gave up); the late response is a duplicate.
-    ++stats_.duplicates;
-    return false;
-  }
-  const bool counted = p->epoch == epoch_;
-  sim_.cancel(p->timeout_event);
-  release(static_cast<std::uint32_t>(req.client_token & 0xffffffffu));
-  if (counted) ++stats_.delivered;
-  return true;
-}
-
-std::uint32_t RetryClient::allocate_slot() {
-  std::uint32_t slot;
-  if (!free_.empty()) {
-    slot = free_.back();
-    free_.pop_back();
-  } else {
-    slot = static_cast<std::uint32_t>(slots_.size());
-    slots_.emplace_back();
-  }
-  slots_[slot].occupied = true;
-  ++live_;
-  if (live_ > high_water_) {
-    high_water_ = live_;
-    sim_.note_client_pending_high_water(high_water_);
-  }
-  return slot;
-}
-
-void RetryClient::release(std::uint32_t slot) {
-  PendingRequest& p = slots_[slot];
-  p.occupied = false;
-  p.awaiting = false;
-  ++p.generation;  // all outstanding tokens for this slot become stale
-  free_.push_back(slot);
-  --live_;
-}
-
-RetryClient::PendingRequest* RetryClient::find_awaiting(std::uint64_t token) {
-  const std::uint32_t slot = static_cast<std::uint32_t>(token & 0xffffffffu);
-  const std::uint32_t generation = static_cast<std::uint32_t>(token >> 32);
-  if (slot >= slots_.size()) return nullptr;
-  PendingRequest& p = slots_[slot];
-  if (!p.occupied || !p.awaiting || p.generation != generation) return nullptr;
-  return &p;
-}
-
-void RetryClient::start_attempt(std::uint32_t slot, int attempt) {
-  PendingRequest& p = slots_[slot];
-  p.attempt = attempt;
-  p.awaiting = true;
-  // Timeout scheduled before the send, exactly like the pre-refactor
-  // deployments: preserves the calendar sequence order and therefore the
-  // golden digests.
-  p.timeout_event = sim_.schedule_in(policy_.timeout,
-                                     [this, slot] { on_timeout(slot); });
-  des::Request copy = p.req;
-  // Attempt send time: for first attempts this equals t_created; for
-  // re-issues the gap t_sent - t_created is exactly the retry penalty
-  // (lost attempts plus backoff) of the decomposition in des/request.hpp.
-  copy.t_sent = sim_.now();
-  transport_.client_send(std::move(copy), p.target);
-}
-
-void RetryClient::on_timeout(std::uint32_t slot) {
-  PendingRequest& p = slots_[slot];
-  // Responses arriving during the backoff gap are duplicates, exactly as
-  // if the entry had been erased (the pre-refactor maps erased it here).
-  p.awaiting = false;
-  // Requests offered before a stats reset keep retrying (the client does
-  // not know about measurement epochs) but touch no counter.
-  const bool counted = p.epoch == epoch_;
-  if (p.attempt >= 1 + policy_.max_retries) {
-    if (counted) ++stats_.timeouts;  // budget exhausted: client gives up
-    // Resource reclamation must run regardless of the stats epoch — a
-    // pull abandoned after a warmup reset still holds a parked request.
-    if (on_abandon_) on_abandon_(p.req);
-    release(slot);
-    return;
-  }
-  if (counted) ++stats_.retries;
-  sim_.schedule_in(policy_.backoff_before(p.attempt),
-                   [this, slot] { reissue(slot); });
-}
-
-void RetryClient::reissue(std::uint32_t slot) {
-  PendingRequest& p = slots_[slot];
-  // Pick the re-issue target now (after the backoff, not before): sites
-  // may have recovered or crashed during the gap, and the deployment's
-  // routing policy should see current state.
-  p.target = transport_.client_retry_target(p.req, p.target);
-  start_attempt(slot, p.attempt + 1);
-}
+// The type-erased instantiation (virtual transport hooks) lives here so
+// its code exists exactly once; deployments instantiate the template on
+// themselves in their own translation units, devirtualizing the
+// per-event send / retry-target calls.
+template class BasicRetryClient<RetryTransport>;
 
 }  // namespace hce::cluster

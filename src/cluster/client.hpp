@@ -103,35 +103,51 @@ struct ClientStats {
   }
 };
 
+/// Deployment-side hooks as a virtual interface. The deployments
+/// themselves bind statically (BasicRetryClient<ConcreteDeployment>, no
+/// per-event virtual dispatch); this base remains for callers that need
+/// runtime polymorphism — scripted test transports and the type-erased
+/// `RetryClient` alias below.
+class RetryTransport {
+ public:
+  /// Transmits one attempt toward `target`: consult link faults (call
+  /// BasicRetryClient::count_link_drop() on a partition and return),
+  /// sample the uplink, and schedule arrival at the serving
+  /// infrastructure.
+  virtual void client_send(des::Request req, int target) = 0;
+  /// Routing policy for re-issue attempts: picks the target of the next
+  /// attempt given the one that just timed out. Evaluated at re-issue
+  /// time (after the backoff), so failover decisions see current site
+  /// up/down state.
+  virtual int client_retry_target(const des::Request& req,
+                                  int prev_target) = 0;
+
+ protected:
+  ~RetryTransport() = default;  // non-owning interface
+};
+
 /// The shared at-least-once client loop. One instance per deployment;
 /// single-threaded under the owning simulation's clock.
-class RetryClient {
+///
+/// `TransportT` is the deployment-side hook provider; member lookup is
+/// static, so a client instantiated on a final deployment class calls
+/// client_send / client_retry_target directly (the PR 3 virtual hooks,
+/// devirtualized for the sealed set of deployment kinds). The
+/// `RetryClient` alias instantiates on the virtual RetryTransport base
+/// and behaves exactly like the pre-template class.
+template <class TransportT = RetryTransport>
+class BasicRetryClient {
  public:
-  /// Deployment-side hooks. Implemented (usually privately) by each
-  /// deployment; both calls happen under the simulation clock.
-  class Transport {
-   public:
-    /// Transmits one attempt toward `target`: consult link faults (call
-    /// RetryClient::count_link_drop() on a partition and return), sample
-    /// the uplink, and schedule arrival at the serving infrastructure.
-    virtual void client_send(des::Request req, int target) = 0;
-    /// Routing policy for re-issue attempts: picks the target of the next
-    /// attempt given the one that just timed out. Evaluated at re-issue
-    /// time (after the backoff), so failover decisions see current site
-    /// up/down state.
-    virtual int client_retry_target(const des::Request& req,
-                                    int prev_target) = 0;
+  /// Legacy nested name for the virtual hook interface (every
+  /// instantiation exposes it; test transports derive from it).
+  using Transport = RetryTransport;
 
-   protected:
-    ~Transport() = default;  // non-owning interface
-  };
-
-  RetryClient(des::Simulation& sim, const RetryPolicy& policy,
-              Transport& transport)
+  BasicRetryClient(des::Simulation& sim, const RetryPolicy& policy,
+                   TransportT& transport)
       : sim_(sim), policy_(policy), transport_(transport) {}
 
-  RetryClient(const RetryClient&) = delete;
-  RetryClient& operator=(const RetryClient&) = delete;
+  BasicRetryClient(const BasicRetryClient&) = delete;
+  BasicRetryClient& operator=(const BasicRetryClient&) = delete;
 
   /// Client offers a logical request, initially routed to `target`.
   /// Stamps t_created, counts it offered, and — with retries enabled —
@@ -208,7 +224,7 @@ class RetryClient {
 
   des::Simulation& sim_;
   RetryPolicy policy_;
-  Transport& transport_;
+  TransportT& transport_;
   std::function<void(const des::Request&)> on_abandon_;
   ClientStats stats_;
   std::uint64_t epoch_ = 0;  ///< bumped by reset_stats()
@@ -218,5 +234,143 @@ class RetryClient {
   std::size_t live_ = 0;
   std::size_t high_water_ = 0;
 };
+
+/// The type-erased client: one virtual call per send / retry-target. Used
+/// by scripted test transports; deployments instantiate on themselves.
+using RetryClient = BasicRetryClient<RetryTransport>;
+
+// --- Template member definitions --------------------------------------
+
+template <class TransportT>
+void BasicRetryClient<TransportT>::submit(des::Request req, int target) {
+  req.t_created = sim_.now();
+  req.t_sent = sim_.now();
+  ++stats_.offered;
+  if (!policy_.enabled) {
+    transport_.client_send(std::move(req), target);
+    return;
+  }
+  const std::uint32_t slot = allocate_slot();
+  PendingRequest& p = slots_[slot];
+  req.client_token = pack(slot, p.generation);
+  p.target = target;
+  p.epoch = epoch_;
+  p.req = std::move(req);
+  start_attempt(slot, 1);
+}
+
+template <class TransportT>
+bool BasicRetryClient<TransportT>::on_response(const des::Request& req) {
+  if (!policy_.enabled) {
+    ++stats_.delivered;
+    return true;
+  }
+  PendingRequest* p = find_awaiting(req.client_token);
+  if (p == nullptr) {
+    // The client already timed this attempt out (and either retried or
+    // gave up); the late response is a duplicate.
+    ++stats_.duplicates;
+    return false;
+  }
+  const bool counted = p->epoch == epoch_;
+  sim_.cancel(p->timeout_event);
+  release(static_cast<std::uint32_t>(req.client_token & 0xffffffffu));
+  if (counted) ++stats_.delivered;
+  return true;
+}
+
+template <class TransportT>
+std::uint32_t BasicRetryClient<TransportT>::allocate_slot() {
+  std::uint32_t slot;
+  if (!free_.empty()) {
+    slot = free_.back();
+    free_.pop_back();
+  } else {
+    slot = static_cast<std::uint32_t>(slots_.size());
+    slots_.emplace_back();
+  }
+  slots_[slot].occupied = true;
+  ++live_;
+  if (live_ > high_water_) {
+    high_water_ = live_;
+    sim_.note_client_pending_high_water(high_water_);
+  }
+  return slot;
+}
+
+template <class TransportT>
+void BasicRetryClient<TransportT>::release(std::uint32_t slot) {
+  PendingRequest& p = slots_[slot];
+  p.occupied = false;
+  p.awaiting = false;
+  ++p.generation;  // all outstanding tokens for this slot become stale
+  free_.push_back(slot);
+  --live_;
+}
+
+template <class TransportT>
+typename BasicRetryClient<TransportT>::PendingRequest*
+BasicRetryClient<TransportT>::find_awaiting(std::uint64_t token) {
+  const std::uint32_t slot = static_cast<std::uint32_t>(token & 0xffffffffu);
+  const std::uint32_t generation = static_cast<std::uint32_t>(token >> 32);
+  if (slot >= slots_.size()) return nullptr;
+  PendingRequest& p = slots_[slot];
+  if (!p.occupied || !p.awaiting || p.generation != generation) return nullptr;
+  return &p;
+}
+
+template <class TransportT>
+void BasicRetryClient<TransportT>::start_attempt(std::uint32_t slot,
+                                                 int attempt) {
+  PendingRequest& p = slots_[slot];
+  p.attempt = attempt;
+  p.awaiting = true;
+  // Timeout scheduled before the send, exactly like the pre-refactor
+  // deployments: preserves the calendar sequence order and therefore the
+  // golden digests.
+  p.timeout_event = sim_.schedule_in(policy_.timeout,
+                                     [this, slot] { on_timeout(slot); });
+  des::Request copy = p.req;
+  // Attempt send time: for first attempts this equals t_created; for
+  // re-issues the gap t_sent - t_created is exactly the retry penalty
+  // (lost attempts plus backoff) of the decomposition in des/request.hpp.
+  copy.t_sent = sim_.now();
+  transport_.client_send(std::move(copy), p.target);
+}
+
+template <class TransportT>
+void BasicRetryClient<TransportT>::on_timeout(std::uint32_t slot) {
+  PendingRequest& p = slots_[slot];
+  // Responses arriving during the backoff gap are duplicates, exactly as
+  // if the entry had been erased (the pre-refactor maps erased it here).
+  p.awaiting = false;
+  // Requests offered before a stats reset keep retrying (the client does
+  // not know about measurement epochs) but touch no counter.
+  const bool counted = p.epoch == epoch_;
+  if (p.attempt >= 1 + policy_.max_retries) {
+    if (counted) ++stats_.timeouts;  // budget exhausted: client gives up
+    // Resource reclamation must run regardless of the stats epoch — a
+    // pull abandoned after a warmup reset still holds a parked request.
+    if (on_abandon_) on_abandon_(p.req);
+    release(slot);
+    return;
+  }
+  if (counted) ++stats_.retries;
+  sim_.schedule_in(policy_.backoff_before(p.attempt),
+                   [this, slot] { reissue(slot); });
+}
+
+template <class TransportT>
+void BasicRetryClient<TransportT>::reissue(std::uint32_t slot) {
+  PendingRequest& p = slots_[slot];
+  // Pick the re-issue target now (after the backoff, not before): sites
+  // may have recovered or crashed during the gap, and the deployment's
+  // routing policy should see current state.
+  p.target = transport_.client_retry_target(p.req, p.target);
+  start_attempt(slot, p.attempt + 1);
+}
+
+/// Compiled once in client.cpp; every other TU links against it.
+extern template class BasicRetryClient<RetryTransport>;
 
 }  // namespace hce::cluster

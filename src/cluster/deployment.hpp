@@ -61,8 +61,7 @@ struct CloudConfig {
   int fault_group_size = 1;
 };
 
-class CloudDeployment final : public Deployment,
-                              private RetryClient::Transport {
+class CloudDeployment final : public Deployment {
  public:
   CloudDeployment(des::Simulation& sim, CloudConfig cfg, Rng rng);
 
@@ -88,9 +87,10 @@ class CloudDeployment final : public Deployment,
   Cluster& cluster() { return cluster_; }
 
  private:
-  // RetryClient::Transport
-  void client_send(des::Request req, int target) override;
-  int client_retry_target(const des::Request& req, int prev_target) override;
+  // Retry-client hooks, bound statically (no virtual dispatch per event).
+  friend class BasicRetryClient<CloudDeployment>;
+  void client_send(des::Request req, int target);
+  int client_retry_target(const des::Request& req, int prev_target);
 
   des::Simulation& sim_;
   CloudConfig cfg_;
@@ -100,7 +100,7 @@ class CloudDeployment final : public Deployment,
   /// In-flight request payloads (uplink/downlink legs): calendar handlers
   /// capture 4-byte pool handles, not Requests.
   des::RequestPool pool_;
-  RetryClient client_;
+  BasicRetryClient<CloudDeployment> client_;
 };
 
 struct EdgeConfig {
@@ -144,8 +144,7 @@ struct EdgeConfig {
   std::shared_ptr<const faults::LinkSchedule> state_link_faults;
 };
 
-class EdgeDeployment final : public Deployment,
-                             private RetryClient::Transport {
+class EdgeDeployment final : public Deployment {
  public:
   EdgeDeployment(des::Simulation& sim, EdgeConfig cfg, Rng rng);
 
@@ -191,9 +190,10 @@ class EdgeDeployment final : public Deployment,
   const StateTier* state_tier() const { return tier_.get(); }
 
  private:
-  // RetryClient::Transport
-  void client_send(des::Request req, int target) override;
-  int client_retry_target(const des::Request& req, int prev_target) override;
+  // Retry-client hooks, bound statically (no virtual dispatch per event).
+  friend class BasicRetryClient<EdgeDeployment>;
+  void client_send(des::Request req, int target);
+  int client_retry_target(const des::Request& req, int prev_target);
 
   void arrive_at_site(des::Request req, int site_index);
   int pick_redirect_target(int from_site) const;
@@ -214,7 +214,7 @@ class EdgeDeployment final : public Deployment,
   std::uint64_t failover_count_ = 0;
   /// Cache tier between routing and the serving queue (null = stateless).
   std::unique_ptr<StateTier> tier_;
-  RetryClient client_;
+  BasicRetryClient<EdgeDeployment> client_;
 };
 
 }  // namespace hce::cluster

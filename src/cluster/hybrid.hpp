@@ -73,8 +73,7 @@ struct HybridConfig {
   RetryPolicy state_retry;
 };
 
-class HybridDeployment final : public Deployment,
-                               private RetryClient::Transport {
+class HybridDeployment final : public Deployment {
  public:
   HybridDeployment(des::Simulation& sim, HybridConfig cfg, Rng rng);
 
@@ -126,9 +125,10 @@ class HybridDeployment final : public Deployment,
   const HybridConfig& config() const { return cfg_; }
 
  private:
-  // RetryClient::Transport
-  void client_send(des::Request req, int target) override;
-  int client_retry_target(const des::Request& req, int prev_target) override;
+  // Retry-client hooks, bound statically (no virtual dispatch per event).
+  friend class BasicRetryClient<HybridDeployment>;
+  void client_send(des::Request req, int target);
+  int client_retry_target(const des::Request& req, int prev_target);
 
   void arrive_at_site(des::Request req, int site_index);
   void offload_to_cloud(des::Request req);
@@ -147,7 +147,7 @@ class HybridDeployment final : public Deployment,
   std::uint64_t local_ = 0;
   /// Cache tier in front of the local sites (null = stateless).
   std::unique_ptr<StateTier> tier_;
-  RetryClient client_;
+  BasicRetryClient<HybridDeployment> client_;
 };
 
 }  // namespace hce::cluster

@@ -4,6 +4,16 @@
 
 namespace hce::cluster {
 
+namespace {
+
+/// Ring capacity: one refill pass amortizes this many virtual
+/// arrival/service (and key-sampler) calls. Small enough that a source's
+/// look-ahead stays a few KiB, large enough that the virtual-dispatch
+/// cost per event is negligible.
+constexpr std::size_t kRingCapacity = 128;
+
+}  // namespace
+
 Source::Source(des::Simulation& sim, workload::ArrivalPtr arrivals,
                workload::ServicePtr service, int site, SubmitFn submit,
                Rng rng)
@@ -21,19 +31,51 @@ Source::Source(des::Simulation& sim, workload::ArrivalPtr arrivals,
 void Source::start(Time until) {
   HCE_EXPECT(until > sim_.now(), "source: horizon must be in the future");
   until_ = until;
-  next_time_ = sim_.now();
+  prev_time_ = sim_.now();
+  exhausted_ = false;
+  ring_.clear();
+  ring_.reserve(kRingCapacity);
+  ring_pos_ = 0;
   schedule_next();
 }
 
+// One pass of batched pre-sampling. The loop draws (arrival_i, service_i)
+// interleaved on rng_ and key_i on the dedicated key stream — the exact
+// per-event order of the pre-batching source, so the stream state after
+// any prefix of arrivals is unchanged and golden digests stay
+// bit-identical. The final draw that lands at or beyond the horizon
+// consumes no service or key draw, also exactly as before.
+void Source::refill() {
+  ring_.clear();
+  ring_pos_ = 0;
+  while (!exhausted_ && ring_.size() < kRingCapacity) {
+    const Time t = arrivals_->next_arrival_after(prev_time_, rng_);
+    if (t >= until_) {
+      exhausted_ = true;
+      break;
+    }
+    prev_time_ = t;
+    PregenRequest e;
+    e.t = t;
+    e.demand = service_->sample(rng_);
+    if (keys_) e.key = keys_->key(*key_rng_);
+    ring_.push_back(e);
+  }
+}
+
 void Source::schedule_next() {
-  next_time_ = arrivals_->next_arrival_after(next_time_, rng_);
-  if (next_time_ >= until_) return;
-  sim_.schedule_at(next_time_, [this] {
+  if (ring_pos_ >= ring_.size()) {
+    if (exhausted_) return;
+    refill();
+    if (ring_.empty()) return;
+  }
+  sim_.schedule_at(ring_[ring_pos_].t, [this] {
+    const PregenRequest& e = ring_[ring_pos_++];
     des::Request req;
     req.id = next_id_++;
     req.site = site_;
-    req.service_demand = service_->sample(rng_);
-    if (keys_) req.key = keys_->key(*key_rng_);
+    req.service_demand = e.demand;
+    req.key = e.key;
     ++generated_;
     submit_(std::move(req));
     schedule_next();
@@ -60,22 +102,49 @@ void MirroredSource::start(Time until) {
   HCE_EXPECT(until > sim_.now(),
              "mirrored source: horizon must be in the future");
   until_ = until;
+  prev_time_ = sim_.now();
+  exhausted_ = false;
+  ring_.clear();
+  ring_.reserve(kRingCapacity);
+  ring_pos_ = 0;
   schedule_next();
 }
 
+// See Source::refill — identical draw-order contract. The arrival time,
+// service demand, and key are each sampled ONCE per logical request and
+// shared by both mirrored copies (CRN pairing extends to the data access
+// pattern), exactly as in the per-event path.
+void MirroredSource::refill() {
+  ring_.clear();
+  ring_pos_ = 0;
+  while (!exhausted_ && ring_.size() < kRingCapacity) {
+    const Time t = arrivals_->next_arrival_after(prev_time_, rng_);
+    if (t >= until_) {
+      exhausted_ = true;
+      break;
+    }
+    prev_time_ = t;
+    PregenRequest e;
+    e.t = t;
+    e.demand = service_->sample(rng_);
+    if (keys_) e.key = keys_->key(*key_rng_);
+    ring_.push_back(e);
+  }
+}
+
 void MirroredSource::schedule_next() {
-  const Time t = arrivals_->next_arrival_after(
-      generated_ == 0 ? sim_.now() : last_time_, rng_);
-  if (t >= until_) return;
-  last_time_ = t;
-  sim_.schedule_at(t, [this] {
+  if (ring_pos_ >= ring_.size()) {
+    if (exhausted_) return;
+    refill();
+    if (ring_.empty()) return;
+  }
+  sim_.schedule_at(ring_[ring_pos_].t, [this] {
+    const PregenRequest& e = ring_[ring_pos_++];
     des::Request req;
     req.id = next_id_++;
     req.site = site_;
-    req.service_demand = service_->sample(rng_);
-    // One draw per logical request: both mirrored copies touch the same
-    // key, extending the CRN pairing to the data access pattern.
-    if (keys_) req.key = keys_->key(*key_rng_);
+    req.service_demand = e.demand;
+    req.key = e.key;
     ++generated_;
     des::Request copy = req;
     submit_a_(std::move(req));

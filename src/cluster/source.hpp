@@ -24,6 +24,20 @@ namespace hce::cluster {
 
 using SubmitFn = std::function<void(des::Request)>;
 
+/// One pre-sampled request: absolute arrival time, service demand, and
+/// (for stateful workloads) the data key. Sources fill a ring of these in
+/// one pass, amortizing the virtual ArrivalProcess / ServiceModel /
+/// ZipfSampler calls that would otherwise fire once per simulated event.
+/// The fill loop draws in exactly the per-event order (arrival_i,
+/// service_i interleaved on the arrival/service stream; keys on their own
+/// stream), so pre-generation changes no RNG stream state and every
+/// golden digest stays bit-identical — pinned by the determinism tests.
+struct PregenRequest {
+  Time t = 0.0;
+  Time demand = 0.0;
+  std::uint64_t key = 0;
+};
+
 /// Generates requests for one region/site from an arrival process, with
 /// service demands drawn from a service model. Stops at `until`.
 class Source {
@@ -48,6 +62,7 @@ class Source {
 
  private:
   void schedule_next();
+  void refill();
 
   des::Simulation& sim_;
   workload::ArrivalPtr arrivals_;
@@ -58,9 +73,13 @@ class Source {
   std::shared_ptr<const dist::ZipfSampler> keys_;
   std::optional<Rng> key_rng_;
   Time until_ = 0.0;
-  Time next_time_ = 0.0;
+  Time prev_time_ = 0.0;  ///< last pre-generated arrival (chains the ring)
   std::uint64_t generated_ = 0;
   std::uint64_t next_id_ = 0;
+  /// Pre-sampled arrivals, consumed front to back; refilled when drained.
+  std::vector<PregenRequest> ring_;
+  std::size_t ring_pos_ = 0;
+  bool exhausted_ = false;  ///< the process produced an arrival >= until_
 };
 
 /// Generates identical request streams (same arrival times, same service
@@ -88,6 +107,7 @@ class MirroredSource {
 
  private:
   void schedule_next();
+  void refill();
 
   des::Simulation& sim_;
   workload::ArrivalPtr arrivals_;
@@ -99,9 +119,13 @@ class MirroredSource {
   std::shared_ptr<const dist::ZipfSampler> keys_;
   std::optional<Rng> key_rng_;
   Time until_ = 0.0;
-  Time last_time_ = 0.0;
+  Time prev_time_ = 0.0;  ///< last pre-generated arrival (chains the ring)
   std::uint64_t generated_ = 0;
   std::uint64_t next_id_ = 0;
+  /// Pre-sampled arrivals, consumed front to back; refilled when drained.
+  std::vector<PregenRequest> ring_;
+  std::size_t ring_pos_ = 0;
+  bool exhausted_ = false;  ///< the process produced an arrival >= until_
 };
 
 /// Replays a Trace into one or two deployments. Events are submitted at

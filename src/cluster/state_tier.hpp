@@ -62,7 +62,7 @@ struct StateTierConfig {
 
 /// One cache tier per deployment: per-site EdgeCaches plus the shared
 /// pull client. Single-threaded under the owning simulation's clock.
-class StateTier final : private RetryClient::Transport {
+class StateTier final {
  public:
   /// Called when a request is cleared to enter site `site`'s queue (cache
   /// hit, or its pull completed). Typically binds Station::arrive.
@@ -104,9 +104,10 @@ class StateTier final : private RetryClient::Transport {
   const StateTierConfig& config() const { return cfg_; }
 
  private:
-  // RetryClient::Transport (the pull loop's view).
-  void client_send(des::Request pull, int target) override;
-  int client_retry_target(const des::Request& pull, int prev_target) override;
+  // Retry-client hooks (the pull loop's view), bound statically.
+  friend class BasicRetryClient<StateTier>;
+  void client_send(des::Request pull, int target);
+  int client_retry_target(const des::Request& pull, int prev_target);
 
   void store_respond(des::RequestPool::Handle h);
   void complete_pull(des::RequestPool::Handle h);
@@ -122,7 +123,7 @@ class StateTier final : private RetryClient::Transport {
   des::RequestPool parked_;
   /// Pull payloads between calendar events (uplink/response legs).
   des::RequestPool legs_;
-  RetryClient pull_client_;
+  BasicRetryClient<StateTier> pull_client_;
   std::uint64_t issued_ = 0;
   std::uint64_t completed_ = 0;
   std::uint64_t abandoned_ = 0;

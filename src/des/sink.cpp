@@ -1,8 +1,39 @@
 #include "des/sink.hpp"
 
-#include <algorithm>
-
 namespace hce::des {
+
+void RecordColumns::drop_before(Time t) {
+  const std::size_t n = size();
+  std::size_t w = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (t_completed[i] < t) continue;
+    if (w != i) {
+      t_created[w] = t_created[i];
+      t_completed[w] = t_completed[i];
+      waiting[w] = waiting[i];
+      service[w] = service[i];
+      end_to_end[w] = end_to_end[i];
+      network[w] = network[i];
+      retry_penalty[w] = retry_penalty[i];
+      state_pull[w] = state_pull[i];
+      site[w] = site[i];
+      station[w] = station[i];
+      redirects[w] = redirects[i];
+    }
+    ++w;
+  }
+  t_created.resize(w);
+  t_completed.resize(w);
+  waiting.resize(w);
+  service.resize(w);
+  end_to_end.resize(w);
+  network.resize(w);
+  retry_penalty.resize(w);
+  state_pull.resize(w);
+  site.resize(w);
+  station.resize(w);
+  redirects.resize(w);
+}
 
 void Sink::record(const Request& req) {
   CompletionRecord r;
@@ -20,36 +51,40 @@ void Sink::record(const Request& req) {
   records_.push_back(r);
 }
 
-void Sink::drop_before(Time t) {
-  records_.erase(std::remove_if(records_.begin(), records_.end(),
-                                [t](const CompletionRecord& r) {
-                                  return r.t_completed < t;
-                                }),
-                 records_.end());
-}
-
 std::vector<double> Sink::latencies(int site) const {
   std::vector<double> out;
-  out.reserve(records_.size());
-  for (const auto& r : records_) {
-    if (site < 0 || r.site == site) out.push_back(r.end_to_end);
+  const std::size_t n = records_.size();
+  out.reserve(n);
+  if (site < 0) {
+    // Dense column widen: float -> double, no per-row gather.
+    out.assign(records_.end_to_end.begin(), records_.end_to_end.end());
+    return out;
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    if (records_.site[i] == site) out.push_back(records_.end_to_end[i]);
   }
   return out;
 }
 
 std::vector<double> Sink::waiting_times(int site) const {
   std::vector<double> out;
-  out.reserve(records_.size());
-  for (const auto& r : records_) {
-    if (site < 0 || r.site == site) out.push_back(r.waiting);
+  const std::size_t n = records_.size();
+  out.reserve(n);
+  if (site < 0) {
+    out.assign(records_.waiting.begin(), records_.waiting.end());
+    return out;
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    if (records_.site[i] == site) out.push_back(records_.waiting[i]);
   }
   return out;
 }
 
 stats::Summary Sink::latency_summary(int site) const {
   stats::Summary s;
-  for (const auto& r : records_) {
-    if (site < 0 || r.site == site) s.add(r.end_to_end);
+  const std::size_t n = records_.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    if (site < 0 || records_.site[i] == site) s.add(records_.end_to_end[i]);
   }
   return s;
 }

@@ -3,9 +3,18 @@
 // Stores compact per-request records (not the whole Request) so multi-hour
 // trace replays stay memory-light while still supporting means, tails,
 // distributions, per-site breakdowns, and time series.
+//
+// Storage is structure-of-arrays: one column per field, so the component
+// sums and percentile scans of obs::collect_breakdown stream over dense
+// float columns (vectorizable) instead of striding 40-byte records.
+// CompletionRecord remains as the row *view* — operator[] and the value
+// iterator gather one on demand, so row-oriented consumers (tests,
+// reporters, replay) keep reading `for (const auto& r : sink.records())`.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
+#include <iterator>
 #include <vector>
 
 #include "des/request.hpp"
@@ -13,6 +22,8 @@
 
 namespace hce::des {
 
+/// One completed request, as a row view over the columns below (and as
+/// the element type row-oriented code constructs directly).
 struct CompletionRecord {
   Time t_created;
   Time t_completed;
@@ -27,6 +38,126 @@ struct CompletionRecord {
   std::int16_t redirects;
 };
 
+/// Column store of completion records. Columns are public: analysis code
+/// that wants the vectorized path reads them directly; everything else
+/// uses the row interface (size / operator[] / value iterators), which
+/// compiles the same range-for loops the AoS layout supported.
+struct RecordColumns {
+  std::vector<Time> t_created;
+  std::vector<Time> t_completed;
+  std::vector<float> waiting;
+  std::vector<float> service;
+  std::vector<float> end_to_end;
+  std::vector<float> network;
+  std::vector<float> retry_penalty;
+  std::vector<float> state_pull;
+  std::vector<std::int16_t> site;
+  std::vector<std::int16_t> station;
+  std::vector<std::int16_t> redirects;
+
+  std::size_t size() const { return t_created.size(); }
+  bool empty() const { return t_created.empty(); }
+
+  void reserve(std::size_t n) {
+    t_created.reserve(n);
+    t_completed.reserve(n);
+    waiting.reserve(n);
+    service.reserve(n);
+    end_to_end.reserve(n);
+    network.reserve(n);
+    retry_penalty.reserve(n);
+    state_pull.reserve(n);
+    site.reserve(n);
+    station.reserve(n);
+    redirects.reserve(n);
+  }
+
+  void clear() {
+    t_created.clear();
+    t_completed.clear();
+    waiting.clear();
+    service.clear();
+    end_to_end.clear();
+    network.clear();
+    retry_penalty.clear();
+    state_pull.clear();
+    site.clear();
+    station.clear();
+    redirects.clear();
+  }
+
+  void push_back(const CompletionRecord& r) {
+    t_created.push_back(r.t_created);
+    t_completed.push_back(r.t_completed);
+    waiting.push_back(r.waiting);
+    service.push_back(r.service);
+    end_to_end.push_back(r.end_to_end);
+    network.push_back(r.network);
+    retry_penalty.push_back(r.retry_penalty);
+    state_pull.push_back(r.state_pull);
+    site.push_back(r.site);
+    station.push_back(r.station);
+    redirects.push_back(r.redirects);
+  }
+
+  /// Gathers row `i` (bounds unchecked, like vector::operator[]).
+  CompletionRecord operator[](std::size_t i) const {
+    CompletionRecord r;
+    r.t_created = t_created[i];
+    r.t_completed = t_completed[i];
+    r.waiting = waiting[i];
+    r.service = service[i];
+    r.end_to_end = end_to_end[i];
+    r.network = network[i];
+    r.retry_penalty = retry_penalty[i];
+    r.state_pull = state_pull[i];
+    r.site = site[i];
+    r.station = station[i];
+    r.redirects = redirects[i];
+    return r;
+  }
+
+  /// Value iterator: dereferencing gathers a CompletionRecord, so
+  /// `for (const auto& r : columns)` reads rows exactly as over the old
+  /// vector<CompletionRecord> (the reference binds to the temporary row).
+  class const_iterator {
+   public:
+    using iterator_category = std::input_iterator_tag;
+    using value_type = CompletionRecord;
+    using difference_type = std::ptrdiff_t;
+    using pointer = const CompletionRecord*;
+    using reference = CompletionRecord;
+
+    const_iterator() = default;
+    const_iterator(const RecordColumns* rc, std::size_t i)
+        : rc_(rc), i_(i) {}
+
+    CompletionRecord operator*() const { return (*rc_)[i_]; }
+    const_iterator& operator++() {
+      ++i_;
+      return *this;
+    }
+    const_iterator operator++(int) {
+      const_iterator tmp = *this;
+      ++i_;
+      return tmp;
+    }
+    bool operator==(const const_iterator& o) const { return i_ == o.i_; }
+    bool operator!=(const const_iterator& o) const { return i_ != o.i_; }
+
+   private:
+    const RecordColumns* rc_ = nullptr;
+    std::size_t i_ = 0;
+  };
+
+  const_iterator begin() const { return const_iterator(this, 0); }
+  const_iterator end() const { return const_iterator(this, size()); }
+
+  /// Drops rows completed before `t`, preserving the order of the kept
+  /// rows (the SoA equivalent of the old remove_if on records).
+  void drop_before(Time t);
+};
+
 class Sink {
  public:
   /// Records a completed request observed back at the client.
@@ -37,10 +168,10 @@ class Sink {
   void reserve(std::size_t n) { records_.reserve(n); }
 
   /// Drops records completed before `t` (warmup removal).
-  void drop_before(Time t);
+  void drop_before(Time t) { records_.drop_before(t); }
 
   std::size_t size() const { return records_.size(); }
-  const std::vector<CompletionRecord>& records() const { return records_; }
+  const RecordColumns& records() const { return records_; }
 
   /// End-to-end latencies as a plain vector (for quantiles / box plots),
   /// optionally restricted to one site (-1 = all).
@@ -53,7 +184,7 @@ class Sink {
   void clear() { records_.clear(); }
 
  private:
-  std::vector<CompletionRecord> records_;
+  RecordColumns records_;
 };
 
 }  // namespace hce::des

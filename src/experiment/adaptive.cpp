@@ -1,0 +1,218 @@
+#include "experiment/adaptive.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "support/contracts.hpp"
+
+namespace hce::experiment {
+
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+/// Worst-side relative CI half-width of a merged point. A side with
+/// delivered samples but fewer than two contributing replications
+/// reports infinity (no spread estimate exists yet — the point cannot be
+/// declared converged by luck); a side that delivered nothing imposes no
+/// requirement (more replications of a dead point buy no information).
+double relative_ci(const PointResult& pr, int replications) {
+  double rel = 0.0;
+  for (const SideStats* s : {&pr.edge, &pr.cloud}) {
+    if (s->samples == 0) continue;
+    const auto contributing =
+        static_cast<std::uint64_t>(replications) - s->dead_replications;
+    if (contributing < 2) return kInf;
+    if (s->mean <= 0.0) continue;
+    rel = std::max(rel, s->mean_ci_half_width / s->mean);
+  }
+  return rel;
+}
+
+/// Predicts the replication count needed to shrink a measured relative
+/// half-width `rel` (from `n` replications) to `target`: the half-width
+/// scales ~ 1/sqrt(n), so n* = n * (rel/target)^2. Ignoring the
+/// t-quantile's own shrink with n makes this a slight overestimate —
+/// the greedy loop trims any excess one replication at a time anyway.
+int predict_replications(double rel, int n, double target) {
+  if (!(rel > 0.0) || !std::isfinite(rel)) return n;
+  const double ratio = rel / target;
+  const double pred = std::ceil(static_cast<double>(n) * ratio * ratio);
+  if (pred >= 1e9) return 1 << 30;
+  return static_cast<int>(pred);
+}
+
+/// Per-point adaptive state: outputs stored by replication index, so a
+/// merge over 0..n-1 is bit-identical to a uniform n-replication point.
+struct PointState {
+  std::vector<ReplicationOutput> outs;
+  PointResult merged;
+  std::uint64_t events = 0;
+};
+
+}  // namespace
+
+AdaptiveSweepResult run_adaptive_sweep(const Scenario& sc,
+                                       const std::vector<Rate>& rates,
+                                       const AdaptiveConfig& cfg) {
+  HCE_EXPECT(!rates.empty(), "run_adaptive_sweep: empty rate axis");
+  HCE_EXPECT(cfg.pilot_replications >= 2,
+             "adaptive pilot needs >= 2 replications for a spread estimate");
+  HCE_EXPECT(cfg.max_replications >= cfg.pilot_replications,
+             "max_replications must be >= pilot_replications");
+  HCE_EXPECT(cfg.target_rel_ci > 0.0, "target_rel_ci must be positive");
+
+  std::vector<PointState> pts(rates.size());
+  int spent = 0;
+  const auto budget_left = [&] {
+    return cfg.replication_budget <= 0 || spent < cfg.replication_budget;
+  };
+  const auto run_one = [&](std::size_t i) {
+    PointState& p = pts[i];
+    // RNG identity is the replication index — the schedule never touches
+    // what replication r draws, only whether it runs.
+    p.outs.push_back(run_replication(sc, rates[i],
+                                     static_cast<int>(p.outs.size())));
+    p.events += p.outs.back().events;
+    ++spent;
+  };
+  const auto remerge = [&](std::size_t i) {
+    pts[i].merged = merge_replications(sc, rates[i], pts[i].outs);
+  };
+
+  // Pilot stage, in rate order. With warm_start, a point's pilot size is
+  // the replication count its left neighbor's spread predicts it needs
+  // (clamped to [pilot, max]) — neighboring rates have similar variance,
+  // so this skips allocation rounds that would rediscover the neighbor's
+  // noise level point by point.
+  for (std::size_t i = 0; i < rates.size(); ++i) {
+    int pilot = cfg.pilot_replications;
+    if (cfg.warm_start && i > 0 && !pts[i - 1].outs.empty()) {
+      const PointState& nb = pts[i - 1];
+      const int n_nb = static_cast<int>(nb.outs.size());
+      const double rel_nb = relative_ci(nb.merged, n_nb);
+      if (std::isfinite(rel_nb)) {
+        // Trust a neighbor's prediction only up to 4x the replications
+        // it is based on: a 2-replication spread estimate is chi-square
+        // with one degree of freedom, noisy enough to demand the cap
+        // outright. The greedy loop tops the point up if the bounded
+        // pilot proves too small.
+        const int trusted = std::min(cfg.max_replications, 4 * n_nb);
+        pilot = std::clamp(
+            predict_replications(rel_nb, n_nb, cfg.target_rel_ci),
+            cfg.pilot_replications, trusted);
+      }
+    }
+    while (static_cast<int>(pts[i].outs.size()) < pilot && budget_left()) {
+      run_one(i);
+    }
+    remerge(i);
+  }
+
+  // Greedy refinement: one replication at a time to the point whose
+  // worst-side relative CI is widest (ties break to the lowest index),
+  // until every point converges, caps out, or the budget is gone. Every
+  // decision reads only merged statistics of replication-index-ordered
+  // outputs, so the schedule is a deterministic function of the inputs.
+  while (budget_left()) {
+    std::size_t widest = rates.size();
+    double widest_rel = cfg.target_rel_ci;
+    for (std::size_t i = 0; i < rates.size(); ++i) {
+      if (static_cast<int>(pts[i].outs.size()) >= cfg.max_replications) {
+        continue;
+      }
+      const double rel =
+          relative_ci(pts[i].merged, static_cast<int>(pts[i].outs.size()));
+      if (rel > widest_rel) {
+        widest_rel = rel;
+        widest = i;
+      }
+    }
+    if (widest == rates.size()) break;  // all converged or capped
+    run_one(widest);
+    remerge(widest);
+  }
+
+  AdaptiveSweepResult out;
+  out.points.resize(rates.size());
+  for (std::size_t i = 0; i < rates.size(); ++i) {
+    AdaptivePoint& p = out.points[i];
+    p.result = std::move(pts[i].merged);
+    p.replications = static_cast<int>(pts[i].outs.size());
+    p.events = pts[i].events;
+    p.converged =
+        relative_ci(p.result, p.replications) <= cfg.target_rel_ci;
+    out.total_replications += p.replications;
+    out.total_events += p.events;
+  }
+  return out;
+}
+
+namespace {
+
+/// One CRN-paired probe: scenario.replications replications at `rate`,
+/// merged through the runner's deterministic merge path.
+PointResult probe(const Scenario& sc, Rate rate, std::uint64_t& events) {
+  std::vector<ReplicationOutput> outs;
+  outs.reserve(static_cast<std::size_t>(sc.replications));
+  for (int r = 0; r < sc.replications; ++r) {
+    outs.push_back(run_replication(sc, rate, r));
+    events += outs.back().events;
+  }
+  return merge_replications(sc, rate, outs);
+}
+
+double diff_of(const PointResult& pr, Metric m) {
+  return metric_of(pr.edge, m) - metric_of(pr.cloud, m);
+}
+
+}  // namespace
+
+BisectResult localize_crossover(const Scenario& sc, Metric metric, Rate lo,
+                                Rate hi, const BisectConfig& cfg) {
+  HCE_EXPECT(lo > 0.0 && hi > lo, "localize_crossover: need 0 < lo < hi");
+  HCE_EXPECT(cfg.rate_tol > 0.0, "rate_tol must be positive");
+  HCE_EXPECT(cfg.max_probes >= 2, "need at least the two endpoint probes");
+
+  BisectResult out;
+  PointResult at_lo = probe(sc, lo, out.total_events);
+  PointResult at_hi = probe(sc, hi, out.total_events);
+  out.probes = 2;
+  double d_lo = diff_of(at_lo, metric);
+  double d_hi = diff_of(at_hi, metric);
+  out.lo = lo;
+  out.hi = hi;
+  // The inversion is the *rising* crossing: edge at or below the cloud at
+  // lo, strictly above at hi. Anything else means the bracket missed it.
+  if (!(d_lo <= 0.0 && d_hi > 0.0)) return out;
+  out.bracketed = true;
+
+  while (out.hi - out.lo > cfg.rate_tol && out.probes < cfg.max_probes) {
+    const Rate mid = 0.5 * (out.lo + out.hi);
+    const PointResult at_mid = probe(sc, mid, out.total_events);
+    ++out.probes;
+    const double d_mid = diff_of(at_mid, metric);
+    if (d_mid > 0.0) {
+      out.hi = mid;
+      at_hi = at_mid;
+      d_hi = d_mid;
+    } else {
+      out.lo = mid;
+      at_lo = at_mid;
+      d_lo = d_mid;
+    }
+  }
+
+  // Interpolate inside the final bracket — the same linear estimator
+  // find_crossover applies between adjacent dense-grid points.
+  Crossover c;
+  c.rate = d_hi > d_lo
+               ? out.lo + (0.0 - d_lo) / (d_hi - d_lo) * (out.hi - out.lo)
+               : out.hi;
+  c.utilization = c.rate / sc.mu;
+  out.crossover = c;
+  return out;
+}
+
+}  // namespace hce::experiment

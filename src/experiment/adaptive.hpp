@@ -1,0 +1,127 @@
+// Adaptive experiment engine: spend simulated events where the answer is
+// still uncertain, instead of uniformly across a dense grid.
+//
+// The uniform sweep (run_sweep) runs a fixed replication count at every
+// rate. That wastes work twice: low-load points converge after a couple
+// of replications while near-saturation points need many to reach the
+// same confidence, and a crossover search over a dense rate grid
+// simulates dozens of points when only the bracket around the sign
+// change matters. This module replaces both with budget-aware variants:
+//
+//   * run_adaptive_sweep — pilot batch per point, then greedy allocation
+//     of further replications to whichever point's worst-side relative
+//     t-interval is widest, until every point meets `target_rel_ci` or
+//     the budget runs out. Optionally warm-starts a point's pilot from
+//     its left neighbor's measured spread.
+//   * localize_crossover — bisection on the sign of the paired
+//     edge-cloud metric difference: probe the bracket endpoints, then
+//     halve the bracket until it is narrower than `rate_tol`. CRN
+//     pairing makes the sign test sharp — both sides see the identical
+//     workload, so the difference is not blurred by sampling noise.
+//
+// Determinism: RNG identity is keyed off the replication index exactly
+// as in run_point — the adaptive schedule decides *how many*
+// replications a point runs and in what order points execute, never
+// which substream replication r draws from. A point that ends up with n
+// replications therefore reports statistics bit-identical to
+// run_point with scenario.replications = n (pinned by
+// tests/experiment/test_adaptive.cpp), and every scheduling decision is
+// a pure function of merged statistics in replication-index order, so
+// results cannot depend on thread scheduling.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "experiment/crossover.hpp"
+#include "experiment/runner.hpp"
+#include "experiment/scenario.hpp"
+
+namespace hce::experiment {
+
+/// Variance-aware replication scheduler configuration.
+struct AdaptiveConfig {
+  /// Replications every point runs before any adaptive decision — at
+  /// least 2, so a spread estimate exists.
+  int pilot_replications = 3;
+  /// Hard per-point cap (the scheduler stops feeding a point that
+  /// refuses to converge).
+  int max_replications = 32;
+  /// Total replication budget across the whole sweep; 0 = uncapped
+  /// (each point runs until it converges or hits max_replications).
+  int replication_budget = 0;
+  /// Convergence target: mean_ci_half_width / mean of the *worst* side
+  /// must drop to this before a point counts as converged.
+  double target_rel_ci = 0.05;
+  /// Seed each point's pilot size from the left neighbor's measured
+  /// spread (neighboring rates have similar variance, so a noisy
+  /// neighbor predicts a noisy point — skip the rounds that would just
+  /// rediscover that).
+  bool warm_start = true;
+};
+
+/// One adaptively sampled sweep point plus its sampling provenance.
+struct AdaptivePoint {
+  PointResult result;
+  int replications = 0;       ///< replications actually run
+  std::uint64_t events = 0;   ///< calendar events those replications cost
+  bool converged = false;     ///< met target_rel_ci (vs budget exhausted)
+};
+
+struct AdaptiveSweepResult {
+  std::vector<AdaptivePoint> points;  ///< matches the rate-axis order
+  int total_replications = 0;
+  std::uint64_t total_events = 0;
+
+  bool all_converged() const {
+    for (const AdaptivePoint& p : points) {
+      if (!p.converged) return false;
+    }
+    return true;
+  }
+};
+
+/// Runs the rate axis under the variance-aware scheduler. Replications
+/// execute sequentially in deterministic order; every reported statistic
+/// is bit-identical to a uniform run_point with the same final
+/// replication count.
+AdaptiveSweepResult run_adaptive_sweep(const Scenario& scenario,
+                                       const std::vector<Rate>& rates,
+                                       const AdaptiveConfig& config = {});
+
+/// Bisection crossover localizer configuration.
+struct BisectConfig {
+  /// Stop once the bracket is at most this wide (req/s per server).
+  double rate_tol = 0.25;
+  /// Cap on probed rates, endpoints included (the bracket halves per
+  /// probe, so 16 probes resolve a 12 req/s axis to ~0.001 req/s).
+  int max_probes = 16;
+};
+
+/// Bisection outcome. When the endpoints straddle a sign change the
+/// final bracket satisfies diff(lo) <= 0 < diff(hi) with
+/// hi - lo <= rate_tol (budget permitting), and `crossover` is the
+/// linear interpolation of the two bracket probes — the same estimator
+/// find_crossover applies between dense-grid neighbors, so the two
+/// methods agree up to curvature of the latency difference.
+struct BisectResult {
+  bool bracketed = false;  ///< endpoints straddled a sign change
+  Rate lo = 0.0;           ///< final bracket: edge at or below cloud here
+  Rate hi = 0.0;           ///< final bracket: edge above cloud here
+  std::optional<Crossover> crossover;
+  int probes = 0;                 ///< run_point-equivalent probes spent
+  std::uint64_t total_events = 0; ///< calendar events across all probes
+};
+
+/// Localizes the rate where the edge metric rises above the cloud metric
+/// within [lo, hi] by bisection on the paired difference's sign. Each
+/// probe runs scenario.replications CRN-paired replications. If the
+/// endpoints do not straddle a sign change, returns bracketed = false
+/// after the two endpoint probes (the caller widens the bracket or falls
+/// back to a dense sweep).
+BisectResult localize_crossover(const Scenario& scenario, Metric metric,
+                                Rate lo, Rate hi,
+                                const BisectConfig& config = {});
+
+}  // namespace hce::experiment

@@ -43,6 +43,29 @@ ReplicationOutput run_replication(const Scenario& sc, Rate rate_per_server,
   if (faulted) {
     trace = faults::FaultTrace::generate(sc.faults, sc.num_sites, horizon,
                                          rng.stream("faults"));
+    // Dead-replication short-circuit: when every site is provably down
+    // for the whole horizon on both sides, not one request can be
+    // delivered, so the replication contributes nothing to any latency
+    // statistic (zero-delivery replications are excluded from the merge).
+    // Skip the simulation entirely and report the skip through
+    // SideStats::dead_replications. Client-side offered/timeout counters
+    // of the skipped run are deliberately not synthesized — a replication
+    // that cannot serve anything is accounted as dead, not as a stream
+    // of timeouts.
+    if (trace.blackout() && outages_apply(sc, sc.side_a) &&
+        outages_apply(sc, sc.side_b)) {
+      ReplicationOutput out;
+      out.dead = true;
+      const auto n = static_cast<std::size_t>(sc.num_sites);
+      out.site_downtime.resize(n);
+      for (int s = 0; s < sc.num_sites; ++s) {
+        out.site_downtime[static_cast<std::size_t>(s)] =
+            trace.site_downtime_fraction(s);
+      }
+      out.site_mean_latency.assign(n, 0.0);
+      out.site_utilization.assign(n, 0.0);
+      return out;
+    }
   }
 
   // Both sides come from the factory: any DeploymentKind pair runs under
@@ -185,6 +208,7 @@ ReplicationOutput run_replication(const Scenario& sc, Rate rate_per_server,
   // fields, side_b -> the `cloud` fields. The default pairing keeps the
   // names literal; any other pairing reads them as "side a" / "side b".
   ReplicationOutput out;
+  out.events = sim.events_executed();
   out.edge_latencies = a.sink().latencies();
   out.cloud_latencies = b.sink().latencies();
   out.edge_utilization = a.utilization();
@@ -228,53 +252,28 @@ namespace {
 /// stage stops reallocating once the first point has sized them (the
 /// buffers grow to the largest point's sample count and stay there).
 struct PointScratch {
-  std::vector<std::vector<double>> edge_lat, cloud_lat;
-  std::vector<double> edge_util, cloud_util;
-  std::vector<cluster::ClientStats> edge_clients, cloud_clients;
-  std::vector<state::CacheStats> edge_caches, cloud_caches;
-  std::vector<state::PullStats> edge_pulls, cloud_pulls;
-  std::vector<std::vector<des::CompletionRecord>> edge_recs, cloud_recs;
+  std::vector<ReplicationOutput> reps;
+  std::vector<const des::RecordColumns*> recs;  ///< merge_breakdown view
   std::vector<double> all;        ///< merged latency samples (sorted)
   std::vector<double> rep_means;  ///< per-replication means for the CI
-
-  void clear_point() {
-    // clear() keeps the outer capacity; the per-replication latency
-    // vectors are moved in from the (pre-reserved) sinks.
-    edge_lat.clear();
-    cloud_lat.clear();
-    edge_util.clear();
-    cloud_util.clear();
-    edge_clients.clear();
-    cloud_clients.clear();
-    edge_caches.clear();
-    cloud_caches.clear();
-    edge_pulls.clear();
-    cloud_pulls.clear();
-    edge_recs.clear();
-    cloud_recs.clear();
-  }
 };
 
-SideStats merge_side(const std::vector<std::vector<double>>& latencies,
-                     const std::vector<double>& utilizations,
-                     const std::vector<cluster::ClientStats>& clients,
-                     const std::vector<state::CacheStats>& caches,
-                     const std::vector<state::PullStats>& pulls,
-                     const std::vector<std::vector<des::CompletionRecord>>&
-                         records,
-                     PointScratch& scratch) {
+/// Merges one side of an ordered replication set. Reads the outputs
+/// without consuming them, so the adaptive engine can re-merge a growing
+/// set after each allocation round.
+SideStats merge_side(const std::vector<ReplicationOutput>& reps, bool edge,
+                     bool observe, PointScratch& scratch) {
   SideStats s;
-  for (const cluster::ClientStats& c : clients) {
+  for (const ReplicationOutput& r : reps) {
+    const cluster::ClientStats& c = edge ? r.edge_client : r.cloud_client;
     s.offered += c.offered;
     s.retries += c.retries;
     s.timeouts += c.timeouts;
-  }
-  for (const state::CacheStats& c : caches) {
-    s.cache_lookups += c.lookups;
-    s.cache_hits += c.hits;
-    s.cache_misses += c.misses;
-  }
-  for (const state::PullStats& p : pulls) {
+    const state::CacheStats& cs = edge ? r.edge_cache : r.cloud_cache;
+    s.cache_lookups += cs.lookups;
+    s.cache_hits += cs.hits;
+    s.cache_misses += cs.misses;
+    const state::PullStats& p = edge ? r.edge_pulls : r.cloud_pulls;
     s.state_pulls += p.issued;
     s.pulls_abandoned += p.abandoned;
   }
@@ -287,33 +286,44 @@ SideStats merge_side(const std::vector<std::vector<double>>& latencies,
         static_cast<double>(s.timeouts) / static_cast<double>(s.offered);
     s.availability = 1.0 - s.timeout_rate;
   }
+  if (observe && !reps.empty()) {
+    scratch.recs.clear();
+    for (const ReplicationOutput& r : reps) {
+      scratch.recs.push_back(edge ? &r.edge_records : &r.cloud_records);
+    }
+    s.breakdown = obs::merge_breakdown(scratch.recs);
+  }
   // Utilization over the same replication set as every latency statistic:
   // replications that delivered zero requests are excluded here exactly
-  // as they are from the mean/quantiles/CI below, so a faulted point
-  // cannot mix "utilization of a dead replication" into the average of
-  // the replications its latencies describe.
-  double u = 0.0;
-  std::size_t contributing = 0;
-  for (std::size_t i = 0; i < utilizations.size(); ++i) {
-    if (i < latencies.size() && latencies[i].empty()) continue;
-    u += utilizations[i];
-    ++contributing;
-  }
-  s.utilization = contributing > 0 ? u / static_cast<double>(contributing)
-                                   : 0.0;
-  if (!records.empty()) s.breakdown = obs::merge_breakdown(records);
+  // as they are from the mean/quantiles/CI below (and counted as dead),
+  // so a faulted point cannot mix "utilization of a dead replication"
+  // into the average of the replications its latencies describe.
   std::vector<double>& all = scratch.all;
   std::vector<double>& rep_means = scratch.rep_means;
   all.clear();
   rep_means.clear();
-  for (const auto& rep : latencies) {
-    if (rep.empty()) continue;
+  double u = 0.0;
+  std::size_t contributing = 0;
+  for (const ReplicationOutput& r : reps) {
+    const std::vector<double>& rep =
+        edge ? r.edge_latencies : r.cloud_latencies;
+    if (rep.empty()) {
+      ++s.dead_replications;
+      continue;
+    }
+    u += edge ? r.edge_utilization : r.cloud_utilization;
+    ++contributing;
     stats::Summary sum;
     for (double x : rep) sum.add(x);
     rep_means.push_back(sum.mean());
     all.insert(all.end(), rep.begin(), rep.end());
   }
+  s.utilization = contributing > 0 ? u / static_cast<double>(contributing)
+                                   : 0.0;
   if (all.empty()) return s;
+  // The golden-pinned mean is the Welford sum over the *sorted* pooled
+  // vector — the sort is load-bearing for bit-identity, do not replace it
+  // with a selection chain.
   std::sort(all.begin(), all.end());
   stats::Summary total;
   for (double x : all) total.add(x);
@@ -328,42 +338,38 @@ SideStats merge_side(const std::vector<std::vector<double>>& latencies,
   return s;
 }
 
-PointResult run_point_scratch(const Scenario& sc, Rate rate_per_server,
-                              PointScratch& scratch) {
+PointResult merge_point(const Scenario& sc, Rate rate_per_server,
+                        const std::vector<ReplicationOutput>& reps,
+                        PointScratch& scratch) {
   PointResult pr;
   pr.rate_per_server = rate_per_server;
   pr.rho_offered = rate_per_server / sc.mu;
-
-  scratch.clear_point();
-  for (int r = 0; r < sc.replications; ++r) {
-    ReplicationOutput out = run_replication(sc, rate_per_server, r);
-    scratch.edge_lat.push_back(std::move(out.edge_latencies));
-    scratch.cloud_lat.push_back(std::move(out.cloud_latencies));
-    scratch.edge_util.push_back(out.edge_utilization);
-    scratch.cloud_util.push_back(out.cloud_utilization);
-    scratch.edge_clients.push_back(out.edge_client);
-    scratch.cloud_clients.push_back(out.cloud_client);
-    scratch.edge_caches.push_back(out.edge_cache);
-    scratch.cloud_caches.push_back(out.cloud_cache);
-    scratch.edge_pulls.push_back(out.edge_pulls);
-    scratch.cloud_pulls.push_back(out.cloud_pulls);
-    if (sc.observe) {
-      scratch.edge_recs.push_back(std::move(out.edge_records));
-      scratch.cloud_recs.push_back(std::move(out.cloud_records));
-    }
-    pr.edge_redirects += out.edge_redirects;
-    pr.edge_failovers += out.edge_failovers;
+  for (const ReplicationOutput& r : reps) {
+    pr.edge_redirects += r.edge_redirects;
+    pr.edge_failovers += r.edge_failovers;
   }
-  pr.edge = merge_side(scratch.edge_lat, scratch.edge_util,
-                       scratch.edge_clients, scratch.edge_caches,
-                       scratch.edge_pulls, scratch.edge_recs, scratch);
-  pr.cloud = merge_side(scratch.cloud_lat, scratch.cloud_util,
-                        scratch.cloud_clients, scratch.cloud_caches,
-                        scratch.cloud_pulls, scratch.cloud_recs, scratch);
+  pr.edge = merge_side(reps, /*edge=*/true, sc.observe, scratch);
+  pr.cloud = merge_side(reps, /*edge=*/false, sc.observe, scratch);
   return pr;
 }
 
+PointResult run_point_scratch(const Scenario& sc, Rate rate_per_server,
+                              PointScratch& scratch) {
+  scratch.reps.clear();
+  scratch.reps.reserve(static_cast<std::size_t>(sc.replications));
+  for (int r = 0; r < sc.replications; ++r) {
+    scratch.reps.push_back(run_replication(sc, rate_per_server, r));
+  }
+  return merge_point(sc, rate_per_server, scratch.reps, scratch);
+}
+
 }  // namespace
+
+PointResult merge_replications(const Scenario& sc, Rate rate_per_server,
+                               const std::vector<ReplicationOutput>& reps) {
+  PointScratch scratch;
+  return merge_point(sc, rate_per_server, reps, scratch);
+}
 
 PointResult run_point(const Scenario& sc, Rate rate_per_server) {
   PointScratch scratch;

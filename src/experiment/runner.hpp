@@ -37,6 +37,11 @@ struct SideStats {
   /// requests are excluded; 0 when none delivered any).
   double utilization = 0.0;
   std::uint64_t samples = 0;
+  /// Replications excluded from every latency statistic because they
+  /// delivered zero requests — including those the runner short-circuited
+  /// without simulating because their fault trace provably blacked out
+  /// the whole horizon (FaultTrace::blackout).
+  std::uint64_t dead_replications = 0;
 
   /// Per-component latency decomposition (network / wait / service /
   /// retry penalty) over the same delivered requests. Populated only when
@@ -97,11 +102,19 @@ struct ReplicationOutput {
   /// Per-site mean latency and utilization (for Fig. 10-style breakdowns).
   std::vector<double> site_mean_latency;
   std::vector<double> site_utilization;
+  /// Calendar events the replication executed (0 for short-circuited dead
+  /// replications). The adaptive engine reports simulated-event budgets
+  /// with this.
+  std::uint64_t events = 0;
+  /// True when the replication was short-circuited without simulating:
+  /// its fault trace provably blacked out [0, horizon) on both sides, so
+  /// it could not have delivered a single request.
+  bool dead = false;
 
   // --- Observability (populated only when Scenario::observe) ------------
   /// Post-warmup completion records (full per-request decomposition).
-  std::vector<des::CompletionRecord> edge_records;
-  std::vector<des::CompletionRecord> cloud_records;
+  des::RecordColumns edge_records;
+  des::RecordColumns cloud_records;
   /// Fixed-cadence gauge series (per-station util/queue, client pending).
   obs::SamplerResult edge_series;
   obs::SamplerResult cloud_series;
@@ -109,6 +122,15 @@ struct ReplicationOutput {
 
 ReplicationOutput run_replication(const Scenario& scenario,
                                   Rate rate_per_server, int replication);
+
+/// Merges replication outputs (ordered by replication index) into a
+/// PointResult — the single deterministic merge path shared by run_point
+/// and the adaptive engine. Merging outputs 0..n-1 produced by
+/// run_replication yields bit-identical statistics to run_point with
+/// scenario.replications = n, regardless of the order the outputs were
+/// *executed* in.
+PointResult merge_replications(const Scenario& scenario, Rate rate_per_server,
+                               const std::vector<ReplicationOutput>& reps);
 
 /// Runs scenario.replications replications at one rate and merges.
 PointResult run_point(const Scenario& scenario, Rate rate_per_server);

@@ -20,8 +20,17 @@ std::vector<Outage> generate_outages(const SiteFaultConfig& cfg,
                                      Time horizon, Rng& rng) {
   std::vector<Outage> out;
   if (!cfg.enabled) return out;
-  HCE_EXPECT(cfg.mttf > 0.0 && cfg.mttr > 0.0,
-             "site fault MTTF/MTTR must be positive");
+  HCE_EXPECT(cfg.mttf >= 0.0 && cfg.mttr > 0.0,
+             "site fault MTTF must be non-negative and MTTR positive");
+  if (cfg.mttf == 0.0) {
+    // Degenerate limit of the alternating-renewal process: zero mean
+    // up-time means the site is down from t = 0 for the whole horizon
+    // (availability() agrees: 0 / (0 + mttr) = 0). No RNG draw is
+    // consumed, so a scenario flipping a site between mttf = 0 and
+    // mttf > 0 perturbs no other stream.
+    out.push_back(Outage{0.0, horizon});
+    return out;
+  }
   Time t = 0.0;
   for (;;) {
     t += exp_draw(cfg.mttf, rng);  // up interval
@@ -125,6 +134,23 @@ double FaultTrace::site_downtime_fraction(int site) const {
     down += std::min(o.end, horizon) - o.start;
   }
   return horizon > 0.0 ? down / horizon : 0.0;
+}
+
+bool FaultTrace::blackout() const {
+  if (site_outages.empty()) return false;
+  for (const auto& outages : site_outages) {
+    // Outage lists are sorted by start (as generated); walk the covered
+    // prefix, allowing touching/overlapping intervals from hand-built
+    // traces. Any gap before the horizon is an up instant.
+    Time covered = 0.0;
+    for (const Outage& o : outages) {
+      if (o.start > covered) return false;
+      covered = std::max(covered, o.end);
+      if (covered >= horizon) break;
+    }
+    if (covered < horizon) return false;
+  }
+  return true;
 }
 
 std::shared_ptr<const LinkSchedule> FaultTrace::site_link_schedule(

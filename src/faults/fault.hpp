@@ -132,6 +132,14 @@ struct FaultTrace {
   /// Fraction of [0, horizon) that site `i` is down.
   double site_downtime_fraction(int site) const;
 
+  /// True iff every site's outage union covers all of [0, horizon) — no
+  /// site has a single up instant, so a deployment applying these outages
+  /// provably delivers nothing. The sweep runner uses this to short-
+  /// circuit dead replications. Generated traces essentially never
+  /// blackout (the first up-time draw is strictly positive); the
+  /// `mttf == 0` down-from-t-zero limit and hand-built traces do.
+  bool blackout() const;
+
   /// Shareable per-link schedules (empty pointers when no events).
   std::shared_ptr<const LinkSchedule> site_link_schedule(int site) const;
   std::shared_ptr<const LinkSchedule> cloud_link_schedule() const;

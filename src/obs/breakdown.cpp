@@ -11,6 +11,17 @@ namespace {
 
 constexpr int kComponents = 5;
 
+/// p50/p95/p99 via the nth_element selection chain — values bit-identical
+/// to sorting `vals` and calling quantile_sorted, without the full sort.
+void finish_quantiles(std::vector<double>& vals, ComponentStats& out) {
+  if (vals.empty()) return;
+  const std::vector<double> qs{0.50, 0.95, 0.99};
+  const std::vector<double> v = stats::quantiles_nth(vals, qs);
+  out.p50 = v[0];
+  out.p95 = v[1];
+  out.p99 = v[2];
+}
+
 /// Scratch for one component while merging: all samples (for quantiles)
 /// plus per-replication means (for the t-interval).
 struct ComponentScratch {
@@ -19,57 +30,78 @@ struct ComponentScratch {
 
   void finish(ComponentStats& out) {
     if (all.empty()) return;
-    std::sort(all.begin(), all.end());
-    out.p50 = stats::quantile_sorted(all, 0.50);
-    out.p95 = stats::quantile_sorted(all, 0.95);
-    out.p99 = stats::quantile_sorted(all, 0.99);
+    finish_quantiles(all, out);
     if (rep_means.size() >= 2) {
       out.mean_ci_half_width = stats::replication_ci(rep_means).half_width;
     }
   }
 };
 
-struct Extractor {
-  double (*get)(const des::CompletionRecord&);
-};
+/// The five component columns of a record store, in decomposition order.
+void component_columns(const des::RecordColumns& rc,
+                       const std::vector<float>* cols[kComponents]) {
+  cols[0] = &rc.network;
+  cols[1] = &rc.waiting;
+  cols[2] = &rc.service;
+  cols[3] = &rc.retry_penalty;
+  cols[4] = &rc.state_pull;
+}
 
-double get_network(const des::CompletionRecord& r) { return r.network; }
-double get_wait(const des::CompletionRecord& r) { return r.waiting; }
-double get_service(const des::CompletionRecord& r) { return r.service; }
-double get_retry(const des::CompletionRecord& r) { return r.retry_penalty; }
-double get_pull(const des::CompletionRecord& r) { return r.state_pull; }
+void component_stats(LatencyBreakdown& b, ComponentStats* comps[kComponents]) {
+  comps[0] = &b.network;
+  comps[1] = &b.wait;
+  comps[2] = &b.service;
+  comps[3] = &b.retry_penalty;
+  comps[4] = &b.state_pull;
+}
 
 }  // namespace
 
-LatencyBreakdown collect_breakdown(
-    const std::vector<des::CompletionRecord>& records, int site) {
+LatencyBreakdown collect_breakdown(const des::RecordColumns& records,
+                                   int site) {
   LatencyBreakdown b;
-  std::vector<double> net, wait, svc, retry, pull;
-  for (const des::CompletionRecord& r : records) {
-    if (site >= 0 && r.site != site) continue;
-    ++b.samples;
-    b.network.summary.add(r.network);
-    b.wait.summary.add(r.waiting);
-    b.service.summary.add(r.service);
-    b.retry_penalty.summary.add(r.retry_penalty);
-    b.state_pull.summary.add(r.state_pull);
-    net.push_back(r.network);
-    wait.push_back(r.waiting);
-    svc.push_back(r.service);
-    retry.push_back(r.retry_penalty);
-    pull.push_back(r.state_pull);
+  const std::vector<float>* cols[kComponents];
+  ComponentStats* comps[kComponents];
+  component_columns(records, cols);
+  component_stats(b, comps);
+
+  const std::size_t n = records.size();
+  std::vector<double> vals;
+  if (site < 0) {
+    b.samples = n;
+    vals.reserve(n);
+    for (int c = 0; c < kComponents; ++c) {
+      // Dense widen of the whole column, then one streaming-summary pass
+      // (record order, matching the row-wise accumulation bit-for-bit)
+      // and the selection-chain percentiles over the same buffer.
+      vals.assign(cols[c]->begin(), cols[c]->end());
+      for (const double x : vals) comps[c]->summary.add(x);
+      finish_quantiles(vals, *comps[c]);
+    }
+    return b;
   }
-  ComponentStats* comps[kComponents] = {&b.network, &b.wait, &b.service,
-                                        &b.retry_penalty, &b.state_pull};
-  std::vector<double>* vals[kComponents] = {&net, &wait, &svc, &retry, &pull};
+  std::vector<std::uint32_t> idx;
+  idx.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    if (records.site[i] == site) idx.push_back(static_cast<std::uint32_t>(i));
+  }
+  b.samples = idx.size();
+  vals.reserve(idx.size());
   for (int c = 0; c < kComponents; ++c) {
-    if (vals[c]->empty()) continue;
-    std::sort(vals[c]->begin(), vals[c]->end());
-    comps[c]->p50 = stats::quantile_sorted(*vals[c], 0.50);
-    comps[c]->p95 = stats::quantile_sorted(*vals[c], 0.95);
-    comps[c]->p99 = stats::quantile_sorted(*vals[c], 0.99);
+    vals.clear();
+    for (const std::uint32_t i : idx) vals.push_back((*cols[c])[i]);
+    for (const double x : vals) comps[c]->summary.add(x);
+    finish_quantiles(vals, *comps[c]);
   }
   return b;
+}
+
+LatencyBreakdown collect_breakdown(
+    const std::vector<des::CompletionRecord>& records, int site) {
+  des::RecordColumns rc;
+  rc.reserve(records.size());
+  for (const des::CompletionRecord& r : records) rc.push_back(r);
+  return collect_breakdown(rc, site);
 }
 
 LatencyBreakdown collect_breakdown(const des::Sink& sink, int site) {
@@ -77,35 +109,51 @@ LatencyBreakdown collect_breakdown(const des::Sink& sink, int site) {
 }
 
 LatencyBreakdown merge_breakdown(
-    const std::vector<std::vector<des::CompletionRecord>>& replications) {
+    const std::vector<des::RecordColumns>& replications) {
+  std::vector<const des::RecordColumns*> ptrs;
+  ptrs.reserve(replications.size());
+  for (const des::RecordColumns& rep : replications) ptrs.push_back(&rep);
+  return merge_breakdown(ptrs);
+}
+
+LatencyBreakdown merge_breakdown(
+    const std::vector<const des::RecordColumns*>& replications) {
   LatencyBreakdown b;
-  const Extractor extract[kComponents] = {{&get_network},
-                                          {&get_wait},
-                                          {&get_service},
-                                          {&get_retry},
-                                          {&get_pull}};
-  ComponentStats* comps[kComponents] = {&b.network, &b.wait, &b.service,
-                                        &b.retry_penalty, &b.state_pull};
+  ComponentStats* comps[kComponents];
+  component_stats(b, comps);
   ComponentScratch scratch[kComponents];
 
-  for (const auto& rep : replications) {
+  for (const des::RecordColumns* rp : replications) {
+    const des::RecordColumns& rep = *rp;
     if (rep.empty()) continue;  // matches merge_side: empty reps excluded
-    stats::Summary rep_sum[kComponents];
-    for (const des::CompletionRecord& r : rep) {
-      for (int c = 0; c < kComponents; ++c) {
-        const double x = extract[c].get(r);
+    const std::vector<float>* cols[kComponents];
+    component_columns(rep, cols);
+    for (int c = 0; c < kComponents; ++c) {
+      stats::Summary rep_sum;
+      for (const float xf : *cols[c]) {
+        const double x = xf;
         comps[c]->summary.add(x);
-        rep_sum[c].add(x);
+        rep_sum.add(x);
         scratch[c].all.push_back(x);
       }
-    }
-    for (int c = 0; c < kComponents; ++c) {
-      scratch[c].rep_means.push_back(rep_sum[c].mean());
+      scratch[c].rep_means.push_back(rep_sum.mean());
     }
     b.samples += rep.size();
   }
   for (int c = 0; c < kComponents; ++c) scratch[c].finish(*comps[c]);
   return b;
+}
+
+LatencyBreakdown merge_breakdown(
+    const std::vector<std::vector<des::CompletionRecord>>& replications) {
+  std::vector<des::RecordColumns> cols(replications.size());
+  for (std::size_t i = 0; i < replications.size(); ++i) {
+    cols[i].reserve(replications[i].size());
+    for (const des::CompletionRecord& r : replications[i]) {
+      cols[i].push_back(r);
+    }
+  }
+  return merge_breakdown(cols);
 }
 
 }  // namespace hce::obs

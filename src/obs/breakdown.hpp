@@ -75,7 +75,15 @@ struct LatencyBreakdown {
   }
 };
 
-/// Breakdown over one replication's records (optionally one site).
+/// Breakdown over one replication's records (optionally one site). The
+/// column-store overload is the fast path: component sums stream over
+/// dense float columns and the percentiles come from an nth_element
+/// selection chain instead of a full sort — bit-identical results either
+/// way (per-component accumulation order is record order in both).
+LatencyBreakdown collect_breakdown(const des::RecordColumns& records,
+                                   int site = -1);
+
+/// Row-oriented convenience overload (tests, synthetic fixtures).
 LatencyBreakdown collect_breakdown(
     const std::vector<des::CompletionRecord>& records, int site = -1);
 
@@ -86,6 +94,16 @@ LatencyBreakdown collect_breakdown(const des::Sink& sink, int site = -1);
 /// quantiles pool every delivered request; the per-component CI is the
 /// replication t-interval (replications contributing zero requests are
 /// excluded, matching the latency statistics of the sweep runner).
+LatencyBreakdown merge_breakdown(
+    const std::vector<des::RecordColumns>& replications);
+
+/// Non-owning overload: merges the pointed-to record stores in order
+/// without copying a column. The sweep runner and the adaptive engine use
+/// this to (re-)merge replication outputs they keep alive elsewhere.
+LatencyBreakdown merge_breakdown(
+    const std::vector<const des::RecordColumns*>& replications);
+
+/// Row-oriented convenience overload (tests, synthetic fixtures).
 LatencyBreakdown merge_breakdown(
     const std::vector<std::vector<des::CompletionRecord>>& replications);
 

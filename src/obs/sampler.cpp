@@ -39,9 +39,16 @@ void Sampler::start(Time interval, Time until) {
   HCE_EXPECT(!started_, "Sampler: already started");
   started_ = true;
   last_tick_ = sim_.now();
+  // Pre-size every series to the exact tick count so sampling never
+  // reallocates mid-run (ticks fire from now + interval up to `until`).
+  const double span = until - sim_.now();
+  const std::size_t ticks =
+      span > 0.0 ? static_cast<std::size_t>(span / interval) + 1 : 0;
+  result_.times.reserve(ticks);
   result_.series.reserve(probes_.size());
   for (Probe& p : probes_) {
     result_.series.push_back(Series{p.name, {}});
+    result_.series.back().values.reserve(ticks);
     if (p.rate) p.last_integral = p.fn();
   }
   if (sim_.now() + interval > until) return;  // nothing to sample

@@ -32,6 +32,57 @@ std::vector<double> quantiles(std::vector<double> sample,
   return out;
 }
 
+std::vector<double> quantiles_nth(std::vector<double>& sample,
+                                  const std::vector<double>& qs) {
+  HCE_EXPECT(!sample.empty(), "quantile of empty sample");
+  const std::size_t n = sample.size();
+  std::vector<double> out;
+  out.reserve(qs.size());
+  if (n == 1) {
+    for (double q : qs) {
+      HCE_EXPECT(q >= 0.0 && q <= 1.0,
+                 "quantile probability must be in [0,1]");
+      out.push_back(sample.front());
+    }
+    return out;
+  }
+  // The order statistics needed: each probability interpolates between
+  // positions floor(pos) and floor(pos)+1 of the sorted sample.
+  std::vector<std::size_t> needed;
+  needed.reserve(2 * qs.size());
+  for (std::size_t i = 0; i < qs.size(); ++i) {
+    const double q = qs[i];
+    HCE_EXPECT(q >= 0.0 && q <= 1.0, "quantile probability must be in [0,1]");
+    HCE_EXPECT(i == 0 || qs[i - 1] <= q,
+               "quantiles_nth probabilities must be ascending");
+    const double pos = q * static_cast<double>(n - 1);
+    const std::size_t lo = static_cast<std::size_t>(pos);
+    needed.push_back(lo);
+    needed.push_back(std::min(lo + 1, n - 1));
+  }
+  std::sort(needed.begin(), needed.end());
+  needed.erase(std::unique(needed.begin(), needed.end()), needed.end());
+  // Ascending selection chain. After placing order statistic k, the
+  // prefix [0, k] holds the k+1 smallest values (position k exactly), so
+  // the next selection only touches the suffix [k+1, n).
+  std::size_t done = 0;  // everything before `done` is at its sorted spot
+  for (const std::size_t k : needed) {
+    if (k < done) continue;
+    std::nth_element(sample.begin() + static_cast<std::ptrdiff_t>(done),
+                     sample.begin() + static_cast<std::ptrdiff_t>(k),
+                     sample.end());
+    done = k + 1;
+  }
+  for (const double q : qs) {
+    const double pos = q * static_cast<double>(n - 1);
+    const std::size_t lo = static_cast<std::size_t>(pos);
+    const std::size_t hi = std::min(lo + 1, n - 1);
+    const double frac = pos - static_cast<double>(lo);
+    out.push_back(sample[lo] + frac * (sample[hi] - sample[lo]));
+  }
+  return out;
+}
+
 P2Quantile::P2Quantile(double q) : q_(q) {
   HCE_EXPECT(q > 0.0 && q < 1.0, "P2Quantile probability must be in (0,1)");
   desired_ = {1.0, 1.0 + 2.0 * q, 1.0 + 4.0 * q, 3.0 + 2.0 * q, 5.0};

@@ -24,6 +24,16 @@ std::vector<double> quantiles(std::vector<double> sample,
 /// Quantile of an already-sorted sample (no copy).
 double quantile_sorted(const std::vector<double>& sorted, double q);
 
+/// Exact quantiles for several *ascending* probabilities via a chain of
+/// nth_element partial selections instead of a full sort: O(n · |qs|)
+/// single-pass selection instead of O(n log n), and the returned values
+/// are bit-identical to quantile_sorted on the fully sorted sample (each
+/// needed order statistic is placed at its exact sorted position before
+/// interpolating). Reorders `sample` in place; asserts on empty input or
+/// non-ascending probabilities.
+std::vector<double> quantiles_nth(std::vector<double>& sample,
+                                  const std::vector<double>& qs);
+
 /// P² (Jain & Chlamtac 1985) streaming quantile estimator: O(1) space,
 /// five markers. Accurate to a few percent at the 95th/99th percentile for
 /// the unimodal latency distributions produced here.

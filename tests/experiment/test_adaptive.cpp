@@ -1,0 +1,254 @@
+// Tests for the adaptive experiment engine (src/experiment/adaptive).
+//
+// The contract under test is the determinism invariant: the adaptive
+// schedule decides only *how many* replications a point runs — RNG
+// identity stays keyed off the replication index — so a point that ends
+// up with n replications must report statistics bit-identical to a
+// uniform run_point with scenario.replications = n. Plus the bisection
+// localizer's bracket invariant against the dense-grid estimator on the
+// Fig. 4 (distant cloud) scenario, and the dead-replication short
+// circuit for provably blacked-out fault traces.
+#include "experiment/adaptive.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "experiment/crossover.hpp"
+#include "experiment/runner.hpp"
+#include "experiment/scenario.hpp"
+
+namespace hce::experiment {
+namespace {
+
+Scenario small_scenario() {
+  Scenario sc = Scenario::typical_cloud();
+  sc.num_sites = 3;
+  sc.warmup = 20.0;
+  sc.duration = 150.0;
+  sc.seed = 11;
+  return sc;
+}
+
+/// Fig. 4 setup (distant ~54 ms cloud, 1 server/site), shortened to test
+/// scale: the mean inversion sits in the upper half of the 6..12 axis.
+Scenario fig4_scenario() {
+  Scenario sc = Scenario::distant_cloud();
+  sc.servers_per_site = 1;
+  sc.warmup = 30.0;
+  sc.duration = 200.0;
+  sc.replications = 2;
+  sc.seed = 5;
+  return sc;
+}
+
+// Bitwise equality, as in test_determinism: scheduling must not perturb
+// a single ULP of any reported statistic.
+void expect_identical(const SideStats& a, const SideStats& b) {
+  EXPECT_EQ(a.mean, b.mean);
+  EXPECT_EQ(a.p50, b.p50);
+  EXPECT_EQ(a.p95, b.p95);
+  EXPECT_EQ(a.p99, b.p99);
+  EXPECT_EQ(a.mean_ci_half_width, b.mean_ci_half_width);
+  EXPECT_EQ(a.utilization, b.utilization);
+  EXPECT_EQ(a.samples, b.samples);
+  EXPECT_EQ(a.dead_replications, b.dead_replications);
+  EXPECT_EQ(a.offered, b.offered);
+  EXPECT_EQ(a.retries, b.retries);
+  EXPECT_EQ(a.timeouts, b.timeouts);
+  EXPECT_EQ(a.timeout_rate, b.timeout_rate);
+  EXPECT_EQ(a.availability, b.availability);
+  EXPECT_EQ(a.cache_lookups, b.cache_lookups);
+  EXPECT_EQ(a.cache_hits, b.cache_hits);
+  EXPECT_EQ(a.cache_misses, b.cache_misses);
+  EXPECT_EQ(a.state_pulls, b.state_pulls);
+  EXPECT_EQ(a.pulls_abandoned, b.pulls_abandoned);
+  EXPECT_EQ(a.cache_hit_rate, b.cache_hit_rate);
+}
+
+TEST(AdaptiveSweep, BitIdenticalToUniformRunPoint) {
+  const Scenario sc = small_scenario();
+  const std::vector<Rate> rates{7.0, 10.0};
+  AdaptiveConfig cfg;
+  cfg.pilot_replications = 2;
+  cfg.max_replications = 6;
+  cfg.target_rel_ci = 0.08;
+  const AdaptiveSweepResult adaptive = run_adaptive_sweep(sc, rates, cfg);
+  ASSERT_EQ(adaptive.points.size(), rates.size());
+  for (std::size_t i = 0; i < rates.size(); ++i) {
+    const AdaptivePoint& p = adaptive.points[i];
+    ASSERT_GE(p.replications, cfg.pilot_replications);
+    ASSERT_LE(p.replications, cfg.max_replications);
+    Scenario uniform = sc;
+    uniform.replications = p.replications;
+    const PointResult expected = run_point(uniform, rates[i]);
+    EXPECT_EQ(p.result.rate_per_server, expected.rate_per_server);
+    EXPECT_EQ(p.result.rho_offered, expected.rho_offered);
+    EXPECT_EQ(p.result.edge_redirects, expected.edge_redirects);
+    EXPECT_EQ(p.result.edge_failovers, expected.edge_failovers);
+    expect_identical(p.result.edge, expected.edge);
+    expect_identical(p.result.cloud, expected.cloud);
+  }
+}
+
+TEST(AdaptiveSweep, IsReproducible) {
+  const Scenario sc = small_scenario();
+  const std::vector<Rate> rates{6.0, 9.0, 11.0};
+  AdaptiveConfig cfg;
+  cfg.pilot_replications = 2;
+  cfg.max_replications = 5;
+  cfg.target_rel_ci = 0.10;
+  const AdaptiveSweepResult a = run_adaptive_sweep(sc, rates, cfg);
+  const AdaptiveSweepResult b = run_adaptive_sweep(sc, rates, cfg);
+  ASSERT_EQ(a.points.size(), b.points.size());
+  EXPECT_EQ(a.total_replications, b.total_replications);
+  EXPECT_EQ(a.total_events, b.total_events);
+  for (std::size_t i = 0; i < a.points.size(); ++i) {
+    EXPECT_EQ(a.points[i].replications, b.points[i].replications);
+    EXPECT_EQ(a.points[i].events, b.points[i].events);
+    EXPECT_EQ(a.points[i].converged, b.points[i].converged);
+    expect_identical(a.points[i].result.edge, b.points[i].result.edge);
+    expect_identical(a.points[i].result.cloud, b.points[i].result.cloud);
+  }
+}
+
+TEST(AdaptiveSweep, SpendsMoreReplicationsWhereTheIntervalIsWider) {
+  // A near-saturation point has far noisier replication means than a
+  // lightly loaded one; under a tight shared target the scheduler must
+  // allocate it at least as many replications.
+  const Scenario sc = small_scenario();
+  const std::vector<Rate> rates{4.0, 11.5};
+  AdaptiveConfig cfg;
+  cfg.pilot_replications = 2;
+  cfg.max_replications = 10;
+  cfg.target_rel_ci = 0.04;
+  cfg.warm_start = false;
+  const AdaptiveSweepResult r = run_adaptive_sweep(sc, rates, cfg);
+  EXPECT_GE(r.points[1].replications, r.points[0].replications);
+  EXPECT_GT(r.points[1].events, r.points[0].events);
+}
+
+TEST(AdaptiveSweep, RespectsTheReplicationBudget) {
+  const Scenario sc = small_scenario();
+  const std::vector<Rate> rates{7.0, 10.0};
+  AdaptiveConfig cfg;
+  cfg.pilot_replications = 2;
+  cfg.max_replications = 32;
+  cfg.replication_budget = 5;
+  cfg.target_rel_ci = 1e-4;  // unreachable: only the budget stops the loop
+  const AdaptiveSweepResult r = run_adaptive_sweep(sc, rates, cfg);
+  EXPECT_EQ(r.total_replications, 5);
+  EXPECT_FALSE(r.all_converged());
+}
+
+TEST(AdaptiveSweep, WarmStartChangesScheduleNotStatistics) {
+  // Warm start may change how many replications a point runs, but every
+  // (rate, n) pair still reports the uniform run_point statistics.
+  const Scenario sc = small_scenario();
+  const std::vector<Rate> rates{8.0, 10.5};
+  AdaptiveConfig cfg;
+  cfg.pilot_replications = 2;
+  cfg.max_replications = 6;
+  cfg.target_rel_ci = 0.06;
+  cfg.warm_start = true;
+  const AdaptiveSweepResult warm = run_adaptive_sweep(sc, rates, cfg);
+  for (std::size_t i = 0; i < rates.size(); ++i) {
+    Scenario uniform = sc;
+    uniform.replications = warm.points[i].replications;
+    const PointResult expected = run_point(uniform, rates[i]);
+    expect_identical(warm.points[i].result.edge, expected.edge);
+    expect_identical(warm.points[i].result.cloud, expected.cloud);
+  }
+}
+
+TEST(Bisect, BracketsTheDenseGridCrossoverOnFig4) {
+  const Scenario sc = fig4_scenario();
+  // Dense-grid reference: 13 points at 0.5 req/s spacing.
+  std::vector<Rate> grid;
+  for (double r = 6.0; r <= 12.01; r += 0.5) grid.push_back(r);
+  const auto sweep = run_sweep(sc, grid, /*max_threads=*/1);
+  const auto dense = find_crossover(sweep, Metric::kMean, sc.mu);
+  ASSERT_TRUE(dense.has_value()) << "Fig. 4 scenario lost its inversion";
+
+  BisectConfig bcfg;
+  bcfg.rate_tol = 0.5;
+  const BisectResult bi =
+      localize_crossover(sc, Metric::kMean, 6.0, 12.0, bcfg);
+  ASSERT_TRUE(bi.bracketed);
+  ASSERT_TRUE(bi.crossover.has_value());
+  EXPECT_LE(bi.hi - bi.lo, bcfg.rate_tol);
+  EXPECT_GE(bi.crossover->rate, bi.lo);
+  EXPECT_LE(bi.crossover->rate, bi.hi);
+  // Both estimators interpolate the same measured curves; they must land
+  // within one grid step + bracket width of each other.
+  EXPECT_NEAR(bi.crossover->rate, dense->rate, 1.0);
+  // The point of bisection: resolving the crossover to half a grid step
+  // must cost fewer probes than the dense grid's 13 points.
+  EXPECT_LT(bi.probes, static_cast<int>(grid.size()));
+  EXPECT_GT(bi.total_events, 0u);
+}
+
+TEST(Bisect, ReportsUnbracketedWhenNoSignChange) {
+  // At 1..3 req/s the edge is comfortably ahead of a distant cloud at
+  // both endpoints — no sign change, so the localizer must say so after
+  // exactly the two endpoint probes.
+  const Scenario sc = fig4_scenario();
+  const BisectResult bi = localize_crossover(sc, Metric::kMean, 1.0, 3.0);
+  EXPECT_FALSE(bi.bracketed);
+  EXPECT_FALSE(bi.crossover.has_value());
+  EXPECT_EQ(bi.probes, 2);
+}
+
+TEST(DeadReplications, BlackoutTraceShortCircuitsTheSimulation) {
+  Scenario sc = small_scenario();
+  sc.num_sites = 2;
+  sc.warmup = 10.0;
+  sc.duration = 60.0;
+  sc.replications = 2;
+  sc.faults.edge_site.enabled = true;
+  sc.faults.edge_site.mttf = 0.0;  // down from t = 0 for the whole horizon
+  sc.faults.edge_site.mttr = 5.0;
+  sc.faults.mirror_to_cloud = true;
+  const ReplicationOutput out = run_replication(sc, 8.0, 0);
+  EXPECT_TRUE(out.dead);
+  EXPECT_EQ(out.events, 0u) << "a dead replication must not simulate";
+  EXPECT_TRUE(out.edge_latencies.empty());
+  EXPECT_TRUE(out.cloud_latencies.empty());
+  ASSERT_EQ(out.site_downtime.size(), 2u);
+  EXPECT_DOUBLE_EQ(out.site_downtime[0], 1.0);
+  EXPECT_DOUBLE_EQ(out.site_downtime[1], 1.0);
+
+  const PointResult pr = run_point(sc, 8.0);
+  EXPECT_EQ(pr.edge.dead_replications, 2u);
+  EXPECT_EQ(pr.cloud.dead_replications, 2u);
+  EXPECT_EQ(pr.edge.samples, 0u);
+  EXPECT_EQ(pr.cloud.samples, 0u);
+  EXPECT_EQ(pr.edge.utilization, 0.0);
+}
+
+TEST(DeadReplications, NotShortCircuitedWhenOneSideIgnoresOutages) {
+  // Without mirror_to_cloud the cloud side keeps serving, so the
+  // replication is not provably dead and must actually run.
+  Scenario sc = small_scenario();
+  sc.num_sites = 2;
+  sc.warmup = 10.0;
+  sc.duration = 60.0;
+  sc.faults.edge_site.enabled = true;
+  sc.faults.edge_site.mttf = 0.0;
+  sc.faults.edge_site.mttr = 5.0;
+  sc.faults.mirror_to_cloud = false;
+  const ReplicationOutput out = run_replication(sc, 8.0, 0);
+  EXPECT_FALSE(out.dead);
+  EXPECT_GT(out.events, 0u);
+  EXPECT_FALSE(out.cloud_latencies.empty());
+}
+
+TEST(DeadReplications, HealthyRunsReportZero) {
+  const Scenario sc = small_scenario();
+  const PointResult pr = run_point(sc, 8.0);
+  EXPECT_EQ(pr.edge.dead_replications, 0u);
+  EXPECT_EQ(pr.cloud.dead_replications, 0u);
+}
+
+}  // namespace
+}  // namespace hce::experiment

@@ -38,6 +38,48 @@ TEST(FaultTrace, DisabledConfigGeneratesNoEvents) {
   EXPECT_EQ(trace.cloud_link_schedule(), nullptr);
 }
 
+TEST(FaultTrace, ZeroMttfMeansDownForTheWholeHorizon) {
+  FaultConfig cfg;
+  cfg.edge_site.enabled = true;
+  cfg.edge_site.mttf = 0.0;
+  cfg.edge_site.mttr = 10.0;
+  const FaultTrace trace = FaultTrace::generate(cfg, 3, 500.0, Rng(4));
+  for (const auto& site : trace.site_outages) {
+    ASSERT_EQ(site.size(), 1u);
+    EXPECT_EQ(site[0].start, 0.0);
+    EXPECT_EQ(site[0].end, 500.0);
+  }
+  EXPECT_DOUBLE_EQ(trace.site_downtime_fraction(0), 1.0);
+  EXPECT_TRUE(trace.blackout());
+  EXPECT_DOUBLE_EQ(cfg.edge_site.availability(), 0.0);
+}
+
+TEST(FaultTrace, GeneratedTracesDoNotBlackout) {
+  // Positive MTTF: the first up-time draw is strictly positive, so some
+  // site has an up instant and the trace cannot blackout the horizon.
+  const FaultTrace trace =
+      FaultTrace::generate(crashy_config(), 3, 5000.0, Rng(77));
+  EXPECT_FALSE(trace.blackout());
+}
+
+TEST(FaultTrace, BlackoutRequiresEverySiteFullyCovered) {
+  FaultTrace trace;
+  trace.horizon = 100.0;
+  // Touching and overlapping intervals that jointly cover [0, 100).
+  trace.site_outages.push_back({{0.0, 40.0}, {40.0, 70.0}, {60.0, 100.0}});
+  trace.site_outages.push_back({{0.0, 100.0}});
+  EXPECT_TRUE(trace.blackout());
+  // One gap on one site breaks it.
+  trace.site_outages[0] = {{0.0, 40.0}, {41.0, 100.0}};
+  EXPECT_FALSE(trace.blackout());
+  // Coverage that starts late breaks it.
+  trace.site_outages[0] = {{1.0, 100.0}};
+  EXPECT_FALSE(trace.blackout());
+  // An empty trace (no sites) is not a blackout.
+  trace.site_outages.clear();
+  EXPECT_FALSE(trace.blackout());
+}
+
 TEST(FaultTrace, GenerationIsDeterministicInSeed) {
   const FaultConfig cfg = crashy_config();
   const FaultTrace a = FaultTrace::generate(cfg, 3, 5000.0, Rng(77));

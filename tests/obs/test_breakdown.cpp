@@ -109,8 +109,7 @@ TEST(Decomposition, FirstAttemptHasZeroRetryPenalty) {
 // Record-level identity on real simulated runs (floats).
 // ---------------------------------------------------------------------------
 
-void expect_identity_within_float_ulps(
-    const std::vector<des::CompletionRecord>& recs) {
+void expect_identity_within_float_ulps(const des::RecordColumns& recs) {
   for (const des::CompletionRecord& r : recs) {
     const double total = static_cast<double>(r.network) +
                          static_cast<double>(r.waiting) +
@@ -251,8 +250,8 @@ TEST(CollectBreakdown, SiteFilterPartitionsTheSamples) {
 TEST(MergeBreakdown, PoolsSamplesAndComputesReplicationCi) {
   const auto r0 = experiment::run_replication(observed_scenario(), 8.0, 0);
   const auto r1 = experiment::run_replication(observed_scenario(), 8.0, 1);
-  const std::vector<std::vector<des::CompletionRecord>> reps{
-      r0.edge_records, r1.edge_records};
+  const std::vector<des::RecordColumns> reps{r0.edge_records,
+                                             r1.edge_records};
   const LatencyBreakdown merged = merge_breakdown(reps);
   EXPECT_EQ(merged.samples, r0.edge_records.size() + r1.edge_records.size());
   // Two replications contribute, so the t-interval exists for every
@@ -260,8 +259,8 @@ TEST(MergeBreakdown, PoolsSamplesAndComputesReplicationCi) {
   EXPECT_GT(merged.wait.mean_ci_half_width, 0.0);
   EXPECT_GT(merged.network.mean_ci_half_width, 0.0);
   // Pooled summary equals collect over the concatenation.
-  std::vector<des::CompletionRecord> cat = r0.edge_records;
-  cat.insert(cat.end(), r1.edge_records.begin(), r1.edge_records.end());
+  des::RecordColumns cat = r0.edge_records;
+  for (const des::CompletionRecord& r : r1.edge_records) cat.push_back(r);
   const LatencyBreakdown flat = collect_breakdown(cat);
   EXPECT_DOUBLE_EQ(merged.wait.p99, flat.wait.p99);
   EXPECT_NEAR(merged.service.mean(), flat.service.mean(), 1e-12);
@@ -269,10 +268,11 @@ TEST(MergeBreakdown, PoolsSamplesAndComputesReplicationCi) {
 
 TEST(MergeBreakdown, SkipsReplicationsWithNoDeliveredRequests) {
   const auto r0 = experiment::run_replication(observed_scenario(), 8.0, 0);
-  const std::vector<std::vector<des::CompletionRecord>> with_empty{
-      r0.edge_records, {}, r0.edge_records};
-  const std::vector<std::vector<des::CompletionRecord>> without{
-      r0.edge_records, r0.edge_records};
+  const std::vector<des::RecordColumns> with_empty{r0.edge_records,
+                                                   {},
+                                                   r0.edge_records};
+  const std::vector<des::RecordColumns> without{r0.edge_records,
+                                                r0.edge_records};
   const LatencyBreakdown a = merge_breakdown(with_empty);
   const LatencyBreakdown b = merge_breakdown(without);
   EXPECT_EQ(a.samples, b.samples);
@@ -281,7 +281,7 @@ TEST(MergeBreakdown, SkipsReplicationsWithNoDeliveredRequests) {
 }
 
 TEST(MergeBreakdown, EmptyInputYieldsEmptyBreakdown) {
-  const LatencyBreakdown b = merge_breakdown({});
+  const LatencyBreakdown b = merge_breakdown(std::vector<des::RecordColumns>{});
   EXPECT_TRUE(b.empty());
   EXPECT_EQ(b.mean_total(), 0.0);
 }

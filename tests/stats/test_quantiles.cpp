@@ -58,6 +58,49 @@ TEST(QuantileSorted, AgreesWithQuantile) {
   EXPECT_DOUBLE_EQ(quantile_sorted(v, 0.3), q);
 }
 
+TEST(QuantilesNth, BitIdenticalToFullSortAcrossSizesAndSeeds) {
+  // The selection chain must reproduce the full-sort quantiles *bitwise*
+  // — it replaces the sort in hot paths whose outputs are pinned by the
+  // determinism goldens.
+  const std::vector<double> probs{0.50, 0.95, 0.99};
+  Rng rng(123);
+  for (const std::size_t n :
+       {std::size_t{1}, std::size_t{2}, std::size_t{3}, std::size_t{19},
+        std::size_t{100}, std::size_t{1000}, std::size_t{4097}}) {
+    std::vector<double> sample;
+    sample.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) sample.push_back(rng.uniform01());
+    std::vector<double> sorted = sample;
+    std::sort(sorted.begin(), sorted.end());
+    std::vector<double> scratch = sample;  // quantiles_nth reorders it
+    const std::vector<double> got = quantiles_nth(scratch, probs);
+    ASSERT_EQ(got.size(), probs.size());
+    for (std::size_t i = 0; i < probs.size(); ++i) {
+      EXPECT_EQ(got[i], quantile_sorted(sorted, probs[i]))
+          << "n=" << n << " q=" << probs[i];
+    }
+  }
+}
+
+TEST(QuantilesNth, HandlesAdjacentAndDuplicateOrderStatistics) {
+  // Probabilities whose interpolation positions collide or touch (0.5
+  // and 0.5, 0.0 and tiny) exercise the skip logic of the chain.
+  std::vector<double> v{42.0, 7.0, 19.0, 3.0, 25.0, 11.0};
+  std::vector<double> sorted = v;
+  std::sort(sorted.begin(), sorted.end());
+  const std::vector<double> probs{0.0, 0.01, 0.5, 0.5, 0.99, 1.0};
+  std::vector<double> scratch = v;
+  const auto got = quantiles_nth(scratch, probs);
+  for (std::size_t i = 0; i < probs.size(); ++i) {
+    EXPECT_EQ(got[i], quantile_sorted(sorted, probs[i]));
+  }
+}
+
+TEST(QuantilesNth, RejectsDescendingProbabilities) {
+  std::vector<double> v{1.0, 2.0, 3.0};
+  EXPECT_THROW(quantiles_nth(v, {0.9, 0.5}), ContractViolation);
+}
+
 TEST(P2Quantile, ExactForFewerThanFiveSamples) {
   P2Quantile p(0.5);
   p.add(3.0);
