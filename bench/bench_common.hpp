@@ -8,7 +8,7 @@
 //      (DES event throughput, analytic evaluators), so performance
 //      regressions in the library itself are visible.
 //
-// The binaries take standard google-benchmark flags plus two of our own:
+// The binaries take standard google-benchmark flags plus four of our own:
 //
 //   --json <path>   dump the microbenchmark results as machine-readable
 //                   JSON (shorthand for --benchmark_out=<path>
@@ -21,6 +21,12 @@
 //                   items_per_second fell more than the baseline's
 //                   tolerance below the recorded value. This is what the
 //                   HCE_BENCH_SMOKE ctest label runs.
+//   --threads <n>   worker threads for benches that drive the partitioned
+//                   engine (0 = one per partition, capped at the
+//                   hardware). Echoed into the --json record's context.
+//   --partitions <n>
+//                   partition count for the same benches (0 = the bench's
+//                   own default). Echoed into the --json record's context.
 //
 // With no arguments they print the figure and run the microbenchmarks
 // with default settings.
@@ -38,6 +44,13 @@
 #include "support/table.hpp"
 
 namespace hce::bench {
+
+/// --threads: worker threads for partitioned-engine benches (0 = one per
+/// partition, capped at the hardware). Set by run(), read by bench bodies.
+inline int requested_threads = 0;
+/// --partitions: partition count for partitioned-engine benches (0 = the
+/// bench's own default).
+inline int requested_partitions = 0;
 
 /// Prints a figure banner.
 inline void banner(const std::string& figure, const std::string& claim) {
@@ -124,6 +137,10 @@ inline int run(int argc, char** argv, void (*reproduce)()) {
       json_path = argv[++i];
     } else if (a == "--smoke" && i + 1 < argc) {
       smoke_path = argv[++i];
+    } else if (a == "--threads" && i + 1 < argc) {
+      requested_threads = std::atoi(argv[++i]);
+    } else if (a == "--partitions" && i + 1 < argc) {
+      requested_partitions = std::atoi(argv[++i]);
     } else {
       passthrough.push_back(a);
     }
@@ -169,6 +186,11 @@ inline int run(int argc, char** argv, void (*reproduce)()) {
   if (benchmark::ReportUnrecognizedArguments(bench_argc, args.data())) {
     return 1;
   }
+  // The flags shape what the partitioned benches measured, so the JSON
+  // record carries them in its context block.
+  benchmark::AddCustomContext("hce_threads", std::to_string(requested_threads));
+  benchmark::AddCustomContext("hce_partitions",
+                              std::to_string(requested_partitions));
 
   if (!smoke_path.empty()) {
     detail::CapturingReporter reporter(smoke_name);

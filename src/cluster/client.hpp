@@ -101,6 +101,18 @@ struct ClientStats {
                              static_cast<double>(offered)
                        : 0.0;
   }
+
+  /// Pools counters across clients (the partitioned runner sums each
+  /// shard's front-end accounting into one per-side ClientStats).
+  ClientStats& operator+=(const ClientStats& o) {
+    offered += o.offered;
+    delivered += o.delivered;
+    retries += o.retries;
+    timeouts += o.timeouts;
+    duplicates += o.duplicates;
+    link_drops += o.link_drops;
+    return *this;
+  }
 };
 
 /// Deployment-side hooks as a virtual interface. The deployments

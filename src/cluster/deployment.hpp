@@ -83,6 +83,8 @@ class CloudDeployment final : public Deployment {
   void set_site_up(int site, bool up) override;
   /// Station util/queue probes plus `cloud/client_pending`.
   void instrument(obs::Sampler& sampler) const override;
+  void reserve_inflight(std::size_t n) override { pool_.reserve(n); }
+  std::size_t pool_high_water() const override { return pool_.high_water(); }
   const CloudConfig& config() const { return cfg_; }
   Cluster& cluster() { return cluster_; }
 
@@ -188,6 +190,13 @@ class EdgeDeployment final : public Deployment {
   }
   /// The state tier, or null when the deployment is stateless.
   const StateTier* state_tier() const { return tier_.get(); }
+  /// Mutable tier access for the partitioned runner's remote-store wiring.
+  StateTier* mutable_state_tier() { return tier_.get(); }
+  void reserve_inflight(std::size_t n) override {
+    pool_.reserve(n);
+    if (tier_) tier_->reserve_inflight(n);
+  }
+  std::size_t pool_high_water() const override { return pool_.high_water(); }
 
  private:
   // Retry-client hooks, bound statically (no virtual dispatch per event).

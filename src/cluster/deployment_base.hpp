@@ -87,6 +87,14 @@ class Deployment {
   virtual state::CacheStats cache_stats() const { return {}; }
   /// State-pull accounting of the cache tier (zero when stateless).
   virtual state::PullStats pull_stats() const { return {}; }
+  /// Pre-sizes the deployment's in-flight request pools for `n`
+  /// simultaneous requests, so large runs never grow slabs
+  /// mid-replication. Default: no pools to size.
+  virtual void reserve_inflight(std::size_t /*n*/) {}
+  /// Peak occupancy of the in-flight request pool (0 for kinds without
+  /// one) — checked against the runner's reserve hints by the invariant
+  /// tests.
+  virtual std::size_t pool_high_water() const { return 0; }
 
   // --- Observability ------------------------------------------------------
   /// Registers this deployment's gauges on a time-series sampler: one

@@ -1,0 +1,217 @@
+#include "cluster/remote.hpp"
+
+#include <utility>
+
+#include "cluster/state_tier.hpp"
+#include "obs/sampler.hpp"
+#include "support/contracts.hpp"
+
+namespace hce::cluster {
+
+// ---------------------------------------------------------------------------
+// CloudHub
+// ---------------------------------------------------------------------------
+
+CloudHub::CloudHub(des::PartitionedSimulation& pds, int home_partition,
+                   CloudHubConfig cfg, Rng rng)
+    : pds_(pds),
+      home_(home_partition),
+      cfg_(std::move(cfg)),
+      rng_(std::move(rng)),
+      sim_(pds.partition(home_partition)),
+      cluster_(sim_, "cloud", cfg_.num_servers, cfg_.dispatch, cfg_.speed) {
+  HCE_EXPECT(cfg_.fault_group_size >= 1,
+             "cloud fault_group_size must be >= 1");
+  HCE_EXPECT(!cfg_.site_partition.empty(),
+             "cloud hub needs the site -> partition map");
+  const auto n = static_cast<std::size_t>(pds.num_partitions());
+  front_ends_.assign(n, nullptr);
+  response_drops_.assign(n, 0);
+  cluster_.set_completion_handler(
+      [this](const des::Request& done) { on_complete(done); });
+}
+
+void CloudHub::register_front_end(int partition, RemoteCloudClient* fe) {
+  HCE_EXPECT(partition >= 0 &&
+                 partition < static_cast<int>(front_ends_.size()),
+             "front-end partition out of range");
+  HCE_EXPECT(front_ends_[static_cast<std::size_t>(partition)] == nullptr,
+             "front end already registered for this partition");
+  front_ends_[static_cast<std::size_t>(partition)] = fe;
+}
+
+void CloudHub::deliver_request(void* self, des::Request req,
+                               std::uint64_t /*origin*/) {
+  static_cast<CloudHub*>(self)->dispatch_now(std::move(req));
+}
+
+void CloudHub::dispatch_now(des::Request req) {
+  cluster_.dispatch(std::move(req), rng_);
+}
+
+void CloudHub::on_complete(const des::Request& done) {
+  HCE_ASSERT(done.site >= 0 &&
+                 done.site < static_cast<int>(cfg_.site_partition.size()),
+             "completed request names an unknown site");
+  const int origin = cfg_.site_partition[static_cast<std::size_t>(done.site)];
+  // Response-path WAN check at departure time, exactly like the
+  // sequential CloudDeployment. Drops are counted hub-side per origin
+  // (see the header's accounting note) — the origin's timeout still
+  // recovers the request, since its pending entry was never resolved.
+  Time extra = 0.0;
+  if (cfg_.link_faults) {
+    if (cfg_.link_faults->partitioned(sim_.now())) {
+      ++response_drops_[static_cast<std::size_t>(origin)];
+      return;
+    }
+    extra = cfg_.link_faults->extra_one_way(sim_.now());
+  }
+  const Time downlink = cfg_.network.one_way(rng_) + extra;
+  RemoteCloudClient* fe = front_ends_[static_cast<std::size_t>(origin)];
+  HCE_ASSERT(fe != nullptr, "completion for an unregistered partition");
+  des::Request copy = done;
+  if (origin == home_) {
+    const auto h = pool_.put(std::move(copy));
+    sim_.schedule_in(downlink, [this, fe, h] { fe->deliver(pool_.take(h)); });
+    return;
+  }
+  pds_.post(home_, origin, sim_.now() + downlink,
+            &RemoteCloudClient::deliver_response, fe, std::move(copy),
+            static_cast<std::uint64_t>(origin));
+}
+
+void CloudHub::set_site_up(int group, bool up) {
+  cluster_.set_server_group_up(group, cfg_.fault_group_size, up);
+}
+
+void CloudHub::reset_stats() {
+  cluster_.reset_stats();
+  for (std::uint64_t& d : response_drops_) d = 0;
+}
+
+void CloudHub::instrument(obs::Sampler& sampler) const {
+  for (const auto& st : cluster_.stations()) {
+    sampler.add_station_probes(*st);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// RemoteCloudClient
+// ---------------------------------------------------------------------------
+
+RemoteCloudClient::RemoteCloudClient(des::PartitionedSimulation& pds,
+                                     int self_partition, CloudHub& hub,
+                                     RemoteCloudClientConfig cfg, Rng rng)
+    : pds_(pds),
+      self_(self_partition),
+      hub_(hub),
+      cfg_(std::move(cfg)),
+      rng_(std::move(rng)),
+      sim_(pds.partition(self_partition)),
+      client_(sim_, cfg_.retry, *this) {
+  hub_.register_front_end(self_, this);
+}
+
+void RemoteCloudClient::client_send(des::Request req, int /*target*/) {
+  Time extra = 0.0;
+  if (cfg_.link_faults) {
+    if (cfg_.link_faults->partitioned(sim_.now())) {
+      client_.count_link_drop();  // lost in transit; the timeout recovers it
+      return;
+    }
+    extra = cfg_.link_faults->extra_one_way(sim_.now());
+  }
+  const Time uplink =
+      cfg_.network.one_way(rng_) + extra + cfg_.dispatch_overhead;
+  if (self_ == hub_.home_partition()) {
+    const auto h = pool_.put(std::move(req));
+    sim_.schedule_in(uplink, [this, h] { hub_.dispatch_now(pool_.take(h)); });
+    return;
+  }
+  pds_.post(self_, hub_.home_partition(), sim_.now() + uplink,
+            &CloudHub::deliver_request, &hub_, std::move(req),
+            static_cast<std::uint64_t>(self_));
+}
+
+void RemoteCloudClient::deliver_response(void* self, des::Request req,
+                                         std::uint64_t /*tag*/) {
+  static_cast<RemoteCloudClient*>(self)->deliver(std::move(req));
+}
+
+void RemoteCloudClient::deliver(des::Request req) {
+  req.t_completed = sim_.now();
+  // A stale token generation (the foreground client timed out or retried
+  // while this response crossed partitions) lands here as a duplicate —
+  // remote cancel semantics with no cancel message.
+  if (client_.on_response(req)) sink_.record(req);
+}
+
+void RemoteCloudClient::reserve(std::size_t inflight,
+                                std::size_t completions) {
+  pool_.reserve(inflight);
+  sink_.reserve(completions);
+}
+
+void RemoteCloudClient::instrument(obs::Sampler& sampler) const {
+  sampler.add_probe("cloud/client_pending", [this] {
+    return static_cast<double>(client_.pending_in_flight());
+  });
+}
+
+// ---------------------------------------------------------------------------
+// StateStoreHub
+// ---------------------------------------------------------------------------
+
+StateStoreHub::StateStoreHub(des::PartitionedSimulation& pds,
+                             int home_partition, StateStoreHubConfig cfg,
+                             Rng rng)
+    : pds_(pds),
+      home_(home_partition),
+      cfg_(std::move(cfg)),
+      rng_(std::move(rng)),
+      sim_(pds.partition(home_partition)) {
+  const auto n = static_cast<std::size_t>(pds.num_partitions());
+  tiers_.assign(n, nullptr);
+  response_drops_.assign(n, 0);
+}
+
+void StateStoreHub::register_tier(int partition, StateTier* tier) {
+  HCE_EXPECT(partition >= 0 && partition < static_cast<int>(tiers_.size()),
+             "tier partition out of range");
+  HCE_EXPECT(tiers_[static_cast<std::size_t>(partition)] == nullptr,
+             "tier already registered for this partition");
+  tiers_[static_cast<std::size_t>(partition)] = tier;
+}
+
+void StateStoreHub::deliver_pull(void* self, des::Request pull,
+                                 std::uint64_t origin) {
+  static_cast<StateStoreHub*>(self)->respond(std::move(pull),
+                                             static_cast<int>(origin));
+}
+
+void StateStoreHub::respond(des::Request pull, int origin) {
+  StateTier* tier = tiers_[static_cast<std::size_t>(origin)];
+  HCE_ASSERT(tier != nullptr, "pull from an unregistered partition");
+  // WAN check at the store's actual receive time (the fault schedule is a
+  // pure function of time, so evaluating it here matches the sequential
+  // tier's store_respond exactly in structure).
+  Time extra = 0.0;
+  if (cfg_.link_faults != nullptr) {
+    if (cfg_.link_faults->partitioned(sim_.now())) {
+      ++response_drops_[static_cast<std::size_t>(origin)];
+      return;
+    }
+    extra = cfg_.link_faults->extra_one_way(sim_.now());
+  }
+  // The object rides the response leg: one-way latency plus its transfer
+  // time (sampled at issue, carried in the pull's service_demand).
+  const Time leg = cfg_.network.one_way(rng_) + extra + pull.service_demand;
+  pds_.post(home_, origin, sim_.now() + leg, &StateTier::complete_remote,
+            tier, std::move(pull), static_cast<std::uint64_t>(origin));
+}
+
+void StateStoreHub::reset_stats() {
+  for (std::uint64_t& d : response_drops_) d = 0;
+}
+
+}  // namespace hce::cluster

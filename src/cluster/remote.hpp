@@ -1,0 +1,219 @@
+// Cross-partition transports of the partitioned parallel engine.
+//
+// In a partitioned replication (des/partition.hpp) the consolidated
+// cloud — the serving cluster and the state store — lives in partition 0
+// while edge sites are sharded across partitions 1..P-1. Two flows cross
+// that boundary, and both are split here into a per-partition *front end*
+// that owns everything timeout-related and a partition-0 *hub* that owns
+// the shared serving hardware:
+//
+//   * Foreground cloud requests: each partition runs a RemoteCloudClient
+//     — its own BasicRetryClient, Sink, uplink NetworkModel, and
+//     RequestPool — so the pending table, timeout events, backoff timers,
+//     and duplicate suppression all stay in the origin partition. Only
+//     the Request itself (carrying its generation-tagged client_token)
+//     crosses the mailbox; the CloudHub dispatches it into the shared
+//     Cluster and posts the completed request back to the origin's front
+//     end. A request whose foreground client timed out while the response
+//     was in flight comes home to a stale token generation and is counted
+//     a duplicate — cancel semantics work across the boundary without any
+//     cross-partition cancel message.
+//
+//   * State pulls: an edge shard's StateTier (state_tier.hpp, remote
+//     mode) posts each pull's uplink leg to the StateStoreHub, which
+//     evaluates the WAN fault schedule at actual arrival time, samples
+//     the response leg from its own stream, and posts the completion
+//     back to the tier. Pull retries/timeouts stay tier-side, exactly
+//     like foreground requests.
+//
+// Accounting subtlety: response legs dropped by a WAN partition are
+// detected in partition 0, but the counter belongs to the origin's
+// client. Posting an accounting message back would carry a stats-epoch
+// race (the origin may have reset mid-flight), so hubs count response
+// drops per origin partition themselves, reset at warmup like every
+// other stat, and the runner folds them into the per-side link_drops
+// after the calendar drains.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "cluster/client.hpp"
+#include "cluster/dispatch.hpp"
+#include "cluster/network.hpp"
+#include "des/partition.hpp"
+#include "des/request.hpp"
+#include "des/request_pool.hpp"
+#include "des/sink.hpp"
+#include "faults/fault.hpp"
+#include "support/rng.hpp"
+#include "support/time.hpp"
+
+namespace hce::obs {
+class Sampler;
+}  // namespace hce::obs
+
+namespace hce::cluster {
+
+class RemoteCloudClient;
+class StateTier;
+
+/// Partition-0 side of the split cloud deployment.
+struct CloudHubConfig {
+  int num_servers = 5;
+  double speed = 1.0;
+  /// Downlink (response-leg) latency model; the uplink is sampled by the
+  /// origin's front end.
+  NetworkModel network = NetworkModel::fixed(0.025);
+  DispatchPolicy dispatch = DispatchPolicy::kCentralQueue;
+  std::shared_ptr<const faults::LinkSchedule> link_faults;
+  int fault_group_size = 1;
+  /// Origin partition of each global site (routes completions home).
+  std::vector<int> site_partition;
+};
+
+class CloudHub {
+ public:
+  CloudHub(des::PartitionedSimulation& pds, int home_partition,
+           CloudHubConfig cfg, Rng rng);
+  CloudHub(const CloudHub&) = delete;
+  CloudHub& operator=(const CloudHub&) = delete;
+
+  void register_front_end(int partition, RemoteCloudClient* fe);
+
+  /// des::PartitionedSimulation::RemoteFn target of uplink deliveries
+  /// (`self` is the hub, `origin` the posting partition).
+  static void deliver_request(void* self, des::Request req,
+                              std::uint64_t origin);
+  /// Same-partition entry: partition 0's own front end schedules its
+  /// uplink locally and lands here.
+  void dispatch_now(des::Request req);
+
+  void set_site_up(int group, bool up);
+  void reset_stats();
+
+  int home_partition() const { return home_; }
+  double utilization() const { return cluster_.utilization(); }
+  std::uint64_t completed() const { return cluster_.completed(); }
+  std::uint64_t dropped() const { return cluster_.dropped(); }
+  /// Response legs lost to WAN partitions, by origin partition (folded
+  /// into that side's link_drops by the runner).
+  std::uint64_t response_link_drops(int partition) const {
+    return response_drops_[static_cast<std::size_t>(partition)];
+  }
+  void instrument(obs::Sampler& sampler) const;
+
+ private:
+  void on_complete(const des::Request& done);
+
+  des::PartitionedSimulation& pds_;
+  const int home_;
+  CloudHubConfig cfg_;
+  Rng rng_;
+  des::Simulation& sim_;
+  Cluster cluster_;
+  /// Payloads of same-partition (origin == home) downlink legs.
+  des::RequestPool pool_;
+  std::vector<RemoteCloudClient*> front_ends_;
+  std::vector<std::uint64_t> response_drops_;
+};
+
+/// Per-partition front end of the split cloud deployment: the client side
+/// of CloudDeployment (uplink sampling, link-fault consultation, retry
+/// loop, sink) with the serving cluster replaced by a mailbox post.
+struct RemoteCloudClientConfig {
+  /// Uplink latency model (the hub samples the downlink).
+  NetworkModel network = NetworkModel::fixed(0.025);
+  Time dispatch_overhead = 0.0;
+  RetryPolicy retry;
+  std::shared_ptr<const faults::LinkSchedule> link_faults;
+};
+
+class RemoteCloudClient {
+ public:
+  RemoteCloudClient(des::PartitionedSimulation& pds, int self_partition,
+                    CloudHub& hub, RemoteCloudClientConfig cfg, Rng rng);
+  RemoteCloudClient(const RemoteCloudClient&) = delete;
+  RemoteCloudClient& operator=(const RemoteCloudClient&) = delete;
+
+  /// Client in region `req.site` (global site index) issues the request.
+  void submit(des::Request req) { client_.submit(std::move(req), 0); }
+
+  /// RemoteFn target of the hub's response posts.
+  static void deliver_response(void* self, des::Request req,
+                               std::uint64_t tag);
+  /// Response handed back by the hub (same-partition legs land here
+  /// directly; cross-partition ones via deliver_response).
+  void deliver(des::Request req);
+
+  des::Sink& sink() { return sink_; }
+  const des::Sink& sink() const { return sink_; }
+  const ClientStats& stats() const { return client_.stats(); }
+  std::size_t pending_in_flight() const { return client_.pending_in_flight(); }
+  void reset_stats() { client_.reset_stats(); }
+  /// Pre-sizes the leg pool and sink from the runner's load hints.
+  void reserve(std::size_t inflight, std::size_t completions);
+  std::size_t pool_high_water() const { return pool_.high_water(); }
+  void instrument(obs::Sampler& sampler) const;
+
+ private:
+  friend class BasicRetryClient<RemoteCloudClient>;
+  void client_send(des::Request req, int target);
+  int client_retry_target(const des::Request& /*req*/, int prev_target) {
+    return prev_target;  // single dispatcher: retries go back to it
+  }
+
+  des::PartitionedSimulation& pds_;
+  const int self_;
+  CloudHub& hub_;
+  RemoteCloudClientConfig cfg_;
+  Rng rng_;
+  des::Simulation& sim_;
+  des::Sink sink_;
+  /// Payloads of same-partition (self == hub home) uplink legs.
+  des::RequestPool pool_;
+  BasicRetryClient<RemoteCloudClient> client_;
+};
+
+/// Partition-0 responder of the remote state-pull path. One per
+/// partitioned replication; edge-shard StateTiers in remote mode post
+/// their pull uplinks here (see StateTier::set_remote_store).
+struct StateStoreHubConfig {
+  /// Response-leg latency model (the tier samples the uplink).
+  NetworkModel network = NetworkModel::fixed(0.025);
+  std::shared_ptr<const faults::LinkSchedule> link_faults;
+};
+
+class StateStoreHub {
+ public:
+  StateStoreHub(des::PartitionedSimulation& pds, int home_partition,
+                StateStoreHubConfig cfg, Rng rng);
+  StateStoreHub(const StateStoreHub&) = delete;
+  StateStoreHub& operator=(const StateStoreHub&) = delete;
+
+  /// One remote tier per edge partition.
+  void register_tier(int partition, StateTier* tier);
+
+  /// RemoteFn target of tier pull-uplink posts.
+  static void deliver_pull(void* self, des::Request pull,
+                           std::uint64_t origin);
+
+  std::uint64_t response_link_drops(int partition) const {
+    return response_drops_[static_cast<std::size_t>(partition)];
+  }
+  void reset_stats();
+
+ private:
+  void respond(des::Request pull, int origin);
+
+  des::PartitionedSimulation& pds_;
+  const int home_;
+  StateStoreHubConfig cfg_;
+  Rng rng_;
+  des::Simulation& sim_;
+  std::vector<StateTier*> tiers_;
+  std::vector<std::uint64_t> response_drops_;
+};
+
+}  // namespace hce::cluster

@@ -2,6 +2,8 @@
 
 #include <utility>
 
+#include "cluster/remote.hpp"
+#include "des/partition.hpp"
 #include "obs/sampler.hpp"
 #include "support/contracts.hpp"
 
@@ -72,8 +74,34 @@ void StateTier::client_send(des::Request pull, int /*target*/) {
     extra = cfg_.pull_link_faults->extra_one_way(sim_.now());
   }
   const Time leg = cfg_.pull_network.one_way(rng_) + extra;
+  if (remote_hub_ != nullptr) {
+    // Remote mode: the uplink leg crosses partitions as a mailbox post;
+    // everything client-side (the pending entry, the armed timeout) stays
+    // here, so a pull lost en route is recovered by the local timeout
+    // exactly as in local mode.
+    remote_pds_->post(remote_self_, remote_store_, sim_.now() + leg,
+                      &StateStoreHub::deliver_pull, remote_hub_,
+                      std::move(pull),
+                      static_cast<std::uint64_t>(remote_self_));
+    return;
+  }
   const auto h = legs_.put(std::move(pull));
   sim_.schedule_in(leg, [this, h] { store_respond(h); });
+}
+
+void StateTier::set_remote_store(des::PartitionedSimulation& pds,
+                                 int self_partition, int store_partition,
+                                 StateStoreHub& hub) {
+  HCE_EXPECT(issued_ == 0, "set_remote_store must precede the first access");
+  remote_pds_ = &pds;
+  remote_hub_ = &hub;
+  remote_self_ = self_partition;
+  remote_store_ = store_partition;
+}
+
+void StateTier::complete_remote(void* self, des::Request pull,
+                                std::uint64_t /*tag*/) {
+  static_cast<StateTier*>(self)->finish_pull(std::move(pull));
 }
 
 int StateTier::client_retry_target(const des::Request& /*pull*/,
@@ -100,7 +128,10 @@ void StateTier::store_respond(des::RequestPool::Handle h) {
 }
 
 void StateTier::complete_pull(des::RequestPool::Handle h) {
-  des::Request pull = legs_.take(h);
+  finish_pull(legs_.take(h));
+}
+
+void StateTier::finish_pull(des::Request pull) {
   pull.t_completed = sim_.now();
   // First response wins; a late response of a retried pull is a duplicate
   // and its parked original is long gone.

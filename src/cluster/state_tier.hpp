@@ -44,7 +44,13 @@ namespace hce::obs {
 class Sampler;
 }  // namespace hce::obs
 
+namespace hce::des {
+class PartitionedSimulation;
+}  // namespace hce::des
+
 namespace hce::cluster {
+
+class StateStoreHub;
 
 struct StateTierConfig {
   state::StateSpec spec;
@@ -103,6 +109,29 @@ class StateTier final {
   bool trivial_pulls() const { return trivial_; }
   const StateTierConfig& config() const { return cfg_; }
 
+  // --- Remote store (partitioned engine) ---------------------------------
+  /// Routes the pull path through the store's partition: the tier still
+  /// samples each uplink leg and owns every timeout/retry/backoff event,
+  /// but the leg is posted to `hub` (partition `store_partition`) instead
+  /// of scheduled locally; the hub evaluates WAN faults at its actual
+  /// arrival time, samples the response leg from its own stream, and
+  /// posts the completion back (StateTier::complete_remote). Local mode —
+  /// the default — is untouched, so P=1 stays golden. Call before any
+  /// access().
+  void set_remote_store(des::PartitionedSimulation& pds, int self_partition,
+                        int store_partition, StateStoreHub& hub);
+  /// des::PartitionedSimulation::RemoteFn target of the store hub's
+  /// response posts (`self` is the tier).
+  static void complete_remote(void* self, des::Request pull,
+                              std::uint64_t tag);
+
+  /// Pre-sizes the parked-original and in-flight-leg pools from the
+  /// runner's load hints.
+  void reserve_inflight(std::size_t n) {
+    parked_.reserve(n);
+    legs_.reserve(n);
+  }
+
  private:
   // Retry-client hooks (the pull loop's view), bound statically.
   friend class BasicRetryClient<StateTier>;
@@ -111,6 +140,8 @@ class StateTier final {
 
   void store_respond(des::RequestPool::Handle h);
   void complete_pull(des::RequestPool::Handle h);
+  /// Shared completion tail of the local and remote pull paths.
+  void finish_pull(des::Request pull);
   void abandon_pull(const des::Request& pull);
 
   des::Simulation& sim_;
@@ -128,6 +159,12 @@ class StateTier final {
   std::uint64_t completed_ = 0;
   std::uint64_t abandoned_ = 0;
   bool trivial_ = false;
+
+  // Remote-store wiring (null = local mode; see set_remote_store).
+  des::PartitionedSimulation* remote_pds_ = nullptr;
+  StateStoreHub* remote_hub_ = nullptr;
+  int remote_self_ = 0;
+  int remote_store_ = 0;
 };
 
 }  // namespace hce::cluster

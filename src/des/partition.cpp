@@ -1,0 +1,256 @@
+#include "des/partition.hpp"
+
+#include <algorithm>
+#include <thread>
+#include <utility>
+
+#include "support/contracts.hpp"
+
+namespace hce::des {
+
+namespace {
+
+/// Centralized sense-reversing barrier, spin-then-yield. Workers arrive
+/// with an acq_rel RMW and leave on an acquire load of the phase counter,
+/// so everything written before a barrier happens-before everything read
+/// after it — the only synchronization primitive of the window protocol
+/// (the phases themselves are single-writer by static assignment).
+class SpinBarrier {
+ public:
+  explicit SpinBarrier(int n) : n_(static_cast<std::uint32_t>(n)) {}
+
+  void arrive_and_wait() {
+    const std::uint32_t phase = phase_.load(std::memory_order_relaxed);
+    if (arrived_.fetch_add(1, std::memory_order_acq_rel) + 1 == n_) {
+      arrived_.store(0, std::memory_order_relaxed);
+      phase_.store(phase + 1, std::memory_order_release);
+      return;
+    }
+    int spins = 0;
+    while (phase_.load(std::memory_order_acquire) == phase) {
+      if (++spins > 4096) std::this_thread::yield();
+    }
+  }
+
+ private:
+  const std::uint32_t n_;
+  std::atomic<std::uint32_t> arrived_{0};
+  std::atomic<std::uint32_t> phase_{0};
+};
+
+}  // namespace
+
+PartitionedSimulation::PartitionedSimulation(int num_partitions) {
+  HCE_EXPECT(num_partitions >= 1, "partitioned simulation needs >= 1 partition");
+  parts_.reserve(static_cast<std::size_t>(num_partitions));
+  for (int p = 0; p < num_partitions; ++p) {
+    parts_.push_back(std::make_unique<PartitionState>());
+  }
+  const auto n = static_cast<std::size_t>(num_partitions);
+  mail_.resize(n * n);
+  lookahead_.assign(n * n, 0.0);
+}
+
+PartitionedSimulation::~PartitionedSimulation() = default;
+
+int PartitionedSimulation::check_index(int p) const {
+  HCE_EXPECT(p >= 0 && p < num_partitions(), "partition index out of range");
+  return p;
+}
+
+void PartitionedSimulation::add_link(int src, int dst, Time lookahead) {
+  check_index(src);
+  check_index(dst);
+  HCE_EXPECT(src != dst, "cross-partition link must cross partitions");
+  HCE_EXPECT(lookahead > 0.0,
+             "zero-lookahead link pair: conservative synchronization needs a "
+             "strictly positive minimum cross-partition delay (derive it from "
+             "the link's minimum one-way WAN latency)");
+  const auto idx = static_cast<std::size_t>(src) *
+                       static_cast<std::size_t>(num_partitions()) +
+                   static_cast<std::size_t>(dst);
+  // Re-registering a pair keeps the tighter promise (a pair that carries
+  // both cloud sends and state pulls is bounded by the smaller floor).
+  if (lookahead_[idx] == 0.0 || lookahead < lookahead_[idx]) {
+    lookahead_[idx] = lookahead;
+  }
+  if (lookahead_[idx] < min_lookahead_) min_lookahead_ = lookahead_[idx];
+}
+
+bool PartitionedSimulation::has_link(int src, int dst) const {
+  const auto idx = static_cast<std::size_t>(check_index(src)) *
+                       static_cast<std::size_t>(num_partitions()) +
+                   static_cast<std::size_t>(check_index(dst));
+  return lookahead_[idx] > 0.0;
+}
+
+void PartitionedSimulation::post(int src, int dst, Time deliver_at, RemoteFn fn,
+                                 void* ctx, Request req, std::uint64_t tag) {
+  const auto idx = static_cast<std::size_t>(check_index(src)) *
+                       static_cast<std::size_t>(num_partitions()) +
+                   static_cast<std::size_t>(check_index(dst));
+  HCE_EXPECT(lookahead_[idx] > 0.0, "post on an unregistered link pair");
+  HCE_EXPECT(fn != nullptr, "post needs a delivery function");
+  // The lookahead promise keeps the window protocol causal: float
+  // rounding is monotone, so any delay >= lookahead in exact arithmetic
+  // survives the addition below.
+  HCE_ASSERT(deliver_at >= parts_[static_cast<std::size_t>(src)]->sim.now() +
+                               lookahead_[idx],
+             "cross-partition delivery violates the link's lookahead promise");
+  Mailbox& mb = mail_[idx];
+  Message m;
+  m.deliver_at = deliver_at;
+  m.seq = mb.posted++;
+  m.src = src;
+  m.fn = fn;
+  m.ctx = ctx;
+  m.tag = tag;
+  m.req = std::move(req);
+  mb.msgs.push_back(std::move(m));
+}
+
+void PartitionedSimulation::reserve_inbox(int p, std::size_t n) {
+  parts_[static_cast<std::size_t>(check_index(p))]->inbox.reserve(n);
+}
+
+Time PartitionedSimulation::next_bound(Time* t_next) const {
+  Time t = kTimeInfinity;
+  for (const auto& part : parts_) {
+    const Time pt = part->sim.next_event_time();
+    if (pt < t) t = pt;
+  }
+  *t_next = t;
+  if (min_lookahead_ == kTimeInfinity) return kTimeInfinity;
+  return t + min_lookahead_;
+}
+
+void PartitionedSimulation::run_window(int p, Time bound) {
+  parts_[static_cast<std::size_t>(p)]->sim.run_before(bound);
+}
+
+void PartitionedSimulation::drain_inbound(int dst) {
+  const int n = num_partitions();
+  PartitionState& st = *parts_[static_cast<std::size_t>(dst)];
+  std::vector<Message>& scratch = st.scratch;
+  scratch.clear();
+  for (int src = 0; src < n; ++src) {
+    std::vector<Message>& mb =
+        mail_[static_cast<std::size_t>(src) * static_cast<std::size_t>(n) +
+              static_cast<std::size_t>(dst)]
+            .msgs;
+    if (mb.empty()) continue;
+    for (Message& m : mb) scratch.push_back(std::move(m));
+    mb.clear();
+  }
+  if (scratch.empty()) return;
+  // Deterministic delivery order: the key is a pure function of what was
+  // posted (time, source partition, per-mailbox send order), never of
+  // which worker thread drained first. Destination sequence numbers are
+  // then assigned in this sorted order, so simultaneous deliveries tie-
+  // break identically at every worker count.
+  std::sort(scratch.begin(), scratch.end(),
+            [](const Message& a, const Message& b) {
+              if (a.deliver_at != b.deliver_at) {
+                return a.deliver_at < b.deliver_at;
+              }
+              if (a.src != b.src) return a.src < b.src;
+              return a.seq < b.seq;
+            });
+  for (Message& m : scratch) {
+    const RequestPool::Handle h = st.inbox.put(std::move(m.req));
+    RequestPool* pool = &st.inbox;
+    const RemoteFn fn = m.fn;
+    void* ctx = m.ctx;
+    const std::uint64_t tag = m.tag;
+    st.sim.schedule_at(m.deliver_at, [fn, ctx, pool, h, tag] {
+      fn(ctx, pool->take(h), tag);
+    });
+  }
+}
+
+void PartitionedSimulation::run_serial() {
+  const int n = num_partitions();
+  for (;;) {
+    Time t_next = kTimeInfinity;
+    const Time bound = next_bound(&t_next);
+    if (t_next == kTimeInfinity) return;
+    for (int p = 0; p < n; ++p) run_window(p, bound);
+    for (int dst = 0; dst < n; ++dst) drain_inbound(dst);
+    ++rounds_;
+  }
+}
+
+void PartitionedSimulation::run_threaded(int workers) {
+  const int n = num_partitions();
+  SpinBarrier barrier(workers);
+  auto work = [this, n, workers, &barrier](int w) {
+    for (;;) {
+      if (w == 0) {
+        Time t_next = kTimeInfinity;
+        const Time b = next_bound(&t_next);
+        done_.store(t_next == kTimeInfinity, std::memory_order_relaxed);
+        bound_.store(b, std::memory_order_relaxed);
+      }
+      barrier.arrive_and_wait();  // publishes done_/bound_
+      if (done_.load(std::memory_order_relaxed)) return;
+      const Time bound = bound_.load(std::memory_order_relaxed);
+      for (int p = w; p < n; p += workers) run_window(p, bound);
+      barrier.arrive_and_wait();  // windows done; mailboxes now readable
+      for (int dst = w; dst < n; dst += workers) drain_inbound(dst);
+      barrier.arrive_and_wait();  // drains done; calendars quiescent
+      if (w == 0) ++rounds_;
+    }
+  };
+  std::vector<std::thread> pool;
+  pool.reserve(static_cast<std::size_t>(workers - 1));
+  for (int w = 1; w < workers; ++w) pool.emplace_back(work, w);
+  work(0);
+  for (std::thread& t : pool) t.join();
+}
+
+std::uint64_t PartitionedSimulation::run(int worker_threads) {
+  const std::uint64_t before = events_executed();
+  rounds_ = 0;
+  int workers = worker_threads;
+  if (workers > num_partitions()) workers = num_partitions();
+  if (workers <= 1) {
+    run_serial();
+  } else {
+    done_.store(false, std::memory_order_relaxed);
+    run_threaded(workers);
+  }
+  return events_executed() - before;
+}
+
+std::uint64_t PartitionedSimulation::events_executed() const {
+  std::uint64_t n = 0;
+  for (const auto& part : parts_) n += part->sim.events_executed();
+  return n;
+}
+
+std::uint64_t PartitionedSimulation::messages_posted() const {
+  std::uint64_t n = 0;
+  for (const Mailbox& mb : mail_) n += mb.posted;
+  return n;
+}
+
+Simulation::Stats PartitionedSimulation::stats() const {
+  Simulation::Stats merged{};
+  for (const auto& part : parts_) {
+    const Simulation::Stats s = part->sim.stats();
+    merged.scheduled += s.scheduled;
+    merged.fired += s.fired;
+    merged.cancelled += s.cancelled;
+    merged.peak_size = std::max(merged.peak_size, s.peak_size);
+    merged.slab_high_water = std::max(merged.slab_high_water, s.slab_high_water);
+    merged.client_pending_high_water = std::max(
+        merged.client_pending_high_water, s.client_pending_high_water);
+  }
+  return merged;
+}
+
+void PartitionedSimulation::rewind_to_last_activity() {
+  for (const auto& part : parts_) part->sim.rewind_to_last_activity();
+}
+
+}  // namespace hce::des

@@ -1,0 +1,172 @@
+// Partitioned parallel DES: conservative (CMB-style) synchronization of
+// P single-threaded Simulations with RTT-derived lookahead.
+//
+// One replication at city scale (hundreds to thousands of edge sites) is
+// far more event traffic than one core can retire, yet the sites barely
+// talk to each other: everything that crosses a site boundary rides the
+// edge<->cloud WAN, whose one-way latency is 7-40 ms — three to five
+// orders of magnitude above the intra-site event spacing. That gap is the
+// classical conservative-synchronization lookahead, and it is what this
+// layer exploits: partitions own disjoint sets of sites (plus, in the
+// experiment layer's plan, the cloud in partition 0), run their own
+// des::Calendar clocks, and exchange work only through single-writer
+// mailboxes whose delivery delay is the inter-partition network latency.
+//
+// Synchronization protocol (synchronous windows, no null messages):
+//   repeat until every calendar and mailbox is empty:
+//     1. t_next = min over partitions of next_event_time()
+//     2. bound  = t_next + L   (L = min lookahead over registered links;
+//                               bound = infinity when no links exist)
+//     3. every partition runs events with t < bound   (parallel)
+//     4. every partition drains its inbound mailboxes  (parallel)
+// Safety: a message sent at t_send < bound over a link with lookahead
+// l >= L delivers at t_send + delay >= t_send + l >= t_next + L = bound
+// (rounding is monotone, so the inequality survives floating point), so
+// no delivery can land inside the window that produced it. Progress: the
+// partition holding t_next always executes at least one event per round,
+// because L > 0 implies t_next < bound.
+//
+// Determinism contract (the refactor's safety rail): partitions never
+// share mutable state — within a round each partition's window is ordinary
+// sequential execution, and the per-destination drain orders deliveries by
+// (deliver_at, source partition, per-mailbox sequence) before scheduling
+// them, a key that depends only on *what* was posted, never on when a
+// worker thread got around to it. For a fixed partition count P the
+// result is therefore bit-identical at any worker-thread count, and P=1
+// with no links degenerates to exactly Simulation::run() (pinned against
+// the sequential hexfloat goldens by tests/experiment/test_partitioned).
+//
+// Mailbox payloads: des::Handler holds 48 bytes inline and des::Request
+// is larger than that, so cross-partition messages cannot be closures
+// capturing the request. Instead a message carries the Request by value
+// plus a plain function pointer and a context pointer; at drain time the
+// request is parked in the destination's inbox RequestPool and the
+// scheduled handler captures only {fn, ctx, pool, handle, tag} — well
+// under the inline capacity, zero allocation in steady state.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "des/request.hpp"
+#include "des/request_pool.hpp"
+#include "des/simulation.hpp"
+#include "support/time.hpp"
+
+namespace hce::des {
+
+class PartitionedSimulation {
+ public:
+  /// Remote-delivery callback, invoked in the destination partition at
+  /// the message's delivery time with the carried request. `tag` is a
+  /// caller-chosen discriminator (the experiment layer passes the origin
+  /// partition so hubs can route the response back).
+  using RemoteFn = void (*)(void* ctx, Request req, std::uint64_t tag);
+
+  explicit PartitionedSimulation(int num_partitions);
+  PartitionedSimulation(const PartitionedSimulation&) = delete;
+  PartitionedSimulation& operator=(const PartitionedSimulation&) = delete;
+  ~PartitionedSimulation();
+
+  int num_partitions() const { return static_cast<int>(parts_.size()); }
+  Simulation& partition(int p) { return parts_[check_index(p)]->sim; }
+  const Simulation& partition(int p) const {
+    return parts_[check_index(p)]->sim;
+  }
+
+  /// Registers the directed link src -> dst with the given lookahead: a
+  /// promise that every message posted on the link is delivered at least
+  /// `lookahead` after its send time. Lookahead must be strictly positive
+  /// — a zero-lookahead pair would force zero-width windows and the
+  /// protocol could not advance (rejected with a contract error; the
+  /// experiment layer derives lookahead from the minimum one-way WAN
+  /// delay, which make_network keeps positive for any positive RTT).
+  void add_link(int src, int dst, Time lookahead);
+  bool has_link(int src, int dst) const;
+  /// Minimum lookahead over all registered links; kTimeInfinity when no
+  /// links exist (partitions then run to completion in one window).
+  Time min_lookahead() const { return min_lookahead_; }
+
+  /// Posts a message on the registered link src -> dst. Must be called
+  /// from partition `src`'s executing context (or before run()); the
+  /// delivery time must respect the link's lookahead promise.
+  void post(int src, int dst, Time deliver_at, RemoteFn fn, void* ctx,
+            Request req, std::uint64_t tag = 0);
+
+  /// Pre-sizes partition p's inbox pool for `n` simultaneously in-flight
+  /// inbound messages.
+  void reserve_inbox(int p, std::size_t n);
+
+  /// Runs the window protocol until every calendar and mailbox drains.
+  /// `worker_threads` <= 1 executes the identical window schedule on the
+  /// calling thread (the reference for the bit-identity tests); higher
+  /// counts spread partitions statically over that many threads (clamped
+  /// to P). Returns total events executed across partitions this call.
+  std::uint64_t run(int worker_threads = 1);
+
+  /// Total events executed across all partitions since construction.
+  std::uint64_t events_executed() const;
+  /// Cross-partition messages posted since construction.
+  std::uint64_t messages_posted() const;
+  /// Synchronization rounds (windows) the last run() used.
+  std::uint64_t rounds() const { return rounds_; }
+
+  /// Merged engine counters: event counts sum across partitions; memory
+  /// high-water marks take the per-partition maximum (each partition owns
+  /// its own slabs, so the bound is per-partition, not global).
+  Simulation::Stats stats() const;
+
+  /// Rewinds every partition's clock to its own last non-observer event
+  /// (see Simulation::rewind_to_last_activity). Call after run() when
+  /// samplers were attached.
+  void rewind_to_last_activity();
+
+ private:
+  struct Message {
+    Time deliver_at = 0.0;
+    std::uint64_t seq = 0;  ///< per-mailbox send order
+    int src = 0;
+    RemoteFn fn = nullptr;
+    void* ctx = nullptr;
+    std::uint64_t tag = 0;
+    Request req;
+  };
+
+  /// One directed mailbox. Written only by the source partition's worker
+  /// during the window phase, read only by the destination's worker during
+  /// the drain phase (phases are barrier-separated). Padded so mailboxes
+  /// of different writers never share a cache line.
+  struct alignas(64) Mailbox {
+    std::vector<Message> msgs;
+    std::uint64_t posted = 0;  ///< lifetime message count == next seq
+  };
+
+  /// Per-partition state, heap-allocated so Simulations of different
+  /// workers do not share cache lines through the parts_ vector.
+  struct PartitionState {
+    Simulation sim;
+    RequestPool inbox;              ///< parks in-flight inbound payloads
+    std::vector<Message> scratch;   ///< drain-time sort buffer
+  };
+
+  int check_index(int p) const;
+  Time next_bound(Time* t_next) const;
+  void run_window(int p, Time bound);
+  void drain_inbound(int dst);
+  void run_serial();
+  void run_threaded(int workers);
+
+  std::vector<std::unique_ptr<PartitionState>> parts_;
+  std::vector<Mailbox> mail_;      ///< [src * P + dst]
+  std::vector<Time> lookahead_;    ///< [src * P + dst]; 0 = no link
+  Time min_lookahead_ = kTimeInfinity;
+  std::uint64_t rounds_ = 0;
+
+  // --- run_threaded coordination (see partition.cpp) --------------------
+  std::atomic<Time> bound_{0.0};
+  std::atomic<bool> done_{false};
+};
+
+}  // namespace hce::des

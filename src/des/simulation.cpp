@@ -32,4 +32,20 @@ std::uint64_t Simulation::run(Time until, std::uint64_t max_events) {
   return n;
 }
 
+std::uint64_t Simulation::run_before(Time bound, std::uint64_t max_events) {
+  std::uint64_t n = 0;
+  while (!calendar_.empty() && n < max_events) {
+    if (!(calendar_.min_time() < bound)) break;
+    Time t = 0.0;
+    Handler fn = calendar_.pop_min(&t);
+    now_ = t;
+    observer_event_ = false;
+    fn();
+    if (!observer_event_) last_activity_ = now_;
+    ++n;
+    ++executed_;
+  }
+  return n;
+}
+
 }  // namespace hce::des

@@ -77,6 +77,22 @@ class Simulation {
   std::uint64_t run(Time until = kTimeInfinity,
                     std::uint64_t max_events = UINT64_MAX);
 
+  /// Runs events with time *strictly below* `bound` — the conservative
+  /// synchronization window of the partitioned engine (partition.hpp).
+  /// Unlike run(), the clock is NOT advanced to `bound` when the window
+  /// empties: it stays at the last executed event, so a later window (or
+  /// a cross-partition delivery scheduled exactly at `bound`) still
+  /// satisfies schedule_at's t >= now() contract. With bound ==
+  /// kTimeInfinity this drains the calendar exactly like run().
+  std::uint64_t run_before(Time bound, std::uint64_t max_events = UINT64_MAX);
+
+  /// Absolute time of the earliest pending event; kTimeInfinity when the
+  /// calendar is empty. The partitioned engine's window bound is the
+  /// minimum of this over all partitions plus the global lookahead.
+  Time next_event_time() const {
+    return calendar_.empty() ? kTimeInfinity : calendar_.min_time();
+  }
+
   bool empty() const { return calendar_.empty(); }
   std::size_t pending() const { return calendar_.size(); }
   std::uint64_t events_executed() const { return executed_; }

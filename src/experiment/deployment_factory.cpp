@@ -19,6 +19,11 @@ cluster::NetworkModel make_network(Time rtt, Time jitter) {
   return cluster::NetworkModel::jittered(rtt, dist::uniform(-j, j));
 }
 
+Time min_one_way(Time rtt, Time jitter) {
+  const Time j = std::max(std::min(jitter, 0.8 * rtt), 0.0);
+  return (rtt - j) / 2.0;
+}
+
 const char* network_stream_name(DeploymentKind kind) {
   switch (kind) {
     case DeploymentKind::kCloud: return "cloud-net";

@@ -43,6 +43,13 @@ bool outages_apply(const Scenario& scenario, DeploymentKind kind);
 /// cloud path cannot dominate (or invert) a 1 ms edge path.
 cluster::NetworkModel make_network(Time rtt, Time jitter);
 
+/// Minimum one-way delay make_network(rtt, jitter) can ever sample:
+/// (rtt - min(jitter, 0.8 * rtt)) / 2 — strictly positive for any
+/// positive RTT thanks to the jitter cap. The partitioned engine derives
+/// its cross-partition lookahead from this floor, so the conservative
+/// window protocol is provably safe for every draw the model can produce.
+Time min_one_way(Time rtt, Time jitter);
+
 /// Builds one deployment of `kind` from the scenario's knobs. `trace` may
 /// be null (fault-free); when set, the kind's link-fault schedules are
 /// attached here. Site outages are NOT wired here — callers schedule them

@@ -1,0 +1,472 @@
+#include "experiment/partitioned.hpp"
+
+#include <algorithm>
+#include <memory>
+#include <optional>
+#include <thread>
+#include <utility>
+
+#include "cluster/deployment.hpp"
+#include "cluster/remote.hpp"
+#include "cluster/source.hpp"
+#include "cluster/state_tier.hpp"
+#include "des/partition.hpp"
+#include "dist/distribution.hpp"
+#include "dist/weights.hpp"
+#include "dist/zipf.hpp"
+#include "experiment/deployment_factory.hpp"
+#include "faults/fault.hpp"
+#include "obs/breakdown.hpp"
+#include "obs/sampler.hpp"
+#include "support/contracts.hpp"
+#include "workload/arrival.hpp"
+
+namespace hce::experiment {
+
+PartitionPlan make_partition_plan(int num_sites, int partitions) {
+  HCE_EXPECT(num_sites >= 1, "partition plan needs >= 1 site");
+  HCE_EXPECT(partitions >= 1 && partitions <= num_sites,
+             "partitions must be in [1, num_sites] (every shard owns at "
+             "least one site)");
+  PartitionPlan plan;
+  plan.partitions = partitions;
+  plan.site_partition.resize(static_cast<std::size_t>(num_sites));
+  plan.site_local.resize(static_cast<std::size_t>(num_sites));
+  plan.first_site.resize(static_cast<std::size_t>(partitions));
+  plan.shard_sites.resize(static_cast<std::size_t>(partitions));
+  // Balanced contiguous blocks: shard p owns [p*k/P, (p+1)*k/P) — sizes
+  // differ by at most one and the assignment is a pure function of (k, P).
+  for (int p = 0; p < partitions; ++p) {
+    const int begin = static_cast<int>(
+        (static_cast<long long>(p) * num_sites) / partitions);
+    const int end = static_cast<int>(
+        (static_cast<long long>(p + 1) * num_sites) / partitions);
+    plan.first_site[static_cast<std::size_t>(p)] = begin;
+    plan.shard_sites[static_cast<std::size_t>(p)] = end - begin;
+    for (int s = begin; s < end; ++s) {
+      plan.site_partition[static_cast<std::size_t>(s)] = p;
+      plan.site_local[static_cast<std::size_t>(s)] = s - begin;
+    }
+  }
+  return plan;
+}
+
+namespace {
+
+/// Sums the manual-field PullStats (no operator+= upstream: the identity
+/// `issued == completed + abandoned` is per-tier, summing is the caller's
+/// explicit choice).
+void accumulate(state::PullStats& into, const state::PullStats& p) {
+  into.issued += p.issued;
+  into.completed += p.completed;
+  into.abandoned += p.abandoned;
+  into.retries += p.retries;
+  into.link_drops += p.link_drops;
+}
+
+}  // namespace
+
+ReplicationOutput run_replication_partitioned(const Scenario& sc,
+                                              Rate rate_per_server,
+                                              int replication) {
+  const int P = sc.partitions;
+  HCE_EXPECT(P >= 1, "partitions must be >= 1");
+  const int requested_workers = sc.partition_workers;
+  if (P == 1) {
+    // The golden-identity path: the sequential replication body runs
+    // unchanged over partition 0 of a one-partition engine, whose window
+    // loop degenerates to Simulation::run() (no links -> one infinite
+    // window). Bit-identical to run_replication by construction.
+    des::PartitionedSimulation pds(1);
+    des::Simulation& sim = pds.partition(0);
+    return detail::run_replication_on(
+        sc, rate_per_server, replication, sim,
+        [&pds, requested_workers] {
+          pds.run(std::max(1, requested_workers));
+        });
+  }
+
+  HCE_EXPECT(rate_per_server > 0.0, "rate must be positive");
+  HCE_EXPECT(rate_per_server < sc.mu,
+             "offered per-server rate must be below saturation");
+  HCE_EXPECT(sc.side_a == DeploymentKind::kEdge &&
+                 sc.side_b == DeploymentKind::kCloud,
+             "partitioned replications support the edge-vs-cloud pairing "
+             "only (side_a = kEdge, side_b = kCloud)");
+
+  Rng rng = Rng(sc.seed).stream("replication",
+                                static_cast<std::uint64_t>(replication));
+  const Time horizon = sc.warmup + sc.duration;
+
+  // Fault trace from the same substream as the sequential runner (CRN:
+  // the same machines crash at the same instants at any partition count),
+  // including the dead-replication short-circuit.
+  faults::FaultTrace trace;
+  const bool faulted = sc.faults.any();
+  if (faulted) {
+    trace = faults::FaultTrace::generate(sc.faults, sc.num_sites, horizon,
+                                         rng.stream("faults"));
+    if (trace.blackout() && outages_apply(sc, sc.side_a) &&
+        outages_apply(sc, sc.side_b)) {
+      ReplicationOutput out;
+      out.dead = true;
+      const auto n = static_cast<std::size_t>(sc.num_sites);
+      out.site_downtime.resize(n);
+      for (int s = 0; s < sc.num_sites; ++s) {
+        out.site_downtime[static_cast<std::size_t>(s)] =
+            trace.site_downtime_fraction(s);
+      }
+      out.site_mean_latency.assign(n, 0.0);
+      out.site_utilization.assign(n, 0.0);
+      return out;
+    }
+  }
+
+  const PartitionPlan plan = make_partition_plan(sc.num_sites, P);
+  des::PartitionedSimulation pds(P);
+
+  // --- Partition 0's shared cloud ---------------------------------------
+  cluster::CloudHubConfig hub_cfg;
+  hub_cfg.num_servers = sc.cloud_servers();
+  hub_cfg.network = make_network(sc.cloud_rtt, sc.rtt_jitter);
+  hub_cfg.dispatch = sc.cloud_dispatch;
+  if (faulted) hub_cfg.link_faults = trace.cloud_link_schedule();
+  hub_cfg.fault_group_size = sc.servers_per_site;
+  hub_cfg.site_partition = plan.site_partition;
+  cluster::CloudHub hub(pds, 0, std::move(hub_cfg), rng.stream("cloud-net"));
+
+  std::unique_ptr<cluster::StateStoreHub> store;
+  const Time pull_rtt =
+      sc.state_pull_rtt < 0.0 ? sc.cloud_rtt : sc.state_pull_rtt;
+  if (sc.state.enabled) {
+    cluster::StateStoreHubConfig store_cfg;
+    store_cfg.network = make_network(pull_rtt, sc.rtt_jitter);
+    if (faulted) store_cfg.link_faults = trace.cloud_link_schedule();
+    store = std::make_unique<cluster::StateStoreHub>(
+        pds, 0, std::move(store_cfg), rng.stream("state-store"));
+  }
+
+  // --- Per-partition front ends and edge shards -------------------------
+  std::vector<std::unique_ptr<cluster::RemoteCloudClient>> fronts;
+  fronts.reserve(static_cast<std::size_t>(P));
+  for (int p = 0; p < P; ++p) {
+    cluster::RemoteCloudClientConfig fe_cfg;
+    fe_cfg.network = make_network(sc.cloud_rtt, sc.rtt_jitter);
+    fe_cfg.dispatch_overhead = sc.cloud_dispatch_overhead;
+    fe_cfg.retry = sc.retry;
+    if (faulted) fe_cfg.link_faults = trace.cloud_link_schedule();
+    fronts.push_back(std::make_unique<cluster::RemoteCloudClient>(
+        pds, p, hub, std::move(fe_cfg),
+        rng.stream("cloud-uplink", static_cast<std::uint64_t>(p))));
+  }
+
+  std::vector<std::unique_ptr<cluster::EdgeDeployment>> shards;
+  shards.reserve(static_cast<std::size_t>(P));
+  for (int p = 0; p < P; ++p) {
+    const auto pu = static_cast<std::size_t>(p);
+    cluster::EdgeConfig ecfg;
+    ecfg.num_sites = plan.shard_sites[pu];
+    ecfg.servers_per_site = sc.servers_per_site;
+    ecfg.speed = sc.edge_speed;
+    ecfg.network = make_network(sc.edge_rtt, sc.rtt_jitter);
+    // Redirect/failover rings are shard-local: a partitioned run's
+    // "next-nearest site" never leaves the shard (sites of other shards
+    // are not candidates). Deterministic, but a different topology than
+    // the sequential all-sites ring — P > 1 is a model change, not a
+    // reordering.
+    ecfg.geo_lb = sc.geo_lb;
+    ecfg.geo_lb_queue_threshold = sc.geo_lb_queue_threshold;
+    ecfg.inter_site_rtt = sc.inter_site_rtt;
+    ecfg.retry = sc.retry;
+    if (faulted) {
+      ecfg.site_link_faults.resize(static_cast<std::size_t>(ecfg.num_sites));
+      for (int local = 0; local < ecfg.num_sites; ++local) {
+        ecfg.site_link_faults[static_cast<std::size_t>(local)] =
+            trace.site_link_schedule(plan.first_site[pu] + local);
+      }
+    }
+    if (sc.state.enabled) {
+      ecfg.state = sc.state;
+      ecfg.state_network = make_network(pull_rtt, sc.rtt_jitter);
+      ecfg.state_retry = sc.state_pull_retry;
+      if (faulted) ecfg.state_link_faults = trace.cloud_link_schedule();
+    }
+    shards.push_back(std::make_unique<cluster::EdgeDeployment>(
+        pds.partition(p), std::move(ecfg),
+        rng.stream("edge-net", static_cast<std::uint64_t>(p))));
+    // Partition 0's tier keeps the local pull path — the store lives in
+    // its partition. Every other shard's tier routes pull uplinks through
+    // the store hub's mailbox.
+    if (sc.state.enabled && p != 0) {
+      cluster::StateTier* tier = shards.back()->mutable_state_tier();
+      HCE_ASSERT(tier != nullptr, "stateful shard without a tier");
+      tier->set_remote_store(pds, p, 0, *store);
+      store->register_tier(p, tier);
+    }
+  }
+
+  // --- Links: lookahead from the minimum one-way WAN delay --------------
+  // Cloud requests/responses cross on every link; state pulls add a
+  // second flow only when the pull path is non-trivial (a trivial tier
+  // completes misses inline and never posts). A zero floor — e.g. a
+  // zero-RTT cloud path — is rejected by add_link with a contract error.
+  Time lookahead = min_one_way(sc.cloud_rtt, sc.rtt_jitter);
+  const cluster::StateTier* tier0 =
+      sc.state.enabled ? shards[0]->state_tier() : nullptr;
+  if (tier0 != nullptr && !tier0->trivial_pulls()) {
+    lookahead = std::min(lookahead, min_one_way(pull_rtt, sc.rtt_jitter));
+  }
+  for (int p = 1; p < P; ++p) {
+    pds.add_link(0, p, lookahead);
+    pds.add_link(p, 0, lookahead);
+  }
+
+  // --- Service model and spatial split (identical to the sequential
+  // runner: same formulas, same global stream names) ---------------------
+  const Time mean_service = 1.0 / sc.mu;
+  HCE_EXPECT(sc.request_overhead < mean_service,
+             "request_overhead must be below the mean service time");
+  const Time stochastic_mean = mean_service - sc.request_overhead;
+  const double part_cov = sc.service_cov * mean_service / stochastic_mean;
+  workload::ServicePtr service = workload::from_distribution(dist::shifted(
+      dist::by_cov(stochastic_mean, part_cov), sc.request_overhead));
+
+  const std::vector<double> weights =
+      sc.site_weights.empty() ? dist::uniform_weights(sc.num_sites)
+                              : dist::normalized(sc.site_weights);
+  HCE_EXPECT(static_cast<int>(weights.size()) == sc.num_sites,
+             "site_weights size mismatch");
+  const Rate total_rate =
+      rate_per_server * static_cast<double>(sc.cloud_servers());
+
+  // --- Reserves: scale the sequential hints by each shard's load share --
+  const ReserveHints hints = replication_reserve_hints(sc, rate_per_server);
+  std::vector<double> shard_weight(static_cast<std::size_t>(P), 0.0);
+  for (int s = 0; s < sc.num_sites; ++s) {
+    shard_weight[static_cast<std::size_t>(plan.site_partition[s])] +=
+        weights[static_cast<std::size_t>(s)];
+  }
+  for (int p = 0; p < P; ++p) {
+    const double w = shard_weight[static_cast<std::size_t>(p)];
+    const auto completions =
+        static_cast<std::size_t>(static_cast<double>(hints.completions) * w) +
+        64;
+    const auto inflight =
+        static_cast<std::size_t>(static_cast<double>(hints.inflight) * w) + 64;
+    shards[static_cast<std::size_t>(p)]->sink().reserve(completions);
+    shards[static_cast<std::size_t>(p)]->reserve_inflight(inflight);
+    fronts[static_cast<std::size_t>(p)]->reserve(inflight, completions);
+    // Partition 0 also hosts every cloud service event, so it gets the
+    // full sequential calendar hint; edge-only partitions their share.
+    pds.partition(p).reserve(
+        p == 0 ? hints.pending_events
+               : static_cast<std::size_t>(
+                     static_cast<double>(hints.pending_events) * w) +
+                     256);
+    pds.reserve_inbox(p, p == 0 ? hints.inflight : inflight);
+  }
+
+  // --- Sources: per-site streams keep their global names ----------------
+  std::shared_ptr<const dist::ZipfSampler> keys;
+  if (sc.state.enabled) {
+    keys = std::make_shared<const dist::ZipfSampler>(sc.state.key_space,
+                                                     sc.state.zipf_theta);
+  }
+  std::vector<std::unique_ptr<cluster::MirroredSource>> sources;
+  sources.reserve(static_cast<std::size_t>(sc.num_sites));
+  for (int s = 0; s < sc.num_sites; ++s) {
+    const Rate site_rate = total_rate * weights[static_cast<std::size_t>(s)];
+    if (site_rate <= 0.0) continue;
+    const auto pu = static_cast<std::size_t>(
+        plan.site_partition[static_cast<std::size_t>(s)]);
+    const int local = plan.site_local[static_cast<std::size_t>(s)];
+    cluster::EdgeDeployment* shard = shards[pu].get();
+    cluster::RemoteCloudClient* fe = fronts[pu].get();
+    auto arrivals = workload::renewal_rate_cov(site_rate, sc.arrival_cov);
+    sources.push_back(std::make_unique<cluster::MirroredSource>(
+        pds.partition(static_cast<int>(pu)), std::move(arrivals), service, s,
+        // The edge copy is remapped to the shard-local site index at the
+        // submit boundary (and back to global when records are merged);
+        // the cloud copy keeps the global index — the hub's fault groups
+        // and origin routing are keyed by it.
+        [shard, local](des::Request r) {
+          r.site = local;
+          shard->submit(std::move(r));
+        },
+        [fe](des::Request r) { fe->submit(std::move(r)); },
+        rng.stream("source", static_cast<std::uint64_t>(s))));
+    if (keys) {
+      sources.back()->set_key_sampler(
+          keys, rng.stream("keys", static_cast<std::uint64_t>(s)));
+    }
+    sources.back()->start(horizon);
+  }
+
+  // --- Outage wiring: each transition on its owner's calendar -----------
+  if (faulted) {
+    const bool fault_a = outages_apply(sc, sc.side_a);
+    const bool fault_b = outages_apply(sc, sc.side_b);
+    cluster::CloudHub* hubp = &hub;
+    for (int s = 0; s < sc.num_sites; ++s) {
+      const auto pu = static_cast<std::size_t>(
+          plan.site_partition[static_cast<std::size_t>(s)]);
+      const int local = plan.site_local[static_cast<std::size_t>(s)];
+      cluster::EdgeDeployment* shard = shards[pu].get();
+      des::Simulation& shard_sim = pds.partition(static_cast<int>(pu));
+      des::Simulation& cloud_sim = pds.partition(0);
+      for (const faults::Outage& o :
+           trace.site_outages[static_cast<std::size_t>(s)]) {
+        if (fault_a) {
+          shard_sim.schedule_at(o.start,
+                                [shard, local] { shard->set_site_up(local, false); });
+          shard_sim.schedule_at(o.end,
+                                [shard, local] { shard->set_site_up(local, true); });
+        }
+        if (fault_b) {
+          cloud_sim.schedule_at(o.start,
+                                [hubp, s] { hubp->set_site_up(s, false); });
+          cloud_sim.schedule_at(o.end,
+                                [hubp, s] { hubp->set_site_up(s, true); });
+        }
+      }
+    }
+  }
+
+  // --- Warmup reset: one event per partition ----------------------------
+  for (int p = 0; p < P; ++p) {
+    cluster::EdgeDeployment* shard = shards[static_cast<std::size_t>(p)].get();
+    cluster::RemoteCloudClient* fe = fronts[static_cast<std::size_t>(p)].get();
+    cluster::CloudHub* hubp = p == 0 ? &hub : nullptr;
+    cluster::StateStoreHub* storep = p == 0 ? store.get() : nullptr;
+    pds.partition(p).schedule_at(sc.warmup, [shard, fe, hubp, storep] {
+      shard->reset_stats();
+      fe->reset_stats();
+      if (hubp != nullptr) hubp->reset_stats();
+      if (storep != nullptr) storep->reset_stats();
+    });
+  }
+
+  // --- Observability: one sampler pair per partition, merged below ------
+  std::vector<std::unique_ptr<obs::Sampler>> samplers_a;
+  std::vector<std::unique_ptr<obs::Sampler>> samplers_b;
+  if (sc.observe) {
+    for (int p = 0; p < P; ++p) {
+      const auto pu = static_cast<std::size_t>(p);
+      samplers_a.push_back(std::make_unique<obs::Sampler>(pds.partition(p)));
+      shards[pu]->instrument(*samplers_a.back());
+      samplers_b.push_back(std::make_unique<obs::Sampler>(pds.partition(p)));
+      fronts[pu]->instrument(*samplers_b.back());
+      if (p == 0) hub.instrument(*samplers_b.back());
+    }
+    for (auto& s : samplers_a) s->start(sc.obs_sample_interval, horizon);
+    for (auto& s : samplers_b) s->start(sc.obs_sample_interval, horizon);
+  }
+
+  // --- Run ---------------------------------------------------------------
+  int workers = requested_workers;
+  if (workers <= 0) {
+    unsigned hw = std::thread::hardware_concurrency();
+    if (hw == 0) hw = 1;
+    workers = static_cast<int>(
+        std::min<unsigned>(static_cast<unsigned>(P), hw));
+  }
+  pds.run(workers);
+  if (sc.observe) pds.rewind_to_last_activity();
+
+  for (int p = 0; p < P; ++p) {
+    shards[static_cast<std::size_t>(p)]->sink().drop_before(sc.warmup);
+    fronts[static_cast<std::size_t>(p)]->sink().drop_before(sc.warmup);
+  }
+
+  // --- Merge into one ReplicationOutput (partition order throughout, so
+  // the result is a pure function of the partition count) ----------------
+  ReplicationOutput out;
+  out.events = pds.events_executed();
+  double util_sum = 0.0;
+  for (int p = 0; p < P; ++p) {
+    const auto pu = static_cast<std::size_t>(p);
+    cluster::EdgeDeployment& shard = *shards[pu];
+    cluster::RemoteCloudClient& fe = *fronts[pu];
+    const std::vector<double> el = shard.sink().latencies();
+    out.edge_latencies.insert(out.edge_latencies.end(), el.begin(), el.end());
+    const std::vector<double> cl = fe.sink().latencies();
+    out.cloud_latencies.insert(out.cloud_latencies.end(), cl.begin(),
+                               cl.end());
+    out.edge_redirects += shard.redirects();
+    out.edge_failovers += shard.failovers();
+    out.edge_client += shard.client_stats();
+    out.cloud_client += fe.stats();
+    // Response legs the hubs dropped on a partitioned WAN belong to this
+    // origin's accounting (the sequential engine counts them client-side).
+    out.cloud_client.link_drops += hub.response_link_drops(p);
+    out.edge_dropped += shard.dropped();
+    out.edge_cache += shard.cache_stats();
+    accumulate(out.edge_pulls, shard.pull_stats());
+    if (store) out.edge_pulls.link_drops += store->response_link_drops(p);
+    out.edge_pool_high_water =
+        std::max(out.edge_pool_high_water, shard.pool_high_water());
+    out.cloud_pool_high_water =
+        std::max(out.cloud_pool_high_water, fe.pool_high_water());
+    for (int local = 0; local < shard.num_sites(); ++local) {
+      util_sum += shard.site_utilization(local);
+    }
+  }
+  out.cloud_utilization = hub.utilization();
+  out.cloud_dropped = hub.dropped();
+  out.edge_utilization = util_sum / static_cast<double>(sc.num_sites);
+
+  out.site_downtime.resize(static_cast<std::size_t>(sc.num_sites), 0.0);
+  if (faulted) {
+    for (int s = 0; s < sc.num_sites; ++s) {
+      out.site_downtime[static_cast<std::size_t>(s)] =
+          trace.site_downtime_fraction(s);
+    }
+  }
+  out.site_mean_latency.resize(static_cast<std::size_t>(sc.num_sites));
+  out.site_utilization.resize(static_cast<std::size_t>(sc.num_sites));
+  for (int s = 0; s < sc.num_sites; ++s) {
+    const auto su = static_cast<std::size_t>(s);
+    const auto pu = static_cast<std::size_t>(plan.site_partition[su]);
+    const int local = plan.site_local[su];
+    out.site_mean_latency[su] =
+        shards[pu]->sink().latency_summary(local).mean();
+    out.site_utilization[su] = shards[pu]->site_utilization(local);
+  }
+
+  if (sc.observe) {
+    // Edge records carry shard-local site indices; remap to global before
+    // the deterministic (t_completed, partition) merge. Station ids stay
+    // shard-local (stations are per-shard objects). Cloud records already
+    // carry global sites.
+    std::vector<des::RecordColumns> edge_remapped;
+    edge_remapped.reserve(static_cast<std::size_t>(P));
+    std::vector<const des::RecordColumns*> edge_ptrs;
+    std::vector<const des::RecordColumns*> cloud_ptrs;
+    for (int p = 0; p < P; ++p) {
+      const auto pu = static_cast<std::size_t>(p);
+      edge_remapped.push_back(shards[pu]->sink().records());
+      const auto offset =
+          static_cast<std::int16_t>(plan.first_site[pu]);
+      for (std::int16_t& site : edge_remapped.back().site) {
+        site = static_cast<std::int16_t>(site + offset);
+      }
+      cloud_ptrs.push_back(&fronts[pu]->sink().records());
+    }
+    for (const des::RecordColumns& rc : edge_remapped) {
+      edge_ptrs.push_back(&rc);
+    }
+    out.edge_records = obs::merge_partition_records(edge_ptrs);
+    out.cloud_records = obs::merge_partition_records(cloud_ptrs);
+    std::vector<obs::SamplerResult> series_a;
+    std::vector<obs::SamplerResult> series_b;
+    for (int p = 0; p < P; ++p) {
+      series_a.push_back(samplers_a[static_cast<std::size_t>(p)]->take_result());
+      series_b.push_back(samplers_b[static_cast<std::size_t>(p)]->take_result());
+    }
+    out.edge_series = obs::merge_partition_series(series_a);
+    out.cloud_series = obs::merge_partition_series(series_b);
+  }
+  return out;
+}
+
+}  // namespace hce::experiment

@@ -1,0 +1,66 @@
+// Partitioned replications: one scenario sharded across P conservative
+// partitions (des/partition.hpp) so a single replication can spend every
+// core of the machine instead of one.
+//
+// Layout. Edge sites split into contiguous blocks, one block per
+// partition; the consolidated cloud and the state store live in
+// partition 0 next to that partition's own site block. Every flow that
+// crosses a shard boundary is, in the model, a WAN traversal — a cloud
+// request/response or a state pull — so the mailbox lookahead is the
+// *minimum one-way delay the network model can sample* (deployment_
+// factory's min_one_way), which the jitter cap keeps strictly positive
+// for any positive RTT. A zero-RTT cloud path therefore has zero
+// lookahead and is rejected loudly by PartitionedSimulation::add_link.
+//
+// What stays where. Each shard owns its sites' stations, sources, retry
+// clients, sinks, and (in remote mode) its state tier's full
+// timeout/retry machinery; only generation-tagged requests cross
+// partitions (cluster/remote.hpp), so a client that times out while its
+// response is in flight sees the late response land as a duplicate —
+// cancel semantics survive the boundary without cancel messages.
+//
+// Determinism. For a fixed P the output is bit-identical at any
+// worker-thread count (the engine's drain-order contract). P=1 routes
+// through detail::run_replication_on — the *same code* as the sequential
+// runner, over partition 0 of a one-partition engine — so it reproduces
+// the sequential hexfloat goldens exactly. P>1 is a statistical model
+// change (per-shard RNG streams, shard-local redirect/failover rings),
+// not a reordering of the sequential run: arrival/service/key streams
+// keep their global per-site names, so the offered workload is
+// CRN-paired with the sequential engine even though network draws differ.
+#pragma once
+
+#include <vector>
+
+#include "experiment/runner.hpp"
+#include "experiment/scenario.hpp"
+#include "support/time.hpp"
+
+namespace hce::experiment {
+
+/// Static site -> partition assignment of one partitioned replication:
+/// contiguous blocks (sites of one partition are neighbors, matching the
+/// ring semantics of shard-local failover), every partition non-empty,
+/// the cloud and the state store in partition 0.
+struct PartitionPlan {
+  int partitions = 1;
+  std::vector<int> site_partition;  ///< global site -> owning partition
+  std::vector<int> site_local;      ///< global site -> index in its shard
+  std::vector<int> first_site;      ///< partition -> first global site
+  std::vector<int> shard_sites;     ///< partition -> sites in the shard
+};
+
+/// Balanced contiguous-block plan. Requires 1 <= partitions <= num_sites.
+PartitionPlan make_partition_plan(int num_sites, int partitions);
+
+/// One replication of `sc` on sc.partitions conservative partitions,
+/// driven by sc.partition_workers threads (0 = one per partition, capped
+/// at the hardware). Requires the edge-vs-cloud pairing for P > 1.
+/// run_replication dispatches here whenever sc.partitions != 1; call it
+/// directly to force P=1 through the partitioned engine (the
+/// golden-identity path of the determinism tests).
+ReplicationOutput run_replication_partitioned(const Scenario& sc,
+                                              Rate rate_per_server,
+                                              int replication);
+
+}  // namespace hce::experiment

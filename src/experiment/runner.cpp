@@ -13,6 +13,7 @@
 #include "dist/weights.hpp"
 #include "dist/zipf.hpp"
 #include "experiment/deployment_factory.hpp"
+#include "experiment/partitioned.hpp"
 #include "faults/fault.hpp"
 #include "obs/sampler.hpp"
 #include "stats/ci.hpp"
@@ -22,15 +23,35 @@
 
 namespace hce::experiment {
 
-ReplicationOutput run_replication(const Scenario& sc, Rate rate_per_server,
-                                  int replication) {
+ReserveHints replication_reserve_hints(const Scenario& sc,
+                                       Rate rate_per_server) {
+  const Rate total_rate =
+      rate_per_server * static_cast<double>(sc.cloud_servers());
+  const Time horizon = sc.warmup + sc.duration;
+  ReserveHints h;
+  // Sinks hold ~rate * horizon completions (warmup records are dropped
+  // later but buffered briefly); the calendar's pending-event population
+  // and the in-flight request population are both roughly the arrivals of
+  // one response window — a round-trip's worth, plus one armed timeout
+  // per pending retry.
+  h.completions = static_cast<std::size_t>(total_rate * horizon * 1.05) + 64;
+  const Time inflight_window =
+      1.0 + (sc.retry.enabled ? sc.retry.timeout : 0.0);
+  h.pending_events =
+      static_cast<std::size_t>(total_rate * inflight_window) + 256;
+  h.inflight = h.pending_events;
+  return h;
+}
+
+ReplicationOutput detail::run_replication_on(
+    const Scenario& sc, Rate rate_per_server, int replication,
+    des::Simulation& sim, const std::function<void()>& run_calendar) {
   HCE_EXPECT(rate_per_server > 0.0, "rate must be positive");
   HCE_EXPECT(rate_per_server < sc.mu,
              "offered per-server rate must be below saturation");
   Rng rng =
       Rng(sc.seed).stream("replication", static_cast<std::uint64_t>(replication));
 
-  des::Simulation sim;
   const Time horizon = sc.warmup + sc.duration;
 
   // Materialize the fault schedule first (from its own substream) so the
@@ -132,19 +153,16 @@ ReplicationOutput run_replication(const Scenario& sc, Rate rate_per_server,
   const Rate total_rate =
       rate_per_server * static_cast<double>(sc.cloud_servers());
 
-  // Pre-size the measurement buffers from the offered-load estimate so
-  // nothing reallocates mid-measurement: the sinks hold ~rate * duration
-  // completions (warmup records are dropped later but buffered briefly),
-  // and the calendar's pending-event population is roughly the number of
-  // requests in flight (a couple of round-trips' worth of arrivals) plus
-  // one timer per pending retry.
-  const auto expected_completions =
-      static_cast<std::size_t>(total_rate * horizon * 1.05) + 64;
-  a.sink().reserve(expected_completions);
-  b.sink().reserve(expected_completions);
-  const Time inflight_window =
-      1.0 + (sc.retry.enabled ? sc.retry.timeout : 0.0);
-  sim.reserve(static_cast<std::size_t>(total_rate * inflight_window) + 256);
+  // Pre-size every buffer the measurement touches — sinks, calendar, and
+  // the deployments' in-flight request pools — from the offered-load
+  // hints, so nothing reallocates mid-measurement (the invariant tests
+  // assert pool_high_water() stays under hints.inflight).
+  const ReserveHints hints = replication_reserve_hints(sc, rate_per_server);
+  a.sink().reserve(hints.completions);
+  b.sink().reserve(hints.completions);
+  sim.reserve(hints.pending_events);
+  a.reserve_inflight(hints.inflight);
+  b.reserve_inflight(hints.inflight);
 
   // Stateful workloads: one alias table shared by every site's source
   // (construction is O(key_space), sampling O(1)); each site draws its
@@ -194,7 +212,7 @@ ReplicationOutput run_replication(const Scenario& sc, Rate rate_per_server,
     sampler_b->start(sc.obs_sample_interval, horizon);
   }
 
-  sim.run();
+  run_calendar();
   // Trailing sampler ticks may fire after the last real event (the run
   // can drain before the horizon); rewind the clock to the last activity
   // so every time-average below sees the exact denominator it would have
@@ -237,6 +255,8 @@ ReplicationOutput run_replication(const Scenario& sc, Rate rate_per_server,
     out.site_mean_latency[su] = a.sink().latency_summary(s).mean();
     out.site_utilization[su] = a.site_utilization(s);
   }
+  out.edge_pool_high_water = a.pool_high_water();
+  out.cloud_pool_high_water = b.pool_high_water();
   if (sc.observe) {
     out.edge_records = a.sink().records();
     out.cloud_records = b.sink().records();
@@ -244,6 +264,18 @@ ReplicationOutput run_replication(const Scenario& sc, Rate rate_per_server,
     out.cloud_series = sampler_b->take_result();
   }
   return out;
+}
+
+ReplicationOutput run_replication(const Scenario& sc, Rate rate_per_server,
+                                  int replication) {
+  // Partitioned replications (including the P=1 golden-identity path when
+  // requested explicitly) live in experiment/partitioned.cpp.
+  if (sc.partitions != 1) {
+    return run_replication_partitioned(sc, rate_per_server, replication);
+  }
+  des::Simulation sim;
+  return detail::run_replication_on(sc, rate_per_server, replication, sim,
+                                    [&sim] { sim.run(); });
 }
 
 namespace {

@@ -9,6 +9,8 @@
 // scheduling cannot change any reported number).
 #pragma once
 
+#include <cstddef>
+#include <functional>
 #include <vector>
 
 #include "cluster/deployment.hpp"
@@ -106,6 +108,11 @@ struct ReplicationOutput {
   /// replications). The adaptive engine reports simulated-event budgets
   /// with this.
   std::uint64_t events = 0;
+  /// Peak occupancy of each side's in-flight request pool, checked against
+  /// replication_reserve_hints().inflight by the invariant tests (a
+  /// high-water above the hint means a mid-measurement slab growth).
+  std::size_t edge_pool_high_water = 0;
+  std::size_t cloud_pool_high_water = 0;
   /// True when the replication was short-circuited without simulating:
   /// its fault trace provably blacked out [0, horizon) on both sides, so
   /// it could not have delivered a single request.
@@ -120,8 +127,37 @@ struct ReplicationOutput {
   obs::SamplerResult cloud_series;
 };
 
+/// Pre-sizing hints for one replication at one rate, derived from the
+/// offered load: how many completions each side's sink will buffer, how
+/// many calendar events are pending at once, and how many requests are
+/// simultaneously in flight (sizes the deployments' RequestPools). The
+/// runner applies them before the first arrival so nothing reallocates
+/// mid-measurement; the invariant tests assert the observed high-water
+/// marks stay under them.
+struct ReserveHints {
+  std::size_t completions = 0;     ///< per-side sink capacity
+  std::size_t pending_events = 0;  ///< calendar capacity
+  std::size_t inflight = 0;        ///< per-side in-flight pool capacity
+};
+ReserveHints replication_reserve_hints(const Scenario& scenario,
+                                       Rate rate_per_server);
+
 ReplicationOutput run_replication(const Scenario& scenario,
                                   Rate rate_per_server, int replication);
+
+namespace detail {
+/// The full sequential replication body over a caller-supplied simulation:
+/// builds both sides, the mirrored sources, the fault wiring, and the
+/// samplers on `sim`, then invokes `run_calendar` (which must drain `sim`)
+/// and collects the output. run_replication passes a plain Simulation and
+/// Simulation::run; the partitioned runner passes partition 0 of a
+/// one-partition PartitionedSimulation and its window loop — the code path
+/// that pins P=1 to the sequential hexfloat goldens *by construction*.
+ReplicationOutput run_replication_on(const Scenario& scenario,
+                                     Rate rate_per_server, int replication,
+                                     des::Simulation& sim,
+                                     const std::function<void()>& run_calendar);
+}  // namespace detail
 
 /// Merges replication outputs (ordered by replication index) into a
 /// PointResult — the single deterministic merge path shared by run_point

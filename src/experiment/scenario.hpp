@@ -144,6 +144,21 @@ struct Scenario {
   int replications = 3;
   std::uint64_t seed = 42;
 
+  // Partitioned parallel engine (des/partition.hpp). `partitions` > 1
+  // shards ONE replication across that many conservatively synchronized
+  // calendars: edge sites split into contiguous blocks (plus the cloud
+  // and the state store in partition 0) and every cross-partition flow
+  // rides a mailbox whose lookahead is the minimum one-way WAN delay.
+  // Restricted to the edge-vs-cloud pairing. The result is bit-identical
+  // for a fixed partition count at ANY worker-thread count — partitioning
+  // is a performance knob times a *statistical* model change (per-shard
+  // RNG streams), never a thread-schedule lottery. The default, 1, runs
+  // the sequential engine and reproduces the hexfloat goldens exactly.
+  int partitions = 1;
+  /// Worker threads driving the partitions (0 = one per partition, capped
+  /// at the hardware). Changing this NEVER changes any reported number.
+  int partition_workers = 0;
+
   /// Total cloud servers. The sweep axis ("req/s per server") is defined
   /// against this count: total offered load = rate * cloud_servers().
   int cloud_servers() const {

@@ -144,6 +144,34 @@ LatencyBreakdown merge_breakdown(
   return b;
 }
 
+des::RecordColumns merge_partition_records(
+    const std::vector<const des::RecordColumns*>& partitions) {
+  des::RecordColumns merged;
+  const std::size_t p_count = partitions.size();
+  std::size_t total = 0;
+  for (const des::RecordColumns* p : partitions) total += p->size();
+  merged.reserve(total);
+
+  // Each partition's store is already completion-ordered, so a cursor per
+  // partition suffices; the linear min-scan is fine at realistic P (< 64).
+  std::vector<std::size_t> cur(p_count, 0);
+  for (std::size_t done = 0; done < total; ++done) {
+    std::size_t best = p_count;
+    Time best_t = 0.0;
+    for (std::size_t p = 0; p < p_count; ++p) {
+      if (cur[p] >= partitions[p]->size()) continue;
+      const Time t = partitions[p]->t_completed[cur[p]];
+      if (best == p_count || t < best_t) {  // ties keep the lowest p
+        best = p;
+        best_t = t;
+      }
+    }
+    merged.push_back((*partitions[best])[cur[best]]);
+    ++cur[best];
+  }
+  return merged;
+}
+
 LatencyBreakdown merge_breakdown(
     const std::vector<std::vector<des::CompletionRecord>>& replications) {
   std::vector<des::RecordColumns> cols(replications.size());

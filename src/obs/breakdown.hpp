@@ -107,4 +107,15 @@ LatencyBreakdown merge_breakdown(
 LatencyBreakdown merge_breakdown(
     const std::vector<std::vector<des::CompletionRecord>>& replications);
 
+/// Deterministic merge of per-partition completion records into one
+/// store: a k-way merge ordered by (t_completed, partition index). Each
+/// partition's sink appends records in its own completion order, so the
+/// merged order is a pure function of what completed when and where —
+/// never of which worker thread ran a partition — and ties across
+/// partitions break by partition index. This is the record order a
+/// partitioned replication reports (the partitioned engine's analogue of
+/// one sequential sink).
+des::RecordColumns merge_partition_records(
+    const std::vector<const des::RecordColumns*>& partitions);
+
 }  // namespace hce::obs

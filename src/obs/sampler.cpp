@@ -6,6 +6,29 @@
 
 namespace hce::obs {
 
+SamplerResult merge_partition_series(const std::vector<SamplerResult>& parts) {
+  SamplerResult merged;
+  for (std::size_t p = 0; p < parts.size(); ++p) {
+    const SamplerResult& part = parts[p];
+    if (part.empty()) continue;
+    if (merged.times.empty()) {
+      merged.times = part.times;
+    } else {
+      HCE_EXPECT(part.times == merged.times,
+                 "merge_partition_series: partitions sampled on different "
+                 "tick grids (start every partition's sampler with the same "
+                 "interval and horizon)");
+    }
+    std::string prefix = "p";
+    prefix += std::to_string(p);
+    prefix += '/';
+    for (const Series& s : part.series) {
+      merged.series.push_back(Series{prefix + s.name, s.values});
+    }
+  }
+  return merged;
+}
+
 void Sampler::add_probe(std::string name, std::function<double()> probe) {
   HCE_EXPECT(!started_, "Sampler: register probes before start()");
   Probe p;

@@ -56,6 +56,15 @@ struct SamplerResult {
   }
 };
 
+/// Deterministic merge of per-partition sampler outputs into one result.
+/// Every partition of a partitioned replication starts its sampler on the
+/// same (interval, until) grid, so the tick timestamps agree exactly; the
+/// merged result keeps one copy of that grid and concatenates the series
+/// in partition order under a "p<i>/" name prefix (shard-local station
+/// names like "edge/0/util" recur in every partition). Partitions whose
+/// sampler never ticked (empty result) are skipped.
+SamplerResult merge_partition_series(const std::vector<SamplerResult>& parts);
+
 class Sampler {
  public:
   explicit Sampler(des::Simulation& sim) : sim_(sim) {}

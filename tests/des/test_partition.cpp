@@ -1,0 +1,196 @@
+// Engine-level tests of the partitioned conservative scheduler: link
+// contracts (zero lookahead is rejected loudly), P=1 degeneration to the
+// sequential Simulation, and the drain-order determinism contract — for a
+// fixed partition count, the delivery log is bit-identical at any worker-
+// thread count.
+#include "des/partition.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "des/simulation.hpp"
+#include "support/contracts.hpp"
+
+namespace hce::des {
+namespace {
+
+TEST(PartitionedSimulation, ZeroLookaheadLinkRejected) {
+  PartitionedSimulation pds(2);
+  EXPECT_THROW(pds.add_link(0, 1, 0.0), ContractViolation);
+  EXPECT_THROW(pds.add_link(1, 0, -0.5), ContractViolation);
+}
+
+TEST(PartitionedSimulation, SelfLinkRejected) {
+  PartitionedSimulation pds(2);
+  EXPECT_THROW(pds.add_link(1, 1, 0.1), ContractViolation);
+}
+
+void discard(void* /*ctx*/, Request /*req*/, std::uint64_t /*tag*/) {}
+
+TEST(PartitionedSimulation, PostOnUnregisteredLinkRejected) {
+  PartitionedSimulation pds(2);
+  EXPECT_THROW(pds.post(0, 1, 1.0, &discard, nullptr, Request{}),
+               ContractViolation);
+}
+
+#ifndef HCE_NO_INTERNAL_CHECKS
+TEST(PartitionedSimulation, PostBelowLookaheadRejected) {
+  PartitionedSimulation pds(2);
+  pds.add_link(0, 1, 0.5);
+  // deliver_at = 0.1 < now (0) + lookahead (0.5): the send violates the
+  // link's conservative promise.
+  EXPECT_THROW(pds.post(0, 1, 0.1, &discard, nullptr, Request{}),
+               ContractViolation);
+}
+#endif
+
+// ---------------------------------------------------------------------------
+// P=1, no links: the window loop must degenerate to Simulation::run().
+// ---------------------------------------------------------------------------
+
+/// A deterministic self-rescheduling workload with data-dependent times.
+void build_chain(Simulation& sim, std::vector<double>* log) {
+  for (int i = 1; i <= 4; ++i) {
+    const double t0 = 0.25 * i;
+    sim.schedule_at(t0, [&sim, log] {
+      log->push_back(sim.now());
+      if (sim.now() < 10.0) {
+        sim.schedule_in(1.0 + 0.125 * static_cast<double>(log->size()),
+                        [&sim, log] { log->push_back(100.0 + sim.now()); });
+      }
+    });
+  }
+}
+
+TEST(PartitionedSimulation, SinglePartitionMatchesSequentialRun) {
+  Simulation seq;
+  std::vector<double> seq_log;
+  build_chain(seq, &seq_log);
+  const std::uint64_t seq_events = seq.run();
+
+  for (const int workers : {1, 4}) {
+    PartitionedSimulation pds(1);
+    std::vector<double> par_log;
+    build_chain(pds.partition(0), &par_log);
+    const std::uint64_t par_events = pds.run(workers);
+    EXPECT_EQ(par_events, seq_events) << "workers=" << workers;
+    EXPECT_EQ(par_log, seq_log) << "workers=" << workers;
+    EXPECT_EQ(pds.partition(0).now(), seq.now()) << "workers=" << workers;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Cross-partition determinism: a ring of partitions bouncing tagged
+// requests must produce the identical per-partition delivery log at any
+// worker count.
+// ---------------------------------------------------------------------------
+
+struct World;
+
+struct Node {
+  World* world = nullptr;
+  int self = 0;
+  /// (delivery time, request id, remaining hops) in delivery order.
+  std::vector<std::pair<double, std::uint64_t>> log;
+};
+
+struct World {
+  explicit World(int p) : pds(p), nodes(static_cast<std::size_t>(p)) {
+    for (int i = 0; i < p; ++i) {
+      nodes[static_cast<std::size_t>(i)].world = this;
+      nodes[static_cast<std::size_t>(i)].self = i;
+    }
+  }
+  PartitionedSimulation pds;
+  std::vector<Node> nodes;
+};
+
+constexpr Time kHop = 0.25;
+
+void bounce(void* ctx, Request req, std::uint64_t hops) {
+  auto* node = static_cast<Node*>(ctx);
+  World& w = *node->world;
+  Simulation& sim = w.pds.partition(node->self);
+  node->log.emplace_back(sim.now(), req.id);
+  if (hops == 0) return;
+  const int dst = (node->self + 1) % w.pds.num_partitions();
+  w.pds.post(node->self, dst, sim.now() + kHop, &bounce,
+             &w.nodes[static_cast<std::size_t>(dst)], std::move(req),
+             hops - 1);
+}
+
+/// Builds a P-partition ring, seeds every partition with local events
+/// that launch multi-hop bounces, runs with `workers` threads, and
+/// returns the merged delivery log plus engine counters.
+struct RingResult {
+  std::vector<std::vector<std::pair<double, std::uint64_t>>> logs;
+  std::uint64_t events = 0;
+  std::uint64_t messages = 0;
+};
+
+RingResult run_ring(int partitions, int workers) {
+  World w(partitions);
+  for (int p = 0; p < partitions; ++p) {
+    w.pds.add_link(p, (p + 1) % partitions, kHop);
+  }
+  for (int p = 0; p < partitions; ++p) {
+    Simulation& sim = w.pds.partition(p);
+    Node* node = &w.nodes[static_cast<std::size_t>(p)];
+    // Several staggered launches per partition, with distinct ids and hop
+    // counts, plus purely local busywork events between them so windows
+    // interleave local and remote activity.
+    for (int k = 0; k < 5; ++k) {
+      const double t = 0.1 * (k + 1) + 0.01 * p;
+      const std::uint64_t id =
+          static_cast<std::uint64_t>(p) * 100 + static_cast<std::uint64_t>(k);
+      sim.schedule_at(t, [node, id, k] {
+        Request req;
+        req.id = id;
+        bounce(node, std::move(req), static_cast<std::uint64_t>(3 + k));
+      });
+      sim.schedule_at(t + 0.05, [node, &w] {
+        node->log.emplace_back(w.pds.partition(node->self).now(), 9999);
+      });
+    }
+  }
+  RingResult r;
+  r.events = w.pds.run(workers);
+  r.messages = w.pds.messages_posted();
+  for (Node& n : w.nodes) r.logs.push_back(std::move(n.log));
+  return r;
+}
+
+TEST(PartitionedSimulation, RingDeliveryLogIdenticalAcrossWorkerCounts) {
+  for (const int partitions : {2, 3, 5}) {
+    const RingResult ref = run_ring(partitions, 1);
+    EXPECT_GT(ref.messages, 0u);
+    for (const int workers : {2, 3, 8}) {
+      const RingResult got = run_ring(partitions, workers);
+      EXPECT_EQ(got.events, ref.events)
+          << "P=" << partitions << " workers=" << workers;
+      EXPECT_EQ(got.messages, ref.messages)
+          << "P=" << partitions << " workers=" << workers;
+      EXPECT_EQ(got.logs, ref.logs)
+          << "P=" << partitions << " workers=" << workers;
+    }
+  }
+}
+
+TEST(PartitionedSimulation, MinLookaheadTracksTightestLink) {
+  PartitionedSimulation pds(3);
+  EXPECT_EQ(pds.min_lookahead(), kTimeInfinity);
+  pds.add_link(0, 1, 0.5);
+  EXPECT_DOUBLE_EQ(pds.min_lookahead(), 0.5);
+  pds.add_link(1, 2, 0.125);
+  EXPECT_DOUBLE_EQ(pds.min_lookahead(), 0.125);
+  // Re-registering a link keeps the tighter (still-valid) promise.
+  pds.add_link(0, 1, 0.25);
+  EXPECT_TRUE(pds.has_link(0, 1));
+  EXPECT_DOUBLE_EQ(pds.min_lookahead(), 0.125);
+}
+
+}  // namespace
+}  // namespace hce::des

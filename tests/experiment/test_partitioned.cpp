@@ -1,0 +1,326 @@
+// Partitioned-runner determinism: P=1 must reproduce the sequential
+// hexfloat goldens exactly (it runs the *same code* over a one-partition
+// engine), and any fixed P must be bit-identical at every worker-thread
+// count — with faults, retries, the state tier, and observability all
+// engaged. Also covers the cross-partition cancel semantics (late remote
+// responses land as duplicates) and the zero-lookahead rejection.
+#include "experiment/partitioned.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <vector>
+
+#include "determinism_golden.hpp"
+#include "experiment/runner.hpp"
+#include "experiment/scenario.hpp"
+#include "support/contracts.hpp"
+
+namespace hce::experiment {
+namespace {
+
+Scenario small_scenario() {
+  Scenario sc = Scenario::typical_cloud();
+  sc.num_sites = 3;
+  sc.warmup = 30.0;
+  sc.duration = 150.0;
+  sc.replications = 2;
+  sc.seed = 20260806;
+  return sc;
+}
+
+Scenario faulted_scenario() {
+  Scenario sc = small_scenario();
+  sc.faults.edge_site.enabled = true;
+  sc.faults.edge_site.mttf = 40.0;
+  sc.faults.edge_site.mttr = 5.0;
+  sc.faults.edge_link.enabled = true;
+  sc.faults.edge_link.mean_spike_gap = 30.0;
+  sc.faults.edge_link.mean_spike_duration = 1.0;
+  sc.faults.edge_link.spike_extra_rtt = 0.050;
+  sc.faults.edge_link.partition_fraction = 0.3;
+  sc.faults.cloud_link.enabled = true;
+  sc.faults.cloud_link.mean_spike_gap = 60.0;
+  sc.faults.cloud_link.mean_spike_duration = 1.0;
+  sc.faults.cloud_link.spike_extra_rtt = 0.050;
+  sc.retry.enabled = true;
+  sc.retry.timeout = 0.4;
+  sc.retry.max_retries = 2;
+  return sc;
+}
+
+/// Everything on at once: 8 sites (so P=8 is legal), site crashes, link
+/// spikes on both sides, retries, the cache tier, and full observability.
+Scenario wide_scenario() {
+  Scenario sc = faulted_scenario();
+  sc.num_sites = 8;
+  sc.replications = 1;
+  sc.observe = true;
+  sc.state.enabled = true;
+  sc.state.key_space = 400;
+  sc.state.zipf_theta = 0.9;
+  sc.state.cache_capacity = 32;
+  return sc;
+}
+
+const std::vector<Rate> kRates{6.0, 9.0, 11.0};
+
+/// run_point, but with every replication forced through the partitioned
+/// engine (run_replication only dispatches there for sc.partitions != 1).
+std::vector<PointResult> partitioned_sweep(const Scenario& sc,
+                                           const std::vector<Rate>& rates) {
+  std::vector<PointResult> out;
+  out.reserve(rates.size());
+  for (const Rate rate : rates) {
+    std::vector<ReplicationOutput> reps;
+    reps.reserve(static_cast<std::size_t>(sc.replications));
+    for (int r = 0; r < sc.replications; ++r) {
+      reps.push_back(run_replication_partitioned(sc, rate, r));
+    }
+    out.push_back(merge_replications(sc, rate, reps));
+  }
+  return out;
+}
+
+void expect_matches_golden(const SideStats& got, const golden::GoldenSide& g) {
+  EXPECT_EQ(got.mean, g.mean);
+  EXPECT_EQ(got.p50, g.p50);
+  EXPECT_EQ(got.p95, g.p95);
+  EXPECT_EQ(got.p99, g.p99);
+  EXPECT_EQ(got.mean_ci_half_width, g.mean_ci_half_width);
+  EXPECT_EQ(got.utilization, g.utilization);
+  EXPECT_EQ(got.samples, g.samples);
+  EXPECT_EQ(got.offered, g.offered);
+  EXPECT_EQ(got.retries, g.retries);
+  EXPECT_EQ(got.timeouts, g.timeouts);
+}
+
+void expect_matches_golden(const std::vector<PointResult>& got,
+                           const golden::GoldenPoint (&fixture)[3]) {
+  ASSERT_EQ(got.size(), 3u);
+  for (std::size_t i = 0; i < 3; ++i) {
+    SCOPED_TRACE(testing::Message() << "rate " << fixture[i].rate);
+    EXPECT_EQ(got[i].rate_per_server, fixture[i].rate);
+    expect_matches_golden(got[i].edge, fixture[i].edge);
+    expect_matches_golden(got[i].cloud, fixture[i].cloud);
+    EXPECT_EQ(got[i].edge_redirects, fixture[i].edge_redirects);
+    EXPECT_EQ(got[i].edge_failovers, fixture[i].edge_failovers);
+  }
+}
+
+void expect_identical(const cluster::ClientStats& a,
+                      const cluster::ClientStats& b) {
+  EXPECT_EQ(a.offered, b.offered);
+  EXPECT_EQ(a.delivered, b.delivered);
+  EXPECT_EQ(a.retries, b.retries);
+  EXPECT_EQ(a.timeouts, b.timeouts);
+  EXPECT_EQ(a.duplicates, b.duplicates);
+  EXPECT_EQ(a.link_drops, b.link_drops);
+}
+
+void expect_identical(const state::PullStats& a, const state::PullStats& b) {
+  EXPECT_EQ(a.issued, b.issued);
+  EXPECT_EQ(a.completed, b.completed);
+  EXPECT_EQ(a.abandoned, b.abandoned);
+  EXPECT_EQ(a.retries, b.retries);
+  EXPECT_EQ(a.link_drops, b.link_drops);
+}
+
+void expect_identical(const des::RecordColumns& a, const des::RecordColumns& b) {
+  EXPECT_EQ(a.t_created, b.t_created);
+  EXPECT_EQ(a.t_completed, b.t_completed);
+  EXPECT_EQ(a.waiting, b.waiting);
+  EXPECT_EQ(a.service, b.service);
+  EXPECT_EQ(a.end_to_end, b.end_to_end);
+  EXPECT_EQ(a.network, b.network);
+  EXPECT_EQ(a.retry_penalty, b.retry_penalty);
+  EXPECT_EQ(a.state_pull, b.state_pull);
+  EXPECT_EQ(a.site, b.site);
+  EXPECT_EQ(a.station, b.station);
+  EXPECT_EQ(a.redirects, b.redirects);
+}
+
+void expect_identical(const obs::SamplerResult& a, const obs::SamplerResult& b) {
+  EXPECT_EQ(a.times, b.times);
+  ASSERT_EQ(a.series.size(), b.series.size());
+  for (std::size_t i = 0; i < a.series.size(); ++i) {
+    EXPECT_EQ(a.series[i].name, b.series[i].name);
+    EXPECT_EQ(a.series[i].values, b.series[i].values);
+  }
+}
+
+void expect_identical(const ReplicationOutput& a, const ReplicationOutput& b) {
+  EXPECT_EQ(a.edge_latencies, b.edge_latencies);
+  EXPECT_EQ(a.cloud_latencies, b.cloud_latencies);
+  EXPECT_EQ(a.edge_utilization, b.edge_utilization);
+  EXPECT_EQ(a.cloud_utilization, b.cloud_utilization);
+  EXPECT_EQ(a.edge_redirects, b.edge_redirects);
+  EXPECT_EQ(a.edge_failovers, b.edge_failovers);
+  expect_identical(a.edge_client, b.edge_client);
+  expect_identical(a.cloud_client, b.cloud_client);
+  EXPECT_EQ(a.edge_dropped, b.edge_dropped);
+  EXPECT_EQ(a.cloud_dropped, b.cloud_dropped);
+  EXPECT_EQ(a.edge_cache.lookups, b.edge_cache.lookups);
+  EXPECT_EQ(a.edge_cache.hits, b.edge_cache.hits);
+  EXPECT_EQ(a.edge_cache.misses, b.edge_cache.misses);
+  EXPECT_EQ(a.edge_cache.evictions, b.edge_cache.evictions);
+  expect_identical(a.edge_pulls, b.edge_pulls);
+  expect_identical(a.cloud_pulls, b.cloud_pulls);
+  EXPECT_EQ(a.site_downtime, b.site_downtime);
+  EXPECT_EQ(a.site_mean_latency, b.site_mean_latency);
+  EXPECT_EQ(a.site_utilization, b.site_utilization);
+  EXPECT_EQ(a.events, b.events);
+  EXPECT_EQ(a.edge_pool_high_water, b.edge_pool_high_water);
+  EXPECT_EQ(a.cloud_pool_high_water, b.cloud_pool_high_water);
+  expect_identical(a.edge_records, b.edge_records);
+  expect_identical(a.cloud_records, b.cloud_records);
+  expect_identical(a.edge_series, b.edge_series);
+  expect_identical(a.cloud_series, b.cloud_series);
+}
+
+// ---------------------------------------------------------------------------
+// P=1: the partitioned engine must land on the sequential hexfloat goldens
+// bit for bit, at any worker-thread request.
+// ---------------------------------------------------------------------------
+
+TEST(PartitionedGolden, P1FaultFreeSweepMatchesSeedDigests) {
+  Scenario sc = small_scenario();
+  sc.partitions = 1;
+  for (const int workers : {1, 4}) {
+    SCOPED_TRACE(testing::Message() << "workers " << workers);
+    sc.partition_workers = workers;
+    expect_matches_golden(partitioned_sweep(sc, kRates), golden::kFaultFree);
+  }
+}
+
+TEST(PartitionedGolden, P1FaultedSweepMatchesSeedDigests) {
+  Scenario sc = faulted_scenario();
+  sc.partitions = 1;
+  expect_matches_golden(partitioned_sweep(sc, kRates), golden::kFaulted);
+}
+
+TEST(Partitioned, P1OutputIdenticalToSequentialRunner) {
+  // Full raw-output identity — records and gauge series included — with
+  // faults, the state tier, and observability all on.
+  Scenario sc = wide_scenario();
+  sc.partitions = 1;
+  for (int rep = 0; rep < 2; ++rep) {
+    const ReplicationOutput seq = run_replication(sc, 6.0, rep);
+    const ReplicationOutput par = run_replication_partitioned(sc, 6.0, rep);
+    SCOPED_TRACE(testing::Message() << "replication " << rep);
+    expect_identical(seq, par);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// P>1: fixed partition count => bit-identical output at every worker count.
+// ---------------------------------------------------------------------------
+
+TEST(Partitioned, FixedPartitionCountIsBitIdenticalAcrossWorkerCounts) {
+  // Rate 6.0 keeps both sides below their (fault-dented) saturation
+  // points so deliveries flow on every shard; higher rates drive the edge
+  // past rho = 1 in this preset and every request times out.
+  Scenario sc = wide_scenario();
+  for (const int partitions : {2, 4, 8}) {
+    sc.partitions = partitions;
+    sc.partition_workers = 1;
+    const ReplicationOutput ref = run_replication_partitioned(sc, 6.0, 0);
+    EXPECT_GT(ref.edge_latencies.size(), 0u);
+    EXPECT_GT(ref.cloud_latencies.size(), 0u);
+    for (const int workers : {2, 8}) {
+      sc.partition_workers = workers;
+      SCOPED_TRACE(testing::Message()
+                   << "P=" << partitions << " workers=" << workers);
+      expect_identical(ref, run_replication_partitioned(sc, 6.0, 0));
+    }
+  }
+}
+
+TEST(Partitioned, StatefulAccountingEngagesAcrossPartitions) {
+  // Shards 1..P-1 run their tiers in remote mode against the partition-0
+  // store; the pull accounting must still add up (every miss issues a
+  // pull) and the caches must see real traffic on every shard.
+  Scenario sc = wide_scenario();
+  sc.partitions = 4;
+  sc.partition_workers = 4;
+  const ReplicationOutput out = run_replication_partitioned(sc, 6.0, 0);
+  EXPECT_GT(out.edge_cache.lookups, 0u);
+  EXPECT_GT(out.edge_cache.hits, 0u);
+  EXPECT_EQ(out.edge_cache.lookups, out.edge_cache.hits + out.edge_cache.misses);
+  EXPECT_GT(out.edge_pulls.issued, 0u);
+  EXPECT_GT(out.edge_pulls.completed, 0u);
+  // Pulls issued before the warmup reset may complete after it, so the
+  // post-warmup counters can exceed `issued` by the straddlers — but
+  // never fall short of it (nothing vanishes without completing or
+  // being abandoned).
+  EXPECT_GE(out.edge_pulls.completed + out.edge_pulls.abandoned,
+            out.edge_pulls.issued);
+}
+
+// ---------------------------------------------------------------------------
+// Cross-partition cancel: a client that gives up while its response is in
+// flight sees the late remote response land as a duplicate — no cancel
+// message crosses the boundary, and the run still terminates cleanly.
+// ---------------------------------------------------------------------------
+
+TEST(Partitioned, LateRemoteResponsesLandAsDuplicates) {
+  Scenario sc = small_scenario();
+  sc.num_sites = 4;
+  sc.partitions = 2;
+  sc.partition_workers = 2;
+  sc.replications = 1;
+  // The WAN RTT alone exceeds the retry timeout: every first attempt to
+  // the cloud times out with its response still in flight, so the retry
+  // layer re-issues and the original response arrives stale.
+  sc.cloud_rtt = 0.500;
+  sc.retry.enabled = true;
+  sc.retry.timeout = 0.3;
+  sc.retry.max_retries = 3;
+  const ReplicationOutput out = run_replication_partitioned(sc, 6.0, 0);
+  EXPECT_GT(out.cloud_client.retries, 0u);
+  EXPECT_GT(out.cloud_client.duplicates, 0u);
+  // The edge side is local to each shard and unaffected by the WAN RTT.
+  EXPECT_GT(out.edge_latencies.size(), 0u);
+}
+
+TEST(Partitioned, ZeroLookaheadCloudPathRejected) {
+  Scenario sc = small_scenario();
+  sc.partitions = 2;
+  sc.cloud_rtt = 0.0;  // min one-way delay 0 => no conservative horizon
+  EXPECT_THROW(run_replication_partitioned(sc, 6.0, 0),
+               ContractViolation);
+}
+
+// ---------------------------------------------------------------------------
+// The site -> partition plan itself.
+// ---------------------------------------------------------------------------
+
+TEST(PartitionPlanTest, BalancedContiguousBlocks) {
+  const PartitionPlan plan = make_partition_plan(10, 4);
+  ASSERT_EQ(plan.site_partition.size(), 10u);
+  ASSERT_EQ(plan.shard_sites.size(), 4u);
+  int total = 0;
+  for (int p = 0; p < 4; ++p) {
+    EXPECT_GE(plan.shard_sites[static_cast<std::size_t>(p)], 2);
+    EXPECT_LE(plan.shard_sites[static_cast<std::size_t>(p)], 3);
+    total += plan.shard_sites[static_cast<std::size_t>(p)];
+  }
+  EXPECT_EQ(total, 10);
+  // Contiguity + local index consistency.
+  for (int s = 0; s < 10; ++s) {
+    const int p = plan.site_partition[static_cast<std::size_t>(s)];
+    EXPECT_EQ(s, plan.first_site[static_cast<std::size_t>(p)] +
+                     plan.site_local[static_cast<std::size_t>(s)]);
+    if (s > 0) {
+      EXPECT_GE(p, plan.site_partition[static_cast<std::size_t>(s - 1)]);
+    }
+  }
+}
+
+TEST(PartitionPlanTest, RejectsMorePartitionsThanSites) {
+  EXPECT_THROW(make_partition_plan(3, 4), ContractViolation);
+  EXPECT_THROW(make_partition_plan(3, 0), ContractViolation);
+}
+
+}  // namespace
+}  // namespace hce::experiment

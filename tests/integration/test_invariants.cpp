@@ -389,6 +389,59 @@ INSTANTIATE_TEST_SUITE_P(
       return experiment::to_string(info.param);
     });
 
+// --- Reserve sufficiency ----------------------------------------------------
+//
+// replication_reserve_hints() pre-sizes the sinks, the calendar, and each
+// side's in-flight RequestPool before the first arrival. The observed
+// pool high-water marks must stay under the inflight hint — a high-water
+// above it means a slab grew mid-measurement, exactly what the hints
+// exist to prevent.
+
+TEST(ReserveSufficiency, PoolHighWaterStaysUnderInflightHint) {
+  experiment::Scenario sc = experiment::Scenario::typical_cloud();
+  sc.num_sites = 3;
+  sc.warmup = 30.0;
+  sc.duration = 150.0;
+  sc.replications = 1;
+  sc.seed = 20260806;
+  sc.faults.edge_link.enabled = true;
+  sc.faults.edge_link.mean_spike_gap = 30.0;
+  sc.faults.edge_link.mean_spike_duration = 1.0;
+  sc.faults.edge_link.partition_fraction = 0.3;
+  sc.retry.enabled = true;
+  sc.retry.timeout = 0.4;
+  sc.retry.max_retries = 2;
+  for (const double rate : {6.0, 8.0}) {
+    const auto hints = experiment::replication_reserve_hints(sc, rate);
+    ASSERT_GT(hints.inflight, 0u);
+    ASSERT_GT(hints.completions, 0u);
+    ASSERT_GT(hints.pending_events, 0u);
+    const auto out = experiment::run_replication(sc, rate, 0);
+    EXPECT_LE(out.edge_pool_high_water, hints.inflight)
+        << "rate " << rate << ": edge pool outgrew its reserve";
+    EXPECT_LE(out.cloud_pool_high_water, hints.inflight)
+        << "rate " << rate << ": cloud pool outgrew its reserve";
+    EXPECT_GT(out.edge_pool_high_water + out.cloud_pool_high_water, 0u);
+  }
+}
+
+TEST(ReserveSufficiency, PartitionedPoolsStayUnderTheSequentialHint) {
+  // Each shard gets a load-share slice of the hint; the merged maxima
+  // must a fortiori stay under the whole-replication bound.
+  experiment::Scenario sc = experiment::Scenario::typical_cloud();
+  sc.num_sites = 4;
+  sc.warmup = 30.0;
+  sc.duration = 150.0;
+  sc.replications = 1;
+  sc.seed = 20260806;
+  sc.partitions = 2;
+  sc.partition_workers = 2;
+  const auto hints = experiment::replication_reserve_hints(sc, 6.0);
+  const auto out = experiment::run_replication(sc, 6.0, 0);
+  EXPECT_LE(out.edge_pool_high_water, hints.inflight);
+  EXPECT_LE(out.cloud_pool_high_water, hints.inflight);
+}
+
 TEST(FaultConservation, FaultFreeRetryRunsDeliverEverything) {
   experiment::Scenario sc = experiment::Scenario::typical_cloud();
   sc.num_sites = 2;
