@@ -1,0 +1,418 @@
+// Cost-latency Pareto drill (paper §5.2 + §7 "economic costs" future
+// work, metered): what does each deployment *actually* spend — server
+// rental, site rental, WAN egress — to buy its latency, and which build
+// is the cheapest one that still meets a tail SLO?
+//
+// The analytic ledger (core::cost_to_meet_slo) prices fleets but has no
+// traffic volume, so it cannot see egress. The metered layer
+// (cost::Meter, fed by the per-replication usage in SideStats::cost)
+// bills every WAN crossing at wire size. Part 1 sweeps deployment shape
+// x provisioning x rental policy at one fixed offered load and emits the
+// cost-latency Pareto frontier plus the "cheapest build meeting the p99
+// SLO" row; the headline claim is that egress *flips* the fleet-cost
+// ranking — the pooled cloud is cheaper on servers but dearer end-to-end
+// once its response bytes are billed. Part 2 drops to the fault-free
+// Markovian limit (exponential service, no jitter, egress priced at
+// zero) where the metered bill and the analytic model describe the same
+// world, and checks that a provisioning ladder driven purely by
+// simulation reproduces cost_to_meet_slo's cheapest-feasible pick —
+// fleet sizes, dollars, and which side wins.
+#include "bench_common.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <iostream>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "autoscale/policy.hpp"
+#include "core/economics.hpp"
+#include "core/slo.hpp"
+#include "cost/meter.hpp"
+#include "experiment/report.hpp"
+#include "experiment/runner.hpp"
+#include "support/table.hpp"
+
+namespace {
+
+using namespace hce;
+
+// One fixed offered load for the whole Pareto sweep: 8 req/s per cloud
+// server on a 5-server baseline = 40 req/s total, rho ~ 0.62 — the edge
+// operating region, well below the queueing crossover.
+constexpr double kTotalLoad = 40.0;
+constexpr int kSites = 5;
+constexpr int kCloudBaseline = 5;
+
+// p99 SLO for the "cheapest feasible build" pick. Wide enough that a
+// 2-servers-per-site edge (p99 ~ 375 ms) and a 5-server cloud (~395 ms)
+// clear it with >= 12% margin, tight enough that 1 server per site
+// (~0.9 s) and a 4-server cloud (~507 ms) cannot — no rung sits within
+// noise of the feasibility boundary.
+const core::SloTarget kSlo{0.99, 0.450};
+
+struct ParetoPoint {
+  std::string label;
+  double dollars_per_hour = 0.0;
+  double p99 = 0.0;  // seconds
+  cost::Bill bill;
+  bool frontier = false;
+};
+
+// Marks non-dominated points: nothing else is at least as cheap AND at
+// least as fast with one strict improvement.
+void mark_frontier(std::vector<ParetoPoint>& pts) {
+  for (auto& p : pts) {
+    p.frontier = true;
+    for (const auto& q : pts) {
+      if (&q == &p) continue;
+      const bool no_worse = q.dollars_per_hour <= p.dollars_per_hour &&
+                            q.p99 <= p.p99;
+      const bool better = q.dollars_per_hour < p.dollars_per_hour ||
+                          q.p99 < p.p99;
+      if (no_worse && better) {
+        p.frontier = false;
+        break;
+      }
+    }
+  }
+}
+
+experiment::Scenario pareto_scenario() {
+  auto sc = experiment::Scenario::typical_cloud();
+  sc.num_sites = kSites;
+  sc.servers_per_site = 1;
+  sc.cloud_servers_override = kCloudBaseline;  // fixed baseline + load
+  sc.warmup = 240.0;
+  sc.duration = 1200.0;
+  sc.replications = 3;
+  return sc;
+}
+
+ParetoPoint measure(const experiment::Scenario& sc, bool edge_side,
+                    std::string label) {
+  const auto pt =
+      experiment::run_point(sc, kTotalLoad / sc.cloud_servers());
+  const auto& side = edge_side ? pt.edge : pt.cloud;
+  ParetoPoint out;
+  out.label = std::move(label);
+  out.dollars_per_hour = side.cost.bill.dollars_per_hour;
+  out.p99 = side.p99;
+  out.bill = side.cost.bill;
+  return out;
+}
+
+// --- Part 2: fault-free Markovian limit vs. the analytic model ------------
+
+experiment::Scenario markovian_scenario(int servers_per_site,
+                                        int cloud_servers) {
+  auto sc = experiment::Scenario::typical_cloud();
+  sc.num_sites = kSites;
+  sc.servers_per_site = servers_per_site;
+  sc.cloud_servers_override = cloud_servers;
+  sc.service_cov = 1.0;  // exponential service: the M/M/k world
+  sc.rtt_jitter = 0.0;   // deterministic RTT, as the analytic model assumes
+  sc.price.egress_per_gb = 0.0;  // the analytic ledger has no egress
+  sc.warmup = 240.0;
+  sc.duration = 1600.0;
+  sc.replications = 3;
+  return sc;
+}
+
+void reproduce() {
+  bench::banner(
+      "§5.2/§7 metered — the cost-latency Pareto frontier of deployment",
+      "egress billing flips the analytic fleet-cost ranking (the pooled "
+      "cloud pays per response byte; the edge serves locally); the "
+      "metered bill reproduces cost_to_meet_slo exactly once both "
+      "describe the same egress-free Markovian world");
+
+  // --- Part 1: deployment x provisioning x rental policy -----------------
+  bench::section(
+      "Pareto sweep at 40 req/s total: metered $/h vs p99 "
+      "(typical cloud, default prices incl. $0.09/GB egress)");
+
+  std::vector<ParetoPoint> pts;
+  {
+    auto sc = pareto_scenario();  // edge 5x1 vs cloud k=5: two points
+    pts.push_back(measure(sc, false, "cloud k=5"));
+    pts.push_back(measure(sc, true, "edge 5x1"));
+    sc.servers_per_site = 2;  // overprovisioned static edge
+    pts.push_back(measure(sc, true, "edge 5x2"));
+  }
+  {
+    auto sc = pareto_scenario();
+    sc.side_a = experiment::DeploymentKind::kHybrid;
+    pts.push_back(measure(sc, true, "hybrid 5x1"));
+  }
+  using Rental = experiment::Scenario::RentalPolicy;
+  const struct {
+    Rental rental;
+    const char* label;
+  } kElasticConfigs[] = {
+      {Rental::kReactive, "elastic reactive"},
+      {Rental::kFixedInterval, "elastic rent-interval"},
+      {Rental::kRetention, "elastic rent-retain"},
+  };
+  for (const auto& cfg : kElasticConfigs) {
+    auto sc = pareto_scenario();
+    sc.side_a = experiment::DeploymentKind::kElastic;
+    sc.elastic_rental = cfg.rental;
+    pts.push_back(measure(sc, true, cfg.label));
+  }
+  mark_frontier(pts);
+
+  TextTable t({"deployment", "$/h", "server $/h", "site $/h", "egress $/h",
+               "p99 ms", "frontier"});
+  for (const auto& p : pts) {
+    const double hours = p.bill.dollars_per_hour > 0.0 && p.bill.total_dollars > 0.0
+                             ? p.bill.total_dollars / p.bill.dollars_per_hour
+                             : 0.0;
+    const auto per_hour = [hours](double dollars) {
+      return hours > 0.0 ? dollars / hours : 0.0;
+    };
+    t.row()
+        .add(p.label)
+        .add(p.dollars_per_hour, 3)
+        .add(per_hour(p.bill.edge_server_dollars + p.bill.cloud_server_dollars), 3)
+        .add(per_hour(p.bill.site_rental_dollars), 3)
+        .add(per_hour(p.bill.egress_dollars), 3)
+        .add_ms(p.p99, 1)
+        .add(p.frontier ? "*" : "");
+  }
+  t.print(std::cout);
+
+  // Cheapest build that meets the p99 SLO.
+  bench::section("cheapest deployment meeting p99 <= 450 ms");
+  const ParetoPoint* cheapest_feasible = nullptr;
+  for (const auto& p : pts) {
+    if (p.p99 > kSlo.latency) continue;
+    if (cheapest_feasible == nullptr ||
+        p.dollars_per_hour < cheapest_feasible->dollars_per_hour) {
+      cheapest_feasible = &p;
+    }
+  }
+  TextTable ct({"pick", "$/h", "p99 ms"});
+  if (cheapest_feasible != nullptr) {
+    ct.row()
+        .add(cheapest_feasible->label)
+        .add(cheapest_feasible->dollars_per_hour, 3)
+        .add_ms(cheapest_feasible->p99, 1);
+  } else {
+    ct.row().add("none feasible").add("-").add("-");
+  }
+  ct.print(std::cout);
+
+  const auto by_label = [&pts](const std::string& l) -> const ParetoPoint& {
+    for (const auto& p : pts)
+      if (p.label == l) return p;
+    return pts.front();
+  };
+  const auto& cloud = by_label("cloud k=5");
+  const auto& edge1 = by_label("edge 5x1");
+  const auto& edge2 = by_label("edge 5x2");
+  const auto& rent_fixed = by_label("elastic rent-interval");
+  const auto& rent_retain = by_label("elastic rent-retain");
+
+  bench::section("claims");
+  bench::check("the cloud pays egress on every response; the edge serves "
+               "its WAN-free access links",
+               cloud.bill.egress_dollars > 0.0 &&
+                   edge1.bill.egress_dollars == 0.0);
+  bench::check(
+      "egress flips the ranking: cloud fleet is cheaper on servers yet "
+      "dearer end-to-end than the edge build it undercuts",
+      cloud.bill.edge_server_dollars + cloud.bill.cloud_server_dollars +
+              cloud.bill.site_rental_dollars <
+          edge1.bill.edge_server_dollars + edge1.bill.site_rental_dollars &&
+          cloud.dollars_per_hour > edge1.dollars_per_hour);
+  bench::check("overprovisioning buys the lowest p99 and pays for it",
+               edge2.p99 <= edge1.p99 &&
+                   edge2.dollars_per_hour > edge1.dollars_per_hour);
+  bench::check(
+      "interval renting undercuts the static overprovisioned edge",
+      rent_fixed.dollars_per_hour < edge2.dollars_per_hour);
+  bench::check("retention holds capacity, so it never bills less than "
+               "the fixed-interval renter",
+               rent_retain.dollars_per_hour >=
+                   rent_fixed.dollars_per_hour);
+  bench::check("an SLO-feasible build exists and sits on the frontier",
+               cheapest_feasible != nullptr && cheapest_feasible->frontier);
+
+  // --- Part 2: the analytic cross-check ----------------------------------
+  bench::section(
+      "fault-free Markovian limit: provisioning ladder (egress priced 0) "
+      "vs core::cost_to_meet_slo");
+
+  const core::PriceModel price0 = markovian_scenario(1, 4).price;
+  const auto analytic = core::cost_to_meet_slo(
+      kTotalLoad, kSites, workload::kReferenceSaturationRate, 0.001, 0.025,
+      kSlo, price0);
+
+  struct Rung {
+    int edge_m;
+    int cloud_k;
+    double edge_dph = 0.0, cloud_dph = 0.0;
+    double edge_p99 = 0.0, cloud_p99 = 0.0;
+  };
+  std::vector<Rung> ladder{{1, 4}, {2, 5}, {3, 6}};
+  TextTable lt({"edge fleet", "edge $/h", "edge p99 ms", "edge ok",
+                "cloud fleet", "cloud $/h", "cloud p99 ms", "cloud ok"});
+  for (auto& r : ladder) {
+    const auto sc = markovian_scenario(r.edge_m, r.cloud_k);
+    const auto pt =
+        experiment::run_point(sc, kTotalLoad / sc.cloud_servers());
+    r.edge_dph = pt.edge.cost.bill.dollars_per_hour;
+    r.cloud_dph = pt.cloud.cost.bill.dollars_per_hour;
+    r.edge_p99 = pt.edge.p99;
+    r.cloud_p99 = pt.cloud.p99;
+    lt.row()
+        .add(std::to_string(kSites) + "x" + std::to_string(r.edge_m))
+        .add(r.edge_dph, 3)
+        .add_ms(r.edge_p99, 1)
+        .add(r.edge_p99 <= kSlo.latency ? "yes" : "no")
+        .add(r.cloud_k)
+        .add(r.cloud_dph, 3)
+        .add_ms(r.cloud_p99, 1)
+        .add(r.cloud_p99 <= kSlo.latency ? "yes" : "no");
+  }
+  lt.print(std::cout);
+
+  // Cheapest feasible rung per side (cost is monotone in fleet size, so
+  // the first feasible rung is the cheapest).
+  const Rung* edge_pick = nullptr;
+  const Rung* cloud_pick = nullptr;
+  for (const auto& r : ladder) {
+    if (edge_pick == nullptr && r.edge_p99 <= kSlo.latency) edge_pick = &r;
+    if (cloud_pick == nullptr && r.cloud_p99 <= kSlo.latency) cloud_pick = &r;
+  }
+
+  TextTable at({"model", "edge servers", "edge $/h", "cloud servers",
+                "cloud $/h", "winner"});
+  at.row()
+      .add("analytic")
+      .add(analytic.edge_servers_total)
+      .add(analytic.edge_cost_per_hour, 3)
+      .add(analytic.cloud_servers)
+      .add(analytic.cloud_cost_per_hour, 3)
+      .add(analytic.cloud_cost_per_hour < analytic.edge_cost_per_hour
+               ? "cloud"
+               : "edge");
+  at.row().add("metered sim");
+  if (edge_pick != nullptr) {
+    at.add(kSites * edge_pick->edge_m).add(edge_pick->edge_dph, 3);
+  } else {
+    at.add("-").add("-");
+  }
+  if (cloud_pick != nullptr) {
+    at.add(cloud_pick->cloud_k).add(cloud_pick->cloud_dph, 3);
+  } else {
+    at.add("-").add("-");
+  }
+  at.add(edge_pick != nullptr && cloud_pick != nullptr
+             ? (cloud_pick->cloud_dph < edge_pick->edge_dph ? "cloud" : "edge")
+             : "-");
+  at.print(std::cout);
+
+  bench::check("analytic problem is feasible on both sides",
+               analytic.feasible);
+  bench::check(
+      "the simulated ladder picks the analytic edge fleet",
+      edge_pick != nullptr &&
+          kSites * edge_pick->edge_m == analytic.edge_servers_total);
+  bench::check("the simulated ladder picks the analytic cloud fleet",
+               cloud_pick != nullptr &&
+                   cloud_pick->cloud_k == analytic.cloud_servers);
+  const double edge_gap =
+      edge_pick != nullptr
+          ? std::abs(edge_pick->edge_dph - analytic.edge_cost_per_hour)
+          : 1e9;
+  const double cloud_gap =
+      cloud_pick != nullptr
+          ? std::abs(cloud_pick->cloud_dph - analytic.cloud_cost_per_hour)
+          : 1e9;
+  bench::check(
+      "metered $/h equals the analytic fleet price bit-for-bit "
+      "(static fleets: provisioned integral = servers x horizon)",
+      edge_gap < 1e-9 && cloud_gap < 1e-9);
+  bench::check(
+      "both models crown the same cheapest-feasible side",
+      edge_pick != nullptr && cloud_pick != nullptr &&
+          (cloud_pick->cloud_dph < edge_pick->edge_dph) ==
+              (analytic.cloud_cost_per_hour < analytic.edge_cost_per_hour));
+
+  // Machine-readable Pareto ladder for downstream plotting.
+  bench::section("cost table (CSV) for the edge 5x1 vs cloud k=5 pairing");
+  const auto sweep = experiment::run_sweep(
+      pareto_scenario(), {kTotalLoad / kCloudBaseline});
+  std::cout << experiment::cost_csv(sweep);
+}
+
+// --- microbenchmarks --------------------------------------------------------
+
+void BM_PriceUsage(benchmark::State& state) {
+  cost::Usage u;
+  u.edge.busy_seconds = 1234.5;
+  u.edge.provisioned_seconds = 7200.0;
+  u.cloud.provisioned_seconds = 3600.0;
+  u.edge_site_seconds = 1800.0;
+  u.elapsed_seconds = 3600.0;
+  u.wan.request_sends = 100000;
+  u.wan.response_sends = 99000;
+  u.wan.pull_request_sends = 5000;
+  u.wan.pull_response_sends = 4800;
+  u.rented_server_intervals = 240;
+  const cost::CostSpec spec;
+  const core::PriceModel price;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(cost::price_usage(u, spec, price));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_PriceUsage);
+
+void BM_RentalRetentionDecision(benchmark::State& state) {
+  const auto p = autoscale::rental_retention_policy(0.7, 300.0);
+  autoscale::SiteObservation o;
+  o.rate_estimate = 11.0;
+  o.total_rate_estimate = 44.0;
+  o.recent_utilization = 0.6;
+  o.provisioned = 2;
+  o.mu = 13.0;
+  std::uint64_t tick = 0;
+  for (auto _ : state) {
+    o.site = static_cast<int>(tick & 7);
+    o.now = static_cast<double>(tick) * 30.0;
+    benchmark::DoNotOptimize(p->target_servers(o));
+    ++tick;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_RentalRetentionDecision);
+
+// The smoke-gate target: one full metered replication of the Pareto
+// scenario. Metering rides the per-event hot path (plain counters at
+// existing state-change points), so a slowdown here that the raw engine
+// smoke does not show is a metering regression. Items are delivered
+// requests across both sides.
+void BM_MeteredReplication(benchmark::State& state) {
+  auto sc = pareto_scenario();
+  sc.warmup = 30.0;
+  sc.duration = 120.0;
+  std::uint64_t delivered = 0;
+  for (auto _ : state) {
+    const auto out = experiment::run_replication(
+        sc, kTotalLoad / sc.cloud_servers(), 0);
+    delivered += out.edge_latencies.size() + out.cloud_latencies.size();
+    benchmark::DoNotOptimize(out.edge_utilization);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(delivered));
+  state.SetLabel("items = delivered requests, both sides metered");
+}
+BENCHMARK(BM_MeteredReplication)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+HCE_BENCH_MAIN(reproduce)

@@ -161,6 +161,7 @@ void ElasticEdge::control_tick() {
 
     SiteObservation obs;
     obs.now = sim_.now();
+    obs.site = static_cast<int>(s);
     obs.provisioned = site.provisioned_servers();
     obs.recent_utilization = prov_delta > 0.0 ? busy_delta / prov_delta : 0.0;
     obs.rate_estimate = rate_estimate_[s];
@@ -180,6 +181,11 @@ void ElasticEdge::control_tick() {
         ++scaling_actions_;
       }
     }
+    // The post-decision target is the rental committed for the coming
+    // interval (counts the cooldown-held fleet too: held capacity is
+    // still rented capacity).
+    rented_server_intervals_ +=
+        static_cast<std::uint64_t>(site.target_servers());
   }
 
   if (sim_.now() + dt <= cfg_.control_horizon) {
@@ -229,7 +235,22 @@ void ElasticEdge::reset_stats() {
   }
   scaling_actions_ = 0;
   failover_count_ = 0;
+  rented_server_intervals_ = 0;
+  stats_epoch_ = sim_.now();
   client_.reset_stats();
+}
+
+cost::Usage ElasticEdge::cost_usage() const {
+  cost::Usage u;
+  u.elapsed_seconds = sim_.now() - stats_epoch_;
+  for (const auto& s : sites_) {
+    u.edge.busy_seconds += s->busy_seconds();
+    u.edge.provisioned_seconds += s->server_seconds();
+  }
+  u.edge_site_seconds =
+      static_cast<double>(cfg_.num_sites) * u.elapsed_seconds;
+  u.rented_server_intervals = rented_server_intervals_;
+  return u;
 }
 
 void ElasticEdge::instrument(obs::Sampler& sampler) const {

@@ -96,6 +96,16 @@ class ElasticEdge final : public cluster::Deployment {
   int provisioned_servers() const;
   /// Scaling actions applied (target changes).
   std::uint64_t scaling_actions() const { return scaling_actions_; }
+  /// Server-intervals committed by the control loop since the last reset:
+  /// each control tick adds every site's post-decision target. Priced by
+  /// PriceModel::edge_rental_interval_fee for rental-policy studies.
+  std::uint64_t rented_server_intervals() const {
+    return rented_server_intervals_;
+  }
+  /// Elastic fleet server-time (provisioned = the DynamicStation
+  /// integrals, which keep accruing through crashes and drains), site
+  /// rental, and the rented-interval count.
+  cost::Usage cost_usage() const override;
   void reset_stats() override;
   /// Per-site busy-rate/queue/provisioned probes plus
   /// `elastic-edge/client_pending` (DynamicStations are not des::Stations,
@@ -134,6 +144,8 @@ class ElasticEdge final : public cluster::Deployment {
   std::vector<Time> last_scale_down_;
   std::uint64_t scaling_actions_ = 0;
   std::uint64_t failover_count_ = 0;
+  std::uint64_t rented_server_intervals_ = 0;
+  Time stats_epoch_ = 0.0;
   cluster::BasicRetryClient<ElasticEdge> client_;
 };
 

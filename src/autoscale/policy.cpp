@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <vector>
 
 #include "core/capacity.hpp"
 #include "support/contracts.hpp"
@@ -90,6 +91,64 @@ class InversionAwarePolicy final : public Policy {
   InversionAwareConfig cfg_;
 };
 
+/// Servers needed to hold utilization at `target_util` for the current
+/// demand estimate; the sizing shared by both rental policies.
+int rental_demand(const SiteObservation& obs, double target_util) {
+  HCE_EXPECT(obs.mu > 0.0, "rental policy: mu > 0");
+  const double need =
+      std::max(obs.rate_estimate, 0.0) / (obs.mu * target_util);
+  return std::max(1, static_cast<int>(std::ceil(need)));
+}
+
+class RentalFixedIntervalPolicy final : public Policy {
+ public:
+  explicit RentalFixedIntervalPolicy(double target_util)
+      : target_util_(target_util) {
+    HCE_EXPECT(0.0 < target_util && target_util < 1.0,
+               "rental policy target_util in (0, 1)");
+  }
+  int target_servers(const SiteObservation& obs) const override {
+    return rental_demand(obs, target_util_);
+  }
+  std::string name() const override { return "rental-fixed-interval"; }
+
+ private:
+  double target_util_;
+};
+
+class RentalRetentionPolicy final : public Policy {
+ public:
+  RentalRetentionPolicy(double target_util, Time retention)
+      : target_util_(target_util), retention_(retention) {
+    HCE_EXPECT(0.0 < target_util && target_util < 1.0,
+               "rental policy target_util in (0, 1)");
+    HCE_EXPECT(retention >= 0.0, "rental retention must be >= 0");
+  }
+  int target_servers(const SiteObservation& obs) const override {
+    const int demand = rental_demand(obs, target_util_);
+    // Per-site timers in a shared-const policy: mutable is safe because a
+    // deployment (and its policy instance) is single-threaded under one
+    // simulation, and the timers are plain control state — reading the
+    // observation draws no RNG and schedules nothing.
+    const auto s = static_cast<std::size_t>(obs.site);
+    if (s >= hold_until_.size()) hold_until_.resize(s + 1, -kTimeInfinity);
+    if (demand >= obs.provisioned) {
+      // The rented capacity is (still) needed: extend its retention.
+      hold_until_[s] = obs.now + retention_;
+      return demand;
+    }
+    // Demand fell below the rental: hold until the timer expires, then
+    // release down to demand in one step.
+    return obs.now < hold_until_[s] ? obs.provisioned : demand;
+  }
+  std::string name() const override { return "rental-retention"; }
+
+ private:
+  double target_util_;
+  Time retention_;
+  mutable std::vector<Time> hold_until_;
+};
+
 }  // namespace
 
 PolicyPtr static_policy(int servers) {
@@ -104,6 +163,14 @@ PolicyPtr two_sigma_policy() { return std::make_shared<TwoSigmaPolicy>(); }
 
 PolicyPtr inversion_aware_policy(InversionAwareConfig cfg) {
   return std::make_shared<InversionAwarePolicy>(cfg);
+}
+
+PolicyPtr rental_fixed_interval_policy(double target_util) {
+  return std::make_shared<RentalFixedIntervalPolicy>(target_util);
+}
+
+PolicyPtr rental_retention_policy(double target_util, Time retention) {
+  return std::make_shared<RentalRetentionPolicy>(target_util, retention);
 }
 
 }  // namespace hce::autoscale

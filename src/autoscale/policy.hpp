@@ -16,6 +16,21 @@
 //                       delta_n — capacity explicitly targeted at never
 //                       inverting against the cloud (the paper's future-
 //                       work proposal), plus a headroom factor.
+//
+// Plus two online edge-*rental* policies (à la "Renting Edge Computing
+// Resources for Service Hosting"): the operator rents servers from an
+// edge market by the control interval, so the policy sizes the rental to
+// keep utilization at a target rather than stepping from the current
+// fleet. The cost layer bills each committed interval through
+// PriceModel::edge_rental_interval_fee (see cost/counters.hpp):
+//
+//  * RentalFixedInterval — memoryless: each interval rents exactly
+//                       ceil(rate / (mu * target_util)) servers, rising
+//                       and falling with the demand estimate.
+//  * RentalRetention  — same demand sizing, but releases are deferred by
+//                       a retention timer: capacity rented once is held
+//                       for `retention` after it was last needed, trading
+//                       rental dollars for immunity to demand flicker.
 #pragma once
 
 #include <memory>
@@ -27,6 +42,9 @@ namespace hce::autoscale {
 
 struct SiteObservation {
   Time now = 0.0;
+  /// Site index within the deployment — lets per-site policy state (the
+  /// retention timers) live in one shared policy instance.
+  int site = 0;
   int provisioned = 1;
   /// Utilization over the last control interval.
   double recent_utilization = 0.0;
@@ -68,5 +86,19 @@ struct InversionAwareConfig {
 
 /// Eq. 22-driven provisioning (see core/capacity.hpp).
 PolicyPtr inversion_aware_policy(InversionAwareConfig cfg);
+
+/// Fixed-interval rental: every control tick rent exactly
+/// ceil(rate_estimate / (mu * target_util)) servers (>= 1), releasing
+/// the rest. Pair with scale_down_cooldown = 0 — the interval IS the
+/// commitment; an extra cooldown would double-count the hysteresis.
+PolicyPtr rental_fixed_interval_policy(double target_util = 0.7);
+
+/// Retention-timer rental: sizes the rental like the fixed-interval
+/// policy, but a site's capacity is only released after `retention`
+/// seconds have passed since demand last reached the rented level.
+/// One policy instance keeps per-site timers (keyed by
+/// SiteObservation::site); use a fresh instance per deployment.
+PolicyPtr rental_retention_policy(double target_util = 0.7,
+                                  Time retention = 300.0);
 
 }  // namespace hce::autoscale

@@ -26,6 +26,7 @@ CloudDeployment::CloudDeployment(des::Simulation& sim, CloudConfig cfg,
     // swallows the response; the client's timeout recovers the request.
     des::Request copy = done;
     Time extra = 0.0;
+    ++wan_response_sends_;  // the server transmits even if the WAN drops it
     if (cfg_.link_faults) {
       if (cfg_.link_faults->partitioned(sim_.now())) {
         client_.count_link_drop();
@@ -50,6 +51,7 @@ void CloudDeployment::submit(des::Request req) {
 
 void CloudDeployment::client_send(des::Request req, int /*target*/) {
   Time extra = 0.0;
+  ++wan_request_sends_;  // one per attempt: retries are billed like firsts
   if (cfg_.link_faults) {
     if (cfg_.link_faults->partitioned(sim_.now())) {
       client_.count_link_drop();  // lost in transit; the timeout recovers it
@@ -82,6 +84,24 @@ void CloudDeployment::set_site_up(int site, bool up) {
 void CloudDeployment::reset_stats() {
   cluster_.reset_stats();
   client_.reset_stats();
+  wan_request_sends_ = 0;
+  wan_response_sends_ = 0;
+  stats_epoch_ = sim_.now();
+}
+
+cost::Usage CloudDeployment::cost_usage() const {
+  cost::Usage u;
+  u.elapsed_seconds = sim_.now() - stats_epoch_;
+  // Provisioned capacity accrues for the configured fleet through idle
+  // time and fault downtime alike — crashed hardware still costs money.
+  u.cloud.provisioned_seconds =
+      static_cast<double>(cfg_.num_servers) * u.elapsed_seconds;
+  for (const auto& st : cluster_.stations()) {
+    u.cloud.busy_seconds += st->busy_integral();
+  }
+  u.wan.request_sends = wan_request_sends_;
+  u.wan.response_sends = wan_response_sends_;
+  return u;
 }
 
 void CloudDeployment::instrument(obs::Sampler& sampler) const {
@@ -295,8 +315,27 @@ void EdgeDeployment::reset_stats() {
   for (auto& s : sites_) s->reset_stats();
   redirect_count_ = 0;
   failover_count_ = 0;
+  stats_epoch_ = sim_.now();
   if (tier_ != nullptr) tier_->reset_stats();
   client_.reset_stats();
+}
+
+cost::Usage EdgeDeployment::cost_usage() const {
+  cost::Usage u;
+  u.elapsed_seconds = sim_.now() - stats_epoch_;
+  // Static fleet: every configured server is provisioned for the whole
+  // window (crashes do not stop the rent), and every site is rented.
+  u.edge.provisioned_seconds =
+      static_cast<double>(cfg_.num_sites) *
+      static_cast<double>(cfg_.servers_per_site) * u.elapsed_seconds;
+  for (const auto& s : sites_) u.edge.busy_seconds += s->busy_integral();
+  u.edge_site_seconds =
+      static_cast<double>(cfg_.num_sites) * u.elapsed_seconds;
+  if (tier_ != nullptr) {
+    u.wan.pull_request_sends = tier_->pull_request_sends();
+    u.wan.pull_response_sends = tier_->pull_response_sends();
+  }
+  return u;
 }
 
 void EdgeDeployment::instrument(obs::Sampler& sampler) const {

@@ -85,6 +85,9 @@ class CloudDeployment final : public Deployment {
   void instrument(obs::Sampler& sampler) const override;
   void reserve_inflight(std::size_t n) override { pool_.reserve(n); }
   std::size_t pool_high_water() const override { return pool_.high_water(); }
+  /// Cloud server-time plus WAN request/response sends (all client
+  /// traffic crosses the WAN here).
+  cost::Usage cost_usage() const override;
   const CloudConfig& config() const { return cfg_; }
   Cluster& cluster() { return cluster_; }
 
@@ -102,6 +105,11 @@ class CloudDeployment final : public Deployment {
   /// In-flight request payloads (uplink/downlink legs): calendar handlers
   /// capture 4-byte pool handles, not Requests.
   des::RequestPool pool_;
+  /// WAN crossings since the last reset, stamped at send issue (before
+  /// any link-partition drop: the bytes leave the NIC either way).
+  std::uint64_t wan_request_sends_ = 0;
+  std::uint64_t wan_response_sends_ = 0;
+  Time stats_epoch_ = 0.0;
   BasicRetryClient<CloudDeployment> client_;
 };
 
@@ -197,6 +205,9 @@ class EdgeDeployment final : public Deployment {
     if (tier_) tier_->reserve_inflight(n);
   }
   std::size_t pool_high_water() const override { return pool_.high_water(); }
+  /// Edge server-time and site rental; WAN traffic is only the state
+  /// tier's pull path (client access links are local).
+  cost::Usage cost_usage() const override;
 
  private:
   // Retry-client hooks, bound statically (no virtual dispatch per event).
@@ -221,6 +232,7 @@ class EdgeDeployment final : public Deployment {
   des::RequestPool pool_;
   std::uint64_t redirect_count_ = 0;
   std::uint64_t failover_count_ = 0;
+  Time stats_epoch_ = 0.0;
   /// Cache tier between routing and the serving queue (null = stateless).
   std::unique_ptr<StateTier> tier_;
   BasicRetryClient<EdgeDeployment> client_;

@@ -21,6 +21,7 @@
 #include <cstdint>
 
 #include "cluster/client.hpp"
+#include "cost/counters.hpp"
 #include "des/request.hpp"
 #include "des/sink.hpp"
 #include "state/cache.hpp"
@@ -87,6 +88,12 @@ class Deployment {
   virtual state::CacheStats cache_stats() const { return {}; }
   /// State-pull accounting of the cache tier (zero when stateless).
   virtual state::PullStats pull_stats() const { return {}; }
+  /// Metered resource usage since the last reset_stats(): busy and
+  /// provisioned server-second integrals, occupied-site-seconds, and WAN
+  /// send counters (request/response/state-pull crossings, stamped at
+  /// send issue so retries and duplicates are billed). Reading it never
+  /// perturbs the simulation. Default: nothing metered.
+  virtual cost::Usage cost_usage() const { return {}; }
   /// Pre-sizes the deployment's in-flight request pools for `n`
   /// simultaneous requests, so large runs never grow slabs
   /// mid-replication. Default: no pools to size.

@@ -52,6 +52,7 @@ HybridDeployment::HybridDeployment(des::Simulation& sim, HybridConfig cfg,
     // Offloaded completion: the response returns directly from the cloud
     // to the client over the WAN path.
     Time extra = 0.0;
+    ++wan_response_sends_;  // cloud transmits even if the WAN drops it
     if (cfg_.cloud_link_faults) {
       if (cfg_.cloud_link_faults->partitioned(sim_.now())) {
         client_.count_link_drop();  // response lost; timeout recovers
@@ -156,6 +157,7 @@ void HybridDeployment::offload_to_cloud(des::Request req) {
   ++offloaded_;
   ++req.redirects;
   Time extra = 0.0;
+  ++wan_request_sends_;  // forward leg crosses the WAN, billed per attempt
   if (cfg_.cloud_link_faults) {
     if (cfg_.cloud_link_faults->partitioned(sim_.now())) {
       client_.count_link_drop();  // forward leg lost; timeout recovers
@@ -223,8 +225,34 @@ void HybridDeployment::reset_stats() {
   cloud_.reset_stats();
   offloaded_ = 0;
   local_ = 0;
+  wan_request_sends_ = 0;
+  wan_response_sends_ = 0;
+  stats_epoch_ = sim_.now();
   if (tier_ != nullptr) tier_->reset_stats();
   client_.reset_stats();
+}
+
+cost::Usage HybridDeployment::cost_usage() const {
+  cost::Usage u;
+  u.elapsed_seconds = sim_.now() - stats_epoch_;
+  u.edge.provisioned_seconds =
+      static_cast<double>(cfg_.num_sites) *
+      static_cast<double>(cfg_.servers_per_site) * u.elapsed_seconds;
+  for (const auto& s : sites_) u.edge.busy_seconds += s->busy_integral();
+  u.edge_site_seconds =
+      static_cast<double>(cfg_.num_sites) * u.elapsed_seconds;
+  u.cloud.provisioned_seconds =
+      static_cast<double>(cfg_.cloud_servers) * u.elapsed_seconds;
+  for (const auto& st : cloud_.stations()) {
+    u.cloud.busy_seconds += st->busy_integral();
+  }
+  u.wan.request_sends = wan_request_sends_;
+  u.wan.response_sends = wan_response_sends_;
+  if (tier_ != nullptr) {
+    u.wan.pull_request_sends = tier_->pull_request_sends();
+    u.wan.pull_response_sends = tier_->pull_response_sends();
+  }
+  return u;
 }
 
 void HybridDeployment::instrument(obs::Sampler& sampler) const {

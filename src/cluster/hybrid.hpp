@@ -121,6 +121,9 @@ class HybridDeployment final : public Deployment {
   }
   /// The state tier, or null when the deployment is stateless.
   const StateTier* state_tier() const { return tier_.get(); }
+  /// Edge + cloud-pool server-time, site rental, and the WAN crossings
+  /// of the offload path (forward + cloud response) and state pulls.
+  cost::Usage cost_usage() const override;
 
   const HybridConfig& config() const { return cfg_; }
 
@@ -145,6 +148,11 @@ class HybridDeployment final : public Deployment {
   des::RequestPool pool_;
   std::uint64_t offloaded_ = 0;
   std::uint64_t local_ = 0;
+  /// WAN crossings of the offload path since the last reset, stamped at
+  /// send issue (before any link-partition drop).
+  std::uint64_t wan_request_sends_ = 0;
+  std::uint64_t wan_response_sends_ = 0;
+  Time stats_epoch_ = 0.0;
   /// Cache tier in front of the local sites (null = stateless).
   std::unique_ptr<StateTier> tier_;
   BasicRetryClient<HybridDeployment> client_;

@@ -27,6 +27,7 @@ CloudHub::CloudHub(des::PartitionedSimulation& pds, int home_partition,
   const auto n = static_cast<std::size_t>(pds.num_partitions());
   front_ends_.assign(n, nullptr);
   response_drops_.assign(n, 0);
+  response_sends_.assign(n, 0);
   cluster_.set_completion_handler(
       [this](const des::Request& done) { on_complete(done); });
 }
@@ -59,6 +60,7 @@ void CloudHub::on_complete(const des::Request& done) {
   // (see the header's accounting note) — the origin's timeout still
   // recovers the request, since its pending entry was never resolved.
   Time extra = 0.0;
+  ++response_sends_[static_cast<std::size_t>(origin)];
   if (cfg_.link_faults) {
     if (cfg_.link_faults->partitioned(sim_.now())) {
       ++response_drops_[static_cast<std::size_t>(origin)];
@@ -87,6 +89,18 @@ void CloudHub::set_site_up(int group, bool up) {
 void CloudHub::reset_stats() {
   cluster_.reset_stats();
   for (std::uint64_t& d : response_drops_) d = 0;
+  for (std::uint64_t& s : response_sends_) s = 0;
+  stats_epoch_ = sim_.now();
+}
+
+cost::ServerTime CloudHub::server_time() const {
+  cost::ServerTime t;
+  t.provisioned_seconds =
+      static_cast<double>(cfg_.num_servers) * stats_elapsed();
+  for (const auto& st : cluster_.stations()) {
+    t.busy_seconds += st->busy_integral();
+  }
+  return t;
 }
 
 void CloudHub::instrument(obs::Sampler& sampler) const {
@@ -114,6 +128,7 @@ RemoteCloudClient::RemoteCloudClient(des::PartitionedSimulation& pds,
 
 void RemoteCloudClient::client_send(des::Request req, int /*target*/) {
   Time extra = 0.0;
+  ++wan_request_sends_;  // one per attempt: retries are billed like firsts
   if (cfg_.link_faults) {
     if (cfg_.link_faults->partitioned(sim_.now())) {
       client_.count_link_drop();  // lost in transit; the timeout recovers it
@@ -173,6 +188,7 @@ StateStoreHub::StateStoreHub(des::PartitionedSimulation& pds,
   const auto n = static_cast<std::size_t>(pds.num_partitions());
   tiers_.assign(n, nullptr);
   response_drops_.assign(n, 0);
+  response_sends_.assign(n, 0);
 }
 
 void StateStoreHub::register_tier(int partition, StateTier* tier) {
@@ -196,6 +212,7 @@ void StateStoreHub::respond(des::Request pull, int origin) {
   // pure function of time, so evaluating it here matches the sequential
   // tier's store_respond exactly in structure).
   Time extra = 0.0;
+  ++response_sends_[static_cast<std::size_t>(origin)];
   if (cfg_.link_faults != nullptr) {
     if (cfg_.link_faults->partitioned(sim_.now())) {
       ++response_drops_[static_cast<std::size_t>(origin)];
@@ -212,6 +229,7 @@ void StateStoreHub::respond(des::Request pull, int origin) {
 
 void StateStoreHub::reset_stats() {
   for (std::uint64_t& d : response_drops_) d = 0;
+  for (std::uint64_t& s : response_sends_) s = 0;
 }
 
 }  // namespace hce::cluster

@@ -42,6 +42,7 @@
 #include "cluster/client.hpp"
 #include "cluster/dispatch.hpp"
 #include "cluster/network.hpp"
+#include "cost/counters.hpp"
 #include "des/partition.hpp"
 #include "des/request.hpp"
 #include "des/request_pool.hpp"
@@ -102,6 +103,19 @@ class CloudHub {
   std::uint64_t response_link_drops(int partition) const {
     return response_drops_[static_cast<std::size_t>(partition)];
   }
+  /// Response transmissions by origin partition (stamped at departure,
+  /// before the WAN-partition check), for the cost meter — counted
+  /// hub-side for the same stats-epoch reason as response drops, merged
+  /// into the replication's usage in partition order.
+  std::uint64_t response_sends(int partition) const {
+    return response_sends_[static_cast<std::size_t>(partition)];
+  }
+  /// Busy/provisioned server-seconds of the shared cluster since the
+  /// last reset (provisioned accrues for the configured fleet through
+  /// downtime).
+  cost::ServerTime server_time() const;
+  /// Measurement window since the last reset, on partition 0's clock.
+  double stats_elapsed() const { return sim_.now() - stats_epoch_; }
   void instrument(obs::Sampler& sampler) const;
 
  private:
@@ -117,6 +131,8 @@ class CloudHub {
   des::RequestPool pool_;
   std::vector<RemoteCloudClient*> front_ends_;
   std::vector<std::uint64_t> response_drops_;
+  std::vector<std::uint64_t> response_sends_;
+  Time stats_epoch_ = 0.0;
 };
 
 /// Per-partition front end of the split cloud deployment: the client side
@@ -151,7 +167,13 @@ class RemoteCloudClient {
   const des::Sink& sink() const { return sink_; }
   const ClientStats& stats() const { return client_.stats(); }
   std::size_t pending_in_flight() const { return client_.pending_in_flight(); }
-  void reset_stats() { client_.reset_stats(); }
+  /// Uplink attempts since the last reset (stamped at send issue, before
+  /// any link-partition drop), for the cost meter.
+  std::uint64_t wan_request_sends() const { return wan_request_sends_; }
+  void reset_stats() {
+    client_.reset_stats();
+    wan_request_sends_ = 0;
+  }
   /// Pre-sizes the leg pool and sink from the runner's load hints.
   void reserve(std::size_t inflight, std::size_t completions);
   std::size_t pool_high_water() const { return pool_.high_water(); }
@@ -173,6 +195,7 @@ class RemoteCloudClient {
   des::Sink sink_;
   /// Payloads of same-partition (self == hub home) uplink legs.
   des::RequestPool pool_;
+  std::uint64_t wan_request_sends_ = 0;
   BasicRetryClient<RemoteCloudClient> client_;
 };
 
@@ -202,6 +225,11 @@ class StateStoreHub {
   std::uint64_t response_link_drops(int partition) const {
     return response_drops_[static_cast<std::size_t>(partition)];
   }
+  /// Pull-response transmissions by origin partition (stamped at
+  /// departure, before the WAN-partition check), for the cost meter.
+  std::uint64_t response_sends(int partition) const {
+    return response_sends_[static_cast<std::size_t>(partition)];
+  }
   void reset_stats();
 
  private:
@@ -214,6 +242,7 @@ class StateStoreHub {
   des::Simulation& sim_;
   std::vector<StateTier*> tiers_;
   std::vector<std::uint64_t> response_drops_;
+  std::vector<std::uint64_t> response_sends_;
 };
 
 }  // namespace hce::cluster

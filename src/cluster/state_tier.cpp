@@ -66,6 +66,7 @@ void StateTier::access(des::Request req, int site) {
 
 void StateTier::client_send(des::Request pull, int /*target*/) {
   Time extra = 0.0;
+  ++pull_request_sends_;  // per attempt, billed whether or not it arrives
   if (cfg_.pull_link_faults != nullptr) {
     if (cfg_.pull_link_faults->partitioned(sim_.now())) {
       pull_client_.count_link_drop();  // lost; the pull timeout recovers it
@@ -112,6 +113,7 @@ int StateTier::client_retry_target(const des::Request& /*pull*/,
 void StateTier::store_respond(des::RequestPool::Handle h) {
   des::Request pull = legs_.take(h);
   Time extra = 0.0;
+  ++pull_response_sends_;  // the store transmits even if the WAN drops it
   if (cfg_.pull_link_faults != nullptr) {
     if (cfg_.pull_link_faults->partitioned(sim_.now())) {
       pull_client_.count_link_drop();  // response lost; timeout recovers
@@ -175,6 +177,8 @@ void StateTier::reset_stats() {
   issued_ = 0;
   completed_ = 0;
   abandoned_ = 0;
+  pull_request_sends_ = 0;
+  pull_response_sends_ = 0;
   pull_client_.reset_stats();
 }
 

@@ -98,6 +98,15 @@ class StateTier final {
   state::PullStats pull_stats() const;
   std::size_t pulls_in_flight() const { return pull_client_.pending_in_flight(); }
 
+  /// WAN crossings of the pull path since the last reset, for the cost
+  /// meter: one request send per pull attempt (stamped at send issue,
+  /// before any link-partition drop) and one response send per store
+  /// transmission (local mode; in remote-store mode responses are issued
+  /// — and counted — at the StateStoreHub). The trivial inline pull path
+  /// schedules no send and is deliberately free.
+  std::uint64_t pull_request_sends() const { return pull_request_sends_; }
+  std::uint64_t pull_response_sends() const { return pull_response_sends_; }
+
   /// Zeroes counters (cache contents stay resident — a warmup reset does
   /// not cool the cache) and opens a new pull-client epoch.
   void reset_stats();
@@ -158,6 +167,8 @@ class StateTier final {
   std::uint64_t issued_ = 0;
   std::uint64_t completed_ = 0;
   std::uint64_t abandoned_ = 0;
+  std::uint64_t pull_request_sends_ = 0;
+  std::uint64_t pull_response_sends_ = 0;
   bool trivial_ = false;
 
   // Remote-store wiring (null = local mode; see set_remote_store).

@@ -38,13 +38,17 @@ SloCostComparison cost_to_meet_slo(Rate lambda, int k_sites, Rate mu,
 
   SloCostComparison out;
   for (double w : weights) {
+    // A zero-weight site carries no load: zero servers, not rented, and
+    // no bearing on feasibility. (min_servers_for_slo would report 1 —
+    // it sizes a fleet that exists — which silently rented empty sites.)
     const int k_i =
-        min_servers_for_slo(w * lambda, mu, edge_rtt, slo);
+        w == 0.0 ? 0 : min_servers_for_slo(w * lambda, mu, edge_rtt, slo);
     out.edge_servers_per_site.push_back(k_i);
     if (k_i < 0) {
       out.feasible = false;
     } else {
       out.edge_servers_total += k_i;
+      if (k_i > 0) ++out.edge_sites_occupied;
     }
   }
   out.cloud_servers = min_servers_for_slo(lambda, mu, cloud_rtt, slo);
@@ -52,7 +56,9 @@ SloCostComparison cost_to_meet_slo(Rate lambda, int k_sites, Rate mu,
 
   if (out.feasible) {
     out.edge_cost_per_hour =
-        fleet_cost_per_hour(out.edge_servers_total, price.edge_server_hour);
+        fleet_cost_per_hour(out.edge_servers_total, price.edge_server_hour) +
+        fleet_cost_per_hour(out.edge_sites_occupied,
+                            price.edge_site_rental_hour);
     out.cloud_cost_per_hour =
         fleet_cost_per_hour(out.cloud_servers, price.cloud_server_hour);
     out.cost_premium = out.cloud_cost_per_hour > 0.0

@@ -22,6 +22,16 @@ struct PriceModel {
   /// $ per server-hour in a hyperscale cloud region (e.g. c5a.xlarge
   /// on-demand is ~$0.17/h in us-east).
   double cloud_server_hour = 0.17;
+  /// $ per occupied-site-hour: the rack/colo rental premium an edge
+  /// operator pays per micro data center, on top of the servers in it.
+  double edge_site_rental_hour = 0.05;
+  /// $ per GB crossing a WAN link (cloud egress pricing; edge access
+  /// links are local and free).
+  double egress_per_gb = 0.09;
+  /// $ per rented server-interval committed by an interval-renting
+  /// autoscale policy (the per-transaction fee of the renting paper's
+  /// market model). Zero by default: only rental-policy studies set it.
+  double edge_rental_interval_fee = 0.0;
 };
 
 /// Fleet cost in $ per hour.
@@ -36,6 +46,8 @@ double cost_of_server_seconds(double server_seconds,
 struct SloCostComparison {
   std::vector<int> edge_servers_per_site;
   int edge_servers_total = 0;
+  /// Sites with at least one server — zero-weight sites are not rented.
+  int edge_sites_occupied = 0;
   int cloud_servers = 0;
   double edge_cost_per_hour = 0.0;
   double cloud_cost_per_hour = 0.0;
@@ -44,6 +56,15 @@ struct SloCostComparison {
   bool feasible = true;  ///< false if either side cannot meet the SLO
 };
 
+/// Weight contract: `site_weights` must match `k_sites` in size, be
+/// non-negative with a positive sum, and is normalized internally (a
+/// {2, 1, 1} split means 50/25/25 — sums need not be 1). A zero-weight
+/// site carries no load, gets zero servers, and is not rented, so it
+/// contributes nothing to cost or feasibility. Edge cost per hour is
+/// servers x edge_server_hour + occupied sites x edge_site_rental_hour;
+/// cloud cost is servers x cloud_server_hour. The analytic model has no
+/// traffic volume, so egress is deliberately absent here — the metered
+/// `cost::Meter` covers it (compare with egress_per_gb = 0).
 SloCostComparison cost_to_meet_slo(Rate lambda, int k_sites, Rate mu,
                                    Time edge_rtt, Time cloud_rtt,
                                    const SloTarget& slo,

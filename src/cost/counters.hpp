@@ -1,0 +1,102 @@
+// Raw resource counters of the simulation-metered cost layer.
+//
+// The paper's stated future work is the *economic* cost of preventing
+// performance inversion; pricing it honestly requires metering what a
+// simulated deployment actually consumes, not what a closed form says it
+// should. These are the raw, price-free signals the deployments and
+// cross-partition hubs accumulate:
+//
+//   * WanCounters — one increment per WAN link crossing, stamped at the
+//     instant a transport issues the send (RetryClient attempts, state
+//     pulls, hybrid offload forwards, response legs), so retries and
+//     duplicate responses are billed like any other packet. Sends are
+//     counted *before* the link-partition drop check: the bytes leave the
+//     NIC whether or not the WAN delivers them.
+//   * ServerTime — busy and provisioned server-second integrals. The
+//     provisioned integral is what an operator pays for: it keeps
+//     accruing through fault downtime (crashed hardware still costs
+//     money) and follows DynamicStation's max(target, busy) during
+//     autoscaling drains.
+//
+// Metering is pure observation: counters are plain integer/float
+// accumulators bumped at existing state-change points — no calendar
+// events, no RNG draws — so a metered run is bit-identical to an
+// unmetered one (the observe-on determinism goldens pin this).
+#pragma once
+
+#include <cstdint>
+
+namespace hce::cost {
+
+/// WAN link crossings by flow. Edge access links are local and free; the
+/// WAN flows are the cloud uplink/downlink, the hybrid's offload forward
+/// and cloud response legs, and the state-pull request/response legs.
+struct WanCounters {
+  /// Client->cloud request attempts (one per RetryClient attempt, so
+  /// request_sends == offered + retries) plus hybrid offload forwards.
+  std::uint64_t request_sends = 0;
+  /// Cloud->client response legs (one per cloud-served completion,
+  /// including responses that arrive as duplicates after a retry).
+  std::uint64_t response_sends = 0;
+  /// Site->store pull attempts (one per pull-client attempt).
+  std::uint64_t pull_request_sends = 0;
+  /// Store->site pull response legs (object transfers).
+  std::uint64_t pull_response_sends = 0;
+
+  WanCounters& operator+=(const WanCounters& o) {
+    request_sends += o.request_sends;
+    response_sends += o.response_sends;
+    pull_request_sends += o.pull_request_sends;
+    pull_response_sends += o.pull_response_sends;
+    return *this;
+  }
+};
+
+/// Busy and provisioned server-second integrals since the last stats
+/// reset. provisioned >= busy always; the gap is paid-for idleness.
+struct ServerTime {
+  double busy_seconds = 0.0;
+  double provisioned_seconds = 0.0;
+
+  ServerTime& operator+=(const ServerTime& o) {
+    busy_seconds += o.busy_seconds;
+    provisioned_seconds += o.provisioned_seconds;
+    return *this;
+  }
+};
+
+/// Everything one deployment consumed over one measurement window —
+/// the Meter's input, collected per replication (or per partition and
+/// merged in partition order).
+struct Usage {
+  /// Servers at edge micro data centers (edge sites, hybrid local sites,
+  /// elastic fleets).
+  ServerTime edge;
+  /// Servers in hyperscale cloud regions (consolidated cloud, hybrid
+  /// overflow pool).
+  ServerTime cloud;
+  /// Integral of occupied edge sites over time (site-count x seconds):
+  /// the rack-rental premium axis, billed per site-hour regardless of
+  /// how many servers the site hosts.
+  double edge_site_seconds = 0.0;
+  /// The measurement window the integrals above cover (warmup reset to
+  /// collection). Denominator of every $/hour rate.
+  double elapsed_seconds = 0.0;
+  WanCounters wan;
+  /// Rented server-intervals committed by an elastic fleet's control
+  /// loop (sum of per-site targets over control ticks) — the per-
+  /// transaction fee axis of interval-renting policies.
+  std::uint64_t rented_server_intervals = 0;
+
+  Usage& operator+=(const Usage& o) {
+    edge += o.edge;
+    cloud += o.cloud;
+    edge_site_seconds += o.edge_site_seconds;
+    elapsed_seconds += o.elapsed_seconds;
+    wan += o.wan;
+    rented_server_intervals += o.rented_server_intervals;
+    return *this;
+  }
+};
+
+}  // namespace hce::cost

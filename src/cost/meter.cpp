@@ -1,0 +1,41 @@
+#include "cost/meter.hpp"
+
+#include "support/contracts.hpp"
+
+namespace hce::cost {
+
+double egress_bytes(const WanCounters& wan, const CostSpec& spec) {
+  return static_cast<double>(wan.request_sends) * spec.request_bytes +
+         static_cast<double>(wan.response_sends) * spec.response_bytes +
+         static_cast<double>(wan.pull_request_sends) * spec.pull_request_bytes +
+         static_cast<double>(wan.pull_response_sends) *
+             spec.pull_response_bytes;
+}
+
+Bill price_usage(const Usage& usage, const CostSpec& spec,
+                 const core::PriceModel& price) {
+  HCE_EXPECT(usage.elapsed_seconds >= 0.0,
+             "price_usage: negative measurement window");
+  Bill bill;
+  bill.edge_server_dollars = core::cost_of_server_seconds(
+      usage.edge.provisioned_seconds, price.edge_server_hour);
+  bill.cloud_server_dollars = core::cost_of_server_seconds(
+      usage.cloud.provisioned_seconds, price.cloud_server_hour);
+  bill.site_rental_dollars = core::cost_of_server_seconds(
+      usage.edge_site_seconds, price.edge_site_rental_hour);
+  bill.egress_bytes = egress_bytes(usage.wan, spec);
+  bill.egress_dollars = bill.egress_bytes / 1e9 * price.egress_per_gb;
+  bill.rental_interval_dollars =
+      static_cast<double>(usage.rented_server_intervals) *
+      price.edge_rental_interval_fee;
+  bill.total_dollars = bill.edge_server_dollars + bill.cloud_server_dollars +
+                       bill.site_rental_dollars + bill.egress_dollars +
+                       bill.rental_interval_dollars;
+  bill.dollars_per_hour = usage.elapsed_seconds > 0.0
+                              ? bill.total_dollars /
+                                    (usage.elapsed_seconds / 3600.0)
+                              : 0.0;
+  return bill;
+}
+
+}  // namespace hce::cost

@@ -1,0 +1,83 @@
+// Pricing of metered usage: CostSpec (wire sizes), Bill (the priced
+// result), and the Meter that folds per-replication / per-partition
+// Usage into one deterministic total.
+//
+// Division of labour with core/economics: `core::cost_to_meet_slo` is
+// the *analytic* planner — closed-form M/M/k capacity at a price — while
+// the Meter prices what a simulation *actually* consumed, so faults,
+// retries, cache misses, and autoscaling show up in the bill. In the
+// fault-free Markovian limit the two agree (bench_cost_pareto
+// cross-checks this); everywhere else the gap IS the hidden cost.
+#pragma once
+
+#include <cstdint>
+
+#include "core/economics.hpp"
+#include "cost/counters.hpp"
+
+namespace hce::cost {
+
+/// Wire sizes for the WAN flows the meter counts. Defaults model a small
+/// request RPC with a bulky response (e.g. media/inference payloads) and
+/// a key-value state tier with small pull requests and object-sized pull
+/// responses.
+struct CostSpec {
+  double request_bytes = 1.5e3;        ///< client->server request
+  double response_bytes = 150.0e3;     ///< server->client response payload
+  double pull_request_bytes = 500.0;   ///< site->store state-pull request
+  double pull_response_bytes = 64.0e3; ///< store->site state object
+};
+
+/// Total WAN bytes implied by the counters under `spec`.
+double egress_bytes(const WanCounters& wan, const CostSpec& spec);
+
+/// One deployment's priced usage over one measurement window.
+struct Bill {
+  double edge_server_dollars = 0.0;   ///< provisioned edge server-time
+  double cloud_server_dollars = 0.0;  ///< provisioned cloud server-time
+  double site_rental_dollars = 0.0;   ///< edge rack-rental premium
+  double egress_dollars = 0.0;        ///< WAN bytes at $/GB
+  double rental_interval_dollars = 0.0;  ///< per-interval rental fees
+  double total_dollars = 0.0;
+  /// total normalized by the measurement window — the comparable rate
+  /// (mean across replications, since usage sums windows).
+  double dollars_per_hour = 0.0;
+  double egress_bytes = 0.0;
+};
+
+/// Prices `usage` under `spec` wire sizes and `price` rates. Server time
+/// is billed on the PROVISIONED integral (busy is informational): the
+/// operator pays for allocated capacity, idle or crashed alike.
+Bill price_usage(const Usage& usage, const CostSpec& spec,
+                 const core::PriceModel& price);
+
+/// Accumulates Usage and prices the running total. Pure arithmetic over
+/// already-collected counters — owning a Meter never perturbs a
+/// simulation. Deterministic merge: callers add per-replication (and,
+/// inside one replication, per-partition) usage in a fixed order; since
+/// addition happens on the raw counters and pricing once at the end,
+/// the result is bit-stable for a fixed add order.
+class Meter {
+ public:
+  Meter() = default;
+  Meter(const CostSpec& spec, const core::PriceModel& price)
+      : spec_(spec), price_(price) {}
+
+  void add(const Usage& usage) { total_ += usage; }
+
+  const Usage& usage() const { return total_; }
+  Bill bill() const { return price_usage(total_, spec_, price_); }
+
+ private:
+  CostSpec spec_;
+  core::PriceModel price_;
+  Usage total_;
+};
+
+/// What `SideStats` carries: the summed raw usage and its priced bill.
+struct SideCost {
+  Usage usage;
+  Bill bill;
+};
+
+}  // namespace hce::cost

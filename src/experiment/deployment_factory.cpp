@@ -134,14 +134,34 @@ std::unique_ptr<cluster::Deployment> make_deployment(
       cfg.speed = sc.edge_speed;
       cfg.network = make_network(sc.edge_rtt, sc.rtt_jitter);
       cfg.mu = sc.mu;
-      cfg.policy =
-          autoscale::reactive_policy(sc.elastic_util_high, sc.elastic_util_low);
+      // A fresh policy instance per deployment: the retention policy
+      // keeps per-site timers, which must not leak across replications.
+      switch (sc.elastic_rental) {
+        case Scenario::RentalPolicy::kReactive:
+          cfg.policy = autoscale::reactive_policy(sc.elastic_util_high,
+                                                  sc.elastic_util_low);
+          break;
+        case Scenario::RentalPolicy::kFixedInterval:
+          cfg.policy =
+              autoscale::rental_fixed_interval_policy(sc.elastic_target_util);
+          break;
+        case Scenario::RentalPolicy::kRetention:
+          cfg.policy = autoscale::rental_retention_policy(
+              sc.elastic_target_util, sc.elastic_retention);
+          break;
+      }
       cfg.control_interval = sc.elastic_control_interval;
       // Cap the self-rescheduling control loop at the run horizon so the
       // calendar drains and sim.run() terminates without an `until`.
       cfg.control_horizon = sc.warmup + sc.duration;
       cfg.provision_delay = sc.elastic_provision_delay;
-      cfg.scale_down_cooldown = sc.elastic_scale_down_cooldown;
+      // Rental policies carry their own hysteresis (the interval is the
+      // commitment; retention defers releases) — an extra cooldown would
+      // double-count it, so they release freely.
+      cfg.scale_down_cooldown =
+          sc.elastic_rental == Scenario::RentalPolicy::kReactive
+              ? sc.elastic_scale_down_cooldown
+              : 0.0;
       cfg.retry = sc.retry;
       cfg.site_link_faults = site_links(sc, trace);
       cfg.inter_site_rtt = sc.inter_site_rtt;
@@ -151,6 +171,30 @@ std::unique_ptr<cluster::Deployment> make_deployment(
   }
   HCE_EXPECT(false, "make_deployment: unknown DeploymentKind");
   return nullptr;
+}
+
+cost::Usage dead_replication_usage(const Scenario& sc, DeploymentKind kind) {
+  cost::Usage u;
+  u.elapsed_seconds = sc.duration;
+  const double edge_fleet = static_cast<double>(sc.num_sites) *
+                            static_cast<double>(sc.servers_per_site);
+  switch (kind) {
+    case DeploymentKind::kCloud:
+      u.cloud.provisioned_seconds =
+          static_cast<double>(sc.cloud_servers()) * sc.duration;
+      break;
+    case DeploymentKind::kHybrid:
+      u.cloud.provisioned_seconds =
+          static_cast<double>(sc.cloud_servers()) * sc.duration;
+      [[fallthrough]];
+    case DeploymentKind::kEdge:
+    case DeploymentKind::kElastic:
+      u.edge.provisioned_seconds = edge_fleet * sc.duration;
+      u.edge_site_seconds =
+          static_cast<double>(sc.num_sites) * sc.duration;
+      break;
+  }
+  return u;
 }
 
 }  // namespace hce::experiment

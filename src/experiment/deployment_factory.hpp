@@ -58,4 +58,15 @@ std::unique_ptr<cluster::Deployment> make_deployment(
     des::Simulation& sim, const Scenario& scenario, DeploymentKind kind,
     const faults::FaultTrace* trace, Rng rng);
 
+/// Synthesized usage of a dead replication (the mttf==0 blackout
+/// short-circuit skips simulation entirely): the configured fleet is
+/// provisioned-but-idle for the whole measurement window — an operator
+/// pays for a blacked-out deployment — with zero busy time and zero WAN
+/// traffic. Elastic fleets are billed at their initial size (the control
+/// loop never ran). Keeps SideStats::utilization (which excludes dead
+/// replications from its mean) and the cost meter (which must not drop
+/// them) consistent by construction.
+cost::Usage dead_replication_usage(const Scenario& scenario,
+                                   DeploymentKind kind);
+
 }  // namespace hce::experiment

@@ -10,6 +10,7 @@
 #include "cluster/remote.hpp"
 #include "cluster/source.hpp"
 #include "cluster/state_tier.hpp"
+#include "cost/counters.hpp"
 #include "des/partition.hpp"
 #include "dist/distribution.hpp"
 #include "dist/weights.hpp"
@@ -110,6 +111,10 @@ ReplicationOutput run_replication_partitioned(const Scenario& sc,
         outages_apply(sc, sc.side_b)) {
       ReplicationOutput out;
       out.dead = true;
+      // Same synthesis as the sequential runner: a blacked-out fleet is
+      // still provisioned and still billed.
+      out.edge_usage = dead_replication_usage(sc, sc.side_a);
+      out.cloud_usage = dead_replication_usage(sc, sc.side_b);
       const auto n = static_cast<std::size_t>(sc.num_sites);
       out.site_downtime.resize(n);
       for (int s = 0; s < sc.num_sites; ++s) {
@@ -403,6 +408,23 @@ ReplicationOutput run_replication_partitioned(const Scenario& sc,
     out.edge_cache += shard.cache_stats();
     accumulate(out.edge_pulls, shard.pull_stats());
     if (store) out.edge_pulls.link_drops += store->response_link_drops(p);
+    // Cost usage, assembled manually rather than with a blind += so the
+    // per-replication elapsed time is taken ONCE (below), not summed
+    // across P partitions. Edge hardware/site/pull usage sums across
+    // shards; the cloud's per-origin WAN counters are read in partition
+    // order (the hubs count responses per origin precisely so this merge
+    // is free of stats-epoch races).
+    {
+      const cost::Usage su = shard.cost_usage();
+      out.edge_usage.edge += su.edge;
+      out.edge_usage.edge_site_seconds += su.edge_site_seconds;
+      out.edge_usage.wan += su.wan;  // pull uplinks counted shard-side
+      if (store) {
+        out.edge_usage.wan.pull_response_sends += store->response_sends(p);
+      }
+      out.cloud_usage.wan.request_sends += fe.wan_request_sends();
+      out.cloud_usage.wan.response_sends += hub.response_sends(p);
+    }
     out.edge_pool_high_water =
         std::max(out.edge_pool_high_water, shard.pool_high_water());
     out.cloud_pool_high_water =
@@ -414,6 +436,11 @@ ReplicationOutput run_replication_partitioned(const Scenario& sc,
   out.cloud_utilization = hub.utilization();
   out.cloud_dropped = hub.dropped();
   out.edge_utilization = util_sum / static_cast<double>(sc.num_sites);
+  // Shard 0 shares partition 0's calendar with the hub, so both sides'
+  // elapsed time is the same partition-0 clock read — taken once here.
+  out.cloud_usage.cloud = hub.server_time();
+  out.cloud_usage.elapsed_seconds = hub.stats_elapsed();
+  out.edge_usage.elapsed_seconds = hub.stats_elapsed();
 
   out.site_downtime.resize(static_cast<std::size_t>(sc.num_sites), 0.0);
   if (faulted) {

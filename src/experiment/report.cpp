@@ -111,6 +111,50 @@ std::string breakdown_markdown(const std::vector<PointResult>& sweep) {
   return table_markdown(breakdown_table(sweep));
 }
 
+TextTable cost_table(const std::vector<PointResult>& sweep) {
+  TextTable t({"req/s/server", "edge_dph", "edge_server_dph",
+               "edge_site_dph", "edge_egress_dph", "edge_egress_gb",
+               "cloud_dph", "cloud_server_dph", "cloud_egress_dph",
+               "cloud_egress_gb", "edge_p99_ms", "cloud_p99_ms"});
+  for (const auto& p : sweep) {
+    const cost::Bill& e = p.edge.cost.bill;
+    const cost::Bill& c = p.cloud.cost.bill;
+    const double e_hours = p.edge.cost.usage.elapsed_seconds / 3600.0;
+    const double c_hours = p.cloud.cost.usage.elapsed_seconds / 3600.0;
+    // Per-component $/h shares the bill's elapsed denominator; the
+    // interval fee (zero unless priced) rides in the total only.
+    const auto per_hour = [](double dollars, double hours) {
+      return hours > 0.0 ? dollars / hours : 0.0;
+    };
+    t.row()
+        .add(p.rate_per_server, 2)
+        .add(e.dollars_per_hour, 4)
+        .add(per_hour(e.edge_server_dollars + e.cloud_server_dollars,
+                      e_hours),
+             4)
+        .add(per_hour(e.site_rental_dollars, e_hours), 4)
+        .add(per_hour(e.egress_dollars, e_hours), 4)
+        .add(e.egress_bytes / 1e9, 4)
+        .add(c.dollars_per_hour, 4)
+        .add(per_hour(c.edge_server_dollars + c.cloud_server_dollars,
+                      c_hours),
+             4)
+        .add(per_hour(c.egress_dollars, c_hours), 4)
+        .add(c.egress_bytes / 1e9, 4)
+        .add_ms(p.edge.p99, 3)
+        .add_ms(p.cloud.p99, 3);
+  }
+  return t;
+}
+
+std::string cost_csv(const std::vector<PointResult>& sweep) {
+  return cost_table(sweep).csv();
+}
+
+std::string cost_markdown(const std::vector<PointResult>& sweep) {
+  return table_markdown(cost_table(sweep));
+}
+
 void save_sweep_csv(const std::vector<PointResult>& sweep,
                     const std::string& path) {
   std::ofstream os(path);

@@ -38,4 +38,17 @@ std::string breakdown_csv(const std::vector<PointResult>& sweep);
 /// GitHub-flavored Markdown form.
 std::string breakdown_markdown(const std::vector<PointResult>& sweep);
 
+/// Cost table of a sweep: one row per rate with both sides' metered bill
+/// ($/h and its components: server rental, site rental, egress, interval
+/// fees) plus egress GB and p99 (ms) — the raw material of a cost-latency
+/// Pareto plot. Dollar figures come from SideStats::cost, i.e. metered
+/// usage priced through the scenario's PriceModel.
+TextTable cost_table(const std::vector<PointResult>& sweep);
+
+/// CSV form of cost_table (header + rows).
+std::string cost_csv(const std::vector<PointResult>& sweep);
+
+/// GitHub-flavored Markdown form.
+std::string cost_markdown(const std::vector<PointResult>& sweep);
+
 }  // namespace hce::experiment

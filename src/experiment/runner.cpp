@@ -77,6 +77,12 @@ ReplicationOutput detail::run_replication_on(
         outages_apply(sc, sc.side_b)) {
       ReplicationOutput out;
       out.dead = true;
+      // Cost is NOT skipped: a blacked-out fleet is still provisioned,
+      // and the operator still pays for it. Synthesize the idle usage so
+      // the meter and SideStats::utilization (which excludes dead
+      // replications) stay consistent by construction.
+      out.edge_usage = dead_replication_usage(sc, sc.side_a);
+      out.cloud_usage = dead_replication_usage(sc, sc.side_b);
       const auto n = static_cast<std::size_t>(sc.num_sites);
       out.site_downtime.resize(n);
       for (int s = 0; s < sc.num_sites; ++s) {
@@ -241,6 +247,8 @@ ReplicationOutput detail::run_replication_on(
   out.cloud_cache = b.cache_stats();
   out.edge_pulls = a.pull_stats();
   out.cloud_pulls = b.pull_stats();
+  out.edge_usage = a.cost_usage();
+  out.cloud_usage = b.cost_usage();
   out.site_downtime.resize(static_cast<std::size_t>(sc.num_sites), 0.0);
   if (faulted) {
     for (int s = 0; s < sc.num_sites; ++s) {
@@ -293,9 +301,13 @@ struct PointScratch {
 /// Merges one side of an ordered replication set. Reads the outputs
 /// without consuming them, so the adaptive engine can re-merge a growing
 /// set after each allocation round.
-SideStats merge_side(const std::vector<ReplicationOutput>& reps, bool edge,
+SideStats merge_side(const Scenario& sc,
+                     const std::vector<ReplicationOutput>& reps, bool edge,
                      bool observe, PointScratch& scratch) {
   SideStats s;
+  // Cost meter: usage merged in replication order (dead replications
+  // included — their synthesized idle fleet is billed), priced once.
+  cost::Meter meter(sc.cost, sc.price);
   for (const ReplicationOutput& r : reps) {
     const cluster::ClientStats& c = edge ? r.edge_client : r.cloud_client;
     s.offered += c.offered;
@@ -308,7 +320,10 @@ SideStats merge_side(const std::vector<ReplicationOutput>& reps, bool edge,
     const state::PullStats& p = edge ? r.edge_pulls : r.cloud_pulls;
     s.state_pulls += p.issued;
     s.pulls_abandoned += p.abandoned;
+    meter.add(edge ? r.edge_usage : r.cloud_usage);
   }
+  s.cost.usage = meter.usage();
+  s.cost.bill = meter.bill();
   if (s.cache_lookups > 0) {
     s.cache_hit_rate = static_cast<double>(s.cache_hits) /
                        static_cast<double>(s.cache_lookups);
@@ -380,8 +395,8 @@ PointResult merge_point(const Scenario& sc, Rate rate_per_server,
     pr.edge_redirects += r.edge_redirects;
     pr.edge_failovers += r.edge_failovers;
   }
-  pr.edge = merge_side(reps, /*edge=*/true, sc.observe, scratch);
-  pr.cloud = merge_side(reps, /*edge=*/false, sc.observe, scratch);
+  pr.edge = merge_side(sc, reps, /*edge=*/true, sc.observe, scratch);
+  pr.cloud = merge_side(sc, reps, /*edge=*/false, sc.observe, scratch);
   return pr;
 }
 

@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "cluster/deployment.hpp"
+#include "cost/meter.hpp"
 #include "experiment/scenario.hpp"
 #include "obs/breakdown.hpp"
 #include "obs/sampler.hpp"
@@ -64,6 +65,14 @@ struct SideStats {
   std::uint64_t state_pulls = 0;      ///< pull RPCs issued (== misses)
   std::uint64_t pulls_abandoned = 0;  ///< pulls lost to the retry budget
   double cache_hit_rate = 0.0;        ///< hits / lookups (0 if no lookups)
+
+  // --- Cost accounting (src/cost/) --------------------------------------
+  /// Metered usage summed over ALL replications — including dead ones,
+  /// whose synthesized provisioned-but-idle usage is billed even though
+  /// they are excluded from every latency statistic and from
+  /// `utilization` — priced once through the scenario's CostSpec and
+  /// PriceModel. Deterministic: usage is merged in replication order.
+  cost::SideCost cost;
 };
 
 /// One sweep point: edge and cloud under the identical workload (and,
@@ -99,6 +108,13 @@ struct ReplicationOutput {
   state::CacheStats cloud_cache;
   state::PullStats edge_pulls;
   state::PullStats cloud_pulls;
+  /// Metered resource usage of each side over the measurement window
+  /// (post-warmup): server-seconds busy and provisioned, WAN send counts,
+  /// site-occupancy seconds, rented intervals. Dead replications carry
+  /// the synthesized provisioned-but-idle usage of the configured fleet
+  /// (see dead_replication_usage).
+  cost::Usage edge_usage;
+  cost::Usage cloud_usage;
   /// Fraction of [0, horizon) each edge site was down in the fault trace.
   std::vector<double> site_downtime;
   /// Per-site mean latency and utilization (for Fig. 10-style breakdowns).

@@ -13,6 +13,8 @@
 
 #include "cluster/client.hpp"
 #include "cluster/dispatch.hpp"
+#include "core/economics.hpp"
+#include "cost/meter.hpp"
 #include "faults/fault.hpp"
 #include "state/state.hpp"
 #include "support/time.hpp"
@@ -87,14 +89,33 @@ struct Scenario {
   // pool when the local queue is at least this long.
   std::size_t hybrid_offload_threshold = 2;
 
-  // Elastic deployment (DeploymentKind::kElastic): reactive autoscaler
-  // knobs. The factory uses autoscale::reactive_policy and caps the
+  // Elastic deployment (DeploymentKind::kElastic): autoscaler knobs. The
+  // factory builds the policy selected by `elastic_rental` and caps the
   // control loop at warmup + duration so the calendar drains.
   Time elastic_control_interval = 30.0;
   Time elastic_provision_delay = 60.0;
   Time elastic_scale_down_cooldown = 120.0;
   double elastic_util_high = 0.8;  ///< scale out above this utilization
   double elastic_util_low = 0.4;   ///< scale in below this utilization
+
+  /// Which control policy drives the elastic fleet.
+  enum class RentalPolicy {
+    kReactive,       ///< threshold stepping (the pre-rental default)
+    kFixedInterval,  ///< rent ceil(rate/(mu*util)) each control interval
+    kRetention,      ///< same sizing; releases deferred by a hold timer
+  };
+  RentalPolicy elastic_rental = RentalPolicy::kReactive;
+  /// Target utilization of the rented fleet (rental policies only).
+  double elastic_target_util = 0.7;
+  /// Hold time before releasing unneeded capacity (kRetention only).
+  Time elastic_retention = 300.0;
+
+  // Cost metering (src/cost/). Always on — metering is pure observation
+  // (plain counters at existing state-change points; no events, no RNG),
+  // so it cannot perturb a run. Wire sizes feed the egress bill; prices
+  // convert metered usage to dollars in SideStats::cost.
+  cost::CostSpec cost;
+  core::PriceModel price;
 
   // Fault injection (hce::faults). The schedule is materialized once per
   // replication from a dedicated RNG substream and applied to *both*

@@ -122,6 +122,81 @@ TEST(ElasticEdge, UtilizationIsBounded) {
   EXPECT_LT(edge.utilization(), 1.0);
 }
 
+TEST(ElasticEdge, ServerSecondsCountTheTailAfterTheLastControlTick) {
+  // Accounting-audit regression: the provisioned integral must cover the
+  // window END-TO-END, including the tail between the last control tick
+  // and "now" (TimeWeighted::integral extrapolates the held value). A
+  // 137 s run with 10 s ticks leaves a 7 s tail; the exact hand value is
+  // 3 sites x 2 servers x 137 s = 822 — no tolerance.
+  des::Simulation sim;
+  auto cfg = base_config(static_policy(2));
+  cfg.initial_servers_per_site = 2;
+  ElasticEdge edge(sim, cfg, Rng(20));
+  sim.run(137.0);
+  EXPECT_DOUBLE_EQ(edge.server_seconds(), 822.0);
+  const cost::Usage u = edge.cost_usage();
+  EXPECT_DOUBLE_EQ(u.edge.provisioned_seconds, 822.0);
+  EXPECT_DOUBLE_EQ(u.elapsed_seconds, 137.0);
+  EXPECT_DOUBLE_EQ(u.edge_site_seconds, 3.0 * 137.0);
+}
+
+TEST(ElasticEdge, CrashKeepsProvisionedTimeAccruing) {
+  // Accounting-audit regression: a mid-horizon crash stops the BUSY
+  // integral but not the PROVISIONED one — the operator pays for down
+  // hardware. Idle fleet, site 0 crashed for the second half: the
+  // provisioned integral is the same 300 s as the fault-free run.
+  des::Simulation sim;
+  ElasticEdge edge(sim, base_config(static_policy(1)), Rng(21));
+  sim.schedule_at(50.0, [&edge] { edge.set_site_up(0, false); });
+  sim.run(100.0);
+  EXPECT_DOUBLE_EQ(edge.server_seconds(), 300.0);
+  EXPECT_DOUBLE_EQ(edge.cost_usage().edge.provisioned_seconds, 300.0);
+}
+
+TEST(ElasticEdge, RentedServerIntervalsSumPostDecisionTargets) {
+  // Static fleet of 2 per site, ticks at 10..130 (the 137 s horizon cuts
+  // the 140 s tick): 13 ticks x 3 sites x 2 servers = 78 intervals.
+  des::Simulation sim;
+  auto cfg = base_config(static_policy(2));
+  cfg.initial_servers_per_site = 2;
+  cfg.control_horizon = 2000.0;
+  ElasticEdge edge(sim, cfg, Rng(22));
+  sim.run(137.0);
+  EXPECT_EQ(edge.rented_server_intervals(), 78u);
+}
+
+TEST(ElasticEdge, ResetStatsRestartsCostAccounting) {
+  des::Simulation sim;
+  ElasticEdge edge(sim, base_config(static_policy(1)), Rng(23));
+  sim.run(60.0);
+  edge.reset_stats();
+  sim.run(100.0);
+  const cost::Usage u = edge.cost_usage();
+  EXPECT_DOUBLE_EQ(u.elapsed_seconds, 40.0);
+  EXPECT_DOUBLE_EQ(u.edge.provisioned_seconds, 3.0 * 40.0);
+  EXPECT_EQ(u.rented_server_intervals,
+            edge.rented_server_intervals());
+}
+
+TEST(ElasticEdge, RentalRetentionHoldsCapacityAfterABurst) {
+  // Burst then silence: the retention policy must keep the burst-sized
+  // fleet through the hold window while the fixed-interval policy
+  // releases it at the next tick.
+  auto run_with = [](PolicyPtr policy, Time until) {
+    des::Simulation sim;
+    auto cfg = base_config(std::move(policy));
+    cfg.scale_down_cooldown = 0.0;  // rental policies self-hysterize
+    ElasticEdge edge(sim, cfg, Rng(24));
+    drive(sim, edge, 0, 12.0, 100.0, 25);  // burst ends at t=100
+    sim.run(until);
+    return edge.site(0).target_servers();
+  };
+  // t=200: estimates have decayed. Retention of 500 s still holds the
+  // burst rental; the fixed-interval policy has already released it.
+  EXPECT_GT(run_with(rental_retention_policy(0.7, 500.0), 200.0),
+            run_with(rental_fixed_interval_policy(0.7), 200.0));
+}
+
 TEST(ElasticEdge, RejectsInvalidConfig) {
   des::Simulation sim;
   ElasticEdgeConfig cfg;  // no policy

@@ -127,6 +127,75 @@ TEST(InversionAwarePolicy, CapsOverloadedCloudEstimate) {
   EXPECT_GE(p->target_servers(o), 1);
 }
 
+TEST(RentalFixedIntervalPolicy, RentsToTargetUtilization) {
+  const auto p = rental_fixed_interval_policy(0.7);
+  // mu 13, util 0.7 -> one server absorbs 9.1 req/s.
+  EXPECT_EQ(p->target_servers(obs(0.5, 9.0)), 1);
+  EXPECT_EQ(p->target_servers(obs(0.5, 10.0)), 2);
+  EXPECT_EQ(p->target_servers(obs(0.5, 40.0)), 5);
+  EXPECT_NE(p->name().find("rental"), std::string::npos);
+}
+
+TEST(RentalFixedIntervalPolicy, IdleSiteKeepsOneServer) {
+  const auto p = rental_fixed_interval_policy(0.7);
+  EXPECT_EQ(p->target_servers(obs(0.0, 0.0, 3)), 1);
+}
+
+TEST(RentalFixedIntervalPolicy, ReleasesImmediately) {
+  // No memory: the rent for the coming interval tracks the estimate both
+  // ways (hysteresis is the interval itself).
+  const auto p = rental_fixed_interval_policy(0.7);
+  EXPECT_EQ(p->target_servers(obs(0.9, 40.0, 1)), 5);
+  EXPECT_EQ(p->target_servers(obs(0.2, 9.0, 5)), 1);
+}
+
+TEST(RentalPolicies, RejectBadConfig) {
+  EXPECT_THROW(rental_fixed_interval_policy(0.0), ContractViolation);
+  EXPECT_THROW(rental_fixed_interval_policy(1.0), ContractViolation);
+  EXPECT_THROW(rental_retention_policy(0.7, -1.0), ContractViolation);
+}
+
+TEST(RentalRetentionPolicy, DefersReleaseUntilTheHoldExpires) {
+  const auto p = rental_retention_policy(0.7, 300.0);
+  SiteObservation o = obs(0.9, 40.0, 2);
+  o.site = 0;
+  o.now = 0.0;
+  EXPECT_EQ(p->target_servers(o), 5);  // growth is immediate, hold rearmed
+
+  o = obs(0.2, 9.0, 5);
+  o.site = 0;
+  o.now = 100.0;  // inside the hold window: keep what is rented
+  EXPECT_EQ(p->target_servers(o), 5);
+  o.now = 299.0;
+  EXPECT_EQ(p->target_servers(o), 5);
+  o.now = 301.0;  // hold expired: release down to demand
+  EXPECT_EQ(p->target_servers(o), 1);
+}
+
+TEST(RentalRetentionPolicy, HoldsArePerSite) {
+  const auto p = rental_retention_policy(0.7, 300.0);
+  SiteObservation hot = obs(0.9, 40.0, 2);
+  hot.site = 0;
+  hot.now = 0.0;
+  EXPECT_EQ(p->target_servers(hot), 5);  // site 0's hold armed at t=0
+
+  // Site 1 never armed a hold: its first shrink decision is immediate.
+  SiteObservation cold = obs(0.2, 9.0, 4);
+  cold.site = 1;
+  cold.now = 100.0;
+  EXPECT_EQ(p->target_servers(cold), 1);
+}
+
+TEST(RentalRetentionPolicy, ZeroRetentionMatchesFixedInterval) {
+  const auto fixed = rental_fixed_interval_policy(0.7);
+  const auto retained = rental_retention_policy(0.7, 0.0);
+  for (double rate : {0.0, 4.0, 9.0, 12.0, 26.0, 80.0}) {
+    SiteObservation o = obs(0.5, rate, 3);
+    o.now = 10.0;
+    EXPECT_EQ(retained->target_servers(o), fixed->target_servers(o));
+  }
+}
+
 TEST(InversionAwarePolicy, RejectsInvalidConfig) {
   InversionAwareConfig cfg;
   cfg.headroom = 0.5;

@@ -28,10 +28,48 @@ TEST(CostToMeetSlo, EdgeCostsMoreUnderTypicalConditions) {
   ASSERT_TRUE(c.feasible);
   EXPECT_GE(c.edge_servers_total, c.cloud_servers);
   EXPECT_GT(c.cost_premium, 1.0);
+  // Edge dollars cover the servers AND the occupied-site rental premium;
+  // the cloud pays per server only (one consolidated region).
   EXPECT_NEAR(c.edge_cost_per_hour,
-              c.edge_servers_total * price.edge_server_hour, 1e-12);
+              c.edge_servers_total * price.edge_server_hour +
+                  c.edge_sites_occupied * price.edge_site_rental_hour,
+              1e-12);
+  EXPECT_EQ(c.edge_sites_occupied, 5);
   EXPECT_NEAR(c.cloud_cost_per_hour,
               c.cloud_servers * price.cloud_server_hour, 1e-12);
+}
+
+TEST(CostToMeetSlo, ZeroWeightSiteIsNeitherStaffedNorRented) {
+  // Site 3 carries no load: it must get zero servers, must not be rented,
+  // and must not affect feasibility — the remaining sites absorb the
+  // whole lambda.
+  const SloTarget slo{0.95, 0.300};
+  const PriceModel price;
+  const auto c = cost_to_meet_slo(40.0, 4, kMu, 0.001, 0.025, slo, price,
+                                  {1.0, 1.0, 0.0, 2.0});
+  ASSERT_TRUE(c.feasible);
+  EXPECT_EQ(c.edge_servers_per_site[2], 0);
+  EXPECT_EQ(c.edge_sites_occupied, 3);
+  EXPECT_GT(c.edge_servers_per_site[0], 0);
+  EXPECT_GT(c.edge_servers_per_site[3], 0);
+  EXPECT_NEAR(c.edge_cost_per_hour,
+              c.edge_servers_total * price.edge_server_hour +
+                  3 * price.edge_site_rental_hour,
+              1e-12);
+}
+
+TEST(CostToMeetSlo, WeightsAreNormalizedInternally) {
+  // {2, 1, 1} and {0.5, 0.25, 0.25} describe the same split; the sum
+  // does not have to be 1.
+  const SloTarget slo{0.95, 0.300};
+  const PriceModel price;
+  const auto raw = cost_to_meet_slo(40.0, 3, kMu, 0.001, 0.025, slo, price,
+                                    {2.0, 1.0, 1.0});
+  const auto unit = cost_to_meet_slo(40.0, 3, kMu, 0.001, 0.025, slo, price,
+                                     {0.5, 0.25, 0.25});
+  ASSERT_TRUE(raw.feasible && unit.feasible);
+  EXPECT_EQ(raw.edge_servers_per_site, unit.edge_servers_per_site);
+  EXPECT_DOUBLE_EQ(raw.edge_cost_per_hour, unit.edge_cost_per_hour);
 }
 
 TEST(CostToMeetSlo, SkewRaisesEdgeCost) {
@@ -88,6 +126,13 @@ TEST(Contracts, RejectInvalid) {
                ContractViolation);
   EXPECT_THROW(cost_to_meet_slo(10.0, 5, kMu, 0.001, 0.025, SloTarget{},
                                 PriceModel{}, {0.5, 0.5}),
+               ContractViolation);
+  // Negative or all-zero weights violate the normalization contract.
+  EXPECT_THROW(cost_to_meet_slo(10.0, 2, kMu, 0.001, 0.025, SloTarget{},
+                                PriceModel{}, {1.0, -0.5}),
+               ContractViolation);
+  EXPECT_THROW(cost_to_meet_slo(10.0, 2, kMu, 0.001, 0.025, SloTarget{},
+                                PriceModel{}, {0.0, 0.0}),
                ContractViolation);
 }
 

@@ -1,0 +1,127 @@
+// Unit tests of the cost meter: hand-computable bills, the provisioned-
+// not-busy billing rule, and the deterministic merge.
+#include "cost/meter.hpp"
+
+#include <gtest/gtest.h>
+
+#include "support/contracts.hpp"
+
+namespace hce::cost {
+namespace {
+
+CostSpec unit_spec() {
+  CostSpec spec;
+  spec.request_bytes = 1.0e3;
+  spec.response_bytes = 10.0e3;
+  spec.pull_request_bytes = 100.0;
+  spec.pull_response_bytes = 1.0e4;
+  return spec;
+}
+
+TEST(EgressBytes, SumsEachFlowTimesItsSize) {
+  WanCounters wan;
+  wan.request_sends = 7;
+  wan.response_sends = 5;
+  wan.pull_request_sends = 3;
+  wan.pull_response_sends = 2;
+  // 7*1e3 + 5*10e3 + 3*100 + 2*1e4 = 77300 bytes.
+  EXPECT_DOUBLE_EQ(egress_bytes(wan, unit_spec()), 77300.0);
+}
+
+TEST(PriceUsage, HandComputableBill) {
+  Usage u;
+  u.edge.busy_seconds = 1000.0;         // informational only
+  u.edge.provisioned_seconds = 7200.0;  // 2 server-hours at the edge
+  u.cloud.provisioned_seconds = 3600.0; // 1 server-hour in the cloud
+  u.edge_site_seconds = 3600.0;         // 1 site-hour
+  u.elapsed_seconds = 1800.0;           // half an hour of simulated time
+  u.wan.response_sends = 100000;        // 100000 * 10 kB = 1 GB
+  u.rented_server_intervals = 10;
+
+  core::PriceModel price;
+  price.edge_server_hour = 0.30;
+  price.cloud_server_hour = 0.17;
+  price.edge_site_rental_hour = 0.05;
+  price.egress_per_gb = 0.09;
+  price.edge_rental_interval_fee = 0.001;
+
+  const Bill b = price_usage(u, unit_spec(), price);
+  EXPECT_DOUBLE_EQ(b.edge_server_dollars, 0.60);  // 2 h * 0.30
+  EXPECT_DOUBLE_EQ(b.cloud_server_dollars, 0.17);
+  EXPECT_DOUBLE_EQ(b.site_rental_dollars, 0.05);
+  EXPECT_DOUBLE_EQ(b.egress_bytes, 1.0e9);
+  EXPECT_DOUBLE_EQ(b.egress_dollars, 0.09);
+  EXPECT_DOUBLE_EQ(b.rental_interval_dollars, 0.01);
+  EXPECT_DOUBLE_EQ(b.total_dollars, 0.60 + 0.17 + 0.05 + 0.09 + 0.01);
+  EXPECT_DOUBLE_EQ(b.dollars_per_hour, b.total_dollars * 2.0);
+}
+
+TEST(PriceUsage, BillsProvisionedNotBusyTime) {
+  // An idle-but-allocated fleet costs the same as a saturated one: the
+  // busy integral never enters the bill.
+  Usage idle;
+  idle.edge.provisioned_seconds = 3600.0;
+  idle.elapsed_seconds = 3600.0;
+  Usage saturated = idle;
+  saturated.edge.busy_seconds = 3600.0;
+  const core::PriceModel price;
+  const CostSpec spec;
+  EXPECT_DOUBLE_EQ(price_usage(idle, spec, price).total_dollars,
+                   price_usage(saturated, spec, price).total_dollars);
+}
+
+TEST(PriceUsage, EmptyUsageIsFree) {
+  const Bill b = price_usage(Usage{}, CostSpec{}, core::PriceModel{});
+  EXPECT_DOUBLE_EQ(b.total_dollars, 0.0);
+  EXPECT_DOUBLE_EQ(b.dollars_per_hour, 0.0);  // guarded 0/0
+}
+
+TEST(PriceUsage, RejectsNegativeWindow) {
+  Usage u;
+  u.elapsed_seconds = -1.0;
+  EXPECT_THROW(price_usage(u, CostSpec{}, core::PriceModel{}),
+               ContractViolation);
+}
+
+TEST(Meter, AdditionCommutesWithPricing) {
+  // Pricing the sum equals summing piecewise usage first: the meter adds
+  // raw counters and prices once, so per-replication merge order cannot
+  // introduce rounding surprises beyond double addition itself.
+  Usage a;
+  a.edge.provisioned_seconds = 1234.5;
+  a.elapsed_seconds = 600.0;
+  a.wan.request_sends = 17;
+  Usage b;
+  b.cloud.provisioned_seconds = 987.0;
+  b.elapsed_seconds = 600.0;
+  b.wan.response_sends = 29;
+
+  Meter m(CostSpec{}, core::PriceModel{});
+  m.add(a);
+  m.add(b);
+
+  Usage both = a;
+  both += b;
+  const Bill direct = price_usage(both, CostSpec{}, core::PriceModel{});
+  EXPECT_DOUBLE_EQ(m.bill().total_dollars, direct.total_dollars);
+  EXPECT_DOUBLE_EQ(m.usage().elapsed_seconds, 1200.0);
+  EXPECT_EQ(m.usage().wan.request_sends, 17u);
+  EXPECT_EQ(m.usage().wan.response_sends, 29u);
+}
+
+TEST(Meter, DollarsPerHourAveragesAcrossReplications) {
+  // Two half-hour replications at $1 each: $2 over one summed hour.
+  Usage rep;
+  rep.elapsed_seconds = 1800.0;
+  rep.edge.provisioned_seconds = 12000.0;  // 12000/3600*0.30 = $1
+  core::PriceModel price;
+  price.edge_site_rental_hour = 0.0;
+  Meter m(CostSpec{}, price);
+  m.add(rep);
+  m.add(rep);
+  EXPECT_DOUBLE_EQ(m.bill().total_dollars, 2.0);
+  EXPECT_DOUBLE_EQ(m.bill().dollars_per_hour, 2.0);
+}
+
+}  // namespace
+}  // namespace hce::cost

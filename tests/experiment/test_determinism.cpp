@@ -67,6 +67,27 @@ void expect_identical(const SideStats& a, const SideStats& b) {
   EXPECT_EQ(a.state_pulls, b.state_pulls);
   EXPECT_EQ(a.pulls_abandoned, b.pulls_abandoned);
   EXPECT_EQ(a.cache_hit_rate, b.cache_hit_rate);
+  // The metered cost layer must be exactly as deterministic as the
+  // statistics it rides along with: raw counters and priced dollars.
+  EXPECT_EQ(a.cost.usage.edge.busy_seconds, b.cost.usage.edge.busy_seconds);
+  EXPECT_EQ(a.cost.usage.edge.provisioned_seconds,
+            b.cost.usage.edge.provisioned_seconds);
+  EXPECT_EQ(a.cost.usage.cloud.busy_seconds, b.cost.usage.cloud.busy_seconds);
+  EXPECT_EQ(a.cost.usage.cloud.provisioned_seconds,
+            b.cost.usage.cloud.provisioned_seconds);
+  EXPECT_EQ(a.cost.usage.edge_site_seconds, b.cost.usage.edge_site_seconds);
+  EXPECT_EQ(a.cost.usage.elapsed_seconds, b.cost.usage.elapsed_seconds);
+  EXPECT_EQ(a.cost.usage.wan.request_sends, b.cost.usage.wan.request_sends);
+  EXPECT_EQ(a.cost.usage.wan.response_sends, b.cost.usage.wan.response_sends);
+  EXPECT_EQ(a.cost.usage.wan.pull_request_sends,
+            b.cost.usage.wan.pull_request_sends);
+  EXPECT_EQ(a.cost.usage.wan.pull_response_sends,
+            b.cost.usage.wan.pull_response_sends);
+  EXPECT_EQ(a.cost.usage.rented_server_intervals,
+            b.cost.usage.rented_server_intervals);
+  EXPECT_EQ(a.cost.bill.total_dollars, b.cost.bill.total_dollars);
+  EXPECT_EQ(a.cost.bill.dollars_per_hour, b.cost.bill.dollars_per_hour);
+  EXPECT_EQ(a.cost.bill.egress_bytes, b.cost.bill.egress_bytes);
 }
 
 void expect_identical(const std::vector<PointResult>& a,
@@ -272,6 +293,58 @@ TEST(Determinism, TrivialStatePathIsBitIdenticalToStateless) {
     // The tier really was active on the edge side (one lookup per access).
     EXPECT_GT(b[i].edge.cache_lookups, 0u);
     EXPECT_EQ(b[i].edge.cache_misses, b[i].edge.state_pulls);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Cost metering is pure observation (plain counters at existing state-
+// change points; no events, no RNG), so the metered bill must be bit-
+// identical across thread counts, with observability on or off, and — at
+// a fixed partition count — across partition-worker counts.
+// ---------------------------------------------------------------------------
+
+TEST(Determinism, CostIsBitIdenticalWithObserveOnOrOff) {
+  Scenario off = faulted_scenario();
+  Scenario on = faulted_scenario();
+  on.observe = true;
+  const auto a = run_sweep(off, kRates, 2);
+  const auto b = run_sweep(on, kRates, 2);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].edge.cost.bill.total_dollars,
+              b[i].edge.cost.bill.total_dollars);
+    EXPECT_EQ(a[i].edge.cost.usage.wan.request_sends,
+              b[i].edge.cost.usage.wan.request_sends);
+    EXPECT_EQ(a[i].edge.cost.usage.elapsed_seconds,
+              b[i].edge.cost.usage.elapsed_seconds);
+    EXPECT_EQ(a[i].cloud.cost.bill.total_dollars,
+              b[i].cloud.cost.bill.total_dollars);
+    EXPECT_EQ(a[i].cloud.cost.usage.wan.request_sends,
+              b[i].cloud.cost.usage.wan.request_sends);
+    EXPECT_EQ(a[i].cloud.cost.usage.wan.response_sends,
+              b[i].cloud.cost.usage.wan.response_sends);
+    // The bill is real on the metered cloud path.
+    EXPECT_GT(a[i].cloud.cost.bill.total_dollars, 0.0);
+    EXPECT_GT(a[i].cloud.cost.bill.egress_bytes, 0.0);
+  }
+}
+
+TEST(Determinism, PartitionedCostIsBitIdenticalAcrossWorkerCounts) {
+  // For each fixed partition count P, the merged cost must not depend on
+  // how many worker threads drive the partitions. (Cross-P identity is
+  // NOT expected: P > 1 is a statistical model change.)
+  for (const int partitions : {1, 2, 4}) {
+    Scenario sc = faulted_scenario();
+    sc.num_sites = 4;  // >= partitions: every shard owns a site
+    sc.partitions = partitions;
+    std::vector<std::vector<PointResult>> runs;
+    for (const int workers : {1, 2, 8}) {
+      sc.partition_workers = workers;
+      runs.push_back(run_sweep(sc, kRates, 1));
+    }
+    SCOPED_TRACE(testing::Message() << "partitions " << partitions);
+    expect_identical(runs[0], runs[1]);
+    expect_identical(runs[0], runs[2]);
   }
 }
 

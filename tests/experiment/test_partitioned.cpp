@@ -149,6 +149,20 @@ void expect_identical(const obs::SamplerResult& a, const obs::SamplerResult& b) 
   }
 }
 
+void expect_identical(const cost::Usage& a, const cost::Usage& b) {
+  EXPECT_EQ(a.edge.busy_seconds, b.edge.busy_seconds);
+  EXPECT_EQ(a.edge.provisioned_seconds, b.edge.provisioned_seconds);
+  EXPECT_EQ(a.cloud.busy_seconds, b.cloud.busy_seconds);
+  EXPECT_EQ(a.cloud.provisioned_seconds, b.cloud.provisioned_seconds);
+  EXPECT_EQ(a.edge_site_seconds, b.edge_site_seconds);
+  EXPECT_EQ(a.elapsed_seconds, b.elapsed_seconds);
+  EXPECT_EQ(a.wan.request_sends, b.wan.request_sends);
+  EXPECT_EQ(a.wan.response_sends, b.wan.response_sends);
+  EXPECT_EQ(a.wan.pull_request_sends, b.wan.pull_request_sends);
+  EXPECT_EQ(a.wan.pull_response_sends, b.wan.pull_response_sends);
+  EXPECT_EQ(a.rented_server_intervals, b.rented_server_intervals);
+}
+
 void expect_identical(const ReplicationOutput& a, const ReplicationOutput& b) {
   EXPECT_EQ(a.edge_latencies, b.edge_latencies);
   EXPECT_EQ(a.cloud_latencies, b.cloud_latencies);
@@ -166,6 +180,8 @@ void expect_identical(const ReplicationOutput& a, const ReplicationOutput& b) {
   EXPECT_EQ(a.edge_cache.evictions, b.edge_cache.evictions);
   expect_identical(a.edge_pulls, b.edge_pulls);
   expect_identical(a.cloud_pulls, b.cloud_pulls);
+  expect_identical(a.edge_usage, b.edge_usage);
+  expect_identical(a.cloud_usage, b.cloud_usage);
   EXPECT_EQ(a.site_downtime, b.site_downtime);
   EXPECT_EQ(a.site_mean_latency, b.site_mean_latency);
   EXPECT_EQ(a.site_utilization, b.site_utilization);

@@ -18,6 +18,7 @@
 
 #include "cluster/deployment.hpp"
 #include "cluster/source.hpp"
+#include "cost/meter.hpp"
 #include "des/simulation.hpp"
 #include "experiment/runner.hpp"
 #include "experiment/scenario.hpp"
@@ -440,6 +441,119 @@ TEST(ReserveSufficiency, PartitionedPoolsStayUnderTheSequentialHint) {
   const auto out = experiment::run_replication(sc, 6.0, 0);
   EXPECT_LE(out.edge_pool_high_water, hints.inflight);
   EXPECT_LE(out.cloud_pool_high_water, hints.inflight);
+}
+
+// --- Egress conservation (cost metering) -----------------------------------
+//
+// The WAN counters are stamped where the transports issue sends, so they
+// must balance the client/pull retry ledgers exactly after the calendar
+// drains (warmup = 0 keeps every counter in one epoch):
+//
+//   cloud request_sends  == offered + retries     (one per attempt)
+//   cloud response_sends in [delivered, request_sends]  (drops/duplicates)
+//   pull request_sends   == pulls issued + pull retries
+//
+// and egress bytes are the counters times the configured wire sizes —
+// nothing else enters the bill.
+
+TEST(EgressConservation, CloudWanSendsMatchTheRetryLedgerUnderFaults) {
+  const auto out = experiment::run_replication(
+      kind_fault_scenario(experiment::DeploymentKind::kEdge, 6001), 8.0, 0);
+  const cost::WanCounters& wan = out.cloud_usage.wan;
+  EXPECT_EQ(wan.request_sends,
+            out.cloud_client.offered + out.cloud_client.retries);
+  // Some responses are dropped by link partitions and some arrive as
+  // post-timeout duplicates, but every response answers some attempt.
+  EXPECT_GE(wan.response_sends, out.cloud_client.delivered);
+  EXPECT_LE(wan.response_sends, wan.request_sends);
+  // The pure-edge side crosses no WAN link at all.
+  EXPECT_EQ(out.edge_usage.wan.request_sends, 0u);
+  EXPECT_EQ(out.edge_usage.wan.response_sends, 0u);
+  // The drill engaged: retried attempts are billed like any other.
+  EXPECT_GT(out.cloud_client.retries, 0u);
+}
+
+TEST(EgressConservation, FaultFreeCloudSendsOnePairPerRequest) {
+  experiment::Scenario sc =
+      kind_fault_scenario(experiment::DeploymentKind::kEdge, 6002);
+  sc.faults = faults::FaultConfig{};
+  sc.retry.timeout = 30.0;  // must never fire without faults
+  const auto out = experiment::run_replication(sc, 8.0, 0);
+  const cost::WanCounters& wan = out.cloud_usage.wan;
+  EXPECT_EQ(wan.request_sends, out.cloud_client.offered);
+  EXPECT_EQ(wan.response_sends, out.cloud_client.delivered);
+  // Egress bytes are exactly counters x configured sizes.
+  EXPECT_DOUBLE_EQ(
+      cost::egress_bytes(wan, sc.cost),
+      static_cast<double>(wan.request_sends) * sc.cost.request_bytes +
+          static_cast<double>(wan.response_sends) * sc.cost.response_bytes);
+}
+
+TEST(EgressConservation, PullSendsMatchThePullLedgerUnderFaults) {
+  const auto out = experiment::run_replication(
+      cache_scenario(experiment::DeploymentKind::kEdge, 6003), 8.0, 0);
+  const cost::WanCounters& wan = out.edge_usage.wan;
+  EXPECT_EQ(wan.pull_request_sends,
+            out.edge_pulls.issued + out.edge_pulls.retries);
+  EXPECT_GE(wan.pull_response_sends, out.edge_pulls.completed);
+  EXPECT_LE(wan.pull_response_sends, wan.pull_request_sends);
+  // The cloud side serves state locally: no pull traffic to bill.
+  EXPECT_EQ(out.cloud_usage.wan.pull_request_sends, 0u);
+  EXPECT_EQ(out.cloud_usage.wan.pull_response_sends, 0u);
+  EXPECT_GT(out.edge_pulls.retries, 0u);
+}
+
+TEST(EgressConservation, FaultFreePullsSendOnePairPerMiss) {
+  experiment::Scenario sc =
+      cache_scenario(experiment::DeploymentKind::kEdge, 6004);
+  sc.faults = faults::FaultConfig{};
+  sc.retry.timeout = 30.0;
+  const auto out = experiment::run_replication(sc, 8.0, 0);
+  const cost::WanCounters& wan = out.edge_usage.wan;
+  EXPECT_EQ(wan.pull_request_sends, out.edge_pulls.issued);
+  EXPECT_EQ(wan.pull_response_sends, out.edge_pulls.completed);
+  EXPECT_EQ(wan.pull_request_sends, out.edge_cache.misses);
+}
+
+// --- Dead-replication cost accounting ---------------------------------------
+//
+// mttf == 0 blacks out every site from t = 0: the runner short-circuits
+// the replication as dead (excluded from utilization and every latency
+// statistic) but the meter still bills the provisioned-but-idle fleet —
+// the two views must stay consistent, not share a blind spot.
+
+TEST(DeadReplicationCost, BlackoutBillsTheIdleFleet) {
+  experiment::Scenario sc = experiment::Scenario::typical_cloud();
+  sc.num_sites = 3;
+  sc.servers_per_site = 2;
+  sc.warmup = 0.0;
+  sc.duration = 3600.0;
+  sc.replications = 1;
+  sc.faults.edge_site.enabled = true;
+  sc.faults.edge_site.mttf = 0.0;  // down from t = 0: provable blackout
+  sc.faults.mirror_to_cloud = true;
+  sc.retry.enabled = true;
+
+  const auto out = experiment::run_replication(sc, 8.0, 0);
+  ASSERT_TRUE(out.dead);
+  // One hour of 6 idle edge servers and 3 rented sites; 6 cloud servers.
+  EXPECT_DOUBLE_EQ(out.edge_usage.edge.provisioned_seconds, 6.0 * 3600.0);
+  EXPECT_DOUBLE_EQ(out.edge_usage.edge.busy_seconds, 0.0);
+  EXPECT_DOUBLE_EQ(out.edge_usage.edge_site_seconds, 3.0 * 3600.0);
+  EXPECT_DOUBLE_EQ(out.cloud_usage.cloud.provisioned_seconds, 6.0 * 3600.0);
+  EXPECT_EQ(out.edge_usage.wan.request_sends, 0u);
+
+  const auto point = experiment::merge_replications(sc, 8.0, {out});
+  EXPECT_EQ(point.edge.dead_replications, 1u);
+  EXPECT_DOUBLE_EQ(point.edge.utilization, 0.0);  // dead: excluded
+  // ... but billed: 6 server-hours at $0.30 plus 3 site-hours at $0.05.
+  EXPECT_DOUBLE_EQ(point.edge.cost.bill.total_dollars,
+                   6.0 * sc.price.edge_server_hour +
+                       3.0 * sc.price.edge_site_rental_hour);
+  EXPECT_DOUBLE_EQ(point.cloud.cost.bill.total_dollars,
+                   6.0 * sc.price.cloud_server_hour);
+  EXPECT_DOUBLE_EQ(point.edge.cost.bill.dollars_per_hour,
+                   point.edge.cost.bill.total_dollars);
 }
 
 TEST(FaultConservation, FaultFreeRetryRunsDeliverEverything) {
