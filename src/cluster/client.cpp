@@ -1,3 +1,5 @@
+// HCE_HOT_PATH: per-attempt code — hce_lint's no-hot-path-alloc rule
+// applies (see client.hpp).
 #include "cluster/client.hpp"
 
 namespace hce::cluster {

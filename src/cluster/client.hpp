@@ -28,6 +28,9 @@
 // requests that already resolved) miss exactly. The slab's high-water
 // mark is reported to Simulation::stats() as the client-side memory
 // bound, next to the calendar's own slab_high_water.
+//
+// HCE_HOT_PATH: per-attempt code — hce_lint's no-hot-path-alloc rule
+// applies; the pending table is the recycled slab, not a node map.
 #pragma once
 
 #include <cstdint>
@@ -183,6 +186,9 @@ class BasicRetryClient {
   /// parks the original request behind each pull — and must reclaim them
   /// even across stats epochs. Unset for plain deployments: behavior is
   /// then byte-identical to the pre-hook client.
+  // Wiring-time hook, assigned once before the run — std::function's
+  // possible allocation happens at setup, never per event.
+  // hce-lint: allow(no-hot-path-alloc)
   void set_on_abandon(std::function<void(const des::Request&)> fn) {
     on_abandon_ = std::move(fn);
   }
@@ -237,6 +243,7 @@ class BasicRetryClient {
   des::Simulation& sim_;
   RetryPolicy policy_;
   TransportT& transport_;
+  // hce-lint: allow(no-hot-path-alloc) — set once at wiring time.
   std::function<void(const des::Request&)> on_abandon_;
   ClientStats stats_;
   std::uint64_t epoch_ = 0;  ///< bumped by reset_stats()

@@ -1,3 +1,5 @@
+// HCE_HOT_PATH: per-event code — hce_lint's no-hot-path-alloc rule
+// applies (see calendar.hpp).
 #include "des/calendar.hpp"
 
 namespace hce::des {

@@ -43,6 +43,10 @@
 // Ordering contract: strict (time, seq) order, identical to the previous
 // engine — the determinism tests (and the committed golden latency
 // digests) lock this in bit-for-bit.
+//
+// HCE_HOT_PATH: per-event code — hce_lint's no-hot-path-alloc rule bans
+// general-purpose heap use in this file; the runtime alloc guard
+// (support/alloc_guard.hpp) enforces the zero-steady-state claim.
 #pragma once
 
 #include <bit>
@@ -75,8 +79,12 @@ struct AlignedAlloc {
   template <typename U>
   AlignedAlloc(const AlignedAlloc<U, Align>&) noexcept {}  // NOLINT
   T* allocate(std::size_t n) {
-    return static_cast<T*>(
-        ::operator new(n * sizeof(T), std::align_val_t(Align)));
+    // Reserve-amortized slab growth, never per-event: vector doubling
+    // reaches the run's high-water mark and stops (test_alloc_guard
+    // pins the steady state at zero allocations).
+    // hce-lint: allow(no-hot-path-alloc)
+    void* p = ::operator new(n * sizeof(T), std::align_val_t(Align));
+    return static_cast<T*>(p);
   }
   void deallocate(T* p, std::size_t) noexcept {
     ::operator delete(p, std::align_val_t(Align));

@@ -15,6 +15,9 @@
 // Move-only, nothrow-movable (required: calendar slots relocate when the
 // slab vector grows), with a per-type static vtable so invoke is a single
 // indirect call.
+//
+// HCE_HOT_PATH: per-event code — hce_lint's no-hot-path-alloc rule
+// applies (placement new into the inline buffer is the legal idiom).
 #pragma once
 
 #include <cstddef>

@@ -12,6 +12,9 @@
 // Handles are single-use: put() checks a request in, take() checks it out
 // and frees the slot. The owner (one deployment, one station) is single-
 // threaded under the simulation clock, so no synchronization is needed.
+//
+// HCE_HOT_PATH: per-request code — hce_lint's no-hot-path-alloc rule
+// applies; slots_ growth is reserve-amortized slab growth.
 #pragma once
 
 #include <cstdint>

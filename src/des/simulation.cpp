@@ -1,10 +1,19 @@
+// HCE_HOT_PATH: per-event code — hce_lint's no-hot-path-alloc rule
+// applies (see simulation.hpp).
 #include "des/simulation.hpp"
 
 #include <utility>
 
+#include "support/alloc_guard.hpp"
+
 namespace hce::des {
 
 std::uint64_t Simulation::run(Time until, std::uint64_t max_events) {
+  // Phase marker for the HCE_ALLOC_GUARD ledger: everything between here
+  // and return is the hot event loop, and at steady state it must
+  // allocate nothing (asserted by test_alloc_guard when the counting
+  // interposer is linked; a no-op store otherwise).
+  alloc_guard::RunPhase phase;
   std::uint64_t n = 0;
   while (!calendar_.empty() && n < max_events) {
     if (calendar_.min_time() > until) {
@@ -33,6 +42,10 @@ std::uint64_t Simulation::run(Time until, std::uint64_t max_events) {
 }
 
 std::uint64_t Simulation::run_before(Time bound, std::uint64_t max_events) {
+  // Same ledger bracket as run(): each conservative window of the
+  // partitioned engine is its own steady-state phase on its worker
+  // thread (the ledgers are thread_local).
+  alloc_guard::RunPhase phase;
   std::uint64_t n = 0;
   while (!calendar_.empty() && n < max_events) {
     if (!(calendar_.min_time() < bound)) break;

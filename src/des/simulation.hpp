@@ -10,6 +10,10 @@
 // links, autoscalers, fault drivers) schedule each other through this
 // single clock, which is what makes end-to-end latency measurements
 // consistent across the edge and cloud topologies being compared.
+//
+// HCE_HOT_PATH: per-event code — hce_lint's no-hot-path-alloc rule
+// applies; run()/run_before() carry the alloc-guard phase markers that
+// turn the zero-allocation claim into a runtime-enforced invariant.
 #pragma once
 
 #include <cstdint>

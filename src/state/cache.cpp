@@ -1,3 +1,5 @@
+// HCE_HOT_PATH: per-lookup code — hce_lint's no-hot-path-alloc rule
+// applies (see cache.hpp).
 #include "state/cache.hpp"
 
 #include "support/contracts.hpp"

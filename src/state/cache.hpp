@@ -18,6 +18,9 @@
 // Determinism: the cache consumes no RNG and its behavior is a pure
 // function of the lookup/insert call sequence, so a cached run is exactly
 // as replayable as a stateless one.
+//
+// HCE_HOT_PATH: per-lookup code — hce_lint's no-hot-path-alloc rule
+// applies; entries live in the pre-sized slab with a free list.
 #pragma once
 
 #include <cstdint>

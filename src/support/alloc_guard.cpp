@@ -1,0 +1,46 @@
+#include "support/alloc_guard.hpp"
+
+#include <atomic>
+
+namespace hce::alloc_guard {
+
+namespace {
+
+// The active flag is process-global (the interposer replaces operator
+// new for the whole binary); the ledgers are thread_local so concurrent
+// sweep/partition workers never contend or race on them.
+std::atomic<bool> g_active{false};
+
+thread_local std::uint64_t t_allocations = 0;
+thread_local std::uint64_t t_last_run = 0;
+thread_local std::uint64_t t_runs_completed = 0;
+
+}  // namespace
+
+bool active() { return g_active.load(std::memory_order_relaxed); }
+
+void record_allocation() { ++t_allocations; }
+
+void activate() { g_active.store(true, std::memory_order_relaxed); }
+
+std::uint64_t thread_allocations() { return t_allocations; }
+
+ScopedPhase::ScopedPhase(const char* name)
+    : name_(name), start_(t_allocations) {}
+
+std::uint64_t ScopedPhase::allocations() const {
+  return t_allocations - start_;
+}
+
+RunPhase::RunPhase() : start_(t_allocations) {}
+
+RunPhase::~RunPhase() {
+  t_last_run = t_allocations - start_;
+  ++t_runs_completed;
+}
+
+std::uint64_t last_run_allocations() { return t_last_run; }
+
+std::uint64_t runs_completed() { return t_runs_completed; }
+
+}  // namespace hce::alloc_guard

@@ -1,0 +1,78 @@
+// Runtime allocation ledger backing the static no-hot-path-alloc rule.
+//
+// hce_lint proves lexically that HCE_HOT_PATH files contain no
+// general-purpose heap use; this ledger proves it dynamically. A binary
+// that links the operator-new interposer (tests/support/
+// alloc_guard_interposer.cpp — every test when the HCE_ALLOC_GUARD CMake
+// option is ON, always test_alloc_guard) counts every operator-new call
+// per thread, and Simulation::run / run_before bracket their event loops
+// with phase markers. After warm-up has grown the slabs to their
+// high-water marks, a steady-state run phase must count ZERO allocations
+// — upgrading PR 2's static_assert-level claim to an enforced runtime
+// invariant (see tests/support/test_alloc_guard.cpp).
+//
+// Everything here is a no-op costing one relaxed atomic load per
+// Simulation::run call when the interposer is not linked, so the library
+// is unchanged for ordinary builds; counters are thread_local, so the
+// sweep runner's and partitioned engine's worker threads keep
+// independent, race-free ledgers (TSan-clean by construction).
+#pragma once
+
+#include <cstdint>
+
+namespace hce::alloc_guard {
+
+/// True once the operator-new interposer is linked into this binary (its
+/// static initializer calls activate()). Without it, every counter below
+/// reads zero and phases are no-ops.
+bool active();
+
+/// Called by the interposer from every replaced operator new.
+void record_allocation();
+/// Called by the interposer's static initializer.
+void activate();
+
+/// Total operator-new calls observed on this thread since start.
+std::uint64_t thread_allocations();
+
+/// Explicit bracket for test code: counts allocations on this thread
+/// between construction and the allocations() query.
+class ScopedPhase {
+ public:
+  explicit ScopedPhase(const char* name);
+  ScopedPhase(const ScopedPhase&) = delete;
+  ScopedPhase& operator=(const ScopedPhase&) = delete;
+
+  /// Allocations on this thread since construction.
+  std::uint64_t allocations() const;
+  const char* name() const { return name_; }
+
+ private:
+  const char* name_;
+  std::uint64_t start_;
+};
+
+/// Phase markers planted inside Simulation::run / run_before. RAII: the
+/// constructor snapshots the thread's allocation count, the destructor
+/// publishes the delta as last_run_allocations(). Nested runs (a handler
+/// driving a sub-simulation) attribute to the innermost run.
+class RunPhase {
+ public:
+  RunPhase();
+  ~RunPhase();
+  RunPhase(const RunPhase&) = delete;
+  RunPhase& operator=(const RunPhase&) = delete;
+
+ private:
+  std::uint64_t start_;
+};
+
+/// Allocations counted during the most recently *completed*
+/// Simulation::run / run_before on this thread. Zero when inactive.
+std::uint64_t last_run_allocations();
+
+/// Completed run phases on this thread (for tests to assert the marker
+/// actually fired).
+std::uint64_t runs_completed();
+
+}  // namespace hce::alloc_guard

@@ -17,6 +17,24 @@
 
 namespace hce {
 
+/// Per-thread RNG draw ledger. Every path that can advance any Rng's
+/// engine state — operator(), uniform01()/uniform(), below(), and each
+/// engine() access handed to a distribution — bumps this counter, so a
+/// code region that must be draw-free (observation, metering) can be
+/// *proven* draw-free at runtime: snapshot draws() around it and assert
+/// the delta is zero (see tests/integration/test_ledgers.cpp, the
+/// runtime backing of hce_lint's static no-rng-in-observers rule).
+/// The count is a monotone upper bound on engine advances, not an exact
+/// variate count (engine() counts once per access, however many steps
+/// the borrower takes) — exactly the right shape for a zero check.
+/// Thread-local: sweep/partition workers keep independent ledgers.
+namespace rng_ledger {
+inline thread_local std::uint64_t t_draws = 0;
+
+/// Draw-opportunity count on this thread since start.
+inline std::uint64_t draws() { return t_draws; }
+}  // namespace rng_ledger
+
 /// splitmix64 mixing step (Steele, Lea, Flood 2014). Used for seed
 /// derivation; statistically excellent for expanding one 64-bit seed into
 /// decorrelated substream seeds.
@@ -63,10 +81,14 @@ class Rng {
   // UniformRandomBitGenerator interface.
   static constexpr result_type min() { return std::mt19937_64::min(); }
   static constexpr result_type max() { return std::mt19937_64::max(); }
-  result_type operator()() { return engine_(); }
+  result_type operator()() {
+    ++rng_ledger::t_draws;
+    return engine_();
+  }
 
   /// Uniform double in [0, 1).
   double uniform01() {
+    ++rng_ledger::t_draws;
     return std::generate_canonical<double, 53>(engine_);
   }
 
@@ -77,10 +99,17 @@ class Rng {
 
   /// Uniform integer in [0, n).
   std::uint64_t below(std::uint64_t n) {
+    ++rng_ledger::t_draws;
     return std::uniform_int_distribution<std::uint64_t>(0, n - 1)(engine_);
   }
 
-  std::mt19937_64& engine() { return engine_; }
+  std::mt19937_64& engine() {
+    // Handing out the engine is a draw opportunity: distributions that
+    // borrow it advance its state, so the ledger must tick here to keep
+    // "zero delta ⇒ zero draws" sound.
+    ++rng_ledger::t_draws;
+    return engine_;
+  }
 
  private:
   std::uint64_t seed_;

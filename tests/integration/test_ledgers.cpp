@@ -1,0 +1,166 @@
+// RNG draw-ledger tests: observation and metering are provably draw-free.
+//
+// hce_lint's no-rng-in-observers rule proves *lexically* that src/obs and
+// src/cost contain no RNG types or draws; rng_ledger (support/rng.hpp)
+// proves it *dynamically*. Every path that can advance any Rng's engine —
+// operator(), uniform01()/uniform(), below(), and each engine() access —
+// ticks a thread-local counter, so a zero delta across a code region is a
+// sound certificate that the region drew nothing. These tests pin that
+// certificate for the whole observation pipeline (collect, merge,
+// partition-merge, sampler-series merge), the cost layer (egress pricing,
+// bills, meter accumulation), the bare DES engine, and — the headline —
+// an entire observed replication: observe-on consumes EXACTLY as many
+// draws as observe-off, the ledger-level form of the observe-on ≡
+// observe-off determinism goldens.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "cost/meter.hpp"
+#include "des/simulation.hpp"
+#include "experiment/runner.hpp"
+#include "experiment/scenario.hpp"
+#include "obs/breakdown.hpp"
+#include "obs/sampler.hpp"
+#include "support/rng.hpp"
+
+namespace hce {
+namespace {
+
+experiment::Scenario base_scenario(bool observe) {
+  experiment::Scenario sc = experiment::Scenario::typical_cloud();
+  sc.num_sites = 3;
+  sc.warmup = 20.0;
+  sc.duration = 120.0;
+  sc.replications = 1;
+  sc.observe = observe;
+  sc.seed = 11;
+  return sc;
+}
+
+// ---------------------------------------------------------------------------
+// The ledger itself: every draw path ticks it, non-draw paths do not.
+// ---------------------------------------------------------------------------
+
+TEST(RngLedger, CountsEveryDrawPath) {
+  Rng rng(42);
+  const std::uint64_t before = rng_ledger::draws();
+  (void)rng();           // +1: raw 64-bit draw
+  (void)rng.uniform01();  // +1
+  (void)rng.uniform(2.0, 3.0);  // +1 (delegates to uniform01)
+  (void)rng.below(10);   // +1
+  (void)rng.engine();    // +1: handing out the engine is a draw opportunity
+  EXPECT_EQ(rng_ledger::draws() - before, 5u);
+}
+
+TEST(RngLedger, SeedingAndStreamDerivationAreFree) {
+  const std::uint64_t before = rng_ledger::draws();
+  Rng master(7);
+  Rng a = master.stream("arrivals");
+  Rng b = master.stream("service", 3);
+  (void)a.seed();
+  (void)b.seed();
+  EXPECT_EQ(rng_ledger::draws(), before)
+      << "deriving substreams must not advance any engine";
+}
+
+TEST(RngLedger, BareEngineSchedulingDrawsNothing) {
+  des::Simulation sim;
+  const std::uint64_t before = rng_ledger::draws();
+  int fired = 0;
+  for (int i = 0; i < 100; ++i) {
+    sim.schedule_in(0.1 * (i + 1), [&fired] { ++fired; });
+  }
+  const des::Simulation::EventId id = sim.schedule_in(50.0, [] {});
+  sim.cancel(id);
+  sim.run();
+  EXPECT_EQ(fired, 100);
+  EXPECT_EQ(rng_ledger::draws(), before)
+      << "schedule/cancel/run must be deterministic, not stochastic";
+}
+
+// ---------------------------------------------------------------------------
+// Observation pipeline: collect / merge / partition-merge draw nothing.
+// ---------------------------------------------------------------------------
+
+TEST(RngLedger, ObservationPipelineIsDrawFree) {
+  // The replications themselves draw (arrivals, service times) — all of
+  // that lands before the snapshot. Everything downstream of the sink
+  // records is pure.
+  const auto rep0 = experiment::run_replication(base_scenario(true), 8.0, 0);
+  const auto rep1 = experiment::run_replication(base_scenario(true), 8.0, 1);
+  ASSERT_FALSE(rep0.edge_records.empty());
+  ASSERT_FALSE(rep1.edge_records.empty());
+
+  const std::uint64_t before = rng_ledger::draws();
+  const obs::LatencyBreakdown edge = obs::collect_breakdown(rep0.edge_records);
+  const obs::LatencyBreakdown cloud =
+      obs::collect_breakdown(rep0.cloud_records);
+  EXPECT_GT(edge.samples, 0u);
+  EXPECT_GT(cloud.samples, 0u);
+  const std::vector<const des::RecordColumns*> parts = {&rep0.edge_records,
+                                                        &rep1.edge_records};
+  const obs::LatencyBreakdown merged = obs::merge_breakdown(parts);
+  EXPECT_EQ(merged.samples, rep0.edge_records.size() +
+                                rep1.edge_records.size());
+  const des::RecordColumns fused = obs::merge_partition_records(parts);
+  EXPECT_EQ(fused.size(), merged.samples);
+  const obs::SamplerResult series =
+      obs::merge_partition_series({rep0.edge_series, rep1.edge_series});
+  (void)series;
+  EXPECT_EQ(rng_ledger::draws(), before)
+      << "the observation pipeline drew from an RNG";
+}
+
+// ---------------------------------------------------------------------------
+// Cost layer: metering and pricing draw nothing.
+// ---------------------------------------------------------------------------
+
+TEST(RngLedger, CostMeteringIsDrawFree) {
+  const auto rep = experiment::run_replication(base_scenario(false), 8.0, 0);
+
+  const std::uint64_t before = rng_ledger::draws();
+  const cost::CostSpec spec;
+  const core::PriceModel price;
+  (void)cost::egress_bytes(rep.edge_usage.wan, spec);
+  const cost::Bill edge_bill = cost::price_usage(rep.edge_usage, spec, price);
+  EXPECT_GE(edge_bill.total_dollars, 0.0);
+  cost::Meter meter(spec, price);
+  meter.add(rep.edge_usage);
+  meter.add(rep.cloud_usage);
+  const cost::Bill total = meter.bill();
+  EXPECT_GE(total.total_dollars, edge_bill.total_dollars);
+  EXPECT_EQ(rng_ledger::draws(), before)
+      << "metering perturbed the RNG state it claims not to touch";
+}
+
+// ---------------------------------------------------------------------------
+// Whole-replication certificate: observe-on costs zero extra draws.
+// ---------------------------------------------------------------------------
+
+TEST(RngLedger, ObservationAddsNoDrawsToAReplication) {
+  const std::uint64_t s0 = rng_ledger::draws();
+  const auto off = experiment::run_replication(base_scenario(false), 8.0, 0);
+  const std::uint64_t draws_off = rng_ledger::draws() - s0;
+
+  const std::uint64_t s1 = rng_ledger::draws();
+  const auto on = experiment::run_replication(base_scenario(true), 8.0, 0);
+  const std::uint64_t draws_on = rng_ledger::draws() - s1;
+
+  ASSERT_GT(draws_off, 0u) << "a replication must consume draws";
+  EXPECT_EQ(draws_on, draws_off)
+      << "turning observation on changed the draw count — instrumentation "
+         "is supposed to be additive";
+  // And the observed run really did observe.
+  EXPECT_TRUE(off.edge_records.empty());
+  EXPECT_FALSE(on.edge_records.empty());
+  // Same seed, same draws, same physics: the latency samples agree.
+  ASSERT_EQ(on.edge_latencies.size(), off.edge_latencies.size());
+  for (std::size_t i = 0; i < on.edge_latencies.size(); ++i) {
+    ASSERT_EQ(on.edge_latencies[i], off.edge_latencies[i]);
+  }
+}
+
+}  // namespace
+}  // namespace hce

@@ -1,0 +1,102 @@
+// Counting operator-new interposer (the HCE_ALLOC_GUARD runtime ledger).
+//
+// Linked as an OBJECT library into test_alloc_guard always, and into
+// every test binary when the HCE_ALLOC_GUARD CMake option is ON. Being
+// object files on the link line, these definitions take precedence over
+// the C++ runtime's — every allocation in the binary funnels through
+// record_allocation() into the per-thread ledger that Simulation::run's
+// phase markers read. Deliberately *not* part of any library the
+// benches link: counting costs one thread_local increment per
+// allocation, which is noise for tests but not for microbenches.
+//
+// The replacements forward to malloc/posix_memalign, so sanitizer
+// builds keep working: ASan/TSan intercept at the malloc layer, below
+// this one.
+#include <cstdlib>
+#include <new>
+
+#include "support/alloc_guard.hpp"
+
+namespace {
+
+[[maybe_unused]] const bool g_registered = [] {
+  hce::alloc_guard::activate();
+  return true;
+}();
+
+void* counted_alloc(std::size_t n) {
+  hce::alloc_guard::record_allocation();
+  void* p = std::malloc(n ? n : 1);
+  if (p == nullptr) throw std::bad_alloc();
+  return p;
+}
+
+void* counted_aligned_alloc(std::size_t n, std::size_t align) {
+  hce::alloc_guard::record_allocation();
+  if (align < sizeof(void*)) align = sizeof(void*);
+  void* p = nullptr;
+  if (posix_memalign(&p, align, n ? n : align) != 0) throw std::bad_alloc();
+  return p;
+}
+
+}  // namespace
+
+void* operator new(std::size_t n) { return counted_alloc(n); }
+void* operator new[](std::size_t n) { return counted_alloc(n); }
+void* operator new(std::size_t n, const std::nothrow_t&) noexcept {
+  hce::alloc_guard::record_allocation();
+  return std::malloc(n ? n : 1);
+}
+void* operator new[](std::size_t n, const std::nothrow_t&) noexcept {
+  hce::alloc_guard::record_allocation();
+  return std::malloc(n ? n : 1);
+}
+void* operator new(std::size_t n, std::align_val_t al) {
+  return counted_aligned_alloc(n, static_cast<std::size_t>(al));
+}
+void* operator new[](std::size_t n, std::align_val_t al) {
+  return counted_aligned_alloc(n, static_cast<std::size_t>(al));
+}
+void* operator new(std::size_t n, std::align_val_t al,
+                   const std::nothrow_t&) noexcept {
+  try {
+    return counted_aligned_alloc(n, static_cast<std::size_t>(al));
+  } catch (...) {
+    return nullptr;
+  }
+}
+void* operator new[](std::size_t n, std::align_val_t al,
+                     const std::nothrow_t&) noexcept {
+  try {
+    return counted_aligned_alloc(n, static_cast<std::size_t>(al));
+  } catch (...) {
+    return nullptr;
+  }
+}
+
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+void operator delete(void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
+void operator delete[](void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
+void operator delete(void* p, const std::nothrow_t&) noexcept {
+  std::free(p);
+}
+void operator delete[](void* p, const std::nothrow_t&) noexcept {
+  std::free(p);
+}
+void operator delete(void* p, std::align_val_t,
+                     const std::nothrow_t&) noexcept {
+  std::free(p);
+}
+void operator delete[](void* p, std::align_val_t,
+                       const std::nothrow_t&) noexcept {
+  std::free(p);
+}

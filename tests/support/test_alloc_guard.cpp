@@ -1,0 +1,149 @@
+// Runtime allocation-ledger regression (HCE_ALLOC_GUARD).
+//
+// This binary always links the counting operator-new interposer
+// (tests/support/alloc_guard_interposer.cpp), so every allocation in the
+// process funnels through the per-thread ledger that Simulation::run's
+// phase markers read. The headline assertions upgrade the engine's
+// zero-steady-state-allocation design claim (slab calendar, inline
+// handlers, pooled requests) to an enforced runtime invariant: after a
+// warm-up pass has grown the slabs to their high-water marks, a
+// bit-identical second pass — a pure drain workload and a cancel-heavy
+// timeout/retry workload — must allocate NOTHING.
+#include "support/alloc_guard.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <new>
+#include <thread>
+#include <vector>
+
+#include "des/simulation.hpp"
+
+namespace hce {
+namespace {
+
+// ---------------------------------------------------------------------------
+// The interposer and the ledger plumbing.
+// ---------------------------------------------------------------------------
+
+TEST(AllocGuard, InterposerIsLinkedAndCounting) {
+  // If this fails the whole file is vacuous: the OBJECT library with the
+  // replacement operator new did not make it onto the link line.
+  ASSERT_TRUE(alloc_guard::active());
+  alloc_guard::ScopedPhase phase("direct");
+  // A direct ::operator new call cannot be elided by the compiler (only
+  // new-*expressions* may be), so this pins the counting itself.
+  void* p = ::operator new(64);
+  ::operator delete(p);
+  EXPECT_GE(phase.allocations(), 1u);
+  EXPECT_STREQ(phase.name(), "direct");
+}
+
+TEST(AllocGuard, AlignedAllocationsAreCounted) {
+  alloc_guard::ScopedPhase phase("aligned");
+  void* p = ::operator new(128, std::align_val_t(64));
+  EXPECT_EQ(reinterpret_cast<std::uintptr_t>(p) % 64, 0u);
+  ::operator delete(p, std::align_val_t(64));
+  EXPECT_GE(phase.allocations(), 1u);
+}
+
+TEST(AllocGuard, LedgersAreThreadLocal) {
+  std::uint64_t worker_seen = 0;
+  // The std::thread constructor allocates its shared state on *this*
+  // thread, so open the main-thread phase only after it.
+  std::thread worker([&worker_seen] {
+    alloc_guard::ScopedPhase phase("worker");
+    void* p = ::operator new(32);
+    ::operator delete(p);
+    worker_seen = phase.allocations();
+  });
+  alloc_guard::ScopedPhase main_phase("main");
+  worker.join();
+  EXPECT_GE(worker_seen, 1u);
+  // The worker's allocations landed on its own ledger, not ours.
+  EXPECT_EQ(main_phase.allocations(), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Steady-state workloads: warm up, then assert a zero-allocation pass.
+// ---------------------------------------------------------------------------
+
+// Self-rescheduling event chains: the drain workload. Each hop frees its
+// calendar slot and schedules into it again — peak occupancy equals the
+// number of chains, so after warm-up the slab never grows.
+void hop(des::Simulation& sim, int remaining) {
+  if (remaining > 0) {
+    sim.schedule_in(0.25, [&sim, remaining] { hop(sim, remaining - 1); });
+  }
+}
+
+void seed_chains(des::Simulation& sim, int chains, int hops) {
+  for (int c = 0; c < chains; ++c) {
+    sim.schedule_in(0.001 * (c + 1), [&sim, hops] { hop(sim, hops); });
+  }
+}
+
+TEST(AllocGuard, SteadyStateDrainAllocatesNothing) {
+  des::Simulation sim;
+  // Warm-up pass: grows the calendar slab to its high-water mark and
+  // proves the RunPhase marker inside run() actually fires.
+  const std::uint64_t runs_before = alloc_guard::runs_completed();
+  seed_chains(sim, 64, 50);
+  sim.run();
+  EXPECT_EQ(alloc_guard::runs_completed(), runs_before + 1);
+
+  // Steady state: the identical workload on the warmed slabs. The phase
+  // brackets scheduling AND draining — neither may allocate.
+  alloc_guard::ScopedPhase phase("drain-steady");
+  seed_chains(sim, 64, 50);
+  sim.run();
+  EXPECT_EQ(phase.allocations(), 0u)
+      << "the warmed drain workload allocated";
+  // run()'s own marker agrees with the outer bracket.
+  EXPECT_EQ(alloc_guard::last_run_allocations(), 0u);
+  EXPECT_EQ(alloc_guard::runs_completed(), runs_before + 2);
+}
+
+// The timeout/retry pattern the indexed calendar exists for: every
+// request schedules a long-dated timeout and cancels it shortly after.
+// Cancelled slots must recycle, not accumulate or reallocate.
+void seed_cancel_heavy(des::Simulation& sim, int n) {
+  for (int i = 0; i < n; ++i) {
+    const des::Simulation::EventId timeout = sim.schedule_in(30.0, [] {});
+    sim.schedule_in(0.5 + 0.001 * i,
+                    [&sim, timeout] { sim.cancel(timeout); });
+  }
+}
+
+TEST(AllocGuard, SteadyStateCancelHeavyAllocatesNothing) {
+  des::Simulation sim;
+  seed_cancel_heavy(sim, 256);  // warm-up: slab reaches 2*256 slots
+  sim.run();
+
+  alloc_guard::ScopedPhase phase("cancel-steady");
+  seed_cancel_heavy(sim, 256);
+  sim.run();
+  EXPECT_EQ(phase.allocations(), 0u)
+      << "the warmed cancel-heavy workload allocated";
+  EXPECT_EQ(alloc_guard::last_run_allocations(), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Non-vacuousness: an allocating handler IS charged to its run.
+// ---------------------------------------------------------------------------
+
+TEST(AllocGuard, AllocatingHandlerIsCountedAgainstTheRun) {
+  des::Simulation sim;
+  std::vector<int>* escaped = nullptr;
+  sim.schedule_in(1.0,
+                  [&escaped] { escaped = new std::vector<int>(1024, 7); });
+  sim.run();
+  EXPECT_GE(alloc_guard::last_run_allocations(), 1u)
+      << "a deliberately allocating handler went uncounted — the "
+         "zero-allocation assertions above prove nothing";
+  delete escaped;
+}
+
+}  // namespace
+}  // namespace hce

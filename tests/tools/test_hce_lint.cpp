@@ -1,0 +1,222 @@
+// Tests of the hce_lint contract checker (tools/hce_lint).
+//
+// Drives the engine in-process against the checked-in negative fixtures:
+// every rule must fire on its fixture at the exact pinned lines (so the
+// hce_lint_src ctest gate is non-vacuous), every clean/suppressed fixture
+// must be silent, disabling a rule must silence exactly its findings, and
+// malformed configs (unknown rule ids, layering cycles) must be rejected
+// at load time. Fixtures live under tools/hce_lint/fixtures/ but are
+// linted at *logical* repo paths (src/des/..., src/obs/...) because rule
+// applicability is path-driven.
+#include "lint.hpp"
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <set>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace hce::lint {
+namespace {
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in.good()) << "cannot open " << path;
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+std::string fixture(const std::string& name) {
+  return read_file(std::string(HCE_LINT_FIXTURE_DIR) + "/" + name);
+}
+
+Config repo_config() { return load_config(HCE_LINT_RULES_FILE); }
+
+// One negative fixture per rule: (fixture file, logical path, rule id,
+// expected finding lines). The line sets are pinned deliberately — a rule
+// that silently stops firing is worse than one that was never written.
+struct FixtureCase {
+  const char* file;
+  const char* logical_path;
+  const char* rule;
+  std::vector<int> lines;
+};
+
+const std::vector<FixtureCase>& negative_fixtures() {
+  static const std::vector<FixtureCase> cases = {
+      {"wall_clock.cpp", "src/des/bad_clock.cpp", "no-wall-clock",
+       {3, 6, 7, 11}},
+      {"unordered_iteration.cpp", "src/experiment/merge_bad.cpp",
+       "no-unordered-iteration", {9, 17}},
+      {"hot_path_alloc.cpp", "src/des/hot_bad.cpp", "no-hot-path-alloc",
+       {12, 16, 20, 23}},
+      {"rng_in_observer.cpp", "src/obs/bad_sampler.cpp",
+       "no-rng-in-observers", {3, 5, 10, 11, 13}},
+      {"layering_violation.cpp", "src/obs/bad_layer.cpp", "layering",
+       {4, 5}},
+  };
+  return cases;
+}
+
+std::vector<int> lines_of(const std::vector<Finding>& findings,
+                          const std::string& rule) {
+  std::vector<int> lines;
+  for (const Finding& f : findings) {
+    if (f.rule == rule) lines.push_back(f.line);
+  }
+  return lines;
+}
+
+// ---------------------------------------------------------------------------
+// Every rule fires on its fixture at the pinned lines, and nowhere else.
+// ---------------------------------------------------------------------------
+
+TEST(HceLint, EachRuleFiresAtPinnedLines) {
+  const Config cfg = repo_config();
+  for (const FixtureCase& c : negative_fixtures()) {
+    SCOPED_TRACE(c.file);
+    const std::vector<Finding> out =
+        lint_source(c.logical_path, fixture(c.file), cfg);
+    EXPECT_EQ(lines_of(out, c.rule), c.lines);
+    // The fixture triggers exactly one rule: no stray cross-rule noise.
+    for (const Finding& f : out) {
+      EXPECT_EQ(f.rule, c.rule) << format_finding(f);
+      EXPECT_EQ(f.file, c.logical_path);
+    }
+  }
+}
+
+TEST(HceLint, EveryKnownRuleHasANegativeFixture) {
+  std::set<std::string> covered;
+  for (const FixtureCase& c : negative_fixtures()) covered.insert(c.rule);
+  EXPECT_EQ(covered, known_rules())
+      << "a rule without a firing fixture is unproven";
+}
+
+TEST(HceLint, FindingsFormatAsFileLineRuleMessage) {
+  const Config cfg = repo_config();
+  const std::vector<Finding> out =
+      lint_source("src/des/bad_clock.cpp", fixture("wall_clock.cpp"), cfg);
+  ASSERT_FALSE(out.empty());
+  const std::string line = format_finding(out.front());
+  EXPECT_NE(line.find("src/des/bad_clock.cpp:3"), std::string::npos) << line;
+  EXPECT_NE(line.find("[no-wall-clock]"), std::string::npos) << line;
+}
+
+// ---------------------------------------------------------------------------
+// Clean and suppressed fixtures are silent.
+// ---------------------------------------------------------------------------
+
+TEST(HceLint, NearMissPatternsDoNotFire) {
+  const Config cfg = repo_config();
+  const std::vector<Finding> out =
+      lint_source("src/experiment/merge_clean.cpp", fixture("clean.cpp"), cfg);
+  for (const Finding& f : out) ADD_FAILURE() << format_finding(f);
+}
+
+TEST(HceLint, HotPathLegalIdiomsDoNotFire) {
+  const Config cfg = repo_config();
+  const std::vector<Finding> out =
+      lint_source("src/des/hot_clean.cpp", fixture("hot_path_clean.cpp"), cfg);
+  for (const Finding& f : out) ADD_FAILURE() << format_finding(f);
+}
+
+TEST(HceLint, SuppressionsSilenceLineAboveTrailingAndFileScope) {
+  const Config cfg = repo_config();
+  const std::vector<Finding> out =
+      lint_source("src/des/suppressed.cpp", fixture("suppressed.cpp"), cfg);
+  for (const Finding& f : out) ADD_FAILURE() << format_finding(f);
+}
+
+TEST(HceLint, SuppressionIsRuleSpecific) {
+  // An allow() for a *different* rule must not silence the finding.
+  const Config cfg = repo_config();
+  const std::string src =
+      "// HCE_HOT_PATH\n"
+      "void* f(unsigned n) {\n"
+      "  return malloc(n);  // hce-lint: allow(no-wall-clock)\n"
+      "}\n";
+  const std::vector<Finding> out =
+      lint_source("src/des/wrong_allow.cpp", src, cfg);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].rule, "no-hot-path-alloc");
+  EXPECT_EQ(out[0].line, 3);
+}
+
+TEST(HceLint, HotPathRuleNeedsTheAnnotation) {
+  // Same allocation, no HCE_HOT_PATH marker: the file never opted in.
+  const Config cfg = repo_config();
+  const std::string src = "void* f(unsigned n) { return malloc(n); }\n";
+  EXPECT_TRUE(lint_source("src/des/unannotated.cpp", src, cfg).empty());
+}
+
+TEST(HceLint, RulesApplyOnlyOnConfiguredPaths) {
+  // no-rng-in-observers is scoped to src/obs and src/cost: the identical
+  // content is legal in src/workload (where sampling is the whole point).
+  const Config cfg = repo_config();
+  const std::string src = fixture("rng_in_observer.cpp");
+  EXPECT_FALSE(lint_source("src/obs/bad_sampler.cpp", src, cfg).empty());
+  for (const Finding& f :
+       lint_source("src/workload/sampler.cpp", src, cfg)) {
+    EXPECT_NE(f.rule, "no-rng-in-observers") << format_finding(f);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Non-vacuousness: disabling a rule silences exactly its findings.
+// ---------------------------------------------------------------------------
+
+TEST(HceLint, DisabledRuleGoesSilent) {
+  for (const FixtureCase& c : negative_fixtures()) {
+    SCOPED_TRACE(c.rule);
+    Config cfg = repo_config();
+    if (std::string(c.rule) == "layering") {
+      cfg.layering_enabled = false;
+    } else {
+      cfg.rules[c.rule].enabled = false;
+    }
+    EXPECT_TRUE(lint_source(c.logical_path, fixture(c.file), cfg).empty());
+  }
+}
+
+// ---------------------------------------------------------------------------
+// The repo's own rules.toml and source tree.
+// ---------------------------------------------------------------------------
+
+TEST(HceLint, RepoRulesFileNamesOnlyKnownRules) {
+  const Config cfg = repo_config();
+  for (const auto& [id, rule] : cfg.rules) {
+    EXPECT_TRUE(known_rules().count(id)) << id;
+    EXPECT_TRUE(rule.enabled) << id << " is checked in disabled";
+  }
+  EXPECT_EQ(cfg.rules.size(), known_rules().size() - 1)
+      << "layering lives in [layering], the rest under rules";
+  EXPECT_TRUE(cfg.layering_enabled);
+  EXPECT_FALSE(cfg.layering.empty());
+}
+
+TEST(HceLint, ConfigRejectsUnknownRuleIds) {
+  EXPECT_THROW(parse_config("[not-a-rule]\nenabled = true\n"),
+               std::runtime_error);
+}
+
+TEST(HceLint, ConfigRejectsLayeringCycles) {
+  const std::string cyclic =
+      "[layering]\n"
+      "a = [\"b\"]\n"
+      "b = [\"a\"]\n";
+  EXPECT_THROW(parse_config(cyclic), std::runtime_error);
+}
+
+TEST(HceLint, ConfigRejectsMalformedLines) {
+  EXPECT_THROW(parse_config("[no-wall-clock]\nbanned = not_a_value\n"),
+               std::runtime_error);
+}
+
+}  // namespace
+}  // namespace hce::lint

@@ -1,0 +1,39 @@
+// Fixture: near-miss patterns that must NOT fire. Linted as if at
+// src/experiment/merge_clean.cpp, a merge/reducer path, so the
+// unordered-iteration rule applies (hot-path near-misses live in
+// hot_path_clean.cpp).
+#include <unordered_map>
+#include <vector>
+
+#include "des/sink.hpp"       // legal edge: experiment -> des
+#include "support/time.hpp"   // legal edge: experiment -> support
+
+struct Request {
+  double run_time(int) { return 0.0; }  // `time` substring, not the call
+  double time() const { return t_; }    // member named time: legal
+  double t_ = 0.0;
+};
+
+double simulated_now(Request& r) {
+  // Member calls through ./-> are not wall-clock reads.
+  return r.time() + r.run_time(1);
+}
+
+int lookup_only(const std::unordered_map<int, int>& idx, int k) {
+  // Point lookups never observe hash order — and comparing against the
+  // end() sentinel is part of the legal find()/end() idiom.
+  auto it = idx.find(k);
+  return it == idx.end() ? -1 : it->second;
+}
+
+double ordered_walk(const std::vector<double>& xs) {
+  double s = 0.0;
+  for (double x : xs) s += x;  // vector iteration: deterministic
+  return s;
+}
+
+const char* not_a_string_violation() {
+  // Banned words inside literals and comments must not fire:
+  // rand() time() system_clock std::map
+  return "rand() time() system_clock std::map";
+}

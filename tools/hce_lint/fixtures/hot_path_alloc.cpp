@@ -1,0 +1,27 @@
+// Fixture: no-hot-path-alloc violations.
+// HCE_HOT_PATH — this annotation opts the file into the rule.
+#include <cstdlib>
+#include <map>
+#include <memory>
+
+struct Node {
+  int v;
+};
+
+Node* leak_per_event() {
+  return new Node{1};  // line 12: non-placement new
+}
+
+void* raw_alloc() {
+  return std::malloc(64);  // line 16: malloc
+}
+
+std::unique_ptr<Node> factory() {
+  return std::make_unique<Node>();  // line 20: make_unique
+}
+
+std::map<int, int> node_based;  // line 23: std::map is per-node allocation
+
+void placement_is_legal(void* slot) {
+  ::new (slot) Node{2};  // small-buffer idiom: allocates nothing
+}

@@ -1,0 +1,23 @@
+// Fixture: an HCE_HOT_PATH file using only the legal allocation idioms —
+// must lint clean. Linted as if at src/des/hot_clean.cpp.
+// HCE_HOT_PATH
+#include <vector>
+
+struct Entry {
+  double t;
+  unsigned seq;
+};
+
+void placement_construct(void* slot) {
+  ::new (slot) Entry{0.0, 0};  // placement new: the small-buffer idiom
+}
+
+std::vector<Entry> slab_growth() {
+  // vector is slab-like: contiguous, reserve-amortized — legal even in
+  // HCE_HOT_PATH files (the runtime alloc guard pins the steady state
+  // at zero actual allocations).
+  std::vector<Entry> v;
+  v.reserve(8);
+  v.push_back(Entry{1.0, 1});
+  return v;
+}

@@ -1,0 +1,8 @@
+// Fixture: layering violations. Linted as if at src/obs/bad_layer.cpp —
+// observation sits below the deployment and experiment layers and may
+// not reach up into them.
+#include "experiment/runner.hpp"  // line 4: obs -> experiment is not an edge
+#include "cluster/client.hpp"     // line 5: obs -> cluster is not an edge
+
+#include "des/sink.hpp"      // legal: obs -> des is a declared edge
+#include "stats/summary.hpp"  // legal: obs -> stats

@@ -1,0 +1,16 @@
+// Fixture: no-rng-in-observers violations. Linted as if at
+// src/obs/bad_sampler.cpp — observers must be pure reads.
+#include <random>  // line 3: banned include
+
+#include "support/rng.hpp"  // line 5: banned include
+
+namespace hce::obs {
+
+struct JitteredSampler {
+  double next_tick(Rng& rng) {       // line 10: Rng parameter
+    return 1.0 + rng.uniform01();    // line 11: draw in an observer
+  }
+  std::mt19937_64 engine_;           // line 13: engine member
+};
+
+}  // namespace hce::obs

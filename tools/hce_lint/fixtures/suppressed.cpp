@@ -1,0 +1,22 @@
+// Fixture: every violation here carries a suppression — the file must
+// lint clean, proving the allow() mechanism works at line, line-above,
+// and file scope. Linted as if at src/des/suppressed.cpp.
+// HCE_HOT_PATH
+// hce-lint: allow-file(no-wall-clock)
+#include <cstdlib>
+
+int entropy() {
+  return rand();  // covered by the allow-file above
+}
+
+struct Slab {
+  void* grow(unsigned n) {
+    // Reserve-amortized growth, never per-event: the runtime alloc
+    // guard (test_alloc_guard) pins the steady state at zero.
+    // hce-lint: allow(no-hot-path-alloc)
+    return std::malloc(n);
+  }
+  void* grow_trailing(unsigned n) {
+    return std::malloc(n);  // hce-lint: allow(no-hot-path-alloc)
+  }
+};

@@ -1,0 +1,32 @@
+// Fixture: no-unordered-iteration violations. Linted as if at
+// src/experiment/merge_bad.cpp (a merge/reducer path).
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+double sum_values(const std::unordered_map<int, double>& by_site) {
+  double total = 0.0;
+  for (const auto& [site, v] : by_site) {  // line 9: range-for, hash order
+    total += v;
+  }
+  return total;
+}
+
+int count_walk(std::unordered_set<int> live) {
+  int n = 0;
+  for (auto it = live.begin(); it != live.end(); ++it) {  // line 17: .begin()
+    ++n;
+  }
+  return n;
+}
+
+int lookups_are_legal(const std::unordered_map<int, double>& by_site) {
+  // find/count/insert/erase do not observe hash order.
+  return static_cast<int>(by_site.count(7));
+}
+
+double ordered_iteration_is_legal(const std::vector<double>& xs) {
+  double total = 0.0;
+  for (double x : xs) total += x;
+  return total;
+}

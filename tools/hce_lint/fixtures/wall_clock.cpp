@@ -1,0 +1,20 @@
+// Fixture: no-wall-clock violations. Linted as if at src/des/bad_clock.cpp.
+// Line numbers are pinned by test_hce_lint — add new cases at the bottom.
+#include <ctime>  // line 3: banned include
+
+int ambient_entropy() {
+  std::random_device rd;  // line 6: banned identifier
+  return static_cast<int>(rd()) + rand();  // line 7: banned identifier
+}
+
+long wall_seconds() {
+  return std::time(nullptr);  // line 11: banned free-function call
+}
+
+double tick() {
+  // Member calls named `time` are legal — only the wall clock is banned.
+  struct Sim {
+    double time() const { return 1.0; }
+  } sim;
+  return sim.time();
+}

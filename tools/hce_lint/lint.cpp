@@ -1,0 +1,782 @@
+#include "lint.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace hce::lint {
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// Lexer. Produces identifier / number / punctuation tokens with line
+// numbers; skips comments, string/char literals (including raw strings),
+// but records comment text so suppression directives and the
+// HCE_HOT_PATH annotation are visible. #include directives are captured
+// specially because `<des/calendar.hpp>` does not tokenize as one unit.
+// ---------------------------------------------------------------------------
+
+enum class Tok { kIdent, kNumber, kPunct };
+
+struct Token {
+  Tok kind;
+  std::string text;
+  int line;
+};
+
+struct Include {
+  std::string path;
+  bool angled;
+  int line;
+};
+
+struct Scan {
+  std::vector<Token> tokens;
+  std::vector<Include> includes;
+  /// line → rules allowed on that line (from hce-lint: allow(...)).
+  std::map<int, std::set<std::string>> line_allows;
+  std::set<std::string> file_allows;
+  bool hot_path = false;  ///< file carries the HCE_HOT_PATH annotation
+};
+
+bool ident_start(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+bool ident_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+/// Parses suppression directives and annotations out of one comment.
+/// `line` is the comment's *last* line: a comment-only line suppresses the
+/// next line too, which is where "directive above the finding" comes from.
+void scan_comment(const std::string& text, int line, bool own_line, Scan* out) {
+  if (text.find("HCE_HOT_PATH") != std::string::npos) out->hot_path = true;
+  std::size_t pos = 0;
+  while ((pos = text.find("hce-lint:", pos)) != std::string::npos) {
+    pos += 9;
+    while (pos < text.size() && text[pos] == ' ') ++pos;
+    bool file_scope = false;
+    if (text.compare(pos, 10, "allow-file") == 0) {
+      file_scope = true;
+      pos += 10;
+    } else if (text.compare(pos, 5, "allow") == 0) {
+      pos += 5;
+    } else {
+      continue;
+    }
+    while (pos < text.size() && text[pos] == ' ') ++pos;
+    if (pos >= text.size() || text[pos] != '(') continue;
+    std::size_t close = text.find(')', pos);
+    if (close == std::string::npos) continue;
+    std::string list = text.substr(pos + 1, close - pos - 1);
+    pos = close + 1;
+    std::stringstream ss(list);
+    std::string rule;
+    while (std::getline(ss, rule, ',')) {
+      rule.erase(0, rule.find_first_not_of(" \t"));
+      rule.erase(rule.find_last_not_of(" \t") + 1);
+      if (rule.empty()) continue;
+      if (file_scope) {
+        out->file_allows.insert(rule);
+      } else {
+        out->line_allows[line].insert(rule);
+        // A comment occupying its own line covers the following line of
+        // code; a trailing comment covers only its own line.
+        if (own_line) out->line_allows[line + 1].insert(rule);
+      }
+    }
+  }
+}
+
+Scan scan_source(const std::string& src) {
+  Scan out;
+  const std::size_t n = src.size();
+  std::size_t i = 0;
+  int line = 1;
+  bool line_has_code = false;  // any token emitted on the current line?
+
+  auto newline = [&] {
+    ++line;
+    line_has_code = false;
+  };
+
+  while (i < n) {
+    char c = src[i];
+    if (c == '\n') {
+      newline();
+      ++i;
+      continue;
+    }
+    if (c == ' ' || c == '\t' || c == '\r' || c == '\v' || c == '\f') {
+      ++i;
+      continue;
+    }
+    // Line comment.
+    if (c == '/' && i + 1 < n && src[i + 1] == '/') {
+      std::size_t start = i;
+      while (i < n && src[i] != '\n') ++i;
+      scan_comment(src.substr(start, i - start), line, !line_has_code, &out);
+      continue;
+    }
+    // Block comment.
+    if (c == '/' && i + 1 < n && src[i + 1] == '*') {
+      std::size_t start = i;
+      int start_line_has_code = line_has_code;
+      i += 2;
+      while (i + 1 < n && !(src[i] == '*' && src[i + 1] == '/')) {
+        if (src[i] == '\n') newline();
+        ++i;
+      }
+      i = (i + 1 < n) ? i + 2 : n;
+      scan_comment(src.substr(start, i - start), line,
+                   !start_line_has_code && !line_has_code, &out);
+      continue;
+    }
+    // Preprocessor #include — capture the header name whole.
+    if (c == '#' && !line_has_code) {
+      std::size_t j = i + 1;
+      while (j < n && (src[j] == ' ' || src[j] == '\t')) ++j;
+      if (src.compare(j, 7, "include") == 0) {
+        j += 7;
+        while (j < n && (src[j] == ' ' || src[j] == '\t')) ++j;
+        if (j < n && (src[j] == '"' || src[j] == '<')) {
+          char closer = (src[j] == '"') ? '"' : '>';
+          std::size_t start = ++j;
+          while (j < n && src[j] != closer && src[j] != '\n') ++j;
+          out.includes.push_back(
+              {src.substr(start, j - start), closer == '>', line});
+          i = j < n ? j + 1 : n;
+          line_has_code = true;  // a directive is not a comment-only line
+          continue;
+        }
+      }
+      // Other directives fall through to ordinary tokenization; their
+      // bodies are scanned so a banned call inside a macro is caught.
+    }
+    // String literal (incl. raw) / char literal: skipped, not emitted.
+    if (c == '"' || c == '\'') {
+      // Raw string? The prefix identifier (R, u8R, LR, ...) was already
+      // emitted as a token; detect it to switch parse mode.
+      bool raw = false;
+      if (c == '"' && !out.tokens.empty() &&
+          out.tokens.back().kind == Tok::kIdent &&
+          out.tokens.back().line == line) {
+        const std::string& prev = out.tokens.back().text;
+        if (!prev.empty() && prev.back() == 'R' &&
+            (prev == "R" || prev == "u8R" || prev == "uR" || prev == "LR")) {
+          raw = true;
+          out.tokens.pop_back();  // the prefix is part of the literal
+        }
+      }
+      if (raw) {
+        std::size_t j = i + 1;
+        std::string delim;
+        while (j < n && src[j] != '(') delim += src[j++];
+        std::string closer = ")" + delim + "\"";
+        std::size_t end = src.find(closer, j);
+        if (end == std::string::npos) end = n;
+        for (std::size_t k = i; k < end && k < n; ++k) {
+          if (src[k] == '\n') newline();
+        }
+        i = std::min(n, end + closer.size());
+        line_has_code = true;
+        continue;
+      }
+      char quote = c;
+      ++i;
+      while (i < n && src[i] != quote) {
+        if (src[i] == '\\' && i + 1 < n) ++i;
+        if (src[i] == '\n') newline();  // unterminated; keep lines honest
+        ++i;
+      }
+      if (i < n) ++i;
+      line_has_code = true;
+      continue;
+    }
+    // Identifier.
+    if (ident_start(c)) {
+      std::size_t start = i;
+      while (i < n && ident_char(src[i])) ++i;
+      out.tokens.push_back({Tok::kIdent, src.substr(start, i - start), line});
+      line_has_code = true;
+      continue;
+    }
+    // Number (pp-number, loose: good enough to step over hexfloats).
+    if (std::isdigit(static_cast<unsigned char>(c))) {
+      std::size_t start = i;
+      ++i;
+      while (i < n) {
+        char d = src[i];
+        if (ident_char(d) || d == '.') {
+          ++i;
+        } else if ((d == '+' || d == '-') && i > start &&
+                   (src[i - 1] == 'e' || src[i - 1] == 'E' ||
+                    src[i - 1] == 'p' || src[i - 1] == 'P')) {
+          ++i;
+        } else {
+          break;
+        }
+      }
+      out.tokens.push_back({Tok::kNumber, src.substr(start, i - start), line});
+      line_has_code = true;
+      continue;
+    }
+    // Punctuation. `::` and `->` matter to the rules; emit them fused so
+    // `std::size_t` inside a for-header is not mistaken for a range-for
+    // colon and member calls are distinguishable.
+    if (c == ':' && i + 1 < n && src[i + 1] == ':') {
+      out.tokens.push_back({Tok::kPunct, "::", line});
+      i += 2;
+    } else if (c == '-' && i + 1 < n && src[i + 1] == '>') {
+      out.tokens.push_back({Tok::kPunct, "->", line});
+      i += 2;
+    } else {
+      out.tokens.push_back({Tok::kPunct, std::string(1, c), line});
+      ++i;
+    }
+    line_has_code = true;
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Small helpers shared by the rules.
+// ---------------------------------------------------------------------------
+
+bool glob_match(const std::string& pattern, const std::string& text) {
+  // Iterative '*' glob (no '?'), classic two-pointer with backtracking.
+  std::size_t p = 0, t = 0, star = std::string::npos, mark = 0;
+  while (t < text.size()) {
+    if (p < pattern.size() &&
+        (pattern[p] == text[t])) {
+      ++p;
+      ++t;
+    } else if (p < pattern.size() && pattern[p] == '*') {
+      star = p++;
+      mark = t;
+    } else if (star != std::string::npos) {
+      p = star + 1;
+      t = ++mark;
+    } else {
+      return false;
+    }
+  }
+  while (p < pattern.size() && pattern[p] == '*') ++p;
+  return p == pattern.size();
+}
+
+bool has_prefix(const std::string& path, const std::string& prefix) {
+  if (path.size() < prefix.size()) return false;
+  if (path.compare(0, prefix.size(), prefix) != 0) return false;
+  return path.size() == prefix.size() || path[prefix.size()] == '/' ||
+         prefix.empty();
+}
+
+std::string filename_of(const std::string& path) {
+  std::size_t slash = path.find_last_of('/');
+  return slash == std::string::npos ? path : path.substr(slash + 1);
+}
+
+/// True when `rel_path` is governed by the rule (directory prefix or
+/// filename glob).
+bool rule_applies(const RuleConfig& rc, const std::string& rel_path) {
+  for (const auto& p : rc.paths) {
+    if (has_prefix(rel_path, p)) return true;
+  }
+  const std::string name = filename_of(rel_path);
+  for (const auto& g : rc.file_globs) {
+    if (glob_match(g, name)) return true;
+  }
+  return rc.paths.empty() && rc.file_globs.empty();
+}
+
+/// Module of a repo-relative source path: the path component after the
+/// leading "src/". Empty when the file is not under a src tree.
+std::string module_of(const std::string& rel_path) {
+  std::size_t base = 0;
+  if (!has_prefix(rel_path, "src")) return {};
+  base = 4;  // past "src/"
+  std::size_t slash = rel_path.find('/', base);
+  if (slash == std::string::npos) return {};  // file directly under src/
+  return rel_path.substr(base, slash - base);
+}
+
+bool contains(const std::vector<std::string>& v, const std::string& s) {
+  return std::find(v.begin(), v.end(), s) != v.end();
+}
+
+class Emitter {
+ public:
+  Emitter(const std::string& file, const Scan& scan,
+          std::vector<Finding>* out)
+      : file_(file), scan_(scan), out_(out) {}
+
+  void emit(const std::string& rule, int line, std::string message) {
+    if (scan_.file_allows.count(rule)) return;
+    auto it = scan_.line_allows.find(line);
+    if (it != scan_.line_allows.end() && it->second.count(rule)) return;
+    out_->push_back({file_, line, rule, std::move(message)});
+  }
+
+ private:
+  const std::string& file_;
+  const Scan& scan_;
+  std::vector<Finding>* out_;
+};
+
+// ---------------------------------------------------------------------------
+// Rules
+// ---------------------------------------------------------------------------
+
+/// no-wall-clock + no-rng-in-observers share a shape: banned identifiers,
+/// banned call-position identifiers, banned includes.
+void check_banned_tokens(const std::string& rule, const RuleConfig& rc,
+                         const Scan& scan, Emitter* em) {
+  for (const auto& inc : scan.includes) {
+    for (const auto& b : rc.banned_includes) {
+      if (inc.path == b) {
+        em->emit(rule, inc.line,
+                 "include of <" + inc.path + "> is banned here");
+      }
+    }
+  }
+  const auto& toks = scan.tokens;
+  for (std::size_t i = 0; i < toks.size(); ++i) {
+    if (toks[i].kind != Tok::kIdent) continue;
+    if (contains(rc.banned, toks[i].text)) {
+      em->emit(rule, toks[i].line,
+               "'" + toks[i].text + "' is banned: " +
+                   (rule == "no-wall-clock"
+                        ? "all randomness and time must flow through "
+                          "seeded hce::Rng substreams and the simulation "
+                          "clock"
+                        : "observation and metering paths must be "
+                          "RNG-free (pure reads)"));
+      continue;
+    }
+    if (!contains(rc.banned_calls, toks[i].text)) continue;
+    // Call position: `name (` not preceded by `.`, `->`, or an
+    // identifier (the latter skips declarations like `Time time(...)`).
+    if (i + 1 >= toks.size() || toks[i + 1].text != "(") continue;
+    if (i > 0) {
+      const Token& prev = toks[i - 1];
+      if (prev.text == "." || prev.text == "->" || prev.kind == Tok::kIdent) {
+        continue;
+      }
+    }
+    em->emit(rule, toks[i].line,
+             "call to '" + toks[i].text +
+                 "()' reads the wall clock; simulated time comes from "
+                 "Simulation::now()");
+  }
+}
+
+const std::set<std::string> kUnorderedTypes = {
+    "unordered_map", "unordered_set", "unordered_multimap",
+    "unordered_multiset"};
+
+/// Skips a balanced template argument list starting at the `<` token at
+/// index i; returns the index one past the matching `>`, or i when the
+/// token at i is not `<`.
+std::size_t skip_template_args(const std::vector<Token>& toks,
+                               std::size_t i) {
+  if (i >= toks.size() || toks[i].text != "<") return i;
+  int depth = 0;
+  while (i < toks.size()) {
+    if (toks[i].text == "<") ++depth;
+    if (toks[i].text == ">") {
+      if (--depth == 0) return i + 1;
+    }
+    if (toks[i].text == ";") return i;  // lone `a < b` comparison; bail
+    ++i;
+  }
+  return i;
+}
+
+void check_unordered_iteration(const RuleConfig& rc, const Scan& scan,
+                               Emitter* em) {
+  (void)rc;
+  const auto& toks = scan.tokens;
+  // Pass 1: names declared with an unordered container type (locals,
+  // members, parameters — `std::unordered_map<K, V> [&*const]* name`).
+  std::set<std::string> unordered_names;
+  for (std::size_t i = 0; i < toks.size(); ++i) {
+    if (toks[i].kind != Tok::kIdent || !kUnorderedTypes.count(toks[i].text)) {
+      continue;
+    }
+    std::size_t j = skip_template_args(toks, i + 1);
+    if (j == i + 1) continue;  // no template args: a using-decl or mention
+    while (j < toks.size() &&
+           (toks[j].text == "&" || toks[j].text == "*" ||
+            toks[j].text == "const")) {
+      ++j;
+    }
+    if (j < toks.size() && toks[j].kind == Tok::kIdent) {
+      unordered_names.insert(toks[j].text);
+    }
+  }
+  // Pass 2a: range-for whose range expression names an unordered
+  // container (declared above) or an unordered type directly.
+  for (std::size_t i = 0; i < toks.size(); ++i) {
+    if (toks[i].kind != Tok::kIdent || toks[i].text != "for") continue;
+    if (i + 1 >= toks.size() || toks[i + 1].text != "(") continue;
+    int depth = 0;
+    std::size_t colon = 0, close = 0;
+    for (std::size_t j = i + 1; j < toks.size(); ++j) {
+      if (toks[j].text == "(") ++depth;
+      if (toks[j].text == ")") {
+        if (--depth == 0) {
+          close = j;
+          break;
+        }
+      }
+      if (toks[j].text == ":" && depth == 1 && colon == 0) colon = j;
+    }
+    if (colon == 0 || close == 0) continue;  // classic for(;;)
+    for (std::size_t j = colon + 1; j < close; ++j) {
+      if (toks[j].kind == Tok::kIdent &&
+          (unordered_names.count(toks[j].text) ||
+           kUnorderedTypes.count(toks[j].text))) {
+        em->emit("no-unordered-iteration", toks[i].line,
+                 "range-for over unordered container '" + toks[j].text +
+                     "': hash order is unspecified and breaks "
+                     "deterministic merge/report output");
+        break;
+      }
+    }
+  }
+  // Pass 2b: explicit iterator walks — name.begin()/cbegin()/rbegin().
+  // Only iteration *origins* count: `x.end()` alone is the sentinel of
+  // the legal find()/end() lookup idiom and observes no order.
+  static const std::set<std::string> kIterFns = {"begin", "cbegin", "rbegin"};
+  for (std::size_t i = 0; i + 2 < toks.size(); ++i) {
+    if (toks[i].kind != Tok::kIdent || !unordered_names.count(toks[i].text)) {
+      continue;
+    }
+    if (toks[i + 1].text != "." && toks[i + 1].text != "->") continue;
+    if (toks[i + 2].kind == Tok::kIdent && kIterFns.count(toks[i + 2].text)) {
+      em->emit("no-unordered-iteration", toks[i].line,
+               "iterator walk over unordered container '" + toks[i].text +
+                   "': hash order is unspecified and breaks deterministic "
+                   "merge/report output");
+    }
+  }
+}
+
+void check_hot_path_alloc(const RuleConfig& rc, const Scan& scan,
+                          Emitter* em) {
+  const auto& toks = scan.tokens;
+  for (std::size_t i = 0; i < toks.size(); ++i) {
+    if (toks[i].kind != Tok::kIdent) continue;
+    const std::string& t = toks[i].text;
+    // Banned free functions / factories.
+    if (contains(rc.banned, t)) {
+      em->emit("no-hot-path-alloc", toks[i].line,
+               "'" + t + "' allocates; HCE_HOT_PATH files must stay "
+               "zero-allocation at steady state (slab/pool instead)");
+      continue;
+    }
+    // Banned std:: node-based container / type-erased types.
+    if (contains(rc.banned_types, t) && i >= 2 &&
+        toks[i - 1].text == "::" && toks[i - 2].text == "std") {
+      em->emit("no-hot-path-alloc", toks[i].line,
+               "'std::" + t + "' is node-based or type-erasing (hidden "
+               "per-element allocation); use the slab/pool idiom in "
+               "HCE_HOT_PATH files");
+      continue;
+    }
+    if (t != "new") continue;
+    // `operator new` — an explicit raw allocation call (or definition);
+    // flag it, suppressible where growth is reserve-amortized.
+    if (i > 0 && toks[i - 1].text == "operator") {
+      em->emit("no-hot-path-alloc", toks[i].line,
+               "'operator new' in an HCE_HOT_PATH file; allowed only for "
+               "reserve-amortized slab growth (suppress with "
+               "hce-lint: allow(no-hot-path-alloc) and a rationale)");
+      continue;
+    }
+    // Placement new is the small-buffer idiom and allocates nothing:
+    // `new (addr) T`. `new (std::nothrow) T` still allocates.
+    if (i + 1 < toks.size() && toks[i + 1].text == "(") {
+      bool nothrow = i + 4 < toks.size() && toks[i + 2].text == "std" &&
+                     toks[i + 3].text == "::" &&
+                     toks[i + 4].text == "nothrow";
+      if (!nothrow) continue;
+    }
+    em->emit("no-hot-path-alloc", toks[i].line,
+             "non-placement 'new' in an HCE_HOT_PATH file; events, "
+             "requests, and cache entries live in recycled slabs");
+  }
+}
+
+void check_layering(const Config& cfg, const std::string& rel_path,
+                    const Scan& scan, Emitter* em) {
+  const std::string mod = module_of(rel_path);
+  if (mod.empty()) return;
+  auto it = cfg.layering.find(mod);
+  for (const auto& inc : scan.includes) {
+    if (inc.angled) continue;  // system headers are not layering edges
+    std::size_t slash = inc.path.find('/');
+    if (slash == std::string::npos) continue;  // same-directory include
+    const std::string target = inc.path.substr(0, slash);
+    if (target == mod) continue;
+    if (!cfg.layering.count(target)) continue;  // not a module path
+    if (it == cfg.layering.end()) {
+      em->emit("layering", inc.line,
+               "module '" + mod + "' is not in the layering table but "
+               "includes \"" + inc.path + "\"; declare its dependencies "
+               "in rules.toml");
+      continue;
+    }
+    if (!contains(it->second, target)) {
+      em->emit("layering", inc.line,
+               "layering violation: module '" + mod + "' may not include "
+               "\"" + inc.path + "\" (allowed: " +
+                   [&] {
+                     std::string s;
+                     for (const auto& a : it->second) {
+                       if (!s.empty()) s += ", ";
+                       s += a;
+                     }
+                     return s.empty() ? std::string("none") : s;
+                   }() +
+                   ")");
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Config parsing (TOML subset).
+// ---------------------------------------------------------------------------
+
+std::string strip(const std::string& s) {
+  std::size_t a = s.find_first_not_of(" \t\r");
+  if (a == std::string::npos) return {};
+  std::size_t b = s.find_last_not_of(" \t\r");
+  return s.substr(a, b - a + 1);
+}
+
+std::vector<std::string> parse_string_array(const std::string& text,
+                                            int line_no) {
+  std::vector<std::string> out;
+  std::size_t i = 0;
+  auto fail = [&](const std::string& why) {
+    throw std::runtime_error("rules.toml:" + std::to_string(line_no) +
+                             ": " + why);
+  };
+  while (i < text.size()) {
+    char c = text[i];
+    if (c == ' ' || c == '\t' || c == ',' || c == '\n' || c == '\r') {
+      ++i;
+      continue;
+    }
+    if (c != '"') fail("expected string in array");
+    std::size_t close = text.find('"', i + 1);
+    if (close == std::string::npos) fail("unterminated string");
+    out.push_back(text.substr(i + 1, close - i - 1));
+    i = close + 1;
+  }
+  return out;
+}
+
+}  // namespace
+
+const std::set<std::string>& known_rules() {
+  static const std::set<std::string> kRules = {
+      "no-wall-clock", "no-unordered-iteration", "no-hot-path-alloc",
+      "no-rng-in-observers", "layering"};
+  return kRules;
+}
+
+Config parse_config(const std::string& toml_text) {
+  Config cfg;
+  std::istringstream in(toml_text);
+  std::string raw;
+  std::string section;
+  int line_no = 0;
+  auto fail = [&](const std::string& why) {
+    throw std::runtime_error("rules.toml:" + std::to_string(line_no) + ": " +
+                             why);
+  };
+  while (std::getline(in, raw)) {
+    ++line_no;
+    std::string ln = strip(raw);
+    // Full-line comments only; '#' inside string values would need real
+    // TOML, which this subset deliberately is not.
+    if (ln.empty() || ln[0] == '#') continue;
+    if (ln.front() == '[') {
+      if (ln.back() != ']') fail("malformed section header");
+      section = strip(ln.substr(1, ln.size() - 2));
+      if (section != "layering" && !known_rules().count(section)) {
+        fail("unknown rule '" + section + "' (known: no-wall-clock, "
+             "no-unordered-iteration, no-hot-path-alloc, "
+             "no-rng-in-observers, layering)");
+      }
+      continue;
+    }
+    std::size_t eq = ln.find('=');
+    if (eq == std::string::npos) fail("expected key = value");
+    std::string key = strip(ln.substr(0, eq));
+    std::string val = strip(ln.substr(eq + 1));
+    if (section.empty()) fail("key outside a section");
+    // Multi-line arrays: keep reading until the brackets balance.
+    if (!val.empty() && val[0] == '[') {
+      while (std::count(val.begin(), val.end(), ']') <
+             std::count(val.begin(), val.end(), '[')) {
+        if (!std::getline(in, raw)) fail("unterminated array");
+        ++line_no;
+        std::string cont = strip(raw);
+        if (!cont.empty() && cont[0] == '#') continue;
+        val += ' ';
+        val += cont;
+      }
+      val = strip(val);
+      val = val.substr(1, val.find_last_of(']') - 1);
+    }
+    if (section == "layering") {
+      if (key == "enabled") {
+        cfg.layering_enabled = (val == "true");
+      } else {
+        cfg.layering[key] = parse_string_array(val, line_no);
+      }
+      continue;
+    }
+    RuleConfig& rc = cfg.rules[section];
+    if (key == "enabled") {
+      rc.enabled = (val == "true");
+    } else if (key == "paths") {
+      rc.paths = parse_string_array(val, line_no);
+    } else if (key == "file_globs") {
+      rc.file_globs = parse_string_array(val, line_no);
+    } else if (key == "banned") {
+      rc.banned = parse_string_array(val, line_no);
+    } else if (key == "banned_calls") {
+      rc.banned_calls = parse_string_array(val, line_no);
+    } else if (key == "banned_types") {
+      rc.banned_types = parse_string_array(val, line_no);
+    } else if (key == "banned_includes") {
+      rc.banned_includes = parse_string_array(val, line_no);
+    } else {
+      fail("unknown key '" + key + "' in [" + section + "]");
+    }
+  }
+  // Validate the layering graph is a DAG: the whole point is that the
+  // declared dependency order is a partial order, so a cycle in the
+  // *rules* is a config bug, not a code bug.
+  std::map<std::string, int> state;  // 0 unvisited, 1 on stack, 2 done
+  std::vector<std::string> stack;
+  auto dfs = [&](auto&& self, const std::string& m) -> void {
+    state[m] = 1;
+    stack.push_back(m);
+    auto it = cfg.layering.find(m);
+    if (it != cfg.layering.end()) {
+      for (const auto& dep : it->second) {
+        if (!cfg.layering.count(dep)) {
+          throw std::runtime_error(
+              "rules.toml: [layering] module '" + m + "' depends on '" +
+              dep + "' which has no entry of its own");
+        }
+        if (state[dep] == 1) {
+          std::string cyc;
+          for (const auto& s : stack) cyc += s + " -> ";
+          throw std::runtime_error(
+              "rules.toml: [layering] cycle detected: " + cyc + dep);
+        }
+        if (state[dep] == 0) self(self, dep);
+      }
+    }
+    stack.pop_back();
+    state[m] = 2;
+  };
+  for (const auto& [m, deps] : cfg.layering) {
+    if (state[m] == 0) dfs(dfs, m);
+  }
+  return cfg;
+}
+
+Config load_config(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("cannot open rules file: " + path);
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return parse_config(ss.str());
+}
+
+std::vector<Finding> lint_source(const std::string& rel_path,
+                                 const std::string& content,
+                                 const Config& config) {
+  std::vector<Finding> findings;
+  Scan scan = scan_source(content);
+  Emitter em(rel_path, scan, &findings);
+
+  for (const auto& [rule, rc] : config.rules) {
+    if (!rc.enabled) continue;
+    if (rule == "no-wall-clock" || rule == "no-rng-in-observers") {
+      if (rule_applies(rc, rel_path)) check_banned_tokens(rule, rc, scan, &em);
+    } else if (rule == "no-unordered-iteration") {
+      if (rule_applies(rc, rel_path)) check_unordered_iteration(rc, scan, &em);
+    } else if (rule == "no-hot-path-alloc") {
+      // Applicability is the annotation itself, optionally narrowed by
+      // paths (an annotated fixture outside them still opts in via glob).
+      if (scan.hot_path) check_hot_path_alloc(rc, scan, &em);
+    }
+  }
+  if (config.layering_enabled && !config.layering.empty()) {
+    check_layering(config, rel_path, scan, &em);
+  }
+  std::sort(findings.begin(), findings.end(),
+            [](const Finding& a, const Finding& b) {
+              return std::tie(a.file, a.line, a.rule) <
+                     std::tie(b.file, b.line, b.rule);
+            });
+  return findings;
+}
+
+std::vector<Finding> lint_tree(const std::string& root,
+                               const std::vector<std::string>& paths,
+                               const Config& config) {
+  namespace fs = std::filesystem;
+  std::vector<std::string> files;
+  for (const auto& p : paths) {
+    fs::path abs = fs::path(root) / p;
+    if (fs::is_regular_file(abs)) {
+      files.push_back(p);
+      continue;
+    }
+    if (!fs::is_directory(abs)) {
+      throw std::runtime_error("no such file or directory: " + abs.string());
+    }
+    for (const auto& ent : fs::recursive_directory_iterator(abs)) {
+      if (!ent.is_regular_file()) continue;
+      const std::string ext = ent.path().extension().string();
+      if (ext != ".hpp" && ext != ".cpp" && ext != ".h" && ext != ".cc") {
+        continue;
+      }
+      files.push_back(
+          fs::relative(ent.path(), fs::path(root)).generic_string());
+    }
+  }
+  std::sort(files.begin(), files.end());
+  files.erase(std::unique(files.begin(), files.end()), files.end());
+
+  std::vector<Finding> all;
+  for (const auto& rel : files) {
+    std::ifstream in(fs::path(root) / rel);
+    if (!in) throw std::runtime_error("cannot read " + rel);
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    auto f = lint_source(rel, ss.str(), config);
+    all.insert(all.end(), f.begin(), f.end());
+  }
+  return all;
+}
+
+std::string format_finding(const Finding& f) {
+  return f.file + ":" + std::to_string(f.line) + ": error: [" + f.rule +
+         "] " + f.message;
+}
+
+}  // namespace hce::lint

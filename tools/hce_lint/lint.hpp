@@ -1,0 +1,128 @@
+// hce_lint — the project's contract-enforcement checker.
+//
+// Every headline claim this reproduction makes (bit-identical inversion
+// curves across thread and partition counts, observe-on ≡ observe-off,
+// metering that bills without perturbing) rests on coding contracts that
+// golden tests only catch *after* a violation ships:
+//
+//   no-wall-clock          no rand()/srand()/std::random_device/time()/
+//                          system_clock/... anywhere in src/ — all
+//                          randomness flows through seeded hce::Rng
+//                          substreams, all time through the simulation
+//                          clock.
+//   no-unordered-iteration no iteration over std::unordered_{map,set} in
+//                          merge/report/reducer paths — hash-order is
+//                          unspecified and varies across libstdc++
+//                          versions, so iterating one in a reduction
+//                          breaks cross-machine reproducibility.
+//   no-hot-path-alloc      no non-placement new / malloc / node-based
+//                          containers in files annotated // HCE_HOT_PATH
+//                          (the calendar, handlers, pools, retry client,
+//                          edge cache) — the zero-steady-state-allocation
+//                          designs of PR 2/3/5.
+//   no-rng-in-observers    no RNG types, draws, or <random> includes in
+//                          src/obs/ and src/cost/ — observation and
+//                          metering are pure reads; a single draw would
+//                          perturb every downstream stream and break the
+//                          observe-on ≡ observe-off goldens.
+//   layering               cross-module #include edges must match the
+//                          declared DAG in rules.toml (e.g. des ←
+//                          cluster ← experiment; obs/cost may not
+//                          include experiment headers).
+//
+// Deliberately tokenizer-level, not a libclang plugin: the container
+// toolchain has no clang dev libraries, the rules are lexically checkable,
+// and a 700-line scanner that builds in a second keeps the gate cheap
+// enough to run on every ctest invocation (see the hce_lint_src test).
+//
+// Suppressions: `// hce-lint: allow(<rule>)` on the finding's line or on
+// a comment-only line directly above it; `// hce-lint: allow-file(<rule>)`
+// anywhere in the file. Every suppression is a visible, reviewable
+// artifact in the diff.
+#pragma once
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace hce::lint {
+
+// ---------------------------------------------------------------------------
+// Configuration (parsed from rules.toml — a small TOML subset: [section]
+// headers, `key = value` with string / bool / array-of-string values).
+// ---------------------------------------------------------------------------
+
+struct RuleConfig {
+  bool enabled = true;
+  /// Repo-relative directory prefixes the rule applies to ("src",
+  /// "src/obs"). Empty means: applies everywhere the driver was pointed.
+  std::vector<std::string> paths;
+  /// Additional filename globs ('*' wildcards) that opt a file into the
+  /// rule regardless of directory (e.g. "*merge*" for reducer paths).
+  std::vector<std::string> file_globs;
+  /// Identifiers banned outright (token-exact match).
+  std::vector<std::string> banned;
+  /// Identifiers banned only in free-function call position (`time(`,
+  /// `clock(`) — member calls like `sim.time()` stay legal.
+  std::vector<std::string> banned_calls;
+  /// `std::`-qualified type names banned (node-based containers etc.).
+  std::vector<std::string> banned_types;
+  /// #include targets banned (matched against the include path).
+  std::vector<std::string> banned_includes;
+};
+
+struct Config {
+  /// Rule id → configuration. Unknown ids are a config error.
+  std::map<std::string, RuleConfig> rules;
+  /// Module → modules it may include (the layering DAG). Validated
+  /// acyclic at load time.
+  std::map<std::string, std::vector<std::string>> layering;
+  bool layering_enabled = true;
+
+  bool rule_enabled(const std::string& id) const {
+    auto it = rules.find(id);
+    return it != rules.end() && it->second.enabled;
+  }
+};
+
+/// Parses rules.toml content. Throws std::runtime_error with a
+/// line-numbered message on malformed input, unknown rule ids, or a cycle
+/// in the layering DAG.
+Config parse_config(const std::string& toml_text);
+
+/// Convenience: read + parse a config file.
+Config load_config(const std::string& path);
+
+// ---------------------------------------------------------------------------
+// Findings
+// ---------------------------------------------------------------------------
+
+struct Finding {
+  std::string file;  ///< repo-relative path
+  int line = 0;
+  std::string rule;
+  std::string message;
+};
+
+/// Lints one in-memory translation unit. `rel_path` is the repo-relative
+/// path used for rule applicability (directory prefixes, layering module
+/// extraction) — tests position fixture files logically with it.
+std::vector<Finding> lint_source(const std::string& rel_path,
+                                 const std::string& content,
+                                 const Config& config);
+
+/// Walks `paths` (files or directories, repo-relative to `root`)
+/// recursively for .hpp/.cpp files, lints each, and returns all findings
+/// sorted by (file, line). Deterministic: directory entries are sorted.
+std::vector<Finding> lint_tree(const std::string& root,
+                               const std::vector<std::string>& paths,
+                               const Config& config);
+
+/// "file:line: error: [rule] message" — one line per finding.
+std::string format_finding(const Finding& f);
+
+/// Rule ids known to the engine (the config must not name others).
+const std::set<std::string>& known_rules();
+
+}  // namespace hce::lint

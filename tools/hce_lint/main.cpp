@@ -1,0 +1,65 @@
+// hce_lint CLI.
+//
+//   hce_lint --rules tools/hce_lint/rules.toml --root . src
+//
+// Exit codes: 0 clean, 1 findings, 2 usage/config error. Findings print
+// as "file:line: error: [rule] message", one per line, deterministic
+// order — greppable in CI logs and clickable in editors.
+#include <cstring>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "lint.hpp"
+
+namespace {
+
+int usage(const char* argv0) {
+  std::cerr
+      << "usage: " << argv0
+      << " [--rules <rules.toml>] [--root <dir>] [--list-rules] "
+         "<path>...\n"
+         "  Lints .hpp/.cpp files under each <path> (relative to --root,\n"
+         "  default '.') against the project contract rules.\n";
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string rules_path = "tools/hce_lint/rules.toml";
+  std::string root = ".";
+  std::vector<std::string> paths;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--rules") == 0 && i + 1 < argc) {
+      rules_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--root") == 0 && i + 1 < argc) {
+      root = argv[++i];
+    } else if (std::strcmp(argv[i], "--list-rules") == 0) {
+      for (const auto& r : hce::lint::known_rules()) std::cout << r << "\n";
+      return 0;
+    } else if (argv[i][0] == '-') {
+      return usage(argv[0]);
+    } else {
+      paths.emplace_back(argv[i]);
+    }
+  }
+  if (paths.empty()) return usage(argv[0]);
+
+  try {
+    hce::lint::Config cfg = hce::lint::load_config(rules_path);
+    auto findings = hce::lint::lint_tree(root, paths, cfg);
+    for (const auto& f : findings) {
+      std::cout << hce::lint::format_finding(f) << "\n";
+    }
+    if (!findings.empty()) {
+      std::cout << findings.size() << " contract violation"
+                << (findings.size() == 1 ? "" : "s") << " found\n";
+      return 1;
+    }
+    return 0;
+  } catch (const std::exception& e) {
+    std::cerr << "hce_lint: " << e.what() << "\n";
+    return 2;
+  }
+}
